@@ -1,0 +1,552 @@
+(* The command-line front end.
+
+     weihl check HISTORY.txt --spec x=intset
+     weihl sim --protocol escrow --workload hot --clients 16
+     weihl census --ops 2
+     weihl tpc --participants 4 --crash mid:1
+
+   See `weihl --help` and each subcommand's `--help`. *)
+
+open Core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Specification registry                                              *)
+(* ------------------------------------------------------------------ *)
+
+let adt_registry : (string * Seq_spec.t) list =
+  [
+    ("intset", Intset.spec);
+    ("counter", Counter.spec);
+    ("account", Bank_account.spec);
+    ("queue", Fifo_queue.spec);
+    ("register", Register.spec);
+    ("kv", Kv_map.spec);
+    ("semiqueue", Semiqueue.spec);
+    ("stack", Stack.spec);
+    ("pqueue", Priority_queue.spec);
+    ("blind_counter", Blind_counter.spec);
+    ("log", Append_log.spec);
+  ]
+
+(* Guess an object's type from the operation names appearing on it. *)
+let infer_spec ops =
+  let has name = List.exists (fun op -> Operation.name op = name) ops in
+  if has "deposit" || has "withdraw" || has "balance" then
+    Some Bank_account.spec
+  else if has "enqueue" || has "dequeue" then Some Fifo_queue.spec
+  else if has "push" || has "pop" then Some Stack.spec
+  else if has "put" || has "get" || has "remove" then Some Kv_map.spec
+  else if has "add" || has "extract_min" || has "find_min" then
+    Some Priority_queue.spec
+  else if has "increment" then Some Counter.spec
+  else if has "bump" then Some Blind_counter.spec
+  else if has "append" then Some Append_log.spec
+  else if has "enq" || has "deq" then Some Semiqueue.spec
+  else if has "write" then Some Register.spec
+  else if has "insert" || has "delete" || has "member" || has "size" then
+    Some Intset.spec
+  else None
+
+let build_env history spec_bindings =
+  let explicit =
+    List.fold_left
+      (fun env (obj, name) ->
+        match List.assoc_opt name adt_registry with
+        | Some spec -> Spec_env.add (Object_id.v obj) spec env
+        | None -> Fmt.failwith "unknown ADT %s (try --list-adts)" name)
+      Spec_env.empty spec_bindings
+  in
+  List.fold_left
+    (fun env obj ->
+      match Spec_env.find env obj with
+      | Some _ -> env
+      | None -> (
+        let ops =
+          List.filter_map
+            (function
+              | Event.Invoke (_, x, op) when Object_id.equal x obj -> Some op
+              | _ -> None)
+            (History.to_list history)
+        in
+        match infer_spec ops with
+        | Some spec -> Spec_env.add obj spec env
+        | None ->
+          Fmt.failwith
+            "cannot infer a specification for object %a; pass --spec %a=ADT"
+            Object_id.pp obj Object_id.pp obj))
+    explicit (History.objects history)
+
+(* ------------------------------------------------------------------ *)
+(* weihl check                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd file spec_bindings mode_name =
+  let contents =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Notation.history_of_string contents with
+  | Error e -> Fmt.epr "parse error: %a@." Notation.pp_error e; 1
+  | Ok h ->
+    let mode =
+      match mode_name with
+      | "base" -> Wellformed.Base
+      | "static" -> Wellformed.Static
+      | "hybrid" -> Wellformed.Hybrid
+      | m -> Fmt.failwith "unknown mode %s (base|static|hybrid)" m
+    in
+    let env = build_env h spec_bindings in
+    Fmt.pr "history: %d events, %d activities, %d objects@." (History.length h)
+      (List.length (History.activities h))
+      (List.length (History.objects h));
+    (match Wellformed.check mode h with
+    | Ok () -> Fmt.pr "well-formed (%s): yes@." mode_name
+    | Error vs ->
+      Fmt.pr "well-formed (%s): NO@." mode_name;
+      List.iter (fun v -> Fmt.pr "  - %a@." Wellformed.pp_violation v) vs);
+    Fmt.pr "atomic:          %b@." (Atomicity.atomic env h);
+    (match Atomicity.serialization_witness env h with
+    | Some order ->
+      Fmt.pr "  witness order: %a@."
+        Fmt.(list ~sep:(any "-") Activity.pp)
+        order
+    | None -> ());
+    Fmt.pr "dynamic atomic:  %b@." (Atomicity.dynamic_atomic env h);
+    (match History.timestamp_order h with
+    | Some _ ->
+      Fmt.pr "static atomic:   %b@." (Atomicity.static_atomic env h);
+      Fmt.pr "hybrid atomic:   %b@." (Atomicity.hybrid_atomic env h)
+    | None ->
+      Fmt.pr "static/hybrid:   n/a (no timestamps on committed activities)@.");
+    0
+
+(* ------------------------------------------------------------------ *)
+(* weihl sim                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sim_cmd protocol workload clients duration seed dump =
+  let mk_account_obj sys id =
+    let log = System.log sys in
+    match protocol with
+    | "rw" -> Op_locking.rw log id (module Bank_account)
+    | "commutativity" -> Op_locking.commutativity log id (module Bank_account)
+    | "escrow" -> Escrow_account.make log id
+    | "multiversion" -> Multiversion.make log id Bank_account.spec
+    | "hybrid" -> Hybrid.of_adt log id (module Bank_account)
+    | p -> Fmt.failwith "unknown protocol %s" p
+  in
+  let policy =
+    match protocol with
+    | "multiversion" -> `Static
+    | "hybrid" -> `Hybrid
+    | _ -> `None_
+  in
+  let sys = System.create ~policy () in
+  let w =
+    match workload with
+    | "banking" ->
+      let w = Workload.banking () in
+      List.iter (fun id -> System.add_object sys (mk_account_obj sys id))
+        w.Workload.objects;
+      w
+    | "hot" ->
+      let w = Workload.hot_withdrawals () in
+      List.iter (fun id -> System.add_object sys (mk_account_obj sys id))
+        w.Workload.objects;
+      w
+    | "set" ->
+      let w = Workload.set_ops () in
+      let log = System.log sys in
+      List.iter
+        (fun id ->
+          let obj =
+            match protocol with
+            | "rw" -> Op_locking.rw log id (module Intset)
+            | "commutativity" -> Op_locking.commutativity log id (module Intset)
+            | "escrow" -> Da_set.make log id (* data-dependent set *)
+            | "multiversion" -> Multiversion.make log id Intset.spec
+            | "hybrid" -> Hybrid.of_adt log id (module Intset)
+            | p -> Fmt.failwith "unknown protocol %s" p
+          in
+          System.add_object sys obj)
+        w.Workload.objects;
+      w
+    | "kv" ->
+      let w = Workload.kv_ops () in
+      let log = System.log sys in
+      List.iter
+        (fun id ->
+          let obj =
+            match protocol with
+            | "rw" -> Op_locking.rw log id (module Kv_map)
+            | "commutativity" -> Op_locking.commutativity log id (module Kv_map)
+            | "escrow" -> Da_kv.make log id (* data-dependent map *)
+            | "multiversion" -> Multiversion.make log id Kv_map.spec
+            | "hybrid" -> Hybrid.of_adt log id (module Kv_map)
+            | p -> Fmt.failwith "unknown protocol %s" p
+          in
+          System.add_object sys obj)
+        w.Workload.objects;
+      w
+    | "semiqueue" ->
+      let w = Workload.semiqueue_producers_consumers () in
+      let log = System.log sys in
+      List.iter
+        (fun id ->
+          let obj =
+            match protocol with
+            | "rw" -> Op_locking.rw log id (module Semiqueue)
+            | "commutativity" ->
+              Op_locking.commutativity log id (module Semiqueue)
+            | "escrow" -> Da_semiqueue.make log id (* data-dependent *)
+            | "multiversion" -> Multiversion.make log id Semiqueue.spec
+            | "hybrid" -> Hybrid.of_adt log id (module Semiqueue)
+            | p -> Fmt.failwith "unknown protocol %s" p
+          in
+          System.add_object sys obj)
+        w.Workload.objects;
+      w
+    | w -> Fmt.failwith "unknown workload %s (banking|hot|set|kv|semiqueue)" w
+  in
+  let config = { Driver.default_config with clients; duration; seed } in
+  let o = Driver.run ~config sys w in
+  Fmt.pr "%a@." Driver.pp_outcome o;
+  Fmt.pr "@.by label: %a@."
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
+    o.Driver.committed_by_label;
+  (match dump with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Notation.history_to_string (System.history sys));
+    output_string oc "\n";
+    close_out oc;
+    Fmt.pr "history written to %s@." path
+  | None -> ());
+  0
+
+(* ------------------------------------------------------------------ *)
+(* weihl census                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let census_cmd () =
+  (* The E5 census, callable directly. *)
+  let xs = Object_id.v "s" in
+  let env = Spec_env.of_list [ (xs, Intset.spec) ] in
+  let a = Activity.update "a" and b = Activity.update "b" in
+  let op_choices =
+    [
+      (Intset.insert 1, [ Value.ok ]);
+      (Intset.member 1, [ Value.Bool true; Value.Bool false ]);
+      (Intset.delete 1, [ Value.ok ]);
+    ]
+  in
+  let sessions act ts (op, res) =
+    [
+      Event.initiate act xs (Timestamp.v ts);
+      Event.invoke act xs op;
+      Event.respond act xs res;
+      Event.commit act xs;
+    ]
+  in
+  let rec interleave u v =
+    match (u, v) with
+    | [], v -> [ v ]
+    | u, [] -> [ u ]
+    | x :: u', y :: v' ->
+      List.map (fun rest -> x :: rest) (interleave u' v)
+      @ List.map (fun rest -> y :: rest) (interleave u v')
+  in
+  let total = ref 0
+  and atomic = ref 0
+  and dynamic = ref 0
+  and static = ref 0 in
+  List.iter
+    (fun (opa, ras) ->
+      List.iter
+        (fun (opb, rbs) ->
+          List.iter
+            (fun ra ->
+              List.iter
+                (fun rb ->
+                  List.iter
+                    (fun (ta, tb) ->
+                      List.iter
+                        (fun events ->
+                          let h = History.of_list events in
+                          if Wellformed.is_well_formed Wellformed.Static h
+                          then begin
+                            incr total;
+                            if Atomicity.atomic env h then incr atomic;
+                            if Atomicity.dynamic_atomic env h then
+                              incr dynamic;
+                            if Atomicity.static_atomic env h then incr static
+                          end)
+                        (interleave
+                           (sessions a ta (opa, ra))
+                           (sessions b tb (opb, rb))))
+                    [ (1, 2); (2, 1) ])
+                rbs)
+            ras)
+        op_choices)
+    op_choices;
+  Fmt.pr "well-formed: %d  atomic: %d  dynamic: %d  static: %d@." !total
+    !atomic !dynamic !static;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* weihl recover                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let recover_cmd file protocol order_name =
+  let contents =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let order =
+    match order_name with
+    | "commit" -> Recovery.Commit_order
+    | "timestamp" -> Recovery.Timestamp_order
+    | o -> Fmt.failwith "unknown order %s (commit|timestamp)" o
+  in
+  match Notation.history_of_string contents with
+  | Error e ->
+    Fmt.epr "parse error: %a@." Notation.pp_error e;
+    1
+  | Ok h ->
+    let policy =
+      match protocol with
+      | "multiversion" -> `Static
+      | "hybrid" -> `Hybrid
+      | _ -> `None_
+    in
+    let sys = System.create ~policy () in
+    let log = System.log sys in
+    (* Build one object per object in the log; infer ADTs as in
+       check. *)
+    List.iter
+      (fun obj ->
+        let ops =
+          List.filter_map
+            (function
+              | Event.Invoke (_, o, op) when Object_id.equal o obj -> Some op
+              | _ -> None)
+            (History.to_list h)
+        in
+        match infer_spec ops with
+        | None ->
+          Fmt.failwith "cannot infer a specification for %a" Object_id.pp obj
+        | Some spec ->
+          let o =
+            match protocol with
+            | "generic" -> Da_generic.make log obj spec
+            | "multiversion" -> Multiversion.make log obj spec
+            | p -> Fmt.failwith "unknown recovery protocol %s (generic|multiversion)" p
+          in
+          System.add_object sys o)
+      (History.objects h);
+    (match Recovery.restore order sys h with
+    | Ok n ->
+      Fmt.pr "recovered %d committed transactions@." n;
+      Fmt.pr "replayed history:@.%a@." History.pp (System.history sys);
+      0
+    | Error e ->
+      Fmt.epr "recovery failed: %s@." e;
+      1)
+
+(* ------------------------------------------------------------------ *)
+(* weihl explore                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let explore_cmd () =
+  (* A built-in demonstration scope: the Section 5.1 bank scripts under
+     the escrow protocol, every schedule model-checked. *)
+  let y = Object_id.v "acct" in
+  let env = Spec_env.of_list [ (y, Bank_account.spec) ] in
+  let histories =
+    Explore.all_histories
+      ~make_system:(fun () ->
+        let sys = System.create () in
+        System.add_object sys (Escrow_account.make (System.log sys) y);
+        let t = System.begin_txn sys (Activity.update "seed") in
+        ignore (System.invoke sys t y (Bank_account.deposit 10));
+        System.commit sys t;
+        sys)
+      [
+        (`Update, [ (y, Bank_account.withdraw 4) ]);
+        (`Update, [ (y, Bank_account.withdraw 3); (y, Bank_account.deposit 1) ]);
+        (`Update, [ (y, Bank_account.balance) ]);
+      ]
+  in
+  let ok =
+    List.for_all (fun h -> Atomicity.dynamic_atomic env h) histories
+  in
+  Fmt.pr
+    "explored every schedule of 3 bank transactions under escrow:@.\
+     %d distinct histories, all dynamic atomic: %b@."
+    (List.length histories) ok;
+  if ok then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* weihl tpc                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tpc_cmd participants crash no_voter seed =
+  let coordinator_crash =
+    match crash with
+    | "none" -> Tpc.No_crash
+    | "before" -> Tpc.Before_prepare
+    | "after" -> Tpc.After_prepare
+    | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "mid" ->
+        Tpc.Mid_decision
+          (int_of_string (String.sub s (i + 1) (String.length s - i - 1)))
+      | _ -> Fmt.failwith "unknown crash point %s (none|before|after|mid:K)" s)
+  in
+  let votes =
+    List.init participants (fun i ->
+        if Some i = no_voter then Tpc.No else Tpc.Yes)
+  in
+  let cfg =
+    {
+      Tpc.default_config with
+      participants;
+      site_clocks = List.init participants (fun i -> i * 3);
+      votes;
+      coordinator_crash;
+      seed;
+    }
+  in
+  let o = Tpc.run cfg in
+  Fmt.pr "%a@." Tpc.pp_outcome o;
+  Fmt.pr "atomic commitment: %b@." (Tpc.atomic_commitment o);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Command definitions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let spec_binding =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      Ok
+        ( String.sub s 0 i,
+          String.sub s (i + 1) (String.length s - i - 1) )
+    | None -> Error (`Msg "expected OBJECT=ADT")
+  in
+  let print ppf (o, a) = Fmt.pf ppf "%s=%s" o a in
+  Arg.conv (parse, print)
+
+let check_term =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY_FILE")
+  in
+  let specs =
+    Arg.(
+      value & opt_all spec_binding []
+      & info [ "spec" ] ~docv:"OBJECT=ADT"
+          ~doc:"Bind an object to an ADT (default: inferred from operations).")
+  in
+  let mode =
+    Arg.(
+      value & opt string "base"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Well-formedness regime: base, static or hybrid.")
+  in
+  Term.(const check_cmd $ file $ specs $ mode)
+
+let sim_term =
+  let protocol =
+    Arg.(
+      value & opt string "escrow"
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
+          ~doc:"rw | commutativity | escrow | multiversion | hybrid")
+  in
+  let workload =
+    Arg.(
+      value & opt string "banking"
+      & info [ "workload"; "w" ] ~docv:"WORKLOAD" ~doc:"banking | hot | set | kv | semiqueue")
+  in
+  let clients = Arg.(value & opt int 8 & info [ "clients" ]) in
+  let duration = Arg.(value & opt int 2000 & info [ "duration" ]) in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let dump =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump-history" ] ~docv:"FILE"
+          ~doc:"Write the generated history in the paper's notation.")
+  in
+  Term.(const sim_cmd $ protocol $ workload $ clients $ duration $ seed $ dump)
+
+let census_term = Term.(const census_cmd $ const ())
+
+let recover_term =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY_FILE")
+  in
+  let protocol =
+    Arg.(
+      value & opt string "generic"
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL" ~doc:"generic | multiversion")
+  in
+  let order =
+    Arg.(
+      value & opt string "commit"
+      & info [ "order" ] ~docv:"ORDER" ~doc:"commit | timestamp")
+  in
+  Term.(const recover_cmd $ file $ protocol $ order)
+
+let explore_term = Term.(const explore_cmd $ const ())
+
+let tpc_term =
+  let participants = Arg.(value & opt int 3 & info [ "participants"; "n" ]) in
+  let crash =
+    Arg.(
+      value & opt string "none"
+      & info [ "crash" ] ~docv:"POINT" ~doc:"none | before | after | mid:K")
+  in
+  let no_voter =
+    Arg.(
+      value & opt (some int) None
+      & info [ "no-vote" ] ~docv:"SITE" ~doc:"Site that votes no (0-based).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  Term.(const tpc_cmd $ participants $ crash $ no_voter $ seed)
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Classify a history file (well-formedness and atomicity).")
+      check_term;
+    Cmd.v (Cmd.info "sim" ~doc:"Run a workload simulation.") sim_term;
+    Cmd.v
+      (Cmd.info "census" ~doc:"Permissiveness census over bounded histories.")
+      census_term;
+    Cmd.v (Cmd.info "tpc" ~doc:"Run a two-phase commit scenario.") tpc_term;
+    Cmd.v
+      (Cmd.info "recover"
+         ~doc:"Rebuild object state by replaying a history file's committed \
+               transactions.")
+      recover_term;
+    Cmd.v
+      (Cmd.info "explore"
+         ~doc:"Model-check every schedule of a demonstration scope.")
+      explore_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "weihl" ~version:"1.0.0"
+      ~doc:
+        "Data-dependent concurrency control and recovery (Weihl, PODC 1983)."
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/banking.ml: Bank_account Core Driver Escrow_account Fmt Hybrid Hybrid_account List Multiversion Op_locking Stats System Workload

@@ -1,0 +1,1 @@
+examples/escrow_teller.ml: Activity Atomic_object Atomicity Bank_account Core Escrow_account Fmt History Object_id Operation Spec_env System Txn Value

@@ -1,0 +1,1 @@
+examples/escrow_teller.mli:

@@ -1,0 +1,1 @@
+examples/optimality.ml: Activity Atomicity Core Event Fmt History Intset Object_id Optimality Spec_env Value

@@ -1,0 +1,1 @@
+examples/parallel_tellers.ml: Activity Atomic Bank_account Concurrent Core Domain Escrow_account Fmt History List Object_id Rng Value Wellformed

@@ -1,0 +1,1 @@
+examples/queue_scheduler.ml: Activity Atomic_object Atomicity Core Da_queue Event Fifo_queue Fmt History List Object_id Spec_env System Txn Value

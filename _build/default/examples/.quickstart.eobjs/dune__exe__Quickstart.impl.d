@@ -1,0 +1,1 @@
+examples/quickstart.ml: Activity Atomic_object Atomicity Core Da_set Event Fmt History Intset Object_id Spec_env System Value Wellformed

@@ -1,0 +1,81 @@
+(* Lamport's audit problem (Section 4.3.3), end to end.
+
+   A bank runs transfer and deposit traffic while auditors snapshot
+   every account.  We run the same workload against six protocols and
+   print how audits and updates fare under each:
+
+   - strict read/write two-phase locking (classical baseline);
+   - commutativity locking (Bernstein/Korth/Schwarz-Spector);
+   - the escrow account (data-dependent dynamic atomicity);
+   - Reed's multi-version timestamps (static atomicity);
+   - the hybrid protocol with commutativity-locked updates;
+   - the paper's full hybrid design: escrow updates + timestamped
+     audits (Hybrid_account).
+
+     dune exec examples/banking.exe
+*)
+
+open Core
+
+let accounts = 6
+
+let protocols =
+  [ "rw-2pl"; "commutativity"; "escrow"; "multiversion"; "hybrid";
+    "hybrid-escrow" ]
+
+let build name =
+  let policy =
+    match name with
+    | "multiversion" -> `Static
+    | "hybrid" | "hybrid-escrow" -> `Hybrid
+    | _ -> `None_
+  in
+  let sys = System.create ~policy () in
+  let log = System.log sys in
+  List.iter
+    (fun id ->
+      let obj =
+        match name with
+        | "rw-2pl" -> Op_locking.rw log id (module Bank_account)
+        | "commutativity" -> Op_locking.commutativity log id (module Bank_account)
+        | "escrow" -> Escrow_account.make log id
+        | "multiversion" -> Multiversion.make log id Bank_account.spec
+        | "hybrid" -> Hybrid.of_adt log id (module Bank_account)
+        | "hybrid-escrow" -> Hybrid_account.make log id
+        | _ -> assert false
+      in
+      System.add_object sys obj)
+    (Workload.account_ids accounts);
+  sys
+
+let () =
+  let config =
+    {
+      Driver.default_config with
+      clients = 12;
+      duration = 4000;
+      seed = 2026;
+      max_restarts = 8;
+    }
+  in
+  Fmt.pr
+    "Lamport's audit problem: %d accounts, %d clients, %d ticks, 20%% audits@.@."
+    accounts config.Driver.clients config.Driver.duration;
+  Fmt.pr "%-14s %9s %7s %9s %9s %11s %11s@." "protocol" "committed" "audits"
+    "aborts" "waits" "audit-lat" "update-lat";
+  List.iter
+    (fun name ->
+      let sys = build name in
+      let w = Workload.banking ~accounts ~audit_fraction:0.2 () in
+      let o = Driver.run ~config sys w in
+      Fmt.pr "%-14s %9d %7d %9d %9d %11.1f %11.1f@." name o.Driver.committed
+        o.Driver.committed_read_only
+        (o.Driver.aborted_deadlock + o.Driver.aborted_refused)
+        o.Driver.waits
+        (Stats.mean o.Driver.read_only_latencies)
+        (Stats.mean o.Driver.update_latencies))
+    protocols;
+  Fmt.pr
+    "@.Expected shape (Section 4.3.3): under locking, audits block and get@.\
+     blocked; under pure timestamps, updates abort under skew; under the@.\
+     hybrid protocol audits never wait and never disturb updates.@."

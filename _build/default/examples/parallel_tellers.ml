@@ -1,0 +1,83 @@
+(* Multicore tellers: OCaml 5 domains hammering one escrow account
+   through the blocking runtime facade (Core.Concurrent).
+
+   Each teller domain runs transactions with Concurrent.atomically:
+   invocations block while the escrow protocol says wait, deadlock
+   victims are aborted automatically, and commit/abort fan-out is
+   handled by the wrapper.  At the end we audit: the committed balance
+   must equal the sum of effects the domains tallied for themselves.
+
+     dune exec examples/parallel_tellers.exe
+*)
+
+open Core
+
+let acct = Object_id.v "acct"
+let n_domains = 4
+let txns_per_domain = 200
+
+let () =
+  let sys = Concurrent.create () in
+  Concurrent.add_object sys (Escrow_account.make (Concurrent.log sys) acct);
+
+  (match
+     Concurrent.atomically sys (Activity.update "seed") (fun _ invoke ->
+         invoke acct (Bank_account.deposit 10_000))
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+
+  let net_effect = Atomic.make 0 in
+  let committed = Atomic.make 0 in
+  let failed = Atomic.make 0 in
+
+  let teller domain_id =
+    let rng = Rng.create (1000 + domain_id) in
+    for i = 1 to txns_per_domain do
+      let amount = 1 + Rng.int rng 50 in
+      let is_deposit = Rng.int rng 3 = 0 in
+      let op =
+        if is_deposit then Bank_account.deposit amount
+        else Bank_account.withdraw amount
+      in
+      let name = Fmt.str "d%d_%d" domain_id i in
+      match
+        Concurrent.atomically sys (Activity.update name) (fun _ invoke ->
+            invoke acct op)
+      with
+      | Ok v ->
+        Atomic.incr committed;
+        let delta =
+          if is_deposit then amount
+          else if Value.equal v Value.ok then -amount
+          else 0
+        in
+        ignore (Atomic.fetch_and_add net_effect delta)
+      | Error _ -> Atomic.incr failed
+    done
+  in
+  let domains =
+    List.init n_domains (fun d -> Domain.spawn (fun () -> teller d))
+  in
+  List.iter Domain.join domains;
+
+  let final_balance =
+    match
+      Concurrent.atomically sys (Activity.update "audit") (fun _ invoke ->
+          invoke acct Bank_account.balance)
+    with
+    | Ok (Value.Int n) -> n
+    | Ok v -> Fmt.failwith "unexpected audit answer %a" Value.pp v
+    | Error e -> failwith e
+  in
+  let expected = 10_000 + Atomic.get net_effect in
+  Fmt.pr "%d domains x %d transactions@." n_domains txns_per_domain;
+  Fmt.pr "committed: %d, failed: %d@." (Atomic.get committed)
+    (Atomic.get failed);
+  Fmt.pr "final balance: %d, expected from tallies: %d -> %s@." final_balance
+    expected
+    (if final_balance = expected then "CONSISTENT" else "BROKEN");
+  let h = Concurrent.history sys in
+  Fmt.pr "history: %d events, well-formed: %b@." (History.length h)
+    (Wellformed.is_well_formed Wellformed.Base h);
+  if final_balance <> expected then exit 1

@@ -1,0 +1,1 @@
+lib/adt/adt_sig.mli: Operation Weihl_event Weihl_spec

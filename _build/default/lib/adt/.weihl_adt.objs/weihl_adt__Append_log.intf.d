@@ -1,0 +1,1 @@
+lib/adt/append_log.mli: Adt_sig Operation Value Weihl_event

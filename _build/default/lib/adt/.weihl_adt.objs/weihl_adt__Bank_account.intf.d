@@ -1,0 +1,1 @@
+lib/adt/bank_account.mli: Adt_sig Operation Weihl_event

@@ -1,0 +1,1 @@
+lib/adt/blind_counter.mli: Adt_sig Operation Weihl_event

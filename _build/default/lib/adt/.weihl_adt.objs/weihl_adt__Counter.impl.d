@@ -1,0 +1,1 @@
+lib/adt/counter.ml: Adt_sig Fmt Int Operation Value Weihl_event Weihl_spec

@@ -1,0 +1,1 @@
+lib/adt/counter.mli: Adt_sig Operation Weihl_event

@@ -1,0 +1,1 @@
+lib/adt/fifo_queue.mli: Adt_sig Operation Value Weihl_event

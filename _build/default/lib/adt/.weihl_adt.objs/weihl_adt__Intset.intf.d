@@ -1,0 +1,1 @@
+lib/adt/intset.mli: Adt_sig Operation Weihl_event

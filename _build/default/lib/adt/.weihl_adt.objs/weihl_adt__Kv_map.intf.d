@@ -1,0 +1,1 @@
+lib/adt/kv_map.mli: Adt_sig Operation Value Weihl_event

@@ -1,0 +1,1 @@
+lib/adt/priority_queue.mli: Adt_sig Operation Value Weihl_event

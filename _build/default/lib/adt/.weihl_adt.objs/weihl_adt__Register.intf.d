@@ -1,0 +1,1 @@
+lib/adt/register.mli: Adt_sig Operation Weihl_event

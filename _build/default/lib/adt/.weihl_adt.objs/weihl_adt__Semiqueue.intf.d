@@ -1,0 +1,1 @@
+lib/adt/semiqueue.mli: Adt_sig Operation Value Weihl_event

@@ -1,0 +1,1 @@
+lib/adt/stack.ml: Adt_sig Fmt Int List Operation Value Weihl_event Weihl_spec

@@ -1,0 +1,1 @@
+lib/adt/stack.mli: Adt_sig Operation Value Weihl_event

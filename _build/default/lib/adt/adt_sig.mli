@@ -1,0 +1,32 @@
+(** The shape shared by every abstract data type in this library.
+
+    Beyond the sequential specification itself, each ADT supplies the
+    two pieces of semantic information consumed by the baseline
+    protocols of Section 5.1:
+
+    - a {e state-independent commutativity} relation, as used by the
+      locking protocols of Bernstein 81, Korth 81 and Schwarz &
+      Spector 82: two operations commute iff executing them in either
+      order from {e any} state yields the same final state and the same
+      results;
+    - a {e read/write classification}, as used by classical two-phase
+      locking, the coarsest semantic information. *)
+
+open Weihl_event
+
+type rw = Read | Write
+
+module type S = sig
+  module Spec : Weihl_spec.Seq_spec.S
+
+  val spec : Weihl_spec.Seq_spec.t
+  (** [Spec], packed. *)
+
+  val commutes : Operation.t -> Operation.t -> bool
+  (** State-independent commutativity.  Unknown operations commute with
+      nothing. *)
+
+  val classify : Operation.t -> rw
+  (** Read/write classification.  Unknown operations are classified
+      [Write] (the conservative choice). *)
+end

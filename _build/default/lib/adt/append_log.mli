@@ -1,0 +1,16 @@
+(** An append-only log.  [append i] adds a record and answers [ok];
+    [size] answers the record count; [read k] answers the k-th record
+    (0-based) or the symbol [none].
+
+    Appends of different values do not commute (their order is
+    observable through [read]); the log is the minimal object
+    exhibiting the queue's Figure 5-1 phenomenon without removal. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val append : int -> Operation.t
+val size : Operation.t
+val read : int -> Operation.t
+val none_result : Value.t

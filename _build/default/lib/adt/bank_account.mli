@@ -1,0 +1,21 @@
+(** The bank-account object of Section 5.1.
+
+    Operations deposit a sum, withdraw a sum, or examine the balance;
+    the initial balance is zero.  [withdraw] terminates either normally
+    ([ok]), debiting the account, or abnormally ([insufficient_funds])
+    when the balance is too small — the data dependence that lets
+    dynamic atomicity run withdrawals concurrently when the balance
+    covers them all, while state-independent commutativity locking must
+    serialize every withdraw against every deposit and withdraw. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val deposit : int -> Operation.t
+(** @raise Invalid_argument on a negative amount. *)
+
+val withdraw : int -> Operation.t
+(** @raise Invalid_argument on a negative amount. *)
+
+val balance : Operation.t

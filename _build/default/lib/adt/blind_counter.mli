@@ -1,0 +1,14 @@
+(** A blind counter: [bump n] adds [n] and answers [ok] (unlike the
+    Section 4.1 counter, it does not reveal the running total), and
+    [read] answers the total.
+
+    Because bumps are blind they all commute — the statistics-counter
+    shape that data-dependent protocols handle with full concurrency
+    (see [Weihl_cc.Da_counter]). *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val bump : int -> Operation.t
+val read : Operation.t

@@ -1,0 +1,15 @@
+(** The counter object from the optimality proof of Section 4.1.
+
+    Its single operation, [increment], increments the state (initially
+    zero) and returns the resulting value.  Because the returned value
+    exposes the exact position of the invocation in the serial order,
+    a history of committed increments is serializable in {e exactly
+    one} order — the property the proof exploits to force any local
+    atomicity property more permissive than dynamic atomicity into a
+    contradiction. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val increment : Operation.t

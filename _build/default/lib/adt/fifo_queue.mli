@@ -1,0 +1,14 @@
+(** The first-in-first-out queue of Section 5.1, used to show that the
+    scheduler model cannot express dynamic atomicity.
+
+    [enqueue i] appends to the back and answers [ok]; [dequeue] removes
+    the front element and answers it, or answers the symbol [empty]
+    (leaving the queue unchanged) when there is nothing to dequeue. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val enqueue : int -> Operation.t
+val dequeue : Operation.t
+val empty_result : Value.t

@@ -1,0 +1,16 @@
+(** The paper's running example (Section 2): a set of integers with
+    operations to insert an integer, delete an integer, and check for
+    membership; we add [size] for workloads that need an aggregate
+    read.  Initially empty.
+
+    [insert] and [delete] always answer [ok]; [member] answers a
+    boolean; [size] the cardinality. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val insert : int -> Operation.t
+val delete : int -> Operation.t
+val member : int -> Operation.t
+val size : Operation.t

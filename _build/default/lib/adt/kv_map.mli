@@ -1,0 +1,14 @@
+(** A key/value map with integer keys and values — a directory-like
+    object showing that the framework scales past the paper's toy
+    types.  [get] answers the bound value or the symbol [none];
+    [put]/[remove] answer [ok]; [size] counts bindings. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val put : int -> int -> Operation.t
+val get : int -> Operation.t
+val remove : int -> Operation.t
+val size : Operation.t
+val none_result : Value.t

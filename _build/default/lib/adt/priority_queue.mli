@@ -1,0 +1,16 @@
+(** A min-priority queue of integers.  [add] answers [ok];
+    [extract_min] answers and removes the smallest element, or the
+    symbol [empty]; [find_min] answers the smallest without removing.
+
+    Unlike the FIFO queue, adds {e do} commute with each other (the
+    multiset of elements determines the state), so semantic locking
+    already recovers concurrency here; extractions still conflict. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val add : int -> Operation.t
+val extract_min : Operation.t
+val find_min : Operation.t
+val empty_result : Value.t

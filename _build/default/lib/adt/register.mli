@@ -1,0 +1,10 @@
+(** A read/write integer register — the classical object underlying the
+    scheduler-model protocols the paper compares against.  Initially
+    zero. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val read : Operation.t
+val write : int -> Operation.t

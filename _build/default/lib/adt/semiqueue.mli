@@ -1,0 +1,18 @@
+(** A semiqueue: a weakly ordered queue whose [deq] removes and answers
+    {e some} enqueued element, chosen non-deterministically.
+
+    This is the style of object the paper has in mind when it insists
+    that specifications be allowed to be non-deterministic
+    (Section 1): a deterministic FIFO forces dequeues to serialize,
+    while the semiqueue's looseness lets an implementation hand
+    concurrent dequeuers different elements and remain atomic.  Its
+    acceptance check genuinely exercises the state-{e set} semantics of
+    {!Weihl_spec.Seq_spec}. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val enq : int -> Operation.t
+val deq : Operation.t
+val empty_result : Value.t

@@ -1,0 +1,13 @@
+(** A LIFO stack of integers.  [push] answers [ok]; [pop] answers and
+    removes the top element, or the symbol [empty].  The inverse
+    discipline to the FIFO queue: pushes do not commute with each
+    other (the pop order inverts), making it the worst case for
+    commutativity locking. *)
+
+open Weihl_event
+
+include Adt_sig.S
+
+val push : int -> Operation.t
+val pop : Operation.t
+val empty_result : Value.t

@@ -1,0 +1,1 @@
+lib/cc/atomic_object.ml: Fmt Object_id Operation Txn Value Weihl_event Weihl_spec

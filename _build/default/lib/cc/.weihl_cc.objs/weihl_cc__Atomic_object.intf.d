@@ -1,0 +1,1 @@
+lib/cc/atomic_object.mli: Format Object_id Txn Value Weihl_event Weihl_spec

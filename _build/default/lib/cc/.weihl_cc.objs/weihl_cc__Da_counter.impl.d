@@ -1,0 +1,1 @@
+lib/cc/da_counter.ml: Atomic_object Fmt List Obj_log Operation Txn Value Weihl_adt Weihl_event

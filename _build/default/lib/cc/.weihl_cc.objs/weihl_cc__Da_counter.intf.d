@@ -1,0 +1,1 @@
+lib/cc/da_counter.mli: Atomic_object Event_log Object_id Weihl_event

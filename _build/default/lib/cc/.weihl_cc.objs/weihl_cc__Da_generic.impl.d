@@ -1,0 +1,1 @@
+lib/cc/da_generic.ml: Atomic_object Fmt List Obj_log Operation Option Txn Value Weihl_event Weihl_spec

@@ -1,0 +1,1 @@
+lib/cc/da_kv.ml: Atomic_object Fmt Intentions List Obj_log Operation Option Txn Value Weihl_adt Weihl_event

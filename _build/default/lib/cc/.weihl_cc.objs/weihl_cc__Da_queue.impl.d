@@ -1,0 +1,1 @@
+lib/cc/da_queue.ml: Atomic_object Fmt Int List Obj_log Operation Option Txn Value Weihl_adt Weihl_event

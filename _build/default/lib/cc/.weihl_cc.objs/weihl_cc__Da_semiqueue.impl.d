@@ -1,0 +1,1 @@
+lib/cc/da_semiqueue.ml: Atomic_object Fmt List Obj_log Operation Txn Value Weihl_adt Weihl_event

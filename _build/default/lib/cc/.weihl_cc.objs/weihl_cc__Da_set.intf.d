@@ -1,0 +1,1 @@
+lib/cc/da_set.mli: Atomic_object Event_log Object_id Weihl_event

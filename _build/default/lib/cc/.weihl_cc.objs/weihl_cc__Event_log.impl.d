@@ -1,0 +1,1 @@
+lib/cc/event_log.ml: Event History List Weihl_event

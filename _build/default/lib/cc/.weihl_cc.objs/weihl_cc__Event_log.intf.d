@@ -1,0 +1,1 @@
+lib/cc/event_log.mli: Event History Weihl_event

@@ -1,0 +1,1 @@
+lib/cc/hybrid.ml: Atomic_object Fmt Intentions List Obj_log Operation Timestamp Txn Value Weihl_adt Weihl_event Weihl_spec

@@ -1,0 +1,1 @@
+lib/cc/hybrid.mli: Atomic_object Event_log Object_id Operation Weihl_adt Weihl_event Weihl_spec

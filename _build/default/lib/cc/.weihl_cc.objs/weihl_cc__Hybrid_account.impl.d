@@ -1,0 +1,1 @@
+lib/cc/hybrid_account.ml: Atomic_object Fmt List Obj_log Operation Timestamp Txn Value Weihl_adt Weihl_event

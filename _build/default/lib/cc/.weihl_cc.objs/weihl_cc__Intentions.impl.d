@@ -1,0 +1,1 @@
+lib/cc/intentions.ml: Hashtbl List Operation Txn Value Weihl_event Weihl_spec

@@ -1,0 +1,1 @@
+lib/cc/intentions.mli: Operation Txn Value Weihl_event Weihl_spec

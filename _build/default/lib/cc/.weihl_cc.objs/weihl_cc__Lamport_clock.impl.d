@@ -1,0 +1,1 @@
+lib/cc/lamport_clock.ml: Timestamp Weihl_event

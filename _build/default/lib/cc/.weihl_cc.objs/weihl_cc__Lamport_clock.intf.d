@@ -1,0 +1,1 @@
+lib/cc/lamport_clock.mli: Timestamp Weihl_event

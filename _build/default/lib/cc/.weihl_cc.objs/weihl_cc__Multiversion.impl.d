@@ -1,0 +1,1 @@
+lib/cc/multiversion.ml: Atomic_object Fmt Hashtbl Int List Obj_log Operation Option Timestamp Txn Value Weihl_event Weihl_spec

@@ -1,0 +1,1 @@
+lib/cc/obj_log.ml: Event Event_log Hashtbl Object_id Operation Txn Weihl_event

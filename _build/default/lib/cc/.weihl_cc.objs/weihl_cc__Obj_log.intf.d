@@ -1,0 +1,1 @@
+lib/cc/obj_log.mli: Event_log Object_id Operation Txn Value Weihl_event

@@ -1,0 +1,1 @@
+lib/cc/op_locking.ml: Atomic_object Fmt Intentions List Obj_log Operation Txn Weihl_adt Weihl_event

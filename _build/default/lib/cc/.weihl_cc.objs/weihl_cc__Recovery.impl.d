@@ -1,0 +1,1 @@
+lib/cc/recovery.ml: Activity Atomic_object Event Fmt History Int List Notation Object_id Operation Option System Timestamp Txn Value Weihl_event

@@ -1,0 +1,1 @@
+lib/cc/recovery.mli: Activity History Object_id Operation System Value Weihl_event

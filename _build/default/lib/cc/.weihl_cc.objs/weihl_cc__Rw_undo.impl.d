@@ -1,0 +1,1 @@
+lib/cc/rw_undo.ml: Atomic_object Fmt Hashtbl Obj_log Operation Txn Weihl_adt Weihl_event Weihl_spec

@@ -1,0 +1,1 @@
+lib/cc/rw_undo.mli: Atomic_object Event_log Object_id Weihl_adt Weihl_event

@@ -1,0 +1,1 @@
+lib/cc/system.ml: Activity Atomic_object Event_log Fmt Lamport_clock List Object_id Timestamp Txn Waits_for Weihl_event

@@ -1,0 +1,1 @@
+lib/cc/system.mli: Activity Atomic_object Event_log History Lamport_clock Object_id Operation Timestamp Txn Weihl_event

@@ -1,0 +1,1 @@
+lib/cc/txn.ml: Activity Fmt Int List Object_id Timestamp Weihl_event

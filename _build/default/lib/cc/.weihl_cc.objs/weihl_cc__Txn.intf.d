@@ -1,0 +1,1 @@
+lib/cc/txn.mli: Activity Format Object_id Timestamp Weihl_event

@@ -1,0 +1,1 @@
+lib/cc/waits_for.ml: Hashtbl List Txn

@@ -1,0 +1,20 @@
+open Weihl_event
+
+type invoke_result =
+  | Granted of Value.t
+  | Wait of Txn.t list
+  | Refused of string
+
+type t = {
+  id : Object_id.t;
+  spec : Weihl_spec.Seq_spec.t;
+  try_invoke : Txn.t -> Operation.t -> invoke_result;
+  commit : Txn.t -> unit;
+  abort : Txn.t -> unit;
+  initiate : Txn.t -> unit;
+}
+
+let pp_invoke_result ppf = function
+  | Granted v -> Fmt.pf ppf "granted %a" Value.pp v
+  | Wait ts -> Fmt.pf ppf "wait on %a" Fmt.(list ~sep:comma Txn.pp) ts
+  | Refused why -> Fmt.pf ppf "refused (%s)" why

@@ -1,0 +1,45 @@
+(** The interface between transactions and protocol-managed objects.
+
+    Each local atomicity property is realised by objects implementing
+    this interface; the protocol lives entirely inside the object, as
+    the paper's modularity argument demands (Section 1: synchronization
+    and recovery "should be encapsulated within the implementation of
+    each data object").
+
+    Invocations are non-blocking at the interface: an operation either
+    terminates ([Granted]), must wait ([Wait], naming the transactions
+    blocking it so the caller can build a waits-for graph), or requires
+    the invoking transaction to abort ([Refused] — e.g. a timestamp
+    conflict under Reed's protocol).  Callers retry [Wait]ed
+    invocations after some blocking transaction completes. *)
+
+open Weihl_event
+
+type invoke_result =
+  | Granted of Value.t
+  | Wait of Txn.t list
+      (** Blocked on the listed (active) transactions. *)
+  | Refused of string
+      (** The protocol requires the invoker to abort; the string
+          explains why. *)
+
+type t = {
+  id : Object_id.t;
+  spec : Weihl_spec.Seq_spec.t;
+  try_invoke : Txn.t -> Weihl_event.Operation.t -> invoke_result;
+      (** Attempt (or re-attempt) the transaction's pending operation.
+          The first attempt logs the invocation event; the granting
+          attempt logs the termination event. *)
+  commit : Txn.t -> unit;
+      (** Commit the transaction at this object; logs the commit event
+          (with the transaction's commit timestamp, if set). *)
+  abort : Txn.t -> unit;
+      (** Abort the transaction at this object, discarding its effects;
+          logs the abort event. *)
+  initiate : Txn.t -> unit;
+      (** Called once before the transaction's first invocation at this
+          object; protocols that timestamp initiations log the
+          initiation event here (others ignore it). *)
+}
+
+val pp_invoke_result : Format.formatter -> invoke_result -> unit

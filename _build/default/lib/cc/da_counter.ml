@@ -1,0 +1,68 @@
+open Weihl_event
+module Counter = Weihl_adt.Blind_counter
+
+type pending = {
+  txn : Txn.t;
+  mutable delta : int;
+  mutable read_claim : bool;
+  mutable bumped : bool;
+}
+
+type state = { mutable committed : int; mutable pendings : pending list }
+
+let pending_for st txn =
+  match List.find_opt (fun p -> Txn.equal p.txn txn) st.pendings with
+  | Some p -> p
+  | None ->
+    let p = { txn; delta = 0; read_claim = false; bumped = false } in
+    st.pendings <- p :: st.pendings;
+    p
+
+let others st txn = List.filter (fun p -> not (Txn.equal p.txn txn)) st.pendings
+
+let make log id : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let st = { committed = 0; pendings = [] } in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    match (Operation.name op, Operation.args op) with
+    | "bump", [ Value.Int n ] -> (
+      match
+        List.filter (fun p -> p.read_claim) (others st txn)
+      with
+      | _ :: _ as readers ->
+        Atomic_object.Wait (List.map (fun p -> p.txn) readers)
+      | [] ->
+        let p = pending_for st txn in
+        p.delta <- p.delta + n;
+        p.bumped <- true;
+        Obj_log.responded olog txn Value.ok;
+        Atomic_object.Granted Value.ok)
+    | "read", [] -> (
+      match List.filter (fun p -> p.bumped) (others st txn) with
+      | _ :: _ as bumpers ->
+        Atomic_object.Wait (List.map (fun p -> p.txn) bumpers)
+      | [] ->
+        let p = pending_for st txn in
+        p.read_claim <- true;
+        let total = st.committed + p.delta in
+        Obj_log.responded olog txn (Value.Int total);
+        Atomic_object.Granted (Value.Int total))
+    | _ ->
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused
+        (Fmt.str "blind counter: unknown operation %a" Operation.pp op)
+  in
+  let commit txn =
+    (match List.find_opt (fun p -> Txn.equal p.txn txn) st.pendings with
+    | Some p -> st.committed <- st.committed + p.delta
+    | None -> ());
+    st.pendings <- others st txn;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    st.pendings <- others st txn;
+    Obj_log.aborted olog txn
+  in
+  { id; spec = Counter.spec; try_invoke; commit; abort;
+    initiate = (fun _ -> ()) }

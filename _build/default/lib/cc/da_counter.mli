@@ -1,0 +1,12 @@
+(** A dynamic-atomic blind counter (statistics counter).
+
+    [bump n] operations commute with each other, so every bump is
+    granted immediately; [read] must be definite in every serialization
+    order, so it waits for other transactions' pending bumps and then
+    holds a read claim that delays later bumps until the reader
+    completes (the same discipline as the escrow account's
+    [balance]). *)
+
+open Weihl_event
+
+val make : Event_log.t -> Object_id.t -> Atomic_object.t

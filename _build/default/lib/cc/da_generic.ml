@@ -1,0 +1,227 @@
+open Weihl_event
+module Seq_spec = Weihl_spec.Seq_spec
+
+type entry = {
+  txn : Txn.t;
+  mutable ops : (Operation.t * Value.t) list; (* granted, oldest first *)
+  mutable last_resp : int; (* object-local logical time *)
+  mutable commit_time : int option;
+}
+
+type state = {
+  mutable entries : entry list;
+  mutable base : Seq_spec.frontier;
+      (* the folded prefix: committed transactions pinned before every
+         other live transaction, already applied *)
+  mutable clock : int;
+  max_serializations : int;
+}
+
+let tick st =
+  st.clock <- st.clock + 1;
+  st.clock
+
+let entry_for st txn =
+  match List.find_opt (fun e -> Txn.equal e.txn txn) st.entries with
+  | Some e -> e
+  | None ->
+    let e = { txn; ops = []; last_resp = 0; commit_time = None } in
+    st.entries <- e :: st.entries;
+    e
+
+let is_committed e = Option.is_some e.commit_time
+let is_active e = (not (is_committed e)) && Txn.is_active e.txn
+
+(* Object-local precedes pin: x must precede y. *)
+let pinned_before x y =
+  match x.commit_time with
+  | Some t -> y.last_resp > t
+  | None -> false
+
+exception Too_many
+
+(* All orders of [items] consistent with the pins, bounded.  The
+   requester is additionally pinned after every committed transaction:
+   the response being evaluated happens *now*, after their commits, so
+   granting it puts those pairs into [precedes]. *)
+let serializations limit items ~requester =
+  let pinned x y =
+    pinned_before x y
+    || (is_committed x && Txn.equal y.txn requester)
+  in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec go prefix remaining =
+    match remaining with
+    | [] ->
+      incr count;
+      if !count > limit then raise Too_many;
+      acc := List.rev prefix :: !acc
+    | _ ->
+      List.iter
+        (fun e ->
+          if
+            not
+              (List.exists
+                 (fun e' -> (not (e == e')) && pinned e' e)
+                 remaining)
+          then
+            go (e :: prefix) (List.filter (fun e' -> not (e == e')) remaining))
+        remaining
+  in
+  go [] items;
+  !acc
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let s = subsets rest in
+    s @ List.map (fun sub -> x :: sub) s
+
+(* Evaluate one serialization: replay every block's recorded results in
+   order, with [probe] appended to the requester's block.  A candidate
+   result for the probe is valid in this order only if the recorded
+   results of every transaction serialized *after* the requester still
+   replay on top of the probe's effect.  Returns the valid results, or
+   None if the recorded results fail to replay even without the probe
+   (a protocol bug for sound grants). *)
+let results_in_order base order ~requester ~probe =
+  let rec replay frontier = function
+    | [] -> Some frontier
+    | (op, res) :: rest -> (
+      match Seq_spec.advance frontier op res with
+      | None -> None
+      | Some f -> replay f rest)
+  in
+  let rec split before = function
+    | [] -> (List.rev before, [])
+    | e :: rest ->
+      if Txn.equal e.txn requester then (List.rev (e :: before), rest)
+      else split (e :: before) rest
+  in
+  let before, after = split [] order in
+  let before_ops = List.concat_map (fun e -> e.ops) before in
+  let after_ops = List.concat_map (fun e -> e.ops) after in
+  match replay base before_ops with
+  | None -> None
+  | Some frontier ->
+    let valid =
+      List.filter_map
+        (fun (r, f') ->
+          match replay f' after_ops with
+          | Some _ -> Some r
+          | None -> None)
+        (Seq_spec.outcomes frontier probe)
+    in
+    Some valid
+
+(* Fold committed transactions that are pinned before every other
+   transaction with recorded work into the base frontier: they come
+   first in every serialization, so their effect is settled.  This
+   keeps the live-entry count proportional to the degree of
+   concurrency instead of the length of the run. *)
+let rec fold_settled st =
+  let live_blockers e =
+    List.exists
+      (fun e' -> (not (e == e')) && e'.ops <> [] && not (pinned_before e e'))
+      st.entries
+  in
+  match
+    List.find_opt
+      (fun e -> is_committed e && e.ops <> [] && not (live_blockers e))
+      st.entries
+  with
+  | None -> ()
+  | Some e ->
+    let folded =
+      List.fold_left
+        (fun f (op, res) ->
+          match f with
+          | None -> None
+          | Some f -> Seq_spec.advance f op res)
+        (Some st.base) e.ops
+    in
+    (match folded with
+    | Some f -> st.base <- f
+    | None -> invalid_arg "Da_generic: settled prefix no longer replays");
+    st.entries <- List.filter (fun e' -> not (e == e')) st.entries;
+    fold_settled st
+
+let make ?(max_serializations = 2000) log id spec : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let st =
+    { entries = []; base = Seq_spec.start spec; clock = 0; max_serializations }
+  in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    fold_settled st;
+    let own = entry_for st txn in
+    let known =
+      List.filter (fun e -> is_committed e || is_active e) st.entries
+    in
+    let committed, active = List.partition is_committed known in
+    let other_active =
+      List.filter (fun e -> not (Txn.equal e.txn txn)) active
+    in
+    (* Candidate results: those permissible in EVERY serialization of
+       every subset of the other active transactions. *)
+    let intersection = ref None in
+    let blocked = ref false in
+    (try
+       List.iter
+         (fun subset ->
+           let items = committed @ (own :: subset) in
+           List.iter
+             (fun order ->
+               match
+                 results_in_order st.base order ~requester:txn ~probe:op
+               with
+               | None ->
+                 (* Recorded results failed to replay in this order —
+                    cannot happen for sound grants; treat as fatal. *)
+                 invalid_arg "Da_generic: recorded results no longer replay"
+               | Some results ->
+                 let keep =
+                   match !intersection with
+                   | None -> results
+                   | Some current ->
+                     List.filter
+                       (fun r -> List.exists (Value.equal r) results)
+                       current
+                 in
+                 intersection := Some keep)
+             (serializations st.max_serializations items ~requester:txn))
+         (subsets other_active)
+     with Too_many -> blocked := true);
+    if !blocked then
+      Atomic_object.Wait (List.map (fun e -> e.txn) other_active)
+    else
+      match !intersection with
+      | Some (r :: _) ->
+        own.ops <- own.ops @ [ (op, r) ];
+        own.last_resp <- tick st;
+        Obj_log.responded olog txn r;
+        Atomic_object.Granted r
+      | Some [] | None ->
+        if other_active = [] then begin
+          Obj_log.dropped olog txn;
+          Atomic_object.Refused
+            (Fmt.str
+               "no result for %a is valid in every serialization order"
+               Operation.pp op)
+        end
+        else Atomic_object.Wait (List.map (fun e -> e.txn) other_active)
+  in
+  let commit txn =
+    (match List.find_opt (fun e -> Txn.equal e.txn txn) st.entries with
+    | Some e -> e.commit_time <- Some (tick st)
+    | None -> ());
+    fold_settled st;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    st.entries <- List.filter (fun e -> not (Txn.equal e.txn txn)) st.entries;
+    fold_settled st;
+    Obj_log.aborted olog txn
+  in
+  { id; spec; try_invoke; commit; abort; initiate = (fun _ -> ()) }

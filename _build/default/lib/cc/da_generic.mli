@@ -1,0 +1,37 @@
+(** A reference implementation of dynamic atomicity for {e any}
+    sequential specification, by direct quantification over
+    serialization orders.
+
+    The paper defines dynamic atomicity as a property of an object's
+    specification; the bespoke objects in this library
+    ({!Escrow_account}, {!Da_set}, {!Da_queue}, …) realize it with
+    hand-derived, constant-time conflict rules.  This object realizes
+    it {e by definition}: an operation is granted result [r] only if
+    {e every} serialization of the transactions seen so far — every
+    subset of the active transactions (they may yet abort), in every
+    order consistent with the object-local [precedes] pins — replays
+    all previously granted results and permits [r].
+
+    Because new transactions are always checked against the granted
+    results already on the books, a grant can never be invalidated
+    later: the rule is self-protecting, and every generated history is
+    dynamic atomic.  When no single result is valid in every
+    serialization, the invoker waits (other active transactions may
+    resolve the ambiguity) or, if the ambiguity is already committed
+    and permanent, is refused.
+
+    The price is exponential work in the number of concurrently known
+    transactions, bounded by [max_serializations]; past the bound the
+    object conservatively makes the invoker wait.  Use it as an oracle
+    in tests and ablations, or for low-concurrency objects whose
+    semantics defeat hand analysis. *)
+
+open Weihl_event
+
+val make :
+  ?max_serializations:int ->
+  Event_log.t ->
+  Object_id.t ->
+  Weihl_spec.Seq_spec.t ->
+  Atomic_object.t
+(** [max_serializations] default 2000. *)

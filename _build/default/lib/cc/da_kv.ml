@@ -1,0 +1,78 @@
+open Weihl_event
+module Map_adt = Weihl_adt.Kv_map
+
+let key op =
+  match Operation.args op with Value.Int k :: _ -> Some k | _ -> None
+
+let put_value op =
+  match Operation.args op with
+  | [ Value.Int _; v ] -> Some v
+  | _ -> None
+
+(* May [q] invalidate the granted pair (p, rp) when serialized on the
+   other side of it? *)
+let one_way (p, rp) (q, _rq) =
+  match (Operation.name p, Operation.name q) with
+  | "get", ("put" | "remove") -> (
+    match (key p, key q) with
+    | Some k, Some k' when k <> k' -> true
+    | _ -> (
+      match Operation.name q with
+      | "put" ->
+        (* put(k,v) leaves a get(k)->v answer intact. *)
+        Option.fold ~none:false ~some:(Value.equal rp) (put_value q)
+      | _ ->
+        (* remove(k) leaves a get(k)->none answer intact. *)
+        Value.equal rp Map_adt.none_result))
+  | "get", ("get" | "size") | "size", ("get" | "size") -> true
+  | "size", ("put" | "remove") -> false
+  | ("put" | "remove"), ("put" | "remove") -> (
+    match (key p, key q) with
+    | Some k, Some k' when k <> k' -> true
+    | _ ->
+      (* Same key: only identical operations commute. *)
+      Operation.equal p q)
+  | ("put" | "remove"), ("get" | "size") -> true
+  | _ -> false
+
+let compatible a b = one_way a b && one_way b a
+
+let make log id : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let store = Intentions.create Map_adt.spec in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    match Intentions.peek store txn op with
+    | None ->
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused
+        (Fmt.str "kv map: operation %a has no permissible outcome"
+           Operation.pp op)
+    | Some res -> (
+      let blockers =
+        List.filter_map
+          (fun (holder, held) ->
+            if Txn.equal holder txn then None
+            else if
+              List.exists (fun hr -> not (compatible (op, res) hr)) held
+            then Some holder
+            else None)
+          (Intentions.active store)
+      in
+      match blockers with
+      | _ :: _ -> Atomic_object.Wait blockers
+      | [] ->
+        let res' = Option.get (Intentions.execute store txn op) in
+        Obj_log.responded olog txn res';
+        Atomic_object.Granted res')
+  in
+  let commit txn =
+    Intentions.commit store txn;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    Intentions.abort store txn;
+    Obj_log.aborted olog txn
+  in
+  { id; spec = Map_adt.spec; try_invoke; commit; abort;
+    initiate = (fun _ -> ()) }

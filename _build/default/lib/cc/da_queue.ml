@@ -1,0 +1,209 @@
+open Weihl_event
+module Queue_spec = Weihl_adt.Fifo_queue
+
+(* Per-transaction bookkeeping.  [clock] times are object-local logical
+   instants used to compute the pins of the local precedes relation:
+   transaction [y] is pinned after [x] iff [x] committed before some
+   response of [y] at this object. *)
+type entry = {
+  txn : Txn.t;
+  mutable enq : int list; (* granted enqueues, oldest first *)
+  mutable deq : int; (* granted (tentative) dequeues *)
+  mutable last_resp : int; (* local time of latest response *)
+  mutable commit_time : int option;
+  mutable empty_claim : bool;
+}
+
+type state = {
+  mutable entries : entry list; (* committed and active *)
+  mutable consumed : int; (* dequeues installed by committed txns *)
+  mutable clock : int;
+  max_extensions : int;
+}
+
+let tick st =
+  st.clock <- st.clock + 1;
+  st.clock
+
+let entry_for st txn =
+  match List.find_opt (fun e -> Txn.equal e.txn txn) st.entries with
+  | Some e -> e
+  | None ->
+    let e =
+      { txn; enq = []; deq = 0; last_resp = 0; commit_time = None;
+        empty_claim = false }
+    in
+    st.entries <- e :: st.entries;
+    e
+
+let others st txn = List.filter (fun e -> not (Txn.equal e.txn txn)) st.entries
+let is_committed e = Option.is_some e.commit_time
+let is_active e = (not (is_committed e)) && Txn.is_active e.txn
+
+(* [pinned_before x y]: must x precede y in every serialization?  True
+   iff x committed before some response of y. *)
+let pinned_before x y =
+  match x.commit_time with
+  | Some t -> y.last_resp > t
+  | None -> false
+
+(* All flattened value sequences reachable by serializing [items]
+   (each an entry with a nonempty enqueue list) consistently with the
+   pins.  Bounded by [limit]; [None] when the bound is hit. *)
+let flatten_extensions limit items =
+  let exception Too_many in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec go prefix remaining =
+    match remaining with
+    | [] ->
+      incr count;
+      if !count > limit then raise Too_many;
+      acc := List.rev prefix :: !acc
+    | _ ->
+      let minimal =
+        List.filter
+          (fun e ->
+            not
+              (List.exists
+                 (fun e' -> (not (e == e')) && pinned_before e' e)
+                 remaining))
+          remaining
+      in
+      List.iter
+        (fun e ->
+          let rest = List.filter (fun e' -> not (e == e')) remaining in
+          go (List.rev_append e.enq prefix) rest)
+        minimal
+  in
+  match go [] items with
+  | () -> Some !acc
+  | exception Too_many -> None
+
+(* Enumerate the subsets of [active] items (active transactions may yet
+   abort, removing their elements from every serialization). *)
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let s = subsets rest in
+    s @ List.map (fun sub -> x :: sub) s
+
+let nth_opt_all sequences idx =
+  (* If every sequence agrees on positions 0..idx, return that common
+     value ([Some (Some v)]); if every sequence ends at or before idx
+     (and they agree on the shorter prefix... emptiness), return
+     [Some None]; on any disagreement, [None]. *)
+  let prefix seq = List.filteri (fun i _ -> i <= idx) seq in
+  match sequences with
+  | [] -> Some None
+  | first :: rest ->
+    let p0 = prefix first in
+    if List.for_all (fun s -> List.equal Int.equal (prefix s) p0) rest then
+      if List.length p0 > idx then Some (List.nth_opt p0 idx)
+      else Some None
+    else None
+
+let make ?(max_extensions = 500) log id : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let st =
+    { entries = []; consumed = 0; clock = 0; max_extensions }
+  in
+  let grant txn res finish =
+    let e = entry_for st txn in
+    finish e;
+    e.last_resp <- tick st;
+    Obj_log.responded olog txn res;
+    Atomic_object.Granted res
+  in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    match (Operation.name op, Operation.args op) with
+    | "enqueue", [ Value.Int v ] -> (
+      match
+        List.filter (fun e -> is_active e && e.empty_claim) (others st txn)
+      with
+      | _ :: _ as claimants ->
+        Atomic_object.Wait (List.map (fun e -> e.txn) claimants)
+      | [] -> grant txn Value.ok (fun e -> e.enq <- e.enq @ [ v ]))
+    | "dequeue", [] -> (
+      (* One tentative dequeuer at a time: another's tentative
+         consumption makes our position ambiguous until it resolves. *)
+      match
+        List.filter (fun e -> is_active e && e.deq > 0) (others st txn)
+      with
+      | _ :: _ as dequeuers ->
+        Atomic_object.Wait (List.map (fun e -> e.txn) dequeuers)
+      | [] -> (
+        let own = entry_for st txn in
+        let idx = st.consumed + own.deq in
+        let items =
+          List.filter
+            (fun e ->
+              e.enq <> [] && (is_committed e || is_active e))
+            st.entries
+        in
+        let committed_items, active_items =
+          List.partition is_committed items
+        in
+        (* Our own tentative enqueues are always present in our
+           serializations. *)
+        let own_items, other_active =
+          List.partition (fun e -> Txn.equal e.txn txn) active_items
+        in
+        let candidate_sequences =
+          List.fold_left
+            (fun acc subset ->
+              match acc with
+              | None -> None
+              | Some seqs -> (
+                match
+                  flatten_extensions st.max_extensions
+                    (committed_items @ own_items @ subset)
+                with
+                | None -> None
+                | Some s -> Some (List.rev_append s seqs)))
+            (Some []) (subsets other_active)
+        in
+        match candidate_sequences with
+        | None ->
+          (* Bound exceeded: wait for the active transactions to
+             resolve. *)
+          Atomic_object.Wait
+            (List.map (fun e -> e.txn) other_active)
+        | Some seqs -> (
+          match nth_opt_all seqs idx with
+          | Some (Some v) ->
+            grant txn (Value.Int v) (fun e -> e.deq <- e.deq + 1)
+          | Some None ->
+            (* Empty in every serialization; claim emptiness so later
+               enqueuers cannot invalidate the answer. *)
+            grant txn Queue_spec.empty_result (fun e ->
+                e.empty_claim <- true)
+          | None ->
+            if other_active = [] then
+              Atomic_object.Refused
+                "dequeue: front value differs across serialization orders"
+            else
+              Atomic_object.Wait
+                (List.map (fun e -> e.txn) other_active))))
+    | _ ->
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused
+        (Fmt.str "fifo queue: unknown operation %a" Operation.pp op)
+  in
+  let commit txn =
+    (match List.find_opt (fun e -> Txn.equal e.txn txn) st.entries with
+    | Some e ->
+      e.commit_time <- Some (tick st);
+      e.empty_claim <- false;
+      st.consumed <- st.consumed + e.deq;
+      e.deq <- 0
+    | None -> ());
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    st.entries <- others st txn;
+    Obj_log.aborted olog txn
+  in
+  { id; spec = Queue_spec.spec; try_invoke; commit; abort;
+    initiate = (fun _ -> ()) }

@@ -1,0 +1,30 @@
+(** A dynamic-atomic FIFO queue — the object behind the Figure 5-1
+    separation from the scheduler model.
+
+    Enqueues are buffered per transaction and become visible atomically
+    at commit, so concurrent enqueuers never conflict.  The relative
+    order of two enqueuers is pinned only when [precedes] pins it (one
+    committed before the other invoked a response); otherwise both
+    serialization orders remain possible, exactly as dynamic atomicity
+    demands.
+
+    A dequeue is therefore granted only when the value at the next
+    queue position is the {e same in every serialization order
+    consistent with the pins} — the paper's interleaving, where two
+    activities concurrently enqueue the equal sequences [1;2] and
+    [1;2], is granted, while an interleaving whose orders disagree on
+    the front is refused (if the ambiguity is already committed and
+    permanent) or waited out (if an active transaction may still
+    resolve it).
+
+    A dequeue that answers [empty] claims emptiness: later enqueues by
+    other transactions wait until the claimant completes, preserving
+    serializability of the [empty] answer in every consistent order. *)
+
+open Weihl_event
+
+val make :
+  ?max_extensions:int -> Event_log.t -> Object_id.t -> Atomic_object.t
+(** [max_extensions] caps the number of serialization orders examined
+    per dequeue (default 500); past the cap the object conservatively
+    waits on the active transactions involved. *)

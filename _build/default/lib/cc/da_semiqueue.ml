@@ -1,0 +1,104 @@
+open Weihl_event
+module Sq = Weihl_adt.Semiqueue
+
+type pending = {
+  txn : Txn.t;
+  mutable enqueued : int list; (* tentative, not yet dequeueable *)
+  mutable taken : int list; (* committed elements tentatively dequeued *)
+  mutable empty_claim : bool;
+}
+
+type state = {
+  mutable committed : int list; (* multiset of available elements *)
+  mutable pendings : pending list;
+}
+
+let pending_for st txn =
+  match List.find_opt (fun p -> Txn.equal p.txn txn) st.pendings with
+  | Some p -> p
+  | None ->
+    let p = { txn; enqueued = []; taken = []; empty_claim = false } in
+    st.pendings <- p :: st.pendings;
+    p
+
+let others st txn = List.filter (fun p -> not (Txn.equal p.txn txn)) st.pendings
+
+let remove_one v l =
+  let rec go = function
+    | [] -> []
+    | w :: rest -> if w = v then rest else w :: go rest
+  in
+  go l
+
+let make log id : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let st = { committed = []; pendings = [] } in
+  let grant txn res update =
+    let p = pending_for st txn in
+    update p;
+    Obj_log.responded olog txn res;
+    Atomic_object.Granted res
+  in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    match (Operation.name op, Operation.args op) with
+    | "enq", [ Value.Int v ] -> (
+      match
+        List.filter (fun p -> p.empty_claim && Txn.is_active p.txn)
+          (others st txn)
+      with
+      | _ :: _ as claimants ->
+        Atomic_object.Wait (List.map (fun p -> p.txn) claimants)
+      | [] -> grant txn Value.ok (fun p -> p.enqueued <- v :: p.enqueued))
+    | "deq", [] -> (
+      let own = pending_for st txn in
+      match st.committed with
+      | v :: _ ->
+        (* Take a committed element; it leaves the available pool so no
+           other dequeuer can also answer it. *)
+        grant txn (Value.Int v) (fun p ->
+            st.committed <- remove_one v st.committed;
+            p.taken <- v :: p.taken)
+      | [] -> (
+        match own.enqueued with
+        | v :: _ ->
+          (* Consume one of our own tentative elements: net zero. *)
+          grant txn (Value.Int v) (fun p ->
+              p.enqueued <- remove_one v p.enqueued)
+        | [] -> (
+          (* Nothing certainly available.  If other active transactions
+             hold tentative elements — or tentatively taken ones, which
+             their abort would return — the outcome depends on them. *)
+          match
+            List.filter
+              (fun p ->
+                (p.enqueued <> [] || p.taken <> []) && Txn.is_active p.txn)
+              (others st txn)
+          with
+          | _ :: _ as suppliers ->
+            Atomic_object.Wait (List.map (fun p -> p.txn) suppliers)
+          | [] ->
+            grant txn Sq.empty_result (fun p -> p.empty_claim <- true))))
+    | _ ->
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused
+        (Fmt.str "semiqueue: unknown operation %a" Operation.pp op)
+  in
+  let commit txn =
+    (match List.find_opt (fun p -> Txn.equal p.txn txn) st.pendings with
+    | Some p ->
+      (* Tentative enqueues become available; taken elements are gone
+         for good. *)
+      st.committed <- p.enqueued @ st.committed
+    | None -> ());
+    st.pendings <- others st txn;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    (match List.find_opt (fun p -> Txn.equal p.txn txn) st.pendings with
+    | Some p -> st.committed <- p.taken @ st.committed
+    | None -> ());
+    st.pendings <- others st txn;
+    Obj_log.aborted olog txn
+  in
+  { id; spec = Sq.spec; try_invoke; commit; abort; initiate = (fun _ -> ()) }

@@ -1,0 +1,22 @@
+(** A dynamic-atomic semiqueue: the paper's argument that
+    non-determinism buys concurrency (Section 1), as a protocol.
+
+    The semiqueue's [deq] may answer {e any} enqueued element, so —
+    unlike the FIFO queue, whose dequeuers must serialize — several
+    transactions can dequeue concurrently: each takes a distinct
+    committed element, and every serialization order justifies every
+    answer.  Rules:
+
+    - [enq] is always granted (multiset insertion commutes); elements
+      become dequeueable when their enqueuer commits;
+    - [deq] takes any committed element not already taken by an active
+      transaction, or one of the caller's own tentative elements; if
+      only other transactions' uncommitted elements remain it waits,
+      and if the queue is certainly empty it answers [empty] while
+      claiming emptiness (later enqueuers wait until the claimant
+      completes, as with the FIFO queue);
+    - abort returns taken elements and discards tentative ones. *)
+
+open Weihl_event
+
+val make : Event_log.t -> Object_id.t -> Atomic_object.t

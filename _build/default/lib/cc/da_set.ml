@@ -1,0 +1,70 @@
+open Weihl_event
+module Set_adt = Weihl_adt.Intset
+
+let element op =
+  match Operation.args op with [ Value.Int i ] -> Some i | _ -> None
+
+(* Compatibility of two granted (operation, result) pairs held by
+   distinct active transactions: may they serialize in either order
+   with both results unchanged?  The relation is symmetric; [one_way]
+   checks whether [q] (held or incoming) can invalidate [p]. *)
+let one_way (p, rp) (q, _rq) =
+  match (Operation.name p, Operation.name q) with
+  | "member", ("insert" | "delete") -> (
+    match (element p, element q, rp) with
+    | Some i, Some j, _ when i <> j -> true
+    | _, _, Value.Bool true -> Operation.name q = "insert"
+    | _, _, Value.Bool false -> Operation.name q = "delete"
+    | _ -> false)
+  | "member", ("member" | "size") -> true
+  | "size", ("member" | "size") -> true
+  | "size", ("insert" | "delete") -> false
+  | "insert", "insert" | "delete", "delete" -> true
+  | ("insert" | "delete"), ("insert" | "delete") -> (
+    match (element p, element q) with
+    | Some i, Some j -> i <> j
+    | _ -> false)
+  | ("insert" | "delete"), ("member" | "size") -> true
+  | _ -> false
+
+let compatible a b = one_way a b && one_way b a
+
+let make log id : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let store = Intentions.create Set_adt.spec in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    match Intentions.peek store txn op with
+    | None ->
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused
+        (Fmt.str "intset: operation %a has no permissible outcome"
+           Operation.pp op)
+    | Some res -> (
+      let blockers =
+        List.filter_map
+          (fun (holder, held) ->
+            if Txn.equal holder txn then None
+            else if
+              List.exists (fun hr -> not (compatible (op, res) hr)) held
+            then Some holder
+            else None)
+          (Intentions.active store)
+      in
+      match blockers with
+      | _ :: _ -> Atomic_object.Wait blockers
+      | [] ->
+        let res' = Option.get (Intentions.execute store txn op) in
+        Obj_log.responded olog txn res';
+        Atomic_object.Granted res')
+  in
+  let commit txn =
+    Intentions.commit store txn;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    Intentions.abort store txn;
+    Obj_log.aborted olog txn
+  in
+  { id; spec = Set_adt.spec; try_invoke; commit; abort;
+    initiate = (fun _ -> ()) }

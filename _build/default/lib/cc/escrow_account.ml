@@ -1,0 +1,110 @@
+open Weihl_event
+module Account = Weihl_adt.Bank_account
+
+type pending = {
+  txn : Txn.t;
+  mutable debits : int; (* sum of granted withdrawals *)
+  mutable credits : int; (* sum of granted deposits *)
+  mutable insufficient : bool;
+      (* holds an insufficient_funds answer: the balance must not be
+         raised by others until this transaction completes *)
+  mutable read_balance : bool;
+      (* holds a balance answer: the balance must not change at all *)
+  mutable ops : (Operation.t * Value.t) list; (* newest first *)
+}
+
+type state = {
+  mutable committed : int;
+  mutable pendings : pending list;
+}
+
+let pending_for st txn =
+  match List.find_opt (fun p -> Txn.equal p.txn txn) st.pendings with
+  | Some p -> p
+  | None ->
+    let p =
+      { txn; debits = 0; credits = 0; insufficient = false;
+        read_balance = false; ops = [] }
+    in
+    st.pendings <- p :: st.pendings;
+    p
+
+let others st txn = List.filter (fun p -> not (Txn.equal p.txn txn)) st.pendings
+
+(* Balance floor/ceiling over all completions of the *other* active
+   transactions, as seen by [txn] (its own updates always apply). *)
+let bounds st txn =
+  let own = pending_for st txn in
+  let base = st.committed - own.debits + own.credits in
+  List.fold_left
+    (fun (low, high) p -> (low - p.debits, high + p.credits))
+    (base, base) (others st txn)
+
+let has_updates p = p.debits > 0 || p.credits > 0
+
+let make log id : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let st = { committed = 0; pendings = [] } in
+  let grant txn op res update =
+    let p = pending_for st txn in
+    update p;
+    p.ops <- (op, res) :: p.ops;
+    Obj_log.responded olog txn res;
+    Atomic_object.Granted res
+  in
+  let blockers_of pred txn =
+    List.filter_map
+      (fun p -> if pred p then Some p.txn else None)
+      (others st txn)
+  in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    let low, high = bounds st txn in
+    match (Operation.name op, Operation.args op) with
+    | "deposit", [ Value.Int n ] when n >= 0 -> (
+      (* Raising the balance would invalidate an outstanding
+         insufficient_funds answer; any change invalidates an
+         outstanding balance answer. *)
+      match blockers_of (fun p -> p.insufficient || p.read_balance) txn with
+      | _ :: _ as bs -> Atomic_object.Wait bs
+      | [] -> grant txn op Value.ok (fun p -> p.credits <- p.credits + n))
+    | "withdraw", [ Value.Int n ] when n >= 0 ->
+      if low >= n then (
+        (* Covered in every completion of the other active
+           transactions; only an outstanding balance answer forbids
+           changing the balance. *)
+        match blockers_of (fun p -> p.read_balance) txn with
+        | _ :: _ as bs -> Atomic_object.Wait bs
+        | [] -> grant txn op Value.ok (fun p -> p.debits <- p.debits + n))
+      else if high < n then
+        (* Uncovered in every completion.  The answer changes no state,
+           so it cannot invalidate an outstanding balance answer; it
+           does constrain future deposits (see above). *)
+        grant txn op Value.insufficient_funds (fun p -> p.insufficient <- true)
+      else
+        (* The outcome depends on which active updates commit. *)
+        Atomic_object.Wait (blockers_of has_updates txn)
+    | "balance", [] -> (
+      match blockers_of has_updates txn with
+      | _ :: _ as bs -> Atomic_object.Wait bs
+      | [] ->
+        (* low = high = committed adjusted by our own updates. *)
+        grant txn op (Value.Int low) (fun p -> p.read_balance <- true))
+    | _ ->
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused
+        (Fmt.str "escrow account: unknown operation %a" Operation.pp op)
+  in
+  let commit txn =
+    (match List.find_opt (fun p -> Txn.equal p.txn txn) st.pendings with
+    | Some p -> st.committed <- st.committed - p.debits + p.credits
+    | None -> ());
+    st.pendings <- others st txn;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    st.pendings <- others st txn;
+    Obj_log.aborted olog txn
+  in
+  { id; spec = Account.spec; try_invoke; commit; abort;
+    initiate = (fun _ -> ()) }

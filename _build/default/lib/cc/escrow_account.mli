@@ -1,0 +1,25 @@
+(** A dynamic-atomic bank account using escrow-style data-dependent
+    synchronization — the object realizing the extra concurrency of
+    Section 5.1.
+
+    The object tracks the committed balance together with the
+    uncommitted debits and credits of active transactions, maintaining
+    the interval [low, high] of balances reachable by completing the
+    active transactions in any order:
+
+    - [deposit n] always proceeds (deposits commute);
+    - [withdraw n] answers [ok] when [low >= n] (every serialization
+      covers it), answers [insufficient_funds] when [high < n] (no
+      serialization covers it), and otherwise waits — its outcome
+      depends on which active transactions commit;
+    - [balance] waits until no other transaction has uncommitted
+      updates, then answers the committed balance adjusted by the
+      reader's own updates.
+
+    Every history this object generates is dynamic atomic; in
+    particular it grants the two Section 5.1 interleavings that
+    commutativity locking refuses. *)
+
+open Weihl_event
+
+val make : Event_log.t -> Object_id.t -> Atomic_object.t

@@ -1,0 +1,9 @@
+open Weihl_event
+
+type t = { mutable events : Event.t list (* newest first *) }
+
+let create () = { events = [] }
+let record t e = t.events <- e :: t.events
+let history t = History.of_list (List.rev t.events)
+let length t = List.length t.events
+let clear t = t.events <- []

@@ -1,0 +1,16 @@
+(** A shared, append-only event log.
+
+    Every object of a system appends its events to the same log, so the
+    log is a faithful observation (in the paper's sense, Section 2) of
+    the computation the protocols produced.  Tests replay logs through
+    the checkers of [Weihl_spec.Atomicity]. *)
+
+open Weihl_event
+
+type t
+
+val create : unit -> t
+val record : t -> Event.t -> unit
+val history : t -> History.t
+val length : t -> int
+val clear : t -> unit

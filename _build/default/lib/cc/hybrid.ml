@@ -1,0 +1,106 @@
+open Weihl_event
+module Seq_spec = Weihl_spec.Seq_spec
+
+type version = {
+  cts : Timestamp.t;
+  ops : (Operation.t * Value.t) list; (* the update's installed intentions *)
+}
+
+let make log id spec ~conflict ~read_only_op : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let store = Intentions.create spec in
+  let versions : version list ref = ref [] (* ascending cts *) in
+  let frontier_before ts =
+    List.fold_left
+      (fun f v ->
+        if Timestamp.compare v.cts ts < 0 then
+          List.fold_left
+            (fun f (op, res) ->
+              match f with
+              | None -> None
+              | Some f -> Seq_spec.advance f op res)
+            f v.ops
+        else f)
+      (Some (Seq_spec.start spec))
+      !versions
+  in
+  let invoke_read_only txn op =
+    if not (read_only_op op) then begin
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused
+        (Fmt.str
+           "hybrid: read-only activity invoked state-changing operation %a"
+           Operation.pp op)
+    end
+    else
+      match Txn.init_ts txn with
+      | None ->
+        Obj_log.dropped olog txn;
+        Atomic_object.Refused "hybrid: read-only transaction has no timestamp"
+      | Some ts -> (
+        match frontier_before ts with
+        | None -> invalid_arg "Hybrid: version log no longer replays"
+        | Some f -> (
+          match Seq_spec.outcomes f op with
+          | [] ->
+            Obj_log.dropped olog txn;
+            Atomic_object.Refused
+              (Fmt.str "operation %a has no permissible outcome"
+                 Operation.pp op)
+          | (res, _) :: _ ->
+            Obj_log.responded olog txn res;
+            Atomic_object.Granted res))
+  in
+  let invoke_update txn op =
+    let blockers =
+      List.filter_map
+        (fun (holder, held) ->
+          if Txn.equal holder txn then None
+          else if List.exists (fun (q, _) -> conflict op q) held then
+            Some holder
+          else None)
+        (Intentions.active store)
+    in
+    match blockers with
+    | _ :: _ -> Atomic_object.Wait blockers
+    | [] -> (
+      match Intentions.execute store txn op with
+      | Some res ->
+        Obj_log.responded olog txn res;
+        Atomic_object.Granted res
+      | None ->
+        Obj_log.dropped olog txn;
+        Atomic_object.Refused
+          (Fmt.str "operation %a has no permissible outcome" Operation.pp op))
+  in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    if Txn.is_read_only txn then invoke_read_only txn op
+    else invoke_update txn op
+  in
+  let commit txn =
+    if not (Txn.is_read_only txn) then begin
+      let ops = Intentions.intentions store txn in
+      (match Txn.commit_ts txn with
+      | Some cts ->
+        if ops <> [] then versions := !versions @ [ { cts; ops } ]
+      | None ->
+        if ops <> [] then
+          invalid_arg "Hybrid.commit: update committed without a timestamp");
+      Intentions.commit store txn
+    end;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    if not (Txn.is_read_only txn) then Intentions.abort store txn;
+    Obj_log.aborted olog txn
+  in
+  let initiate txn =
+    if Txn.is_read_only txn then Obj_log.initiated olog txn
+  in
+  { id; spec; try_invoke; commit; abort; initiate }
+
+let of_adt log id (module A : Weihl_adt.Adt_sig.S) =
+  make log id A.spec
+    ~conflict:(fun p q -> not (A.commutes p q))
+    ~read_only_op:(fun op -> A.classify op = Weihl_adt.Adt_sig.Read)

@@ -1,0 +1,40 @@
+(** The hybrid atomicity protocol (Section 4.3): updates run under a
+    locking discipline and draw timestamps at commit; read-only
+    activities draw timestamps at initiation and query versions.
+
+    Updates are processed exactly as by {!Op_locking} (conflict
+    relation supplied per object, intentions-list recovery).  When an
+    update commits, the transaction manager has already assigned it a
+    commit timestamp from a monotone Lamport clock — guaranteeing the
+    timestamp order of updates is consistent with [precedes] — and the
+    object archives the update's intentions as a version stamped with
+    that timestamp.
+
+    A read-only transaction with initiation timestamp [t] evaluates its
+    queries against the state produced by exactly the committed updates
+    with commit timestamps less than [t].  Because the clock is
+    monotone, every such update has already committed, so read-only
+    transactions {e never wait and never abort}, and they hold nothing
+    that could delay an update — the promised solution to Lamport's
+    audit problem (Section 4.3.3).
+
+    Every history this object generates is hybrid atomic. *)
+
+open Weihl_event
+
+val make :
+  Event_log.t ->
+  Object_id.t ->
+  Weihl_spec.Seq_spec.t ->
+  conflict:(Operation.t -> Operation.t -> bool) ->
+  read_only_op:(Operation.t -> bool) ->
+  Atomic_object.t
+(** [read_only_op] tells queries from state-changing operations; a
+    read-only transaction invoking a state-changing operation is
+    refused. *)
+
+val of_adt :
+  Event_log.t -> Object_id.t -> (module Weihl_adt.Adt_sig.S) ->
+  Atomic_object.t
+(** Updates locked by the ADT's commutativity relation; operations
+    classified [Read] are permitted to read-only transactions. *)

@@ -1,0 +1,130 @@
+open Weihl_event
+module Account = Weihl_adt.Bank_account
+
+type pending = {
+  txn : Txn.t;
+  mutable debits : int;
+  mutable credits : int;
+  mutable insufficient : bool;
+  mutable read_balance : bool;
+}
+
+type state = {
+  mutable committed : int;
+  mutable pendings : pending list;
+  mutable versions : (Timestamp.t * int) list; (* commit ts, net delta *)
+}
+
+let pending_for st txn =
+  match List.find_opt (fun p -> Txn.equal p.txn txn) st.pendings with
+  | Some p -> p
+  | None ->
+    let p =
+      { txn; debits = 0; credits = 0; insufficient = false;
+        read_balance = false }
+    in
+    st.pendings <- p :: st.pendings;
+    p
+
+let others st txn = List.filter (fun p -> not (Txn.equal p.txn txn)) st.pendings
+
+let bounds st txn =
+  let own = pending_for st txn in
+  let base = st.committed - own.debits + own.credits in
+  List.fold_left
+    (fun (low, high) p -> (low - p.debits, high + p.credits))
+    (base, base) (others st txn)
+
+let has_updates p = p.debits > 0 || p.credits > 0
+
+let balance_before st ts =
+  List.fold_left
+    (fun acc (cts, delta) ->
+      if Timestamp.compare cts ts < 0 then acc + delta else acc)
+    0 st.versions
+
+let make log id : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let st = { committed = 0; pendings = []; versions = [] } in
+  let grant txn res update =
+    let p = pending_for st txn in
+    update p;
+    Obj_log.responded olog txn res;
+    Atomic_object.Granted res
+  in
+  let blockers_of pred txn =
+    List.filter_map
+      (fun p -> if pred p then Some p.txn else None)
+      (others st txn)
+  in
+  let invoke_update txn op =
+    let low, high = bounds st txn in
+    match (Operation.name op, Operation.args op) with
+    | "deposit", [ Value.Int n ] when n >= 0 -> (
+      match blockers_of (fun p -> p.insufficient || p.read_balance) txn with
+      | _ :: _ as bs -> Atomic_object.Wait bs
+      | [] -> grant txn Value.ok (fun p -> p.credits <- p.credits + n))
+    | "withdraw", [ Value.Int n ] when n >= 0 ->
+      if low >= n then (
+        match blockers_of (fun p -> p.read_balance) txn with
+        | _ :: _ as bs -> Atomic_object.Wait bs
+        | [] -> grant txn Value.ok (fun p -> p.debits <- p.debits + n))
+      else if high < n then
+        grant txn Value.insufficient_funds (fun p -> p.insufficient <- true)
+      else Atomic_object.Wait (blockers_of has_updates txn)
+    | "balance", [] -> (
+      match blockers_of has_updates txn with
+      | _ :: _ as bs -> Atomic_object.Wait bs
+      | [] -> grant txn (Value.Int low) (fun p -> p.read_balance <- true))
+    | _ ->
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused
+        (Fmt.str "hybrid account: unknown operation %a" Operation.pp op)
+  in
+  let invoke_read_only txn op =
+    match (Operation.name op, Operation.args op) with
+    | "balance", [] -> (
+      match Txn.init_ts txn with
+      | None ->
+        Obj_log.dropped olog txn;
+        Atomic_object.Refused
+          "hybrid account: read-only transaction has no timestamp"
+      | Some ts ->
+        let v = balance_before st ts in
+        Obj_log.responded olog txn (Value.Int v);
+        Atomic_object.Granted (Value.Int v))
+    | _ ->
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused
+        (Fmt.str
+           "hybrid account: read-only activity invoked %a (balance only)"
+           Operation.pp op)
+  in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    if Txn.is_read_only txn then invoke_read_only txn op
+    else invoke_update txn op
+  in
+  let commit txn =
+    (if not (Txn.is_read_only txn) then
+       match List.find_opt (fun p -> Txn.equal p.txn txn) st.pendings with
+       | Some p ->
+         let delta = p.credits - p.debits in
+         st.committed <- st.committed + delta;
+         (match Txn.commit_ts txn with
+         | Some cts -> if delta <> 0 then st.versions <- (cts, delta) :: st.versions
+         | None ->
+           if delta <> 0 then
+             invalid_arg "Hybrid_account: update committed without a timestamp")
+       | None -> ());
+    st.pendings <- others st txn;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    st.pendings <- others st txn;
+    Obj_log.aborted olog txn
+  in
+  let initiate txn =
+    if Txn.is_read_only txn then Obj_log.initiated olog txn
+  in
+  { id; spec = Account.spec; try_invoke; commit; abort; initiate }

@@ -1,0 +1,23 @@
+(** The full hybrid-atomic bank account: escrow updates + versioned
+    audits.
+
+    {!Hybrid.of_adt} processes updates with commutativity locking; the
+    paper's own design (Section 4.3: "it processes updates using
+    dynamic atomicity") allows {e any} dynamic-atomic discipline for
+    updates.  This object combines the best of both experiments:
+
+    - update transactions run under the escrow rules of
+      {!Escrow_account} (concurrent covered withdrawals, immediate
+      deposits, definite answers protected by claims);
+    - at commit an update's net effect is archived as a version stamped
+      with its commit timestamp (drawn by the manager from the monotone
+      clock, hence consistent with [precedes]);
+    - read-only transactions with initiation timestamp [t] answer
+      [balance] from the versions with commit timestamps below [t] —
+      never waiting, never aborting, never disturbing updates.
+
+    Every history this object generates is hybrid atomic. *)
+
+open Weihl_event
+
+val make : Event_log.t -> Object_id.t -> Atomic_object.t

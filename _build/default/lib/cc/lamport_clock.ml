@@ -1,0 +1,17 @@
+open Weihl_event
+
+type t = { mutable value : int }
+
+let create ?(start = 0) () =
+  if start < 0 then invalid_arg "Lamport_clock.create: negative start";
+  { value = start }
+
+let next c =
+  c.value <- c.value + 1;
+  Timestamp.v c.value
+
+let observe c ts =
+  let v = Timestamp.to_int ts in
+  if v > c.value then c.value <- v
+
+let now c = Timestamp.v c.value

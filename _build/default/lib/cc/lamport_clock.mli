@@ -1,0 +1,26 @@
+(** A logical clock issuing unique, monotonically increasing
+    timestamps.
+
+    The hybrid protocol draws update timestamps from such a clock at
+    commit; because the clock is monotone, the timestamp order of
+    committed updates is automatically consistent with [precedes]
+    (a commit that precedes an operation of a later activity happened
+    earlier in real time, hence drew a smaller timestamp) — the
+    implementation route the paper attributes to Lamport clocks
+    (Section 4.3.3). *)
+
+open Weihl_event
+
+type t
+
+val create : ?start:int -> unit -> t
+
+val next : t -> Timestamp.t
+(** Strictly greater than every timestamp previously issued or
+    observed. *)
+
+val observe : t -> Timestamp.t -> unit
+(** Advance the clock past an externally chosen timestamp. *)
+
+val now : t -> Timestamp.t
+(** The last issued/observed timestamp (the initial value if none). *)

@@ -1,0 +1,102 @@
+open Weihl_event
+module Seq_spec = Weihl_spec.Seq_spec
+
+type exec = {
+  txn : Txn.t;
+  ts : Timestamp.t;
+  seq : int; (* program order within the transaction *)
+  op : Operation.t;
+  result : Value.t;
+  mutates : bool; (* did the operation change the state? *)
+}
+
+let exec_order a b =
+  let c = Timestamp.compare a.ts b.ts in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let make log id spec : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let executed : exec list ref = ref [] in
+  let next_seq = Hashtbl.create 8 in
+  let seq_for txn =
+    let n = Option.value ~default:0 (Hashtbl.find_opt next_seq (Txn.id txn)) in
+    Hashtbl.replace next_seq (Txn.id txn) (n + 1);
+    n
+  in
+  let replay execs =
+    List.fold_left
+      (fun f e ->
+        match f with
+        | None -> None
+        | Some f -> Seq_spec.advance f e.op e.result)
+      (Some (Seq_spec.start spec))
+      execs
+  in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    match Txn.init_ts txn with
+    | None ->
+      Obj_log.dropped olog txn;
+      Atomic_object.Refused "multiversion: transaction has no timestamp"
+    | Some ts -> (
+      let sorted = List.sort exec_order !executed in
+      let earlier, later =
+        List.partition (fun e -> Timestamp.compare e.ts ts <= 0) sorted
+      in
+      (* Smaller-timestamp *versions* (state-changing operations) by
+         active transactions: wait for them to commit or be discarded.
+         Pure queries by uncommitted transactions cannot affect the
+         state we read, exactly as in Reed's scheme. *)
+      let blockers =
+        List.filter_map
+          (fun e ->
+            if e.mutates && (not (Txn.equal e.txn txn)) && Txn.is_active e.txn
+            then Some e.txn
+            else None)
+          earlier
+        |> List.sort_uniq Txn.compare
+      in
+      match blockers with
+      | _ :: _ -> Atomic_object.Wait blockers
+      | [] -> (
+        match replay earlier with
+        | None ->
+          (* Recorded results must replay; a failure is a protocol
+             bug. *)
+          invalid_arg "Multiversion: executed log no longer replays"
+        | Some frontier -> (
+          match Seq_spec.outcomes frontier op with
+          | [] ->
+            Obj_log.dropped olog txn;
+            Atomic_object.Refused
+              (Fmt.str "operation %a has no permissible outcome"
+                 Operation.pp op)
+          | (res, _) :: _ ->
+            let mutates =
+              Option.value ~default:false
+                (Seq_spec.advance_changes frontier op res)
+            in
+            let e = { txn; ts; seq = seq_for txn; op; result = res; mutates } in
+            (* Would inserting this operation at its timestamp change
+               any already-executed later answer? *)
+            if Option.is_some (replay (earlier @ [ e ] @ later)) then begin
+              executed := e :: !executed;
+              Obj_log.responded olog txn res;
+              Atomic_object.Granted res
+            end
+            else begin
+              Obj_log.dropped olog txn;
+              Atomic_object.Refused
+                (Fmt.str
+                   "timestamp conflict: %a at timestamp %a invalidates a \
+                    later-timestamp result"
+                   Operation.pp op Timestamp.pp ts)
+            end)))
+  in
+  let commit txn = Obj_log.committed olog txn in
+  let abort txn =
+    executed := List.filter (fun e -> not (Txn.equal e.txn txn)) !executed;
+    Obj_log.aborted olog txn
+  in
+  let initiate txn = Obj_log.initiated olog txn in
+  { id; spec; try_invoke; commit; abort; initiate }

@@ -1,0 +1,26 @@
+(** Reed's timestamp-based multi-version protocol, generalized from
+    read/write registers to arbitrary sequential specifications —
+    the implementation route to static atomicity (Section 4.2).
+
+    Every transaction carries a timestamp chosen at initiation.  The
+    object keeps the full log of executed (timestamp, operation,
+    result) triples; an operation with timestamp [t] executes against
+    the state produced by all operations with smaller timestamps:
+
+    - if some smaller-timestamp operation belongs to a still-active
+      transaction, the invoker {e waits} (Reed: a read of an
+      uncommitted version is delayed) — since waits only ever point
+      from larger to smaller timestamps, this protocol is
+      deadlock-free;
+    - the computed answer is then checked against every
+      larger-timestamp operation already executed: if inserting the new
+      operation would change any of their recorded results, the invoker
+      is {e refused} and must abort (Reed: a write behind a
+      later-timestamp read is rejected).
+
+    Every history this object generates is static atomic. *)
+
+open Weihl_event
+
+val make : Event_log.t -> Object_id.t -> Weihl_spec.Seq_spec.t ->
+  Atomic_object.t

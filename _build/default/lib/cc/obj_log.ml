@@ -1,0 +1,54 @@
+open Weihl_event
+
+type t = {
+  log : Event_log.t;
+  id : Object_id.t;
+  pending : (int, Operation.t) Hashtbl.t;
+  initiated_txns : (int, unit) Hashtbl.t;
+}
+
+let create log id =
+  { log; id; pending = Hashtbl.create 8; initiated_txns = Hashtbl.create 8 }
+
+let object_id t = t.id
+
+let invoked t txn op =
+  match Hashtbl.find_opt t.pending (Txn.id txn) with
+  | Some op' when Operation.equal op op' -> () (* retry *)
+  | Some _ ->
+    invalid_arg
+      "Obj_log.invoked: transaction switched operations while one was \
+       pending"
+  | None ->
+    Hashtbl.replace t.pending (Txn.id txn) op;
+    Event_log.record t.log (Event.invoke (Txn.activity txn) t.id op)
+
+let responded t txn res =
+  Hashtbl.remove t.pending (Txn.id txn);
+  Event_log.record t.log (Event.respond (Txn.activity txn) t.id res)
+
+let dropped t txn = Hashtbl.remove t.pending (Txn.id txn)
+
+let committed t txn =
+  let a = Txn.activity txn in
+  let e =
+    match Txn.commit_ts txn with
+    | Some ts -> Event.commit_ts a t.id ts
+    | None -> Event.commit a t.id
+  in
+  Event_log.record t.log e
+
+let aborted t txn =
+  Hashtbl.remove t.pending (Txn.id txn);
+  Event_log.record t.log (Event.abort (Txn.activity txn) t.id)
+
+let initiated t txn =
+  if not (Hashtbl.mem t.initiated_txns (Txn.id txn)) then begin
+    match Txn.init_ts txn with
+    | None ->
+      invalid_arg "Obj_log.initiated: transaction has no initiation timestamp"
+    | Some ts ->
+      Hashtbl.replace t.initiated_txns (Txn.id txn) ();
+      Event_log.record t.log (Event.initiate (Txn.activity txn) t.id ts)
+  end
+

@@ -1,0 +1,37 @@
+(** Per-object event recording with invoke/respond pairing.
+
+    Blocked invocations are re-attempted by the caller; the invocation
+    event must nevertheless be recorded exactly once, when the
+    operation is first submitted.  This helper tracks the pending
+    operation of each transaction at one object and appends the
+    corresponding events to the shared log. *)
+
+open Weihl_event
+
+type t
+
+val create : Event_log.t -> Object_id.t -> t
+val object_id : t -> Object_id.t
+
+val invoked : t -> Txn.t -> Operation.t -> unit
+(** Record the invocation event unless the same operation is already
+    pending for this transaction (i.e. this is a retry). *)
+
+val responded : t -> Txn.t -> Value.t -> unit
+(** Record the termination event and clear the pending operation. *)
+
+val dropped : t -> Txn.t -> unit
+(** Clear the pending operation without a termination event (used when
+    a protocol refuses an operation and the transaction will abort). *)
+
+val committed : t -> Txn.t -> unit
+(** Record the commit event, carrying the transaction's commit
+    timestamp if one is set. *)
+
+val aborted : t -> Txn.t -> unit
+
+val initiated : t -> Txn.t -> unit
+(** Record the initiation event (with the transaction's initiation
+    timestamp) unless already recorded for this transaction.
+    @raise Invalid_argument if the transaction has no initiation
+    timestamp. *)

@@ -1,0 +1,47 @@
+open Weihl_event
+
+let make log id spec ~conflict : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let store = Intentions.create spec in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    let blockers =
+      List.filter_map
+        (fun (holder, held) ->
+          if Txn.equal holder txn then None
+          else if List.exists (fun (q, _) -> conflict op q) held then
+            Some holder
+          else None)
+        (Intentions.active store)
+    in
+    match blockers with
+    | _ :: _ -> Atomic_object.Wait blockers
+    | [] -> (
+      match Intentions.execute store txn op with
+      | Some res ->
+        Obj_log.responded olog txn res;
+        Atomic_object.Granted res
+      | None ->
+        Obj_log.dropped olog txn;
+        Atomic_object.Refused
+          (Fmt.str "operation %a has no permissible outcome" Operation.pp op))
+  in
+  let commit txn =
+    Intentions.commit store txn;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    Intentions.abort store txn;
+    Obj_log.aborted olog txn
+  in
+  { id; spec; try_invoke; commit; abort; initiate = (fun _ -> ()) }
+
+let rw log id (module A : Weihl_adt.Adt_sig.S) =
+  let conflict p q =
+    not (A.classify p = Weihl_adt.Adt_sig.Read
+         && A.classify q = Weihl_adt.Adt_sig.Read)
+  in
+  make log id A.spec ~conflict
+
+let commutativity log id (module A : Weihl_adt.Adt_sig.S) =
+  make log id A.spec ~conflict:(fun p q -> not (A.commutes p q))

@@ -1,0 +1,34 @@
+(** Operation locking with a pluggable conflict relation — the family
+    of "scheduler model" protocols the paper compares against
+    (Section 5.1).
+
+    A transaction may execute an operation only if it conflicts with no
+    operation held by another active transaction; locks are held until
+    commit or abort (strictness), and recovery uses intentions lists.
+    Every history such an object generates is dynamic atomic — these
+    protocols are correct but {e suboptimal}: they refuse interleavings
+    dynamic atomicity permits (see [Weihl_cc.Escrow_account] and
+    [Weihl_cc.Da_queue] for data-dependent objects that admit them).
+
+    Two standard instantiations:
+    - {!rw}: conflict iff not both operations are reads — classical
+      strict two-phase locking;
+    - {!commutativity}: conflict iff the operations do not commute
+      state-independently — the protocols of Bernstein 81, Korth 81 and
+      Schwarz & Spector 82. *)
+
+open Weihl_event
+
+val make :
+  Event_log.t ->
+  Object_id.t ->
+  Weihl_spec.Seq_spec.t ->
+  conflict:(Operation.t -> Operation.t -> bool) ->
+  Atomic_object.t
+
+val rw : Event_log.t -> Object_id.t -> (module Weihl_adt.Adt_sig.S) ->
+  Atomic_object.t
+
+val commutativity :
+  Event_log.t -> Object_id.t -> (module Weihl_adt.Adt_sig.S) ->
+  Atomic_object.t

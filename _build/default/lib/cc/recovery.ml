@@ -1,0 +1,85 @@
+open Weihl_event
+
+type order = Commit_order | Timestamp_order
+
+(* Completed (op, result) pairs of one activity, in program order. *)
+let completed_ops h a =
+  let events = History.to_list (History.project_activity a h) in
+  let rec pair = function
+    | Event.Invoke (_, x, op) :: Event.Respond (_, x', res) :: rest
+      when Object_id.equal x x' ->
+      (x, op, res) :: pair rest
+    | _ :: rest -> pair rest
+    | [] -> []
+  in
+  pair events
+
+let commit_position h a =
+  let rec go i = function
+    | [] -> None
+    | Event.Commit (a', _, _) :: _ when Activity.equal a a' -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 (History.to_list h)
+
+let committed_in_order order h =
+  let committed = Activity.Set.elements (History.committed h) in
+  let keyed =
+    match order with
+    | Commit_order ->
+      List.filter_map
+        (fun a -> Option.map (fun i -> (i, a)) (commit_position h a))
+        committed
+    | Timestamp_order ->
+      List.filter_map
+        (fun a ->
+          Option.map
+            (fun ts -> (Timestamp.to_int ts, a))
+            (History.timestamp_of h a))
+        committed
+  in
+  List.sort (fun (i, _) (j, _) -> Int.compare i j) keyed
+  |> List.map (fun (_, a) -> (a, completed_ops h a))
+
+let restore order sys h =
+  let txns = committed_in_order order h in
+  let rec replay count = function
+    | [] -> Ok count
+    | (activity, ops) :: rest -> (
+      let txn = System.begin_txn sys activity in
+      let rec run = function
+        | [] ->
+          System.commit sys txn;
+          Ok ()
+        | (obj, op, expected) :: more -> (
+          match System.invoke sys txn obj op with
+          | Atomic_object.Granted actual ->
+            if Value.equal actual expected then run more
+            else
+              Error
+                (Fmt.str
+                   "recovery divergence: %a at %a answered %a, log says %a"
+                   Operation.pp op Object_id.pp obj Value.pp actual Value.pp
+                   expected)
+          | Atomic_object.Wait _ ->
+            Error
+              (Fmt.str
+                 "recovery stalled: %a at %a blocked during serial replay"
+                 Operation.pp op Object_id.pp obj)
+          | Atomic_object.Refused why ->
+            Error (Fmt.str "recovery refused: %s" why))
+      in
+      match run ops with
+      | Ok () -> replay (count + 1) rest
+      | Error _ as e ->
+        (* Leave the failed transaction aborted so the system stays
+           consistent. *)
+        (if Txn.is_active txn then System.abort sys txn);
+        e)
+  in
+  replay 0 txns
+
+let restore_from_text order sys text =
+  match Notation.history_of_string text with
+  | Error e -> Error (Fmt.str "%a" Notation.pp_error e)
+  | Ok h -> restore order sys h

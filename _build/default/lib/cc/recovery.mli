@@ -1,0 +1,39 @@
+(** Crash recovery from the event log.
+
+    The shared event log doubles as a write-ahead log: its text form
+    ({!Weihl_event.Notation}) is the durable record, and the committed
+    projection determines the state to rebuild.  Recovery re-executes
+    the committed transactions serially against fresh objects:
+
+    - in {e commit order} for dynamic-atomic systems — commit order is
+      consistent with [precedes], so dynamic atomicity guarantees it is
+      a valid serialization;
+    - in {e timestamp order} for static and hybrid systems — their
+      definitions make the timestamp order the valid serialization.
+
+    Re-execution must reproduce the logged results exactly (serial
+    execution of a deterministic specification); any mismatch means the
+    log and the objects disagree and recovery fails loudly rather than
+    silently diverging.  Aborted and in-flight transactions are
+    discarded, exactly as [perm] discards them in the model. *)
+
+open Weihl_event
+
+type order = Commit_order | Timestamp_order
+
+val committed_in_order :
+  order -> History.t -> (Activity.t * (Object_id.t * Operation.t * Value.t) list) list
+(** The committed transactions, each with its completed operations in
+    program order, sorted by the recovery order.  Activities without a
+    timestamp are dropped under [Timestamp_order]. *)
+
+val restore :
+  order -> System.t -> History.t -> (int, string) result
+(** Re-execute the committed transactions of the history against the
+    (fresh) system's objects.  Returns the number of transactions
+    replayed, or a description of the first divergence.  The system's
+    log will contain the replayed events. *)
+
+val restore_from_text :
+  order -> System.t -> string -> (int, string) result
+(** {!restore} after parsing the durable text form. *)

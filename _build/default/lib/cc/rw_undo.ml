@@ -1,0 +1,72 @@
+open Weihl_event
+module Seq_spec = Weihl_spec.Seq_spec
+
+type lock = Shared | Exclusive
+
+let make log id (module A : Weihl_adt.Adt_sig.S) : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let current = ref (Seq_spec.start A.spec) in
+  let locks : (int, Txn.t * lock) Hashtbl.t = Hashtbl.create 8 in
+  let before_images : (int, Seq_spec.frontier) Hashtbl.t = Hashtbl.create 8 in
+  let lock_of op =
+    match A.classify op with
+    | Weihl_adt.Adt_sig.Read -> Shared
+    | Weihl_adt.Adt_sig.Write -> Exclusive
+  in
+  let conflicts a b =
+    match (a, b) with Shared, Shared -> false | _ -> true
+  in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    let wanted = lock_of op in
+    let blockers =
+      Hashtbl.fold
+        (fun tid (holder, held) acc ->
+          if tid = Txn.id txn then acc
+          else if Txn.is_active holder && conflicts wanted held then
+            holder :: acc
+          else acc)
+        locks []
+    in
+    match blockers with
+    | _ :: _ -> Atomic_object.Wait blockers
+    | [] -> (
+      match Seq_spec.outcomes !current op with
+      | [] ->
+        Obj_log.dropped olog txn;
+        Atomic_object.Refused
+          (Fmt.str "operation %a has no permissible outcome" Operation.pp op)
+      | (res, next) :: _ ->
+        (* Acquire (or upgrade) the lock, save the before-image on the
+           first write, and update in place. *)
+        let held =
+          match Hashtbl.find_opt locks (Txn.id txn) with
+          | Some (_, l) -> Some l
+          | None -> None
+        in
+        let new_lock =
+          match (held, wanted) with
+          | Some Exclusive, _ | _, Exclusive -> Exclusive
+          | Some Shared, Shared | None, Shared -> Shared
+        in
+        Hashtbl.replace locks (Txn.id txn) (txn, new_lock);
+        if wanted = Exclusive && not (Hashtbl.mem before_images (Txn.id txn))
+        then Hashtbl.replace before_images (Txn.id txn) !current;
+        current := next;
+        Obj_log.responded olog txn res;
+        Atomic_object.Granted res)
+  in
+  let commit txn =
+    Hashtbl.remove locks (Txn.id txn);
+    Hashtbl.remove before_images (Txn.id txn);
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    (match Hashtbl.find_opt before_images (Txn.id txn) with
+    | Some image -> current := image
+    | None -> ());
+    Hashtbl.remove locks (Txn.id txn);
+    Hashtbl.remove before_images (Txn.id txn);
+    Obj_log.aborted olog txn
+  in
+  { id; spec = A.spec; try_invoke; commit; abort; initiate = (fun _ -> ()) }

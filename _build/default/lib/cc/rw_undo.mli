@@ -1,0 +1,21 @@
+(** Strict read/write two-phase locking with {e before-image} recovery
+    — the classical alternative to intentions lists.
+
+    Writers apply operations to the object state in place, saving the
+    state they found on their first write (the before-image); abort
+    restores it.  This is sound only because the exclusive write lock
+    guarantees no other transaction observed or modified the state in
+    between — exactly the coupling of recovery technique to
+    concurrency-control assumptions that Section 5 warns biases
+    specifications toward particular recovery implementations.  The
+    ablation benchmark contrasts its commit/abort costs with the
+    intentions-list objects.
+
+    Functionally equivalent to [Op_locking.rw]: same conflicts, same
+    answers, dynamic atomic histories. *)
+
+open Weihl_event
+
+val make :
+  Event_log.t -> Object_id.t -> (module Weihl_adt.Adt_sig.S) ->
+  Atomic_object.t

@@ -1,0 +1,108 @@
+open Weihl_event
+
+type ts_policy = [ `None_ | `Static | `Hybrid ]
+
+type t = {
+  policy : ts_policy;
+  event_log : Event_log.t;
+  clock : Lamport_clock.t;
+  mutable objects : Atomic_object.t Object_id.Map.t;
+  mutable next_txn_id : int;
+  mutable txns : Txn.t list;
+  mutable ts_source : (unit -> Timestamp.t) option;
+  waits : Waits_for.t;
+}
+
+let create ?(policy = `None_) () =
+  {
+    policy;
+    event_log = Event_log.create ();
+    clock = Lamport_clock.create ();
+    objects = Object_id.Map.empty;
+    next_txn_id = 0;
+    txns = [];
+    ts_source = None;
+    waits = Waits_for.create ();
+  }
+
+let policy t = t.policy
+let log t = t.event_log
+let history t = Event_log.history t.event_log
+let clock t = t.clock
+let set_ts_source t f = t.ts_source <- Some f
+
+let draw_init_ts t =
+  match t.ts_source with
+  | Some f ->
+    let ts = f () in
+    Lamport_clock.observe t.clock ts;
+    ts
+  | None -> Lamport_clock.next t.clock
+
+let add_object t (obj : Atomic_object.t) =
+  if Object_id.Map.mem obj.id t.objects then
+    invalid_arg
+      (Fmt.str "System.add_object: duplicate object %a" Object_id.pp obj.id);
+  t.objects <- Object_id.Map.add obj.id obj t.objects
+
+let find_object t x = Object_id.Map.find_opt x t.objects
+
+let find_object_exn t x =
+  match find_object t x with
+  | Some obj -> obj
+  | None ->
+    invalid_arg (Fmt.str "System: unknown object %a" Object_id.pp x)
+
+let begin_txn t activity =
+  let txn = Txn.make ~id:t.next_txn_id activity in
+  t.next_txn_id <- t.next_txn_id + 1;
+  (match t.policy with
+  | `None_ -> ()
+  | `Static -> Txn.set_init_ts txn (draw_init_ts t)
+  | `Hybrid ->
+    if Activity.is_read_only activity then
+      Txn.set_init_ts txn (Lamport_clock.next t.clock));
+  t.txns <- txn :: t.txns;
+  txn
+
+let require_active txn =
+  if not (Txn.is_active txn) then
+    invalid_arg (Fmt.str "System: transaction %a is not active" Txn.pp txn)
+
+let invoke t txn x op =
+  require_active txn;
+  let obj = find_object_exn t x in
+  if not (List.exists (Object_id.equal x) (Txn.touched txn)) then begin
+    obj.initiate txn;
+    Txn.touch txn x
+  end;
+  let result = obj.try_invoke txn op in
+  (match result with
+  | Atomic_object.Wait blockers -> Waits_for.set_waiting t.waits txn blockers
+  | Atomic_object.Granted _ | Atomic_object.Refused _ ->
+    Waits_for.clear t.waits txn);
+  result
+
+let commit t txn =
+  require_active txn;
+  (match t.policy with
+  | `Hybrid when not (Txn.is_read_only txn) ->
+    Txn.set_commit_ts txn (Lamport_clock.next t.clock)
+  | `None_ | `Static | `Hybrid -> ());
+  List.iter
+    (fun x -> (find_object_exn t x).commit txn)
+    (List.rev (Txn.touched txn));
+  Txn.set_status txn Txn.Committed;
+  Waits_for.clear t.waits txn
+
+let abort t txn =
+  require_active txn;
+  List.iter
+    (fun x -> (find_object_exn t x).abort txn)
+    (List.rev (Txn.touched txn));
+  Txn.set_status txn Txn.Aborted;
+  Waits_for.clear t.waits txn
+
+let waiting t txn = Waits_for.blockers t.waits txn
+let find_deadlock t = Waits_for.find_cycle t.waits
+let active_txns t = List.filter Txn.is_active t.txns

@@ -1,0 +1,74 @@
+(** The transaction manager: objects, transactions, timestamps,
+    waits-for tracking, commit and abort fan-out.
+
+    A [System.t] owns the shared event log, a Lamport clock, and the
+    set of protocol objects; its timestamp policy says which events
+    carry timestamps:
+
+    - [`None_] — dynamic atomicity: no timestamp events;
+    - [`Static] — every transaction draws a timestamp when it begins
+      (Section 4.2.1) and objects record initiation events;
+    - [`Hybrid] — read-only transactions draw timestamps when they
+      begin; update transactions draw them as they commit
+      (Section 4.3.1). *)
+
+open Weihl_event
+
+type ts_policy = [ `None_ | `Static | `Hybrid ]
+
+type t
+
+val create : ?policy:ts_policy -> unit -> t
+(** Default policy [`None_]. *)
+
+val policy : t -> ts_policy
+val log : t -> Event_log.t
+
+val history : t -> History.t
+(** The computation observed so far. *)
+
+val clock : t -> Lamport_clock.t
+
+val set_ts_source : t -> (unit -> Timestamp.t) -> unit
+(** Override how initiation timestamps are drawn under the [`Static]
+    policy (commit timestamps of the [`Hybrid] policy always come from
+    the monotone clock, as correctness requires).  The source must
+    return unique timestamps; use it to model unsynchronized clocks —
+    the skew experiments of Section 4.2.3. *)
+
+val add_object : t -> Atomic_object.t -> unit
+(** @raise Invalid_argument on a duplicate object id. *)
+
+val find_object : t -> Object_id.t -> Atomic_object.t option
+
+val begin_txn : t -> Activity.t -> Txn.t
+(** Create a transaction for the activity, drawing an initiation
+    timestamp when the policy requires one. *)
+
+val invoke :
+  t -> Txn.t -> Object_id.t -> Operation.t -> Atomic_object.invoke_result
+(** Route the operation to the object (initiating there first if this
+    is the transaction's first contact); record waits-for edges on
+    [Wait], and clear them on any other outcome.
+    @raise Invalid_argument if the object or transaction is unknown or
+    the transaction is not active. *)
+
+val commit : t -> Txn.t -> unit
+(** Commit at every touched object.  Under the [`Hybrid] policy an
+    update transaction draws its commit timestamp here, immediately
+    before the per-object commits — the monotone clock makes the
+    timestamp order of updates consistent with [precedes].
+    @raise Invalid_argument if the transaction is not active. *)
+
+val abort : t -> Txn.t -> unit
+(** Abort at every touched object, discarding the transaction's
+    effects.  @raise Invalid_argument if the transaction is not
+    active. *)
+
+val waiting : t -> Txn.t -> Txn.t list
+(** Whom the transaction is currently recorded as waiting for. *)
+
+val find_deadlock : t -> Txn.t list option
+(** A cycle of waiting transactions, if any. *)
+
+val active_txns : t -> Txn.t list

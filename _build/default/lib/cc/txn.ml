@@ -1,0 +1,41 @@
+open Weihl_event
+
+type status = Active | Committed | Aborted
+
+type t = {
+  id : int;
+  activity : Activity.t;
+  mutable status : status;
+  mutable init_ts : Timestamp.t option;
+  mutable commit_ts : Timestamp.t option;
+  mutable touched : Object_id.t list;
+}
+
+let make ~id activity =
+  { id; activity; status = Active; init_ts = None; commit_ts = None;
+    touched = [] }
+
+let id t = t.id
+let activity t = t.activity
+let is_read_only t = Activity.is_read_only t.activity
+let status t = t.status
+let is_active t = t.status = Active
+
+let set_status t s =
+  if t.status <> Active && s <> t.status then
+    invalid_arg "Txn.set_status: transaction already completed";
+  t.status <- s
+
+let init_ts t = t.init_ts
+let set_init_ts t ts = t.init_ts <- Some ts
+let commit_ts t = t.commit_ts
+let set_commit_ts t ts = t.commit_ts <- Some ts
+let touched t = t.touched
+
+let touch t x =
+  if not (List.exists (Object_id.equal x) t.touched) then
+    t.touched <- x :: t.touched
+
+let equal a b = Int.equal a.id b.id
+let compare a b = Int.compare a.id b.id
+let pp ppf t = Fmt.pf ppf "%a#%d" Activity.pp t.activity t.id

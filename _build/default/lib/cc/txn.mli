@@ -1,0 +1,37 @@
+(** Transaction records managed by the online protocols.
+
+    A transaction executes one activity.  Its record carries the
+    protocol-facing mutable state: status, the initiation timestamp (if
+    the protocol assigns timestamps when the activity starts — static
+    atomicity, and read-only activities under hybrid atomicity), the
+    commit timestamp (hybrid updates), and the set of objects
+    touched. *)
+
+open Weihl_event
+
+type status = Active | Committed | Aborted
+
+type t
+
+val make : id:int -> Activity.t -> t
+val id : t -> int
+val activity : t -> Activity.t
+val is_read_only : t -> bool
+val status : t -> status
+val is_active : t -> bool
+
+val set_status : t -> status -> unit
+(** @raise Invalid_argument when resurrecting a completed
+    transaction. *)
+
+val init_ts : t -> Timestamp.t option
+val set_init_ts : t -> Timestamp.t -> unit
+val commit_ts : t -> Timestamp.t option
+val set_commit_ts : t -> Timestamp.t -> unit
+
+val touched : t -> Object_id.t list
+val touch : t -> Object_id.t -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

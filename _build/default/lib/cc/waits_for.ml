@@ -1,0 +1,45 @@
+type t = { edges : (int, Txn.t * Txn.t list) Hashtbl.t }
+
+let create () = { edges = Hashtbl.create 16 }
+
+let set_waiting t waiter blockers =
+  Hashtbl.replace t.edges (Txn.id waiter) (waiter, blockers)
+
+let clear t txn = Hashtbl.remove t.edges (Txn.id txn)
+
+let blockers t txn =
+  match Hashtbl.find_opt t.edges (Txn.id txn) with
+  | Some (_, bs) -> bs
+  | None -> []
+
+let find_cycle t =
+  (* DFS from every waiter, tracking the path. *)
+  let exception Found of Txn.t list in
+  let rec dfs path visited txn =
+    if List.exists (Txn.equal txn) path then begin
+      (* The cycle is the path segment from the earlier occurrence of
+         [txn] (path is newest-first). *)
+      let rec from_txn = function
+        | [] -> []
+        | x :: rest -> if Txn.equal x txn then x :: rest else from_txn rest
+      in
+      raise (Found (from_txn (List.rev path)))
+    end
+    else if not (List.exists (Txn.equal txn) visited) then begin
+      let visited = txn :: visited in
+      List.iter
+        (fun b -> if Txn.is_active b then dfs (txn :: path) visited b)
+        (blockers t txn);
+      ()
+    end
+  in
+  match
+    Hashtbl.iter (fun _ (waiter, _) -> dfs [] [] waiter) t.edges
+  with
+  | () -> None
+  | exception Found cycle -> Some cycle
+
+let victim = function
+  | [] -> invalid_arg "Waits_for.victim: empty cycle"
+  | first :: rest ->
+    List.fold_left (fun v t -> if Txn.id t > Txn.id v then t else v) first rest

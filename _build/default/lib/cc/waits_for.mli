@@ -1,0 +1,27 @@
+(** The waits-for graph used for deadlock detection.
+
+    Locking implementations of dynamic atomicity can deadlock (the
+    paper notes long read-only activities are "quite prone to
+    deadlock", Section 4.2.3); the transaction manager records who
+    waits on whom and aborts a victim when a cycle forms. *)
+
+type t
+
+val create : unit -> t
+
+val set_waiting : t -> Txn.t -> Txn.t list -> unit
+(** Replace the out-edges of the waiter. *)
+
+val clear : t -> Txn.t -> unit
+(** The transaction is no longer waiting (granted, committed or
+    aborted). *)
+
+val blockers : t -> Txn.t -> Txn.t list
+
+val find_cycle : t -> Txn.t list option
+(** Some cycle of waiting transactions, if one exists. *)
+
+val victim : Txn.t list -> Txn.t
+(** The youngest (largest-id) transaction of a cycle — the
+    conventional restart-cheapest choice.
+    @raise Invalid_argument on an empty cycle. *)

@@ -1,0 +1,99 @@
+(** Umbrella module: the full public API of the Weihl-83 reproduction.
+
+    {1 The formal model (Section 2)}
+
+    Events, histories and their derived notions live in [Weihl_event]:
+    {!Value}, {!Operation}, {!Activity}, {!Object_id}, {!Timestamp},
+    {!Event}, {!History}, {!Wellformed}.
+
+    {1 Specifications and atomicity (Sections 3-4)}
+
+    Sequential specifications and the four decision procedures live in
+    [Weihl_spec]: {!Seq_spec}, {!Spec_env}, {!Acceptance}, {!Orders},
+    {!Serializability}, {!Atomicity}.
+
+    {1 Abstract data types}
+
+    The paper's example objects and friends: {!Intset}, {!Counter},
+    {!Bank_account}, {!Fifo_queue}, {!Register}, {!Kv_map},
+    {!Semiqueue}.
+
+    {1 Online protocols (Sections 4-5)}
+
+    {!Op_locking} (the scheduler-model baselines), {!Escrow_account},
+    {!Da_set}, {!Da_queue} (data-dependent dynamic atomicity),
+    {!Multiversion} (static atomicity, Reed), {!Hybrid} (hybrid
+    atomicity), coordinated by {!System}.
+
+    {1 Simulation}
+
+    Deterministic workload simulation: {!Rng}, {!Stats}, {!Workload},
+    {!Driver}. *)
+
+module Value = Weihl_event.Value
+module Operation = Weihl_event.Operation
+module Activity = Weihl_event.Activity
+module Object_id = Weihl_event.Object_id
+module Timestamp = Weihl_event.Timestamp
+module Event = Weihl_event.Event
+module History = Weihl_event.History
+module Wellformed = Weihl_event.Wellformed
+module Notation = Weihl_event.Notation
+
+module Seq_spec = Weihl_spec.Seq_spec
+module Spec_env = Weihl_spec.Spec_env
+module Acceptance = Weihl_spec.Acceptance
+module Orders = Weihl_spec.Orders
+module Serializability = Weihl_spec.Serializability
+module Atomicity = Weihl_spec.Atomicity
+module Enumerate = Weihl_spec.Enumerate
+module Validator = Weihl_spec.Validator
+module Optimality = Weihl_theory.Optimality
+module Commutativity_check = Weihl_theory.Commutativity
+module Explore = Weihl_theory.Explore
+
+module Adt_sig = Weihl_adt.Adt_sig
+module Intset = Weihl_adt.Intset
+module Counter = Weihl_adt.Counter
+module Bank_account = Weihl_adt.Bank_account
+module Fifo_queue = Weihl_adt.Fifo_queue
+module Register = Weihl_adt.Register
+module Kv_map = Weihl_adt.Kv_map
+module Semiqueue = Weihl_adt.Semiqueue
+module Stack = Weihl_adt.Stack
+module Priority_queue = Weihl_adt.Priority_queue
+module Blind_counter = Weihl_adt.Blind_counter
+module Append_log = Weihl_adt.Append_log
+
+module Txn = Weihl_cc.Txn
+module Event_log = Weihl_cc.Event_log
+module Atomic_object = Weihl_cc.Atomic_object
+module Obj_log = Weihl_cc.Obj_log
+module Intentions = Weihl_cc.Intentions
+module Lamport_clock = Weihl_cc.Lamport_clock
+module Op_locking = Weihl_cc.Op_locking
+module Escrow_account = Weihl_cc.Escrow_account
+module Da_set = Weihl_cc.Da_set
+module Da_queue = Weihl_cc.Da_queue
+module Da_kv = Weihl_cc.Da_kv
+module Da_counter = Weihl_cc.Da_counter
+module Rw_undo = Weihl_cc.Rw_undo
+module Da_generic = Weihl_cc.Da_generic
+module Da_semiqueue = Weihl_cc.Da_semiqueue
+module Multiversion = Weihl_cc.Multiversion
+module Hybrid = Weihl_cc.Hybrid
+module Hybrid_account = Weihl_cc.Hybrid_account
+module Recovery = Weihl_cc.Recovery
+module Waits_for = Weihl_cc.Waits_for
+module System = Weihl_cc.System
+
+module Concurrent = Weihl_runtime.Concurrent
+
+module Msim = Weihl_dist.Msim
+module Tpc = Weihl_dist.Tpc
+
+module Rng = Weihl_sim.Rng
+module Stats = Weihl_sim.Stats
+module Pqueue = Weihl_sim.Pqueue
+module Workload = Weihl_sim.Workload
+module Driver = Weihl_sim.Driver

@@ -1,0 +1,1 @@
+lib/dist/msim.ml: Hashtbl Weihl_sim

@@ -1,0 +1,1 @@
+lib/dist/tpc.ml: Array Fmt List Msim

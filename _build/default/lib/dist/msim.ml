@@ -1,0 +1,68 @@
+module Pqueue = Weihl_sim.Pqueue
+module Rng = Weihl_sim.Rng
+
+type 'msg event = Deliver of int * 'msg | Crash of int
+
+type 'msg t = {
+  rng : Rng.t;
+  min_delay : int;
+  max_delay : int;
+  queue : 'msg event Pqueue.t;
+  crashed_nodes : (int, unit) Hashtbl.t;
+  handler : 'msg t -> node:int -> 'msg -> unit;
+  mutable time : int;
+  mutable delivered : int;
+  nodes : int;
+}
+
+let create ?(min_delay = 1) ?(max_delay = 5) ~seed ~nodes ~handler () =
+  if min_delay < 0 || max_delay < min_delay then
+    invalid_arg "Msim.create: bad delay range";
+  {
+    rng = Rng.create seed;
+    min_delay;
+    max_delay;
+    queue = Pqueue.create ();
+    crashed_nodes = Hashtbl.create 4;
+    handler;
+    time = 0;
+    delivered = 0;
+    nodes;
+  }
+
+let crashed t node = Hashtbl.mem t.crashed_nodes node
+
+let send t ~src ~dst msg =
+  if dst < 0 || dst >= t.nodes then invalid_arg "Msim.send: bad destination";
+  if not (crashed t src) then begin
+    let delay = Rng.int_range t.rng t.min_delay t.max_delay in
+    Pqueue.push t.queue ~time:(t.time + delay) (Deliver (dst, msg))
+  end
+
+let set_timer t ~node ~after msg =
+  if not (crashed t node) then
+    Pqueue.push t.queue ~time:(t.time + after) (Deliver (node, msg))
+
+let crash t node = Hashtbl.replace t.crashed_nodes node ()
+let crash_at t ~time node = Pqueue.push t.queue ~time (Crash node)
+let now t = t.time
+let messages_delivered t = t.delivered
+
+let run ?(until = 100_000) t =
+  let rec loop () =
+    match Pqueue.pop t.queue with
+    | None -> ()
+    | Some (time, ev) ->
+      if time <= until then begin
+        t.time <- max t.time time;
+        (match ev with
+        | Crash node -> crash t node
+        | Deliver (node, msg) ->
+          if not (crashed t node) then begin
+            t.delivered <- t.delivered + 1;
+            t.handler t ~node msg
+          end);
+        loop ()
+      end
+  in
+  loop ()

@@ -1,0 +1,36 @@
+(** A deterministic message-passing simulation: nodes exchange messages
+    over a network with seeded random delays; crashed nodes stop
+    sending and receiving.  The substrate under {!Tpc}. *)
+
+type 'msg t
+
+val create :
+  ?min_delay:int -> ?max_delay:int -> seed:int -> nodes:int ->
+  handler:('msg t -> node:int -> 'msg -> unit) ->
+  unit ->
+  'msg t
+(** [handler] is invoked on each delivery at a live node.  Delays are
+    uniform in [min_delay, max_delay] (defaults 1 and 5). *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Enqueue a message; dropped silently if the source is already
+    crashed (a dead node sends nothing) or if the destination is
+    crashed at delivery time. *)
+
+val set_timer : 'msg t -> node:int -> after:int -> 'msg -> unit
+(** Deliver a message from a node to itself after a fixed delay —
+    timeouts. *)
+
+val crash : 'msg t -> int -> unit
+val crashed : 'msg t -> int -> bool
+val crash_at : 'msg t -> time:int -> int -> unit
+(** Schedule a crash at an absolute virtual time. *)
+
+val now : 'msg t -> int
+(** Current virtual time. *)
+
+val messages_delivered : 'msg t -> int
+
+val run : ?until:int -> 'msg t -> unit
+(** Process deliveries in time order until the queue drains or virtual
+    time exceeds [until] (default 100_000). *)

@@ -1,0 +1,243 @@
+type vote = Yes | No
+
+type crash_point =
+  | No_crash
+  | Before_prepare
+  | After_prepare
+  | Mid_decision of int
+
+type config = {
+  participants : int;
+  site_clocks : int list;
+  votes : vote list;
+  coordinator_crash : crash_point;
+  participant_crash : (int * [ `Before_vote | `After_vote ]) option;
+  timeout : int;
+  max_termination_rounds : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    participants = 3;
+    site_clocks = [ 0; 0; 0 ];
+    votes = [ Yes; Yes; Yes ];
+    coordinator_crash = No_crash;
+    participant_crash = None;
+    timeout = 50;
+    max_termination_rounds = 3;
+    seed = 1;
+  }
+
+type site_status = Committed of int | Aborted | Blocked | Crashed
+
+type outcome = {
+  statuses : site_status list;
+  commit_ts : int option;
+  final_clocks : int list;
+  messages : int;
+  duration : int;
+}
+
+type msg =
+  | Prepare
+  | Vote_yes of int * int (* participant index, clock reading *)
+  | Vote_no of int
+  | Decide_commit of int (* commit timestamp *)
+  | Decide_abort
+  | Timeout_check
+  | Query of int (* querying participant index *)
+  | Peer_status of site_status_wire
+
+and site_status_wire = W_committed of int | W_aborted | W_prepared | W_idle
+
+(* Participant protocol state. *)
+type pstate =
+  | P_idle
+  | P_refused (* decided abort before voting (termination protocol) *)
+  | P_prepared
+  | P_committed of int
+  | P_aborted
+
+type coordinator = {
+  mutable yes_votes : (int * int) list; (* participant, clock *)
+  mutable no_seen : bool;
+  mutable decided : bool;
+}
+
+let run cfg =
+  if List.length cfg.site_clocks <> cfg.participants then
+    invalid_arg "Tpc.run: site_clocks length mismatch";
+  if List.length cfg.votes <> cfg.participants then
+    invalid_arg "Tpc.run: votes length mismatch";
+  let n = cfg.participants in
+  (* Node 0 is the coordinator; participant i is node i+1. *)
+  let node_of_participant i = i + 1 in
+  let participant_of_node node = node - 1 in
+  let coord = { yes_votes = []; no_seen = false; decided = false } in
+  let commit_ts = ref None in
+  let pstates = Array.make n P_idle in
+  let rounds = Array.make n 0 in
+  let clocks = Array.of_list cfg.site_clocks in
+  let votes = Array.of_list cfg.votes in
+  let decide sim ts_or_abort upto =
+    coord.decided <- true;
+    (match ts_or_abort with
+    | Some ts -> commit_ts := Some ts
+    | None -> ());
+    let msg =
+      match ts_or_abort with
+      | Some ts -> Decide_commit ts
+      | None -> Decide_abort
+    in
+    for i = 0 to min (upto - 1) (n - 1) do
+      Msim.send sim ~src:0 ~dst:(node_of_participant i) msg
+    done
+  in
+  let handler sim ~node msg =
+    if node = 0 then begin
+      (* Coordinator. *)
+      match msg with
+      | Vote_no _ ->
+        if not coord.decided then decide sim None n
+      | Vote_yes (i, clock) ->
+        if not coord.decided then begin
+          if not (List.mem_assoc i coord.yes_votes) then
+            coord.yes_votes <- (i, clock) :: coord.yes_votes;
+          if List.length coord.yes_votes = n then begin
+            let ts =
+              1 + List.fold_left (fun acc (_, c) -> max acc c) 0 coord.yes_votes
+            in
+            match cfg.coordinator_crash with
+            | Mid_decision k ->
+              decide sim (Some ts) k;
+              Msim.crash sim 0
+            | _ -> decide sim (Some ts) n
+          end
+        end
+      | Prepare | Decide_commit _ | Decide_abort | Timeout_check | Query _
+      | Peer_status _ -> ()
+    end
+    else begin
+      (* Participant. *)
+      let i = participant_of_node node in
+      (match cfg.participant_crash with
+      | Some (j, `Before_vote) when j = i && pstates.(i) = P_idle ->
+        Msim.crash sim node
+      | _ -> ());
+      if not (Msim.crashed sim node) then
+        match msg with
+        | Prepare -> (
+          match pstates.(i) with
+          | P_idle -> (
+            match votes.(i) with
+            | No ->
+              pstates.(i) <- P_aborted;
+              Msim.send sim ~src:node ~dst:0 (Vote_no i)
+            | Yes ->
+              pstates.(i) <- P_prepared;
+              Msim.send sim ~src:node ~dst:0 (Vote_yes (i, clocks.(i)));
+              Msim.set_timer sim ~node ~after:cfg.timeout Timeout_check;
+              (match cfg.participant_crash with
+              | Some (j, `After_vote) when j = i -> Msim.crash sim node
+              | _ -> ()))
+          | P_refused -> Msim.send sim ~src:node ~dst:0 (Vote_no i)
+          | P_prepared | P_committed _ | P_aborted -> ())
+        | Decide_commit ts -> (
+          match pstates.(i) with
+          | P_prepared | P_idle ->
+            clocks.(i) <- max clocks.(i) ts;
+            pstates.(i) <- P_committed ts
+          | P_refused | P_committed _ | P_aborted -> ())
+        | Decide_abort -> (
+          match pstates.(i) with
+          | P_prepared | P_idle | P_refused -> pstates.(i) <- P_aborted
+          | P_committed _ | P_aborted -> ())
+        | Timeout_check ->
+          if pstates.(i) = P_prepared then begin
+            if rounds.(i) < cfg.max_termination_rounds then begin
+              rounds.(i) <- rounds.(i) + 1;
+              (* Cooperative termination: ask every peer. *)
+              for j = 0 to n - 1 do
+                if j <> i then
+                  Msim.send sim ~src:node ~dst:(node_of_participant j)
+                    (Query i)
+              done;
+              Msim.set_timer sim ~node ~after:cfg.timeout Timeout_check
+            end
+          end
+        | Query from -> (
+          let reply w =
+            Msim.send sim ~src:node ~dst:(node_of_participant from)
+              (Peer_status w)
+          in
+          match pstates.(i) with
+          | P_committed ts -> reply (W_committed ts)
+          | P_aborted | P_refused -> reply W_aborted
+          | P_prepared -> reply W_prepared
+          | P_idle ->
+            (* Refuse to vote so the querier may safely abort: the
+               coordinator can no longer have collected our yes-vote. *)
+            pstates.(i) <- P_refused;
+            reply W_idle)
+        | Peer_status w -> (
+          if pstates.(i) = P_prepared then
+            match w with
+            | W_committed ts ->
+              clocks.(i) <- max clocks.(i) ts;
+              pstates.(i) <- P_committed ts
+            | W_aborted | W_idle -> pstates.(i) <- P_aborted
+            | W_prepared -> ())
+        | Vote_yes _ | Vote_no _ -> ()
+    end
+  in
+  let sim = Msim.create ~seed:cfg.seed ~nodes:(n + 1) ~handler () in
+  (match cfg.coordinator_crash with
+  | Before_prepare -> Msim.crash sim 0
+  | No_crash | After_prepare | Mid_decision _ ->
+    for i = 0 to n - 1 do
+      Msim.send sim ~src:0 ~dst:(node_of_participant i) Prepare
+    done);
+  (match cfg.coordinator_crash with
+  | After_prepare ->
+    (* Die just after the prepares leave, before any vote arrives. *)
+    Msim.crash_at sim ~time:1 0
+  | No_crash | Before_prepare | Mid_decision _ -> ());
+  Msim.run sim;
+  let statuses =
+    List.init n (fun i ->
+        if Msim.crashed sim (node_of_participant i) then Crashed
+        else
+          match pstates.(i) with
+          | P_committed ts -> Committed ts
+          | P_aborted | P_refused -> Aborted
+          | P_prepared -> Blocked
+          | P_idle -> Aborted (* never engaged: presumed abort *))
+  in
+  {
+    statuses;
+    commit_ts = !commit_ts;
+    final_clocks = Array.to_list clocks;
+    messages = Msim.messages_delivered sim;
+    duration = Msim.now sim;
+  }
+
+let atomic_commitment o =
+  let committed =
+    List.exists (function Committed _ -> true | _ -> false) o.statuses
+  in
+  let aborted = List.exists (( = ) Aborted) o.statuses in
+  not (committed && aborted)
+
+let pp_status ppf = function
+  | Committed ts -> Fmt.pf ppf "committed(%d)" ts
+  | Aborted -> Fmt.string ppf "aborted"
+  | Blocked -> Fmt.string ppf "blocked"
+  | Crashed -> Fmt.string ppf "crashed"
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "@[<v>decision: %a@,sites: %a@,messages: %d, duration: %d@]"
+    Fmt.(option ~none:(any "none") int)
+    o.commit_ts
+    Fmt.(list ~sep:comma pp_status)
+    o.statuses o.messages o.duration

@@ -1,0 +1,76 @@
+(** Two-phase commit with commit-timestamp generation — the
+    distributed implementation route for hybrid atomicity the paper
+    points to ("some simple modifications to a two-phase commit
+    protocol", Section 4.3.3).
+
+    One coordinator and [n] participant sites run atomic commitment for
+    a single distributed update transaction over a deterministic
+    message-passing simulation ({!Msim}).  Each yes-vote carries the
+    participant's logical-clock reading; the coordinator chooses the
+    commit timestamp as one past the maximum of all readings, so the
+    timestamp exceeds every timestamp any participant has observed —
+    making the global timestamp order of committed updates consistent
+    with [precedes] at every object, which is exactly what hybrid
+    atomicity requires.
+
+    Failure handling is classical presumed-nothing 2PC with a
+    cooperative termination protocol: a prepared participant that times
+    out queries its peers; it adopts any decision a peer knows, aborts
+    if some peer has not voted (that peer then refuses to vote), and
+    remains {e blocked} when every peer is also prepared — 2PC's
+    well-known blocking window, reproduced faithfully. *)
+
+type vote = Yes | No
+
+type crash_point =
+  | No_crash
+  | Before_prepare  (** coordinator dies before sending any PREPARE *)
+  | After_prepare   (** coordinator dies after PREPAREs, before deciding *)
+  | Mid_decision of int
+      (** coordinator dies after sending the decision to only the first
+          [k] participants *)
+
+type config = {
+  participants : int;
+  site_clocks : int list;
+      (** each participant's logical-clock reading (timestamps it has
+          already observed); length must equal [participants] *)
+  votes : vote list; (** how each participant votes *)
+  coordinator_crash : crash_point;
+  participant_crash : (int * [ `Before_vote | `After_vote ]) option;
+      (** participant index (0-based) and when it dies *)
+  timeout : int; (** participant patience before running termination *)
+  max_termination_rounds : int;
+  seed : int;
+}
+
+val default_config : config
+(** 3 participants, clocks [0;0;0], all yes, no crashes, timeout 50,
+    3 termination rounds, seed 1. *)
+
+type site_status =
+  | Committed of int (** with the commit timestamp *)
+  | Aborted
+  | Blocked (** prepared, decision unknowable — 2PC's blocking window *)
+  | Crashed
+
+type outcome = {
+  statuses : site_status list; (** per participant *)
+  commit_ts : int option; (** the coordinator's decision, if it made one *)
+  final_clocks : int list;
+      (** each participant's logical clock after the run — feed these
+          into the next transaction's [site_clocks] to chain commits
+          and observe monotone (precedes-consistent) timestamps *)
+  messages : int;
+  duration : int; (** virtual time at quiescence *)
+}
+
+val run : config -> outcome
+(** @raise Invalid_argument on inconsistent configuration lengths. *)
+
+val atomic_commitment : outcome -> bool
+(** No participant committed while another aborted (crashed and blocked
+    sites are indeterminate and excluded) — the all-or-nothing
+    invariant. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/event/activity.ml: Fmt Map Set String

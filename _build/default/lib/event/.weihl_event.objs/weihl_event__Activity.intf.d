@@ -1,0 +1,1 @@
+lib/event/activity.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/event/event.ml: Activity Fmt Int Object_id Operation Option Timestamp Value

@@ -1,0 +1,1 @@
+lib/event/event.mli: Activity Format Object_id Operation Timestamp Value

@@ -1,0 +1,1 @@
+lib/event/history.ml: Activity Event Fmt Fun List Object_id Option Timestamp

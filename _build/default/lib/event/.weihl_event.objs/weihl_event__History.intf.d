@@ -1,0 +1,1 @@
+lib/event/history.mli: Activity Event Format Object_id Timestamp

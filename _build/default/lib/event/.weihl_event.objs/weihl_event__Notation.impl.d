@@ -1,0 +1,1 @@
+lib/event/notation.ml: Activity Event Fmt Fun History List Object_id Operation Option String Timestamp Value

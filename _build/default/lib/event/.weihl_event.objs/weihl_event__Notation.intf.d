@@ -1,0 +1,1 @@
+lib/event/notation.mli: Event Format History

@@ -1,0 +1,1 @@
+lib/event/object_id.ml: Fmt Map Set String

@@ -1,0 +1,1 @@
+lib/event/object_id.mli: Format Map Set

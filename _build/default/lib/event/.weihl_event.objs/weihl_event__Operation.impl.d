@@ -1,0 +1,1 @@
+lib/event/operation.ml: Fmt List String Value

@@ -1,0 +1,1 @@
+lib/event/operation.mli: Format Value

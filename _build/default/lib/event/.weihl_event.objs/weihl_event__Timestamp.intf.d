@@ -1,0 +1,1 @@
+lib/event/timestamp.mli: Format

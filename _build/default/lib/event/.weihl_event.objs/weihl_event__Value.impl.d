@@ -1,0 +1,1 @@
+lib/event/value.ml: Bool Fmt Int List String

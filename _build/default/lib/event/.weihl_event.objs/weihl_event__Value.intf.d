@@ -1,0 +1,1 @@
+lib/event/value.mli: Format

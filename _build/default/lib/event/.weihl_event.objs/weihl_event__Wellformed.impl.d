@@ -1,0 +1,1 @@
+lib/event/wellformed.ml: Activity Event Fmt Hashtbl History List Object_id Option Result String Timestamp

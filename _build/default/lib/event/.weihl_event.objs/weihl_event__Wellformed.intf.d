@@ -1,0 +1,1 @@
+lib/event/wellformed.mli: Activity Format History Object_id

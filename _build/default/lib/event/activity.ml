@@ -1,0 +1,20 @@
+type kind = Update | Read_only
+
+type t = { name : string; kind : kind }
+
+let update name = { name; kind = Update }
+let read_only name = { name; kind = Read_only }
+let name a = a.name
+let kind a = a.kind
+let is_read_only a = a.kind = Read_only
+let equal a b = String.equal a.name b.name
+let compare a b = String.compare a.name b.name
+let pp ppf a = Fmt.string ppf a.name
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

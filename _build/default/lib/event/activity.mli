@@ -1,0 +1,30 @@
+(** Activities (the paper's transactions / threads of control).
+
+    Section 4.3 partitions activities into {e update} activities
+    (written [a], [b], [c] in the paper) and {e read-only} activities
+    (written [r], [s], [t]).  The partition is irrelevant to dynamic
+    and static atomicity but essential to hybrid atomicity, so we carry
+    it on the activity itself.  Identity (and thus ordering and
+    equality) is determined by the name alone. *)
+
+type kind = Update | Read_only
+
+type t
+
+val update : string -> t
+(** An update activity, i.e. one that may invoke state-changing
+    operations. *)
+
+val read_only : string -> t
+(** A read-only activity: one that invokes no state-changing
+    operations (Section 4.3). *)
+
+val name : t -> string
+val kind : t -> kind
+val is_read_only : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,155 @@
+type t = Event.t list
+
+let empty = []
+let append h e = h @ [ e ]
+let of_list l = l
+let to_list h = h
+let length = List.length
+let equal h k = List.equal Event.equal h k
+
+let project_object x h =
+  List.filter (fun e -> Object_id.equal (Event.object_id e) x) h
+
+let project_activity a h =
+  List.filter (fun e -> Activity.equal (Event.activity e) a) h
+
+(* First-appearance order, deduplicated. *)
+let dedup_keep_order equal xs =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | x :: rest ->
+      if List.exists (equal x) seen then go seen rest
+      else go (x :: seen) rest
+  in
+  go [] xs
+
+let activities h =
+  dedup_keep_order Activity.equal (List.map Event.activity h)
+
+let objects h = dedup_keep_order Object_id.equal (List.map Event.object_id h)
+
+let committed h =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Event.Commit (a, _, _) -> Activity.Set.add a acc
+      | _ -> acc)
+    Activity.Set.empty h
+
+let aborted h =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Event.Abort (a, _) -> Activity.Set.add a acc
+      | _ -> acc)
+    Activity.Set.empty h
+
+let active h =
+  let resolved = Activity.Set.union (committed h) (aborted h) in
+  List.fold_left
+    (fun acc a ->
+      if Activity.Set.mem a resolved then acc else Activity.Set.add a acc)
+    Activity.Set.empty (activities h)
+
+let perm h =
+  let c = committed h in
+  List.filter (fun e -> Activity.Set.mem (Event.activity e) c) h
+
+let updates h =
+  List.filter (fun e -> not (Activity.is_read_only (Event.activity e))) h
+
+let equivalent h k =
+  let acts =
+    dedup_keep_order Activity.equal (activities h @ activities k)
+  in
+  List.for_all
+    (fun a -> equal (project_activity a h) (project_activity a k))
+    acts
+
+let precedes h =
+  (* (a,b) iff some Respond of b occurs after some Commit of a.  A
+     single left-to-right pass suffices: carry the set of activities
+     that have committed so far; each Respond of b adds (a,b) for every
+     previously committed a <> b. *)
+  let _, pairs =
+    List.fold_left
+      (fun (committed_so_far, pairs) e ->
+        match e with
+        | Event.Commit (a, _, _) ->
+          (Activity.Set.add a committed_so_far, pairs)
+        | Event.Respond (b, _, _) ->
+          let pairs =
+            Activity.Set.fold
+              (fun a pairs ->
+                if Activity.equal a b then pairs
+                else if
+                  List.exists
+                    (fun (a', b') ->
+                      Activity.equal a a' && Activity.equal b b')
+                    pairs
+                then pairs
+                else (a, b) :: pairs)
+              committed_so_far pairs
+          in
+          (committed_so_far, pairs)
+        | Event.Invoke _ | Event.Abort _ | Event.Initiate _ ->
+          (committed_so_far, pairs))
+      (Activity.Set.empty, [])
+      h
+  in
+  List.rev pairs
+
+let precedes_mem h a b =
+  List.exists
+    (fun (a', b') -> Activity.equal a a' && Activity.equal b b')
+    (precedes h)
+
+let timestamp_of h a =
+  List.find_map
+    (fun e ->
+      if Activity.equal (Event.activity e) a then Event.timestamp e
+      else None)
+    h
+
+let timestamp_order h =
+  let acts = Activity.Set.elements (committed h) in
+  let stamped =
+    List.map (fun a -> Option.map (fun t -> (a, t)) (timestamp_of h a)) acts
+  in
+  if List.exists Option.is_none stamped then None
+  else
+    let stamped = List.filter_map Fun.id stamped in
+    let sorted =
+      List.sort (fun (_, t) (_, t') -> Timestamp.compare t t') stamped
+    in
+    Some (List.map fst sorted)
+
+let serial h =
+  (* No activity's events may resume after another activity's events
+     have intervened. *)
+  let rec go seen current = function
+    | [] -> true
+    | e :: rest ->
+      let a = Event.activity e in
+      (match current with
+      | Some c when Activity.equal c a -> go seen current rest
+      | _ ->
+        if List.exists (Activity.equal a) seen then false
+        else go (a :: seen) (Some a) rest)
+  in
+  go [] None h
+
+let is_prefix p h =
+  let rec go p h =
+    match p, h with
+    | [], _ -> true
+    | _, [] -> false
+    | e :: p', f :: h' -> Event.equal e f && go p' h'
+  in
+  go p h
+
+let concat_serial order h =
+  List.concat_map (fun a -> project_activity a h) order
+
+let pp ppf h = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Event.pp) h
+let to_string h = Fmt.str "%a" pp h

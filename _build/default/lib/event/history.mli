@@ -1,0 +1,87 @@
+(** Histories: finite sequences of events, the paper's computations.
+
+    All of the paper's derived notions live here: the projections [h|x]
+    and [h|a], the committed projection [perm(h)], the update
+    projection [updates(h)], the [precedes(h)] relation of Section 4.1,
+    and equivalence of histories. *)
+
+type t = Event.t list
+(** A history is an event sequence in temporal order (head first). *)
+
+val empty : t
+val append : t -> Event.t -> t
+val of_list : Event.t list -> t
+val to_list : t -> Event.t list
+val length : t -> int
+val equal : t -> t -> bool
+
+val project_object : Object_id.t -> t -> t
+(** [project_object x h] is the paper's [h|x]: the subsequence of [h]
+    consisting of all events in which [x] participates. *)
+
+val project_activity : Activity.t -> t -> t
+(** [project_activity a h] is the paper's [h|a]. *)
+
+val activities : t -> Activity.t list
+(** All activities participating in [h], in order of first appearance. *)
+
+val objects : t -> Object_id.t list
+(** All objects participating in [h], in order of first appearance. *)
+
+val committed : t -> Activity.Set.t
+(** Activities that commit (at some object) in [h]. *)
+
+val aborted : t -> Activity.Set.t
+(** Activities that abort (at some object) in [h]. *)
+
+val active : t -> Activity.Set.t
+(** Activities that neither commit nor abort in [h]. *)
+
+val perm : t -> t
+(** [perm h] is the subsequence of [h] consisting of all events
+    involving activities that commit in [h], and no others
+    (Section 3). *)
+
+val updates : t -> t
+(** [updates h] is the subsequence of [h] consisting of all events
+    involving update activities (Section 4.3.2). *)
+
+val equivalent : t -> t -> bool
+(** [equivalent h k] iff every activity has the same view in both:
+    [h|a = k|a] for every activity [a] (Section 3). *)
+
+val precedes : t -> (Activity.t * Activity.t) list
+(** [precedes h] is the relation of Section 4.1:
+    [(a,b) ∈ precedes(h)] iff there exists an operation invoked by [b]
+    that terminates after [a] commits, with [a ≠ b].  Returned as a
+    duplicate-free association list. *)
+
+val precedes_mem : t -> Activity.t -> Activity.t -> bool
+(** [precedes_mem h a b] iff [(a,b) ∈ precedes(h)]. *)
+
+val timestamp_of : t -> Activity.t -> Timestamp.t option
+(** The timestamp attached to [a]'s timestamp events (initiations, or
+    timestamped commits) in [h], if any.  Well-formed histories give
+    each activity at most one distinct timestamp. *)
+
+val timestamp_order : t -> Activity.t list option
+(** The committed activities of [h] sorted by their timestamps;
+    [None] if some committed activity lacks a timestamp. *)
+
+val serial : t -> bool
+(** Whether [h] is serial: events of different activities are not
+    interleaved (Section 3). *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix p h] iff [p] is a prefix of [h]. *)
+
+val concat_serial : Activity.t list -> t -> t
+(** [concat_serial order h] builds the serial history obtained by
+    concatenating the per-activity projections of [h] in the given
+    activity order.  Activities of [h] absent from [order] are
+    dropped. *)
+
+val pp : Format.formatter -> t -> unit
+(** One event per line, in the paper's notation. *)
+
+val to_string : t -> string

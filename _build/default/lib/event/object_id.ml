@@ -1,0 +1,10 @@
+type t = string
+
+let v s = s
+let name s = s
+let equal = String.equal
+let compare = String.compare
+let pp = Fmt.string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

@@ -1,0 +1,21 @@
+type t = { name : string; args : Value.t list }
+
+let make name args = { name; args }
+let name op = op.name
+let args op = op.args
+
+let equal a b =
+  String.equal a.name b.name
+  && List.length a.args = List.length b.args
+  && List.for_all2 Value.equal a.args b.args
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else List.compare Value.compare a.args b.args
+
+let pp ppf op =
+  match op.args with
+  | [] -> Fmt.string ppf op.name
+  | args -> Fmt.pf ppf "%s(%a)" op.name Fmt.(list ~sep:comma Value.pp) args
+
+let to_string op = Fmt.str "%a" pp op

@@ -1,0 +1,11 @@
+type t = int
+
+let v n =
+  if n < 0 then invalid_arg "Timestamp.v: negative timestamp";
+  n
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let ( < ) a b = compare a b < 0
+let pp = Fmt.int

@@ -1,0 +1,15 @@
+(** Timestamps, drawn from a countable well-ordered set.
+
+    Following the paper we use natural numbers.  Construction via
+    {!v} enforces non-negativity. *)
+
+type t
+
+val v : int -> t
+(** @raise Invalid_argument if the argument is negative. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Sym of string
+  | List of t list
+  | Pair of t * t
+
+let ok = Sym "ok"
+let insufficient_funds = Sym "insufficient_funds"
+
+let rec equal v w =
+  match v, w with
+  | Unit, Unit -> true
+  | Bool b, Bool c -> Bool.equal b c
+  | Int i, Int j -> Int.equal i j
+  | Sym s, Sym t -> String.equal s t
+  | List vs, List ws ->
+    List.length vs = List.length ws && List.for_all2 equal vs ws
+  | Pair (a, b), Pair (c, d) -> equal a c && equal b d
+  | (Unit | Bool _ | Int _ | Sym _ | List _ | Pair _), _ -> false
+
+let rec compare v w =
+  let tag = function
+    | Unit -> 0 | Bool _ -> 1 | Int _ -> 2 | Sym _ -> 3 | List _ -> 4
+    | Pair _ -> 5
+  in
+  match v, w with
+  | Unit, Unit -> 0
+  | Bool b, Bool c -> Bool.compare b c
+  | Int i, Int j -> Int.compare i j
+  | Sym s, Sym t -> String.compare s t
+  | List vs, List ws -> List.compare compare vs ws
+  | Pair (a, b), Pair (c, d) ->
+    let c0 = compare a c in
+    if c0 <> 0 then c0 else compare b d
+  | _, _ -> Int.compare (tag v) (tag w)
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Sym s -> Fmt.string ppf s
+  | List vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp) vs
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+
+let to_string v = Fmt.str "%a" pp v

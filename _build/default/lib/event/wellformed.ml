@@ -1,0 +1,151 @@
+type mode = Base | Static | Hybrid
+
+type violation =
+  | Overlapping_invocation of Activity.t
+  | Unmatched_response of Activity.t * Object_id.t
+  | Commit_and_abort of Activity.t
+  | Commit_while_pending of Activity.t
+  | Event_after_commit of Activity.t
+  | Duplicate_completion of Activity.t * Object_id.t
+  | Invoke_before_initiate of Activity.t * Object_id.t
+  | Duplicate_timestamp of Activity.t * Activity.t
+  | Inconsistent_timestamp of Activity.t
+  | Timestamp_against_precedes of Activity.t * Activity.t
+
+let pp_violation ppf = function
+  | Overlapping_invocation a ->
+    Fmt.pf ppf "%a invoked an operation while another was pending"
+      Activity.pp a
+  | Unmatched_response (a, x) ->
+    Fmt.pf ppf "termination for %a at %a has no pending invocation"
+      Activity.pp a Object_id.pp x
+  | Commit_and_abort a ->
+    Fmt.pf ppf "%a both commits and aborts" Activity.pp a
+  | Commit_while_pending a ->
+    Fmt.pf ppf "%a committed while waiting for an invocation" Activity.pp a
+  | Event_after_commit a ->
+    Fmt.pf ppf "%a participated in an event after committing" Activity.pp a
+  | Duplicate_completion (a, x) ->
+    Fmt.pf ppf "%a completed twice at %a" Activity.pp a Object_id.pp x
+  | Invoke_before_initiate (a, x) ->
+    Fmt.pf ppf "%a invoked an operation at %a before initiating there"
+      Activity.pp a Object_id.pp x
+  | Duplicate_timestamp (a, b) ->
+    Fmt.pf ppf "%a and %a carry the same timestamp" Activity.pp a
+      Activity.pp b
+  | Inconsistent_timestamp a ->
+    Fmt.pf ppf "%a carries two different timestamps" Activity.pp a
+  | Timestamp_against_precedes (a, b) ->
+    Fmt.pf ppf
+      "%a precedes %a but was assigned the larger commit timestamp"
+      Activity.pp a Activity.pp b
+
+(* Per-activity scanning state. *)
+type act_state = {
+  pending : Object_id.t option; (* object of the pending invocation *)
+  committed : bool;
+  aborted_ : bool;
+  completions : Object_id.t list; (* objects where commit/abort happened *)
+  initiated : Object_id.t list;
+  stamps : Timestamp.t list; (* all timestamps this activity has used *)
+}
+
+let fresh =
+  {
+    pending = None;
+    committed = false;
+    aborted_ = false;
+    completions = [];
+    initiated = [];
+    stamps = [];
+  }
+
+let check mode h =
+  let tbl : (string, act_state) Hashtbl.t = Hashtbl.create 16 in
+  let get a =
+    match Hashtbl.find_opt tbl (Activity.name a) with
+    | Some s -> s
+    | None -> fresh
+  in
+  let set a s = Hashtbl.replace tbl (Activity.name a) s in
+  let violations = ref [] in
+  let bad v = violations := v :: !violations in
+  let needs_initiation a =
+    match mode with
+    | Base -> false
+    | Static -> true
+    | Hybrid -> Activity.is_read_only a
+  in
+  let record_stamp a t =
+    let s = get a in
+    if s.stamps <> [] && not (List.exists (Timestamp.equal t) s.stamps) then
+      bad (Inconsistent_timestamp a);
+    (* Distinctness across activities (against every timestamp any
+       other activity has used). *)
+    Hashtbl.iter
+      (fun name s' ->
+        if
+          (not (String.equal name (Activity.name a)))
+          && List.exists (Timestamp.equal t) s'.stamps
+        then bad (Duplicate_timestamp (a, Activity.update name)))
+      tbl;
+    if not (List.exists (Timestamp.equal t) s.stamps) then
+      set a { s with stamps = t :: s.stamps }
+  in
+  List.iter
+    (fun e ->
+      let a = Event.activity e in
+      let s = get a in
+      if s.committed && not (Event.is_commit e) then bad (Event_after_commit a);
+      match e with
+      | Event.Invoke (_, x, _) ->
+        if Option.is_some s.pending then bad (Overlapping_invocation a);
+        if
+          needs_initiation a
+          && not (List.exists (Object_id.equal x) s.initiated)
+        then bad (Invoke_before_initiate (a, x));
+        set a { s with pending = Some x }
+      | Event.Respond (_, x, _) ->
+        (match s.pending with
+        | Some x' when Object_id.equal x x' -> set a { s with pending = None }
+        | Some _ | None -> bad (Unmatched_response (a, x)))
+      | Event.Commit (_, x, ts) ->
+        if s.aborted_ then bad (Commit_and_abort a);
+        if Option.is_some s.pending then bad (Commit_while_pending a);
+        if List.exists (Object_id.equal x) s.completions then
+          bad (Duplicate_completion (a, x));
+        let s = get a in
+        set a { s with committed = true; completions = x :: s.completions };
+        (match mode, ts with
+        | Hybrid, Some t when not (Activity.is_read_only a) -> record_stamp a t
+        | _, Some t when mode = Static -> record_stamp a t
+        | _ -> ())
+      | Event.Abort (_, x) ->
+        if s.committed then bad (Commit_and_abort a);
+        if List.exists (Object_id.equal x) s.completions then
+          bad (Duplicate_completion (a, x));
+        set a { s with aborted_ = true; completions = x :: s.completions }
+      | Event.Initiate (_, x, t) ->
+        set a { (get a) with initiated = x :: (get a).initiated };
+        (match mode with
+        | Base -> ()
+        | Static -> record_stamp a t
+        | Hybrid -> if Activity.is_read_only a then record_stamp a t))
+    h;
+  (* Hybrid: commit timestamps of updates must be consistent with
+     precedes. *)
+  (if mode = Hybrid then
+     let prec = History.precedes h in
+     List.iter
+       (fun (a, b) ->
+         if not (Activity.is_read_only a || Activity.is_read_only b) then
+           match (History.timestamp_of h a, History.timestamp_of h b) with
+           | Some ta, Some tb when Timestamp.(tb < ta) ->
+             bad (Timestamp_against_precedes (a, b))
+           | _ -> ())
+       prec);
+  match List.rev !violations with
+  | [] -> Ok ()
+  | vs -> Error vs
+
+let is_well_formed mode h = Result.is_ok (check mode h)

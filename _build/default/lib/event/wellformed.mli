@@ -1,0 +1,56 @@
+(** Well-formedness of event sequences.
+
+    Section 2 restricts attention to sequences in which activities
+    behave like sequential processes; Sections 4.2.1 and 4.3.1 add
+    timestamp constraints for the static and hybrid models.  The three
+    regimes are selected by a {!mode}. *)
+
+type mode =
+  | Base
+      (** Section 2: invoke/respond/commit/abort events only; the four
+          sequential-process constraints. *)
+  | Static
+      (** Section 4.2.1: additionally, every activity initiates at an
+          object before invoking operations there; initiation
+          timestamps are unique per activity and distinct across
+          activities. *)
+  | Hybrid
+      (** Section 4.3.1: read-only activities initiate before invoking;
+          timestamp events (commit timestamps of updates, initiation
+          timestamps of read-only activities) are unique per activity
+          and distinct across activities; update commit timestamps are
+          consistent with [precedes]. *)
+
+type violation =
+  | Overlapping_invocation of Activity.t
+      (** The activity invoked an operation while one was pending. *)
+  | Unmatched_response of Activity.t * Object_id.t
+      (** A termination event with no pending invocation at that
+          object. *)
+  | Commit_and_abort of Activity.t
+      (** The activity both commits and aborts in the sequence. *)
+  | Commit_while_pending of Activity.t
+      (** The activity committed while waiting for an invocation. *)
+  | Event_after_commit of Activity.t
+      (** The activity invoked an operation (or initiated) after
+          committing. *)
+  | Duplicate_completion of Activity.t * Object_id.t
+      (** The activity committed or aborted twice at the same
+          object. *)
+  | Invoke_before_initiate of Activity.t * Object_id.t
+      (** (Static/Hybrid) an operation was invoked at an object before
+          the required initiation there. *)
+  | Duplicate_timestamp of Activity.t * Activity.t
+      (** Two distinct activities carry the same timestamp. *)
+  | Inconsistent_timestamp of Activity.t
+      (** One activity carries two different timestamps. *)
+  | Timestamp_against_precedes of Activity.t * Activity.t
+      (** (Hybrid) [(a,b) ∈ precedes] but [ts(b) < ts(a)] for update
+          commits. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : mode -> History.t -> (unit, violation list) result
+(** All violations found, in order of detection. *)
+
+val is_well_formed : mode -> History.t -> bool

@@ -1,0 +1,1 @@
+lib/runtime/concurrent.ml: Condition Fun Hashtbl Mutex Weihl_cc

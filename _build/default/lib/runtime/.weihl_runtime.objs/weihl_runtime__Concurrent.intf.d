@@ -1,0 +1,1 @@
+lib/runtime/concurrent.mli: Activity History Object_id Operation Value Weihl_cc Weihl_event

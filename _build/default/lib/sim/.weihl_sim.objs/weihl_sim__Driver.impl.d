@@ -1,0 +1,1 @@
+lib/sim/driver.ml: Activity Array Fmt Hashtbl List Option Pqueue Rng Stats Weihl_cc Weihl_event Workload

@@ -1,0 +1,1 @@
+lib/sim/driver.mli: Format Weihl_cc Workload

@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Int64 List

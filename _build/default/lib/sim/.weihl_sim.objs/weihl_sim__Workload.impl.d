@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Fmt List Object_id Operation Rng Value Weihl_adt Weihl_event

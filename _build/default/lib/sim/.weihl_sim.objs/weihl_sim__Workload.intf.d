@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Object_id Operation Rng Value Weihl_event

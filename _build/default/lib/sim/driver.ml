@@ -1,0 +1,280 @@
+open Weihl_event
+module Cc = Weihl_cc
+
+type config = {
+  clients : int;
+  duration : int;
+  op_cost : int;
+  think_time : int;
+  restart_backoff : int;
+  max_restarts : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    clients = 8;
+    duration = 2000;
+    op_cost = 1;
+    think_time = 0;
+    restart_backoff = 5;
+    max_restarts = 3;
+    seed = 42;
+  }
+
+type outcome = {
+  committed : int;
+  committed_read_only : int;
+  aborted_deadlock : int;
+  aborted_refused : int;
+  gave_up : int;
+  waits : int;
+  waits_read_only : int;
+  restarts : int;
+  update_latencies : float list;
+  read_only_latencies : float list;
+  committed_by_label : (string * int) list;
+  ticks : int;
+}
+
+let throughput o =
+  if o.ticks = 0 then 0.
+  else 1000. *. float_of_int o.committed /. float_of_int o.ticks
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "@[<v>committed: %d (read-only %d)@,\
+     aborted: %d deadlock, %d refused; gave up: %d@,\
+     waits: %d (read-only %d); restarts: %d@,\
+     throughput: %.2f txn/1000 ticks@,\
+     update latency: mean %.1f p95 %.1f@,\
+     read-only latency: mean %.1f p95 %.1f@]"
+    o.committed o.committed_read_only o.aborted_deadlock o.aborted_refused
+    o.gave_up o.waits o.waits_read_only o.restarts (throughput o)
+    (Stats.mean o.update_latencies)
+    (Stats.percentile 95. o.update_latencies)
+    (Stats.mean o.read_only_latencies)
+    (Stats.percentile 95. o.read_only_latencies)
+
+type client = {
+  cid : int;
+  mutable script : Workload.script option;
+  mutable step_idx : int;
+  mutable txn : Cc.Txn.t option;
+  mutable first_start : int;
+  mutable restarts_left : int;
+  mutable blocked : bool;
+  mutable retry_scheduled : bool;
+}
+
+type metrics = {
+  mutable m_committed : int;
+  mutable m_committed_ro : int;
+  mutable m_deadlock : int;
+  mutable m_refused : int;
+  mutable m_gave_up : int;
+  mutable m_waits : int;
+  mutable m_waits_ro : int;
+  mutable m_restarts : int;
+  mutable m_upd_lat : float list;
+  mutable m_ro_lat : float list;
+  mutable m_labels : (string * int) list;
+}
+
+let bump_label m label =
+  let n = Option.value ~default:0 (List.assoc_opt label m.m_labels) in
+  m.m_labels <- (label, n + 1) :: List.remove_assoc label m.m_labels
+
+let run ?(config = default_config) system workload =
+  let rng = Rng.create config.seed in
+  let pq : int Pqueue.t = Pqueue.create () in
+  let clients =
+    Array.init config.clients (fun cid ->
+        {
+          cid;
+          script = None;
+          step_idx = 0;
+          txn = None;
+          first_start = 0;
+          restarts_left = config.max_restarts;
+          blocked = false;
+          retry_scheduled = false;
+        })
+  in
+  let txn_owner : (int, client) Hashtbl.t = Hashtbl.create 64 in
+  let m =
+    {
+      m_committed = 0;
+      m_committed_ro = 0;
+      m_deadlock = 0;
+      m_refused = 0;
+      m_gave_up = 0;
+      m_waits = 0;
+      m_waits_ro = 0;
+      m_restarts = 0;
+      m_upd_lat = [];
+      m_ro_lat = [];
+      m_labels = [];
+    }
+  in
+  let activity_counter = ref 0 in
+  let fresh_activity kind =
+    incr activity_counter;
+    match kind with
+    | `Update -> Activity.update (Fmt.str "u%d" !activity_counter)
+    | `Read_only -> Activity.read_only (Fmt.str "r%d" !activity_counter)
+  in
+  let schedule c ~time =
+    if not c.retry_scheduled then begin
+      c.retry_scheduled <- true;
+      Pqueue.push pq ~time c.cid
+    end
+  in
+  let wake_blocked ~time =
+    Array.iter (fun c -> if c.blocked then schedule c ~time) clients
+  in
+  (* Tear down the client's current transaction after an abort decided
+     by the manager (deadlock victim or refused operation). *)
+  let restart_after_abort c ~time =
+    (match c.txn with
+    | Some txn -> Hashtbl.remove txn_owner (Cc.Txn.id txn)
+    | None -> ());
+    c.txn <- None;
+    c.step_idx <- 0;
+    c.blocked <- false;
+    if c.restarts_left <= 0 then begin
+      m.m_gave_up <- m.m_gave_up + 1;
+      c.script <- None
+    end
+    else begin
+      c.restarts_left <- c.restarts_left - 1;
+      m.m_restarts <- m.m_restarts + 1
+    end;
+    schedule c ~time:(time + config.restart_backoff + Rng.int rng 3)
+  in
+  let break_deadlock ~time =
+    match Cc.System.find_deadlock system with
+    | None -> ()
+    | Some cycle ->
+      let victim = Cc.Waits_for.victim cycle in
+      (match Hashtbl.find_opt txn_owner (Cc.Txn.id victim) with
+      | Some vc ->
+        Cc.System.abort system victim;
+        m.m_deadlock <- m.m_deadlock + 1;
+        restart_after_abort vc ~time;
+        wake_blocked ~time
+      | None ->
+        (* The victim is not one of our clients (cannot happen in this
+           driver); leave it to its owner. *)
+        ())
+  in
+  let finish_commit c txn ~time =
+    let script = Option.get c.script in
+    Cc.System.commit system txn;
+    Hashtbl.remove txn_owner (Cc.Txn.id txn);
+    m.m_committed <- m.m_committed + 1;
+    bump_label m script.Workload.label;
+    let latency = float_of_int (time + config.op_cost - c.first_start) in
+    (match script.Workload.kind with
+    | `Read_only ->
+      m.m_committed_ro <- m.m_committed_ro + 1;
+      m.m_ro_lat <- latency :: m.m_ro_lat
+    | `Update -> m.m_upd_lat <- latency :: m.m_upd_lat);
+    c.script <- None;
+    c.step_idx <- 0;
+    c.txn <- None;
+    wake_blocked ~time;
+    schedule c ~time:(time + config.op_cost + config.think_time)
+  in
+  let proceed c ~time =
+    c.retry_scheduled <- false;
+    if time > config.duration then ()
+    else begin
+      c.blocked <- false;
+      (* Draw a script and open a transaction if needed. *)
+      let script =
+        match c.script with
+        | Some s -> s
+        | None ->
+          let s = workload.Workload.generate rng in
+          c.script <- Some s;
+          c.step_idx <- 0;
+          c.first_start <- time;
+          c.restarts_left <- config.max_restarts;
+          s
+      in
+      let txn =
+        match c.txn with
+        | Some txn -> txn
+        | None ->
+          let txn =
+            Cc.System.begin_txn system (fresh_activity script.Workload.kind)
+          in
+          c.txn <- Some txn;
+          Hashtbl.replace txn_owner (Cc.Txn.id txn) c;
+          txn
+      in
+      match List.nth_opt script.Workload.steps c.step_idx with
+      | None -> finish_commit c txn ~time
+      | Some step -> (
+        match
+          Cc.System.invoke system txn step.Workload.obj step.Workload.op
+        with
+        | Cc.Atomic_object.Granted v ->
+          let continue =
+            match step.Workload.continue_if with
+            | None -> true
+            | Some pred -> pred v
+          in
+          if continue then begin
+            c.step_idx <- c.step_idx + 1;
+            if c.step_idx >= List.length script.Workload.steps then
+              finish_commit c txn ~time:(time + config.op_cost)
+            else schedule c ~time:(time + config.op_cost)
+          end
+          else finish_commit c txn ~time:(time + config.op_cost)
+        | Cc.Atomic_object.Wait _ ->
+          m.m_waits <- m.m_waits + 1;
+          if script.Workload.kind = `Read_only then
+            m.m_waits_ro <- m.m_waits_ro + 1;
+          c.blocked <- true;
+          break_deadlock ~time
+        | Cc.Atomic_object.Refused _ ->
+          Cc.System.abort system txn;
+          m.m_refused <- m.m_refused + 1;
+          restart_after_abort c ~time;
+          wake_blocked ~time)
+    end
+  in
+  Array.iter
+    (fun c -> schedule c ~time:(Rng.int rng (config.think_time + 2)))
+    clients;
+  let last_time = ref 0 in
+  let guard = ref 0 in
+  let max_events = 200 * config.duration * config.clients in
+  let rec loop () =
+    incr guard;
+    if !guard > max_events then ()
+    else
+      match Pqueue.pop pq with
+      | Some (time, cid) when time <= config.duration ->
+        last_time := max !last_time time;
+        proceed clients.(cid) ~time;
+        loop ()
+      | Some _ | None -> ()
+  in
+  loop ();
+  {
+    committed = m.m_committed;
+    committed_read_only = m.m_committed_ro;
+    aborted_deadlock = m.m_deadlock;
+    aborted_refused = m.m_refused;
+    gave_up = m.m_gave_up;
+    waits = m.m_waits;
+    waits_read_only = m.m_waits_ro;
+    restarts = m.m_restarts;
+    update_latencies = m.m_upd_lat;
+    read_only_latencies = m.m_ro_lat;
+    committed_by_label = m.m_labels;
+    ticks = max 1 !last_time;
+  }

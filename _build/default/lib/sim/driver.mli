@@ -1,0 +1,50 @@
+(** The discrete-event simulator.
+
+    A fixed population of clients repeatedly draws transaction scripts
+    from a workload and executes them against a {!Weihl_cc.System.t}
+    (closed system).  Operations cost [op_cost] virtual ticks; clients
+    think [think_time] ticks between transactions.  A blocked client
+    sleeps until some transaction completes; deadlocks are broken by
+    aborting the youngest transaction in the cycle; refused operations
+    abort and restart their transaction after [restart_backoff] ticks,
+    giving up after [max_restarts] attempts.
+
+    The simulation is deterministic given the seed. *)
+
+type config = {
+  clients : int;
+  duration : int; (** virtual ticks *)
+  op_cost : int;
+  think_time : int;
+  restart_backoff : int;
+  max_restarts : int;
+  seed : int;
+}
+
+val default_config : config
+(** 8 clients, 2000 ticks, unit op cost, zero think time, backoff 5,
+    3 restarts, seed 42. *)
+
+type outcome = {
+  committed : int;
+  committed_read_only : int;
+  aborted_deadlock : int;
+  aborted_refused : int;
+  gave_up : int;
+  waits : int; (** blocked invocation attempts *)
+  waits_read_only : int;
+  restarts : int;
+  update_latencies : float list; (** begin-to-commit, in ticks *)
+  read_only_latencies : float list;
+  committed_by_label : (string * int) list;
+  ticks : int; (** virtual time when the run ended *)
+}
+
+val throughput : outcome -> float
+(** Committed transactions per 1000 ticks. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run :
+  ?config:config -> Weihl_cc.System.t -> Workload.t -> outcome
+(** The system must already contain the workload's objects. *)

@@ -1,0 +1,29 @@
+(** A small deterministic PRNG (splitmix64) so every simulation,
+    test and benchmark is reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val copy : t -> t
+
+val next : t -> int64
+(** The next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

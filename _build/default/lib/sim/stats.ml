@@ -1,0 +1,27 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let percentile p = function
+  | [] -> 0.
+  | xs ->
+    let sorted = List.sort Float.compare xs in
+    let n = List.length sorted in
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int n)) |> max 1 |> min n
+    in
+    List.nth sorted (rank - 1)
+
+let median xs = percentile 50. xs
+let minimum = function [] -> 0. | xs -> List.fold_left Float.min (List.hd xs) xs
+let maximum = function [] -> 0. | xs -> List.fold_left Float.max (List.hd xs) xs

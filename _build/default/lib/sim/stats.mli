@@ -1,0 +1,14 @@
+(** Summary statistics for simulation measurements. *)
+
+val mean : float list -> float
+(** 0. on the empty list. *)
+
+val stddev : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], nearest-rank method; 0. on
+    the empty list. *)
+
+val median : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float

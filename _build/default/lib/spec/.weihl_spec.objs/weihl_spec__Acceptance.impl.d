@@ -1,0 +1,1 @@
+lib/spec/acceptance.ml: Activity Event History List Seq_spec Spec_env Weihl_event

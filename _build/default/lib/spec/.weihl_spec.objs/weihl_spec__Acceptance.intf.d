@@ -1,0 +1,1 @@
+lib/spec/acceptance.mli: History Seq_spec Spec_env Weihl_event

@@ -1,0 +1,1 @@
+lib/spec/atomicity.ml: History Option Serializability Weihl_event

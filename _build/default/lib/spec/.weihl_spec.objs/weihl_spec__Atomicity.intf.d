@@ -1,0 +1,1 @@
+lib/spec/atomicity.mli: Activity History Spec_env Weihl_event

@@ -1,0 +1,1 @@
+lib/spec/enumerate.ml: Activity Event Fun History List Object_id Operation Seq Timestamp Value Weihl_event

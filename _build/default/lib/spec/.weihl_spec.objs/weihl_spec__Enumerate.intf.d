@@ -1,0 +1,1 @@
+lib/spec/enumerate.mli: Activity Event History Object_id Operation Seq Timestamp Value Weihl_event

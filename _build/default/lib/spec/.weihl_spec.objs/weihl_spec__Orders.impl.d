@@ -1,0 +1,1 @@
+lib/spec/orders.ml: List Seq

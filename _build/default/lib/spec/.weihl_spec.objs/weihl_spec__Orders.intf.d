@@ -1,0 +1,1 @@
+lib/spec/orders.mli: Seq

@@ -1,0 +1,1 @@
+lib/spec/seq_spec.ml: Fmt Format List Operation Value Weihl_event

@@ -1,0 +1,1 @@
+lib/spec/seq_spec.mli: Format Operation Value Weihl_event

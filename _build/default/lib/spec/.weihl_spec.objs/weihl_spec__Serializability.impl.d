@@ -1,0 +1,1 @@
+lib/spec/serializability.ml: Acceptance Activity Event Fmt History List Object_id Option Orders Seq Seq_spec Spec_env Weihl_event

@@ -1,0 +1,1 @@
+lib/spec/serializability.mli: Activity History Spec_env Weihl_event

@@ -1,0 +1,1 @@
+lib/spec/spec_env.ml: Fmt List Object_id Seq_spec Weihl_event

@@ -1,0 +1,1 @@
+lib/spec/spec_env.mli: Object_id Seq_spec Weihl_event

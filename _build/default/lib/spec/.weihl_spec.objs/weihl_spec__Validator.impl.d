@@ -1,0 +1,1 @@
+lib/spec/validator.ml: Activity Atomicity Event Fmt History List Option Spec_env Weihl_event Wellformed

@@ -1,0 +1,1 @@
+lib/spec/validator.mli: Event Format History Spec_env Weihl_event Wellformed

@@ -1,0 +1,88 @@
+open Weihl_event
+
+type step = {
+  obj : Object_id.t;
+  op : Operation.t;
+  candidates : Value.t list;
+}
+
+type session = {
+  activity : Activity.t;
+  initiate_ts : Timestamp.t option;
+  steps : step list;
+  terminal : [ `Commit | `Abort | `Active ];
+}
+
+let step ?(candidates = [ Value.ok ]) obj op = { obj; op; candidates }
+
+let session ?initiate_ts ?(terminal = `Commit) activity steps =
+  { activity; initiate_ts; steps; terminal }
+
+let touched_objects s =
+  List.fold_left
+    (fun acc st ->
+      if List.exists (Object_id.equal st.obj) acc then acc
+      else acc @ [ st.obj ])
+    [] s.steps
+
+(* The event skeleton: respond events carry their candidate lists. *)
+let events_of_session s =
+  let objects = touched_objects s in
+  let initiations =
+    match s.initiate_ts with
+    | None -> []
+    | Some ts ->
+      List.map (fun obj -> (Event.initiate s.activity obj ts, None)) objects
+  in
+  let operations =
+    List.concat_map
+      (fun st ->
+        [
+          (Event.invoke s.activity st.obj st.op, None);
+          (* The result slot is a placeholder; the candidate list rides
+             along for expansion. *)
+          (Event.respond s.activity st.obj Value.Unit, Some st.candidates);
+        ])
+      s.steps
+  in
+  let completions =
+    match s.terminal with
+    | `Active -> []
+    | `Commit ->
+      List.map (fun obj -> (Event.commit s.activity obj, None)) objects
+    | `Abort ->
+      List.map (fun obj -> (Event.abort s.activity obj, None)) objects
+  in
+  initiations @ operations @ completions
+
+(* All interleavings of several sequences, preserving each sequence's
+   internal order, as a lazy Seq. *)
+let rec interleavings (seqs : 'a list list) : 'a list Seq.t =
+  if List.for_all (( = ) []) seqs then Seq.return []
+  else
+    Seq.init (List.length seqs) Fun.id
+    |> Seq.concat_map (fun i ->
+           match List.nth seqs i with
+           | [] -> Seq.empty
+           | head :: tail ->
+             let rest = List.mapi (fun j s -> if j = i then tail else s) seqs in
+             Seq.map (fun l -> head :: l) (interleavings rest))
+
+(* Expand candidate results: each Respond placeholder becomes one event
+   per candidate. *)
+let rec expand = function
+  | [] -> Seq.return []
+  | (e, None) :: rest -> Seq.map (fun l -> e :: l) (expand rest)
+  | (e, Some candidates) :: rest ->
+    let act = Event.activity e and obj = Event.object_id e in
+    List.to_seq candidates
+    |> Seq.concat_map (fun res ->
+           Seq.map (fun l -> Event.respond act obj res :: l) (expand rest))
+
+let histories sessions =
+  let skeletons = List.map events_of_session sessions in
+  interleavings skeletons
+  |> Seq.concat_map (fun interleaved ->
+         Seq.map History.of_list (expand interleaved))
+
+let count sessions = Seq.fold_left (fun n _ -> n + 1) 0 (histories sessions)

@@ -1,0 +1,56 @@
+(** Bounded enumeration of well-formed histories.
+
+    The optimality and incomparability arguments of Sections 4.1-4.3
+    quantify over {e all} histories; on bounded universes we can check
+    them exhaustively.  A {!session} fixes one activity's program —
+    which operations it invokes, in order, with which candidate results
+    — and {!histories} lazily yields every interleaving of the sessions
+    under every combination of candidate results.
+
+    The result lists let callers explore outcomes a sequential replay
+    would never produce (the whole point of concurrent histories);
+    downstream checkers then decide which are atomic. *)
+
+open Weihl_event
+
+type step = {
+  obj : Object_id.t;
+  op : Operation.t;
+  candidates : Value.t list;
+      (** possible termination results to enumerate *)
+}
+
+type session = {
+  activity : Activity.t;
+  initiate_ts : Timestamp.t option;
+      (** when set, the session starts with an initiation event at the
+          object of its first step (or each distinct object touched) *)
+  steps : step list;
+  terminal : [ `Commit | `Abort | `Active ];
+      (** how the session ends, with completion events at every touched
+          object *)
+}
+
+val step : ?candidates:Value.t list -> Object_id.t -> Operation.t -> step
+(** Default candidates: [[Value.ok]]. *)
+
+val session :
+  ?initiate_ts:Timestamp.t ->
+  ?terminal:[ `Commit | `Abort | `Active ] ->
+  Activity.t ->
+  step list ->
+  session
+(** Default terminal: [`Commit]. *)
+
+val events_of_session : session -> (Event.t * Value.t list option) list
+(** The session's event skeleton: respond events carry their candidate
+    lists ([Some]); all other events are fixed ([None]).  Exposed for
+    tests. *)
+
+val histories : session list -> History.t Seq.t
+(** Every interleaving × every candidate-result assignment.  The count
+    is multinomial in the session lengths times the product of
+    candidate counts — keep sessions small. *)
+
+val count : session list -> int
+(** [Seq.length (histories sessions)], without building histories. *)

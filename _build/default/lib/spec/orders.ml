@@ -1,0 +1,58 @@
+let rec permutations = function
+  | [] -> Seq.return []
+  | l ->
+    (* Pick each element as the head in turn. *)
+    let rec picks prefix = function
+      | [] -> Seq.empty
+      | x :: rest ->
+        let tail_perms =
+          Seq.map (fun p -> x :: p) (permutations (List.rev_append prefix rest))
+        in
+        Seq.append tail_perms (fun () -> picks (x :: prefix) rest ())
+    in
+    picks [] l
+
+let linear_extensions ~equal pairs elts =
+  let relevant =
+    List.filter
+      (fun (a, b) ->
+        List.exists (equal a) elts && List.exists (equal b) elts)
+      pairs
+  in
+  (* Enumerate by repeatedly choosing a minimal element. *)
+  let rec go remaining =
+    match remaining with
+    | [] -> Seq.return []
+    | _ ->
+      let minimal =
+        List.filter
+          (fun x ->
+            not
+              (List.exists
+                 (fun (a, b) ->
+                   equal b x && List.exists (equal a) remaining
+                   && not (equal a x))
+                 relevant))
+          remaining
+      in
+      List.to_seq minimal
+      |> Seq.concat_map (fun x ->
+             let rest = List.filter (fun y -> not (equal y x)) remaining in
+             Seq.map (fun p -> x :: p) (go rest))
+  in
+  go elts
+
+let consistent ~equal pairs order =
+  let index x =
+    let rec find i = function
+      | [] -> None
+      | y :: rest -> if equal x y then Some i else find (i + 1) rest
+    in
+    find 0 order
+  in
+  List.for_all
+    (fun (a, b) ->
+      match (index a, index b) with
+      | Some i, Some j -> i < j
+      | _, _ -> true)
+    pairs

@@ -1,0 +1,83 @@
+open Weihl_event
+
+module type S = sig
+  type state
+
+  val type_name : string
+  val initial : state
+  val step : state -> Operation.t -> (state * Value.t) list
+  val equal_state : state -> state -> bool
+  val pp_state : Format.formatter -> state -> unit
+end
+
+type t = (module S)
+
+let type_name (module S : S) = S.type_name
+
+type frontier =
+  | Frontier : (module S with type state = 's) * 's list -> frontier
+
+let start ((module S : S) as _spec : t) =
+  Frontier ((module S), [ S.initial ])
+
+let spec_of (Frontier ((module S), _)) : t = (module S)
+
+let dedup equal states =
+  List.fold_left
+    (fun acc s -> if List.exists (equal s) acc then acc else s :: acc)
+    [] states
+  |> List.rev
+
+let advance (Frontier ((module S), states)) op res =
+  let next =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (s', r) -> if Value.equal r res then Some s' else None)
+          (S.step s op))
+      states
+    |> dedup S.equal_state
+  in
+  match next with [] -> None | _ -> Some (Frontier ((module S), next))
+
+let outcomes (Frontier ((module S), states)) op =
+  (* Gather every (result, next-state), then group by result. *)
+  let all = List.concat_map (fun s -> S.step s op) states in
+  let results =
+    dedup Value.equal (List.map snd all)
+  in
+  List.map
+    (fun res ->
+      let next =
+        List.filter_map
+          (fun (s', r) -> if Value.equal r res then Some s' else None)
+          all
+        |> dedup S.equal_state
+      in
+      (res, Frontier ((module S), next)))
+    results
+
+let advance_changes (Frontier ((module S), states)) op res =
+  let next =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (s', r) -> if Value.equal r res then Some s' else None)
+          (S.step s op))
+      states
+    |> dedup S.equal_state
+  in
+  match next with
+  | [] -> None
+  | _ ->
+    let same =
+      List.length next = List.length states
+      && List.for_all (fun s -> List.exists (S.equal_state s) next) states
+    in
+    Some (not same)
+
+let determined f op =
+  match outcomes f op with [ (res, _) ] -> Some res | _ -> None
+
+let pp_frontier ppf (Frontier ((module S), states)) =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any " | ") S.pp_state) states

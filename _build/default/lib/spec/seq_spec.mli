@@ -1,0 +1,76 @@
+(** Sequential specifications of objects.
+
+    The paper assumes "an explicit description of the acceptable
+    sequences for each object" (Section 3).  We represent such a
+    description by a possibly non-deterministic state machine: [step s
+    op] returns every permissible (next-state, result) outcome of
+    invoking [op] in state [s].  An empty list means no outcome is
+    permissible, i.e. any serial sequence reaching that invocation is
+    unacceptable.
+
+    Non-determinism matters: the paper stresses that requiring
+    operations to be functions (as prior work did) precludes
+    non-deterministic operations, which are "needed to achieve a
+    reasonable level of concurrency" (Section 1).  The semiqueue object
+    in [Weihl_adt] exercises this generality.
+
+    Because specifications may be non-deterministic, executing a serial
+    sequence against one tracks a {e set} of possible states (a
+    {!frontier}) rather than a single state. *)
+
+open Weihl_event
+
+module type S = sig
+  type state
+
+  val type_name : string
+  (** The name of the abstract type, e.g. ["intset"]. *)
+
+  val initial : state
+
+  val step : state -> Operation.t -> (state * Value.t) list
+  (** All permissible outcomes of the operation in the given state. *)
+
+  val equal_state : state -> state -> bool
+  val pp_state : Format.formatter -> state -> unit
+end
+
+type t = (module S)
+(** A packed sequential specification. *)
+
+val type_name : t -> string
+
+(** {1 Executing specifications} *)
+
+type frontier
+(** The set of states a specification may be in after some sequence of
+    (operation, result) observations. *)
+
+val start : t -> frontier
+(** The singleton frontier holding the initial state. *)
+
+val spec_of : frontier -> t
+(** The specification a frontier executes. *)
+
+val advance : frontier -> Operation.t -> Value.t -> frontier option
+(** [advance f op res] is the frontier after observing invocation [op]
+    terminate with result [res]; [None] if no state in [f] permits that
+    outcome — i.e. the observed sequence is unacceptable. *)
+
+val outcomes : frontier -> Operation.t -> (Value.t * frontier) list
+(** [outcomes f op] groups the permissible results of invoking [op]
+    from [f], pairing each distinct result with the frontier it leads
+    to.  An empty list means [op] has no permissible outcome. *)
+
+val advance_changes : frontier -> Operation.t -> Value.t -> bool option
+(** [advance_changes f op res] is [None] when the outcome is not
+    permissible; otherwise [Some changed], where [changed] says whether
+    observing the outcome altered the state set.  Protocols use this to
+    distinguish mutators from pure queries. *)
+
+val determined : frontier -> Operation.t -> Value.t option
+(** [determined f op] is [Some res] when exactly one result is
+    permissible for [op] from [f].  Used by online protocols that must
+    return a definite answer. *)
+
+val pp_frontier : Format.formatter -> frontier -> unit

@@ -1,0 +1,94 @@
+open Weihl_event
+
+let in_order env h order =
+  let acts = History.activities h in
+  let covered =
+    List.for_all (fun a -> List.exists (Activity.equal a) order) acts
+  in
+  covered
+  &&
+  let order = List.filter (fun a -> List.exists (Activity.equal a) acts) order in
+  Acceptance.accepts env (History.concat_serial order h)
+
+let serializable_naive env h =
+  let acts = History.activities h in
+  Seq.find (fun order -> in_order env h order) (Orders.permutations acts)
+
+(* Backtracking with prefix pruning: maintain one specification
+   frontier per object; an activity can extend the serial prefix only
+   if every object accepts its whole block of (operation, result)
+   pairs.  Rejected prefixes cut the entire subtree. *)
+let serializable env h =
+  let acts = History.activities h in
+  (* Pre-split each activity's operations per object, in program
+     order. *)
+  let blocks =
+    List.map
+      (fun a ->
+        let ops =
+          List.filter_map
+            (fun e ->
+              match (e : Event.t) with
+              | Invoke (a', x, op) when Activity.equal a a' -> Some (`I (x, op))
+              | Respond (a', x, res) when Activity.equal a a' ->
+                Some (`R (x, res))
+              | _ -> None)
+            (History.to_list (History.project_activity a h))
+        in
+        (* Pair invocations with their responses (a trailing pending
+           invocation has no effect on any serial frontier). *)
+        let rec pair = function
+          | `I (x, op) :: `R (x', res) :: rest when Object_id.equal x x' ->
+            (x, op, res) :: pair rest
+          | `I (_, _) :: rest -> pair rest
+          | `R (_, _) :: rest -> pair rest (* unmatched: ignore *)
+          | [] -> []
+        in
+        (a, pair ops))
+      acts
+  in
+  let apply_block frontiers (_, ops) =
+    List.fold_left
+      (fun frontiers (x, op, res) ->
+        match frontiers with
+        | None -> None
+        | Some fs -> (
+          let frontier =
+            match Object_id.Map.find_opt x fs with
+            | Some f -> Some f
+            | None ->
+              Option.map Seq_spec.start (Spec_env.find env x)
+          in
+          match frontier with
+          | None ->
+            invalid_arg
+              (Fmt.str "Serializability: no specification for object %a"
+                 Object_id.pp x)
+          | Some f -> (
+            match Seq_spec.advance f op res with
+            | None -> None
+            | Some f' -> Some (Object_id.Map.add x f' fs))))
+      (Some frontiers) ops
+  in
+  let rec search frontiers chosen remaining =
+    match remaining with
+    | [] -> Some (List.rev chosen)
+    | _ ->
+      List.find_map
+        (fun ((a, _) as block) ->
+          match apply_block frontiers block with
+          | None -> None
+          | Some frontiers' ->
+            search frontiers' (a :: chosen)
+              (List.filter (fun (b, _) -> not (Activity.equal a b)) remaining))
+        remaining
+  in
+  search Object_id.Map.empty [] blocks
+
+let in_every_order_consistent_with env h pairs =
+  let acts = History.activities h in
+  let exts = Orders.linear_extensions ~equal:Activity.equal pairs acts in
+  (* An empty enumeration (cyclic constraints) yields false: there is
+     no consistent order to serialize in. *)
+  (not (Seq.is_empty exts))
+  && Seq.for_all (fun order -> in_order env h order) exts

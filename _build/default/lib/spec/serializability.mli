@@ -1,0 +1,37 @@
+(** Serializability of histories (Section 3).
+
+    A sequence is {e serializable} if it is equivalent to an acceptable
+    serial sequence; {e serializable in order T} if that serial
+    sequence lists the activities in order [T].  Because equivalence
+    preserves each activity's view ([h|a]), the only candidate serial
+    sequence for a given order is the concatenation of per-activity
+    projections in that order — which makes both notions decidable. *)
+
+open Weihl_event
+
+val in_order : Spec_env.t -> History.t -> Activity.t list -> bool
+(** [in_order env h order] iff [h] is serializable in the order
+    [order].  [order] must enumerate exactly the activities of [h]
+    (any order of activities not in [h] is ignored; activities of [h]
+    missing from [order] make the answer [false]). *)
+
+val serializable : Spec_env.t -> History.t -> Activity.t list option
+(** Some witness order in which [h] is serializable, if one exists.
+    Implemented as a backtracking search that extends a serial prefix
+    one whole activity at a time and prunes as soon as some object
+    rejects the prefix — still factorial in the worst case, but far
+    faster than enumerating permutations on typical histories. *)
+
+val serializable_naive : Spec_env.t -> History.t -> Activity.t list option
+(** The specification of {!serializable}: try every permutation.
+    Exposed for differential testing. *)
+
+val in_every_order_consistent_with :
+  Spec_env.t -> History.t -> (Activity.t * Activity.t) list -> bool
+(** [in_every_order_consistent_with env h pairs] iff [h] is
+    serializable in {e every} total order of its activities consistent
+    with [pairs].  This is the quantifier at the heart of dynamic
+    atomicity.  Vacuously [false] when [pairs] is cyclic over the
+    activities of [h] (no consistent order exists; the paper's
+    histories never produce this since [precedes] of a well-formed
+    history is a partial order). *)

@@ -1,0 +1,21 @@
+open Weihl_event
+
+type t = Seq_spec.t Object_id.Map.t
+
+let empty = Object_id.Map.empty
+let add = Object_id.Map.add
+
+let of_list l =
+  List.fold_left (fun env (x, spec) -> add x spec env) empty l
+
+let find env x = Object_id.Map.find_opt x env
+
+let find_exn env x =
+  match find env x with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Fmt.str "Spec_env.find_exn: no specification for object %a"
+         Object_id.pp x)
+
+let objects env = List.map fst (Object_id.Map.bindings env)

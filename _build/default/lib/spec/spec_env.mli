@@ -1,0 +1,16 @@
+(** A specification environment assigns a sequential specification to
+    every object of a system. *)
+
+open Weihl_event
+
+type t
+
+val empty : t
+val add : Object_id.t -> Seq_spec.t -> t -> t
+val of_list : (Object_id.t * Seq_spec.t) list -> t
+val find : t -> Object_id.t -> Seq_spec.t option
+
+val find_exn : t -> Object_id.t -> Seq_spec.t
+(** @raise Invalid_argument if the object has no specification. *)
+
+val objects : t -> Object_id.t list

@@ -1,0 +1,1 @@
+lib/theory/commutativity.ml: List Value Weihl_event Weihl_spec

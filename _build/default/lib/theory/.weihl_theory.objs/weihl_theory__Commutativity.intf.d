@@ -1,0 +1,1 @@
+lib/theory/commutativity.mli: Operation Weihl_event Weihl_spec

@@ -1,0 +1,1 @@
+lib/theory/explore.ml: Activity Fmt History List Object_id Operation Weihl_cc Weihl_event

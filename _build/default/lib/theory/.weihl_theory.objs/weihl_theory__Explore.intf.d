@@ -1,0 +1,1 @@
+lib/theory/explore.mli: History Object_id Operation Weihl_cc Weihl_event

@@ -1,0 +1,1 @@
+lib/theory/optimality.ml: Activity Event Fmt Hashtbl History List Object_id Option Seq Value Weihl_adt Weihl_event Weihl_spec

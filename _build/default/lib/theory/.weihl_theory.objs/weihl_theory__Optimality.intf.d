@@ -1,0 +1,1 @@
+lib/theory/optimality.mli: Activity History Object_id Weihl_event Weihl_spec

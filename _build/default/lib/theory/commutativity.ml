@@ -1,0 +1,69 @@
+open Weihl_event
+module Seq_spec = Weihl_spec.Seq_spec
+
+let reachable_frontiers spec ~gen_ops ~depth =
+  let rec go frontier depth acc =
+    let acc = frontier :: acc in
+    if depth = 0 then acc
+    else
+      List.fold_left
+        (fun acc op ->
+          match Seq_spec.outcomes frontier op with
+          | (_, f') :: _ -> go f' (depth - 1) acc
+          | [] -> acc)
+        acc gen_ops
+  in
+  go (Seq_spec.start spec) depth []
+
+let rec observationally_equal ~probes ~depth f g =
+  depth = 0
+  || List.for_all
+       (fun probe ->
+         let outcomes_f = Seq_spec.outcomes f probe in
+         let outcomes_g = Seq_spec.outcomes g probe in
+         let results l = List.sort Value.compare (List.map fst l) in
+         List.equal Value.equal (results outcomes_f) (results outcomes_g)
+         && List.for_all
+              (fun (r, f') ->
+                match
+                  List.find_opt (fun (r', _) -> Value.equal r r') outcomes_g
+                with
+                | Some (_, g') ->
+                  observationally_equal ~probes ~depth:(depth - 1) f' g'
+                | None -> false)
+              outcomes_f)
+       probes
+
+let commute_on_reachable spec ~gen_ops ?(probe_depth = 2) ?(state_depth = 3)
+    p q =
+  let frontiers = reachable_frontiers spec ~gen_ops ~depth:state_depth in
+  let deterministic = ref true in
+  let run frontier op =
+    match Seq_spec.outcomes frontier op with
+    | [ (r, f') ] -> Some (r, f')
+    | [] -> None
+    | _ :: _ :: _ ->
+      deterministic := false;
+      None
+  in
+  let commutes_everywhere =
+    List.for_all
+      (fun frontier ->
+        match run frontier p with
+        | None -> !deterministic (* p impossible here: vacuous *)
+        | Some (rp1, f1) -> (
+          match run f1 q with
+          | None -> !deterministic
+          | Some (rq1, f_pq) -> (
+            match run frontier q with
+            | None -> !deterministic
+            | Some (rq2, f2) -> (
+              match run f2 p with
+              | None -> !deterministic
+              | Some (rp2, f_qp) ->
+                Value.equal rp1 rp2 && Value.equal rq1 rq2
+                && observationally_equal ~probes:gen_ops ~depth:probe_depth
+                     f_pq f_qp))))
+      frontiers
+  in
+  if not !deterministic then None else Some commutes_everywhere

@@ -1,0 +1,51 @@
+(** Deriving state-independent commutativity from specifications by
+    bounded exploration.
+
+    The baseline locking protocols consume hand-written commutativity
+    tables ([Adt_sig.S.commutes]).  Hand-written semantic tables are
+    exactly the kind of artifact that silently rots; this module checks
+    them against the specification itself: two operations commute on a
+    bounded state space iff, from every reachable state, executing them
+    in either order yields the same results and
+    observationally-equivalent states (compared by probing).
+
+    The derivation is sound and complete only for the explored bound,
+    which suffices to catch table errors on the small integer domains
+    the tests use.  Operations with non-deterministic outcomes are not
+    compared ({!commute_on_reachable} returns [None] for them). *)
+
+open Weihl_event
+
+val reachable_frontiers :
+  Weihl_spec.Seq_spec.t ->
+  gen_ops:Operation.t list ->
+  depth:int ->
+  Weihl_spec.Seq_spec.frontier list
+(** All frontiers reachable by applying up to [depth] generator
+    operations (first outcome of each) from the initial state.
+    Duplicates are not removed. *)
+
+val observationally_equal :
+  probes:Operation.t list ->
+  depth:int ->
+  Weihl_spec.Seq_spec.frontier ->
+  Weihl_spec.Seq_spec.frontier ->
+  bool
+(** Bounded bisimulation: both frontiers give the same result sets for
+    every probe, and the successors along each common (probe, result)
+    edge are themselves observationally equal to [depth - 1]. *)
+
+val commute_on_reachable :
+  Weihl_spec.Seq_spec.t ->
+  gen_ops:Operation.t list ->
+  ?probe_depth:int ->
+  ?state_depth:int ->
+  Operation.t ->
+  Operation.t ->
+  bool option
+(** [Some true] / [Some false]: the operations do / do not commute from
+    every reachable state (results compared, final states compared by
+    probing with [gen_ops]).  [None]: one of the operations is
+    non-deterministic somewhere on the explored space, so the
+    deterministic comparison does not apply.  Defaults: [probe_depth]
+    2, [state_depth] 3. *)

@@ -1,0 +1,117 @@
+open Weihl_event
+module Cc = Weihl_cc
+
+type script =
+  [ `Update | `Read_only ] * (Object_id.t * Operation.t) list
+
+exception Schedule_space_exhausted
+
+(* Client status during one replayed schedule. *)
+type client = {
+  activity : Activity.t;
+  mutable remaining : (Object_id.t * Operation.t) list;
+  mutable txn : Cc.Txn.t option;
+  mutable finished : bool;
+  mutable blocked : bool;
+}
+
+let fresh_clients scripts =
+  List.mapi
+    (fun i (kind, steps) ->
+      let activity =
+        match kind with
+        | `Update -> Activity.update (Fmt.str "u%d" i)
+        | `Read_only -> Activity.read_only (Fmt.str "r%d" i)
+      in
+      { activity; remaining = steps; txn = None; finished = false;
+        blocked = false })
+    scripts
+
+let dead cl =
+  cl.finished
+  || match cl.txn with Some t -> not (Cc.Txn.is_active t) | None -> false
+
+(* Execute one step of client [i].  Completions unblock everyone. *)
+let step sys clients i =
+  let cl = List.nth clients i in
+  let unblock_all () = List.iter (fun c -> c.blocked <- false) clients in
+  let txn =
+    match cl.txn with
+    | Some t -> t
+    | None ->
+      let t = Cc.System.begin_txn sys cl.activity in
+      cl.txn <- Some t;
+      t
+  in
+  match cl.remaining with
+  | [] ->
+    Cc.System.commit sys txn;
+    cl.finished <- true;
+    unblock_all ()
+  | (obj, op) :: rest -> (
+    match Cc.System.invoke sys txn obj op with
+    | Cc.Atomic_object.Granted _ ->
+      cl.remaining <- rest;
+      unblock_all ()
+    | Cc.Atomic_object.Wait _ -> cl.blocked <- true
+    | Cc.Atomic_object.Refused _ ->
+      Cc.System.abort sys txn;
+      cl.finished <- true;
+      unblock_all ())
+
+(* Replay a prefix of scheduling decisions on a fresh system; return
+   the system, clients, and the indices enabled next (empty = maximal
+   schedule).  Deadlocks are resolved deterministically inside the
+   replay whenever every live client is blocked. *)
+let replay make_system scripts prefix =
+  let sys = make_system () in
+  let clients = fresh_clients scripts in
+  let resolve_if_stuck () =
+    let live = List.filter (fun c -> not (dead c)) clients in
+    if live <> [] && List.for_all (fun c -> c.blocked) live then begin
+      match Cc.System.find_deadlock sys with
+      | Some cycle ->
+        Cc.System.abort sys (Cc.Waits_for.victim cycle);
+        List.iter (fun c -> c.blocked <- false) clients
+      | None ->
+        (* Everyone blocked with no cycle cannot happen for the
+           protocols in this library. *)
+        invalid_arg "Explore: all clients blocked without a deadlock"
+    end
+  in
+  List.iter
+    (fun i ->
+      step sys clients i;
+      resolve_if_stuck ())
+    prefix;
+  let enabled =
+    List.mapi (fun i c -> (i, c)) clients
+    |> List.filter_map (fun (i, c) ->
+           if (not (dead c)) && not c.blocked then Some i else None)
+  in
+  (sys, enabled)
+
+let explore ?(max_schedules = 20_000) ~make_system scripts ~on_complete =
+  let schedules = ref 0 in
+  let rec dfs prefix =
+    let sys, enabled = replay make_system scripts prefix in
+    match enabled with
+    | [] ->
+      incr schedules;
+      if !schedules > max_schedules then raise Schedule_space_exhausted;
+      on_complete (Cc.System.history sys)
+    | _ -> List.iter (fun i -> dfs (prefix @ [ i ])) enabled
+  in
+  dfs [];
+  !schedules
+
+let all_histories ?max_schedules ~make_system scripts =
+  let seen = ref [] in
+  let on_complete h =
+    if not (List.exists (History.equal h) !seen) then seen := h :: !seen
+  in
+  ignore (explore ?max_schedules ~make_system scripts ~on_complete);
+  List.rev !seen
+
+let count_schedules ?max_schedules ~make_system scripts =
+  explore ?max_schedules ~make_system scripts ~on_complete:(fun _ -> ())

@@ -1,0 +1,42 @@
+(** Small-scope model checking of the protocols.
+
+    The random-schedule tests sample interleavings; this module
+    enumerates {e all} of them.  Given a way to build a fresh system
+    and a set of transaction scripts, {!all_histories} drives every
+    schedule (every order in which enabled clients can take steps,
+    including the deadlock resolutions each schedule forces) and
+    returns the distinct histories produced.  Tests then assert the
+    protocol's local atomicity property on every one — exhaustive
+    verification for the chosen scope.
+
+    Scheduling rules: a client whose invocation was told to wait is
+    re-enabled only after some other transaction completes (stepping it
+    earlier would replay the identical attempt); if every unfinished
+    client is blocked, the deadlock victim (the youngest transaction in
+    the cycle) is aborted and its client stops.  The state space is
+    bounded by [max_schedules]. *)
+
+open Weihl_event
+
+type script =
+  [ `Update | `Read_only ] * (Object_id.t * Operation.t) list
+
+exception Schedule_space_exhausted
+(** Raised when enumeration hits [max_schedules] — the scope is too
+    large to be exhaustive, so results would be misleading. *)
+
+val all_histories :
+  ?max_schedules:int ->
+  make_system:(unit -> Weihl_cc.System.t) ->
+  script list ->
+  History.t list
+(** Distinct complete histories over every schedule.  Default
+    [max_schedules] 20_000.
+    @raise Schedule_space_exhausted when the bound is hit. *)
+
+val count_schedules :
+  ?max_schedules:int ->
+  make_system:(unit -> Weihl_cc.System.t) ->
+  script list ->
+  int
+(** The number of maximal schedules explored. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Activity Alcotest Atomic_object Bank_account Core Counter Event Fifo_queue Fmt History Intset List Object_id Operation Rng Spec_env System Timestamp Txn Value Waits_for

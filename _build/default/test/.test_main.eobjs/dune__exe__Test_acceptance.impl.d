@@ -1,0 +1,1 @@
+test/test_acceptance.ml: Acceptance Alcotest Bank_account Core Counter Event Fifo_queue Helpers History Intset Semiqueue Spec_env Value

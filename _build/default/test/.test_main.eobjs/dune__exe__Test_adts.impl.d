@@ -1,0 +1,1 @@
+test/test_adts.ml: Adt_sig Alcotest Bank_account Core Counter Fifo_queue Fmt Helpers Intset Kv_map List Operation Option Register Semiqueue Seq_spec String Value

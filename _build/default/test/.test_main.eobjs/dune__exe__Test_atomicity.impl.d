@@ -1,0 +1,1 @@
+test/test_atomicity.ml: Alcotest Atomicity Core Counter Event Fifo_queue Helpers History Intset List Orders Serializability Spec_env Value Wellformed

@@ -1,0 +1,1 @@
+test/test_da_counter.ml: Activity Alcotest Atomicity Blind_counter Core Da_counter Fmt Helpers List Object_id Spec_env System Test_op_locking Value

@@ -1,0 +1,1 @@
+test/test_da_generic.ml: Activity Alcotest Atomic_object Atomicity Bank_account Core Da_generic Escrow_account Fifo_queue Fmt Helpers Intset List Semiqueue Spec_env System Test_op_locking Value

@@ -1,0 +1,1 @@
+test/test_da_kv.ml: Activity Alcotest Atomicity Core Da_kv Fmt Helpers Kv_map Object_id Spec_env System Test_op_locking Value Wellformed

@@ -1,0 +1,1 @@
+test/test_da_queue.ml: Activity Alcotest Atomic_object Atomicity Core Da_queue Fifo_queue Fmt Helpers System Test_op_locking Value Wellformed

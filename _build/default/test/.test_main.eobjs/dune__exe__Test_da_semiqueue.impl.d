@@ -1,0 +1,1 @@
+test/test_da_semiqueue.ml: Activity Alcotest Atomicity Core Da_semiqueue Explore Fmt Helpers List Object_id Semiqueue Spec_env System Test_op_locking Value Wellformed

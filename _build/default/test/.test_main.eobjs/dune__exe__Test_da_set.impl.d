@@ -1,0 +1,1 @@
+test/test_da_set.ml: Activity Alcotest Atomicity Core Da_set Fmt Helpers Intset System Test_op_locking Value Wellformed

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Atomicity Bank_account Core Enumerate Event Helpers History Intset Seq Value Wellformed

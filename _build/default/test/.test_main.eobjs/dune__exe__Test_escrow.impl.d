@@ -1,0 +1,1 @@
+test/test_escrow.ml: Activity Alcotest Atomic_object Atomicity Bank_account Core Escrow_account Fmt Helpers Operation System Test_op_locking Value Wellformed

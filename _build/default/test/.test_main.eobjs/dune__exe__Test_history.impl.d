@@ -1,0 +1,1 @@
+test/test_history.ml: Activity Alcotest Core Event Helpers History Intset List Object_id Option Timestamp Value

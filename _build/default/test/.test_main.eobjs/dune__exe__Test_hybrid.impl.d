@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Activity Alcotest Atomic_object Atomicity Bank_account Core Fmt Helpers History Hybrid Object_id Spec_env System Test_op_locking Timestamp Value Wellformed

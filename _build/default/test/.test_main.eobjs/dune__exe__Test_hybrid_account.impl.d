@@ -1,0 +1,1 @@
+test/test_hybrid_account.ml: Activity Alcotest Atomic_object Atomicity Bank_account Core Explore Fmt Helpers Hybrid_account List System Test_op_locking Value Wellformed

@@ -1,0 +1,1 @@
+test/test_infrastructure.ml: Activity Alcotest Core Event Event_log Helpers History Intentions Intset List Obj_log Timestamp Txn Value

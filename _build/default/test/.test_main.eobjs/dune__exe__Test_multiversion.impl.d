@@ -1,0 +1,1 @@
+test/test_multiversion.ml: Activity Alcotest Atomic_object Atomicity Bank_account Core Event Fmt Helpers History Intset Multiversion Option Spec_env System Test_op_locking Value Wellformed

@@ -1,0 +1,1 @@
+test/test_notation.ml: Activity Alcotest Core Event Fifo_queue Fmt Helpers History Intset Kv_map List Notation Value

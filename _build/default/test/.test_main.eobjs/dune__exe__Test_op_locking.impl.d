@@ -1,0 +1,1 @@
+test/test_op_locking.ml: Activity Alcotest Atomic_object Atomicity Bank_account Core Fmt Helpers Intset List Op_locking Option Register Spec_env System Txn Value Waits_for Wellformed

@@ -1,0 +1,1 @@
+test/test_optimality.ml: Activity Alcotest Atomicity Core Counter Da_set Event Fmt Helpers History Intset List Object_id Optimality Option Serializability Spec_env System Value Wellformed

@@ -1,0 +1,1 @@
+test/test_orders.ml: Alcotest Core Helpers Int List Orders

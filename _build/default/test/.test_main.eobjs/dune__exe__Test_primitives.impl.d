@@ -1,0 +1,1 @@
+test/test_primitives.ml: Activity Alcotest Core Event Helpers Intset List Object_id Operation Option Timestamp Value

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Activity Alcotest Atomicity Bank_account Core Da_set Escrow_account Fmt Helpers Intset List Multiversion Notation Recovery String System Test_op_locking Value

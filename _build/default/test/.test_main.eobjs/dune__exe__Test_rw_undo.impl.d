@@ -1,0 +1,1 @@
+test/test_rw_undo.ml: Activity Alcotest Atomicity Core Fmt Helpers Intset Object_id Op_locking Rw_undo Spec_env System Test_op_locking Value

@@ -1,0 +1,1 @@
+test/test_serializability.ml: Activity Alcotest Core Helpers History List Option Serializability

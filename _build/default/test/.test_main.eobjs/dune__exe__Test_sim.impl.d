@@ -1,0 +1,1 @@
+test/test_sim.ml: Activity Alcotest Atomicity Bank_account Core Driver Escrow_account Helpers History Hybrid Int64 List Multiversion Op_locking Pqueue Rng Spec_env Stats System Workload

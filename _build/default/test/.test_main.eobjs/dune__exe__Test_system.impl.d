@@ -1,0 +1,1 @@
+test/test_system.ml: Activity Alcotest Core Da_set Escrow_account Event Event_log Helpers History Intset Lamport_clock List Object_id Option System Test_op_locking Timestamp Txn Waits_for

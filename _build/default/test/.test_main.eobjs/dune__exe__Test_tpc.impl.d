@@ -1,0 +1,1 @@
+test/test_tpc.ml: Alcotest Core Fmt Helpers List Msim Option Tpc

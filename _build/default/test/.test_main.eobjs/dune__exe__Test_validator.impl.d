@@ -1,0 +1,1 @@
+test/test_validator.ml: Activity Alcotest Core Event Helpers Intset List Validator Value Wellformed

@@ -1,0 +1,1 @@
+test/test_wellformed.ml: Alcotest Bank_account Core Event Helpers History Intset List Value Wellformed

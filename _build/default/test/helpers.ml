@@ -1,0 +1,300 @@
+(* Shared fixtures: the paper's example histories, specification
+   environments, and small builders used across the suites. *)
+
+open Core
+
+let x = Object_id.v "x"
+let y = Object_id.v "y"
+let a = Activity.update "a"
+let b = Activity.update "b"
+let c = Activity.update "c"
+let r = Activity.read_only "r"
+
+let set_env = Spec_env.of_list [ (x, Intset.spec) ]
+let account_env = Spec_env.of_list [ (y, Bank_account.spec) ]
+let queue_env = Spec_env.of_list [ (x, Fifo_queue.spec) ]
+let counter_env = Spec_env.of_list [ (y, Counter.spec) ]
+
+let ts = Timestamp.v
+
+(* Section 3: the atomic example.  perm(h) is equivalent to the serial
+   sequence b;a. *)
+let sec3_atomic =
+  History.of_list
+    [
+      Event.invoke a x (Intset.member 3);
+      Event.invoke b x (Intset.insert 3);
+      Event.respond b x Value.ok;
+      Event.respond a x (Value.Bool true);
+      Event.commit b x;
+      Event.invoke c x (Intset.delete 3);
+      Event.respond c x Value.ok;
+      Event.commit a x;
+      Event.abort c x;
+    ]
+
+(* Section 3: not atomic — member answers true on an initially empty
+   set with no committed insert. *)
+let sec3_not_atomic =
+  History.of_list
+    [
+      Event.invoke a x (Intset.member 2);
+      Event.respond a x (Value.Bool true);
+      Event.commit a x;
+    ]
+
+(* Section 4.1: atomic but NOT dynamic atomic — perm(h) is serializable
+   only in orders placing a before b, yet precedes(h) = {(b,c)} also
+   allows b-a-c and b-c-a. *)
+let sec41_not_dynamic =
+  History.of_list
+    [
+      Event.invoke a x (Intset.member 3);
+      Event.invoke b x (Intset.insert 3);
+      Event.respond b x Value.ok;
+      Event.respond a x (Value.Bool false);
+      Event.invoke c x (Intset.member 3);
+      Event.commit b x;
+      Event.respond c x (Value.Bool true);
+      Event.commit a x;
+      Event.commit c x;
+    ]
+
+(* Section 4.1: dynamic atomic — a queries element 2, so a is
+   unconstrained, and c's true observation is justified in every order
+   consistent with precedes = {(b,c)}. *)
+let sec41_dynamic =
+  History.of_list
+    [
+      Event.invoke a x (Intset.member 2);
+      Event.invoke b x (Intset.insert 3);
+      Event.respond b x Value.ok;
+      Event.respond a x (Value.Bool false);
+      Event.invoke c x (Intset.member 3);
+      Event.commit b x;
+      Event.respond c x (Value.Bool true);
+      Event.commit a x;
+      Event.commit c x;
+    ]
+
+(* Section 4.2.2: atomic (serializable a-b) but NOT static atomic
+   (timestamp order is b-a and insert-then-member(false) is
+   unacceptable). *)
+let sec42_not_static =
+  History.of_list
+    [
+      Event.initiate a x (ts 2);
+      Event.invoke a x (Intset.member 3);
+      Event.respond a x (Value.Bool false);
+      Event.commit a x;
+      Event.initiate b x (ts 1);
+      Event.invoke b x (Intset.insert 3);
+      Event.respond b x Value.ok;
+      Event.commit b x;
+    ]
+
+(* Section 4.2.2: static atomic — perm(h) is serializable in timestamp
+   order b-a. *)
+let sec42_static =
+  History.of_list
+    [
+      Event.initiate a x (ts 2);
+      Event.invoke a x (Intset.insert 3);
+      Event.respond a x Value.ok;
+      Event.commit a x;
+      Event.initiate b x (ts 1);
+      Event.invoke b x (Intset.member 3);
+      Event.respond b x (Value.Bool false);
+      Event.commit b x;
+    ]
+
+(* Section 4.3.1: the well-formed hybrid example. *)
+let sec43_well_formed =
+  History.of_list
+    [
+      Event.invoke a x (Intset.insert 3);
+      Event.respond a x Value.ok;
+      Event.commit_ts a x (ts 2);
+      Event.initiate r x (ts 1);
+      Event.invoke r x (Intset.member 3);
+      Event.respond r x (Value.Bool false);
+      Event.commit r x;
+    ]
+
+(* Section 4.3.1 (reconstructed): not well-formed — b's commit
+   timestamp contradicts precedes, and r reuses a's timestamp. *)
+let sec43_ill_formed =
+  History.of_list
+    [
+      Event.invoke a x (Intset.insert 3);
+      Event.respond a x Value.ok;
+      Event.commit_ts a x (ts 2);
+      Event.invoke b x (Intset.insert 4);
+      Event.respond b x Value.ok;
+      Event.commit_ts b x (ts 1);
+      Event.initiate r x (ts 2);
+      Event.invoke r x (Intset.member 3);
+      Event.respond r x (Value.Bool true);
+      Event.commit r x;
+    ]
+
+(* Section 4.3.2 (reconstructed): atomic but not hybrid atomic — the
+   read-only activity's timestamp places it after the insert it failed
+   to observe. *)
+let sec43_not_hybrid =
+  History.of_list
+    [
+      Event.invoke a x (Intset.insert 3);
+      Event.respond a x Value.ok;
+      Event.commit_ts a x (ts 1);
+      Event.initiate r x (ts 2);
+      Event.invoke r x (Intset.member 3);
+      Event.respond r x (Value.Bool false);
+      Event.commit r x;
+    ]
+
+(* Section 4.3.2 (reconstructed): hybrid atomic. *)
+let sec43_hybrid =
+  History.of_list
+    [
+      Event.invoke a x (Intset.insert 3);
+      Event.respond a x Value.ok;
+      Event.commit_ts a x (ts 1);
+      Event.initiate r x (ts 2);
+      Event.invoke r x (Intset.member 3);
+      Event.respond r x (Value.Bool true);
+      Event.commit r x;
+    ]
+
+(* Section 5.1: concurrent withdrawals covered by the balance — dynamic
+   atomic, refused by commutativity locking. *)
+let sec51_withdrawals =
+  History.of_list
+    [
+      Event.invoke a y (Bank_account.deposit 10);
+      Event.respond a y Value.ok;
+      Event.commit a y;
+      Event.invoke b y (Bank_account.withdraw 4);
+      Event.invoke c y (Bank_account.withdraw 3);
+      Event.respond c y Value.ok;
+      Event.respond b y Value.ok;
+      Event.commit c y;
+      Event.commit b y;
+    ]
+
+(* Section 5.1 (reconstructed): a withdrawal concurrent with a deposit
+   it does not need. *)
+let sec51_withdraw_deposit =
+  History.of_list
+    [
+      Event.invoke a y (Bank_account.deposit 10);
+      Event.respond a y Value.ok;
+      Event.commit a y;
+      Event.invoke b y (Bank_account.withdraw 5);
+      Event.invoke c y (Bank_account.deposit 3);
+      Event.respond c y Value.ok;
+      Event.respond b y Value.ok;
+      Event.commit c y;
+      Event.commit b y;
+    ]
+
+(* Section 5.1: the FIFO-queue interleaving the scheduler model cannot
+   produce. *)
+let sec51_queue =
+  History.of_list
+    [
+      Event.invoke a x (Fifo_queue.enqueue 1);
+      Event.respond a x Value.ok;
+      Event.invoke b x (Fifo_queue.enqueue 1);
+      Event.respond b x Value.ok;
+      Event.invoke a x (Fifo_queue.enqueue 2);
+      Event.respond a x Value.ok;
+      Event.invoke b x (Fifo_queue.enqueue 2);
+      Event.respond b x Value.ok;
+      Event.commit a x;
+      Event.commit b x;
+      Event.invoke c x Fifo_queue.dequeue;
+      Event.respond c x (Value.Int 1);
+      Event.invoke c x Fifo_queue.dequeue;
+      Event.respond c x (Value.Int 2);
+      Event.invoke c x Fifo_queue.dequeue;
+      Event.respond c x (Value.Int 1);
+      Event.invoke c x Fifo_queue.dequeue;
+      Event.respond c x (Value.Int 2);
+      Event.commit c x;
+    ]
+
+(* Alcotest testables. *)
+let history = Alcotest.testable History.pp History.equal
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run a System against a list of scripts under a random (seeded)
+   schedule, returning the generated history.  Used to validate that
+   protocol-generated histories satisfy their local atomicity
+   property.  Scripts are (kind, (object, operation) list); a script
+   whose transaction is refused or sacrificed to a deadlock simply
+   stops (no restart — the aborted events stay in the history, which is
+   exactly what the checkers must tolerate). *)
+type script_client = {
+  activity : Activity.t;
+  mutable remaining : (Object_id.t * Operation.t) list;
+  mutable txn : Txn.t option;
+  mutable finished : bool;
+}
+
+let run_scripts ?(seed = 7) ?(max_steps = 10_000) system scripts =
+  let rng = Rng.create seed in
+  let clients =
+    List.mapi
+      (fun i (kind, steps) ->
+        let activity =
+          match kind with
+          | `Update -> Activity.update (Fmt.str "u%d" i)
+          | `Read_only -> Activity.read_only (Fmt.str "r%d" i)
+        in
+        { activity; remaining = steps; txn = None; finished = false })
+      scripts
+  in
+  let runnable cl =
+    (not cl.finished)
+    &&
+    match cl.txn with
+    | Some t -> Txn.is_active t (* a deadlock victim stops *)
+    | None -> true
+  in
+  let step cl =
+    let t =
+      match cl.txn with
+      | Some t -> t
+      | None ->
+        let t = System.begin_txn system cl.activity in
+        cl.txn <- Some t;
+        t
+    in
+    match cl.remaining with
+    | [] ->
+      System.commit system t;
+      cl.finished <- true
+    | (obj, op) :: rest -> (
+      match System.invoke system t obj op with
+      | Atomic_object.Granted _ -> cl.remaining <- rest
+      | Atomic_object.Wait _ -> (
+        match System.find_deadlock system with
+        | Some cycle -> System.abort system (Waits_for.victim cycle)
+        | None -> ())
+      | Atomic_object.Refused _ ->
+        System.abort system t;
+        cl.finished <- true)
+  in
+  let rec loop steps =
+    if steps > 0 then
+      match List.filter runnable clients with
+      | [] -> ()
+      | ready ->
+        step (Rng.pick rng ready);
+        loop (steps - 1)
+  in
+  loop max_steps;
+  System.history system

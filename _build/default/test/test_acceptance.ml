@@ -1,0 +1,154 @@
+(* Acceptability of serial sequences against sequential specifications
+   (Section 3), including the non-deterministic state-set semantics. *)
+
+open Core
+open Helpers
+
+let serial events = History.of_list events
+
+let test_set_serial_accepted () =
+  (* The paper's acceptable serial sequence: insert(3); member(3) ->
+     true; delete(3); member(3) -> false (folded into activities). *)
+  let h =
+    serial
+      [
+        Event.invoke a x (Intset.insert 3);
+        Event.respond a x Value.ok;
+        Event.invoke a x (Intset.member 3);
+        Event.respond a x (Value.Bool true);
+        Event.commit a x;
+        Event.invoke b x (Intset.delete 3);
+        Event.respond b x Value.ok;
+        Event.invoke b x (Intset.member 3);
+        Event.respond b x (Value.Bool false);
+        Event.commit b x;
+      ]
+  in
+  check_bool "accepted" true (Acceptance.accepts set_env h)
+
+let test_set_serial_rejected () =
+  (* The paper's unacceptable serial sequence: member(3) true on an
+     empty set. *)
+  let h =
+    serial
+      [
+        Event.invoke a x (Intset.member 3);
+        Event.respond a x (Value.Bool true);
+        Event.commit a x;
+      ]
+  in
+  check_bool "rejected" false (Acceptance.accepts set_env h)
+
+let test_wrong_result_rejected () =
+  let h =
+    serial
+      [
+        Event.invoke a x (Intset.insert 3);
+        Event.respond a x (Value.Bool true); (* insert answers ok *)
+        Event.commit a x;
+      ]
+  in
+  check_bool "wrong result type rejected" false (Acceptance.accepts set_env h)
+
+let test_trailing_invoke_ok () =
+  let h = serial [ Event.invoke a x (Intset.insert 3) ] in
+  check_bool "pending trailing invocation accepted" true
+    (Acceptance.accepts set_env h)
+
+let test_account_sequences () =
+  let dep n = Event.invoke a y (Bank_account.deposit n) in
+  let wd n = Event.invoke a y (Bank_account.withdraw n) in
+  let ok_ = Event.respond a y Value.ok in
+  let insufficient = Event.respond a y Value.insufficient_funds in
+  check_bool "withdraw covered" true
+    (Acceptance.accepts account_env
+       (serial [ dep 10; ok_; wd 4; ok_; wd 6; ok_ ]));
+  check_bool "withdraw uncovered answers insufficient_funds" true
+    (Acceptance.accepts account_env (serial [ dep 5; ok_; wd 6; insufficient ]));
+  check_bool "ok on uncovered withdrawal rejected" false
+    (Acceptance.accepts account_env (serial [ dep 5; ok_; wd 6; ok_ ]));
+  check_bool "insufficient on covered withdrawal rejected" false
+    (Acceptance.accepts account_env (serial [ dep 5; ok_; wd 3; insufficient ]))
+
+let test_queue_fifo_order () =
+  let enq v = Event.invoke a x (Fifo_queue.enqueue v) in
+  let deq = Event.invoke a x Fifo_queue.dequeue in
+  let ok_ = Event.respond a x Value.ok in
+  let got v = Event.respond a x (Value.Int v) in
+  check_bool "FIFO order enforced" true
+    (Acceptance.accepts queue_env
+       (serial [ enq 1; ok_; enq 2; ok_; deq; got 1; deq; got 2 ]));
+  check_bool "LIFO order rejected" false
+    (Acceptance.accepts queue_env
+       (serial [ enq 1; ok_; enq 2; ok_; deq; got 2 ]));
+  check_bool "dequeue on empty answers empty" true
+    (Acceptance.accepts queue_env
+       (serial [ deq; Event.respond a x Fifo_queue.empty_result ]))
+
+let test_semiqueue_nondeterminism () =
+  let env = Spec_env.of_list [ (x, Semiqueue.spec) ] in
+  let enq v = Event.invoke a x (Semiqueue.enq v) in
+  let deq = Event.invoke a x Semiqueue.deq in
+  let ok_ = Event.respond a x Value.ok in
+  let got v = Event.respond a x (Value.Int v) in
+  (* Either enqueued element may come out first. *)
+  check_bool "first element allowed" true
+    (Acceptance.accepts env (serial [ enq 1; ok_; enq 2; ok_; deq; got 1 ]));
+  check_bool "second element allowed" true
+    (Acceptance.accepts env (serial [ enq 1; ok_; enq 2; ok_; deq; got 2 ]));
+  check_bool "absent element rejected" false
+    (Acceptance.accepts env (serial [ enq 1; ok_; enq 2; ok_; deq; got 3 ]));
+  (* The state-set semantics must track both branches: after dequeuing
+     1, dequeuing 2 must still be allowed, and vice versa. *)
+  check_bool "both branches tracked" true
+    (Acceptance.accepts env
+       (serial [ enq 1; ok_; enq 2; ok_; deq; got 2; deq; got 1 ]))
+
+let test_counter_positions () =
+  let inc = Event.invoke a y Counter.increment in
+  let got v = Event.respond a y (Value.Int v) in
+  check_bool "increments return serial positions" true
+    (Acceptance.accepts counter_env (serial [ inc; got 1; inc; got 2 ]));
+  check_bool "skipping a position rejected" false
+    (Acceptance.accepts counter_env (serial [ inc; got 1; inc; got 3 ]))
+
+let test_multi_object () =
+  let env = Spec_env.of_list [ (x, Intset.spec); (y, Bank_account.spec) ] in
+  let h =
+    serial
+      [
+        Event.invoke a x (Intset.insert 1);
+        Event.respond a x Value.ok;
+        Event.invoke a y (Bank_account.deposit 5);
+        Event.respond a y Value.ok;
+        Event.invoke a y Bank_account.balance;
+        Event.respond a y (Value.Int 5);
+        Event.commit a x;
+        Event.commit a y;
+      ]
+  in
+  check_bool "multi-object serial sequence" true (Acceptance.accepts env h)
+
+let test_missing_spec_raises () =
+  let h = serial [ Event.invoke a x (Intset.insert 1) ] in
+  Alcotest.check_raises "missing specification"
+    (Invalid_argument "Spec_env.find_exn: no specification for object x")
+    (fun () -> ignore (Acceptance.accepts Spec_env.empty h))
+
+let suite =
+  [
+    Alcotest.test_case "set: paper's acceptable sequence" `Quick
+      test_set_serial_accepted;
+    Alcotest.test_case "set: paper's unacceptable sequence" `Quick
+      test_set_serial_rejected;
+    Alcotest.test_case "wrong results rejected" `Quick
+      test_wrong_result_rejected;
+    Alcotest.test_case "trailing invocation" `Quick test_trailing_invoke_ok;
+    Alcotest.test_case "bank account semantics" `Quick test_account_sequences;
+    Alcotest.test_case "queue FIFO semantics" `Quick test_queue_fifo_order;
+    Alcotest.test_case "semiqueue non-determinism" `Quick
+      test_semiqueue_nondeterminism;
+    Alcotest.test_case "counter positions" `Quick test_counter_positions;
+    Alcotest.test_case "multiple objects" `Quick test_multi_object;
+    Alcotest.test_case "missing spec raises" `Quick test_missing_spec_raises;
+  ]

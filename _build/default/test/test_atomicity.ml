@@ -1,0 +1,214 @@
+(* Every example history the paper classifies, asserted to classify the
+   same way under our checkers. *)
+
+open Core
+open Helpers
+
+let atomic env h = Atomicity.atomic env h
+let dyn env h = Atomicity.dynamic_atomic env h
+let sta env h = Atomicity.static_atomic env h
+let hyb env h = Atomicity.hybrid_atomic env h
+
+let test_sec3 () =
+  check_bool "sec3 example is atomic" true (atomic set_env sec3_atomic);
+  check_bool "member-true-on-empty is not atomic" false
+    (atomic set_env sec3_not_atomic)
+
+let test_sec41 () =
+  let h = sec41_not_dynamic in
+  check_bool "atomic" true (atomic set_env h);
+  check_bool "but not dynamic atomic" false (dyn set_env h);
+  let h' = sec41_dynamic in
+  check_bool "variant is atomic" true (atomic set_env h');
+  check_bool "and dynamic atomic" true (dyn set_env h')
+
+let test_sec42 () =
+  let h = sec42_not_static in
+  check_bool "atomic" true (atomic set_env h);
+  check_bool "but not static atomic" false (sta set_env h);
+  let h' = sec42_static in
+  check_bool "variant is atomic" true (atomic set_env h');
+  check_bool "and static atomic" true (sta set_env h')
+
+let test_sec43 () =
+  let h = sec43_not_hybrid in
+  check_bool "atomic" true (atomic set_env h);
+  check_bool "but not hybrid atomic" false (hyb set_env h);
+  let h' = sec43_hybrid in
+  check_bool "variant is atomic" true (atomic set_env h');
+  check_bool "and hybrid atomic" true (hyb set_env h');
+  check_bool "paper's well-formed hybrid example is hybrid atomic" true
+    (hyb set_env sec43_well_formed)
+
+let test_sec51_bank () =
+  check_bool "concurrent withdrawals are dynamic atomic" true
+    (dyn account_env sec51_withdrawals);
+  check_bool "withdraw concurrent with unneeded deposit" true
+    (dyn account_env sec51_withdraw_deposit)
+
+let test_sec51_queue () =
+  check_bool "queue interleaving is atomic" true (atomic queue_env sec51_queue);
+  check_bool "and dynamic atomic" true (dyn queue_env sec51_queue)
+
+(* The scheduler model cannot produce the Section 5.1 interleaving: a
+   scheduler executes each operation against the store in submission
+   order, so c would have to dequeue 1,1,2,2 — and that execution is
+   NOT serializable.  We reproduce both halves of the argument. *)
+let test_scheduler_model_limitation () =
+  let scheduler_history =
+    History.of_list
+      [
+        Event.invoke a x (Fifo_queue.enqueue 1);
+        Event.respond a x Value.ok;
+        Event.invoke b x (Fifo_queue.enqueue 1);
+        Event.respond b x Value.ok;
+        Event.invoke a x (Fifo_queue.enqueue 2);
+        Event.respond a x Value.ok;
+        Event.invoke b x (Fifo_queue.enqueue 2);
+        Event.respond b x Value.ok;
+        Event.commit a x;
+        Event.commit b x;
+        Event.invoke c x Fifo_queue.dequeue;
+        Event.respond c x (Value.Int 1);
+        Event.invoke c x Fifo_queue.dequeue;
+        Event.respond c x (Value.Int 1);
+        Event.invoke c x Fifo_queue.dequeue;
+        Event.respond c x (Value.Int 2);
+        Event.invoke c x Fifo_queue.dequeue;
+        Event.respond c x (Value.Int 2);
+        Event.commit c x;
+      ]
+  in
+  check_bool "what the scheduler produces (1,1,2,2) is not serializable"
+    false
+    (atomic queue_env scheduler_history);
+  check_bool "what dynamic atomicity permits (1,2,1,2) is" true
+    (dyn queue_env sec51_queue)
+
+(* Dynamic and static atomicity are incomparable (Section 4.2.3): each
+   permits interleavings the other forbids. *)
+let test_dynamic_static_incomparable () =
+  (* Static-but-not-dynamic: timestamps order b before a even though a
+     committed first and b's response follows a's commit. *)
+  let h =
+    History.of_list
+      [
+        Event.initiate a x (ts 2);
+        Event.initiate b x (ts 1);
+        Event.invoke a x (Intset.insert 3);
+        Event.respond a x Value.ok;
+        Event.commit a x;
+        Event.invoke b x (Intset.member 3);
+        Event.respond b x (Value.Bool false);
+        Event.commit b x;
+      ]
+  in
+  check_bool "well-formed (static)" true
+    (Wellformed.is_well_formed Wellformed.Static h);
+  check_bool "static atomic" true (sta set_env h);
+  check_bool "not dynamic atomic" false (dyn set_env h);
+  (* Dynamic-but-not-static: serializable in commit order a-b, but the
+     timestamps demand b-a. *)
+  let h' =
+    History.of_list
+      [
+        Event.initiate a x (ts 2);
+        Event.initiate b x (ts 1);
+        Event.invoke a x (Intset.insert 3);
+        Event.respond a x Value.ok;
+        Event.commit a x;
+        Event.invoke b x (Intset.member 3);
+        Event.respond b x (Value.Bool true);
+        Event.commit b x;
+      ]
+  in
+  check_bool "well-formed (static)" true
+    (Wellformed.is_well_formed Wellformed.Static h');
+  check_bool "dynamic atomic" true (dyn set_env h');
+  check_bool "not static atomic" false (sta set_env h')
+
+(* The counter construction from the optimality proof (Section 4.1):
+   committed increments are serializable in exactly one order, so any
+   interleaving an over-permissive property admits is pinned down. *)
+let test_counter_construction () =
+  let h =
+    History.of_list
+      [
+        Event.invoke a y Counter.increment;
+        Event.respond a y (Value.Int 1);
+        Event.commit a y;
+        Event.invoke b y Counter.increment;
+        Event.respond b y (Value.Int 2);
+        Event.commit b y;
+        Event.invoke c y Counter.increment;
+        Event.respond c y (Value.Int 3);
+        Event.commit c y;
+      ]
+  in
+  check_bool "serial counter history is atomic" true (atomic counter_env h);
+  (* Exactly one serialization order works. *)
+  let orders =
+    Orders.permutations [ a; b; c ]
+    |> List.of_seq
+    |> List.filter (fun o -> Serializability.in_order counter_env h o)
+  in
+  check_int "unique order" 1 (List.length orders);
+  (* Composing the counter with the not-dynamic-atomic set history of
+     Section 4.1 destroys atomicity — the optimality argument's
+     contradiction, made executable.  The counter pins the order c-a-b
+     (c=1, a=2, b=3), while the set history requires a before b...
+     compatible; pin b before a instead to reproduce the clash. *)
+  let env = Spec_env.of_list [ (x, Intset.spec); (y, Counter.spec) ] in
+  let pinned =
+    History.of_list
+      [
+        (* h|x: member(3)->false by a concurrent with insert(3) by b
+           forces a before b. *)
+        Event.invoke a x (Intset.member 3);
+        Event.invoke b x (Intset.insert 3);
+        Event.respond b x Value.ok;
+        Event.respond a x (Value.Bool false);
+        (* h|y: the counter pins b before a. *)
+        Event.invoke b y Counter.increment;
+        Event.respond b y (Value.Int 1);
+        Event.invoke a y Counter.increment;
+        Event.respond a y (Value.Int 2);
+        Event.commit b x;
+        Event.commit b y;
+        Event.commit a x;
+        Event.commit a y;
+      ]
+  in
+  check_bool "composed computation is not atomic" false (atomic env pinned)
+
+let test_local_properties_imply_atomic_on_examples () =
+  List.iter
+    (fun (env, h) ->
+      if dyn env h then check_bool "dynamic => atomic" true (atomic env h);
+      if sta env h then check_bool "static => atomic" true (atomic env h);
+      if hyb env h then check_bool "hybrid => atomic" true (atomic env h))
+    [
+      (set_env, sec3_atomic); (set_env, sec41_dynamic);
+      (set_env, sec41_not_dynamic); (set_env, sec42_static);
+      (set_env, sec42_not_static); (set_env, sec43_hybrid);
+      (set_env, sec43_not_hybrid); (account_env, sec51_withdrawals);
+      (account_env, sec51_withdraw_deposit); (queue_env, sec51_queue);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "section 3 examples" `Quick test_sec3;
+    Alcotest.test_case "section 4.1 examples" `Quick test_sec41;
+    Alcotest.test_case "section 4.2 examples" `Quick test_sec42;
+    Alcotest.test_case "section 4.3 examples" `Quick test_sec43;
+    Alcotest.test_case "section 5.1 bank examples" `Quick test_sec51_bank;
+    Alcotest.test_case "section 5.1 queue example" `Quick test_sec51_queue;
+    Alcotest.test_case "scheduler-model limitation (fig 5-1)" `Quick
+      test_scheduler_model_limitation;
+    Alcotest.test_case "dynamic/static incomparable" `Quick
+      test_dynamic_static_incomparable;
+    Alcotest.test_case "counter optimality construction" `Quick
+      test_counter_construction;
+    Alcotest.test_case "local properties imply atomicity" `Quick
+      test_local_properties_imply_atomic_on_examples;
+  ]

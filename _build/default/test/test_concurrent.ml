@@ -1,0 +1,122 @@
+(* The multicore runtime facade: real domains through the blocking
+   interface. *)
+
+open Core
+open Helpers
+
+let acct = Object_id.v "acct"
+let acct_env = Spec_env.of_list [ (acct, Bank_account.spec) ]
+
+let test_atomically_commit_and_refuse () =
+  let sys = Concurrent.create () in
+  Concurrent.add_object sys (Escrow_account.make (Concurrent.log sys) acct);
+  (match
+     Concurrent.atomically sys (Activity.update "a") (fun _txn invoke ->
+         invoke acct (Bank_account.deposit 10))
+   with
+  | Ok v -> check_bool "deposit ok" true (Value.equal v Value.ok)
+  | Error e -> Alcotest.fail e);
+  (* An unknown operation is refused; atomically turns it into Error
+     and the transaction aborts cleanly. *)
+  (match
+     Concurrent.atomically sys (Activity.update "b") (fun _txn invoke ->
+         invoke acct (Operation.make "mystery" []))
+   with
+  | Ok _ -> Alcotest.fail "expected refusal"
+  | Error _ -> ());
+  let h = Concurrent.history sys in
+  check_bool "well-formed" true (Wellformed.is_well_formed Wellformed.Base h);
+  check_bool "atomic" true (Atomicity.atomic acct_env h)
+
+let test_blocking_unblocks_across_domains () =
+  let sys = Concurrent.create () in
+  Concurrent.add_object sys (Escrow_account.make (Concurrent.log sys) acct);
+  ignore
+    (Concurrent.atomically sys (Activity.update "seed") (fun _ invoke ->
+         invoke acct (Bank_account.deposit 5)));
+  (* Holder takes the whole balance into escrow, then releases it after
+     the other domain has had time to block. *)
+  let holder = Concurrent.begin_txn sys (Activity.update "holder") in
+  ignore (Concurrent.invoke sys holder acct (Bank_account.withdraw 5));
+  let waiter =
+    Domain.spawn (fun () ->
+        Concurrent.atomically sys (Activity.update "waiter") (fun _ invoke ->
+            (* Blocks until the holder aborts and the funds return. *)
+            invoke acct (Bank_account.withdraw 4)))
+  in
+  (* Give the waiter a moment to block, then release. *)
+  Domain.cpu_relax ();
+  Concurrent.abort sys holder;
+  (match Domain.join waiter with
+  | Ok v -> check_bool "waiter eventually granted" true (Value.equal v Value.ok)
+  | Error e -> Alcotest.fail e);
+  check_bool "atomic" true
+    (Atomicity.atomic acct_env (Concurrent.history sys))
+
+let test_deadlock_broken_across_domains () =
+  let sys = Concurrent.create () in
+  let log = Concurrent.log sys in
+  let ox = Object_id.v "ox" and oy = Object_id.v "oy" in
+  Concurrent.add_object sys (Op_locking.rw log ox (module Register));
+  Concurrent.add_object sys (Op_locking.rw log oy (module Register));
+  let barrier = Atomic.make 0 in
+  let worker name first second =
+    Domain.spawn (fun () ->
+        Concurrent.atomically sys (Activity.update name) (fun _ invoke ->
+            ignore (invoke first (Register.write 1));
+            Atomic.incr barrier;
+            (* Wait until both hold their first lock, then cross. *)
+            while Atomic.get barrier < 2 do
+              Domain.cpu_relax ()
+            done;
+            invoke second (Register.write 2)))
+  in
+  let d1 = worker "w1" ox oy in
+  let d2 = worker "w2" oy ox in
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  let ok r = match r with Ok _ -> true | Error _ -> false in
+  check_bool "exactly one survives the deadlock" true (ok r1 <> ok r2);
+  check_bool "atomic" true
+    (Atomicity.atomic
+       (Spec_env.of_list [ (ox, Register.spec); (oy, Register.spec) ])
+       (Concurrent.history sys))
+
+let test_many_domains_consistency () =
+  let sys = Concurrent.create () in
+  Concurrent.add_object sys (Da_counter.make (Concurrent.log sys) acct);
+  let per_domain = 50 and domains = 4 in
+  let committed = Atomic.make 0 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              match
+                Concurrent.atomically sys
+                  (Activity.update (Fmt.str "d%d_%d" d i))
+                  (fun _ invoke -> invoke acct (Blind_counter.bump 1))
+              with
+              | Ok _ -> Atomic.incr committed
+              | Error _ -> ()
+            done))
+  in
+  List.iter Domain.join workers;
+  match
+    Concurrent.atomically sys (Activity.update "reader") (fun _ invoke ->
+        invoke acct Blind_counter.read)
+  with
+  | Ok (Value.Int total) ->
+    check_int "every committed bump counted" (Atomic.get committed) total
+  | Ok v -> Alcotest.fail (Fmt.str "unexpected %a" Value.pp v)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "atomically: commit and refuse" `Quick
+      test_atomically_commit_and_refuse;
+    Alcotest.test_case "blocking across domains" `Quick
+      test_blocking_unblocks_across_domains;
+    Alcotest.test_case "deadlock broken across domains" `Quick
+      test_deadlock_broken_across_domains;
+    Alcotest.test_case "many domains, counted consistently" `Quick
+      test_many_domains_consistency;
+  ]

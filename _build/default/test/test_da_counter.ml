@@ -1,0 +1,92 @@
+(* The dynamic-atomic blind counter. *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let cnt = Object_id.v "counter"
+let env = Spec_env.of_list [ (cnt, Blind_counter.spec) ]
+
+let make () =
+  let sys = System.create () in
+  System.add_object sys (Da_counter.make (System.log sys) cnt);
+  sys
+
+let test_bumps_fully_concurrent () =
+  let sys = make () in
+  let ts' = List.init 5 (fun i -> System.begin_txn sys (Activity.update (Fmt.str "a%d" i))) in
+  List.iteri
+    (fun i t ->
+      ignore (granted (System.invoke sys t cnt (Blind_counter.bump (i + 1)))))
+    ts';
+  List.iter (fun t -> System.commit sys t) ts';
+  let t = System.begin_txn sys (Activity.update "reader") in
+  (match granted (System.invoke sys t cnt Blind_counter.read) with
+  | Value.Int 15 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 15, got %a" Value.pp v));
+  System.commit sys t;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_read_quiesces_and_claims () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 cnt (Blind_counter.bump 3)));
+  expect_wait "read waits for pending bumps"
+    (System.invoke sys t2 cnt Blind_counter.read);
+  System.commit sys t1;
+  (match granted (System.invoke sys t2 cnt Blind_counter.read) with
+  | Value.Int 3 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 3, got %a" Value.pp v));
+  (* The granted read blocks later bumps until the reader resolves. *)
+  let t3 = System.begin_txn sys (Activity.update "c") in
+  expect_wait "bump behind a read claim"
+    (System.invoke sys t3 cnt (Blind_counter.bump 1));
+  System.abort sys t2;
+  ignore (granted (System.invoke sys t3 cnt (Blind_counter.bump 1)));
+  System.commit sys t3;
+  check_bool "dynamic atomic despite the abort" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_own_bumps_visible () =
+  let sys = make () in
+  let t = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t cnt (Blind_counter.bump 4)));
+  (match granted (System.invoke sys t cnt Blind_counter.read) with
+  | Value.Int 4 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 4, got %a" Value.pp v));
+  System.commit sys t;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_random_schedules () =
+  for seed = 1 to 20 do
+    let sys = make () in
+    let scripts =
+      [
+        (`Update, [ (cnt, Blind_counter.bump 1); (cnt, Blind_counter.bump 2) ]);
+        (`Update, [ (cnt, Blind_counter.bump 5) ]);
+        (`Update, [ (cnt, Blind_counter.read) ]);
+        (`Update, [ (cnt, Blind_counter.bump 3); (cnt, Blind_counter.read) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic env h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "bumps fully concurrent" `Quick
+      test_bumps_fully_concurrent;
+    Alcotest.test_case "read quiesces and claims" `Quick
+      test_read_quiesces_and_claims;
+    Alcotest.test_case "own bumps visible" `Quick test_own_bumps_visible;
+    Alcotest.test_case "random schedules dynamic atomic" `Quick
+      test_random_schedules;
+  ]

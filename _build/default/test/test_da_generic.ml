@@ -1,0 +1,208 @@
+(* The generic dynamic-atomicity reference object, and its agreement
+   with the hand-built protocols. *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let make spec =
+  let sys = System.create () in
+  System.add_object sys (Da_generic.make (System.log sys) x spec);
+  sys
+
+(* It reproduces the escrow account's signature move: concurrent
+   covered withdrawals. *)
+let test_concurrent_withdrawals () =
+  let sys = make Bank_account.spec in
+  let t0 = System.begin_txn sys (Activity.update "seed") in
+  ignore (granted (System.invoke sys t0 x (Bank_account.deposit 10)));
+  System.commit sys t0;
+  let tb = System.begin_txn sys (Activity.update "b") in
+  let tc = System.begin_txn sys (Activity.update "c") in
+  (match granted (System.invoke sys tb x (Bank_account.withdraw 4)) with
+  | v -> check_bool "b ok" true (Value.equal v Value.ok));
+  (match granted (System.invoke sys tc x (Bank_account.withdraw 3)) with
+  | v -> check_bool "c ok" true (Value.equal v Value.ok));
+  System.commit sys tc;
+  System.commit sys tb;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic
+       (Spec_env.of_list [ (x, Bank_account.spec) ])
+       (System.history sys))
+
+(* And the uncovered case waits, exactly like escrow. *)
+let test_uncovered_withdrawal_waits () =
+  let sys = make Bank_account.spec in
+  let t0 = System.begin_txn sys (Activity.update "seed") in
+  ignore (granted (System.invoke sys t0 x (Bank_account.deposit 5)));
+  System.commit sys t0;
+  let tb = System.begin_txn sys (Activity.update "b") in
+  let tc = System.begin_txn sys (Activity.update "c") in
+  ignore (granted (System.invoke sys tb x (Bank_account.withdraw 4)));
+  expect_wait "second withdrawal undetermined"
+    (System.invoke sys tc x (Bank_account.withdraw 4));
+  System.abort sys tb;
+  ignore (granted (System.invoke sys tc x (Bank_account.withdraw 4)));
+  System.commit sys tc;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic
+       (Spec_env.of_list [ (x, Bank_account.spec) ])
+       (System.history sys))
+
+(* It reproduces the queue's Figure 5-1 behaviour from the raw spec —
+   no hand-written queue logic involved. *)
+let test_fig51_from_spec_alone () =
+  let sys = make Fifo_queue.spec in
+  let ta = System.begin_txn sys (Activity.update "a") in
+  let tb = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 1)));
+  ignore (granted (System.invoke sys tb x (Fifo_queue.enqueue 1)));
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 2)));
+  ignore (granted (System.invoke sys tb x (Fifo_queue.enqueue 2)));
+  System.commit sys ta;
+  System.commit sys tb;
+  let tc = System.begin_txn sys (Activity.update "c") in
+  let deq () =
+    match granted (System.invoke sys tc x Fifo_queue.dequeue) with
+    | Value.Int v -> v
+    | v -> Alcotest.fail (Fmt.str "unexpected %a" Value.pp v)
+  in
+  let d1 = deq () in
+  let d2 = deq () in
+  let d3 = deq () in
+  let d4 = deq () in
+  Alcotest.(check (list int)) "1,2,1,2" [ 1; 2; 1; 2 ] [ d1; d2; d3; d4 ];
+  System.commit sys tc;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic queue_env (System.history sys))
+
+let test_ambiguous_front_refused () =
+  let sys = make Fifo_queue.spec in
+  let ta = System.begin_txn sys (Activity.update "a") in
+  let tb = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 7)));
+  ignore (granted (System.invoke sys tb x (Fifo_queue.enqueue 9)));
+  System.commit sys ta;
+  System.commit sys tb;
+  let tc = System.begin_txn sys (Activity.update "c") in
+  (match System.invoke sys tc x Fifo_queue.dequeue with
+  | Atomic_object.Refused _ -> ()
+  | r -> Alcotest.fail (Fmt.str "got %a" Atomic_object.pp_invoke_result r));
+  System.abort sys tc
+
+(* Result-aware set behaviour, from the spec alone. *)
+let test_member_semantics () =
+  let sys = make Intset.spec in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  (match granted (System.invoke sys t1 x (Intset.member 4)) with
+  | Value.Bool false -> ()
+  | v -> Alcotest.fail (Fmt.str "expected false, got %a" Value.pp v));
+  (* insert(4) by another transaction would flip the granted answer in
+     one serialization order: it must wait. *)
+  expect_wait "insert behind member(false)"
+    (System.invoke sys t2 x (Intset.insert 4));
+  System.commit sys t1;
+  ignore (granted (System.invoke sys t2 x (Intset.insert 4)));
+  (* member(4) -> true by a third transaction tolerates a concurrent
+     re-insert. *)
+  System.commit sys t2;
+  let t3 = System.begin_txn sys (Activity.update "c") in
+  let t4 = System.begin_txn sys (Activity.update "d") in
+  (match granted (System.invoke sys t3 x (Intset.member 4)) with
+  | Value.Bool true -> ()
+  | v -> Alcotest.fail (Fmt.str "expected true, got %a" Value.pp v));
+  ignore (granted (System.invoke sys t4 x (Intset.insert 4)));
+  System.commit sys t3;
+  System.commit sys t4;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic set_env (System.history sys))
+
+(* The non-deterministic semiqueue: the generic object hands
+   concurrent dequeuers different elements — the concurrency
+   non-determinism buys (Section 1). *)
+let test_semiqueue_concurrent_dequeues () =
+  let env = Spec_env.of_list [ (x, Semiqueue.spec) ] in
+  let sys = make Semiqueue.spec in
+  let t0 = System.begin_txn sys (Activity.update "seed") in
+  ignore (granted (System.invoke sys t0 x (Semiqueue.enq 1)));
+  ignore (granted (System.invoke sys t0 x (Semiqueue.enq 2)));
+  System.commit sys t0;
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  let v1 = granted (System.invoke sys t1 x Semiqueue.deq) in
+  let v2 = granted (System.invoke sys t2 x Semiqueue.deq) in
+  check_bool "both dequeues granted concurrently" true
+    (not (Value.equal v1 v2));
+  System.commit sys t2;
+  System.commit sys t1;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_random_schedules () =
+  for seed = 1 to 15 do
+    let sys = make Intset.spec in
+    let scripts =
+      [
+        (`Update, [ (x, Intset.insert 1); (x, Intset.member 1) ]);
+        (`Update, [ (x, Intset.member 2); (x, Intset.insert 2) ]);
+        (`Update, [ (x, Intset.delete 1) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic set_env h)
+  done
+
+(* Agreement with escrow on deterministic interleavings: whatever the
+   bespoke object grants, the reference object grants with the same
+   answer. *)
+let test_agreement_with_escrow () =
+  let scenario make_obj =
+    let sys = System.create () in
+    System.add_object sys (make_obj (System.log sys) x);
+    let t0 = System.begin_txn sys (Activity.update "seed") in
+    ignore (System.invoke sys t0 x (Bank_account.deposit 20));
+    System.commit sys t0;
+    let t1 = System.begin_txn sys (Activity.update "a") in
+    let t2 = System.begin_txn sys (Activity.update "b") in
+    let r1 = System.invoke sys t1 x (Bank_account.withdraw 8) in
+    let r2 = System.invoke sys t2 x (Bank_account.withdraw 30) in
+    let r3 = System.invoke sys t2 x (Bank_account.deposit 5) in
+    System.commit sys t1;
+    System.commit sys t2;
+    List.map
+      (function
+        | Atomic_object.Granted v -> Fmt.str "granted %a" Value.pp v
+        | Atomic_object.Wait _ -> "wait"
+        | Atomic_object.Refused _ -> "refused")
+      [ r1; r2; r3 ]
+  in
+  Alcotest.(check (list string))
+    "same grant decisions"
+    (scenario Escrow_account.make)
+    (scenario (fun log id -> Da_generic.make log id Bank_account.spec))
+
+let suite =
+  [
+    Alcotest.test_case "concurrent withdrawals (escrow move)" `Quick
+      test_concurrent_withdrawals;
+    Alcotest.test_case "uncovered withdrawal waits" `Quick
+      test_uncovered_withdrawal_waits;
+    Alcotest.test_case "figure 5-1 from the spec alone" `Quick
+      test_fig51_from_spec_alone;
+    Alcotest.test_case "ambiguous front refused" `Quick
+      test_ambiguous_front_refused;
+    Alcotest.test_case "result-aware member semantics" `Quick
+      test_member_semantics;
+    Alcotest.test_case "semiqueue concurrent dequeues" `Quick
+      test_semiqueue_concurrent_dequeues;
+    Alcotest.test_case "random schedules dynamic atomic" `Quick
+      test_random_schedules;
+    Alcotest.test_case "agreement with escrow" `Quick
+      test_agreement_with_escrow;
+  ]

@@ -1,0 +1,129 @@
+(* The data-dependent key/value map. *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let m = Object_id.v "map"
+let env = Spec_env.of_list [ (m, Kv_map.spec) ]
+
+let make () =
+  let sys = System.create () in
+  System.add_object sys (Da_kv.make (System.log sys) m);
+  sys
+
+let test_distinct_keys_concurrent () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 m (Kv_map.put 1 10)));
+  ignore (granted (System.invoke sys t2 m (Kv_map.put 2 20)));
+  ignore (granted (System.invoke sys t2 m (Kv_map.get 2)));
+  System.commit sys t2;
+  System.commit sys t1;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_same_key_puts_conflict () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 m (Kv_map.put 1 10)));
+  expect_wait "conflicting put" (System.invoke sys t2 m (Kv_map.put 1 11));
+  System.commit sys t1;
+  ignore (granted (System.invoke sys t2 m (Kv_map.put 1 11)));
+  System.commit sys t2;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_identical_puts_concurrent () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 m (Kv_map.put 1 10)));
+  ignore (granted (System.invoke sys t2 m (Kv_map.put 1 10)));
+  System.commit sys t2;
+  System.commit sys t1;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_get_tolerates_same_value_put () =
+  let sys = make () in
+  let t0 = System.begin_txn sys (Activity.update "init") in
+  ignore (granted (System.invoke sys t0 m (Kv_map.put 1 10)));
+  System.commit sys t0;
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  (match granted (System.invoke sys t1 m (Kv_map.get 1)) with
+  | Value.Int 10 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 10, got %a" Value.pp v));
+  (* Re-putting the same binding cannot invalidate the answer. *)
+  ignore (granted (System.invoke sys t2 m (Kv_map.put 1 10)));
+  (* But a different value must wait behind the reader. *)
+  let t3 = System.begin_txn sys (Activity.update "c") in
+  expect_wait "changing put behind get"
+    (System.invoke sys t3 m (Kv_map.put 1 99));
+  System.commit sys t1;
+  System.commit sys t2;
+  ignore (granted (System.invoke sys t3 m (Kv_map.put 1 99)));
+  System.commit sys t3;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_get_none_tolerates_remove () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  (match granted (System.invoke sys t1 m (Kv_map.get 1)) with
+  | v when Value.equal v Kv_map.none_result -> ()
+  | v -> Alcotest.fail (Fmt.str "expected none, got %a" Value.pp v));
+  ignore (granted (System.invoke sys t2 m (Kv_map.remove 1)));
+  (* A put would make the answer wrong in one order. *)
+  let t3 = System.begin_txn sys (Activity.update "c") in
+  expect_wait "put behind get(none)" (System.invoke sys t3 m (Kv_map.put 1 5));
+  System.commit sys t1;
+  System.commit sys t2;
+  ignore (granted (System.invoke sys t3 m (Kv_map.put 1 5)));
+  System.commit sys t3;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_random_schedules () =
+  for seed = 1 to 25 do
+    let sys = make () in
+    let scripts =
+      [
+        (`Update, [ (m, Kv_map.put 1 10); (m, Kv_map.get 2) ]);
+        (`Update, [ (m, Kv_map.get 1); (m, Kv_map.put 2 20) ]);
+        (`Update, [ (m, Kv_map.remove 1) ]);
+        (`Update, [ (m, Kv_map.put 1 10) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d well-formed" seed)
+      true
+      (Wellformed.is_well_formed Wellformed.Base h);
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic env h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "distinct keys interleave" `Quick
+      test_distinct_keys_concurrent;
+    Alcotest.test_case "same-key puts conflict" `Quick
+      test_same_key_puts_conflict;
+    Alcotest.test_case "identical puts interleave" `Quick
+      test_identical_puts_concurrent;
+    Alcotest.test_case "get tolerates same-value put" `Quick
+      test_get_tolerates_same_value_put;
+    Alcotest.test_case "get(none) tolerates remove" `Quick
+      test_get_none_tolerates_remove;
+    Alcotest.test_case "random schedules dynamic atomic" `Quick
+      test_random_schedules;
+  ]

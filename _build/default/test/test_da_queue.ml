@@ -1,0 +1,190 @@
+(* The dynamic-atomic FIFO queue: Figure 5-1 made executable. *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let make () =
+  let sys = System.create () in
+  System.add_object sys (Da_queue.make (System.log sys) x);
+  sys
+
+let expect_int name n = function
+  | Atomic_object.Granted (Value.Int v) -> check_int name n v
+  | other ->
+    Alcotest.fail
+      (Fmt.str "%s: got %a" name Atomic_object.pp_invoke_result other)
+
+let test_fig51_interleaving () =
+  (* The exact Section 5.1 interleaving: a and b enqueue [1;2]
+     concurrently, then c dequeues 1,2,1,2.  Commutativity locking
+     refuses this (enqueue(1) and enqueue(2) do not commute); the
+     dynamic-atomic queue grants it because both serialization orders
+     agree on the dequeued values. *)
+  let sys = make () in
+  let ta = System.begin_txn sys (Activity.update "a") in
+  let tb = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 1)));
+  ignore (granted (System.invoke sys tb x (Fifo_queue.enqueue 1)));
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 2)));
+  ignore (granted (System.invoke sys tb x (Fifo_queue.enqueue 2)));
+  System.commit sys ta;
+  System.commit sys tb;
+  let tc = System.begin_txn sys (Activity.update "c") in
+  expect_int "first" 1 (System.invoke sys tc x Fifo_queue.dequeue);
+  expect_int "second" 2 (System.invoke sys tc x Fifo_queue.dequeue);
+  expect_int "third" 1 (System.invoke sys tc x Fifo_queue.dequeue);
+  expect_int "fourth" 2 (System.invoke sys tc x Fifo_queue.dequeue);
+  System.commit sys tc;
+  let h = System.history sys in
+  check_bool "well-formed" true (Wellformed.is_well_formed Wellformed.Base h);
+  check_bool "dynamic atomic" true (Atomicity.dynamic_atomic queue_env h)
+
+let test_ambiguous_front_refused () =
+  (* Unpinned committed enqueuers with different values: no dequeue
+     answer is correct in every serialization order. *)
+  let sys = make () in
+  let ta = System.begin_txn sys (Activity.update "a") in
+  let tb = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 1)));
+  ignore (granted (System.invoke sys tb x (Fifo_queue.enqueue 2)));
+  System.commit sys ta;
+  System.commit sys tb;
+  let tc = System.begin_txn sys (Activity.update "c") in
+  (match System.invoke sys tc x Fifo_queue.dequeue with
+  | Atomic_object.Refused _ -> ()
+  | other ->
+    Alcotest.fail (Fmt.str "got %a" Atomic_object.pp_invoke_result other));
+  System.abort sys tc
+
+let test_pinned_order_dequeues () =
+  (* b enqueues after a committed, so precedes pins a before b. *)
+  let sys = make () in
+  let ta = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 1)));
+  System.commit sys ta;
+  let tb = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys tb x (Fifo_queue.enqueue 2)));
+  System.commit sys tb;
+  let tc = System.begin_txn sys (Activity.update "c") in
+  expect_int "front is 1" 1 (System.invoke sys tc x Fifo_queue.dequeue);
+  expect_int "then 2" 2 (System.invoke sys tc x Fifo_queue.dequeue);
+  System.commit sys tc;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic queue_env (System.history sys))
+
+let test_empty_claim_blocks_enqueue () =
+  let sys = make () in
+  let tc = System.begin_txn sys (Activity.update "c") in
+  (match granted (System.invoke sys tc x Fifo_queue.dequeue) with
+  | v when Value.equal v Fifo_queue.empty_result -> ()
+  | v -> Alcotest.fail (Fmt.str "expected empty, got %a" Value.pp v));
+  let ta = System.begin_txn sys (Activity.update "a") in
+  expect_wait "enqueue behind empty claim"
+    (System.invoke sys ta x (Fifo_queue.enqueue 9));
+  System.commit sys tc;
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 9)));
+  System.commit sys ta;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic queue_env (System.history sys))
+
+let test_dequeue_waits_on_active_enqueuer () =
+  let sys = make () in
+  let ta = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 5)));
+  let tc = System.begin_txn sys (Activity.update "c") in
+  expect_wait "dequeue waits while outcome unresolved"
+    (System.invoke sys tc x Fifo_queue.dequeue);
+  System.commit sys ta;
+  expect_int "sees the committed element" 5
+    (System.invoke sys tc x Fifo_queue.dequeue);
+  System.commit sys tc;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic queue_env (System.history sys))
+
+let test_dequeuer_abort_reinstates () =
+  let sys = make () in
+  let ta = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 1)));
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 2)));
+  System.commit sys ta;
+  let tb = System.begin_txn sys (Activity.update "b") in
+  expect_int "b takes 1" 1 (System.invoke sys tb x Fifo_queue.dequeue);
+  System.abort sys tb;
+  let tc = System.begin_txn sys (Activity.update "c") in
+  expect_int "1 is back at the front" 1
+    (System.invoke sys tc x Fifo_queue.dequeue);
+  System.commit sys tc;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic queue_env (System.history sys))
+
+let test_single_active_dequeuer () =
+  let sys = make () in
+  let ta = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 1)));
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 2)));
+  System.commit sys ta;
+  let tb = System.begin_txn sys (Activity.update "b") in
+  let tc = System.begin_txn sys (Activity.update "c") in
+  expect_int "b takes 1" 1 (System.invoke sys tb x Fifo_queue.dequeue);
+  expect_wait "c waits behind the tentative dequeuer"
+    (System.invoke sys tc x Fifo_queue.dequeue);
+  System.commit sys tb;
+  expect_int "c takes 2" 2 (System.invoke sys tc x Fifo_queue.dequeue);
+  System.commit sys tc;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic queue_env (System.history sys))
+
+let test_own_enqueue_dequeued () =
+  let sys = make () in
+  let ta = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys ta x (Fifo_queue.enqueue 7)));
+  expect_int "own tentative element visible" 7
+    (System.invoke sys ta x Fifo_queue.dequeue);
+  System.commit sys ta;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic queue_env (System.history sys))
+
+let test_random_schedules () =
+  (* Producers with identical sequences plus a consumer — the shape of
+     Figure 5-1 under random schedules. *)
+  for seed = 1 to 20 do
+    let sys = make () in
+    let scripts =
+      [
+        (`Update, [ (x, Fifo_queue.enqueue 1); (x, Fifo_queue.enqueue 2) ]);
+        (`Update, [ (x, Fifo_queue.enqueue 1); (x, Fifo_queue.enqueue 2) ]);
+        (`Update, [ (x, Fifo_queue.dequeue) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d well-formed" seed)
+      true
+      (Wellformed.is_well_formed Wellformed.Base h);
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic queue_env h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "figure 5-1 interleaving" `Quick test_fig51_interleaving;
+    Alcotest.test_case "ambiguous front refused" `Quick
+      test_ambiguous_front_refused;
+    Alcotest.test_case "pinned order dequeues" `Quick test_pinned_order_dequeues;
+    Alcotest.test_case "empty claim blocks enqueue" `Quick
+      test_empty_claim_blocks_enqueue;
+    Alcotest.test_case "dequeue waits on active enqueuer" `Quick
+      test_dequeue_waits_on_active_enqueuer;
+    Alcotest.test_case "dequeuer abort reinstates" `Quick
+      test_dequeuer_abort_reinstates;
+    Alcotest.test_case "single active dequeuer" `Quick
+      test_single_active_dequeuer;
+    Alcotest.test_case "own enqueue dequeued" `Quick test_own_enqueue_dequeued;
+    Alcotest.test_case "random schedules dynamic atomic" `Quick
+      test_random_schedules;
+  ]

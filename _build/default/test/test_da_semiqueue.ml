@@ -1,0 +1,144 @@
+(* The bespoke non-deterministic semiqueue: concurrency that a
+   deterministic FIFO cannot offer (Section 1). *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let q = Object_id.v "sq"
+let env = Spec_env.of_list [ (q, Semiqueue.spec) ]
+
+let make () =
+  let sys = System.create () in
+  System.add_object sys (Da_semiqueue.make (System.log sys) q);
+  sys
+
+let seed sys values =
+  let t = System.begin_txn sys (Activity.update "seed") in
+  List.iter
+    (fun v -> ignore (granted (System.invoke sys t q (Semiqueue.enq v))))
+    values;
+  System.commit sys t
+
+let test_concurrent_dequeuers () =
+  (* The whole point: two active dequeuers, both granted — the FIFO
+     queue would serialize them. *)
+  let sys = make () in
+  seed sys [ 1; 2 ];
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  let v1 = granted (System.invoke sys t1 q Semiqueue.deq) in
+  let v2 = granted (System.invoke sys t2 q Semiqueue.deq) in
+  check_bool "distinct elements" true (not (Value.equal v1 v2));
+  System.commit sys t1;
+  System.commit sys t2;
+  let h = System.history sys in
+  check_bool "well-formed" true (Wellformed.is_well_formed Wellformed.Base h);
+  check_bool "dynamic atomic" true (Atomicity.dynamic_atomic env h)
+
+let test_abort_returns_taken () =
+  let sys = make () in
+  seed sys [ 7 ];
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  (match granted (System.invoke sys t1 q Semiqueue.deq) with
+  | Value.Int 7 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 7, got %a" Value.pp v));
+  System.abort sys t1;
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  (match granted (System.invoke sys t2 q Semiqueue.deq) with
+  | Value.Int 7 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 7 back, got %a" Value.pp v));
+  System.commit sys t2;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_empty_requires_certainty () =
+  let sys = make () in
+  (* An active taker makes emptiness uncertain. *)
+  seed sys [ 5 ];
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t1 q Semiqueue.deq));
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  expect_wait "empty uncertain while a taker is active"
+    (System.invoke sys t2 q Semiqueue.deq);
+  System.commit sys t1;
+  (match granted (System.invoke sys t2 q Semiqueue.deq) with
+  | v when Value.equal v Semiqueue.empty_result -> ()
+  | v -> Alcotest.fail (Fmt.str "expected empty, got %a" Value.pp v));
+  (* The empty answer claims emptiness: enqueuers wait. *)
+  let t3 = System.begin_txn sys (Activity.update "c") in
+  expect_wait "enqueue behind empty claim"
+    (System.invoke sys t3 q (Semiqueue.enq 9));
+  System.commit sys t2;
+  ignore (granted (System.invoke sys t3 q (Semiqueue.enq 9)));
+  System.commit sys t3;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_own_tentative_dequeueable () =
+  let sys = make () in
+  let t = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t q (Semiqueue.enq 3)));
+  (match granted (System.invoke sys t q Semiqueue.deq) with
+  | Value.Int 3 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 3, got %a" Value.pp v));
+  System.commit sys t;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_uncommitted_elements_invisible () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t1 q (Semiqueue.enq 4)));
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  expect_wait "cannot take an uncommitted element"
+    (System.invoke sys t2 q Semiqueue.deq);
+  System.commit sys t1;
+  (match granted (System.invoke sys t2 q Semiqueue.deq) with
+  | Value.Int 4 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 4, got %a" Value.pp v));
+  System.commit sys t2;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_exhaustive_schedules () =
+  let histories =
+    Explore.all_histories
+      ~make_system:(fun () ->
+        let sys = System.create () in
+        System.add_object sys (Da_semiqueue.make (System.log sys) q);
+        let t = System.begin_txn sys (Activity.update "seed") in
+        ignore (System.invoke sys t q (Semiqueue.enq 1));
+        ignore (System.invoke sys t q (Semiqueue.enq 2));
+        System.commit sys t;
+        sys)
+      [
+        (`Update, [ (q, Semiqueue.deq) ]);
+        (`Update, [ (q, Semiqueue.deq) ]);
+        (`Update, [ (q, Semiqueue.enq 3) ]);
+      ]
+  in
+  check_bool "non-trivial scope" true (List.length histories > 1);
+  List.iteri
+    (fun i h ->
+      check_bool
+        (Fmt.str "history %d dynamic atomic" i)
+        true
+        (Atomicity.dynamic_atomic env h))
+    histories
+
+let suite =
+  [
+    Alcotest.test_case "concurrent dequeuers" `Quick test_concurrent_dequeuers;
+    Alcotest.test_case "abort returns taken elements" `Quick
+      test_abort_returns_taken;
+    Alcotest.test_case "empty requires certainty" `Quick
+      test_empty_requires_certainty;
+    Alcotest.test_case "own tentative element dequeueable" `Quick
+      test_own_tentative_dequeueable;
+    Alcotest.test_case "uncommitted elements invisible" `Quick
+      test_uncommitted_elements_invisible;
+    Alcotest.test_case "exhaustive schedules" `Quick test_exhaustive_schedules;
+  ]

@@ -1,0 +1,153 @@
+(* The result-aware dynamic-atomic set. *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let make () =
+  let sys = System.create () in
+  System.add_object sys (Da_set.make (System.log sys) x);
+  sys
+
+let test_distinct_elements_concurrent () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 x (Intset.insert 1)));
+  ignore (granted (System.invoke sys t2 x (Intset.delete 2)));
+  ignore (granted (System.invoke sys t2 x (Intset.member 3)));
+  System.commit sys t2;
+  System.commit sys t1;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic set_env (System.history sys))
+
+let test_idempotent_updates_concurrent () =
+  (* insert(i) twice: commutativity locking would allow this too, but
+     here both transactions hold the same element. *)
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 x (Intset.insert 5)));
+  ignore (granted (System.invoke sys t2 x (Intset.insert 5)));
+  System.commit sys t1;
+  System.commit sys t2;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic set_env (System.history sys))
+
+let test_member_true_tolerates_insert () =
+  (* The data-dependent refinement: a member that answered true cannot
+     be invalidated by a concurrent insert of the same element. *)
+  let sys = make () in
+  let t0 = System.begin_txn sys (Activity.update "init") in
+  ignore (granted (System.invoke sys t0 x (Intset.insert 4)));
+  System.commit sys t0;
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  (match granted (System.invoke sys t1 x (Intset.member 4)) with
+  | Value.Bool true -> ()
+  | v -> Alcotest.fail (Fmt.str "expected true, got %a" Value.pp v));
+  ignore (granted (System.invoke sys t2 x (Intset.insert 4)));
+  System.commit sys t1;
+  System.commit sys t2;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic set_env (System.history sys))
+
+let test_member_false_blocks_insert () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  (match granted (System.invoke sys t1 x (Intset.member 4)) with
+  | Value.Bool false -> ()
+  | v -> Alcotest.fail (Fmt.str "expected false, got %a" Value.pp v));
+  expect_wait "insert behind member(false)"
+    (System.invoke sys t2 x (Intset.insert 4));
+  System.commit sys t1;
+  ignore (granted (System.invoke sys t2 x (Intset.insert 4)));
+  System.commit sys t2;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic set_env (System.history sys))
+
+let test_member_true_blocks_delete () =
+  let sys = make () in
+  let t0 = System.begin_txn sys (Activity.update "init") in
+  ignore (granted (System.invoke sys t0 x (Intset.insert 4)));
+  System.commit sys t0;
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 x (Intset.member 4)));
+  expect_wait "delete behind member(true)"
+    (System.invoke sys t2 x (Intset.delete 4));
+  System.commit sys t1;
+  ignore (granted (System.invoke sys t2 x (Intset.delete 4)));
+  System.commit sys t2;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic set_env (System.history sys))
+
+let test_insert_delete_conflict () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 x (Intset.insert 4)));
+  expect_wait "delete conflicts with insert"
+    (System.invoke sys t2 x (Intset.delete 4));
+  System.abort sys t1;
+  ignore (granted (System.invoke sys t2 x (Intset.delete 4)));
+  System.commit sys t2;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic set_env (System.history sys))
+
+let test_size_conflicts_with_updates () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 x Intset.size));
+  expect_wait "insert behind size" (System.invoke sys t2 x (Intset.insert 1));
+  System.commit sys t1;
+  ignore (granted (System.invoke sys t2 x (Intset.insert 1)));
+  System.commit sys t2;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic set_env (System.history sys))
+
+let test_random_schedules () =
+  for seed = 1 to 25 do
+    let sys = make () in
+    let scripts =
+      [
+        (`Update, [ (x, Intset.insert 1); (x, Intset.member 1) ]);
+        (`Update, [ (x, Intset.member 2); (x, Intset.insert 2) ]);
+        (`Update, [ (x, Intset.delete 1); (x, Intset.member 3) ]);
+        (`Update, [ (x, Intset.insert 3) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d well-formed" seed)
+      true
+      (Wellformed.is_well_formed Wellformed.Base h);
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic set_env h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "distinct elements interleave" `Quick
+      test_distinct_elements_concurrent;
+    Alcotest.test_case "idempotent updates interleave" `Quick
+      test_idempotent_updates_concurrent;
+    Alcotest.test_case "member(true) tolerates insert" `Quick
+      test_member_true_tolerates_insert;
+    Alcotest.test_case "member(false) blocks insert" `Quick
+      test_member_false_blocks_insert;
+    Alcotest.test_case "member(true) blocks delete" `Quick
+      test_member_true_blocks_delete;
+    Alcotest.test_case "insert/delete conflict" `Quick
+      test_insert_delete_conflict;
+    Alcotest.test_case "size conflicts with updates" `Quick
+      test_size_conflicts_with_updates;
+    Alcotest.test_case "random schedules dynamic atomic" `Quick
+      test_random_schedules;
+  ]

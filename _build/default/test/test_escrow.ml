@@ -1,0 +1,180 @@
+(* The escrow bank account: data-dependent dynamic atomicity
+   (Section 5.1's extra concurrency, realized online). *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let make () =
+  let sys = System.create () in
+  System.add_object sys (Escrow_account.make (System.log sys) y);
+  sys
+
+let seed_balance sys n =
+  let t = System.begin_txn sys (Activity.update "seed") in
+  ignore (granted (System.invoke sys t y (Bank_account.deposit n)));
+  System.commit sys t
+
+let test_concurrent_withdrawals () =
+  (* The paper's first Section 5.1 interleaving, executed live. *)
+  let sys = make () in
+  seed_balance sys 10;
+  let b' = System.begin_txn sys (Activity.update "b") in
+  let c' = System.begin_txn sys (Activity.update "c") in
+  (match System.invoke sys b' y (Bank_account.withdraw 4) with
+  | Atomic_object.Granted v -> check_bool "b ok" true (Value.equal v Value.ok)
+  | other ->
+    Alcotest.fail (Fmt.str "b: %a" Atomic_object.pp_invoke_result other));
+  (match System.invoke sys c' y (Bank_account.withdraw 3) with
+  | Atomic_object.Granted v -> check_bool "c ok" true (Value.equal v Value.ok)
+  | other ->
+    Alcotest.fail (Fmt.str "c: %a" Atomic_object.pp_invoke_result other));
+  System.commit sys c';
+  System.commit sys b';
+  let h = System.history sys in
+  check_bool "dynamic atomic" true (Atomicity.dynamic_atomic account_env h);
+  check_bool "well-formed" true (Wellformed.is_well_formed Wellformed.Base h)
+
+let test_withdraw_concurrent_with_deposit () =
+  (* The second Section 5.1 interleaving: the deposit is not needed to
+     cover the withdrawal. *)
+  let sys = make () in
+  seed_balance sys 10;
+  let b' = System.begin_txn sys (Activity.update "b") in
+  let c' = System.begin_txn sys (Activity.update "c") in
+  ignore (granted (System.invoke sys b' y (Bank_account.withdraw 5)));
+  ignore (granted (System.invoke sys c' y (Bank_account.deposit 3)));
+  System.commit sys c';
+  System.commit sys b';
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic account_env (System.history sys))
+
+let test_uncovered_withdrawal_waits () =
+  (* The outcome depends on which active transactions commit: wait. *)
+  let sys = make () in
+  seed_balance sys 5;
+  let b' = System.begin_txn sys (Activity.update "b") in
+  let c' = System.begin_txn sys (Activity.update "c") in
+  ignore (granted (System.invoke sys b' y (Bank_account.withdraw 4)));
+  expect_wait "contended withdrawal"
+    (System.invoke sys c' y (Bank_account.withdraw 4));
+  (* b aborting returns the escrowed funds. *)
+  System.abort sys b';
+  ignore (granted (System.invoke sys c' y (Bank_account.withdraw 4)));
+  System.commit sys c';
+  check_bool "dynamic atomic with the abort" true
+    (Atomicity.dynamic_atomic account_env (System.history sys))
+
+let test_insufficient_in_every_order () =
+  let sys = make () in
+  seed_balance sys 5;
+  let b' = System.begin_txn sys (Activity.update "b") in
+  (match System.invoke sys b' y (Bank_account.withdraw 10) with
+  | Atomic_object.Granted v ->
+    check_bool "insufficient_funds" true
+      (Value.equal v Value.insufficient_funds)
+  | other ->
+    Alcotest.fail (Fmt.str "got %a" Atomic_object.pp_invoke_result other));
+  (* The answer constrains future deposits until b completes. *)
+  let c' = System.begin_txn sys (Activity.update "c") in
+  expect_wait "deposit behind insufficient-funds answer"
+    (System.invoke sys c' y (Bank_account.deposit 100));
+  System.commit sys b';
+  ignore (granted (System.invoke sys c' y (Bank_account.deposit 100)));
+  System.commit sys c';
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic account_env (System.history sys))
+
+let test_balance_quiesces () =
+  let sys = make () in
+  seed_balance sys 8;
+  let b' = System.begin_txn sys (Activity.update "b") in
+  let c' = System.begin_txn sys (Activity.update "c") in
+  ignore (granted (System.invoke sys b' y (Bank_account.deposit 2)));
+  expect_wait "balance waits for pending updates"
+    (System.invoke sys c' y Bank_account.balance);
+  System.commit sys b';
+  (match granted (System.invoke sys c' y Bank_account.balance) with
+  | Value.Int 10 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 10, got %a" Value.pp v));
+  (* And while c holds its balance answer, updates by others wait. *)
+  let d' = System.begin_txn sys (Activity.update "d") in
+  let e' = System.begin_txn sys (Activity.update "e") in
+  expect_wait "withdrawal behind balance reader"
+    (System.invoke sys d' y (Bank_account.withdraw 1));
+  expect_wait "deposit behind balance reader"
+    (System.invoke sys e' y (Bank_account.deposit 1));
+  System.commit sys c';
+  ignore (granted (System.invoke sys d' y (Bank_account.withdraw 1)));
+  ignore (granted (System.invoke sys e' y (Bank_account.deposit 1)));
+  System.commit sys d';
+  System.commit sys e';
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic account_env (System.history sys))
+
+let test_own_updates_visible () =
+  let sys = make () in
+  let t = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t y (Bank_account.deposit 7)));
+  (match granted (System.invoke sys t y Bank_account.balance) with
+  | Value.Int 7 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected own deposit visible, got %a" Value.pp v));
+  ignore (granted (System.invoke sys t y (Bank_account.withdraw 3)));
+  (match granted (System.invoke sys t y Bank_account.balance) with
+  | Value.Int 4 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 4, got %a" Value.pp v));
+  System.commit sys t;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic account_env (System.history sys))
+
+let test_unknown_operation_refused () =
+  let sys = make () in
+  let t = System.begin_txn sys (Activity.update "a") in
+  (match System.invoke sys t y (Operation.make "mystery" []) with
+  | Atomic_object.Refused _ -> ()
+  | other ->
+    Alcotest.fail (Fmt.str "got %a" Atomic_object.pp_invoke_result other));
+  System.abort sys t
+
+let test_random_schedules () =
+  for seed = 1 to 25 do
+    let sys = make () in
+    seed_balance sys 12;
+    let scripts =
+      [
+        (`Update, [ (y, Bank_account.withdraw 4); (y, Bank_account.deposit 1) ]);
+        (`Update, [ (y, Bank_account.withdraw 5) ]);
+        (`Update, [ (y, Bank_account.deposit 6); (y, Bank_account.withdraw 2) ]);
+        (`Update, [ (y, Bank_account.balance) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d well-formed" seed)
+      true
+      (Wellformed.is_well_formed Wellformed.Base h);
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic account_env h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "concurrent withdrawals (5.1)" `Quick
+      test_concurrent_withdrawals;
+    Alcotest.test_case "withdraw with unneeded deposit (5.1)" `Quick
+      test_withdraw_concurrent_with_deposit;
+    Alcotest.test_case "uncovered withdrawal waits" `Quick
+      test_uncovered_withdrawal_waits;
+    Alcotest.test_case "insufficient funds in every order" `Quick
+      test_insufficient_in_every_order;
+    Alcotest.test_case "balance quiesces" `Quick test_balance_quiesces;
+    Alcotest.test_case "own updates visible" `Quick test_own_updates_visible;
+    Alcotest.test_case "unknown operation refused" `Quick
+      test_unknown_operation_refused;
+    Alcotest.test_case "random schedules dynamic atomic" `Quick
+      test_random_schedules;
+  ]

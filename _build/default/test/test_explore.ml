@@ -1,0 +1,204 @@
+(* Small-scope model checking: every schedule of bounded scripts, every
+   protocol, every history checked. *)
+
+open Core
+open Helpers
+
+let check_all name make_system env property scripts =
+  let histories = Explore.all_histories ~make_system scripts in
+  check_bool (name ^ ": non-trivial scope") true (List.length histories > 1);
+  List.iteri
+    (fun i h ->
+      check_bool
+        (Fmt.str "%s: history %d satisfies the property" name i)
+        true (property env h))
+    histories
+
+let test_escrow_exhaustive () =
+  check_all "escrow"
+    (fun () ->
+      let sys = System.create () in
+      System.add_object sys (Escrow_account.make (System.log sys) y);
+      (* Seed inside the factory so every schedule starts identically. *)
+      let t = System.begin_txn sys (Activity.update "seed") in
+      ignore (System.invoke sys t y (Bank_account.deposit 10));
+      System.commit sys t;
+      sys)
+    account_env Atomicity.dynamic_atomic
+    [
+      (`Update, [ (y, Bank_account.withdraw 4) ]);
+      (`Update, [ (y, Bank_account.withdraw 3); (y, Bank_account.deposit 1) ]);
+      (`Update, [ (y, Bank_account.balance) ]);
+    ]
+
+let test_da_set_exhaustive () =
+  check_all "da-set"
+    (fun () ->
+      let sys = System.create () in
+      System.add_object sys (Da_set.make (System.log sys) x);
+      sys)
+    set_env Atomicity.dynamic_atomic
+    [
+      (`Update, [ (x, Intset.insert 1); (x, Intset.member 2) ]);
+      (`Update, [ (x, Intset.member 1) ]);
+      (`Update, [ (x, Intset.delete 1) ]);
+    ]
+
+let test_da_queue_exhaustive () =
+  check_all "da-queue"
+    (fun () ->
+      let sys = System.create () in
+      System.add_object sys (Da_queue.make (System.log sys) x);
+      sys)
+    queue_env Atomicity.dynamic_atomic
+    [
+      (`Update, [ (x, Fifo_queue.enqueue 1); (x, Fifo_queue.enqueue 2) ]);
+      (`Update, [ (x, Fifo_queue.enqueue 1); (x, Fifo_queue.enqueue 2) ]);
+      (`Update, [ (x, Fifo_queue.dequeue) ]);
+    ]
+
+let test_multiversion_exhaustive () =
+  check_all "multiversion"
+    (fun () ->
+      let sys = System.create ~policy:`Static () in
+      System.add_object sys (Multiversion.make (System.log sys) x Intset.spec);
+      sys)
+    set_env Atomicity.static_atomic
+    [
+      (`Update, [ (x, Intset.insert 1) ]);
+      (`Update, [ (x, Intset.member 1) ]);
+      (`Update, [ (x, Intset.delete 1) ]);
+    ]
+
+let test_hybrid_exhaustive () =
+  check_all "hybrid"
+    (fun () ->
+      let sys = System.create ~policy:`Hybrid () in
+      System.add_object sys
+        (Hybrid.of_adt (System.log sys) y (module Bank_account));
+      sys)
+    account_env Atomicity.hybrid_atomic
+    [
+      (`Update, [ (y, Bank_account.deposit 5) ]);
+      (`Update, [ (y, Bank_account.withdraw 3) ]);
+      (`Read_only, [ (y, Bank_account.balance) ]);
+    ]
+
+let test_commutativity_locking_exhaustive () =
+  check_all "commutativity locking"
+    (fun () ->
+      let sys = System.create () in
+      System.add_object sys
+        (Op_locking.commutativity (System.log sys) y (module Bank_account));
+      sys)
+    account_env Atomicity.dynamic_atomic
+    [
+      (`Update, [ (y, Bank_account.deposit 5) ]);
+      (`Update, [ (y, Bank_account.withdraw 3) ]);
+      (`Update, [ (y, Bank_account.deposit 2) ]);
+    ]
+
+let test_deadlock_schedules_resolved () =
+  (* Two transactions crossing two rw-locked objects: some schedules
+     deadlock; every schedule must still complete with an atomic
+     history. *)
+  let ox = Object_id.v "ox" and oy = Object_id.v "oy" in
+  let env = Spec_env.of_list [ (ox, Register.spec); (oy, Register.spec) ] in
+  let histories =
+    Explore.all_histories
+      ~make_system:(fun () ->
+        let sys = System.create () in
+        let log = System.log sys in
+        System.add_object sys (Op_locking.rw log ox (module Register));
+        System.add_object sys (Op_locking.rw log oy (module Register));
+        sys)
+      [
+        (`Update, [ (ox, Register.write 1); (oy, Register.write 1) ]);
+        (`Update, [ (oy, Register.write 2); (ox, Register.write 2) ]);
+      ]
+  in
+  let with_abort =
+    List.filter
+      (fun h -> not (Activity.Set.is_empty (History.aborted h)))
+      histories
+  in
+  check_bool "some schedules deadlock (and abort a victim)" true
+    (with_abort <> []);
+  List.iteri
+    (fun i h ->
+      check_bool (Fmt.str "history %d atomic" i) true (Atomicity.atomic env h))
+    histories
+
+let test_multi_object_transfers_exhaustive () =
+  (* Cross-account transfers under escrow: some schedules deadlock on
+     the balance/update claims; every schedule's history must be
+     dynamic atomic across BOTH objects. *)
+  let a1 = Object_id.v "a1" and a2 = Object_id.v "a2" in
+  let env =
+    Spec_env.of_list [ (a1, Bank_account.spec); (a2, Bank_account.spec) ]
+  in
+  let histories =
+    Explore.all_histories ~max_schedules:200_000
+      ~make_system:(fun () ->
+        let sys = System.create () in
+        let log = System.log sys in
+        System.add_object sys (Escrow_account.make log a1);
+        System.add_object sys (Escrow_account.make log a2);
+        let t = System.begin_txn sys (Activity.update "seed") in
+        ignore (System.invoke sys t a1 (Bank_account.deposit 5));
+        ignore (System.invoke sys t a2 (Bank_account.deposit 5));
+        System.commit sys t;
+        sys)
+      [
+        (`Update,
+         [ (a1, Bank_account.withdraw 4); (a2, Bank_account.deposit 4) ]);
+        (`Update,
+         [ (a2, Bank_account.withdraw 4); (a1, Bank_account.deposit 4) ]);
+      ]
+  in
+  check_bool "non-trivial scope" true (List.length histories > 1);
+  List.iteri
+    (fun i h ->
+      check_bool
+        (Fmt.str "transfer history %d dynamic atomic" i)
+        true
+        (Atomicity.dynamic_atomic env h))
+    histories
+
+let test_schedule_counts () =
+  (* Two single-op clients on independent objects: the schedule tree
+     has exactly the interleavings of two 2-step clients. *)
+  let ox = Object_id.v "ox" and oy = Object_id.v "oy" in
+  let n =
+    Explore.count_schedules
+      ~make_system:(fun () ->
+        let sys = System.create () in
+        let log = System.log sys in
+        System.add_object sys (Op_locking.rw log ox (module Register));
+        System.add_object sys (Op_locking.rw log oy (module Register));
+        sys)
+      [
+        (`Update, [ (ox, Register.write 1) ]);
+        (`Update, [ (oy, Register.write 2) ]);
+      ]
+  in
+  (* Each client takes 2 steps (op, commit): C(4,2) = 6 interleavings,
+     none blocked. *)
+  check_int "C(4,2) schedules" 6 n
+
+let suite =
+  [
+    Alcotest.test_case "escrow exhaustive" `Quick test_escrow_exhaustive;
+    Alcotest.test_case "da-set exhaustive" `Quick test_da_set_exhaustive;
+    Alcotest.test_case "da-queue exhaustive" `Quick test_da_queue_exhaustive;
+    Alcotest.test_case "multiversion exhaustive" `Quick
+      test_multiversion_exhaustive;
+    Alcotest.test_case "hybrid exhaustive" `Quick test_hybrid_exhaustive;
+    Alcotest.test_case "commutativity locking exhaustive" `Quick
+      test_commutativity_locking_exhaustive;
+    Alcotest.test_case "deadlocking schedules resolved" `Quick
+      test_deadlock_schedules_resolved;
+    Alcotest.test_case "multi-object transfers exhaustive" `Quick
+      test_multi_object_transfers_exhaustive;
+    Alcotest.test_case "schedule counting" `Quick test_schedule_counts;
+  ]

@@ -1,0 +1,175 @@
+(* Projections, perm, precedes, equivalence, serial recognition. *)
+
+open Core
+open Helpers
+
+let test_projections () =
+  let h = sec3_atomic in
+  check_int "h|x has all events" 9 (History.length (History.project_object x h));
+  check_int "h|a" 3 (History.length (History.project_activity a h));
+  check_int "h|b" 3 (History.length (History.project_activity b h));
+  check_int "h|c" 3 (History.length (History.project_activity c h));
+  check_bool "projection is a subsequence" true
+    (List.for_all
+       (fun e -> List.exists (Event.equal e) (History.to_list h))
+       (History.to_list (History.project_activity a h)))
+
+let test_activities_objects () =
+  let h = sec3_atomic in
+  Alcotest.(check (list string))
+    "activities in first-appearance order" [ "a"; "b"; "c" ]
+    (List.map Activity.name (History.activities h));
+  Alcotest.(check (list string))
+    "single object" [ "x" ]
+    (List.map Object_id.name (History.objects h))
+
+let test_committed_aborted () =
+  let h = sec3_atomic in
+  check_bool "a committed" true (Activity.Set.mem a (History.committed h));
+  check_bool "b committed" true (Activity.Set.mem b (History.committed h));
+  check_bool "c aborted" true (Activity.Set.mem c (History.aborted h));
+  check_bool "c not committed" false (Activity.Set.mem c (History.committed h));
+  check_bool "no active" true (Activity.Set.is_empty (History.active h))
+
+let test_perm () =
+  let p = History.perm sec3_atomic in
+  check_int "perm drops c's three events" 6 (History.length p);
+  check_bool "no c events remain" true
+    (List.for_all
+       (fun e -> not (Activity.equal (Event.activity e) c))
+       (History.to_list p));
+  (* perm of the non-atomic Section 3 example keeps everything. *)
+  Alcotest.check history "perm keeps committed" sec3_not_atomic
+    (History.perm sec3_not_atomic)
+
+let test_perm_idempotent () =
+  List.iter
+    (fun h ->
+      Alcotest.check history "perm idempotent" (History.perm h)
+        (History.perm (History.perm h)))
+    [ sec3_atomic; sec41_not_dynamic; sec51_queue; sec43_well_formed ]
+
+let test_precedes_empty () =
+  (* Paper: responses before any commit yield the empty relation. *)
+  let h =
+    History.of_list
+      [
+        Event.invoke a x (Intset.member 3);
+        Event.respond a x (Value.Bool false);
+        Event.invoke b x (Intset.insert 3);
+        Event.respond b x Value.ok;
+        Event.commit a x;
+        Event.commit b x;
+      ]
+  in
+  check_int "empty precedes" 0 (List.length (History.precedes h))
+
+let test_precedes_pair () =
+  (* Paper: b's termination after a's commit puts (a,b) in the
+     relation. *)
+  let h =
+    History.of_list
+      [
+        Event.invoke a x (Intset.member 3);
+        Event.respond a x (Value.Bool false);
+        Event.commit a x;
+        Event.invoke b x (Intset.insert 3);
+        Event.respond b x Value.ok;
+        Event.commit b x;
+      ]
+  in
+  check_bool "(a,b) present" true (History.precedes_mem h a b);
+  check_bool "(b,a) absent" false (History.precedes_mem h b a);
+  check_int "exactly one pair" 1 (List.length (History.precedes h))
+
+let test_precedes_sec41 () =
+  let h = sec41_not_dynamic in
+  check_bool "(b,c)" true (History.precedes_mem h b c);
+  check_int "only (b,c)" 1 (List.length (History.precedes h))
+
+let test_precedes_irreflexive () =
+  (* An activity's own later responses do not relate it to itself. *)
+  let h =
+    History.of_list
+      [
+        Event.invoke a x (Intset.insert 1);
+        Event.respond a x Value.ok;
+        Event.commit a x;
+      ]
+  in
+  check_bool "not (a,a)" false (History.precedes_mem h a a)
+
+let test_equivalent () =
+  let serial = History.concat_serial [ b; a ] (History.perm sec3_atomic) in
+  check_bool "perm equivalent to its serialization" true
+    (History.equivalent (History.perm sec3_atomic) serial);
+  check_bool "different histories not equivalent" false
+    (History.equivalent sec3_atomic sec3_not_atomic)
+
+let test_serial () =
+  check_bool "interleaved is not serial" false (History.serial sec3_atomic);
+  let serial = History.concat_serial [ b; a ] (History.perm sec3_atomic) in
+  check_bool "concatenated projections are serial" true (History.serial serial);
+  check_bool "empty is serial" true (History.serial History.empty);
+  (* An activity resuming after another intervened is not serial. *)
+  let bad =
+    History.of_list
+      [
+        Event.invoke a x (Intset.insert 1);
+        Event.respond a x Value.ok;
+        Event.invoke b x (Intset.insert 2);
+        Event.respond b x Value.ok;
+        Event.commit a x;
+      ]
+  in
+  check_bool "resumed activity breaks seriality" false (History.serial bad)
+
+let test_timestamps () =
+  (match History.timestamp_of sec42_static a with
+  | Some t -> check_int "a's timestamp" 2 (Timestamp.to_int t)
+  | None -> Alcotest.fail "a has a timestamp");
+  (match History.timestamp_order sec42_static with
+  | Some order ->
+    Alcotest.(check (list string))
+      "timestamp order b-a" [ "b"; "a" ]
+      (List.map Activity.name order)
+  | None -> Alcotest.fail "timestamp order exists");
+  check_bool "untimestamped history has no order" true
+    (Option.is_none (History.timestamp_order sec3_atomic)
+    = (not (Activity.Set.is_empty (History.committed sec3_atomic))))
+
+let test_updates () =
+  let h = sec43_well_formed in
+  let u = History.updates h in
+  check_bool "updates drops read-only events" true
+    (List.for_all
+       (fun e -> not (Activity.is_read_only (Event.activity e)))
+       (History.to_list u));
+  check_int "three update events remain" 3 (History.length u)
+
+let test_is_prefix () =
+  let h = History.to_list sec3_atomic in
+  let p = History.of_list (List.filteri (fun i _ -> i < 4) h) in
+  check_bool "prefix recognized" true (History.is_prefix p sec3_atomic);
+  check_bool "whole is prefix of itself" true
+    (History.is_prefix sec3_atomic sec3_atomic);
+  check_bool "non-prefix rejected" false
+    (History.is_prefix sec3_not_atomic sec3_atomic)
+
+let suite =
+  [
+    Alcotest.test_case "projections" `Quick test_projections;
+    Alcotest.test_case "activities and objects" `Quick test_activities_objects;
+    Alcotest.test_case "committed/aborted/active" `Quick test_committed_aborted;
+    Alcotest.test_case "perm" `Quick test_perm;
+    Alcotest.test_case "perm idempotent" `Quick test_perm_idempotent;
+    Alcotest.test_case "precedes: empty (paper)" `Quick test_precedes_empty;
+    Alcotest.test_case "precedes: pair (paper)" `Quick test_precedes_pair;
+    Alcotest.test_case "precedes: section 4.1" `Quick test_precedes_sec41;
+    Alcotest.test_case "precedes irreflexive" `Quick test_precedes_irreflexive;
+    Alcotest.test_case "equivalence" `Quick test_equivalent;
+    Alcotest.test_case "serial recognition" `Quick test_serial;
+    Alcotest.test_case "timestamps" `Quick test_timestamps;
+    Alcotest.test_case "updates projection" `Quick test_updates;
+    Alcotest.test_case "prefixes" `Quick test_is_prefix;
+  ]

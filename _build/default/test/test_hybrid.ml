@@ -1,0 +1,192 @@
+(* Hybrid atomicity: commit-time timestamps for updates, initiation
+   timestamps and version queries for read-only activities
+   (Section 4.3). *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let make () =
+  let sys = System.create ~policy:`Hybrid () in
+  System.add_object sys
+    (Hybrid.of_adt (System.log sys) y (module Bank_account));
+  sys
+
+let test_reader_never_waits () =
+  let sys = make () in
+  (* An update is in flight... *)
+  let u = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys u y (Bank_account.deposit 100)));
+  (* ...yet the audit proceeds immediately, seeing the state before
+     it. *)
+  let r' = System.begin_txn sys (Activity.read_only "r") in
+  (match granted (System.invoke sys r' y Bank_account.balance) with
+  | Value.Int 0 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 0, got %a" Value.pp v));
+  System.commit sys r';
+  System.commit sys u;
+  let h = System.history sys in
+  check_bool "well-formed (hybrid)" true
+    (Wellformed.is_well_formed Wellformed.Hybrid h);
+  check_bool "hybrid atomic" true (Atomicity.hybrid_atomic account_env h)
+
+let test_reader_sees_exactly_earlier_commits () =
+  let sys = make () in
+  let u1 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys u1 y (Bank_account.deposit 5)));
+  System.commit sys u1;
+  let r' = System.begin_txn sys (Activity.read_only "r") in
+  let u2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys u2 y (Bank_account.deposit 7)));
+  System.commit sys u2;
+  (* r initiated before u2 committed: it must see 5, not 12. *)
+  (match granted (System.invoke sys r' y Bank_account.balance) with
+  | Value.Int 5 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 5, got %a" Value.pp v));
+  System.commit sys r';
+  let h = System.history sys in
+  check_bool "hybrid atomic" true (Atomicity.hybrid_atomic account_env h)
+
+let test_updates_locked () =
+  let sys = make () in
+  let u0 = System.begin_txn sys (Activity.update "seed") in
+  ignore (granted (System.invoke sys u0 y (Bank_account.deposit 10)));
+  System.commit sys u0;
+  let u1 = System.begin_txn sys (Activity.update "a") in
+  let u2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys u1 y (Bank_account.withdraw 4)));
+  expect_wait "withdrawals conflict under commutativity"
+    (System.invoke sys u2 y (Bank_account.withdraw 3));
+  System.commit sys u1;
+  ignore (granted (System.invoke sys u2 y (Bank_account.withdraw 3)));
+  System.commit sys u2;
+  check_bool "hybrid atomic" true
+    (Atomicity.hybrid_atomic account_env (System.history sys))
+
+let test_commit_timestamps_consistent_with_precedes () =
+  let sys = make () in
+  let u1 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys u1 y (Bank_account.deposit 1)));
+  System.commit sys u1;
+  let u2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys u2 y (Bank_account.deposit 2)));
+  System.commit sys u2;
+  let h = System.history sys in
+  check_bool "well-formed (hybrid)" true
+    (Wellformed.is_well_formed Wellformed.Hybrid h);
+  match (History.timestamp_of h (Activity.update "a"),
+         History.timestamp_of h (Activity.update "b")) with
+  | Some ta, Some tb ->
+    check_bool "a's commit timestamp below b's" true Timestamp.(ta < tb)
+  | _ -> Alcotest.fail "both updates carry commit timestamps"
+
+let test_read_only_update_refused () =
+  let sys = make () in
+  let r' = System.begin_txn sys (Activity.read_only "r") in
+  (match System.invoke sys r' y (Bank_account.deposit 5) with
+  | Atomic_object.Refused _ -> ()
+  | other ->
+    Alcotest.fail (Fmt.str "got %a" Atomic_object.pp_invoke_result other));
+  System.abort sys r'
+
+let test_audit_does_not_block_updates () =
+  (* The converse of test_reader_never_waits: a long audit holds
+     nothing, so updates proceed concurrently. *)
+  let sys = make () in
+  let u0 = System.begin_txn sys (Activity.update "seed") in
+  ignore (granted (System.invoke sys u0 y (Bank_account.deposit 10)));
+  System.commit sys u0;
+  let r' = System.begin_txn sys (Activity.read_only "r") in
+  (match granted (System.invoke sys r' y Bank_account.balance) with
+  | Value.Int 10 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 10, got %a" Value.pp v));
+  (* r is still active; an update commits freely. *)
+  let u1 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys u1 y (Bank_account.withdraw 6)));
+  System.commit sys u1;
+  (* r re-reads and still sees its snapshot. *)
+  (match granted (System.invoke sys r' y Bank_account.balance) with
+  | Value.Int 10 -> ()
+  | v -> Alcotest.fail (Fmt.str "snapshot broken: %a" Value.pp v));
+  System.commit sys r';
+  check_bool "hybrid atomic" true
+    (Atomicity.hybrid_atomic account_env (System.history sys))
+
+let test_multi_object_hybrid () =
+  let sys = System.create ~policy:`Hybrid () in
+  let log = System.log sys in
+  let acc1 = Object_id.v "acct1" and acc2 = Object_id.v "acct2" in
+  System.add_object sys (Hybrid.of_adt log acc1 (module Bank_account));
+  System.add_object sys (Hybrid.of_adt log acc2 (module Bank_account));
+  let env =
+    Spec_env.of_list [ (acc1, Bank_account.spec); (acc2, Bank_account.spec) ]
+  in
+  let u0 = System.begin_txn sys (Activity.update "seed") in
+  ignore (granted (System.invoke sys u0 acc1 (Bank_account.deposit 10)));
+  System.commit sys u0;
+  (* A transfer moves 4 from acct1 to acct2; an audit snapshots both.
+     Atomicity guarantees the audit sees a consistent total. *)
+  let t = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t acc1 (Bank_account.withdraw 4)));
+  let r' = System.begin_txn sys (Activity.read_only "r") in
+  let b1 =
+    match granted (System.invoke sys r' acc1 Bank_account.balance) with
+    | Value.Int n -> n
+    | _ -> Alcotest.fail "int expected"
+  in
+  ignore (granted (System.invoke sys t acc2 (Bank_account.deposit 4)));
+  System.commit sys t;
+  let b2 =
+    match granted (System.invoke sys r' acc2 Bank_account.balance) with
+    | Value.Int n -> n
+    | _ -> Alcotest.fail "int expected"
+  in
+  System.commit sys r';
+  check_int "audit total is conserved" 10 (b1 + b2);
+  let h = System.history sys in
+  check_bool "well-formed (hybrid)" true
+    (Wellformed.is_well_formed Wellformed.Hybrid h);
+  check_bool "hybrid atomic" true (Atomicity.hybrid_atomic env h)
+
+let test_random_schedules () =
+  for seed = 1 to 25 do
+    let sys = make () in
+    let scripts =
+      [
+        (`Update, [ (y, Bank_account.deposit 10) ]);
+        (`Update, [ (y, Bank_account.withdraw 4) ]);
+        (`Read_only, [ (y, Bank_account.balance) ]);
+        (`Update, [ (y, Bank_account.deposit 3); (y, Bank_account.withdraw 1) ]);
+        (`Read_only, [ (y, Bank_account.balance); (y, Bank_account.balance) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d well-formed (hybrid)" seed)
+      true
+      (Wellformed.is_well_formed Wellformed.Hybrid h);
+    check_bool
+      (Fmt.str "seed %d hybrid atomic" seed)
+      true
+      (Atomicity.hybrid_atomic account_env h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "reader never waits" `Quick test_reader_never_waits;
+    Alcotest.test_case "reader snapshot boundary" `Quick
+      test_reader_sees_exactly_earlier_commits;
+    Alcotest.test_case "updates locked" `Quick test_updates_locked;
+    Alcotest.test_case "commit timestamps follow precedes" `Quick
+      test_commit_timestamps_consistent_with_precedes;
+    Alcotest.test_case "read-only update refused" `Quick
+      test_read_only_update_refused;
+    Alcotest.test_case "audit does not block updates" `Quick
+      test_audit_does_not_block_updates;
+    Alcotest.test_case "multi-object transfer + audit" `Quick
+      test_multi_object_hybrid;
+    Alcotest.test_case "random schedules hybrid atomic" `Quick
+      test_random_schedules;
+  ]

@@ -1,0 +1,145 @@
+(* The full hybrid-atomic account: escrow updates + versioned audits. *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let make () =
+  let sys = System.create ~policy:`Hybrid () in
+  System.add_object sys (Hybrid_account.make (System.log sys) y);
+  sys
+
+let test_escrow_updates_and_free_audits_together () =
+  (* The combination neither Hybrid.of_adt nor Escrow_account offers:
+     concurrent covered withdrawals AND a non-blocking audit, in the
+     same history. *)
+  let sys = make () in
+  let t0 = System.begin_txn sys (Activity.update "seed") in
+  ignore (granted (System.invoke sys t0 y (Bank_account.deposit 10)));
+  System.commit sys t0;
+  let tb = System.begin_txn sys (Activity.update "b") in
+  let tc = System.begin_txn sys (Activity.update "c") in
+  ignore (granted (System.invoke sys tb y (Bank_account.withdraw 4)));
+  (* Section 5.1: the second covered withdrawal proceeds concurrently. *)
+  ignore (granted (System.invoke sys tc y (Bank_account.withdraw 3)));
+  (* Section 4.3.3: the audit proceeds despite both being active. *)
+  let r' = System.begin_txn sys (Activity.read_only "r") in
+  (match granted (System.invoke sys r' y Bank_account.balance) with
+  | Value.Int 10 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected snapshot 10, got %a" Value.pp v));
+  System.commit sys r';
+  System.commit sys tc;
+  System.commit sys tb;
+  let h = System.history sys in
+  check_bool "well-formed (hybrid)" true
+    (Wellformed.is_well_formed Wellformed.Hybrid h);
+  check_bool "hybrid atomic" true (Atomicity.hybrid_atomic account_env h)
+
+let test_snapshot_boundary () =
+  let sys = make () in
+  let u1 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys u1 y (Bank_account.deposit 5)));
+  System.commit sys u1;
+  let r' = System.begin_txn sys (Activity.read_only "r") in
+  let u2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys u2 y (Bank_account.deposit 7)));
+  System.commit sys u2;
+  (match granted (System.invoke sys r' y Bank_account.balance) with
+  | Value.Int 5 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 5, got %a" Value.pp v));
+  System.commit sys r';
+  check_bool "hybrid atomic" true
+    (Atomicity.hybrid_atomic account_env (System.history sys))
+
+let test_update_balance_still_quiesces () =
+  (* Update transactions reading the balance still use the escrow
+     discipline (quiesce + claim); only read-only audits get
+     snapshots. *)
+  let sys = make () in
+  let u1 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys u1 y (Bank_account.deposit 2)));
+  let u2 = System.begin_txn sys (Activity.update "b") in
+  expect_wait "update's balance read waits"
+    (System.invoke sys u2 y Bank_account.balance);
+  System.commit sys u1;
+  (match granted (System.invoke sys u2 y Bank_account.balance) with
+  | Value.Int 2 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 2, got %a" Value.pp v));
+  System.commit sys u2;
+  check_bool "hybrid atomic" true
+    (Atomicity.hybrid_atomic account_env (System.history sys))
+
+let test_read_only_other_ops_refused () =
+  let sys = make () in
+  let r' = System.begin_txn sys (Activity.read_only "r") in
+  (match System.invoke sys r' y (Bank_account.deposit 1) with
+  | Atomic_object.Refused _ -> ()
+  | o -> Alcotest.fail (Fmt.str "got %a" Atomic_object.pp_invoke_result o));
+  System.abort sys r'
+
+let test_exhaustive_schedules () =
+  let histories =
+    Explore.all_histories
+      ~make_system:(fun () ->
+        let sys = System.create ~policy:`Hybrid () in
+        System.add_object sys (Hybrid_account.make (System.log sys) y);
+        let t = System.begin_txn sys (Activity.update "seed") in
+        ignore (System.invoke sys t y (Bank_account.deposit 8));
+        System.commit sys t;
+        sys)
+      [
+        (`Update, [ (y, Bank_account.withdraw 4) ]);
+        (`Update, [ (y, Bank_account.withdraw 3); (y, Bank_account.deposit 2) ]);
+        (`Read_only, [ (y, Bank_account.balance) ]);
+      ]
+  in
+  check_bool "non-trivial scope" true (List.length histories > 1);
+  List.iteri
+    (fun i h ->
+      check_bool
+        (Fmt.str "history %d well-formed" i)
+        true
+        (Wellformed.is_well_formed Wellformed.Hybrid h);
+      check_bool
+        (Fmt.str "history %d hybrid atomic" i)
+        true
+        (Atomicity.hybrid_atomic account_env h))
+    histories
+
+let test_random_schedules () =
+  for seed = 1 to 20 do
+    let sys = make () in
+    let scripts =
+      [
+        (`Update, [ (y, Bank_account.deposit 10) ]);
+        (`Update, [ (y, Bank_account.withdraw 4) ]);
+        (`Read_only, [ (y, Bank_account.balance) ]);
+        (`Update, [ (y, Bank_account.withdraw 3); (y, Bank_account.deposit 1) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d well-formed" seed)
+      true
+      (Wellformed.is_well_formed Wellformed.Hybrid h);
+    check_bool
+      (Fmt.str "seed %d hybrid atomic" seed)
+      true
+      (Atomicity.hybrid_atomic account_env h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "escrow updates + free audits" `Quick
+      test_escrow_updates_and_free_audits_together;
+    Alcotest.test_case "snapshot boundary" `Quick test_snapshot_boundary;
+    Alcotest.test_case "update balance quiesces" `Quick
+      test_update_balance_still_quiesces;
+    Alcotest.test_case "read-only refused non-balance ops" `Quick
+      test_read_only_other_ops_refused;
+    Alcotest.test_case "exhaustive schedules" `Quick test_exhaustive_schedules;
+    Alcotest.test_case "random schedules hybrid atomic" `Quick
+      test_random_schedules;
+  ]

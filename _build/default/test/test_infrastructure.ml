@@ -1,0 +1,101 @@
+(* The protocol plumbing: intentions lists and per-object event
+   recording. *)
+
+open Core
+open Helpers
+
+let test_intentions_basics () =
+  let store = Intentions.create Intset.spec in
+  let t1 = Txn.make ~id:1 (Activity.update "a") in
+  let t2 = Txn.make ~id:2 (Activity.update "b") in
+  (* peek computes without recording. *)
+  (match Intentions.peek store t1 (Intset.member 1) with
+  | Some (Value.Bool false) -> ()
+  | _ -> Alcotest.fail "peek");
+  check_int "peek records nothing" 0
+    (List.length (Intentions.intentions store t1));
+  (* execute records; own view includes own intentions. *)
+  ignore (Intentions.execute store t1 (Intset.insert 1));
+  (match Intentions.peek store t1 (Intset.member 1) with
+  | Some (Value.Bool true) -> ()
+  | _ -> Alcotest.fail "own insert visible");
+  (* ...but not other transactions' views. *)
+  (match Intentions.peek store t2 (Intset.member 1) with
+  | Some (Value.Bool false) -> ()
+  | _ -> Alcotest.fail "isolation");
+  check_int "one active holder" 1 (List.length (Intentions.active store));
+  (* Abort discards; commit installs. *)
+  Intentions.abort store t1;
+  (match Intentions.peek store t2 (Intset.member 1) with
+  | Some (Value.Bool false) -> ()
+  | _ -> Alcotest.fail "abort discarded");
+  ignore (Intentions.execute store t2 (Intset.insert 2));
+  Intentions.commit store t2;
+  let t3 = Txn.make ~id:3 (Activity.update "c") in
+  (match Intentions.peek store t3 (Intset.member 2) with
+  | Some (Value.Bool true) -> ()
+  | _ -> Alcotest.fail "commit installed");
+  check_int "no active holders left" 0 (List.length (Intentions.active store))
+
+let test_obj_log_pairing () =
+  let log = Event_log.create () in
+  let olog = Obj_log.create log x in
+  let t = Txn.make ~id:1 (Activity.update "a") in
+  Obj_log.invoked olog t (Intset.insert 1);
+  (* A retry of the same pending operation records nothing new. *)
+  Obj_log.invoked olog t (Intset.insert 1);
+  check_int "invoke logged once" 1 (Event_log.length log);
+  Obj_log.responded olog t Value.ok;
+  check_int "respond logged" 2 (Event_log.length log);
+  (* Switching operations while one is pending is a caller bug. *)
+  Obj_log.invoked olog t (Intset.member 9);
+  Alcotest.check_raises "operation switch rejected"
+    (Invalid_argument
+       "Obj_log.invoked: transaction switched operations while one was \
+        pending") (fun () -> Obj_log.invoked olog t (Intset.insert 2));
+  Obj_log.dropped olog t;
+  Obj_log.committed olog t;
+  let h = Event_log.history log in
+  check_bool "history well-formed modulo the dropped invoke" true
+    (match List.rev (History.to_list h) with
+    | Event.Commit _ :: _ -> true
+    | _ -> false)
+
+let test_obj_log_timestamps () =
+  let log = Event_log.create () in
+  let olog = Obj_log.create log x in
+  let t = Txn.make ~id:1 (Activity.update "a") in
+  Alcotest.check_raises "initiation requires a timestamp"
+    (Invalid_argument "Obj_log.initiated: transaction has no initiation \
+                       timestamp") (fun () -> Obj_log.initiated olog t);
+  Txn.set_init_ts t (ts 3);
+  Obj_log.initiated olog t;
+  Obj_log.initiated olog t; (* idempotent *)
+  check_int "one initiation" 1 (Event_log.length log);
+  Txn.set_commit_ts t (ts 9);
+  Obj_log.committed olog t;
+  match List.rev (History.to_list (Event_log.history log)) with
+  | Event.Commit (_, _, Some t9) :: _ ->
+    check_int "commit carries its timestamp" 9 (Timestamp.to_int t9)
+  | _ -> Alcotest.fail "expected a timestamped commit"
+
+let test_txn_lifecycle () =
+  let t = Txn.make ~id:7 (Activity.update "a") in
+  check_bool "starts active" true (Txn.is_active t);
+  Txn.touch t x;
+  Txn.touch t x;
+  Txn.touch t y;
+  check_int "touched objects deduplicated" 2 (List.length (Txn.touched t));
+  Txn.set_status t Txn.Committed;
+  check_bool "committed" false (Txn.is_active t);
+  Alcotest.check_raises "no resurrection"
+    (Invalid_argument "Txn.set_status: transaction already completed")
+    (fun () -> Txn.set_status t Txn.Aborted)
+
+let suite =
+  [
+    Alcotest.test_case "intentions lists" `Quick test_intentions_basics;
+    Alcotest.test_case "object log pairing" `Quick test_obj_log_pairing;
+    Alcotest.test_case "object log timestamps" `Quick test_obj_log_timestamps;
+    Alcotest.test_case "transaction lifecycle" `Quick test_txn_lifecycle;
+  ]

@@ -1,0 +1,149 @@
+(* The extended ADT family: stack, priority queue, blind counter,
+   append-only log. *)
+
+open Core
+open Helpers
+
+let replay spec ops =
+  let rec go frontier acc = function
+    | [] -> List.rev acc
+    | op :: rest -> (
+      match Seq_spec.outcomes frontier op with
+      | [] -> Alcotest.fail (Fmt.str "no outcome for %a" Operation.pp op)
+      | (res, f) :: _ -> go f (res :: acc) rest)
+  in
+  go (Seq_spec.start spec) [] ops
+
+let results spec ops = List.map Value.to_string (replay spec ops)
+
+let test_stack () =
+  Alcotest.(check (list string))
+    "LIFO discipline"
+    [ "empty"; "ok"; "ok"; "2"; "1"; "empty" ]
+    (results Stack.spec
+       Stack.[ pop; push 1; push 2; pop; pop; pop ]);
+  check_bool "same pushes commute" true (Stack.commutes (Stack.push 1) (Stack.push 1));
+  check_bool "different pushes do not" false
+    (Stack.commutes (Stack.push 1) (Stack.push 2));
+  check_bool "pop commutes with nothing" false
+    (Stack.commutes Stack.pop Stack.pop)
+
+let test_priority_queue () =
+  Alcotest.(check (list string))
+    "min-extraction order"
+    [ "ok"; "ok"; "ok"; "1"; "1"; "3"; "7"; "empty" ]
+    (results Priority_queue.spec
+       Priority_queue.
+         [ add 7; add 1; add 3; find_min; extract_min; extract_min;
+           extract_min; extract_min ]);
+  check_bool "adds commute" true
+    (Priority_queue.commutes (Priority_queue.add 1) (Priority_queue.add 2));
+  check_bool "extracts do not" false
+    (Priority_queue.commutes Priority_queue.extract_min
+       Priority_queue.extract_min);
+  check_bool "find_min reads" true
+    (Priority_queue.classify Priority_queue.find_min = Adt_sig.Read)
+
+let test_blind_counter () =
+  Alcotest.(check (list string))
+    "bumps accumulate"
+    [ "ok"; "ok"; "5"; "ok"; "4" ]
+    (results Blind_counter.spec
+       Blind_counter.[ bump 2; bump 3; read; bump (-1); read ]);
+  check_bool "bumps commute" true
+    (Blind_counter.commutes (Blind_counter.bump 1) (Blind_counter.bump 2));
+  check_bool "read does not commute with bump" false
+    (Blind_counter.commutes Blind_counter.read (Blind_counter.bump 1))
+
+let test_append_log () =
+  Alcotest.(check (list string))
+    "append and read"
+    [ "ok"; "ok"; "2"; "10"; "20"; "none" ]
+    (results Append_log.spec
+       Append_log.[ append 10; append 20; size; read 0; read 1; read 5 ]);
+  check_bool "same-value appends commute" true
+    (Append_log.commutes (Append_log.append 1) (Append_log.append 1));
+  check_bool "different appends do not" false
+    (Append_log.commutes (Append_log.append 1) (Append_log.append 2));
+  check_bool "reads commute" true
+    (Append_log.commutes (Append_log.read 0) Append_log.size)
+
+(* The protocols are generic: run the new ADTs through commutativity
+   locking and multiversion and check the local properties hold. *)
+
+let x_obj = Object_id.v "obj"
+
+let test_stack_under_locking () =
+  for seed = 1 to 10 do
+    let sys = System.create () in
+    System.add_object sys
+      (Op_locking.commutativity (System.log sys) x_obj (module Stack));
+    let scripts =
+      [
+        (`Update, [ (x_obj, Stack.push 1); (x_obj, Stack.push 2) ]);
+        (`Update, [ (x_obj, Stack.push 1) ]);
+        (`Update, [ (x_obj, Stack.pop) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic (Spec_env.of_list [ (x_obj, Stack.spec) ]) h)
+  done
+
+let test_priority_queue_under_multiversion () =
+  for seed = 1 to 10 do
+    let sys = System.create ~policy:`Static () in
+    System.add_object sys
+      (Multiversion.make (System.log sys) x_obj Priority_queue.spec);
+    let scripts =
+      [
+        (`Update, [ (x_obj, Priority_queue.add 3) ]);
+        (`Update, [ (x_obj, Priority_queue.add 1); (x_obj, Priority_queue.find_min) ]);
+        (`Update, [ (x_obj, Priority_queue.extract_min) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d static atomic" seed)
+      true
+      (Atomicity.static_atomic
+         (Spec_env.of_list [ (x_obj, Priority_queue.spec) ])
+         h)
+  done
+
+let test_append_log_under_rw_undo () =
+  for seed = 1 to 10 do
+    let sys = System.create () in
+    System.add_object sys
+      (Rw_undo.make (System.log sys) x_obj (module Append_log));
+    let scripts =
+      [
+        (`Update, [ (x_obj, Append_log.append 1); (x_obj, Append_log.size) ]);
+        (`Update, [ (x_obj, Append_log.append 2) ]);
+        (`Update, [ (x_obj, Append_log.read 0) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic
+         (Spec_env.of_list [ (x_obj, Append_log.spec) ])
+         h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "stack" `Quick test_stack;
+    Alcotest.test_case "priority queue" `Quick test_priority_queue;
+    Alcotest.test_case "blind counter" `Quick test_blind_counter;
+    Alcotest.test_case "append log" `Quick test_append_log;
+    Alcotest.test_case "stack under commutativity locking" `Quick
+      test_stack_under_locking;
+    Alcotest.test_case "priority queue under multiversion" `Quick
+      test_priority_queue_under_multiversion;
+    Alcotest.test_case "append log under before-image 2PL" `Quick
+      test_append_log_under_rw_undo;
+  ]

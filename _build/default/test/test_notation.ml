@@ -1,0 +1,108 @@
+(* Parsing and printing the paper's <op,x,a> notation. *)
+
+open Core
+open Helpers
+
+let parse s =
+  match Notation.event_of_string s with
+  | Ok e -> e
+  | Error m -> Alcotest.fail (Fmt.str "parse %S: %s" s m)
+
+let event = Alcotest.testable Event.pp Event.equal
+
+let test_event_forms () =
+  Alcotest.check event "invocation with argument"
+    (Event.invoke a x (Intset.insert 3))
+    (parse "<insert(3),x,a>");
+  Alcotest.check event "invocation without argument"
+    (Event.invoke c x (Fifo_queue.dequeue))
+    (parse "<dequeue,x,c>");
+  Alcotest.check event "boolean result"
+    (Event.respond a x (Value.Bool true))
+    (parse "<true,x,a>");
+  Alcotest.check event "symbolic result"
+    (Event.respond b x Value.ok)
+    (parse "<ok,x,b>");
+  Alcotest.check event "integer result"
+    (Event.respond c x (Value.Int 2))
+    (parse "<2,x,c>");
+  Alcotest.check event "commit" (Event.commit a x) (parse "<commit,x,a>");
+  Alcotest.check event "timestamped commit"
+    (Event.commit_ts a x (ts 2))
+    (parse "<commit(2),x,a>");
+  Alcotest.check event "abort" (Event.abort c x) (parse "<abort,x,c>");
+  Alcotest.check event "initiation"
+    (Event.initiate r x (ts 1))
+    (parse "<initiate(1),x,r>");
+  Alcotest.check event "multi-argument operation"
+    (Event.invoke a x (Kv_map.put 1 10))
+    (parse "<put(1,10),x,a>")
+
+let test_read_only_convention () =
+  check_bool "r is read-only" true
+    (Activity.is_read_only (Event.activity (parse "<commit,x,r>")));
+  check_bool "a is an update" false
+    (Activity.is_read_only (Event.activity (parse "<commit,x,a>")))
+
+let test_whitespace () =
+  Alcotest.check event "spaces tolerated"
+    (Event.invoke a x (Intset.insert 3))
+    (parse "  < insert(3) , x , a >  ")
+
+let test_errors () =
+  let bad s =
+    match Notation.event_of_string s with
+    | Ok _ -> Alcotest.fail (Fmt.str "expected failure on %S" s)
+    | Error _ -> ()
+  in
+  bad "";
+  bad "insert(3),x,a";
+  bad "<>";
+  bad "<,x,a>";
+  bad "<insert(3,x,a>";
+  bad "<commit(x),x,a>";
+  bad "<initiate,x,a>";
+  bad "<abort(1),x,a>"
+
+let test_negative_and_multiarg_values () =
+  Alcotest.check event "negative result"
+    (Event.respond a x (Value.Int (-3)))
+    (parse "<-3,x,a>");
+  Alcotest.check event "unit result"
+    (Event.respond a x Value.Unit)
+    (parse "<(),x,a>")
+
+let test_history_round_trip () =
+  List.iter
+    (fun h ->
+      let text = Notation.history_to_string h in
+      match Notation.history_of_string text with
+      | Ok h' -> Alcotest.check history "round trip" h h'
+      | Error e -> Alcotest.fail (Fmt.str "%a" Notation.pp_error e))
+    [
+      sec3_atomic; sec41_dynamic; sec42_static; sec43_well_formed;
+      sec51_withdrawals; sec51_queue;
+    ]
+
+let test_history_comments_and_errors () =
+  let src = "# the paper's Section 3 example\n\n<member(3),x,a>\n<commit,x,a>\n" in
+  (match Notation.history_of_string src with
+  | Ok h -> check_int "two events" 2 (History.length h)
+  | Error e -> Alcotest.fail (Fmt.str "%a" Notation.pp_error e));
+  match Notation.history_of_string "<commit,x,a>\nnot an event\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> check_int "error on line 2" 2 e.Notation.line
+
+let suite =
+  [
+    Alcotest.test_case "event forms" `Quick test_event_forms;
+    Alcotest.test_case "read-only naming convention" `Quick
+      test_read_only_convention;
+    Alcotest.test_case "whitespace" `Quick test_whitespace;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "negative and unit values" `Quick
+      test_negative_and_multiarg_values;
+    Alcotest.test_case "history round trip" `Quick test_history_round_trip;
+    Alcotest.test_case "comments and line numbers" `Quick
+      test_history_comments_and_errors;
+  ]

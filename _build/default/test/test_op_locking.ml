@@ -1,0 +1,170 @@
+(* The scheduler-model baselines: read/write locking and
+   state-independent commutativity locking. *)
+
+open Core
+open Helpers
+
+let granted = function
+  | Atomic_object.Granted v -> v
+  | other ->
+    Alcotest.fail (Fmt.str "expected grant, got %a" Atomic_object.pp_invoke_result other)
+
+let expect_wait name = function
+  | Atomic_object.Wait blockers ->
+    check_bool (name ^ ": non-empty blockers") true (blockers <> [])
+  | other ->
+    Alcotest.fail
+      (Fmt.str "%s: expected wait, got %a" name Atomic_object.pp_invoke_result
+         other)
+
+let account_system make_obj =
+  let sys = System.create () in
+  System.add_object sys (make_obj (System.log sys) y);
+  sys
+
+let test_commutativity_blocks_withdrawals () =
+  let sys =
+    account_system (fun log id ->
+        Op_locking.commutativity log id (module Bank_account))
+  in
+  let t0 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t0 y (Bank_account.deposit 10)));
+  System.commit sys t0;
+  let t1 = System.begin_txn sys (Activity.update "b") in
+  let t2 = System.begin_txn sys (Activity.update "c") in
+  ignore (granted (System.invoke sys t1 y (Bank_account.withdraw 4)));
+  (* Section 5.1: the locking protocols must serialize the second
+     withdrawal even though the balance covers both. *)
+  expect_wait "second withdrawal"
+    (System.invoke sys t2 y (Bank_account.withdraw 3));
+  System.commit sys t1;
+  ignore (granted (System.invoke sys t2 y (Bank_account.withdraw 3)));
+  System.commit sys t2;
+  let h = System.history sys in
+  check_bool "generated history is dynamic atomic" true
+    (Atomicity.dynamic_atomic account_env h);
+  check_bool "well-formed" true (Wellformed.is_well_formed Wellformed.Base h)
+
+let test_commutativity_allows_deposits () =
+  let sys =
+    account_system (fun log id ->
+        Op_locking.commutativity log id (module Bank_account))
+  in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 y (Bank_account.deposit 5)));
+  ignore (granted (System.invoke sys t2 y (Bank_account.deposit 7)));
+  System.commit sys t2;
+  System.commit sys t1;
+  let t3 = System.begin_txn sys (Activity.update "c") in
+  (match granted (System.invoke sys t3 y Bank_account.balance) with
+  | Value.Int 12 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 12, got %a" Value.pp v));
+  System.commit sys t3;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic account_env (System.history sys))
+
+let test_rw_locking () =
+  let sys =
+    let s = System.create () in
+    System.add_object s (Op_locking.rw (System.log s) x (module Intset));
+    s
+  in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  (* Two readers share. *)
+  ignore (granted (System.invoke sys t1 x (Intset.member 1)));
+  ignore (granted (System.invoke sys t2 x (Intset.member 2)));
+  (* A writer waits behind a reader, even on a different element —
+     read/write locking is the coarsest discipline. *)
+  let t3 = System.begin_txn sys (Activity.update "c") in
+  expect_wait "writer behind readers"
+    (System.invoke sys t3 x (Intset.insert 9));
+  System.commit sys t1;
+  System.commit sys t2;
+  ignore (granted (System.invoke sys t3 x (Intset.insert 9)));
+  System.commit sys t3;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic set_env (System.history sys))
+
+let test_abort_discards_intentions () =
+  let sys =
+    account_system (fun log id ->
+        Op_locking.commutativity log id (module Bank_account))
+  in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t1 y (Bank_account.deposit 100)));
+  System.abort sys t1;
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  (match granted (System.invoke sys t2 y Bank_account.balance) with
+  | Value.Int 0 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 0 after abort, got %a" Value.pp v));
+  System.commit sys t2;
+  let h = System.history sys in
+  check_bool "atomic despite the abort" true (Atomicity.atomic account_env h)
+
+let test_deadlock_detected () =
+  let sys = System.create () in
+  let log = System.log sys in
+  System.add_object sys (Op_locking.rw log x (module Register));
+  System.add_object sys (Op_locking.rw log y (module Register));
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 x (Register.write 1)));
+  ignore (granted (System.invoke sys t2 y (Register.write 2)));
+  expect_wait "t1 blocked on t2" (System.invoke sys t1 y (Register.write 3));
+  check_bool "no cycle yet" true (Option.is_none (System.find_deadlock sys));
+  expect_wait "t2 blocked on t1" (System.invoke sys t2 x (Register.write 4));
+  (match System.find_deadlock sys with
+  | Some cycle ->
+    check_int "two-transaction cycle" 2 (List.length cycle);
+    let victim = Waits_for.victim cycle in
+    check_bool "youngest is the victim" true (Txn.equal victim t2);
+    System.abort sys victim
+  | None -> Alcotest.fail "expected a deadlock");
+  (* After aborting the victim, the survivor can proceed. *)
+  ignore (granted (System.invoke sys t1 y (Register.write 3)));
+  System.commit sys t1;
+  check_bool "atomic after resolution" true
+    (Atomicity.atomic
+       (Spec_env.of_list [ (x, Register.spec); (y, Register.spec) ])
+       (System.history sys))
+
+let test_random_schedules_are_dynamic_atomic () =
+  (* Randomized schedules over the commutativity-locked set: every
+     generated history must be dynamic atomic (and hence atomic). *)
+  for seed = 1 to 25 do
+    let sys = System.create () in
+    System.add_object sys
+      (Op_locking.commutativity (System.log sys) x (module Intset));
+    let scripts =
+      [
+        (`Update, [ (x, Intset.insert 1); (x, Intset.member 2) ]);
+        (`Update, [ (x, Intset.insert 2); (x, Intset.delete 1) ]);
+        (`Update, [ (x, Intset.member 1); (x, Intset.insert 3) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d well-formed" seed)
+      true
+      (Wellformed.is_well_formed Wellformed.Base h);
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic set_env h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "commutativity: withdrawals serialize" `Quick
+      test_commutativity_blocks_withdrawals;
+    Alcotest.test_case "commutativity: deposits interleave" `Quick
+      test_commutativity_allows_deposits;
+    Alcotest.test_case "read/write locking" `Quick test_rw_locking;
+    Alcotest.test_case "abort discards intentions" `Quick
+      test_abort_discards_intentions;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detected;
+    Alcotest.test_case "random schedules dynamic atomic" `Quick
+      test_random_schedules_are_dynamic_atomic;
+  ]

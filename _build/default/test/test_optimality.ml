@@ -1,0 +1,124 @@
+(* The optimality constructions of Sections 4.1-4.3, executed. *)
+
+open Core
+open Helpers
+
+let test_dynamic_refutation_exists () =
+  (* The Section 4.1 atomic-but-not-dynamic history: the construction
+     must produce a non-atomic composed computation. *)
+  match Optimality.dynamic_refutation set_env sec41_not_dynamic with
+  | None -> Alcotest.fail "expected a refutation"
+  | Some rf ->
+    check_bool "composed computation is well-formed" true
+      (Wellformed.is_well_formed Wellformed.Base rf.Optimality.computation);
+    check_bool "original history unchanged on its object" true
+      (History.equal
+         (History.project_object x rf.Optimality.computation)
+         sec41_not_dynamic);
+    (* The counter's projection is serial-acceptable only in the pinned
+       order. *)
+    let y_proj =
+      History.project_object rf.Optimality.counter_object
+        rf.Optimality.computation
+    in
+    let counter_env =
+      Spec_env.of_list [ (rf.Optimality.counter_object, Counter.spec) ]
+    in
+    check_bool "pinned order accepted at the counter" true
+      (Serializability.in_order counter_env (History.perm y_proj)
+         rf.Optimality.pinned_order);
+    (* And the composition destroys atomicity — the contradiction in
+       the proof of optimality. *)
+    check_bool "composed computation is NOT atomic" false
+      (Atomicity.atomic rf.Optimality.env rf.Optimality.computation)
+
+let test_dynamic_refutation_absent () =
+  check_bool "dynamic-atomic histories cannot be refuted" true
+    (Option.is_none (Optimality.dynamic_refutation set_env sec41_dynamic));
+  check_bool "the bank example cannot be refuted" true
+    (Option.is_none
+       (Optimality.dynamic_refutation account_env sec51_withdrawals));
+  check_bool "empty history cannot be refuted" true
+    (Option.is_none (Optimality.dynamic_refutation set_env History.empty))
+
+let test_static_refutation () =
+  (match Optimality.static_refutation set_env sec42_not_static with
+  | None -> Alcotest.fail "expected a refutation"
+  | Some rf ->
+    check_bool "composed computation not atomic" false
+      (Atomicity.atomic rf.Optimality.env rf.Optimality.computation);
+    Alcotest.(check (list string))
+      "pinned order is the timestamp order" [ "b"; "a" ]
+      (List.map Activity.name rf.Optimality.pinned_order));
+  check_bool "static-atomic history cannot be refuted" true
+    (Option.is_none (Optimality.static_refutation set_env sec42_static));
+  check_bool "untimestamped history cannot be refuted" true
+    (Option.is_none (Optimality.static_refutation set_env sec3_atomic))
+
+let test_fresh_counter_avoids_collision () =
+  (* A history already using the counter's default name forces a fresh
+     one. *)
+  let yc = Object_id.v "y_counter" in
+  let h =
+    History.of_list
+      [
+        Event.invoke a yc (Intset.member 3);
+        Event.invoke b yc (Intset.insert 3);
+        Event.respond b yc Value.ok;
+        Event.respond a yc (Value.Bool true);
+        Event.commit b yc;
+        Event.commit a yc;
+      ]
+  in
+  let env = Spec_env.of_list [ (yc, Intset.spec) ] in
+  match Optimality.dynamic_refutation env h with
+  | None -> Alcotest.fail "expected a refutation (a must follow b)"
+  | Some rf ->
+    check_bool "fresh counter id" false
+      (Object_id.equal rf.Optimality.counter_object yc);
+    check_bool "not atomic" false
+      (Atomicity.atomic rf.Optimality.env rf.Optimality.computation)
+
+(* Adversarial qcheck-style loop: for random protocol-generated
+   histories (always dynamic atomic), no refutation exists; for
+   mutated ones that fail the checker, the refutation always works. *)
+let test_refutation_agrees_with_checker () =
+  for seed = 1 to 15 do
+    let sys = System.create () in
+    System.add_object sys (Da_set.make (System.log sys) x);
+    let scripts =
+      [
+        (`Update, [ (x, Intset.insert 1); (x, Intset.member 2) ]);
+        (`Update, [ (x, Intset.member 1) ]);
+        (`Update, [ (x, Intset.delete 1) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    let refuted = Optimality.dynamic_refutation set_env h in
+    let is_da = Atomicity.dynamic_atomic set_env h in
+    check_bool
+      (Fmt.str "seed %d: refutation iff not dynamic atomic" seed)
+      is_da
+      (Option.is_none refuted);
+    match refuted with
+    | Some rf ->
+      check_bool
+        (Fmt.str "seed %d: refutation is genuine" seed)
+        false
+        (Atomicity.atomic rf.Optimality.env rf.Optimality.computation)
+    | None -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "dynamic refutation (sec 4.1)" `Quick
+      test_dynamic_refutation_exists;
+    Alcotest.test_case "no refutation for dynamic-atomic histories" `Quick
+      test_dynamic_refutation_absent;
+    Alcotest.test_case "static refutation (sec 4.2)" `Quick
+      test_static_refutation;
+    Alcotest.test_case "fresh counter id" `Quick
+      test_fresh_counter_avoids_collision;
+    Alcotest.test_case "refutation agrees with the checker" `Quick
+      test_refutation_agrees_with_checker;
+  ]

@@ -1,0 +1,66 @@
+(* Permutations and linear extensions. *)
+
+open Core
+
+let perms l = List.of_seq (Orders.permutations l)
+
+let test_permutation_counts () =
+  Helpers.check_int "0! = 1" 1 (List.length (perms []));
+  Helpers.check_int "3! = 6" 6 (List.length (perms [ 1; 2; 3 ]));
+  Helpers.check_int "4! = 24" 24 (List.length (perms [ 1; 2; 3; 4 ]))
+
+let test_permutations_distinct () =
+  let ps = perms [ 1; 2; 3; 4 ] in
+  let distinct = List.sort_uniq compare ps in
+  Helpers.check_int "all distinct" (List.length ps) (List.length distinct);
+  Helpers.check_bool "all are permutations" true
+    (List.for_all (fun p -> List.sort compare p = [ 1; 2; 3; 4 ]) ps)
+
+let exts pairs l =
+  List.of_seq (Orders.linear_extensions ~equal:Int.equal pairs l)
+
+let test_linear_extensions () =
+  Helpers.check_int "no constraints = all permutations" 6
+    (List.length (exts [] [ 1; 2; 3 ]));
+  Helpers.check_int "one pair halves" 3
+    (List.length (exts [ (1, 2) ] [ 1; 2; 3 ]));
+  Helpers.check_int "chain leaves one" 1
+    (List.length (exts [ (1, 2); (2, 3) ] [ 1; 2; 3 ]));
+  Helpers.check_int "cycle leaves none" 0
+    (List.length (exts [ (1, 2); (2, 1) ] [ 1; 2; 3 ]));
+  (* Pairs about elements outside the list are ignored. *)
+  Helpers.check_int "irrelevant pairs ignored" 2
+    (List.length (exts [ (1, 9); (9, 2) ] [ 1; 2 ]))
+
+let test_extensions_are_consistent () =
+  let pairs = [ (1, 3); (2, 3) ] in
+  let results = exts pairs [ 1; 2; 3; 4 ] in
+  Helpers.check_bool "every extension consistent" true
+    (List.for_all (fun o -> Orders.consistent ~equal:Int.equal pairs o) results);
+  (* And they are exactly the consistent permutations. *)
+  let expected =
+    List.filter
+      (fun o -> Orders.consistent ~equal:Int.equal pairs o)
+      (perms [ 1; 2; 3; 4 ])
+  in
+  Helpers.check_int "same count as filtering permutations"
+    (List.length expected) (List.length results)
+
+let test_consistent () =
+  Helpers.check_bool "respected" true
+    (Orders.consistent ~equal:Int.equal [ (1, 2) ] [ 1; 2; 3 ]);
+  Helpers.check_bool "violated" false
+    (Orders.consistent ~equal:Int.equal [ (2, 1) ] [ 1; 2; 3 ]);
+  Helpers.check_bool "absent elements do not constrain" true
+    (Orders.consistent ~equal:Int.equal [ (7, 1) ] [ 1; 2; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "permutation counts" `Quick test_permutation_counts;
+    Alcotest.test_case "permutations distinct" `Quick
+      test_permutations_distinct;
+    Alcotest.test_case "linear extensions" `Quick test_linear_extensions;
+    Alcotest.test_case "extensions consistent" `Quick
+      test_extensions_are_consistent;
+    Alcotest.test_case "consistency predicate" `Quick test_consistent;
+  ]

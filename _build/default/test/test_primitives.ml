@@ -1,0 +1,140 @@
+(* The base vocabulary: values, operations, activities, timestamps,
+   events. *)
+
+open Core
+open Helpers
+
+let test_value_equal_compare () =
+  let vals =
+    [
+      Value.Unit; Value.Bool true; Value.Bool false; Value.Int 0;
+      Value.Int 42; Value.Int (-1); Value.Sym "ok"; Value.Sym "empty";
+      Value.List [ Value.Int 1; Value.Int 2 ];
+      Value.Pair (Value.Int 1, Value.Sym "ok");
+    ]
+  in
+  List.iteri
+    (fun i v ->
+      List.iteri
+        (fun j w ->
+          check_bool "equal iff compare = 0" (i = j) (Value.equal v w);
+          check_bool "compare consistency" (Value.equal v w)
+            (Value.compare v w = 0))
+        vals)
+    vals;
+  (* compare is antisymmetric and total on this sample. *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          check_int "antisymmetry" 0
+            (compare (Value.compare v w) (-Value.compare w v)))
+        vals)
+    vals
+
+let test_value_pp () =
+  Alcotest.(check string) "unit" "()" (Value.to_string Value.Unit);
+  Alcotest.(check string) "bool" "true" (Value.to_string (Value.Bool true));
+  Alcotest.(check string) "int" "-3" (Value.to_string (Value.Int (-3)));
+  Alcotest.(check string) "sym" "ok" (Value.to_string Value.ok);
+  Alcotest.(check string) "list" "[1; 2]"
+    (Value.to_string (Value.List [ Value.Int 1; Value.Int 2 ]));
+  Alcotest.(check string) "pair" "(1, ok)"
+    (Value.to_string (Value.Pair (Value.Int 1, Value.ok)))
+
+let test_operation () =
+  let op = Operation.make "insert" [ Value.Int 3 ] in
+  Alcotest.(check string) "pp with args" "insert(3)" (Operation.to_string op);
+  Alcotest.(check string) "pp without args" "size"
+    (Operation.to_string (Operation.make "size" []));
+  check_bool "equal" true (Operation.equal op (Intset.insert 3));
+  check_bool "different args differ" false
+    (Operation.equal op (Intset.insert 4));
+  check_bool "different names differ" false
+    (Operation.equal op (Intset.delete 3));
+  check_int "compare equal" 0 (Operation.compare op (Intset.insert 3))
+
+let test_activity () =
+  check_bool "identity by name" true
+    (Activity.equal (Activity.update "a") (Activity.read_only "a"));
+  check_bool "kind preserved" true
+    (Activity.is_read_only (Activity.read_only "r"));
+  check_bool "updates are not read-only" false
+    (Activity.is_read_only (Activity.update "a"));
+  let s = Activity.Set.of_list [ a; b; a ] in
+  check_int "set dedupes by name" 2 (Activity.Set.cardinal s)
+
+let test_timestamp () =
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Timestamp.v: negative timestamp") (fun () ->
+      ignore (Timestamp.v (-1)));
+  check_bool "ordering" true Timestamp.(ts 1 < ts 2);
+  check_bool "not less than self" false Timestamp.(ts 2 < ts 2);
+  check_int "round trip" 5 (Timestamp.to_int (ts 5))
+
+let test_event_accessors () =
+  let e = Event.invoke a x (Intset.insert 3) in
+  check_bool "activity" true (Activity.equal (Event.activity e) a);
+  check_bool "object" true (Object_id.equal (Event.object_id e) x);
+  check_bool "is_invoke" true (Event.is_invoke e);
+  check_bool "timestamp absent" true (Option.is_none (Event.timestamp e));
+  let c = Event.commit_ts a x (ts 4) in
+  check_bool "commit timestamp" true
+    (match Event.timestamp c with
+    | Some t -> Timestamp.to_int t = 4
+    | None -> false);
+  let i = Event.initiate a x (ts 9) in
+  check_bool "initiate carries its timestamp" true
+    (Option.is_some (Event.timestamp i))
+
+let test_event_pp_notation () =
+  Alcotest.(check string) "invoke" "<insert(3),x,a>"
+    (Event.to_string (Event.invoke a x (Intset.insert 3)));
+  Alcotest.(check string) "respond" "<true,x,a>"
+    (Event.to_string (Event.respond a x (Value.Bool true)));
+  Alcotest.(check string) "commit" "<commit,x,a>"
+    (Event.to_string (Event.commit a x));
+  Alcotest.(check string) "commit(t)" "<commit(2),x,a>"
+    (Event.to_string (Event.commit_ts a x (ts 2)));
+  Alcotest.(check string) "abort" "<abort,x,c>"
+    (Event.to_string (Event.abort c x));
+  Alcotest.(check string) "initiate" "<initiate(1),x,r>"
+    (Event.to_string (Event.initiate r x (ts 1)))
+
+let test_event_equal_compare () =
+  let events =
+    [
+      Event.invoke a x (Intset.insert 3);
+      Event.invoke a x (Intset.insert 4);
+      Event.invoke b x (Intset.insert 3);
+      Event.respond a x Value.ok;
+      Event.commit a x;
+      Event.commit_ts a x (ts 1);
+      Event.abort a x;
+      Event.initiate a x (ts 1);
+    ]
+  in
+  List.iteri
+    (fun i e ->
+      List.iteri
+        (fun j f ->
+          check_bool "equal iff same index" (i = j) (Event.equal e f);
+          check_bool "compare zero iff equal" (Event.equal e f)
+            (Event.compare e f = 0))
+        events)
+    events
+
+let suite =
+  [
+    Alcotest.test_case "value equality and order" `Quick
+      test_value_equal_compare;
+    Alcotest.test_case "value printing" `Quick test_value_pp;
+    Alcotest.test_case "operations" `Quick test_operation;
+    Alcotest.test_case "activities" `Quick test_activity;
+    Alcotest.test_case "timestamps" `Quick test_timestamp;
+    Alcotest.test_case "event accessors" `Quick test_event_accessors;
+    Alcotest.test_case "event notation printing" `Quick
+      test_event_pp_notation;
+    Alcotest.test_case "event equality and order" `Quick
+      test_event_equal_compare;
+  ]

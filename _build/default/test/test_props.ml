@@ -1,0 +1,358 @@
+(* Property-based tests (qcheck): the paper's lemmas on random
+   histories, model-vs-spec agreement for the ADTs, and protocol
+   guarantees under random schedules. *)
+
+open Core
+open Helpers
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- History generation ------------------------------------------- *)
+
+(* Random protocol-generated histories over two objects: a
+   dynamic-atomic set and an escrow account, driven by random scripts
+   under a random schedule.  These are well-formed by construction and
+   exercise invokes, waits, commits, aborts and deadlock victims. *)
+let random_da_history seed =
+  let rng = Rng.create (seed * 7919) in
+  let sys = System.create () in
+  let log = System.log sys in
+  System.add_object sys (Da_set.make log x);
+  System.add_object sys (Escrow_account.make log y);
+  let random_step () =
+    match Rng.int rng 6 with
+    | 0 -> (x, Intset.insert (Rng.int rng 3))
+    | 1 -> (x, Intset.delete (Rng.int rng 3))
+    | 2 -> (x, Intset.member (Rng.int rng 3))
+    | 3 -> (y, Bank_account.deposit (1 + Rng.int rng 5))
+    | 4 -> (y, Bank_account.withdraw (1 + Rng.int rng 5))
+    | _ -> (y, Bank_account.balance)
+  in
+  let scripts =
+    List.init
+      (2 + Rng.int rng 3)
+      (fun _ -> (`Update, List.init (1 + Rng.int rng 2) (fun _ -> random_step ())))
+  in
+  run_scripts ~seed sys scripts
+
+let two_object_env =
+  Spec_env.of_list [ (x, Intset.spec); (y, Bank_account.spec) ]
+
+let history_gen = QCheck2.Gen.map random_da_history QCheck2.Gen.small_nat
+
+(* --- Lemma 2: precedes(h|x) ⊆ precedes(h) -------------------------- *)
+
+let lemma2 =
+  QCheck2.Test.make ~name:"lemma 2: precedes(h|x) subset of precedes(h)"
+    ~count:60 history_gen (fun h ->
+      List.for_all
+        (fun obj ->
+          let hx = History.project_object obj h in
+          List.for_all
+            (fun (p, q) -> History.precedes_mem h p q)
+            (History.precedes hx))
+        (History.objects h))
+
+(* --- Lemma 3: serializable in T iff every projection is ------------ *)
+
+let lemma3 =
+  QCheck2.Test.make
+    ~name:"lemma 3: in_order(h,T) iff in_order(h|x,T) for every x" ~count:40
+    QCheck2.Gen.(pair small_nat small_nat)
+    (fun (seed, perm_seed) ->
+      let h = History.perm (random_da_history seed) in
+      let acts = History.activities h in
+      let order = Rng.shuffle (Rng.create (perm_seed + 1)) acts in
+      let whole = Serializability.in_order two_object_env h order in
+      let parts =
+        List.for_all
+          (fun obj ->
+            Serializability.in_order two_object_env
+              (History.project_object obj h)
+              order)
+          (History.objects h)
+      in
+      whole = parts)
+
+(* --- perm properties ----------------------------------------------- *)
+
+let perm_props =
+  QCheck2.Test.make ~name:"perm: idempotent, committed-only, subsequence"
+    ~count:60 history_gen (fun h ->
+      let p = History.perm h in
+      History.equal p (History.perm p)
+      && List.for_all
+           (fun e ->
+             Activity.Set.mem (Event.activity e) (History.committed h))
+           (History.to_list p)
+      && History.length p <= History.length h)
+
+(* --- Well-formedness of generated histories ------------------------ *)
+
+let generated_well_formed =
+  QCheck2.Test.make ~name:"protocol histories are well-formed" ~count:60
+    history_gen (fun h -> Wellformed.is_well_formed Wellformed.Base h)
+
+(* --- Theorem 1 end-to-end: the data-dependent objects are dynamic
+       atomic, hence atomic ----------------------------------------- *)
+
+let small_enough h = Activity.Set.cardinal (History.committed h) <= 6
+
+let dynamic_atomic_protocols =
+  QCheck2.Test.make
+    ~name:"da objects: histories dynamic atomic (and thus atomic)" ~count:40
+    history_gen (fun h ->
+      QCheck2.assume (small_enough h);
+      Atomicity.dynamic_atomic two_object_env h
+      && Atomicity.atomic two_object_env h)
+
+(* --- Static protocol property -------------------------------------- *)
+
+let random_static_history seed =
+  let rng = Rng.create (seed * 104729) in
+  let sys = System.create ~policy:`Static () in
+  System.add_object sys (Multiversion.make (System.log sys) x Intset.spec);
+  let random_step () =
+    match Rng.int rng 3 with
+    | 0 -> (x, Intset.insert (Rng.int rng 3))
+    | 1 -> (x, Intset.delete (Rng.int rng 3))
+    | _ -> (x, Intset.member (Rng.int rng 3))
+  in
+  let scripts =
+    List.init
+      (2 + Rng.int rng 3)
+      (fun _ -> (`Update, List.init (1 + Rng.int rng 2) (fun _ -> random_step ())))
+  in
+  run_scripts ~seed sys scripts
+
+let static_atomic_protocol =
+  QCheck2.Test.make ~name:"multiversion: histories static atomic" ~count:40
+    QCheck2.Gen.small_nat (fun seed ->
+      let h = random_static_history seed in
+      QCheck2.assume (small_enough h);
+      Wellformed.is_well_formed Wellformed.Static h
+      && Atomicity.static_atomic set_env h
+      && Atomicity.atomic set_env h)
+
+(* --- Hybrid protocol property --------------------------------------- *)
+
+let random_hybrid_history seed =
+  let rng = Rng.create (seed * 1299709) in
+  let sys = System.create ~policy:`Hybrid () in
+  System.add_object sys
+    (Hybrid.of_adt (System.log sys) y (module Bank_account));
+  let scripts =
+    List.init
+      (2 + Rng.int rng 3)
+      (fun _ ->
+        if Rng.int rng 4 = 0 then (`Read_only, [ (y, Bank_account.balance) ])
+        else
+          ( `Update,
+            List.init
+              (1 + Rng.int rng 2)
+              (fun _ ->
+                match Rng.int rng 3 with
+                | 0 -> (y, Bank_account.deposit (1 + Rng.int rng 5))
+                | 1 -> (y, Bank_account.withdraw (1 + Rng.int rng 5))
+                | _ -> (y, Bank_account.balance)) ))
+  in
+  run_scripts ~seed sys scripts
+
+let hybrid_atomic_protocol =
+  QCheck2.Test.make ~name:"hybrid: histories hybrid atomic" ~count:40
+    QCheck2.Gen.small_nat (fun seed ->
+      let h = random_hybrid_history seed in
+      QCheck2.assume (small_enough h);
+      Wellformed.is_well_formed Wellformed.Hybrid h
+      && Atomicity.hybrid_atomic account_env h
+      && Atomicity.atomic account_env h)
+
+(* --- Pruned vs naive serializability ------------------------------- *)
+
+let serializable_agrees =
+  QCheck2.Test.make
+    ~name:"pruned serializability search agrees with permutation spec"
+    ~count:60 history_gen (fun h ->
+      let p = History.perm h in
+      QCheck2.assume (List.length (History.activities p) <= 6);
+      Option.is_some (Serializability.serializable two_object_env p)
+      = Option.is_some (Serializability.serializable_naive two_object_env p))
+
+(* --- Notation round trip ------------------------------------------- *)
+
+let notation_round_trip =
+  QCheck2.Test.make ~name:"notation round-trips protocol histories" ~count:60
+    history_gen (fun h ->
+      match Notation.history_of_string (Notation.history_to_string h) with
+      | Ok h' -> History.equal h h'
+      | Error _ -> false)
+
+(* --- Two-phase commit under random adversity ------------------------ *)
+
+let tpc_always_atomic =
+  QCheck2.Test.make ~name:"2PC atomic commitment under random adversity"
+    ~count:80
+    QCheck2.Gen.(
+      tup4 (int_range 2 5) (int_bound 4) (int_bound 5) small_nat)
+    (fun (participants, crash_kind, no_voter, seed) ->
+      let coordinator_crash =
+        match crash_kind with
+        | 0 -> Tpc.No_crash
+        | 1 -> Tpc.Before_prepare
+        | 2 -> Tpc.After_prepare
+        | 3 -> Tpc.Mid_decision 1
+        | _ -> Tpc.Mid_decision (participants - 1)
+      in
+      let votes =
+        List.init participants (fun i ->
+            if i = no_voter then Tpc.No else Tpc.Yes)
+      in
+      let cfg =
+        {
+          Tpc.default_config with
+          participants;
+          site_clocks = List.init participants (fun i -> (i * 7) mod 11);
+          votes;
+          coordinator_crash;
+          seed = seed + 1;
+        }
+      in
+      let o = Tpc.run cfg in
+      Tpc.atomic_commitment o
+      &&
+      match o.Tpc.commit_ts with
+      | Some ts ->
+        List.for_all (fun c -> ts > c) cfg.Tpc.site_clocks
+      | None -> true)
+
+(* --- ADT specs against model implementations ----------------------- *)
+
+module IntSet = Set.Make (Int)
+
+let intset_matches_model =
+  QCheck2.Test.make ~name:"intset spec matches Set.Make(Int)" ~count:100
+    QCheck2.Gen.(list_size (int_bound 20) (pair (int_bound 3) (int_bound 5)))
+    (fun ops ->
+      let rec go frontier model = function
+        | [] -> true
+        | (kind, k) :: rest -> (
+          let op, expected =
+            match kind with
+            | 0 -> (Intset.insert k, Value.ok)
+            | 1 -> (Intset.delete k, Value.ok)
+            | 2 -> (Intset.member k, Value.Bool (IntSet.mem k model))
+            | _ -> (Intset.size, Value.Int (IntSet.cardinal model))
+          in
+          let model' =
+            match kind with
+            | 0 -> IntSet.add k model
+            | 1 -> IntSet.remove k model
+            | _ -> model
+          in
+          match Seq_spec.outcomes frontier op with
+          | [ (res, f) ] ->
+            Value.equal res expected && go f model' rest
+          | _ -> false)
+      in
+      go (Seq_spec.start Intset.spec) IntSet.empty ops)
+
+let account_never_negative =
+  QCheck2.Test.make ~name:"account balance never goes negative" ~count:100
+    QCheck2.Gen.(list_size (int_bound 20) (pair bool (int_bound 30)))
+    (fun ops ->
+      let rec go frontier balance = function
+        | [] -> true
+        | (is_deposit, n) :: rest -> (
+          let op =
+            if is_deposit then Bank_account.deposit n
+            else Bank_account.withdraw n
+          in
+          match Seq_spec.outcomes frontier op with
+          | [ (res, f) ] ->
+            let balance' =
+              if is_deposit then balance + n
+              else if Value.equal res Value.ok then balance - n
+              else balance
+            in
+            balance' >= 0
+            && (Value.equal res Value.ok
+               || Value.equal res Value.insufficient_funds)
+            && go f balance' rest
+          | _ -> false)
+      in
+      go (Seq_spec.start Bank_account.spec) 0 ops)
+
+let commutativity_tables_sound =
+  (* If the table says two operations commute, executing them in either
+     order from a random reachable state gives the same results and the
+     same final state (checked via a third probe operation). *)
+  QCheck2.Test.make ~name:"intset commutativity table is sound" ~count:200
+    QCheck2.Gen.(
+      triple
+        (list_size (int_bound 6) (pair (int_bound 2) (int_bound 3)))
+        (pair (int_bound 3) (int_bound 3))
+        (pair (int_bound 2) (int_bound 2)))
+    (fun (prefix, (k1, k2), (op1k, op2k)) ->
+      let mk kind k =
+        match kind with
+        | 0 -> Intset.insert k
+        | 1 -> Intset.delete k
+        | _ -> Intset.member k
+      in
+      let p = mk op1k k1 and q = mk op2k k2 in
+      if not (Intset.commutes p q) then true
+      else begin
+        (* Build a reachable start state. *)
+        let start =
+          List.fold_left
+            (fun f (kind, k) ->
+              match Seq_spec.outcomes f (mk kind k) with
+              | (_, f') :: _ -> f'
+              | [] -> f)
+            (Seq_spec.start Intset.spec)
+            prefix
+        in
+        let run ops =
+          List.fold_left
+            (fun acc op ->
+              match acc with
+              | None -> None
+              | Some (f, results) -> (
+                match Seq_spec.outcomes f op with
+                | [ (res, f') ] -> Some (f', res :: results)
+                | _ -> None))
+            (Some (start, []))
+            ops
+        in
+        let probes f =
+          List.map
+            (fun op ->
+              match Seq_spec.outcomes f op with
+              | (res, _) :: _ -> res
+              | [] -> Value.Sym "stuck")
+            [ Intset.size; Intset.member k1; Intset.member k2 ]
+        in
+        match (run [ p; q ], run [ q; p ]) with
+        | Some (f1, [ rq1; rp1 ]), Some (f2, [ rp2; rq2 ]) ->
+          Value.equal rp1 rp2 && Value.equal rq1 rq2
+          && List.equal Value.equal (probes f1) (probes f2)
+        | _ -> false
+      end)
+
+let suite =
+  List.map to_alcotest
+    [
+      lemma2;
+      lemma3;
+      perm_props;
+      generated_well_formed;
+      dynamic_atomic_protocols;
+      static_atomic_protocol;
+      hybrid_atomic_protocol;
+      serializable_agrees;
+      notation_round_trip;
+      tpc_always_atomic;
+      intset_matches_model;
+      account_never_negative;
+      commutativity_tables_sound;
+    ]

@@ -1,0 +1,102 @@
+(* Before-image recovery under strict 2PL. *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+let expect_wait = Test_op_locking.expect_wait
+
+let o = Object_id.v "obj"
+let env = Spec_env.of_list [ (o, Intset.spec) ]
+
+let make () =
+  let sys = System.create () in
+  System.add_object sys (Rw_undo.make (System.log sys) o (module Intset));
+  sys
+
+let test_same_answers_as_rw_locking () =
+  (* Functional equivalence with the intentions-based rw object on a
+     deterministic interleaving. *)
+  let run make_obj =
+    let sys = System.create () in
+    System.add_object sys (make_obj (System.log sys) o);
+    let t1 = System.begin_txn sys (Activity.update "a") in
+    ignore (granted (System.invoke sys t1 o (Intset.insert 1)));
+    ignore (granted (System.invoke sys t1 o (Intset.member 1)));
+    System.commit sys t1;
+    let t2 = System.begin_txn sys (Activity.update "b") in
+    let res = granted (System.invoke sys t2 o Intset.size) in
+    System.commit sys t2;
+    (res, System.history sys)
+  in
+  let r1, h1 = run (fun log id -> Rw_undo.make log id (module Intset)) in
+  let r2, h2 = run (fun log id -> Op_locking.rw log id (module Intset)) in
+  check_bool "same result" true (Value.equal r1 r2);
+  Alcotest.check history "same histories" h1 h2
+
+let test_abort_restores_before_image () =
+  let sys = make () in
+  let t0 = System.begin_txn sys (Activity.update "init") in
+  ignore (granted (System.invoke sys t0 o (Intset.insert 1)));
+  System.commit sys t0;
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t1 o (Intset.insert 2)));
+  ignore (granted (System.invoke sys t1 o (Intset.delete 1)));
+  System.abort sys t1;
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  (match granted (System.invoke sys t2 o Intset.size) with
+  | Value.Int 1 -> ()
+  | v -> Alcotest.fail (Fmt.str "expected 1, got %a" Value.pp v));
+  (match granted (System.invoke sys t2 o (Intset.member 1)) with
+  | Value.Bool true -> ()
+  | v -> Alcotest.fail (Fmt.str "expected true, got %a" Value.pp v));
+  System.commit sys t2;
+  check_bool "atomic" true (Atomicity.atomic env (System.history sys))
+
+let test_locking_discipline () =
+  let sys = make () in
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  ignore (granted (System.invoke sys t1 o (Intset.member 1)));
+  ignore (granted (System.invoke sys t2 o (Intset.member 2)));
+  let t3 = System.begin_txn sys (Activity.update "c") in
+  expect_wait "writer behind readers" (System.invoke sys t3 o (Intset.insert 1));
+  System.commit sys t1;
+  System.commit sys t2;
+  ignore (granted (System.invoke sys t3 o (Intset.insert 1)));
+  (* The writer now excludes readers. *)
+  let t4 = System.begin_txn sys (Activity.update "d") in
+  expect_wait "reader behind writer" (System.invoke sys t4 o (Intset.member 1));
+  System.commit sys t3;
+  ignore (granted (System.invoke sys t4 o (Intset.member 1)));
+  System.commit sys t4;
+  check_bool "dynamic atomic" true
+    (Atomicity.dynamic_atomic env (System.history sys))
+
+let test_random_schedules () =
+  for seed = 1 to 20 do
+    let sys = make () in
+    let scripts =
+      [
+        (`Update, [ (o, Intset.insert 1); (o, Intset.member 2) ]);
+        (`Update, [ (o, Intset.insert 2) ]);
+        (`Update, [ (o, Intset.member 1); (o, Intset.delete 2) ]);
+      ]
+    in
+    let h = run_scripts ~seed sys scripts in
+    check_bool
+      (Fmt.str "seed %d dynamic atomic" seed)
+      true
+      (Atomicity.dynamic_atomic env h)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "matches intentions-based rw object" `Quick
+      test_same_answers_as_rw_locking;
+    Alcotest.test_case "abort restores before-image" `Quick
+      test_abort_restores_before_image;
+    Alcotest.test_case "locking discipline" `Quick test_locking_discipline;
+    Alcotest.test_case "random schedules dynamic atomic" `Quick
+      test_random_schedules;
+  ]

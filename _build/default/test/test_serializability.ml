@@ -1,0 +1,74 @@
+(* Serializability: fixed-order and existential (Section 3). *)
+
+open Core
+open Helpers
+
+let test_in_order () =
+  let p = History.perm sec3_atomic in
+  check_bool "serializable in b-a" true
+    (Serializability.in_order set_env p [ b; a ]);
+  check_bool "not serializable in a-b" false
+    (Serializability.in_order set_env p [ a; b ]);
+  check_bool "order missing an activity" false
+    (Serializability.in_order set_env p [ b ])
+
+let test_serializable_witness () =
+  match Serializability.serializable set_env (History.perm sec3_atomic) with
+  | Some order ->
+    Alcotest.(check (list string))
+      "witness is b-a" [ "b"; "a" ]
+      (List.map Activity.name order)
+  | None -> Alcotest.fail "expected a witness"
+
+let test_not_serializable () =
+  check_bool "member true on empty set" true
+    (Option.is_none
+       (Serializability.serializable set_env (History.perm sec3_not_atomic)))
+
+let test_every_order_consistent () =
+  (* sec41_dynamic: serializable in all three orders consistent with
+     {(b,c)}. *)
+  let h = sec41_dynamic in
+  check_bool "all consistent orders" true
+    (Serializability.in_every_order_consistent_with set_env (History.perm h)
+       (History.precedes h));
+  let h' = sec41_not_dynamic in
+  check_bool "fails for the non-dynamic example" false
+    (Serializability.in_every_order_consistent_with set_env (History.perm h')
+       (History.precedes h'))
+
+let test_empty_history () =
+  check_bool "empty history serializable" true
+    (Option.is_some (Serializability.serializable set_env History.empty));
+  check_bool "empty in empty order" true
+    (Serializability.in_order set_env History.empty [])
+
+let test_queue_example_orders () =
+  (* Section 5.1: the queue interleaving is serializable in both a-b-c
+     and b-a-c but in no order placing c first. *)
+  let p = History.perm sec51_queue in
+  check_bool "a-b-c" true (Serializability.in_order queue_env p [ a; b; c ]);
+  check_bool "b-a-c" true (Serializability.in_order queue_env p [ b; a; c ]);
+  check_bool "c first fails" false
+    (Serializability.in_order queue_env p [ c; a; b ]);
+  check_bool "c in the middle fails" false
+    (Serializability.in_order queue_env p [ a; c; b ])
+
+let test_bank_example_orders () =
+  let p = History.perm sec51_withdrawals in
+  check_bool "a-b-c" true (Serializability.in_order account_env p [ a; b; c ]);
+  check_bool "a-c-b" true (Serializability.in_order account_env p [ a; c; b ]);
+  check_bool "b-a-c fails (withdraw before deposit)" false
+    (Serializability.in_order account_env p [ b; a; c ])
+
+let suite =
+  [
+    Alcotest.test_case "fixed order" `Quick test_in_order;
+    Alcotest.test_case "existential witness" `Quick test_serializable_witness;
+    Alcotest.test_case "unserializable" `Quick test_not_serializable;
+    Alcotest.test_case "every consistent order" `Quick
+      test_every_order_consistent;
+    Alcotest.test_case "empty history" `Quick test_empty_history;
+    Alcotest.test_case "queue orders (5.1)" `Quick test_queue_example_orders;
+    Alcotest.test_case "bank orders (5.1)" `Quick test_bank_example_orders;
+  ]

@@ -1,0 +1,201 @@
+(* Simulator infrastructure: PRNG, stats, event queue, workloads and a
+   smoke run of the driver against each protocol family. *)
+
+open Core
+open Helpers
+
+let test_rng_deterministic () =
+  let r1 = Rng.create 42 and r2 = Rng.create 42 in
+  for _ = 1 to 50 do
+    check_bool "same stream" true (Int64.equal (Rng.next r1) (Rng.next r2))
+  done;
+  let r3 = Rng.create 43 in
+  check_bool "different seeds differ" false
+    (Int64.equal (Rng.next (Rng.create 42)) (Rng.next r3))
+
+let test_rng_ranges () =
+  let r = Rng.create 7 in
+  for _ = 1 to 200 do
+    let v = Rng.int r 10 in
+    check_bool "in range" true (v >= 0 && v < 10);
+    let w = Rng.int_range r 5 8 in
+    check_bool "in inclusive range" true (w >= 5 && w <= 8);
+    let f = Rng.float r 1.0 in
+    check_bool "float in range" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick r ([] : int list)))
+
+let test_rng_shuffle () =
+  let r = Rng.create 9 in
+  let l = [ 1; 2; 3; 4; 5; 6 ] in
+  let s = Rng.shuffle r l in
+  Alcotest.(check (list int)) "permutation" l (List.sort compare s)
+
+let test_stats () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p100 = max" 5. (Stats.percentile 100. xs);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.minimum xs);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.maximum xs);
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (Stats.mean []);
+  Alcotest.(check (float 1e-6)) "stddev"
+    (sqrt 2.5)
+    (Stats.stddev xs)
+
+let test_pqueue_orders () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:5 "e";
+  Pqueue.push q ~time:1 "a";
+  Pqueue.push q ~time:3 "c";
+  Pqueue.push q ~time:1 "b"; (* same time: push order breaks the tie *)
+  let order = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "pop order" [ "a"; "b"; "c"; "e" ]
+    (List.rev !order);
+  check_bool "empty after drain" true (Pqueue.is_empty q)
+
+let test_pqueue_against_model () =
+  (* Compare with sorting (stable by push order). *)
+  let r = Rng.create 11 in
+  let q = Pqueue.create () in
+  let pushes = List.init 300 (fun i -> (Rng.int r 50, i)) in
+  List.iter (fun (t, v) -> Pqueue.push q ~time:t v) pushes;
+  let expected = List.stable_sort (fun (t, _) (t', _) -> compare t t') pushes in
+  let rec drain acc =
+    match Pqueue.pop q with
+    | Some (t, v) -> drain ((t, v) :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list (pair int int))) "heap matches stable sort" expected
+    (drain [])
+
+let test_workload_generates () =
+  let w = Workload.banking () in
+  let rng = Rng.create 3 in
+  check_int "eight accounts" 8 (List.length w.Workload.objects);
+  for _ = 1 to 100 do
+    let s = w.Workload.generate rng in
+    check_bool "non-empty scripts" true (s.Workload.steps <> []);
+    match s.Workload.label with
+    | "audit" ->
+      check_bool "audits are read-only" true (s.Workload.kind = `Read_only);
+      check_int "audits read every account" 8 (List.length s.Workload.steps)
+    | "transfer" -> check_int "transfers have two steps" 2 (List.length s.Workload.steps)
+    | "deposit" ->
+      check_int "deposits split across two accounts" 2
+        (List.length s.Workload.steps)
+    | l -> Alcotest.fail ("unexpected label " ^ l)
+  done
+
+(* A small end-to-end run per protocol family; the histories of the
+   short runs must satisfy the protocol's local property. *)
+
+let build_banking_system protocol =
+  let sys, policy =
+    match protocol with
+    | `Commutativity -> (System.create (), `c)
+    | `Escrow -> (System.create (), `e)
+    | `Rw -> (System.create (), `rw)
+    | `Multiversion -> (System.create ~policy:`Static (), `mv)
+    | `Hybrid -> (System.create ~policy:`Hybrid (), `h)
+  in
+  let log = System.log sys in
+  List.iter
+    (fun id ->
+      let obj =
+        match policy with
+        | `c -> Op_locking.commutativity log id (module Bank_account)
+        | `rw -> Op_locking.rw log id (module Bank_account)
+        | `e -> Escrow_account.make log id
+        | `mv -> Multiversion.make log id Bank_account.spec
+        | `h -> Hybrid.of_adt log id (module Bank_account)
+      in
+      System.add_object sys obj)
+    (Workload.account_ids 3);
+  sys
+
+let smoke protocol =
+  let sys = build_banking_system protocol in
+  let w = Workload.banking ~accounts:3 ~transfer_max:10 () in
+  let config =
+    { Driver.default_config with clients = 4; duration = 300; seed = 5 }
+  in
+  let o = Driver.run ~config sys w in
+  check_bool "some transactions committed" true (o.Driver.committed > 0);
+  o
+
+let test_driver_commutativity () = ignore (smoke `Commutativity)
+let test_driver_escrow () = ignore (smoke `Escrow)
+let test_driver_rw () = ignore (smoke `Rw)
+let test_driver_multiversion () = ignore (smoke `Multiversion)
+let test_driver_hybrid () = ignore (smoke `Hybrid)
+
+let test_driver_deterministic () =
+  let run () =
+    let sys = build_banking_system `Escrow in
+    let w = Workload.banking ~accounts:3 () in
+    let config =
+      { Driver.default_config with clients = 4; duration = 300; seed = 9 }
+    in
+    Driver.run ~config sys w
+  in
+  let o1 = run () and o2 = run () in
+  check_int "same committed" o1.Driver.committed o2.Driver.committed;
+  check_int "same waits" o1.Driver.waits o2.Driver.waits;
+  check_int "same aborts" o1.Driver.aborted_deadlock o2.Driver.aborted_deadlock
+
+let test_small_run_histories_atomic () =
+  (* Tiny runs whose histories the (exponential) checkers can still
+     digest: verify the protocol-level guarantee end-to-end. *)
+  let check_one protocol prop_name prop =
+    let sys = build_banking_system protocol in
+    let w =
+      Workload.banking ~accounts:3 ~transfer_max:5 ~audit_fraction:0.2 ()
+    in
+    let config =
+      { Driver.default_config with clients = 2; duration = 40; seed = 13 }
+    in
+    ignore (Driver.run ~config sys w);
+    let h = System.history sys in
+    let env =
+      Spec_env.of_list
+        (List.map (fun id -> (id, Bank_account.spec)) (Workload.account_ids 3))
+    in
+    if Activity.Set.cardinal (History.committed h) <= 7 then
+      check_bool prop_name true (prop env h)
+  in
+  check_one `Escrow "escrow histories dynamic atomic" Atomicity.dynamic_atomic;
+  check_one `Commutativity "locking histories dynamic atomic"
+    Atomicity.dynamic_atomic;
+  check_one `Multiversion "multiversion histories static atomic"
+    Atomicity.static_atomic;
+  check_one `Hybrid "hybrid histories hybrid atomic" Atomicity.hybrid_atomic
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "pqueue ordering" `Quick test_pqueue_orders;
+    Alcotest.test_case "pqueue vs model" `Quick test_pqueue_against_model;
+    Alcotest.test_case "banking workload" `Quick test_workload_generates;
+    Alcotest.test_case "driver: commutativity" `Quick
+      test_driver_commutativity;
+    Alcotest.test_case "driver: escrow" `Quick test_driver_escrow;
+    Alcotest.test_case "driver: rw locking" `Quick test_driver_rw;
+    Alcotest.test_case "driver: multiversion" `Quick test_driver_multiversion;
+    Alcotest.test_case "driver: hybrid" `Quick test_driver_hybrid;
+    Alcotest.test_case "driver deterministic" `Quick test_driver_deterministic;
+    Alcotest.test_case "small-run histories atomic" `Quick
+      test_small_run_histories_atomic;
+  ]

@@ -1,0 +1,132 @@
+(* The transaction manager: lifecycle, timestamp policies, errors. *)
+
+open Core
+open Helpers
+
+let granted = Test_op_locking.granted
+
+let test_lifecycle_errors () =
+  let sys = System.create () in
+  System.add_object sys (Da_set.make (System.log sys) x);
+  let t = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t x (Intset.insert 1)));
+  System.commit sys t;
+  Alcotest.check_raises "double commit"
+    (Invalid_argument "System: transaction a#0 is not active") (fun () ->
+      System.commit sys t);
+  Alcotest.check_raises "invoke after commit"
+    (Invalid_argument "System: transaction a#0 is not active") (fun () ->
+      ignore (System.invoke sys t x (Intset.insert 2)))
+
+let test_duplicate_object () =
+  let sys = System.create () in
+  System.add_object sys (Da_set.make (System.log sys) x);
+  Alcotest.check_raises "duplicate object"
+    (Invalid_argument "System.add_object: duplicate object x") (fun () ->
+      System.add_object sys (Da_set.make (System.log sys) x))
+
+let test_unknown_object () =
+  let sys = System.create () in
+  let t = System.begin_txn sys (Activity.update "a") in
+  Alcotest.check_raises "unknown object"
+    (Invalid_argument "System: unknown object nowhere") (fun () ->
+      ignore (System.invoke sys t (Object_id.v "nowhere") (Intset.insert 1)))
+
+let test_policy_timestamps () =
+  let sys = System.create ~policy:`Static () in
+  let t = System.begin_txn sys (Activity.update "a") in
+  check_bool "static assigns initiation timestamps" true
+    (Option.is_some (Txn.init_ts t));
+  let sys2 = System.create ~policy:`Hybrid () in
+  let u = System.begin_txn sys2 (Activity.update "a") in
+  let r' = System.begin_txn sys2 (Activity.read_only "r") in
+  check_bool "hybrid: updates get no initiation timestamp" true
+    (Option.is_none (Txn.init_ts u));
+  check_bool "hybrid: read-only get initiation timestamps" true
+    (Option.is_some (Txn.init_ts r'));
+  let sys3 = System.create () in
+  let v = System.begin_txn sys3 (Activity.update "a") in
+  check_bool "dynamic: no timestamps" true (Option.is_none (Txn.init_ts v))
+
+let test_commit_events_only_at_touched_objects () =
+  let sys = System.create () in
+  let log = System.log sys in
+  System.add_object sys (Da_set.make log x);
+  System.add_object sys (Escrow_account.make log y);
+  let t = System.begin_txn sys (Activity.update "a") in
+  ignore (granted (System.invoke sys t x (Intset.insert 1)));
+  System.commit sys t;
+  let h = System.history sys in
+  let commits = List.filter Event.is_commit (History.to_list h) in
+  check_int "one commit event" 1 (List.length commits);
+  check_bool "at the touched object" true
+    (List.for_all (fun e -> Object_id.equal (Event.object_id e) x) commits)
+
+let test_active_txns () =
+  let sys = System.create () in
+  System.add_object sys (Da_set.make (System.log sys) x);
+  let t1 = System.begin_txn sys (Activity.update "a") in
+  let t2 = System.begin_txn sys (Activity.update "b") in
+  check_int "two active" 2 (List.length (System.active_txns sys));
+  System.commit sys t1;
+  System.abort sys t2;
+  check_int "none active" 0 (List.length (System.active_txns sys))
+
+let test_lamport_clock () =
+  let c = Lamport_clock.create () in
+  let t1 = Lamport_clock.next c in
+  let t2 = Lamport_clock.next c in
+  check_bool "monotone" true Timestamp.(t1 < t2);
+  Lamport_clock.observe c (Timestamp.v 100);
+  check_bool "observe advances" true
+    (Timestamp.to_int (Lamport_clock.next c) > 100);
+  Lamport_clock.observe c (Timestamp.v 5);
+  check_bool "observe never regresses" true
+    (Timestamp.to_int (Lamport_clock.now c) > 100)
+
+let test_event_log () =
+  let log = Event_log.create () in
+  check_int "empty" 0 (Event_log.length log);
+  Event_log.record log (Event.commit a x);
+  Event_log.record log (Event.commit b x);
+  check_int "two events" 2 (Event_log.length log);
+  (match History.to_list (Event_log.history log) with
+  | [ e1; e2 ] ->
+    check_bool "order preserved" true
+      (Activity.equal (Event.activity e1) a
+      && Activity.equal (Event.activity e2) b)
+  | _ -> Alcotest.fail "expected two events");
+  Event_log.clear log;
+  check_int "cleared" 0 (Event_log.length log)
+
+let test_waits_for_no_false_cycles () =
+  let w = Waits_for.create () in
+  let t1 = Txn.make ~id:1 (Activity.update "a") in
+  let t2 = Txn.make ~id:2 (Activity.update "b") in
+  let t3 = Txn.make ~id:3 (Activity.update "c") in
+  Waits_for.set_waiting w t1 [ t2 ];
+  Waits_for.set_waiting w t2 [ t3 ];
+  check_bool "chain is no cycle" true (Option.is_none (Waits_for.find_cycle w));
+  Waits_for.set_waiting w t3 [ t1 ];
+  (match Waits_for.find_cycle w with
+  | Some cycle ->
+    check_int "three-party cycle" 3 (List.length cycle);
+    check_int "victim is youngest" 3 (Txn.id (Waits_for.victim cycle))
+  | None -> Alcotest.fail "expected cycle");
+  Waits_for.clear w t3;
+  check_bool "cleared edge breaks cycle" true
+    (Option.is_none (Waits_for.find_cycle w))
+
+let suite =
+  [
+    Alcotest.test_case "lifecycle errors" `Quick test_lifecycle_errors;
+    Alcotest.test_case "duplicate object" `Quick test_duplicate_object;
+    Alcotest.test_case "unknown object" `Quick test_unknown_object;
+    Alcotest.test_case "timestamp policies" `Quick test_policy_timestamps;
+    Alcotest.test_case "commit events at touched objects" `Quick
+      test_commit_events_only_at_touched_objects;
+    Alcotest.test_case "active transactions" `Quick test_active_txns;
+    Alcotest.test_case "lamport clock" `Quick test_lamport_clock;
+    Alcotest.test_case "event log" `Quick test_event_log;
+    Alcotest.test_case "waits-for cycles" `Quick test_waits_for_no_false_cycles;
+  ]

@@ -1,0 +1,194 @@
+(* Two-phase commit with commit-timestamp generation (the distributed
+   implementation route for hybrid atomicity, Section 4.3.3). *)
+
+open Core
+open Helpers
+
+let run cfg = Tpc.run cfg
+
+let all_committed o =
+  List.for_all
+    (function Tpc.Committed _ -> true | _ -> false)
+    o.Tpc.statuses
+
+let all_aborted o =
+  List.for_all (( = ) Tpc.Aborted) o.Tpc.statuses
+
+let test_happy_path () =
+  let o = run Tpc.default_config in
+  check_bool "all committed" true (all_committed o);
+  check_bool "atomic commitment" true (Tpc.atomic_commitment o);
+  match o.Tpc.commit_ts with
+  | Some ts -> check_bool "timestamp positive" true (ts > 0)
+  | None -> Alcotest.fail "expected a commit timestamp"
+
+let test_timestamp_exceeds_site_clocks () =
+  (* The hybrid requirement: the chosen timestamp must exceed every
+     timestamp any participant has observed. *)
+  let cfg = { Tpc.default_config with site_clocks = [ 7; 42; 13 ] } in
+  let o = run cfg in
+  check_bool "all committed" true (all_committed o);
+  match o.Tpc.commit_ts with
+  | Some ts -> check_bool "ts > max clock" true (ts > 42)
+  | None -> Alcotest.fail "expected a commit timestamp"
+
+let test_no_vote_aborts_everywhere () =
+  let cfg = { Tpc.default_config with votes = [ Tpc.Yes; Tpc.No; Tpc.Yes ] } in
+  let o = run cfg in
+  check_bool "all aborted" true (all_aborted o);
+  check_bool "no timestamp issued" true (Option.is_none o.Tpc.commit_ts);
+  check_bool "atomic commitment" true (Tpc.atomic_commitment o)
+
+let test_coordinator_crash_before_prepare () =
+  let cfg = { Tpc.default_config with coordinator_crash = Tpc.Before_prepare } in
+  let o = run cfg in
+  (* Nobody ever voted: presumed abort everywhere. *)
+  check_bool "all aborted" true (all_aborted o);
+  check_bool "atomic commitment" true (Tpc.atomic_commitment o)
+
+let test_coordinator_crash_after_prepare_blocks () =
+  (* Every participant prepared, none can learn the decision: the
+     classical 2PC blocking window. *)
+  let cfg = { Tpc.default_config with coordinator_crash = Tpc.After_prepare } in
+  let o = run cfg in
+  check_bool "all blocked" true
+    (List.for_all (( = ) Tpc.Blocked) o.Tpc.statuses);
+  check_bool "atomic commitment (vacuous)" true (Tpc.atomic_commitment o)
+
+let test_mid_decision_crash_recovers_via_peers () =
+  (* The coordinator dies after telling only the first participant;
+     cooperative termination spreads the decision. *)
+  let cfg =
+    { Tpc.default_config with coordinator_crash = Tpc.Mid_decision 1 }
+  in
+  let o = run cfg in
+  check_bool "all committed eventually" true (all_committed o);
+  check_bool "atomic commitment" true (Tpc.atomic_commitment o)
+
+let test_participant_crash_before_vote () =
+  (* A dead participant never votes; the survivors learn the outcome
+     through the termination protocol (the idle peer refuses).  The
+     coordinator never decides commit, so atomicity holds. *)
+  let cfg =
+    { Tpc.default_config with participant_crash = Some (1, `Before_vote) }
+  in
+  let o = run cfg in
+  check_bool "atomic commitment" true (Tpc.atomic_commitment o);
+  check_bool "no commit decided" true (Option.is_none o.Tpc.commit_ts);
+  List.iteri
+    (fun i st ->
+      if i <> 1 then
+        check_bool (Fmt.str "site %d aborted or blocked" i) true
+          (st = Tpc.Aborted || st = Tpc.Blocked))
+    o.Tpc.statuses
+
+let test_deterministic () =
+  let o1 = run Tpc.default_config and o2 = run Tpc.default_config in
+  check_bool "same statuses" true (o1.Tpc.statuses = o2.Tpc.statuses);
+  check_int "same message count" o1.Tpc.messages o2.Tpc.messages
+
+let test_many_seeds_atomic () =
+  (* Sweep delays/seeds and crash points: atomic commitment must hold
+     in every run. *)
+  let crash_points =
+    [ Tpc.No_crash; Tpc.Before_prepare; Tpc.After_prepare;
+      Tpc.Mid_decision 1; Tpc.Mid_decision 2 ]
+  in
+  List.iter
+    (fun crash ->
+      for seed = 1 to 20 do
+        let cfg =
+          {
+            Tpc.default_config with
+            participants = 4;
+            site_clocks = [ 3; 1; 4; 1 ];
+            votes = [ Tpc.Yes; Tpc.Yes; Tpc.Yes; Tpc.Yes ];
+            coordinator_crash = crash;
+            seed;
+          }
+        in
+        let o = run cfg in
+        check_bool
+          (Fmt.str "seed %d atomic" seed)
+          true (Tpc.atomic_commitment o);
+        match o.Tpc.commit_ts with
+        | Some ts ->
+          check_bool "ts dominates clocks" true (ts > 4)
+        | None -> ()
+      done)
+    crash_points
+
+let test_chained_rounds_monotone () =
+  (* Run several distributed commits in sequence, feeding each round's
+     final clocks into the next: the commit timestamps must strictly
+     increase — the precedes-consistency hybrid atomicity needs, across
+     rounds and sites. *)
+  let rec go round clocks acc =
+    if round = 0 then List.rev acc
+    else
+      let cfg =
+        { Tpc.default_config with site_clocks = clocks; seed = round }
+      in
+      let o = run cfg in
+      match o.Tpc.commit_ts with
+      | Some ts -> go (round - 1) o.Tpc.final_clocks (ts :: acc)
+      | None -> Alcotest.fail "expected a commit"
+  in
+  let stamps = go 5 [ 0; 0; 0 ] [] in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  check_int "five rounds" 5 (List.length stamps);
+  check_bool "commit timestamps strictly increase" true
+    (strictly_increasing stamps)
+
+let test_config_validation () =
+  Alcotest.check_raises "clock length"
+    (Invalid_argument "Tpc.run: site_clocks length mismatch") (fun () ->
+      ignore (run { Tpc.default_config with site_clocks = [ 1 ] }));
+  Alcotest.check_raises "votes length"
+    (Invalid_argument "Tpc.run: votes length mismatch") (fun () ->
+      ignore (run { Tpc.default_config with votes = [ Tpc.Yes ] }))
+
+let test_msim_basics () =
+  let delivered = ref [] in
+  let sim =
+    Msim.create ~seed:3 ~nodes:2
+      ~handler:(fun _sim ~node msg -> delivered := (node, msg) :: !delivered)
+      ()
+  in
+  Msim.send sim ~src:0 ~dst:1 "hello"; (* dst will be dead at delivery *)
+  Msim.send sim ~src:1 ~dst:0 "world"; (* sent while 1 was still alive *)
+  Msim.crash sim 1;
+  Msim.send sim ~src:0 ~dst:1 "lost"; (* dst crashed at delivery *)
+  Msim.send sim ~src:1 ~dst:0 "silent"; (* src crashed: never sent *)
+  Msim.run sim;
+  check_int "only the pre-crash outbound message lands" 1
+    (List.length !delivered);
+  check_bool "crashed flag" true (Msim.crashed sim 1);
+  check_bool "node 0 alive" false (Msim.crashed sim 0)
+
+let suite =
+  [
+    Alcotest.test_case "happy path" `Quick test_happy_path;
+    Alcotest.test_case "timestamp exceeds site clocks" `Quick
+      test_timestamp_exceeds_site_clocks;
+    Alcotest.test_case "no-vote aborts everywhere" `Quick
+      test_no_vote_aborts_everywhere;
+    Alcotest.test_case "coordinator crash before prepare" `Quick
+      test_coordinator_crash_before_prepare;
+    Alcotest.test_case "coordinator crash after prepare blocks" `Quick
+      test_coordinator_crash_after_prepare_blocks;
+    Alcotest.test_case "mid-decision crash recovers" `Quick
+      test_mid_decision_crash_recovers_via_peers;
+    Alcotest.test_case "participant crash before vote" `Quick
+      test_participant_crash_before_vote;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "atomic across seeds and crashes" `Quick
+      test_many_seeds_atomic;
+    Alcotest.test_case "chained rounds monotone" `Quick
+      test_chained_rounds_monotone;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "message simulator basics" `Quick test_msim_basics;
+  ]

@@ -1,0 +1,69 @@
+(* The online validator. *)
+
+open Core
+open Helpers
+
+let test_tracks_paper_example () =
+  let v = Validator.create set_env in
+  Validator.feed_history v sec41_not_dynamic;
+  let r = Validator.verdicts v in
+  check_bool "well-formed" true r.Validator.well_formed;
+  check_bool "atomic" true (r.Validator.atomic = Some true);
+  check_bool "not dynamic atomic" true
+    (r.Validator.dynamic_atomic = Some false);
+  check_bool "static n/a without timestamps" true
+    (r.Validator.static_atomic = None)
+
+let test_incremental_verdict_changes () =
+  let v = Validator.create set_env in
+  (* A member(3) -> true on the empty set is fine while a is active
+     (perm is empty)... *)
+  Validator.feed v (Event.invoke a x (Intset.member 3));
+  Validator.feed v (Event.respond a x (Value.Bool true));
+  check_bool "active-only history is atomic" true
+    ((Validator.verdicts v).Validator.atomic = Some true);
+  (* ...but committing it makes the history non-atomic. *)
+  Validator.feed v (Event.commit a x);
+  check_bool "commit flips the verdict" true
+    ((Validator.verdicts v).Validator.atomic = Some false)
+
+let test_wellformedness_flagged () =
+  let v = Validator.create set_env in
+  Validator.feed v (Event.invoke a x (Intset.insert 1));
+  Validator.feed v (Event.invoke a x (Intset.insert 2));
+  check_bool "overlap detected" false
+    (Validator.verdicts v).Validator.well_formed
+
+let test_capping () =
+  let v = Validator.create ~max_activities:2 set_env in
+  List.iteri
+    (fun i name ->
+      let act = Activity.update name in
+      Validator.feed v (Event.invoke act x (Intset.insert i));
+      Validator.feed v (Event.respond act x Value.ok);
+      Validator.feed v (Event.commit act x))
+    [ "p"; "q"; "s" ];
+  let r = Validator.verdicts v in
+  check_bool "still checks well-formedness" true r.Validator.well_formed;
+  check_bool "atomicity not computed past the cap" true
+    (r.Validator.atomic = None)
+
+let test_static_mode () =
+  let v = Validator.create ~mode:Wellformed.Static set_env in
+  Validator.feed_history v sec42_static;
+  let r = Validator.verdicts v in
+  check_bool "well-formed (static)" true r.Validator.well_formed;
+  check_bool "static atomic" true (r.Validator.static_atomic = Some true);
+  check_bool "not dynamic" true (r.Validator.dynamic_atomic = Some false)
+
+let suite =
+  [
+    Alcotest.test_case "tracks the paper example" `Quick
+      test_tracks_paper_example;
+    Alcotest.test_case "incremental verdicts" `Quick
+      test_incremental_verdict_changes;
+    Alcotest.test_case "well-formedness flagged" `Quick
+      test_wellformedness_flagged;
+    Alcotest.test_case "activity cap" `Quick test_capping;
+    Alcotest.test_case "static mode" `Quick test_static_mode;
+  ]

@@ -1,0 +1,203 @@
+(* The well-formedness constraints of Sections 2, 4.2.1 and 4.3.1. *)
+
+open Core
+open Helpers
+
+let wf mode h = Wellformed.is_well_formed mode h
+
+let test_base_ok () =
+  List.iter
+    (fun h -> check_bool "well-formed" true (wf Wellformed.Base h))
+    [
+      History.empty; sec3_atomic; sec3_not_atomic; sec41_not_dynamic;
+      sec41_dynamic; sec51_withdrawals; sec51_withdraw_deposit; sec51_queue;
+    ]
+
+let test_overlapping_invocation () =
+  let h =
+    History.of_list
+      [
+        Event.invoke a x (Intset.insert 1);
+        Event.invoke a x (Intset.insert 2);
+      ]
+  in
+  check_bool "overlapping invocations rejected" false (wf Wellformed.Base h);
+  (* ... even across objects: activities are sequential processes. *)
+  let h2 =
+    History.of_list
+      [
+        Event.invoke a x (Intset.insert 1);
+        Event.invoke a y (Bank_account.deposit 1);
+      ]
+  in
+  check_bool "overlap across objects rejected" false (wf Wellformed.Base h2)
+
+let test_commit_and_abort () =
+  let h =
+    History.of_list [ Event.commit a x; Event.abort a y ]
+  in
+  check_bool "commit+abort rejected" false (wf Wellformed.Base h);
+  let h2 = History.of_list [ Event.abort a x; Event.commit a y ] in
+  check_bool "abort then commit rejected" false (wf Wellformed.Base h2)
+
+let test_commit_while_pending () =
+  let h =
+    History.of_list [ Event.invoke a x (Intset.insert 1); Event.commit a x ]
+  in
+  check_bool "commit while waiting rejected" false (wf Wellformed.Base h)
+
+let test_invoke_after_commit () =
+  let h =
+    History.of_list
+      [ Event.commit a x; Event.invoke a x (Intset.insert 1) ]
+  in
+  check_bool "invoke after commit rejected" false (wf Wellformed.Base h)
+
+let test_unmatched_response () =
+  let h = History.of_list [ Event.respond a x Value.ok ] in
+  check_bool "response without invocation rejected" false
+    (wf Wellformed.Base h);
+  let h2 =
+    History.of_list
+      [ Event.invoke a x (Intset.insert 1); Event.respond a y Value.ok ]
+  in
+  check_bool "response at wrong object rejected" false (wf Wellformed.Base h2)
+
+let test_abort_while_pending_ok () =
+  (* Only commit is forbidden while an invocation is pending. *)
+  let h =
+    History.of_list [ Event.invoke a x (Intset.insert 1); Event.abort a x ]
+  in
+  check_bool "abort while pending allowed" true (wf Wellformed.Base h)
+
+let test_multi_object_commits () =
+  let h =
+    History.of_list
+      [
+        Event.invoke a x (Intset.insert 1);
+        Event.respond a x Value.ok;
+        Event.invoke a y (Bank_account.deposit 5);
+        Event.respond a y Value.ok;
+        Event.commit a x;
+        Event.commit a y;
+      ]
+  in
+  check_bool "commit at each touched object" true (wf Wellformed.Base h);
+  let dup = History.append h (Event.commit a x) in
+  check_bool "double commit at one object rejected" false
+    (wf Wellformed.Base dup)
+
+(* Static mode: the paper's Section 4.2.1 examples. *)
+
+let test_static_ok () =
+  let h =
+    History.of_list
+      [
+        Event.initiate a x (ts 1);
+        Event.invoke a x (Intset.member 2);
+        Event.respond a x (Value.Bool false);
+        Event.commit a x;
+      ]
+  in
+  check_bool "paper's well-formed static sequence" true
+    (wf Wellformed.Static h);
+  check_bool "sec42 examples well-formed" true (wf Wellformed.Static sec42_static);
+  check_bool "sec42 examples well-formed" true
+    (wf Wellformed.Static sec42_not_static)
+
+let test_static_violations () =
+  (* The paper's three-way ill-formed example: a initiates twice with
+     different timestamps, b reuses a's timestamp, and a invokes at y
+     before initiating there. *)
+  let h =
+    History.of_list
+      [
+        Event.initiate a x (ts 1);
+        Event.invoke a y (Intset.member 2);
+        Event.respond a y (Value.Bool false);
+        Event.initiate a y (ts 2);
+        Event.initiate b y (ts 1);
+        Event.commit a x;
+      ]
+  in
+  match Wellformed.check Wellformed.Static h with
+  | Ok () -> Alcotest.fail "expected violations"
+  | Error vs ->
+    let has pred = List.exists pred vs in
+    check_bool "invoke before initiate" true
+      (has (function
+        | Wellformed.Invoke_before_initiate _ -> true
+        | _ -> false));
+    check_bool "inconsistent timestamp" true
+      (has (function
+        | Wellformed.Inconsistent_timestamp _ -> true
+        | _ -> false));
+    check_bool "duplicate timestamp" true
+      (has (function Wellformed.Duplicate_timestamp _ -> true | _ -> false))
+
+(* Hybrid mode: Section 4.3.1. *)
+
+let test_hybrid_ok () =
+  check_bool "paper's well-formed hybrid sequence" true
+    (wf Wellformed.Hybrid sec43_well_formed);
+  check_bool "hybrid-atomic reconstruction well-formed" true
+    (wf Wellformed.Hybrid sec43_hybrid)
+
+let test_hybrid_violations () =
+  match Wellformed.check Wellformed.Hybrid sec43_ill_formed with
+  | Ok () -> Alcotest.fail "expected violations"
+  | Error vs ->
+    let has pred = List.exists pred vs in
+    check_bool "timestamp against precedes" true
+      (has (function
+        | Wellformed.Timestamp_against_precedes _ -> true
+        | _ -> false));
+    check_bool "duplicate timestamp (r reuses a's)" true
+      (has (function Wellformed.Duplicate_timestamp _ -> true | _ -> false))
+
+let test_hybrid_read_only_must_initiate () =
+  let h =
+    History.of_list
+      [
+        Event.invoke r x (Intset.member 1);
+        Event.respond r x (Value.Bool false);
+        Event.commit r x;
+      ]
+  in
+  check_bool "read-only must initiate first" false (wf Wellformed.Hybrid h);
+  (* Updates need not initiate under the hybrid regime. *)
+  let h2 =
+    History.of_list
+      [
+        Event.invoke a x (Intset.insert 1);
+        Event.respond a x Value.ok;
+        Event.commit_ts a x (ts 1);
+      ]
+  in
+  check_bool "updates need not initiate" true (wf Wellformed.Hybrid h2)
+
+let suite =
+  [
+    Alcotest.test_case "base: accepted histories" `Quick test_base_ok;
+    Alcotest.test_case "base: overlapping invocations" `Quick
+      test_overlapping_invocation;
+    Alcotest.test_case "base: commit and abort" `Quick test_commit_and_abort;
+    Alcotest.test_case "base: commit while pending" `Quick
+      test_commit_while_pending;
+    Alcotest.test_case "base: invoke after commit" `Quick
+      test_invoke_after_commit;
+    Alcotest.test_case "base: unmatched response" `Quick
+      test_unmatched_response;
+    Alcotest.test_case "base: abort while pending is fine" `Quick
+      test_abort_while_pending_ok;
+    Alcotest.test_case "base: multi-object commits" `Quick
+      test_multi_object_commits;
+    Alcotest.test_case "static: accepted" `Quick test_static_ok;
+    Alcotest.test_case "static: paper's violations" `Quick
+      test_static_violations;
+    Alcotest.test_case "hybrid: accepted" `Quick test_hybrid_ok;
+    Alcotest.test_case "hybrid: paper's violations" `Quick
+      test_hybrid_violations;
+    Alcotest.test_case "hybrid: read-only initiation" `Quick
+      test_hybrid_read_only_must_initiate;
+  ]
