@@ -273,7 +273,7 @@ let e3 () =
           let o = Driver.run ~config sys w in
           Fmt.pr "%-9d %-18s %7d %10.1f %10d %9d %9.1f@." accounts
             (protocol_name protocol) o.Driver.committed_read_only
-            (Stats.mean o.Driver.read_only_latencies)
+            (Weihl_obs.Metrics.Histogram.mean o.Driver.read_only_latencies)
             o.Driver.waits_read_only
             (o.Driver.aborted_deadlock + o.Driver.aborted_refused)
             (Driver.throughput o))
@@ -780,6 +780,20 @@ let b0 () =
     ignore (System.invoke sys t xs (Intset.member 1));
     System.commit sys t
   in
+  (* Same round with a do-nothing sink installed: the difference to the
+     plain round is the full cost of event construction + dispatch; the
+     plain round shows the uninstrumented path costs only dead
+     branches. *)
+  let escrow_round_probed () =
+    let sys = System.create () in
+    System.add_object sys (Escrow_account.make (System.log sys) xs);
+    System.set_probe sys ~now:(fun () -> 0.)
+      { Obs.Probe.emit = (fun ~time:_ _ -> ()) };
+    let t = System.begin_txn sys (Activity.update "a") in
+    ignore (System.invoke sys t xs (Bank_account.deposit 10));
+    ignore (System.invoke sys t xs (Bank_account.withdraw 4));
+    System.commit sys t
+  in
   let tests =
     Test.make_grouped ~name:"weihl83" ~fmt:"%s %s"
       [
@@ -789,6 +803,8 @@ let b0 () =
           (Staged.stage (fun () -> ignore (Atomicity.dynamic_atomic env h41)));
         Test.make ~name:"protocol: escrow deposit+withdraw+commit"
           (Staged.stage escrow_round);
+        Test.make ~name:"protocol: escrow round, null probe sink"
+          (Staged.stage escrow_round_probed);
         Test.make ~name:"protocol: multiversion insert+member+commit"
           (Staged.stage multiversion_round);
         Test.make ~name:"model: precedes of 9-event history"
@@ -812,11 +828,32 @@ let b0 () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* O1 — Observability demonstration: recorder over the hot workload.   *)
+(* ------------------------------------------------------------------ *)
+
+let o1 () =
+  section "O1  Instrumented hot-spot run (metrics + contention report)";
+  let sys = System.create () in
+  System.add_object sys
+    (Escrow_account.make (System.log sys) Workload.hot_account);
+  let t = System.begin_txn sys (Activity.update "seed") in
+  ignore (System.invoke sys t Workload.hot_account (Bank_account.deposit 200));
+  System.commit sys t;
+  let w = Workload.hot_withdrawals () in
+  let config =
+    { Driver.default_config with clients = 8; duration = 1000; seed = 7 }
+  in
+  let rec_ = Obs.Recorder.create () in
+  let o = Driver.run ~config ~probe:(Obs.Recorder.sink rec_) sys w in
+  Fmt.pr "%a@.@.%s@." Driver.pp_outcome o (Obs.Recorder.report rec_)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("b0", b0);
+    ("o1", o1);
   ]
 
 let () =
@@ -829,5 +866,5 @@ let () =
     (fun name ->
       match List.assoc_opt (String.lowercase_ascii name) experiments with
       | Some f -> f ()
-      | None -> Fmt.epr "unknown experiment %s (have: e1-e7, a1-a4, b0)@." name)
+      | None -> Fmt.epr "unknown experiment %s (have: e1-e7, a1-a4, b0, o1)@." name)
     requested

@@ -11,48 +11,16 @@ open Core
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
-(* Specification registry                                              *)
+(* Specification registry (catalogue + inference live in the library)  *)
 (* ------------------------------------------------------------------ *)
 
-let adt_registry : (string * Seq_spec.t) list =
-  [
-    ("intset", Intset.spec);
-    ("counter", Counter.spec);
-    ("account", Bank_account.spec);
-    ("queue", Fifo_queue.spec);
-    ("register", Register.spec);
-    ("kv", Kv_map.spec);
-    ("semiqueue", Semiqueue.spec);
-    ("stack", Stack.spec);
-    ("pqueue", Priority_queue.spec);
-    ("blind_counter", Blind_counter.spec);
-    ("log", Append_log.spec);
-  ]
-
-(* Guess an object's type from the operation names appearing on it. *)
-let infer_spec ops =
-  let has name = List.exists (fun op -> Operation.name op = name) ops in
-  if has "deposit" || has "withdraw" || has "balance" then
-    Some Bank_account.spec
-  else if has "enqueue" || has "dequeue" then Some Fifo_queue.spec
-  else if has "push" || has "pop" then Some Stack.spec
-  else if has "put" || has "get" || has "remove" then Some Kv_map.spec
-  else if has "add" || has "extract_min" || has "find_min" then
-    Some Priority_queue.spec
-  else if has "increment" then Some Counter.spec
-  else if has "bump" then Some Blind_counter.spec
-  else if has "append" then Some Append_log.spec
-  else if has "enq" || has "deq" then Some Semiqueue.spec
-  else if has "write" then Some Register.spec
-  else if has "insert" || has "delete" || has "member" || has "size" then
-    Some Intset.spec
-  else None
+let infer_spec = Adt_registry.infer_spec
 
 let build_env history spec_bindings =
   let explicit =
     List.fold_left
       (fun env (obj, name) ->
-        match List.assoc_opt name adt_registry with
+        match Adt_registry.find name with
         | Some spec -> Spec_env.add (Object_id.v obj) spec env
         | None -> Fmt.failwith "unknown ADT %s (try --list-adts)" name)
       Spec_env.empty spec_bindings
@@ -128,7 +96,7 @@ let check_cmd file spec_bindings mode_name =
 (* weihl sim                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let sim_cmd protocol workload clients duration seed dump =
+let sim_cmd protocol workload clients duration seed dump trace metrics =
   let mk_account_obj sys id =
     let log = System.log sys in
     match protocol with
@@ -213,11 +181,27 @@ let sim_cmd protocol workload clients duration seed dump =
     | w -> Fmt.failwith "unknown workload %s (banking|hot|set|kv|semiqueue)" w
   in
   let config = { Driver.default_config with clients; duration; seed } in
-  let o = Driver.run ~config sys w in
+  let recorder =
+    if trace <> None || metrics then Some (Obs.Recorder.create ()) else None
+  in
+  let probe = Option.map Obs.Recorder.sink recorder in
+  let o = Driver.run ~config ?probe sys w in
   Fmt.pr "%a@." Driver.pp_outcome o;
   Fmt.pr "@.by label: %a@."
     Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
     o.Driver.committed_by_label;
+  (match (recorder, metrics) with
+  | Some r, true -> Fmt.pr "@.%s@." (Obs.Recorder.report r)
+  | _ -> ());
+  (match (recorder, trace) with
+  | Some r, Some path ->
+    let oc = open_out path in
+    output_string oc (Obs.Recorder.export_trace r);
+    output_string oc "\n";
+    close_out oc;
+    Fmt.pr "trace written to %s (open in ui.perfetto.dev or chrome://tracing)@."
+      path
+  | _ -> ());
   (match dump with
   | Some path ->
     let oc = open_out path in
@@ -397,7 +381,7 @@ let explore_cmd () =
 (* weihl tpc                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let tpc_cmd participants crash no_voter seed =
+let tpc_cmd participants crash no_voter seed metrics =
   let coordinator_crash =
     match crash with
     | "none" -> Tpc.No_crash
@@ -424,9 +408,13 @@ let tpc_cmd participants crash no_voter seed =
       seed;
     }
   in
-  let o = Tpc.run cfg in
+  let reg = if metrics then Some (Obs.Metrics.Registry.create ()) else None in
+  let o = Tpc.run ?metrics:reg cfg in
   Fmt.pr "%a@." Tpc.pp_outcome o;
   Fmt.pr "atomic commitment: %b@." (Tpc.atomic_commitment o);
+  (match reg with
+  | Some r -> Fmt.pr "@.%s@." (Obs.Metrics.Registry.render_text r)
+  | None -> ());
   0
 
 (* ------------------------------------------------------------------ *)
@@ -484,7 +472,21 @@ let sim_term =
       & info [ "dump-history" ] ~docv:"FILE"
           ~doc:"Write the generated history in the paper's notation.")
   in
-  Term.(const sim_cmd $ protocol $ workload $ clients $ duration $ seed $ dump)
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome-trace (Perfetto) JSON timeline of the run.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry and per-object contention report.")
+  in
+  Term.(
+    const sim_cmd $ protocol $ workload $ clients $ duration $ seed $ dump
+    $ trace $ metrics)
 
 let census_term = Term.(const census_cmd $ const ())
 
@@ -519,7 +521,13 @@ let tpc_term =
       & info [ "no-vote" ] ~docv:"SITE" ~doc:"Site that votes no (0-based).")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
-  Term.(const tpc_cmd $ participants $ crash $ no_voter $ seed)
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print per-participant phase counters after the run.")
+  in
+  Term.(const tpc_cmd $ participants $ crash $ no_voter $ seed $ metrics)
 
 let cmds =
   [

@@ -72,8 +72,8 @@ let () =
         o.Driver.committed_read_only
         (o.Driver.aborted_deadlock + o.Driver.aborted_refused)
         o.Driver.waits
-        (Stats.mean o.Driver.read_only_latencies)
-        (Stats.mean o.Driver.update_latencies))
+        (Weihl_obs.Metrics.Histogram.mean o.Driver.read_only_latencies)
+        (Weihl_obs.Metrics.Histogram.mean o.Driver.update_latencies))
     protocols;
   Fmt.pr
     "@.Expected shape (Section 4.3.3): under locking, audits block and get@.\

@@ -1,0 +1,42 @@
+open Weihl_event
+module Seq_spec = Weihl_spec.Seq_spec
+
+let all : (string * Seq_spec.t) list =
+  [
+    ("intset", Intset.spec);
+    ("counter", Counter.spec);
+    ("account", Bank_account.spec);
+    ("queue", Fifo_queue.spec);
+    ("register", Register.spec);
+    ("kv", Kv_map.spec);
+    ("semiqueue", Semiqueue.spec);
+    ("stack", Stack.spec);
+    ("pqueue", Priority_queue.spec);
+    ("blind_counter", Blind_counter.spec);
+    ("log", Append_log.spec);
+  ]
+
+let find name = List.assoc_opt name all
+
+(* Guess an object's type from the operation names appearing on it.
+   The order of the tests resolves ambiguous names deterministically:
+   "add" belongs to the priority queue (tested before anything a set
+   might claim), "get"/"put" to the map, and so on.  Keep the order
+   stable — histories in the wild rely on it. *)
+let infer_spec ops =
+  let has name = List.exists (fun op -> Operation.name op = name) ops in
+  if has "deposit" || has "withdraw" || has "balance" then
+    Some Bank_account.spec
+  else if has "enqueue" || has "dequeue" then Some Fifo_queue.spec
+  else if has "push" || has "pop" then Some Stack.spec
+  else if has "put" || has "get" || has "remove" then Some Kv_map.spec
+  else if has "add" || has "extract_min" || has "find_min" then
+    Some Priority_queue.spec
+  else if has "increment" then Some Counter.spec
+  else if has "bump" then Some Blind_counter.spec
+  else if has "append" then Some Append_log.spec
+  else if has "enq" || has "deq" then Some Semiqueue.spec
+  else if has "write" then Some Register.spec
+  else if has "insert" || has "delete" || has "member" || has "size" then
+    Some Intset.spec
+  else None

@@ -1,0 +1,20 @@
+(** The catalogue of built-in ADT specifications, by name, and the
+    operation-name heuristic that guesses an object's type from a
+    history. *)
+
+val all : (string * Weihl_spec.Seq_spec.t) list
+(** Every built-in specification, keyed by its CLI name
+    ([intset], [counter], [account], [queue], [register], [kv],
+    [semiqueue], [stack], [pqueue], [blind_counter], [log]). *)
+
+val find : string -> Weihl_spec.Seq_spec.t option
+
+val infer_spec :
+  Weihl_event.Operation.t list -> Weihl_spec.Seq_spec.t option
+(** The specification whose operation vocabulary matches the given
+    operations, or [None] when nothing matches.  Ambiguous names
+    resolve deterministically: the tests run in a fixed order
+    (account, fifo queue, stack, kv map, priority queue, counter,
+    blind counter, log, semiqueue, register, intset), so e.g. [add]
+    always yields the priority queue even though a set could plausibly
+    claim it. *)

@@ -12,6 +12,7 @@ type t = {
   commit : Txn.t -> unit;
   abort : Txn.t -> unit;
   initiate : Txn.t -> unit;
+  depth : unit -> int;
 }
 
 let pp_invoke_result ppf = function

@@ -40,6 +40,12 @@ type t = {
       (** Called once before the transaction's first invocation at this
           object; protocols that timestamp initiations log the
           initiation event here (others ignore it). *)
+  depth : unit -> int;
+      (** How many transactions currently hold protocol state (locks,
+          intentions, pending escrow, uncommitted versions) at this
+          object — the instrumentation layer's queue-depth probe.  Only
+          consulted when a probe sink is installed, so it may walk the
+          object's internal structures. *)
 }
 
 val pp_invoke_result : Format.formatter -> invoke_result -> unit

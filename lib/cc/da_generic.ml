@@ -224,4 +224,5 @@ let make ?(max_serializations = 2000) log id spec : Atomic_object.t =
     fold_settled st;
     Obj_log.aborted olog txn
   in
-  { id; spec; try_invoke; commit; abort; initiate = (fun _ -> ()) }
+  { id; spec; try_invoke; commit; abort; initiate = (fun _ -> ());
+    depth = (fun () -> List.length (List.filter is_active st.entries)) }

@@ -75,4 +75,5 @@ let make log id : Atomic_object.t =
     Obj_log.aborted olog txn
   in
   { id; spec = Map_adt.spec; try_invoke; commit; abort;
-    initiate = (fun _ -> ()) }
+    initiate = (fun _ -> ());
+    depth = (fun () -> List.length (Intentions.active store)) }

@@ -206,4 +206,5 @@ let make ?(max_extensions = 500) log id : Atomic_object.t =
     Obj_log.aborted olog txn
   in
   { id; spec = Queue_spec.spec; try_invoke; commit; abort;
-    initiate = (fun _ -> ()) }
+    initiate = (fun _ -> ());
+    depth = (fun () -> List.length (List.filter is_active st.entries)) }

@@ -101,4 +101,5 @@ let make log id : Atomic_object.t =
     st.pendings <- others st txn;
     Obj_log.aborted olog txn
   in
-  { id; spec = Sq.spec; try_invoke; commit; abort; initiate = (fun _ -> ()) }
+  { id; spec = Sq.spec; try_invoke; commit; abort; initiate = (fun _ -> ());
+    depth = (fun () -> List.length st.pendings) }

@@ -98,7 +98,8 @@ let make log id spec ~conflict ~read_only_op : Atomic_object.t =
   let initiate txn =
     if Txn.is_read_only txn then Obj_log.initiated olog txn
   in
-  { id; spec; try_invoke; commit; abort; initiate }
+  { id; spec; try_invoke; commit; abort; initiate;
+    depth = (fun () -> List.length (Intentions.active store)) }
 
 let of_adt log id (module A : Weihl_adt.Adt_sig.S) =
   make log id A.spec

@@ -127,4 +127,5 @@ let make log id : Atomic_object.t =
   let initiate txn =
     if Txn.is_read_only txn then Obj_log.initiated olog txn
   in
-  { id; spec = Account.spec; try_invoke; commit; abort; initiate }
+  { id; spec = Account.spec; try_invoke; commit; abort; initiate;
+    depth = (fun () -> List.length st.pendings) }

@@ -99,4 +99,10 @@ let make log id spec : Atomic_object.t =
     Obj_log.aborted olog txn
   in
   let initiate txn = Obj_log.initiated olog txn in
-  { id; spec; try_invoke; commit; abort; initiate }
+  let depth () =
+    List.filter_map
+      (fun e -> if Txn.is_active e.txn then Some e.txn else None)
+      !executed
+    |> List.sort_uniq Txn.compare |> List.length
+  in
+  { id; spec; try_invoke; commit; abort; initiate; depth }

@@ -34,7 +34,8 @@ let make log id spec ~conflict : Atomic_object.t =
     Intentions.abort store txn;
     Obj_log.aborted olog txn
   in
-  { id; spec; try_invoke; commit; abort; initiate = (fun _ -> ()) }
+  { id; spec; try_invoke; commit; abort; initiate = (fun _ -> ());
+    depth = (fun () -> List.length (Intentions.active store)) }
 
 let rw log id (module A : Weihl_adt.Adt_sig.S) =
   let conflict p q =

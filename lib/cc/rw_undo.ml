@@ -69,4 +69,5 @@ let make log id (module A : Weihl_adt.Adt_sig.S) : Atomic_object.t =
     Hashtbl.remove before_images (Txn.id txn);
     Obj_log.aborted olog txn
   in
-  { id; spec = A.spec; try_invoke; commit; abort; initiate = (fun _ -> ()) }
+  { id; spec = A.spec; try_invoke; commit; abort; initiate = (fun _ -> ());
+    depth = (fun () -> Hashtbl.length locks) }

@@ -2,6 +2,8 @@ open Weihl_event
 
 type ts_policy = [ `None_ | `Static | `Hybrid ]
 
+type probe = { now : unit -> float; sink : Weihl_obs.Probe.sink }
+
 type t = {
   policy : ts_policy;
   event_log : Event_log.t;
@@ -11,6 +13,7 @@ type t = {
   mutable txns : Txn.t list;
   mutable ts_source : (unit -> Timestamp.t) option;
   waits : Waits_for.t;
+  mutable probe : probe option;
 }
 
 let create ?(policy = `None_) () =
@@ -23,7 +26,17 @@ let create ?(policy = `None_) () =
     txns = [];
     ts_source = None;
     waits = Waits_for.create ();
+    probe = None;
   }
+
+let set_probe t ~now sink = t.probe <- Some { now; sink }
+let clear_probe t = t.probe <- None
+let probe_installed t = Option.is_some t.probe
+
+let emit_probe t ev =
+  match t.probe with
+  | None -> ()
+  | Some { now; sink } -> sink.Weihl_obs.Probe.emit ~time:(now ()) ev
 
 let policy t = t.policy
 let log t = t.event_log
@@ -63,6 +76,14 @@ let begin_txn t activity =
     if Activity.is_read_only activity then
       Txn.set_init_ts txn (Lamport_clock.next t.clock));
   t.txns <- txn :: t.txns;
+  if t.probe <> None then
+    emit_probe t
+      (Weihl_obs.Probe.Txn_begin
+         {
+           txn = Txn.id txn;
+           name = Activity.name activity;
+           read_only = Activity.is_read_only activity;
+         });
   txn
 
 let require_active txn =
@@ -76,11 +97,41 @@ let invoke t txn x op =
     obj.initiate txn;
     Txn.touch txn x
   end;
+  (* Event construction (and the object's depth walk) only happens with
+     a probe installed; the uninstrumented path pays one branch. *)
+  if t.probe <> None then
+    emit_probe t
+      (Weihl_obs.Probe.Op_invoke
+         {
+           txn = Txn.id txn;
+           obj = Object_id.name x;
+           op = Operation.name op;
+           depth = obj.depth ();
+         });
   let result = obj.try_invoke txn op in
   (match result with
   | Atomic_object.Wait blockers -> Waits_for.set_waiting t.waits txn blockers
   | Atomic_object.Granted _ | Atomic_object.Refused _ ->
     Waits_for.clear t.waits txn);
+  if t.probe <> None then
+    emit_probe t
+      (let txn_id = Txn.id txn
+       and obj_s = Object_id.name x
+       and op_s = Operation.name op in
+       match result with
+       | Atomic_object.Granted _ ->
+         Weihl_obs.Probe.Op_grant { txn = txn_id; obj = obj_s; op = op_s }
+       | Atomic_object.Wait blockers ->
+         Weihl_obs.Probe.Op_wait
+           {
+             txn = txn_id;
+             obj = obj_s;
+             op = op_s;
+             blockers = List.map Txn.id blockers;
+           }
+       | Atomic_object.Refused why ->
+         Weihl_obs.Probe.Op_refuse
+           { txn = txn_id; obj = obj_s; op = op_s; why });
   result
 
 let commit t txn =
@@ -93,16 +144,22 @@ let commit t txn =
     (fun x -> (find_object_exn t x).commit txn)
     (List.rev (Txn.touched txn));
   Txn.set_status txn Txn.Committed;
-  Waits_for.clear t.waits txn
+  Waits_for.clear t.waits txn;
+  if t.probe <> None then
+    emit_probe t (Weihl_obs.Probe.Txn_commit { txn = Txn.id txn })
 
-let abort t txn =
+let abort ?(reason = "abort") t txn =
   require_active txn;
   List.iter
     (fun x -> (find_object_exn t x).abort txn)
     (List.rev (Txn.touched txn));
   Txn.set_status txn Txn.Aborted;
-  Waits_for.clear t.waits txn
+  Waits_for.clear t.waits txn;
+  if t.probe <> None then
+    emit_probe t (Weihl_obs.Probe.Txn_abort { txn = Txn.id txn; reason })
 
 let waiting t txn = Waits_for.blockers t.waits txn
+let waiters t = Waits_for.waiter_count t.waits
+let waits_snapshot t = Waits_for.snapshot t.waits
 let find_deadlock t = Waits_for.find_cycle t.waits
 let active_txns t = List.filter Txn.is_active t.txns

@@ -60,15 +60,40 @@ val commit : t -> Txn.t -> unit
     timestamp order of updates consistent with [precedes].
     @raise Invalid_argument if the transaction is not active. *)
 
-val abort : t -> Txn.t -> unit
+val abort : ?reason:string -> t -> Txn.t -> unit
 (** Abort at every touched object, discarding the transaction's
-    effects.  @raise Invalid_argument if the transaction is not
+    effects.  [reason] only annotates the probe event (default
+    ["abort"]).  @raise Invalid_argument if the transaction is not
     active. *)
 
 val waiting : t -> Txn.t -> Txn.t list
 (** Whom the transaction is currently recorded as waiting for. *)
 
+val waiters : t -> int
+(** How many transactions are currently recorded as waiting. *)
+
+val waits_snapshot : t -> (int * int list) list
+(** The waits-for graph as [(waiter id, active blocker ids)]. *)
+
 val find_deadlock : t -> Txn.t list option
 (** A cycle of waiting transactions, if any. *)
 
 val active_txns : t -> Txn.t list
+
+(** {1 Instrumentation}
+
+    A probe receives a {!Weihl_obs.Probe.event} for every transaction
+    begin/commit/abort and every operation invoke/grant/wait/refuse.
+    With no probe installed (the default) the instrumented paths cost
+    one branch each; event payloads — including the object's queue
+    depth — are only computed once a sink is in place.  The installer
+    supplies the clock: the simulator passes its tick counter, the
+    concurrent runtime passes real time. *)
+
+val set_probe : t -> now:(unit -> float) -> Weihl_obs.Probe.sink -> unit
+val clear_probe : t -> unit
+val probe_installed : t -> bool
+
+val emit_probe : t -> Weihl_obs.Probe.event -> unit
+(** Emit an event through the installed probe, if any — for layers
+    above the system (the simulator's deadlock victim events). *)

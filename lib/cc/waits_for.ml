@@ -12,6 +12,18 @@ let blockers t txn =
   | Some (_, bs) -> bs
   | None -> []
 
+let waiter_count t = Hashtbl.length t.edges
+
+let snapshot t =
+  Hashtbl.fold
+    (fun waiter (_, bs) acc ->
+      (waiter, List.filter_map
+                 (fun b -> if Txn.is_active b then Some (Txn.id b) else None)
+                 bs)
+      :: acc)
+    t.edges []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let find_cycle t =
   (* DFS from every waiter, tracking the path. *)
   let exception Found of Txn.t list in

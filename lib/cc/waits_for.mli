@@ -18,6 +18,13 @@ val clear : t -> Txn.t -> unit
 
 val blockers : t -> Txn.t -> Txn.t list
 
+val waiter_count : t -> int
+(** How many transactions are currently recorded as waiting. *)
+
+val snapshot : t -> (int * int list) list
+(** The graph as [(waiter id, active blocker ids)], sorted by waiter —
+    the contention report's waits-for dump. *)
+
 val find_cycle : t -> Txn.t list option
 (** Some cycle of waiting transactions, if one exists. *)
 

@@ -28,7 +28,15 @@
     {1 Simulation}
 
     Deterministic workload simulation: {!Rng}, {!Stats}, {!Workload},
-    {!Driver}. *)
+    {!Driver}.
+
+    {1 Observability}
+
+    Metrics, Chrome-trace export and contention diagnostics live in
+    [Weihl_obs], re-exported as {!Obs}: install
+    [Obs.Recorder.sink] as a probe on a {!System} (directly, through
+    {!Driver.run}'s [?probe], or {!Concurrent.set_probe}) and read
+    back {!Obs.Recorder.report} / {!Obs.Recorder.export_trace}. *)
 
 module Value = Weihl_event.Value
 module Operation = Weihl_event.Operation
@@ -60,6 +68,7 @@ module Fifo_queue = Weihl_adt.Fifo_queue
 module Register = Weihl_adt.Register
 module Kv_map = Weihl_adt.Kv_map
 module Semiqueue = Weihl_adt.Semiqueue
+module Adt_registry = Weihl_adt.Adt_registry
 module Stack = Weihl_adt.Stack
 module Priority_queue = Weihl_adt.Priority_queue
 module Blind_counter = Weihl_adt.Blind_counter
@@ -97,3 +106,5 @@ module Stats = Weihl_sim.Stats
 module Pqueue = Weihl_sim.Pqueue
 module Workload = Weihl_sim.Workload
 module Driver = Weihl_sim.Driver
+
+module Obs = Weihl_obs

@@ -65,7 +65,7 @@ type coordinator = {
   mutable decided : bool;
 }
 
-let run cfg =
+let run ?metrics cfg =
   if List.length cfg.site_clocks <> cfg.participants then
     invalid_arg "Tpc.run: site_clocks length mismatch";
   if List.length cfg.votes <> cfg.participants then
@@ -77,11 +77,34 @@ let run cfg =
   let coord = { yes_votes = []; no_seen = false; decided = false } in
   let commit_ts = ref None in
   let pstates = Array.make n P_idle in
+  let count name =
+    match metrics with
+    | None -> ()
+    | Some reg ->
+      Weihl_obs.Metrics.Counter.incr
+        (Weihl_obs.Metrics.Registry.counter reg name)
+  in
+  let site_count i what = count (Fmt.str "tpc.site%d.%s" i what) in
+  (* Every phase transition of a participant goes through here so the
+     registry sees it. *)
+  let set_pstate i st =
+    (match st with
+    | P_prepared -> site_count i "prepared"
+    | P_committed _ -> site_count i "committed"
+    | P_aborted -> site_count i "aborted"
+    | P_refused -> site_count i "refused"
+    | P_idle -> ());
+    pstates.(i) <- st
+  in
   let rounds = Array.make n 0 in
   let clocks = Array.of_list cfg.site_clocks in
   let votes = Array.of_list cfg.votes in
   let decide sim ts_or_abort upto =
     coord.decided <- true;
+    count
+      (match ts_or_abort with
+      | Some _ -> "tpc.coord.decide.commit"
+      | None -> "tpc.coord.decide.abort");
     (match ts_or_abort with
     | Some ts -> commit_ts := Some ts
     | None -> ());
@@ -128,14 +151,17 @@ let run cfg =
       if not (Msim.crashed sim node) then
         match msg with
         | Prepare -> (
+          site_count i "prepare";
           match pstates.(i) with
           | P_idle -> (
             match votes.(i) with
             | No ->
-              pstates.(i) <- P_aborted;
+              set_pstate i P_aborted;
+              site_count i "vote.no";
               Msim.send sim ~src:node ~dst:0 (Vote_no i)
             | Yes ->
-              pstates.(i) <- P_prepared;
+              set_pstate i P_prepared;
+              site_count i "vote.yes";
               Msim.send sim ~src:node ~dst:0 (Vote_yes (i, clocks.(i)));
               Msim.set_timer sim ~node ~after:cfg.timeout Timeout_check;
               (match cfg.participant_crash with
@@ -147,16 +173,17 @@ let run cfg =
           match pstates.(i) with
           | P_prepared | P_idle ->
             clocks.(i) <- max clocks.(i) ts;
-            pstates.(i) <- P_committed ts
+            set_pstate i (P_committed ts)
           | P_refused | P_committed _ | P_aborted -> ())
         | Decide_abort -> (
           match pstates.(i) with
-          | P_prepared | P_idle | P_refused -> pstates.(i) <- P_aborted
+          | P_prepared | P_idle | P_refused -> set_pstate i P_aborted
           | P_committed _ | P_aborted -> ())
         | Timeout_check ->
           if pstates.(i) = P_prepared then begin
             if rounds.(i) < cfg.max_termination_rounds then begin
               rounds.(i) <- rounds.(i) + 1;
+              site_count i "termination.round";
               (* Cooperative termination: ask every peer. *)
               for j = 0 to n - 1 do
                 if j <> i then
@@ -178,15 +205,15 @@ let run cfg =
           | P_idle ->
             (* Refuse to vote so the querier may safely abort: the
                coordinator can no longer have collected our yes-vote. *)
-            pstates.(i) <- P_refused;
+            set_pstate i P_refused;
             reply W_idle)
         | Peer_status w -> (
           if pstates.(i) = P_prepared then
             match w with
             | W_committed ts ->
               clocks.(i) <- max clocks.(i) ts;
-              pstates.(i) <- P_committed ts
-            | W_aborted | W_idle -> pstates.(i) <- P_aborted
+              set_pstate i (P_committed ts)
+            | W_aborted | W_idle -> set_pstate i P_aborted
             | W_prepared -> ())
         | Vote_yes _ | Vote_no _ -> ()
     end

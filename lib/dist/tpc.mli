@@ -65,8 +65,13 @@ type outcome = {
   duration : int; (** virtual time at quiescence *)
 }
 
-val run : config -> outcome
-(** @raise Invalid_argument on inconsistent configuration lengths. *)
+val run : ?metrics:Weihl_obs.Metrics.Registry.t -> config -> outcome
+(** @raise Invalid_argument on inconsistent configuration lengths.
+
+    With [metrics], the run counts per-participant phase transitions
+    ([tpc.site<i>.prepare], [.vote.yes]/[.vote.no], [.prepared],
+    [.committed], [.aborted], [.refused], [.termination.round]) and the
+    coordinator's decision ([tpc.coord.decide.commit]/[.abort]). *)
 
 val atomic_commitment : outcome -> bool
 (** No participant committed while another aborted (crashed and blocked

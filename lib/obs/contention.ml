@@ -1,0 +1,174 @@
+type obj_stats = {
+  invokes : int;
+  grants : int;
+  waits : int;
+  refusals : int;
+  max_depth : int;
+  wait_time : Metrics.Histogram.t;
+  hold_time : Metrics.Histogram.t;
+}
+
+type obj_state = {
+  mutable s_invokes : int;
+  mutable s_grants : int;
+  mutable s_waits : int;
+  mutable s_refusals : int;
+  mutable s_max_depth : int;
+  s_wait_time : Metrics.Histogram.t;
+  s_hold_time : Metrics.Histogram.t;
+}
+
+type t = {
+  objects : (string, obj_state) Hashtbl.t;
+  (* txn -> (obj, start of the current wait interval) *)
+  waiting_since : (int, string * float) Hashtbl.t;
+  (* txn -> current blockers *)
+  edges : (int, int list) Hashtbl.t;
+  (* (txn, obj) -> first-contact time *)
+  first_contact : (int * string, float) Hashtbl.t;
+  (* txn -> objects contacted (newest first, no duplicates) *)
+  touched : (int, string list) Hashtbl.t;
+  mutable deadlocks : int;
+}
+
+let create () =
+  {
+    objects = Hashtbl.create 16;
+    waiting_since = Hashtbl.create 16;
+    edges = Hashtbl.create 16;
+    first_contact = Hashtbl.create 64;
+    touched = Hashtbl.create 64;
+    deadlocks = 0;
+  }
+
+let state t obj =
+  match Hashtbl.find_opt t.objects obj with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        s_invokes = 0;
+        s_grants = 0;
+        s_waits = 0;
+        s_refusals = 0;
+        s_max_depth = 0;
+        s_wait_time = Metrics.Histogram.create ();
+        s_hold_time = Metrics.Histogram.create ();
+      }
+    in
+    Hashtbl.replace t.objects obj s;
+    s
+
+let close_wait t ~time txn =
+  (match Hashtbl.find_opt t.waiting_since txn with
+  | Some (obj, since) ->
+    Metrics.Histogram.observe (state t obj).s_wait_time (time -. since);
+    Hashtbl.remove t.waiting_since txn
+  | None -> ());
+  Hashtbl.remove t.edges txn
+
+let finish_txn t ~time txn =
+  close_wait t ~time txn;
+  (match Hashtbl.find_opt t.touched txn with
+  | Some objs ->
+    List.iter
+      (fun obj ->
+        match Hashtbl.find_opt t.first_contact (txn, obj) with
+        | Some since ->
+          Metrics.Histogram.observe (state t obj).s_hold_time (time -. since);
+          Hashtbl.remove t.first_contact (txn, obj)
+        | None -> ())
+      objs;
+    Hashtbl.remove t.touched txn
+  | None -> ())
+
+let on_event t ~time (ev : Probe.event) =
+  match ev with
+  | Probe.Txn_begin _ | Probe.Gauge_set _ | Probe.Count _ -> ()
+  | Probe.Txn_commit { txn } | Probe.Txn_abort { txn; _ } ->
+    finish_txn t ~time txn
+  | Probe.Op_invoke { txn; obj; depth; _ } ->
+    let s = state t obj in
+    s.s_invokes <- s.s_invokes + 1;
+    if depth > s.s_max_depth then s.s_max_depth <- depth;
+    if not (Hashtbl.mem t.first_contact (txn, obj)) then begin
+      Hashtbl.replace t.first_contact (txn, obj) time;
+      let objs =
+        Option.value ~default:[] (Hashtbl.find_opt t.touched txn)
+      in
+      Hashtbl.replace t.touched txn (obj :: objs)
+    end
+  | Probe.Op_grant { txn; obj; _ } ->
+    let s = state t obj in
+    s.s_grants <- s.s_grants + 1;
+    close_wait t ~time txn
+  | Probe.Op_wait { txn; obj; blockers; _ } ->
+    let s = state t obj in
+    s.s_waits <- s.s_waits + 1;
+    if not (Hashtbl.mem t.waiting_since txn) then
+      Hashtbl.replace t.waiting_since txn (obj, time);
+    Hashtbl.replace t.edges txn blockers
+  | Probe.Op_refuse { txn; obj; _ } ->
+    let s = state t obj in
+    s.s_refusals <- s.s_refusals + 1;
+    close_wait t ~time txn
+  | Probe.Deadlock_victim _ -> t.deadlocks <- t.deadlocks + 1
+
+let sink t = { Probe.emit = (fun ~time ev -> on_event t ~time ev) }
+
+let per_object t =
+  Hashtbl.fold
+    (fun obj s acc ->
+      ( obj,
+        {
+          invokes = s.s_invokes;
+          grants = s.s_grants;
+          waits = s.s_waits;
+          refusals = s.s_refusals;
+          max_depth = s.s_max_depth;
+          wait_time = s.s_wait_time;
+          hold_time = s.s_hold_time;
+        } )
+      :: acc)
+    t.objects []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let wait_count t obj =
+  match Hashtbl.find_opt t.objects obj with
+  | Some s -> s.s_waits
+  | None -> 0
+
+let deadlocks t = t.deadlocks
+
+let waits_for_edges t =
+  Hashtbl.fold (fun waiter bs acc -> (waiter, bs) :: acc) t.edges []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let report t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Fmt.str "%-12s %8s %8s %8s %8s %6s %10s %10s %10s\n" "object" "invokes"
+       "grants" "waits" "refused" "depth" "wait-mean" "wait-p95" "hold-mean");
+  List.iter
+    (fun (obj, s) ->
+      Buffer.add_string buf
+        (Fmt.str "%-12s %8d %8d %8d %8d %6d %10.1f %10.1f %10.1f\n" obj
+           s.invokes s.grants s.waits s.refusals s.max_depth
+           (Metrics.Histogram.mean s.wait_time)
+           (Metrics.Histogram.percentile s.wait_time 95.)
+           (Metrics.Histogram.mean s.hold_time)))
+    (per_object t);
+  if t.deadlocks > 0 then
+    Buffer.add_string buf (Fmt.str "deadlock victims: %d\n" t.deadlocks);
+  (match waits_for_edges t with
+  | [] -> ()
+  | edges ->
+    Buffer.add_string buf "waits-for (still blocked at snapshot):\n";
+    List.iter
+      (fun (waiter, bs) ->
+        Buffer.add_string buf
+          (Fmt.str "  t%d -> %a\n" waiter
+             Fmt.(list ~sep:comma (fmt "t%d"))
+             bs))
+      edges);
+  Buffer.contents buf

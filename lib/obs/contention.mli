@@ -1,0 +1,39 @@
+(** Per-object contention accounting, fed by {!Probe} events.
+
+    For every object it tracks invocation attempts, grants, blocked
+    attempts (waits), refusals, deadlock involvement, the largest
+    queue depth seen, a histogram of wait-interval durations (first
+    blocked attempt → grant/refusal/abort) and a histogram of hold
+    times (first contact → commit/abort).  It also keeps the current
+    waits-for graph, so a snapshot can be dumped mid-run. *)
+
+type obj_stats = {
+  invokes : int;  (** invocation attempts, retries included *)
+  grants : int;
+  waits : int;  (** blocked attempts *)
+  refusals : int;
+  max_depth : int;  (** peak concurrent holders at the object *)
+  wait_time : Metrics.Histogram.t;
+  hold_time : Metrics.Histogram.t;
+}
+
+type t
+
+val create : unit -> t
+val sink : t -> Probe.sink
+
+val per_object : t -> (string * obj_stats) list
+(** Sorted by object name. *)
+
+val wait_count : t -> string -> int
+(** Blocked attempts recorded against the object; 0 if unknown. *)
+
+val deadlocks : t -> int
+
+val waits_for_edges : t -> (int * int list) list
+(** The current waits-for graph: [(waiter, blockers)], sorted by
+    waiter. *)
+
+val report : t -> string
+(** A text table (one row per object) followed by a waits-for snapshot
+    when any transaction is still blocked. *)

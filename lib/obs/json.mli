@@ -1,0 +1,33 @@
+(** A minimal JSON value, printer and parser.
+
+    The observability layer must emit (and, for testing, re-read)
+    Chrome-trace files and metrics snapshots without pulling a JSON
+    dependency into the tree; this module is deliberately small.
+    Numbers are represented as [float]s ([Num]); integral values print
+    without a fractional part. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare in order. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error is a human-readable
+    message with a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on other constructors. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,211 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let value t = t.n
+end
+
+module Gauge = struct
+  type t = { mutable v : float; mutable max : float }
+
+  let create () = { v = 0.; max = 0. }
+
+  let set t x =
+    t.v <- x;
+    if x > t.max then t.max <- x
+
+  let add t dx = set t (t.v +. dx)
+  let value t = t.v
+  let max_value t = t.max
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array; (* strictly increasing upper bounds *)
+    counts : int array; (* length = Array.length bounds + 1 (overflow) *)
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let default_buckets =
+    Array.init 40 (fun i -> 1.5 ** float_of_int i)
+
+  let create ?(buckets = default_buckets) () =
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= buckets.(i - 1) then
+          invalid_arg "Histogram.create: bounds must be strictly increasing")
+      buckets;
+    {
+      bounds = Array.copy buckets;
+      counts = Array.make (Array.length buckets + 1) 0;
+      count = 0;
+      sum = 0.;
+      min = infinity;
+      max = neg_infinity;
+    }
+
+  (* Index of the first bound >= x, or the overflow slot. *)
+  let bucket_index t x =
+    let lo = ref 0 and hi = ref (Array.length t.bounds) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.bounds.(mid) >= x then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  let observe t x =
+    t.counts.(bucket_index t x) <- t.counts.(bucket_index t x) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+  let min_value t = if t.count = 0 then 0. else t.min
+  let max_value t = if t.count = 0 then 0. else t.max
+
+  let percentile t p =
+    if t.count = 0 then 0.
+    else begin
+      let rank =
+        int_of_float (ceil (p /. 100. *. float_of_int t.count))
+        |> max 1 |> min t.count
+      in
+      let i = ref 0 and seen = ref 0 in
+      while !seen < rank && !i < Array.length t.counts do
+        seen := !seen + t.counts.(!i);
+        if !seen < rank then incr i
+      done;
+      let estimate =
+        if !i >= Array.length t.bounds then t.max else t.bounds.(!i)
+      in
+      estimate |> Float.min t.max |> Float.max t.min
+    end
+
+  let buckets t =
+    List.init (Array.length t.counts) (fun i ->
+        ( (if i < Array.length t.bounds then t.bounds.(i) else infinity),
+          t.counts.(i) ))
+
+  let pp ppf t =
+    Fmt.pf ppf "count %d mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f"
+      t.count (mean t) (percentile t 50.) (percentile t 95.)
+      (percentile t 99.) (max_value t)
+end
+
+module Registry = struct
+  type instrument =
+    | I_counter of Counter.t
+    | I_gauge of Gauge.t
+    | I_histogram of Histogram.t
+
+  type t = {
+    by_name : (string, instrument) Hashtbl.t;
+    mutable order : string list; (* newest first *)
+  }
+
+  let create () = { by_name = Hashtbl.create 32; order = [] }
+
+  let find_or_add t name make =
+    match Hashtbl.find_opt t.by_name name with
+    | Some i -> i
+    | None ->
+      let i = make () in
+      Hashtbl.replace t.by_name name i;
+      t.order <- name :: t.order;
+      i
+
+  let counter t name =
+    match find_or_add t name (fun () -> I_counter (Counter.create ())) with
+    | I_counter c -> c
+    | _ -> invalid_arg (name ^ " is registered as a different instrument")
+
+  let gauge t name =
+    match find_or_add t name (fun () -> I_gauge (Gauge.create ())) with
+    | I_gauge g -> g
+    | _ -> invalid_arg (name ^ " is registered as a different instrument")
+
+  let histogram ?buckets t name =
+    match
+      find_or_add t name (fun () -> I_histogram (Histogram.create ?buckets ()))
+    with
+    | I_histogram h -> h
+    | _ -> invalid_arg (name ^ " is registered as a different instrument")
+
+  let instruments t =
+    List.rev_map
+      (fun name -> (name, Hashtbl.find t.by_name name))
+      t.order
+
+  let render_text t =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (name, i) ->
+        (match i with
+        | I_counter c ->
+          Buffer.add_string buf
+            (Fmt.str "%-40s %d" name (Counter.value c))
+        | I_gauge g ->
+          Buffer.add_string buf
+            (Fmt.str "%-40s %g (max %g)" name (Gauge.value g)
+               (Gauge.max_value g))
+        | I_histogram h ->
+          Buffer.add_string buf (Fmt.str "%-40s %a" name Histogram.pp h));
+        Buffer.add_char buf '\n')
+      (instruments t);
+    Buffer.contents buf
+
+  let to_json t =
+    Json.Obj
+      (List.map
+         (fun (name, i) ->
+           let v =
+             match i with
+             | I_counter c -> Json.Num (float_of_int (Counter.value c))
+             | I_gauge g ->
+               Json.Obj
+                 [
+                   ("value", Json.Num (Gauge.value g));
+                   ("max", Json.Num (Gauge.max_value g));
+                 ]
+             | I_histogram h ->
+               Json.Obj
+                 [
+                   ("count", Json.Num (float_of_int (Histogram.count h)));
+                   ("sum", Json.Num (Histogram.sum h));
+                   ("mean", Json.Num (Histogram.mean h));
+                   ("min", Json.Num (Histogram.min_value h));
+                   ("max", Json.Num (Histogram.max_value h));
+                   ("p50", Json.Num (Histogram.percentile h 50.));
+                   ("p95", Json.Num (Histogram.percentile h 95.));
+                   ("p99", Json.Num (Histogram.percentile h 99.));
+                   ( "buckets",
+                     Json.List
+                       (List.filter_map
+                          (fun (ub, c) ->
+                            if c = 0 then None
+                            else
+                              Some
+                                (Json.Obj
+                                   [
+                                     ( "le",
+                                       if Float.is_integer ub || ub < infinity
+                                       then Json.Num ub
+                                       else Json.Str "inf" );
+                                     ("count", Json.Num (float_of_int c));
+                                   ]))
+                          (Histogram.buckets h)) );
+                 ]
+           in
+           (name, v))
+         (instruments t))
+
+  let render_json t = Json.to_string (to_json t)
+end

@@ -1,0 +1,90 @@
+(** Cheap counters, gauges and fixed-bucket histograms, with a registry
+    that renders snapshots as text or JSON.
+
+    Every instrument is a few words of mutable state; observing into a
+    histogram is a binary search over its (fixed) bucket bounds.  None
+    of them allocate on the update path, so they can sit on protocol
+    hot paths. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+
+  val max_value : t -> float
+  (** Largest value ever [set]; 0. initially. *)
+end
+
+module Histogram : sig
+  type t
+
+  val default_buckets : float array
+  (** Geometric bounds 1, 1.5, 1.5², … (40 buckets, up to ~1e7) —
+      suited to latencies measured in simulation ticks or
+      microseconds. *)
+
+  val create : ?buckets:float array -> unit -> t
+  (** [buckets] are the inclusive upper bounds of the finite buckets,
+      in increasing order; an overflow bucket catches the rest.
+      @raise Invalid_argument if the bounds are not strictly
+      increasing. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val mean : t -> float
+  (** Exact ([sum]/[count]); 0. when empty. *)
+
+  val min_value : t -> float
+  (** Exact smallest observation; 0. when empty. *)
+
+  val max_value : t -> float
+  (** Exact largest observation; 0. when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0,100]: nearest-rank over the
+      bucket counts.  The result is the upper bound of the bucket
+      containing the rank (clamped to the exact max; the exact min for
+      p = 0), so it is an upper estimate no finer than the bucket
+      resolution.  0. when empty. *)
+
+  val buckets : t -> (float * int) list
+  (** [(upper_bound, count)] per finite bucket, then
+      [(infinity, overflow_count)]. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** One-line summary: count, mean, p50/p95/p99, max. *)
+end
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** Get or create; the same name always yields the same counter. *)
+
+  val gauge : t -> string -> Gauge.t
+
+  val histogram : ?buckets:float array -> t -> string -> Histogram.t
+  (** [buckets] only applies on first creation. *)
+
+  val render_text : t -> string
+  (** One instrument per line, in registration order. *)
+
+  val to_json : t -> Json.t
+  val render_json : t -> string
+end

@@ -1,0 +1,50 @@
+type t = {
+  registry : Metrics.Registry.t;
+  trace : Trace.t;
+  contention : Contention.t;
+}
+
+let create () =
+  {
+    registry = Metrics.Registry.create ();
+    trace = Trace.create ();
+    contention = Contention.create ();
+  }
+
+let metrics_sink t =
+  let r = t.registry in
+  let begins = Metrics.Registry.counter r "txn.begin"
+  and commits = Metrics.Registry.counter r "txn.commit"
+  and aborts = Metrics.Registry.counter r "txn.abort"
+  and grants = Metrics.Registry.counter r "op.grant"
+  and waits = Metrics.Registry.counter r "op.wait"
+  and refusals = Metrics.Registry.counter r "op.refuse"
+  and victims = Metrics.Registry.counter r "deadlock.victims" in
+  let emit ~time:_ (ev : Probe.event) =
+    match ev with
+    | Probe.Txn_begin _ -> Metrics.Counter.incr begins
+    | Probe.Txn_commit _ -> Metrics.Counter.incr commits
+    | Probe.Txn_abort _ -> Metrics.Counter.incr aborts
+    | Probe.Op_invoke _ -> ()
+    | Probe.Op_grant _ -> Metrics.Counter.incr grants
+    | Probe.Op_wait { obj; _ } ->
+      Metrics.Counter.incr waits;
+      Metrics.Counter.incr
+        (Metrics.Registry.counter r (Fmt.str "obj.%s.waits" obj))
+    | Probe.Op_refuse _ -> Metrics.Counter.incr refusals
+    | Probe.Deadlock_victim _ -> Metrics.Counter.incr victims
+    | Probe.Gauge_set { name; value } ->
+      Metrics.Gauge.set (Metrics.Registry.gauge r name) value
+    | Probe.Count { name; site } ->
+      Metrics.Counter.incr
+        (Metrics.Registry.counter r (Fmt.str "%s.site%d" name site))
+  in
+  { Probe.emit }
+
+let sink t =
+  Probe.tee [ metrics_sink t; Trace.sink t.trace; Contention.sink t.contention ]
+
+let report t =
+  Metrics.Registry.render_text t.registry ^ "\n" ^ Contention.report t.contention
+
+let export_trace t = Trace.export t.trace

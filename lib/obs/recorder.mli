@@ -1,0 +1,25 @@
+(** The convenience bundle used by the CLI, the benchmark harness and
+    tests: one {!Probe.sink} that simultaneously
+
+    - maintains a {!Metrics.Registry} of aggregate counters
+      ([txn.begin], [txn.commit], [txn.abort], [op.grant], [op.wait],
+      [op.refuse], [deadlock.victims]), latency gauges sampled from
+      {!Probe.Gauge_set} events, and one wait-count counter per object
+      ([obj.<name>.waits]);
+    - builds a Chrome-trace {!Trace.t};
+    - aggregates a {!Contention.t} report. *)
+
+type t = {
+  registry : Metrics.Registry.t;
+  trace : Trace.t;
+  contention : Contention.t;
+}
+
+val create : unit -> t
+val sink : t -> Probe.sink
+
+val report : t -> string
+(** Metrics snapshot followed by the contention table. *)
+
+val export_trace : t -> string
+(** Chrome-trace JSON for the events recorded so far. *)

@@ -1,0 +1,47 @@
+(** A structured trace sink: spans per transaction and per operation,
+    exported as Chrome-trace JSON (loadable in [chrome://tracing] and
+    Perfetto).
+
+    Feed it {!Probe} events (via {!sink}) and it assembles:
+
+    - a [B]/[E] span per transaction (begin → commit/abort),
+    - an [X] (complete) span per granted operation (first invocation
+      attempt → grant),
+    - an [X] span per wait interval (first blocked attempt → grant,
+      refusal or abort), in category ["wait"],
+    - instant events for refusals and deadlock victims,
+    - counter ([C]) events for sampled gauges.
+
+    The emitted JSON is the "JSON array format": every element carries
+    at least [name], [ph], [ts], [pid] and [tid].  {!parse} reads that
+    format back, so traces round-trip for testing. *)
+
+type phase = B | E | X | I | C
+
+type ev = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : float;
+  dur : float option; (** only for [X] events *)
+  pid : int;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+type t
+
+val create : unit -> t
+val sink : t -> Probe.sink
+
+val events : t -> ev list
+(** Completed events, in emission order. *)
+
+val to_json : t -> Json.t
+val export : t -> string
+
+val parse : string -> (ev list, string) result
+(** Re-read an exported trace; fails on documents that are not an
+    array of well-formed trace events. *)
+
+val pp_phase : Format.formatter -> phase -> unit

@@ -7,6 +7,7 @@ type t = {
       (* signalled whenever a transaction commits or aborts *)
   victims : (int, unit) Hashtbl.t;
       (* transactions sacrificed to deadlock resolution *)
+  mutable blocked_threads : int;
 }
 
 exception Refused of string
@@ -18,6 +19,7 @@ let create ?policy () =
     mutex = Mutex.create ();
     completed = Condition.create ();
     victims = Hashtbl.create 8;
+    blocked_threads = 0;
   }
 
 let locked t f =
@@ -25,6 +27,27 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let add_object t obj = locked t (fun () -> Cc.System.add_object t.system obj)
+
+(* Real time in microseconds since probe installation — the natural
+   unit for Chrome-trace timestamps. *)
+let default_now () =
+  let t0 = Unix.gettimeofday () in
+  fun () -> (Unix.gettimeofday () -. t0) *. 1e6
+
+let set_probe ?now t sink =
+  let now = match now with Some f -> f | None -> default_now () in
+  locked t (fun () -> Cc.System.set_probe t.system ~now sink)
+
+let clear_probe t = locked t (fun () -> Cc.System.clear_probe t.system)
+
+let emit_blocked_gauge t =
+  if Cc.System.probe_installed t.system then
+    Cc.System.emit_probe t.system
+      (Weihl_obs.Probe.Gauge_set
+         {
+           name = "threads.blocked";
+           value = float_of_int t.blocked_threads;
+         })
 let log t = Cc.System.log t.system
 let begin_txn t activity = locked t (fun () -> Cc.System.begin_txn t.system activity)
 
@@ -37,7 +60,14 @@ let resolve_deadlock t =
   | None -> false
   | Some cycle ->
     let victim = Cc.Waits_for.victim cycle in
-    Cc.System.abort t.system victim;
+    if Cc.System.probe_installed t.system then
+      Cc.System.emit_probe t.system
+        (Weihl_obs.Probe.Deadlock_victim
+           {
+             victim = Cc.Txn.id victim;
+             cycle = List.map Cc.Txn.id cycle;
+           });
+    Cc.System.abort ~reason:"deadlock" t.system victim;
     Hashtbl.replace t.victims (Cc.Txn.id victim) ();
     Condition.broadcast t.completed;
     true
@@ -64,7 +94,15 @@ let invoke t txn x op =
           (* If we just broke a deadlock, the blocker may be gone:
              retry at once (our own broadcast cannot wake us).
              Otherwise sleep until some transaction completes. *)
-          if not resolved then Condition.wait t.completed t.mutex;
+          if not resolved then begin
+            t.blocked_threads <- t.blocked_threads + 1;
+            emit_blocked_gauge t;
+            Fun.protect
+              ~finally:(fun () ->
+                t.blocked_threads <- t.blocked_threads - 1;
+                emit_blocked_gauge t)
+              (fun () -> Condition.wait t.completed t.mutex)
+          end;
           attempt ()
       in
       attempt ())

@@ -52,3 +52,15 @@ val atomically :
     transaction, committing on normal return and aborting on {!Refused}
     or {!Deadlock_victim} (returned as [Error]); other exceptions abort
     and re-raise. *)
+
+(** {1 Instrumentation}
+
+    Install a {!Weihl_obs.Probe.sink} on the underlying system.  The
+    default clock is real time in microseconds since installation (the
+    Chrome-trace unit); pass [now] to override.  While a probe is
+    installed the runtime additionally samples a [threads.blocked]
+    gauge around every sleep on the condition variable and emits a
+    deadlock-victim event whenever it breaks a cycle. *)
+
+val set_probe : ?now:(unit -> float) -> t -> Weihl_obs.Probe.sink -> unit
+val clear_probe : t -> unit

@@ -1,5 +1,6 @@
 open Weihl_event
 module Cc = Weihl_cc
+module Obs = Weihl_obs
 
 type config = {
   clients : int;
@@ -31,8 +32,8 @@ type outcome = {
   waits : int;
   waits_read_only : int;
   restarts : int;
-  update_latencies : float list;
-  read_only_latencies : float list;
+  update_latencies : Obs.Metrics.Histogram.t;
+  read_only_latencies : Obs.Metrics.Histogram.t;
   committed_by_label : (string * int) list;
   ticks : int;
 }
@@ -51,10 +52,10 @@ let pp_outcome ppf o =
      read-only latency: mean %.1f p95 %.1f@]"
     o.committed o.committed_read_only o.aborted_deadlock o.aborted_refused
     o.gave_up o.waits o.waits_read_only o.restarts (throughput o)
-    (Stats.mean o.update_latencies)
-    (Stats.percentile 95. o.update_latencies)
-    (Stats.mean o.read_only_latencies)
-    (Stats.percentile 95. o.read_only_latencies)
+    (Obs.Metrics.Histogram.mean o.update_latencies)
+    (Obs.Metrics.Histogram.percentile o.update_latencies 95.)
+    (Obs.Metrics.Histogram.mean o.read_only_latencies)
+    (Obs.Metrics.Histogram.percentile o.read_only_latencies 95.)
 
 type client = {
   cid : int;
@@ -76,8 +77,8 @@ type metrics = {
   mutable m_waits : int;
   mutable m_waits_ro : int;
   mutable m_restarts : int;
-  mutable m_upd_lat : float list;
-  mutable m_ro_lat : float list;
+  m_upd_lat : Obs.Metrics.Histogram.t;
+  m_ro_lat : Obs.Metrics.Histogram.t;
   mutable m_labels : (string * int) list;
 }
 
@@ -85,8 +86,15 @@ let bump_label m label =
   let n = Option.value ~default:0 (List.assoc_opt label m.m_labels) in
   m.m_labels <- (label, n + 1) :: List.remove_assoc label m.m_labels
 
-let run ?(config = default_config) system workload =
+let run ?(config = default_config) ?probe system workload =
   let rng = Rng.create config.seed in
+  let sim_now = ref 0 in
+  (match probe with
+  | Some sink ->
+    Cc.System.set_probe system
+      ~now:(fun () -> float_of_int !sim_now)
+      sink
+  | None -> ());
   let pq : int Pqueue.t = Pqueue.create () in
   let clients =
     Array.init config.clients (fun cid ->
@@ -112,8 +120,8 @@ let run ?(config = default_config) system workload =
       m_waits = 0;
       m_waits_ro = 0;
       m_restarts = 0;
-      m_upd_lat = [];
-      m_ro_lat = [];
+      m_upd_lat = Obs.Metrics.Histogram.create ();
+      m_ro_lat = Obs.Metrics.Histogram.create ();
       m_labels = [];
     }
   in
@@ -157,9 +165,16 @@ let run ?(config = default_config) system workload =
     | None -> ()
     | Some cycle ->
       let victim = Cc.Waits_for.victim cycle in
+      if Cc.System.probe_installed system then
+        Cc.System.emit_probe system
+          (Obs.Probe.Deadlock_victim
+             {
+               victim = Cc.Txn.id victim;
+               cycle = List.map Cc.Txn.id cycle;
+             });
       (match Hashtbl.find_opt txn_owner (Cc.Txn.id victim) with
       | Some vc ->
-        Cc.System.abort system victim;
+        Cc.System.abort ~reason:"deadlock" system victim;
         m.m_deadlock <- m.m_deadlock + 1;
         restart_after_abort vc ~time;
         wake_blocked ~time
@@ -178,8 +193,8 @@ let run ?(config = default_config) system workload =
     (match script.Workload.kind with
     | `Read_only ->
       m.m_committed_ro <- m.m_committed_ro + 1;
-      m.m_ro_lat <- latency :: m.m_ro_lat
-    | `Update -> m.m_upd_lat <- latency :: m.m_upd_lat);
+      Obs.Metrics.Histogram.observe m.m_ro_lat latency
+    | `Update -> Obs.Metrics.Histogram.observe m.m_upd_lat latency);
     c.script <- None;
     c.step_idx <- 0;
     c.txn <- None;
@@ -240,7 +255,7 @@ let run ?(config = default_config) system workload =
           c.blocked <- true;
           break_deadlock ~time
         | Cc.Atomic_object.Refused _ ->
-          Cc.System.abort system txn;
+          Cc.System.abort ~reason:"refused" system txn;
           m.m_refused <- m.m_refused + 1;
           restart_after_abort c ~time;
           wake_blocked ~time)
@@ -250,6 +265,25 @@ let run ?(config = default_config) system workload =
     (fun c -> schedule c ~time:(Rng.int rng (config.think_time + 2)))
     clients;
   let last_time = ref 0 in
+  (* With a probe installed, sample client occupancy whenever virtual
+     time advances: how many clients sit blocked, how many hold an open
+     transaction. *)
+  let sample_clients () =
+    if Cc.System.probe_installed system then begin
+      let blocked = ref 0 and active = ref 0 in
+      Array.iter
+        (fun c ->
+          if c.blocked then incr blocked;
+          if c.txn <> None then incr active)
+        clients;
+      Cc.System.emit_probe system
+        (Obs.Probe.Gauge_set
+           { name = "clients.blocked"; value = float_of_int !blocked });
+      Cc.System.emit_probe system
+        (Obs.Probe.Gauge_set
+           { name = "clients.active"; value = float_of_int !active })
+    end
+  in
   let guard = ref 0 in
   let max_events = 200 * config.duration * config.clients in
   let rec loop () =
@@ -258,12 +292,16 @@ let run ?(config = default_config) system workload =
     else
       match Pqueue.pop pq with
       | Some (time, cid) when time <= config.duration ->
+        if time > !last_time then sample_clients ();
         last_time := max !last_time time;
+        sim_now := time;
         proceed clients.(cid) ~time;
         loop ()
       | Some _ | None -> ()
   in
   loop ();
+  sample_clients ();
+  if probe <> None then Cc.System.clear_probe system;
   {
     committed = m.m_committed;
     committed_read_only = m.m_committed_ro;

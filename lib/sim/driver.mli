@@ -34,8 +34,9 @@ type outcome = {
   waits : int; (** blocked invocation attempts *)
   waits_read_only : int;
   restarts : int;
-  update_latencies : float list; (** begin-to-commit, in ticks *)
-  read_only_latencies : float list;
+  update_latencies : Weihl_obs.Metrics.Histogram.t;
+      (** begin-to-commit, in ticks *)
+  read_only_latencies : Weihl_obs.Metrics.Histogram.t;
   committed_by_label : (string * int) list;
   ticks : int; (** virtual time when the run ended *)
 }
@@ -46,5 +47,15 @@ val throughput : outcome -> float
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val run :
-  ?config:config -> Weihl_cc.System.t -> Workload.t -> outcome
-(** The system must already contain the workload's objects. *)
+  ?config:config ->
+  ?probe:Weihl_obs.Probe.sink ->
+  Weihl_cc.System.t ->
+  Workload.t ->
+  outcome
+(** The system must already contain the workload's objects.
+
+    When [probe] is given it is installed on the system for the
+    duration of the run with virtual time (ticks) as the clock, so the
+    sink sees every transaction and operation event, deadlock-victim
+    events, and [clients.blocked] / [clients.active] gauge samples at
+    each tick boundary.  The probe is removed before [run] returns. *)

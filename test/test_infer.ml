@@ -1,0 +1,68 @@
+(* The ADT-inference heuristic used by `weihl check` and `weihl
+   recover`: every built-in type is recognizable from a representative
+   operation list, and ambiguous names resolve deterministically. *)
+
+open Core
+open Weihl_event
+
+let infer_name ops =
+  match Adt_registry.infer_spec ops with
+  | Some spec -> Seq_spec.type_name spec
+  | None -> "<none>"
+
+let check_infer msg expected ops =
+  Alcotest.(check string) msg expected (infer_name ops)
+
+let op name = Operation.make name []
+
+let test_each_adt () =
+  check_infer "account" "bank_account"
+    [ op "deposit"; op "withdraw"; op "balance" ];
+  check_infer "fifo queue" "fifo_queue" [ op "enqueue"; op "dequeue" ];
+  check_infer "stack" "stack" [ op "push"; op "pop" ];
+  check_infer "kv map" "kv_map" [ op "put"; op "get" ];
+  check_infer "priority queue" "priority_queue"
+    [ op "add"; op "extract_min" ];
+  check_infer "counter" "counter" [ op "increment" ];
+  check_infer "blind counter" "blind_counter" [ op "bump" ];
+  check_infer "append log" "append_log" [ op "append" ];
+  check_infer "semiqueue" "semiqueue" [ op "enq"; op "deq" ];
+  check_infer "register" "register" [ op "write" ];
+  check_infer "intset" "intset" [ op "insert"; op "member" ]
+
+let test_ambiguity_is_deterministic () =
+  (* "add" alone could plausibly mean a set; the heuristic always
+     chooses the priority queue. *)
+  check_infer "bare add" "priority_queue" [ op "add" ];
+  (* "remove" belongs to the kv map even next to set-ish ops; the
+     map test runs first. *)
+  check_infer "remove + insert" "kv_map" [ op "insert"; op "remove" ];
+  (* A read-only history on an account is still an account. *)
+  check_infer "balance only" "bank_account" [ op "balance" ];
+  (* "size" alone falls through to the intset. *)
+  check_infer "size only" "intset" [ op "size" ]
+
+let test_unknown () =
+  check_infer "no match" "<none>" [ op "frobnicate" ];
+  check_infer "empty" "<none>" []
+
+let test_registry_catalogue () =
+  (* Every catalogued name resolves, and find agrees with the list. *)
+  List.iter
+    (fun (name, spec) ->
+      match Adt_registry.find name with
+      | None -> Alcotest.failf "%s not found" name
+      | Some s ->
+        Alcotest.(check string)
+          name (Seq_spec.type_name spec) (Seq_spec.type_name s))
+    Adt_registry.all;
+  Alcotest.(check bool) "unknown name" true (Adt_registry.find "nope" = None)
+
+let suite =
+  [
+    Alcotest.test_case "each ADT inferred" `Quick test_each_adt;
+    Alcotest.test_case "ambiguous names deterministic" `Quick
+      test_ambiguity_is_deterministic;
+    Alcotest.test_case "unknown operations" `Quick test_unknown;
+    Alcotest.test_case "registry catalogue" `Quick test_registry_catalogue;
+  ]

@@ -34,5 +34,8 @@ let () =
       ("two-phase commit", Test_tpc.suite);
       ("multicore runtime", Test_concurrent.suite);
       ("recovery", Test_recovery.suite);
+      ("stats edge cases", Test_stats.suite);
+      ("adt inference", Test_infer.suite);
+      ("observability", Test_obs.suite);
       ("properties (qcheck)", Test_props.suite);
     ]

@@ -1,0 +1,42 @@
+(* Edge cases of the summary statistics: percentile extremes,
+   singleton and empty inputs. *)
+
+open Core
+
+let check_f = Alcotest.(check (float 1e-9))
+
+let test_percentile_extremes () =
+  let xs = [ 4.; 1.; 3.; 5.; 2. ] in
+  check_f "p0 is the minimum" 1. (Stats.percentile 0. xs);
+  check_f "p100 is the maximum" 5. (Stats.percentile 100. xs);
+  check_f "p50 is the median" 3. (Stats.percentile 50. xs);
+  (* Nearest-rank: p20 of five elements is the first. *)
+  check_f "p20 of five" 1. (Stats.percentile 20. xs);
+  check_f "p20.1 of five" 2. (Stats.percentile 20.1 xs)
+
+let test_singleton () =
+  let xs = [ 7. ] in
+  check_f "mean" 7. (Stats.mean xs);
+  check_f "median" 7. (Stats.median xs);
+  check_f "p0" 7. (Stats.percentile 0. xs);
+  check_f "p100" 7. (Stats.percentile 100. xs);
+  check_f "min" 7. (Stats.minimum xs);
+  check_f "max" 7. (Stats.maximum xs);
+  check_f "stddev of one point" 0. (Stats.stddev xs)
+
+let test_empty () =
+  check_f "mean" 0. (Stats.mean []);
+  check_f "median" 0. (Stats.median []);
+  check_f "p0" 0. (Stats.percentile 0. []);
+  check_f "p95" 0. (Stats.percentile 95. []);
+  check_f "p100" 0. (Stats.percentile 100. []);
+  check_f "min" 0. (Stats.minimum []);
+  check_f "max" 0. (Stats.maximum []);
+  check_f "stddev" 0. (Stats.stddev [])
+
+let suite =
+  [
+    Alcotest.test_case "percentile extremes" `Quick test_percentile_extremes;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "empty" `Quick test_empty;
+  ]
