@@ -848,6 +848,395 @@ let o1 () =
   Fmt.pr "%a@.@.%s@." Driver.pp_outcome o (Obs.Recorder.report rec_)
 
 (* ------------------------------------------------------------------ *)
+(* J0 — machine-readable benchmark mode:  -- --json FILE               *)
+(*                                                                     *)
+(* Emits a JSON document with three sections: history-operation        *)
+(* micro-benchmarks (indexed implementation vs the naive list-scan     *)
+(* reference), a growing-history serializability check, and            *)
+(* end-to-end driver runs (run + history-analysis wall time).  The     *)
+(* committed BENCH_<n>.json files follow this schema; pass             *)
+(* [--baseline FILE] to embed a previous run under "seed_baseline".    *)
+(* ------------------------------------------------------------------ *)
+
+module J = Obs.Json
+
+let time_per ~reps f =
+  let t0 = Sys.time () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Sys.time () -. t0) *. 1e9 /. float_of_int reps
+
+let wall_ms f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, (Sys.time () -. t0) *. 1e3)
+
+(* Staggered-lifespan synthetic history: activity [i] performs
+   [ops_per] invoke/respond pairs starting at virtual tick
+   [i * (ops_per / 2 + 1)], then commits, so lifespans overlap and the
+   committed set grows steadily — the shape that stresses [perm] and
+   [precedes]. *)
+let synthetic_history ~activities:na ~objects:nx ~ops_per =
+  let acts = Array.init na (fun i -> Activity.update (Fmt.str "a%d" i)) in
+  let objs = Array.init nx (fun i -> Object_id.v (Fmt.str "o%d" i)) in
+  let groups = ref [] in
+  for i = 0 to na - 1 do
+    let start = i * ((ops_per / 2) + 1) in
+    for k = 0 to ops_per - 1 do
+      let x = objs.((i + k) mod nx) in
+      groups :=
+        ( start + k,
+          i,
+          [
+            Event.invoke acts.(i) x (Intset.insert ((i + k) mod 7));
+            Event.respond acts.(i) x Value.ok;
+          ] )
+        :: !groups
+    done;
+    groups :=
+      (start + ops_per, i, [ Event.commit acts.(i) objs.(i mod nx) ])
+      :: !groups
+  done;
+  let sorted =
+    List.sort
+      (fun (t, i, _) (t', i', _) ->
+        match Int.compare t t' with 0 -> Int.compare i i' | c -> c)
+      !groups
+  in
+  History.of_list (List.concat_map (fun (_, _, es) -> es) sorted)
+
+(* The naive arm is [History.Reference] — the seed's list-scan
+   implementations, retained in the library as the equivalence
+   oracle — timed against the indexed versions. *)
+module Naive = History.Reference
+
+let history_ops_section ~quick =
+  let na, nx, ops_per = if quick then (12, 4, 10) else (48, 12, 42) in
+  let h = synthetic_history ~activities:na ~objects:nx ~ops_per in
+  let n = History.length h in
+  let acts = History.activities h in
+  let objs = History.objects h in
+  let reps_idx = if quick then 20 else 100 in
+  let reps_naive = if quick then 4 else 10 in
+  let op name indexed naive =
+    let indexed_ns = time_per ~reps:reps_idx indexed in
+    let naive_ns = time_per ~reps:reps_naive naive in
+    J.Obj
+      [
+        ("name", J.Str name);
+        ("indexed_ns", J.Num indexed_ns);
+        ("naive_ns", J.Num naive_ns);
+        ( "speedup",
+          J.Num (if indexed_ns > 0. then naive_ns /. indexed_ns else 0.) );
+      ]
+  in
+  let ops =
+    [
+      op "project_object"
+        (fun () ->
+          List.fold_left
+            (fun acc x -> acc + History.length (History.project_object x h))
+            0 objs)
+        (fun () ->
+          List.fold_left
+            (fun acc x -> acc + History.length (Naive.project_object x h))
+            0 objs);
+      op "project_activity"
+        (fun () ->
+          List.fold_left
+            (fun acc a -> acc + History.length (History.project_activity a h))
+            0 acts)
+        (fun () ->
+          List.fold_left
+            (fun acc a -> acc + History.length (Naive.project_activity a h))
+            0 acts);
+      op "activities"
+        (fun () -> List.length (History.activities h))
+        (fun () -> List.length (Naive.activities h));
+      op "perm"
+        (fun () -> History.length (History.perm h))
+        (fun () -> History.length (Naive.perm h));
+      op "precedes"
+        (fun () -> List.length (History.precedes h))
+        (fun () -> List.length (Naive.precedes h));
+    ]
+  in
+  J.Obj
+    [
+      ("events", J.Num (float_of_int n));
+      ("activities", J.Num (float_of_int na));
+      ("objects", J.Num (float_of_int nx));
+      ("query_reps", J.Num (float_of_int reps_idx));
+      ("naive_reps", J.Num (float_of_int reps_naive));
+      ("ops", J.List ops);
+    ]
+
+(* A well-formed single-object history whose responses are consistent
+   with arrival order, grown event by event; each prefix is re-checked
+   for serializability of its committed projection. *)
+let serializability_events ~activities:na ~ops_per =
+  let xs = Object_id.v "s" in
+  let acts = Array.init na (fun i -> Activity.update (Fmt.str "a%d" i)) in
+  let groups = ref [] in
+  for i = 0 to na - 1 do
+    let start = i * ((ops_per / 2) + 1) in
+    for k = 0 to ops_per - 1 do
+      groups := (start + k, i, `Op k) :: !groups
+    done;
+    groups := (start + ops_per, i, `Commit) :: !groups
+  done;
+  let sorted =
+    List.sort
+      (fun (t, i, _) (t', i', _) ->
+        match Int.compare t t' with 0 -> Int.compare i i' | c -> c)
+      !groups
+  in
+  let frontier = ref (Seq_spec.start Intset.spec) in
+  let events =
+    List.concat_map
+      (fun (_, i, what) ->
+        match what with
+        | `Commit -> [ Event.commit acts.(i) xs ]
+        | `Op k ->
+          let op =
+            if k mod 2 = 0 then Intset.insert ((i + k) mod 3)
+            else Intset.member ((i + k) mod 3)
+          in
+          let res, f' =
+            match Seq_spec.outcomes !frontier op with
+            | (res, f') :: _ -> (res, f')
+            | [] -> assert false
+          in
+          frontier := f';
+          [ Event.invoke acts.(i) xs op; Event.respond acts.(i) xs res ])
+      sorted
+  in
+  (Spec_env.of_list [ (xs, Intset.spec) ], events)
+
+(* A contended variant: the first two activities must serialize in
+   reverse arrival order (an inserter commits, then an auditor observes
+   member = false, so the auditor belongs BEFORE the inserter), followed
+   by [extras] arrival-order-consistent activities.  A search that
+   extends the serial prefix in arrival order dead-ends under every
+   subset of the extras before it reorders the head pair, so the
+   workload exercises the rejected-frontier memo; the incremental
+   checker re-validates its cached witness in one linear pass. *)
+let contended_serializability_events ~extras =
+  let xs = Object_id.v "s" in
+  let b = Activity.update "b-insert" in
+  let c = Activity.update "c-audit" in
+  let head =
+    [
+      Event.invoke b xs (Intset.insert 99);
+      Event.respond b xs Value.ok;
+      Event.commit b xs;
+      Event.invoke c xs (Intset.member 99);
+      Event.respond c xs (Value.Bool false);
+      Event.commit c xs;
+    ]
+  in
+  let tail =
+    List.concat_map
+      (fun i ->
+        let d = Activity.update (Fmt.str "d%d" i) in
+        [
+          Event.invoke d xs (Intset.insert (i mod 7));
+          Event.respond d xs Value.ok;
+          Event.commit d xs;
+        ])
+      (List.init extras (fun i -> i))
+  in
+  (Spec_env.of_list [ (xs, Intset.spec) ], head @ tail)
+
+let serializability_section ~quick =
+  let na, ops_per = if quick then (4, 2) else (7, 3) in
+  let env, events = serializability_events ~activities:na ~ops_per in
+  let n = List.length events in
+  let witnesses = ref 0 in
+  let (), one_shot_ms =
+    wall_ms (fun () ->
+        let h = ref History.empty in
+        List.iter
+          (fun e ->
+            h := History.append !h e;
+            match Serializability.serializable env (History.perm !h) with
+            | Some _ -> incr witnesses
+            | None -> ())
+          events)
+  in
+  (* Same growing re-check through [Serializability.Incremental], which
+     caches the last witness and validates it with one linear block
+     fold before falling back to the full search. *)
+  let inc_witnesses = ref 0 in
+  let (), incremental_ms =
+    wall_ms (fun () ->
+        let inc = Serializability.Incremental.create env in
+        let h = ref History.empty in
+        List.iter
+          (fun e ->
+            h := History.append !h e;
+            match Serializability.Incremental.check inc (History.perm !h) with
+            | Some _ -> incr inc_witnesses
+            | None -> ())
+          events)
+  in
+  let extras = if quick then 6 else 12 in
+  let cenv, cevents = contended_serializability_events ~extras in
+  let c_full = ref 0 and c_inc = ref 0 in
+  let (), c_full_ms =
+    wall_ms (fun () ->
+        let h = ref History.empty in
+        List.iter
+          (fun e ->
+            h := History.append !h e;
+            match Serializability.serializable cenv (History.perm !h) with
+            | Some _ -> incr c_full
+            | None -> ())
+          cevents)
+  in
+  let (), c_inc_ms =
+    wall_ms (fun () ->
+        let inc = Serializability.Incremental.create cenv in
+        let h = ref History.empty in
+        List.iter
+          (fun e ->
+            h := History.append !h e;
+            match Serializability.Incremental.check inc (History.perm !h) with
+            | Some _ -> incr c_inc
+            | None -> ())
+          cevents)
+  in
+  J.Obj
+    [
+      ("events", J.Num (float_of_int n));
+      ("activities", J.Num (float_of_int na));
+      ("prefixes_with_witness", J.Num (float_of_int !witnesses));
+      ("one_shot_ms", J.Num one_shot_ms);
+      ("incremental_ms", J.Num incremental_ms);
+      ( "incremental_speedup",
+        J.Num (if incremental_ms > 0. then one_shot_ms /. incremental_ms else 0.)
+      );
+      ("incremental_agrees", J.Bool (!inc_witnesses = !witnesses));
+      ("contended_events", J.Num (float_of_int (List.length cevents)));
+      ("contended_activities", J.Num (float_of_int (extras + 2)));
+      ("contended_full_ms", J.Num c_full_ms);
+      ("contended_incremental_ms", J.Num c_inc_ms);
+      ( "contended_incremental_speedup",
+        J.Num (if c_inc_ms > 0. then c_full_ms /. c_inc_ms else 0.) );
+      ("contended_agrees", J.Bool (!c_full = !c_inc));
+    ]
+
+let sim_section ~quick =
+  let duration = if quick then 300 else 1200 in
+  let accounts = 16 in
+  let scenario protocol pname clients =
+    let sys = build_accounts protocol (Workload.account_ids accounts) in
+    let w = Workload.banking ~accounts ~audit_fraction:0.15 () in
+    let config =
+      {
+        Driver.default_config with
+        clients;
+        duration;
+        seed = 5;
+        max_restarts = 6;
+      }
+    in
+    let o, run_wall = wall_ms (fun () -> Driver.run ~config sys w) in
+    let h = System.history sys in
+    (* [precedes] of a long multi-thousand-activity run is quadratic in
+       its OUTPUT (every later activity follows every earlier commit),
+       so the analysis phase takes it over a bounded tail window; the
+       whole-history projections and the well-formedness scan run in
+       full. *)
+    let tail_window =
+      let es = History.to_list h in
+      let n = List.length es in
+      let rec drop k l = if k <= 0 then l else drop (k - 1) (List.tl l) in
+      History.of_list (if n > 300 then drop (n - 300) es else es)
+    in
+    let (n_acts, n_perm, n_prec, wf, n_view), analyze_wall =
+      wall_ms (fun () ->
+          let acts = History.activities h in
+          let n_acts = List.length acts in
+          let p = History.length (History.perm h) in
+          let prec = List.length (History.precedes tail_window) in
+          let wf = Wellformed.is_well_formed Wellformed.Base h in
+          (* View extraction: materialize h|a for every activity and
+             h|x for every object — the per-transaction/per-object
+             views that conflict and serializability analyses consume
+             (serializability's block computation is exactly the
+             per-activity pass). *)
+          let n_view =
+            List.fold_left
+              (fun acc a -> acc + History.length (History.project_activity a h))
+              0 acts
+            + List.fold_left
+                (fun acc x -> acc + History.length (History.project_object x h))
+                0 (History.objects h)
+          in
+          (n_acts, p, prec, wf, n_view))
+    in
+    J.Obj
+      [
+        ("name", J.Str (Fmt.str "banking-%s" pname));
+        ("clients", J.Num (float_of_int clients));
+        ("duration_ticks", J.Num (float_of_int duration));
+        ("committed", J.Num (float_of_int o.Driver.committed));
+        ("waits", J.Num (float_of_int o.Driver.waits));
+        ("throughput_per_1000_ticks", J.Num (Driver.throughput o));
+        ("run_wall_ms", J.Num run_wall);
+        ("analyze_wall_ms", J.Num analyze_wall);
+        ("total_wall_ms", J.Num (run_wall +. analyze_wall));
+        ("history_events", J.Num (float_of_int (History.length h)));
+        ("history_activities", J.Num (float_of_int n_acts));
+        ("perm_events", J.Num (float_of_int n_perm));
+        ("precedes_pairs", J.Num (float_of_int n_prec));
+        ("view_events", J.Num (float_of_int n_view));
+        ("well_formed", J.Bool wf);
+      ]
+  in
+  J.List
+    (List.concat_map
+       (fun clients ->
+         [
+           scenario `Rw "rw-2pl" clients;
+           scenario `Hybrid "hybrid" clients;
+         ])
+       [ 8; 32 ])
+
+let json_mode ~file ~quick ~baseline =
+  let sections =
+    [
+      ("schema", J.Str "weihl-bench/1");
+      ("mode", J.Str (if quick then "quick" else "full"));
+      ("history_ops", history_ops_section ~quick);
+      ("serializability", serializability_section ~quick);
+      ("sim", sim_section ~quick);
+    ]
+  in
+  let sections =
+    match baseline with
+    | None -> sections
+    | Some path -> (
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      match J.of_string text with
+      | Ok v -> sections @ [ ("seed_baseline", v) ]
+      | Error e ->
+        Fmt.epr "warning: could not parse baseline %s: %s@." path e;
+        sections)
+  in
+  let doc = J.Obj sections in
+  let oc = open_out file in
+  output_string oc (J.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote %s@." file
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -857,14 +1246,25 @@ let experiments =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let args = Array.to_list Sys.argv in
+  let rec parse json quick baseline names = function
+    | [] -> (json, quick, baseline, List.rev names)
+    | "--json" :: file :: rest -> parse (Some file) quick baseline names rest
+    | "--quick" :: rest -> parse json true baseline names rest
+    | "--baseline" :: file :: rest -> parse json quick (Some file) names rest
+    | name :: rest -> parse json quick baseline (name :: names) rest
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt (String.lowercase_ascii name) experiments with
-      | Some f -> f ()
-      | None -> Fmt.epr "unknown experiment %s (have: e1-e7, a1-a4, b0, o1)@." name)
-    requested
+  let json, quick, baseline, names = parse None false None [] (List.tl args) in
+  match json with
+  | Some file -> json_mode ~file ~quick ~baseline
+  | None ->
+    let requested =
+      match names with [] -> List.map fst experiments | _ -> names
+    in
+    List.iter
+      (fun name ->
+        match List.assoc_opt (String.lowercase_ascii name) experiments with
+        | Some f -> f ()
+        | None ->
+          Fmt.epr "unknown experiment %s (have: e1-e7, a1-a4, b0, o1)@." name)
+      requested

@@ -10,6 +10,7 @@ type entry = {
 
 type state = {
   mutable entries : entry list;
+  by_txn : (int, entry) Hashtbl.t; (* same entries, by transaction id *)
   mutable base : Seq_spec.frontier;
       (* the folded prefix: committed transactions pinned before every
          other live transaction, already applied *)
@@ -21,11 +22,18 @@ let tick st =
   st.clock <- st.clock + 1;
   st.clock
 
+let find_entry st txn = Hashtbl.find_opt st.by_txn (Txn.id txn)
+
+let drop_entry st e =
+  Hashtbl.remove st.by_txn (Txn.id e.txn);
+  st.entries <- List.filter (fun e' -> not (e == e')) st.entries
+
 let entry_for st txn =
-  match List.find_opt (fun e -> Txn.equal e.txn txn) st.entries with
+  match find_entry st txn with
   | Some e -> e
   | None ->
     let e = { txn; ops = []; last_resp = 0; commit_time = None } in
+    Hashtbl.replace st.by_txn (Txn.id txn) e;
     st.entries <- e :: st.entries;
     e
 
@@ -144,13 +152,14 @@ let rec fold_settled st =
     (match folded with
     | Some f -> st.base <- f
     | None -> invalid_arg "Da_generic: settled prefix no longer replays");
-    st.entries <- List.filter (fun e' -> not (e == e')) st.entries;
+    drop_entry st e;
     fold_settled st
 
 let make ?(max_serializations = 2000) log id spec : Atomic_object.t =
   let olog = Obj_log.create log id in
   let st =
-    { entries = []; base = Seq_spec.start spec; clock = 0; max_serializations }
+    { entries = []; by_txn = Hashtbl.create 16; base = Seq_spec.start spec;
+      clock = 0; max_serializations }
   in
   let try_invoke txn op =
     Obj_log.invoked olog txn op;
@@ -213,14 +222,16 @@ let make ?(max_serializations = 2000) log id spec : Atomic_object.t =
         else Atomic_object.Wait (List.map (fun e -> e.txn) other_active)
   in
   let commit txn =
-    (match List.find_opt (fun e -> Txn.equal e.txn txn) st.entries with
+    (match find_entry st txn with
     | Some e -> e.commit_time <- Some (tick st)
     | None -> ());
     fold_settled st;
     Obj_log.committed olog txn
   in
   let abort txn =
-    st.entries <- List.filter (fun e -> not (Txn.equal e.txn txn)) st.entries;
+    (match find_entry st txn with
+    | Some e -> drop_entry st e
+    | None -> ());
     fold_settled st;
     Obj_log.aborted olog txn
   in

@@ -1,9 +1,14 @@
 open Weihl_event
 
-type t = { mutable events : Event.t list (* newest first *) }
+(* Backed directly by a history: [record] is an O(1) [History.append],
+   and [history] an O(1) snapshot.  Because [append] extends any index
+   its argument has already built, analyses that query successive
+   snapshots of a growing log get incremental index maintenance for
+   free instead of a rebuild per snapshot. *)
+type t = { mutable h : History.t }
 
-let create () = { events = [] }
-let record t e = t.events <- e :: t.events
-let history t = History.of_list (List.rev t.events)
-let length t = List.length t.events
-let clear t = t.events <- []
+let create () = { h = History.empty }
+let record t e = t.h <- History.append t.h e
+let history t = t.h
+let length t = History.length t.h
+let clear t = t.h <- History.empty

@@ -10,7 +10,7 @@ type t = {
   clock : Lamport_clock.t;
   mutable objects : Atomic_object.t Object_id.Map.t;
   mutable next_txn_id : int;
-  mutable txns : Txn.t list;
+  txns : (int, Txn.t) Hashtbl.t; (* by id; completed txns are pruned *)
   mutable ts_source : (unit -> Timestamp.t) option;
   waits : Waits_for.t;
   mutable probe : probe option;
@@ -23,7 +23,7 @@ let create ?(policy = `None_) () =
     clock = Lamport_clock.create ();
     objects = Object_id.Map.empty;
     next_txn_id = 0;
-    txns = [];
+    txns = Hashtbl.create 64;
     ts_source = None;
     waits = Waits_for.create ();
     probe = None;
@@ -75,7 +75,7 @@ let begin_txn t activity =
   | `Hybrid ->
     if Activity.is_read_only activity then
       Txn.set_init_ts txn (Lamport_clock.next t.clock));
-  t.txns <- txn :: t.txns;
+  Hashtbl.replace t.txns (Txn.id txn) txn;
   if t.probe <> None then
     emit_probe t
       (Weihl_obs.Probe.Txn_begin
@@ -93,7 +93,7 @@ let require_active txn =
 let invoke t txn x op =
   require_active txn;
   let obj = find_object_exn t x in
-  if not (List.exists (Object_id.equal x) (Txn.touched txn)) then begin
+  if not (Txn.mem_touched txn x) then begin
     obj.initiate txn;
     Txn.touch txn x
   end;
@@ -144,6 +144,7 @@ let commit t txn =
     (fun x -> (find_object_exn t x).commit txn)
     (List.rev (Txn.touched txn));
   Txn.set_status txn Txn.Committed;
+  Hashtbl.remove t.txns (Txn.id txn);
   Waits_for.clear t.waits txn;
   if t.probe <> None then
     emit_probe t (Weihl_obs.Probe.Txn_commit { txn = Txn.id txn })
@@ -154,6 +155,7 @@ let abort ?(reason = "abort") t txn =
     (fun x -> (find_object_exn t x).abort txn)
     (List.rev (Txn.touched txn));
   Txn.set_status txn Txn.Aborted;
+  Hashtbl.remove t.txns (Txn.id txn);
   Waits_for.clear t.waits txn;
   if t.probe <> None then
     emit_probe t (Weihl_obs.Probe.Txn_abort { txn = Txn.id txn; reason })
@@ -162,4 +164,10 @@ let waiting t txn = Waits_for.blockers t.waits txn
 let waiters t = Waits_for.waiter_count t.waits
 let waits_snapshot t = Waits_for.snapshot t.waits
 let find_deadlock t = Waits_for.find_cycle t.waits
-let active_txns t = List.filter Txn.is_active t.txns
+let active_txns t =
+  (* Completed transactions are removed at commit/abort, so the table
+     holds (at most) the live ones; sort newest-first to match the
+     former list order. *)
+  Hashtbl.fold (fun _ txn acc -> if Txn.is_active txn then txn :: acc else acc)
+    t.txns []
+  |> List.sort (fun a b -> Int.compare (Txn.id b) (Txn.id a))

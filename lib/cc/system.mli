@@ -79,6 +79,9 @@ val find_deadlock : t -> Txn.t list option
 (** A cycle of waiting transactions, if any. *)
 
 val active_txns : t -> Txn.t list
+(** Live transactions, newest first.  The system drops transactions
+    from its tracking table as they commit or abort, so this is O(live)
+    rather than O(ever started). *)
 
 (** {1 Instrumentation}
 

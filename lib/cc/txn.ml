@@ -8,12 +8,13 @@ type t = {
   mutable status : status;
   mutable init_ts : Timestamp.t option;
   mutable commit_ts : Timestamp.t option;
-  mutable touched : Object_id.t list;
+  mutable touched : Object_id.t list; (* newest first *)
+  touched_set : (string, unit) Hashtbl.t; (* same objects, by name *)
 }
 
 let make ~id activity =
   { id; activity; status = Active; init_ts = None; commit_ts = None;
-    touched = [] }
+    touched = []; touched_set = Hashtbl.create 8 }
 
 let id t = t.id
 let activity t = t.activity
@@ -32,9 +33,13 @@ let commit_ts t = t.commit_ts
 let set_commit_ts t ts = t.commit_ts <- Some ts
 let touched t = t.touched
 
+let mem_touched t x = Hashtbl.mem t.touched_set (Object_id.name x)
+
 let touch t x =
-  if not (List.exists (Object_id.equal x) t.touched) then
+  if not (mem_touched t x) then begin
+    Hashtbl.replace t.touched_set (Object_id.name x) ();
     t.touched <- x :: t.touched
+  end
 
 let equal a b = Int.equal a.id b.id
 let compare a b = Int.compare a.id b.id

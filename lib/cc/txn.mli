@@ -32,6 +32,10 @@ val set_commit_ts : t -> Timestamp.t -> unit
 val touched : t -> Object_id.t list
 val touch : t -> Object_id.t -> unit
 
+val mem_touched : t -> Object_id.t -> bool
+(** O(1) membership in the touched set (hash lookup, not a list
+    scan). *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

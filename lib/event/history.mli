@@ -3,15 +3,27 @@
     All of the paper's derived notions live here: the projections [h|x]
     and [h|a], the committed projection [perm(h)], the update
     projection [updates(h)], the [precedes(h)] relation of Section 4.1,
-    and equivalence of histories. *)
+    and equivalence of histories.
 
-type t = Event.t list
-(** A history is an event sequence in temporal order (head first). *)
+    The representation is indexed: [append] is O(1), and the derived
+    views ([project_object], [project_activity], [activities],
+    [objects], [committed], [perm], [precedes], [timestamp_of]) are
+    answered from lazily built per-object/per-activity indexes that
+    [append] extends incrementally once built, instead of re-scanning
+    the whole event list on every query.  Observable behaviour is
+    identical to the naive list-scan definitions, which are retained in
+    {!Reference} as an equivalence oracle. *)
+
+type t
+(** A history is an event sequence in temporal order. *)
 
 val empty : t
 val append : t -> Event.t -> t
+
 val of_list : Event.t list -> t
 val to_list : t -> Event.t list
+(** [to_list h] is the event sequence in temporal order (head first). *)
+
 val length : t -> int
 val equal : t -> t -> bool
 
@@ -57,7 +69,8 @@ val precedes : t -> (Activity.t * Activity.t) list
     duplicate-free association list. *)
 
 val precedes_mem : t -> Activity.t -> Activity.t -> bool
-(** [precedes_mem h a b] iff [(a,b) ∈ precedes(h)]. *)
+(** [precedes_mem h a b] iff [(a,b) ∈ precedes(h)].  O(log n) against
+    the precedes index, unlike scanning the [precedes] list. *)
 
 val timestamp_of : t -> Activity.t -> Timestamp.t option
 (** The timestamp attached to [a]'s timestamp events (initiations, or
@@ -81,7 +94,31 @@ val concat_serial : Activity.t list -> t -> t
     activity order.  Activities of [h] absent from [order] are
     dropped. *)
 
+val iter : (Event.t -> unit) -> t -> unit
+(** Iterate over the events in temporal order. *)
+
+val fold_left : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+(** Fold over the events in temporal order. *)
+
 val pp : Format.formatter -> t -> unit
 (** One event per line, in the paper's notation. *)
 
 val to_string : t -> string
+
+(** Naive list-scan implementations of the indexed queries, retained as
+    an equivalence oracle (property tests check the indexed queries
+    against these on random histories) and as the benchmark's naive
+    arm.  Semantics are the pre-index definitions, verbatim. *)
+module Reference : sig
+  val project_object : Object_id.t -> t -> t
+  val project_activity : Activity.t -> t -> t
+  val activities : t -> Activity.t list
+  val objects : t -> Object_id.t list
+  val committed : t -> Activity.Set.t
+  val aborted : t -> Activity.Set.t
+  val active : t -> Activity.Set.t
+  val perm : t -> t
+  val precedes : t -> (Activity.t * Activity.t) list
+  val precedes_mem : t -> Activity.t -> Activity.t -> bool
+  val timestamp_of : t -> Activity.t -> Timestamp.t option
+end

@@ -92,7 +92,7 @@ let check mode h =
     if not (List.exists (Timestamp.equal t) s.stamps) then
       set a { s with stamps = t :: s.stamps }
   in
-  List.iter
+  History.iter
     (fun e ->
       let a = Event.activity e in
       let s = get a in

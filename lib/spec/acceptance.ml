@@ -1,6 +1,7 @@
 open Weihl_event
 
 let object_accepts spec h =
+  let events = History.to_list h in
   let rec go frontier pending = function
     | [] -> true
     | e :: rest -> (
@@ -22,7 +23,7 @@ let object_accepts spec h =
             (fun e' ->
               Activity.equal (Event.activity e') a
               && (Event.is_invoke e' || Event.is_respond e'))
-            h
+            events
         then
           invalid_arg
             "Acceptance.object_accepts: aborted activity with operation \
@@ -30,7 +31,7 @@ let object_accepts spec h =
         else go frontier pending rest
       | Commit _ | Initiate _ -> go frontier pending rest)
   in
-  go (Seq_spec.start spec) None h
+  go (Seq_spec.start spec) None events
 
 let accepts env h =
   List.for_all

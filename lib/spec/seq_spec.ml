@@ -14,13 +14,21 @@ type t = (module S)
 
 let type_name (module S : S) = S.type_name
 
+(* The [Type.Id.t] is minted per [start] call and carried through every
+   [advance]/[outcomes]: it both witnesses the state type (so
+   [equal_frontier] can compare the existentially typed state lists)
+   and scopes equality to one lineage — frontiers descending from
+   different [start]s are never considered equal, which is the
+   conservative answer memoizers need. *)
 type frontier =
-  | Frontier : (module S with type state = 's) * 's list -> frontier
+  | Frontier :
+      (module S with type state = 's) * 's Type.Id.t * 's list
+      -> frontier
 
 let start ((module S : S) as _spec : t) =
-  Frontier ((module S), [ S.initial ])
+  Frontier ((module S), Type.Id.make (), [ S.initial ])
 
-let spec_of (Frontier ((module S), _)) : t = (module S)
+let spec_of (Frontier ((module S), _, _)) : t = (module S)
 
 let dedup equal states =
   List.fold_left
@@ -28,7 +36,7 @@ let dedup equal states =
     [] states
   |> List.rev
 
-let advance (Frontier ((module S), states)) op res =
+let advance (Frontier ((module S), id, states)) op res =
   let next =
     List.concat_map
       (fun s ->
@@ -38,9 +46,9 @@ let advance (Frontier ((module S), states)) op res =
       states
     |> dedup S.equal_state
   in
-  match next with [] -> None | _ -> Some (Frontier ((module S), next))
+  match next with [] -> None | _ -> Some (Frontier ((module S), id, next))
 
-let outcomes (Frontier ((module S), states)) op =
+let outcomes (Frontier ((module S), id, states)) op =
   (* Gather every (result, next-state), then group by result. *)
   let all = List.concat_map (fun s -> S.step s op) states in
   let results =
@@ -54,10 +62,10 @@ let outcomes (Frontier ((module S), states)) op =
           all
         |> dedup S.equal_state
       in
-      (res, Frontier ((module S), next)))
+      (res, Frontier ((module S), id, next)))
     results
 
-let advance_changes (Frontier ((module S), states)) op res =
+let advance_changes (Frontier ((module S), _, states)) op res =
   let next =
     List.concat_map
       (fun s ->
@@ -79,5 +87,14 @@ let advance_changes (Frontier ((module S), states)) op res =
 let determined f op =
   match outcomes f op with [ (res, _) ] -> Some res | _ -> None
 
-let pp_frontier ppf (Frontier ((module S), states)) =
+let equal_frontier (Frontier ((module S), id1, s1)) (Frontier (_, id2, s2)) =
+  match Type.Id.provably_equal id1 id2 with
+  | None -> false
+  | Some Type.Equal ->
+    (* Same lineage, hence same state type: compare as sets (frontiers
+       are deduplicated, so mutual inclusion plus equal length works). *)
+    List.length s1 = List.length s2
+    && List.for_all (fun s -> List.exists (S.equal_state s) s2) s1
+
+let pp_frontier ppf (Frontier ((module S), _, states)) =
   Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any " | ") S.pp_state) states

@@ -73,4 +73,10 @@ val determined : frontier -> Operation.t -> Value.t option
     permissible for [op] from [f].  Used by online protocols that must
     return a definite answer. *)
 
+val equal_frontier : frontier -> frontier -> bool
+(** State-set equality of two frontiers descending from the {e same}
+    [start] call.  Frontiers from different [start] calls compare
+    unequal even if their states coincide — the conservative answer,
+    which is what memoizers pruning repeated frontier states need. *)
+
 val pp_frontier : Format.formatter -> frontier -> unit

@@ -14,74 +14,138 @@ let serializable_naive env h =
   let acts = History.activities h in
   Seq.find (fun order -> in_order env h order) (Orders.permutations acts)
 
-(* Backtracking with prefix pruning: maintain one specification
-   frontier per object; an activity can extend the serial prefix only
-   if every object accepts its whole block of (operation, result)
-   pairs.  Rejected prefixes cut the entire subtree. *)
+(* --- shared block machinery ---------------------------------------
+
+   A serial order is checked one whole activity at a time: each
+   activity contributes a block of (object, operation, result) triples
+   in program order, and a candidate prefix is acceptable iff folding
+   those triples through one specification frontier per object never
+   gets stuck.  The blocks depend only on the history, so they are
+   computed once per check, not per search node; likewise the start
+   frontiers are created once per check so that frontier states reached
+   by different placement orders share a lineage and can be compared
+   (see [Seq_spec.equal_frontier]). *)
+
+let blocks_of h =
+  List.map
+    (fun a ->
+      let ops =
+        List.filter_map
+          (fun e ->
+            match (e : Event.t) with
+            | Invoke (a', x, op) when Activity.equal a a' -> Some (`I (x, op))
+            | Respond (a', x, res) when Activity.equal a a' ->
+              Some (`R (x, res))
+            | _ -> None)
+          (History.to_list (History.project_activity a h))
+      in
+      (* Pair invocations with their responses (a trailing pending
+         invocation has no effect on any serial frontier). *)
+      let rec pair = function
+        | `I (x, op) :: `R (x', res) :: rest when Object_id.equal x x' ->
+          (x, op, res) :: pair rest
+        | `I (_, _) :: rest -> pair rest
+        | `R (_, _) :: rest -> pair rest (* unmatched: ignore *)
+        | [] -> []
+      in
+      (a, pair ops))
+    (History.activities h)
+
+let starts_of env h =
+  List.fold_left
+    (fun m x ->
+      match Spec_env.find env x with
+      | Some spec -> Object_id.Map.add x (Seq_spec.start spec) m
+      | None -> m)
+    Object_id.Map.empty (History.objects h)
+
+let apply_block ~starts frontiers ops =
+  List.fold_left
+    (fun frontiers (x, op, res) ->
+      match frontiers with
+      | None -> None
+      | Some fs -> (
+        let frontier =
+          match Object_id.Map.find_opt x fs with
+          | Some f -> Some f
+          | None -> Object_id.Map.find_opt x starts
+        in
+        match frontier with
+        | None ->
+          invalid_arg
+            (Fmt.str "Serializability: no specification for object %a"
+               Object_id.pp x)
+        | Some f -> (
+          match Seq_spec.advance f op res with
+          | None -> None
+          | Some f' -> Some (Object_id.Map.add x f' fs))))
+    (Some frontiers) ops
+
+(* Fold a whole candidate order through the blocks; [Some _] iff every
+   activity's block is accepted in that order.  Activities in [order]
+   without a block are skipped. *)
+let apply_order ~starts blocks order =
+  List.fold_left
+    (fun frontiers a ->
+      match frontiers with
+      | None -> None
+      | Some fs -> (
+        match List.find_opt (fun (b, _) -> Activity.equal a b) blocks with
+        | None -> Some fs
+        | Some (_, ops) -> apply_block ~starts fs ops))
+    (Some Object_id.Map.empty) order
+
+(* Backtracking with prefix pruning: an activity can extend the serial
+   prefix only if every object accepts its whole block.  Rejected
+   prefixes cut the entire subtree, and a memo of already-failed
+   (placed-activity-set, frontier-map) states prunes permutations of
+   the same prefix that lead to a frontier state known to be a dead
+   end — when blocks commute, factorially many placement orders
+   collapse onto one frontier state. *)
 let serializable env h =
-  let acts = History.activities h in
-  (* Pre-split each activity's operations per object, in program
-     order. *)
-  let blocks =
-    List.map
-      (fun a ->
-        let ops =
-          List.filter_map
-            (fun e ->
-              match (e : Event.t) with
-              | Invoke (a', x, op) when Activity.equal a a' -> Some (`I (x, op))
-              | Respond (a', x, res) when Activity.equal a a' ->
-                Some (`R (x, res))
-              | _ -> None)
-            (History.to_list (History.project_activity a h))
-        in
-        (* Pair invocations with their responses (a trailing pending
-           invocation has no effect on any serial frontier). *)
-        let rec pair = function
-          | `I (x, op) :: `R (x', res) :: rest when Object_id.equal x x' ->
-            (x, op, res) :: pair rest
-          | `I (_, _) :: rest -> pair rest
-          | `R (_, _) :: rest -> pair rest (* unmatched: ignore *)
-          | [] -> []
-        in
-        (a, pair ops))
-      acts
+  let blocks = blocks_of h in
+  let starts = starts_of env h in
+  let frontier_maps_equal = Object_id.Map.equal Seq_spec.equal_frontier in
+  let failed : (string, Seq_spec.frontier Object_id.Map.t list ref) Hashtbl.t =
+    Hashtbl.create 64
   in
-  let apply_block frontiers (_, ops) =
-    List.fold_left
-      (fun frontiers (x, op, res) ->
-        match frontiers with
-        | None -> None
-        | Some fs -> (
-          let frontier =
-            match Object_id.Map.find_opt x fs with
-            | Some f -> Some f
-            | None ->
-              Option.map Seq_spec.start (Spec_env.find env x)
-          in
-          match frontier with
-          | None ->
-            invalid_arg
-              (Fmt.str "Serializability: no specification for object %a"
-                 Object_id.pp x)
-          | Some f -> (
-            match Seq_spec.advance f op res with
-            | None -> None
-            | Some f' -> Some (Object_id.Map.add x f' fs))))
-      (Some frontiers) ops
+  let key_of chosen =
+    String.concat "\x00"
+      (List.sort String.compare (List.map Activity.name chosen))
+  in
+  let seen_failed key fs =
+    match Hashtbl.find_opt failed key with
+    | None -> false
+    | Some l -> List.exists (frontier_maps_equal fs) !l
+  in
+  let record_failed key fs =
+    match Hashtbl.find_opt failed key with
+    | Some l -> l := fs :: !l
+    | None -> Hashtbl.add failed key (ref [ fs ])
   in
   let rec search frontiers chosen remaining =
     match remaining with
     | [] -> Some (List.rev chosen)
     | _ ->
-      List.find_map
-        (fun ((a, _) as block) ->
-          match apply_block frontiers block with
-          | None -> None
-          | Some frontiers' ->
-            search frontiers' (a :: chosen)
-              (List.filter (fun (b, _) -> not (Activity.equal a b)) remaining))
-        remaining
+      let key = key_of chosen in
+      if seen_failed key frontiers then None
+      else
+        let result =
+          List.find_map
+            (fun (a, ops) ->
+              match apply_block ~starts frontiers ops with
+              | None -> None
+              | Some frontiers' ->
+                search frontiers' (a :: chosen)
+                  (List.filter
+                     (fun (b, _) -> not (Activity.equal a b))
+                     remaining))
+            remaining
+        in
+        (match result with
+        | None -> record_failed key frontiers
+        | Some _ -> ());
+        result
   in
   search Object_id.Map.empty [] blocks
 
@@ -92,3 +156,40 @@ let in_every_order_consistent_with env h pairs =
      no consistent order to serialize in. *)
   (not (Seq.is_empty exts))
   && Seq.for_all (fun order -> in_order env h order) exts
+
+(* --- incremental re-checking --------------------------------------
+
+   Checking a growing history after every event repeats nearly all of
+   the previous check's work: a witness order for the longer history is
+   almost always the previous witness with the new activities appended.
+   [Incremental] caches the last witness and validates that candidate
+   with one O(events) block fold before falling back to the full
+   search.  Soundness: the fast path only ever answers [Some order]
+   after the block fold has verified [order] end-to-end, so its answers
+   are genuine witnesses — exactly the orders [serializable] itself
+   would accept. *)
+module Incremental = struct
+  type t = { env : Spec_env.t; mutable witness : Activity.t list }
+
+  let create env = { env; witness = [] }
+
+  let check t h =
+    let acts = History.activities h in
+    let mem a l = List.exists (Activity.equal a) l in
+    let kept = List.filter (fun a -> mem a acts) t.witness in
+    let candidate =
+      kept @ List.filter (fun a -> not (mem a kept)) acts
+    in
+    let blocks = blocks_of h in
+    let starts = starts_of t.env h in
+    match apply_order ~starts blocks candidate with
+    | Some _ ->
+      t.witness <- candidate;
+      Some candidate
+    | None -> (
+      match serializable t.env h with
+      | Some w ->
+        t.witness <- w;
+        Some w
+      | None -> None)
+end

@@ -20,7 +20,10 @@ val serializable : Spec_env.t -> History.t -> Activity.t list option
     Implemented as a backtracking search that extends a serial prefix
     one whole activity at a time and prunes as soon as some object
     rejects the prefix — still factorial in the worst case, but far
-    faster than enumerating permutations on typical histories. *)
+    faster than enumerating permutations on typical histories.  The
+    per-activity operation blocks are computed once per call, and a
+    memo of already-rejected (placed-set, frontier-state) pairs prunes
+    placement orders that reconverge onto a known dead end. *)
 
 val serializable_naive : Spec_env.t -> History.t -> Activity.t list option
 (** The specification of {!serializable}: try every permutation.
@@ -35,3 +38,25 @@ val in_every_order_consistent_with :
     activities of [h] (no consistent order exists; the paper's
     histories never produce this since [precedes] of a well-formed
     history is a partial order). *)
+
+(** Incremental serializability for growing histories.
+
+    Re-checking after each appended event repeats nearly all of the
+    previous check's work; [Incremental] caches the last witness order
+    and first validates the cheap candidate "previous witness, then any
+    new activities in appearance order" with a single linear block
+    fold, falling back to the full {!serializable} search only when the
+    candidate fails.  Answers agree with {!serializable}: [check]
+    returns [Some order] iff [serializable] would return a witness
+    (though possibly a different one). *)
+module Incremental : sig
+  type t
+
+  val create : Spec_env.t -> t
+
+  val check : t -> History.t -> Activity.t list option
+  (** [check t h] is a witness order in which [h] is serializable, or
+      [None].  Histories passed to successive [check]s on the same [t]
+      should grow monotonically for the cache to help; correctness does
+      not depend on it. *)
+end

@@ -178,6 +178,96 @@ let serializable_agrees =
       Option.is_some (Serializability.serializable two_object_env p)
       = Option.is_some (Serializability.serializable_naive two_object_env p))
 
+(* --- Indexed queries vs the naive reference ------------------------ *)
+
+let pair_equal (a, b) (a', b') = Activity.equal a a' && Activity.equal b b'
+
+(* Every indexed query answers exactly like the retained list-scan
+   reference ([History.Reference]). *)
+let queries_agree h =
+  let module R = History.Reference in
+  List.for_all
+    (fun x ->
+      History.equal (History.project_object x h) (R.project_object x h))
+    (History.objects h)
+  && List.for_all
+       (fun a ->
+         History.equal (History.project_activity a h) (R.project_activity a h))
+       (History.activities h)
+  && List.equal Activity.equal (History.activities h) (R.activities h)
+  && List.equal Object_id.equal (History.objects h) (R.objects h)
+  && Activity.Set.equal (History.committed h) (R.committed h)
+  && Activity.Set.equal (History.aborted h) (R.aborted h)
+  && Activity.Set.equal (History.active h) (R.active h)
+  && History.equal (History.perm h) (R.perm h)
+  && List.equal pair_equal (History.precedes h) (R.precedes h)
+  && List.for_all
+       (fun a ->
+         List.for_all
+           (fun b ->
+             History.precedes_mem h a b = R.precedes_mem h a b)
+           (History.activities h))
+       (History.activities h)
+  && List.for_all
+       (fun a ->
+         Option.equal Timestamp.equal (History.timestamp_of h a)
+           (R.timestamp_of h a))
+       (History.activities h)
+
+let indexed_agrees_reference =
+  QCheck2.Test.make ~name:"indexed history queries agree with Reference"
+    ~count:60 history_gen queries_agree
+
+let indexed_agrees_reference_timestamped =
+  (* Static-protocol histories carry initiation timestamps, covering
+     the [timestamp_of] index. *)
+  QCheck2.Test.make
+    ~name:"indexed queries agree with Reference (timestamped histories)"
+    ~count:40 QCheck2.Gen.small_nat (fun seed ->
+      queries_agree (random_static_history seed))
+
+let indexed_extension_agrees =
+  (* The append-time index extension path: build a prefix, force its
+     indexes by querying, then append the remaining events one by one —
+     the extended indexes must agree with the reference on the whole
+     history. *)
+  QCheck2.Test.make ~name:"index extended by append agrees with Reference"
+    ~count:40
+    QCheck2.Gen.(pair small_nat small_nat)
+    (fun (seed, cut) ->
+      let events = History.to_list (random_da_history seed) in
+      let n = List.length events in
+      let k = if n = 0 then 0 else cut mod (n + 1) in
+      let prefix = List.filteri (fun i _ -> i < k) events in
+      let rest = List.filteri (fun i _ -> i >= k) events in
+      let h0 = History.of_list prefix in
+      ignore (History.activities h0);
+      ignore (History.precedes h0);
+      ignore (History.perm h0);
+      let h = List.fold_left History.append h0 rest in
+      queries_agree h)
+
+(* --- Incremental serializability vs one-shot ------------------------ *)
+
+let incremental_serializability_agrees =
+  (* Growing a history event by event — across abort and commit
+     boundaries, which the da histories contain — and re-checking with
+     the caching checker must agree with a fresh one-shot check at
+     every prefix. *)
+  QCheck2.Test.make
+    ~name:"incremental serializability agrees with one-shot per prefix"
+    ~count:30 history_gen (fun h ->
+      QCheck2.assume (List.length (History.activities h) <= 6);
+      let inc = Serializability.Incremental.create two_object_env in
+      let cur = ref History.empty in
+      List.for_all
+        (fun e ->
+          cur := History.append !cur e;
+          let p = History.perm !cur in
+          Option.is_some (Serializability.Incremental.check inc p)
+          = Option.is_some (Serializability.serializable two_object_env p))
+        (History.to_list h))
+
 (* --- Notation round trip ------------------------------------------- *)
 
 let notation_round_trip =
@@ -350,6 +440,10 @@ let suite =
       static_atomic_protocol;
       hybrid_atomic_protocol;
       serializable_agrees;
+      indexed_agrees_reference;
+      indexed_agrees_reference_timestamped;
+      indexed_extension_agrees;
+      incremental_serializability_agrees;
       notation_round_trip;
       tpc_always_atomic;
       intset_matches_model;

@@ -61,6 +61,83 @@ let test_bank_example_orders () =
   check_bool "b-a-c fails (withdraw before deposit)" false
     (Serializability.in_order account_env p [ b; a; c ])
 
+(* Grow a history event by event and require the caching checker to
+   agree with a fresh one-shot check at every prefix. *)
+let check_growth ?inc events =
+  let inc =
+    match inc with
+    | Some inc -> inc
+    | None -> Serializability.Incremental.create set_env
+  in
+  let h = ref History.empty in
+  List.iteri
+    (fun i e ->
+      h := History.append !h e;
+      let p = History.perm !h in
+      let one_shot = Serializability.serializable set_env p in
+      let cached = Serializability.Incremental.check inc p in
+      check_bool
+        (Fmt.str "prefix %d: incremental agrees with one-shot" i)
+        (Option.is_some one_shot) (Option.is_some cached))
+    events;
+  (inc, !h)
+
+let index_of name order =
+  let rec go i = function
+    | [] -> Alcotest.fail (name ^ " missing from witness")
+    | o :: rest -> if String.equal (Activity.name o) name then i else go (i + 1) rest
+  in
+  go 0 order
+
+let test_incremental_growth () =
+  (* b observes member 9 = false but commits last, so the cheap
+     candidate "previous witness + new activities" eventually fails and
+     the checker must fall back and reorder b before c. *)
+  let events =
+    [
+      Event.invoke a x (Intset.insert 1);
+      Event.respond a x Value.ok;
+      Event.invoke b x (Intset.member 9);
+      Event.respond b x (Value.Bool false);
+      Event.invoke c x (Intset.insert 9);
+      Event.respond c x Value.ok;
+      Event.commit c x;
+      Event.commit a x;
+      Event.commit b x;
+    ]
+  in
+  let inc, h = check_growth events in
+  match Serializability.Incremental.check inc (History.perm h) with
+  | Some order ->
+    check_bool "witness places b before c" true
+      (index_of "b" order < index_of "c" order)
+  | None -> Alcotest.fail "expected a witness"
+
+let test_incremental_abort_boundary () =
+  (* b reads a's uncommitted insert and commits; when a then aborts,
+     perm(h) keeps b's member 1 = true with no insert in sight, so
+     serializability is lost — and regained when c re-inserts 1.  The
+     incremental checker must track both transitions. *)
+  let events =
+    [
+      Event.invoke a x (Intset.insert 1);
+      Event.respond a x Value.ok;
+      Event.invoke b x (Intset.member 1);
+      Event.respond b x (Value.Bool true);
+      Event.commit b x;
+      Event.abort a x;
+      Event.invoke c x (Intset.insert 1);
+      Event.respond c x Value.ok;
+      Event.commit c x;
+    ]
+  in
+  let inc, h = check_growth events in
+  match Serializability.Incremental.check inc (History.perm h) with
+  | Some order ->
+    check_bool "witness places c before b" true
+      (index_of "c" order < index_of "b" order)
+  | None -> Alcotest.fail "expected a witness after c's insert"
+
 let suite =
   [
     Alcotest.test_case "fixed order" `Quick test_in_order;
@@ -71,4 +148,7 @@ let suite =
     Alcotest.test_case "empty history" `Quick test_empty_history;
     Alcotest.test_case "queue orders (5.1)" `Quick test_queue_example_orders;
     Alcotest.test_case "bank orders (5.1)" `Quick test_bank_example_orders;
+    Alcotest.test_case "incremental growth" `Quick test_incremental_growth;
+    Alcotest.test_case "incremental abort boundary" `Quick
+      test_incremental_abort_boundary;
   ]
