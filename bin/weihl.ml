@@ -4,6 +4,7 @@
      weihl sim --protocol escrow --workload hot --clients 16
      weihl census --ops 2
      weihl tpc --participants 4 --crash mid:1
+     weihl faults --schedules 50 --quick
 
    See `weihl --help` and each subcommand's `--help`. *)
 
@@ -418,6 +419,59 @@ let tpc_cmd participants crash no_voter seed metrics =
   0
 
 (* ------------------------------------------------------------------ *)
+(* weihl faults                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cmd schedules quick base_seed protocol verbose =
+  let seeds = List.init schedules (fun i -> base_seed + i) in
+  let summary =
+    match protocol with
+    | None -> Fault_harness.run_many ~quick ~seeds ()
+    | Some name -> (
+      match Fault_harness.find_protocol name with
+      | None ->
+        Fmt.failwith "unknown protocol %s (one of: %s)" name
+          (String.concat ", "
+             (List.map
+                (fun p -> p.Fault_harness.name)
+                Fault_harness.catalog))
+      | Some proto ->
+        let results =
+          List.map
+            (fun seed ->
+              Fault_harness.run_schedule ~quick (Fault_plan.generate ~seed)
+                proto)
+            seeds
+        in
+        let count p = List.length (List.filter p results) in
+        {
+          Fault_harness.schedules = List.length results;
+          converged =
+            count (fun r -> r.Fault_harness.verdict = Fault_harness.Converged);
+          corruption_detected =
+            count (fun r ->
+                r.Fault_harness.verdict = Fault_harness.Corruption_detected);
+          diverged =
+            count (fun r ->
+                match r.Fault_harness.verdict with
+                | Fault_harness.Diverged _ -> true
+                | _ -> false);
+          results;
+        })
+  in
+  if verbose then
+    List.iter
+      (fun r -> Fmt.pr "%a@." Fault_harness.pp_result r)
+      summary.Fault_harness.results;
+  Fmt.pr "%a@." Fault_harness.pp_summary summary;
+  match Fault_harness.divergences summary with
+  | [] -> 0
+  | ds ->
+    Fmt.epr "@.divergent schedules:@.";
+    List.iter (fun r -> Fmt.epr "  %a@." Fault_harness.pp_result r) ds;
+    1
+
+(* ------------------------------------------------------------------ *)
 (* Command definitions                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -529,6 +583,38 @@ let tpc_term =
   in
   Term.(const tpc_cmd $ participants $ crash $ no_voter $ seed $ metrics)
 
+let faults_term =
+  let schedules =
+    Arg.(
+      value & opt int 200
+      & info [ "schedules"; "n" ] ~docv:"N"
+          ~doc:"Number of seeded fault schedules to run.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Shorten the traffic phases (smoke runs).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"BASE"
+          ~doc:"First seed; schedule i uses BASE+i.")
+  in
+  let protocol =
+    Arg.(
+      value & opt (some string) None
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
+          ~doc:
+            "Run every schedule against one protocol instead of \
+             round-robinning the catalog.")
+  in
+  let verbose =
+    Arg.(
+      value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule result.")
+  in
+  Term.(const faults_cmd $ schedules $ quick $ seed $ protocol $ verbose)
+
 let cmds =
   [
     Cmd.v
@@ -540,6 +626,11 @@ let cmds =
       (Cmd.info "census" ~doc:"Permissiveness census over bounded histories.")
       census_term;
     Cmd.v (Cmd.info "tpc" ~doc:"Run a two-phase commit scenario.") tpc_term;
+    Cmd.v
+      (Cmd.info "faults"
+         ~doc:"Run seeded crash-recovery fault schedules across the protocol \
+               catalog; exit non-zero on any divergence.")
+      faults_term;
     Cmd.v
       (Cmd.info "recover"
          ~doc:"Rebuild object state by replaying a history file's committed \

@@ -12,3 +12,4 @@ let record t e = t.h <- History.append t.h e
 let history t = t.h
 let length t = History.length t.h
 let clear t = t.h <- History.empty
+let durable t = Wal.encode t.h

@@ -14,3 +14,6 @@ val record : t -> Event.t -> unit
 val history : t -> History.t
 val length : t -> int
 val clear : t -> unit
+
+val durable : t -> string
+(** The log's crash-safe on-disk form; see {!Wal.encode}. *)

@@ -78,8 +78,27 @@ let make log id spec : Atomic_object.t =
             in
             let e = { txn; ts; seq = seq_for txn; op; result = res; mutates } in
             (* Would inserting this operation at its timestamp change
-               any already-executed later answer? *)
-            if Option.is_some (replay (earlier @ [ e ] @ later)) then begin
+               any already-executed later answer?  The check must hold
+               twice: over everything executed, and over the execs that
+               cannot vanish (committed transactions plus our own).
+               Without the second check a mutation can be justified by
+               an uncommitted later-timestamp operation that happens to
+               cancel it — e.g. an insert granted because an active
+               transaction's delete of the same element keeps a
+               committed reader's answer consistent; if that
+               transaction aborts, the committed reader's answer is no
+               longer serializable in timestamp order. *)
+            let stable e' =
+              Txn.equal e'.txn txn || not (Txn.is_active e'.txn)
+            in
+            let consistent l = Option.is_some (replay l) in
+            if
+              consistent (earlier @ [ e ] @ later)
+              && consistent
+                   (List.filter stable earlier
+                   @ [ e ]
+                   @ List.filter stable later)
+            then begin
               executed := e :: !executed;
               Obj_log.responded olog txn res;
               Atomic_object.Granted res

@@ -41,10 +41,44 @@ let committed_in_order order h =
   List.sort (fun (i, _) (j, _) -> Int.compare i j) keyed
   |> List.map (fun (_, a) -> (a, completed_ops h a))
 
-let restore order sys h =
+type report = { replayed : int; substituted : int; dropped_records : int }
+type failure = Corrupt of Wal.error | Divergent of string
+
+let pp_failure ppf = function
+  | Corrupt e -> Wal.pp_error ppf e
+  | Divergent msg -> Fmt.string ppf msg
+
+(* Serial replay with a pair of specification frontiers per object:
+
+   - [f_log] follows the {e logged} results,
+   - [f_obj] follows the results the rebuilt object actually returns.
+
+   When the two results agree (the common case, and the only case for
+   deterministic specifications) the frontiers stay identical.  When
+   they disagree but both are permissible outcomes, the specification
+   is non-deterministic and the rebuilt object merely made a different
+   legal choice — e.g. a semiqueue whose original [deq] order depended
+   on commit interleavings replay cannot reproduce.  That is a
+   substitution, not a divergence: both executions are correct
+   behaviours of the type.  Only a result the log rules out, or a
+   logged result the specification rules out, is a divergence. *)
+let replay order sys h =
   let txns = committed_in_order order h in
-  let rec replay count = function
-    | [] -> Ok count
+  let frontiers = ref Object_id.Map.empty in
+  let frontier_pair obj =
+    match Object_id.Map.find_opt obj !frontiers with
+    | Some pair -> pair
+    | None -> (
+      match System.find_object sys obj with
+      | None ->
+        Fmt.invalid_arg "Recovery.replay: unknown object %a" Object_id.pp obj
+      | Some o ->
+        let f = Weihl_spec.Seq_spec.start o.Atomic_object.spec in
+        (f, f))
+  in
+  let substituted = ref 0 in
+  let rec loop count = function
+    | [] -> Ok { replayed = count; substituted = !substituted; dropped_records = 0 }
     | (activity, ops) :: rest -> (
       let txn = System.begin_txn sys activity in
       let rec run = function
@@ -54,13 +88,25 @@ let restore order sys h =
         | (obj, op, expected) :: more -> (
           match System.invoke sys txn obj op with
           | Atomic_object.Granted actual ->
-            if Value.equal actual expected then run more
-            else
+            let f_log, f_obj = frontier_pair obj in
+            let open Weihl_spec.Seq_spec in
+            (match (advance f_log op expected, advance f_obj op actual) with
+            | Some f_log', Some f_obj' ->
+              if not (Value.equal actual expected) then incr substituted;
+              frontiers := Object_id.Map.add obj (f_log', f_obj') !frontiers;
+              run more
+            | None, _ ->
+              Error
+                (Fmt.str
+                   "recovery divergence: log says %a answered %a at %a, but \
+                    the specification permits no such outcome"
+                   Operation.pp op Value.pp expected Object_id.pp obj)
+            | _, None ->
               Error
                 (Fmt.str
                    "recovery divergence: %a at %a answered %a, log says %a"
                    Operation.pp op Object_id.pp obj Value.pp actual Value.pp
-                   expected)
+                   expected))
           | Atomic_object.Wait _ ->
             Error
               (Fmt.str
@@ -70,16 +116,30 @@ let restore order sys h =
             Error (Fmt.str "recovery refused: %s" why))
       in
       match run ops with
-      | Ok () -> replay (count + 1) rest
+      | Ok () -> loop (count + 1) rest
       | Error _ as e ->
         (* Leave the failed transaction aborted so the system stays
            consistent. *)
         (if Txn.is_active txn then System.abort sys txn);
         e)
   in
-  replay 0 txns
+  loop 0 txns
+
+let restore order sys h =
+  match replay order sys h with
+  | Ok r -> Ok r.replayed
+  | Error _ as e -> e
 
 let restore_from_text order sys text =
   match Notation.history_of_string text with
   | Error e -> Error (Fmt.str "%a" Notation.pp_error e)
   | Ok h -> restore order sys h
+
+let restore_durable order sys text =
+  match Wal.decode text with
+  | Error e -> Error (Corrupt e)
+  | Ok (h, status) -> (
+    let dropped = match status with Wal.Intact -> 0 | Wal.Torn n -> n in
+    match replay order sys h with
+    | Ok r -> Ok { r with dropped_records = dropped }
+    | Error msg -> Error (Divergent msg))

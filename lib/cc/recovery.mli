@@ -27,13 +27,46 @@ val committed_in_order :
     program order, sorted by the recovery order.  Activities without a
     timestamp are dropped under [Timestamp_order]. *)
 
+type report = {
+  replayed : int;  (** committed transactions re-executed *)
+  substituted : int;
+      (** operations whose replayed result legally differed from the
+          logged one — only possible under non-deterministic
+          specifications (e.g. the semiqueue), where replay may make a
+          different permissible choice than the original execution *)
+  dropped_records : int;
+      (** torn-tail records truncated by {!Wal.decode} before replay *)
+}
+
+type failure =
+  | Corrupt of Wal.error  (** the durable log is damaged mid-stream *)
+  | Divergent of string
+      (** replay produced, or the log claims, a result the
+          specification rules out *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val replay :
+  order -> System.t -> History.t -> (report, string) result
+(** Re-execute the committed transactions of the history against the
+    (fresh) system's objects, validating both the logged results and
+    the replayed results against each object's sequential
+    specification.  A disagreement where both results are permissible
+    is counted as a substitution; one the specification rules out is a
+    divergence.  The system's log will contain the replayed events. *)
+
 val restore :
   order -> System.t -> History.t -> (int, string) result
-(** Re-execute the committed transactions of the history against the
-    (fresh) system's objects.  Returns the number of transactions
-    replayed, or a description of the first divergence.  The system's
-    log will contain the replayed events. *)
+(** {!replay}, reporting only the number of transactions replayed. *)
 
 val restore_from_text :
   order -> System.t -> string -> (int, string) result
-(** {!restore} after parsing the durable text form. *)
+(** {!restore} after parsing the (unframed) notation text form. *)
+
+val restore_durable :
+  order -> System.t -> string -> (report, failure) result
+(** Crash recovery proper: {!Wal.decode} the durable log — truncating a
+    torn tail, rejecting mid-log corruption — then {!replay} the
+    committed prefix.  This is the invariant the fault harness checks:
+    recovery lands on exactly the state of the committed projection of
+    the surviving log. *)

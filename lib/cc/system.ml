@@ -40,6 +40,7 @@ let emit_probe t ev =
 
 let policy t = t.policy
 let log t = t.event_log
+let durable t = Event_log.durable t.event_log
 let history t = Event_log.history t.event_log
 let clock t = t.clock
 let set_ts_source t f = t.ts_source <- Some f

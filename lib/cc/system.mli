@@ -24,6 +24,9 @@ val create : ?policy:ts_policy -> unit -> t
 val policy : t -> ts_policy
 val log : t -> Event_log.t
 
+val durable : t -> string
+(** The crash-safe WAL form of the shared event log; see {!Wal}. *)
+
 val history : t -> History.t
 (** The computation observed so far. *)
 

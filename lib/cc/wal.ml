@@ -1,0 +1,123 @@
+open Weihl_event
+
+let magic = "weihl-wal 1"
+
+(* CRC-32 (IEEE 802.3), table-driven.  OCaml's 63-bit immediates hold
+   the 32-bit arithmetic comfortably. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+type status = Intact | Torn of int
+type error = { record : int; reason : string }
+
+let pp_status ppf = function
+  | Intact -> Fmt.string ppf "intact"
+  | Torn n -> Fmt.pf ppf "torn tail (%d record(s) dropped)" n
+
+let pp_error ppf { record; reason } =
+  if record < 0 then Fmt.pf ppf "WAL header: %s" reason
+  else Fmt.pf ppf "WAL record %d: %s" record reason
+
+let encode h =
+  let buf = Buffer.create (64 * (History.length h + 1)) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  let seq = ref 0 in
+  History.iter
+    (fun e ->
+      let body = Fmt.str "%d %a" !seq Event.pp e in
+      Buffer.add_string buf (Printf.sprintf "%08x %s\n" (crc32 body) body);
+      incr seq)
+    h;
+  Buffer.contents buf
+
+(* Parse one record line.  [seq] is the index the record must carry for
+   the log to be gapless. *)
+let parse_record ~seq line =
+  let n = String.length line in
+  if n < 10 then Error "record cut short"
+  else if line.[8] <> ' ' then Error "bad framing"
+  else
+    match int_of_string_opt ("0x" ^ String.sub line 0 8) with
+    | None -> Error "unreadable checksum field"
+    | Some crc ->
+      let body = String.sub line 9 (n - 9) in
+      if crc <> crc32 body then Error "checksum mismatch"
+      else (
+        match String.index_opt body ' ' with
+        | None -> Error "missing sequence number"
+        | Some sp -> (
+          match int_of_string_opt (String.sub body 0 sp) with
+          | None -> Error "unreadable sequence number"
+          | Some s when s <> seq ->
+            Error (Printf.sprintf "sequence gap: expected %d, found %d" seq s)
+          | Some _ -> (
+            let text = String.sub body (sp + 1) (String.length body - sp - 1) in
+            match Notation.event_of_string text with
+            | Ok e -> Ok e
+            | Error m -> Error ("unparseable event: " ^ m))))
+
+(* A line that checks out structurally (checksum over its own content,
+   parseable sequence and event) regardless of where it sits.  Evidence
+   that real data exists beyond a damaged record. *)
+let well_framed line =
+  let n = String.length line in
+  n >= 10
+  && line.[8] = ' '
+  &&
+  match int_of_string_opt ("0x" ^ String.sub line 0 8) with
+  | None -> false
+  | Some crc -> (
+    let body = String.sub line 9 (n - 9) in
+    crc = crc32 body
+    &&
+    match String.index_opt body ' ' with
+    | None -> false
+    | Some sp -> (
+      int_of_string_opt (String.sub body 0 sp) <> None
+      &&
+      match
+        Notation.event_of_string
+          (String.sub body (sp + 1) (String.length body - sp - 1))
+      with
+      | Ok _ -> true
+      | Error _ -> false))
+
+let decode text =
+  match String.split_on_char '\n' text with
+  | [] -> Error { record = -1; reason = "empty" }
+  | header :: rest ->
+    if not (String.equal header magic) then
+      Error { record = -1; reason = "bad or missing header" }
+    else
+      (* A final trailing newline yields one empty trailing element;
+         drop exactly that one (an empty line elsewhere is damage). *)
+      let lines =
+        match List.rev rest with "" :: tl -> List.rev tl | _ -> rest
+      in
+      let rec go seq acc = function
+        | [] -> Ok (History.of_list (List.rev acc), Intact)
+        | line :: tl -> (
+          match parse_record ~seq line with
+          | Ok e -> go (seq + 1) (e :: acc) tl
+          | Error reason ->
+            if List.exists well_framed tl then
+              Error { record = seq; reason = "mid-log corruption: " ^ reason }
+            else
+              Ok (History.of_list (List.rev acc), Torn (List.length tl + 1)))
+      in
+      go 0 [] lines

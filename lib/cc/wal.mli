@@ -1,0 +1,55 @@
+(** The durable, crash-safe form of the event log — a write-ahead log.
+
+    {!Weihl_event.Notation} is the readable text form of a history; this
+    module frames it for durability.  A WAL is a header line followed by
+    one framed record per event:
+
+    {v
+      weihl-wal 1
+      <crc32:8 hex> <sequence> <event in the paper's notation>
+    v}
+
+    The checksum covers the sequence number and the event text, so a
+    torn write (a record cut short by a crash mid-write), a truncated
+    file, or a flipped bit is detected rather than replayed.
+
+    {!decode} applies the classical WAL recovery rule:
+
+    - a valid prefix followed only by garbage is a {e torn tail} — the
+      damaged records are dropped and the intact prefix is returned
+      (with {!Torn} reporting how many trailing records were lost);
+    - a damaged record followed by any well-framed record is {e mid-log
+      corruption} — data demonstrably exists beyond the damage, so
+      decoding fails loudly instead of silently dropping committed
+      work;
+    - a damaged header fails loudly (nothing can be trusted).
+
+    CRC-32 detects every single-bit error, so no single flipped bit can
+    make a record silently reparse. *)
+
+open Weihl_event
+
+val magic : string
+(** First line of every WAL: ["weihl-wal 1"]. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3) of a string, in [0, 0xFFFFFFFF]. *)
+
+type status =
+  | Intact
+  | Torn of int  (** trailing records dropped by tail truncation *)
+
+type error = { record : int; reason : string }
+(** [record] is the 0-based index of the offending record (-1 for the
+    header). *)
+
+val pp_status : Format.formatter -> status -> unit
+val pp_error : Format.formatter -> error -> unit
+
+val encode : History.t -> string
+(** The durable text of a history: header plus one framed record per
+    event, each line terminated by ['\n']. *)
+
+val decode : string -> (History.t * status, error) result
+(** Parse a durable text back into the history it records, truncating a
+    torn tail and rejecting mid-log corruption or a damaged header. *)

@@ -93,6 +93,7 @@ module Multiversion = Weihl_cc.Multiversion
 module Hybrid = Weihl_cc.Hybrid
 module Hybrid_account = Weihl_cc.Hybrid_account
 module Recovery = Weihl_cc.Recovery
+module Wal = Weihl_cc.Wal
 module Waits_for = Weihl_cc.Waits_for
 module System = Weihl_cc.System
 
@@ -100,6 +101,9 @@ module Concurrent = Weihl_runtime.Concurrent
 
 module Msim = Weihl_dist.Msim
 module Tpc = Weihl_dist.Tpc
+
+module Fault_plan = Weihl_fault.Plan
+module Fault_harness = Weihl_fault.Harness
 
 module Rng = Weihl_sim.Rng
 module Stats = Weihl_sim.Stats

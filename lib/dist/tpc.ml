@@ -13,7 +13,9 @@ type config = {
   coordinator_crash : crash_point;
   participant_crash : (int * [ `Before_vote | `After_vote ]) option;
   timeout : int;
-  max_termination_rounds : int;
+  max_retries : int;
+  retry_cap : int;
+  msg_faults : Msim.faults;
   seed : int;
 }
 
@@ -25,9 +27,17 @@ let default_config =
     coordinator_crash = No_crash;
     participant_crash = None;
     timeout = 50;
-    max_termination_rounds = 3;
+    max_retries = 4;
+    retry_cap = 400;
+    msg_faults = Msim.no_faults;
     seed = 1;
   }
+
+(* Exponential backoff: the delay before termination round [r], doubling
+   from [timeout] and capped at [retry_cap]. *)
+let backoff cfg r =
+  let rec double d r = if r <= 0 || d >= cfg.retry_cap then d else double (d * 2) (r - 1) in
+  min (double cfg.timeout r) cfg.retry_cap
 
 type site_status = Committed of int | Aborted | Blocked | Crashed
 
@@ -46,6 +56,7 @@ type msg =
   | Decide_commit of int (* commit timestamp *)
   | Decide_abort
   | Timeout_check
+  | Coord_timeout
   | Query of int (* querying participant index *)
   | Peer_status of site_status_wire
 
@@ -138,6 +149,15 @@ let run ?metrics cfg =
             | _ -> decide sim (Some ts) n
           end
         end
+      | Coord_timeout ->
+        (* Presumed abort: a vote is missing past the coordinator's
+           patience — lost, or its site is down.  Abort is always safe
+           before a decision; without this, one silent participant
+           would block every peer forever. *)
+        if not coord.decided then begin
+          count "tpc.coord.timeout";
+          decide sim None n
+        end
       | Prepare | Decide_commit _ | Decide_abort | Timeout_check | Query _
       | Peer_status _ -> ()
     end
@@ -181,16 +201,20 @@ let run ?metrics cfg =
           | P_committed _ | P_aborted -> ())
         | Timeout_check ->
           if pstates.(i) = P_prepared then begin
-            if rounds.(i) < cfg.max_termination_rounds then begin
+            if rounds.(i) < cfg.max_retries then begin
               rounds.(i) <- rounds.(i) + 1;
               site_count i "termination.round";
-              (* Cooperative termination: ask every peer. *)
+              (* Cooperative termination: ask every peer.  Queries (or
+                 their replies) can be lost, so each round waits twice
+                 as long as the last before asking again, up to
+                 [retry_cap]. *)
               for j = 0 to n - 1 do
                 if j <> i then
                   Msim.send sim ~src:node ~dst:(node_of_participant j)
                     (Query i)
               done;
-              Msim.set_timer sim ~node ~after:cfg.timeout Timeout_check
+              Msim.set_timer sim ~node ~after:(backoff cfg rounds.(i))
+                Timeout_check
             end
           end
         | Query from -> (
@@ -215,16 +239,23 @@ let run ?metrics cfg =
               set_pstate i (P_committed ts)
             | W_aborted | W_idle -> set_pstate i P_aborted
             | W_prepared -> ())
-        | Vote_yes _ | Vote_no _ -> ()
+        | Vote_yes _ | Vote_no _ | Coord_timeout -> ()
     end
   in
-  let sim = Msim.create ~seed:cfg.seed ~nodes:(n + 1) ~handler () in
+  let sim =
+    Msim.create ?metrics ~faults:cfg.msg_faults ~seed:cfg.seed ~nodes:(n + 1)
+      ~handler ()
+  in
   (match cfg.coordinator_crash with
   | Before_prepare -> Msim.crash sim 0
   | No_crash | After_prepare | Mid_decision _ ->
     for i = 0 to n - 1 do
       Msim.send sim ~src:0 ~dst:(node_of_participant i) Prepare
-    done);
+    done;
+    (* The coordinator's own patience: if any vote is still missing
+       after the participants' full termination window, presume abort
+       rather than leave prepared sites blocked on a silent peer. *)
+    Msim.set_timer sim ~node:0 ~after:(2 * cfg.timeout) Coord_timeout);
   (match cfg.coordinator_crash with
   | After_prepare ->
     (* Die just after the prepares leave, before any vote arrives. *)

@@ -13,12 +13,18 @@
     with [precedes] at every object, which is exactly what hybrid
     atomicity requires.
 
-    Failure handling is classical presumed-nothing 2PC with a
-    cooperative termination protocol: a prepared participant that times
-    out queries its peers; it adopts any decision a peer knows, aborts
-    if some peer has not voted (that peer then refuses to vote), and
-    remains {e blocked} when every peer is also prepared — 2PC's
-    well-known blocking window, reproduced faithfully. *)
+    Failure handling is classical 2PC with a cooperative termination
+    protocol: a prepared participant that times out queries its peers;
+    it adopts any decision a peer knows, aborts if some peer has not
+    voted (that peer then refuses to vote), and remains {e blocked}
+    when every peer is also prepared — 2PC's well-known blocking
+    window, reproduced faithfully.  Termination rounds retry with
+    bounded exponential backoff ([timeout], doubling, capped at
+    [retry_cap], at most [max_retries] rounds), so queries lost to an
+    unreliable network ([msg_faults]) are re-asked rather than fatal.
+    The coordinator itself presumes abort if any vote is still missing
+    after [2 * timeout]: a silent participant aborts the transaction
+    instead of blocking every peer. *)
 
 type vote = Yes | No
 
@@ -40,13 +46,15 @@ type config = {
   participant_crash : (int * [ `Before_vote | `After_vote ]) option;
       (** participant index (0-based) and when it dies *)
   timeout : int; (** participant patience before running termination *)
-  max_termination_rounds : int;
+  max_retries : int; (** termination rounds before giving up blocked *)
+  retry_cap : int; (** ceiling on the doubling inter-round backoff *)
+  msg_faults : Msim.faults; (** network loss/duplication/reordering *)
   seed : int;
 }
 
 val default_config : config
 (** 3 participants, clocks [0;0;0], all yes, no crashes, timeout 50,
-    3 termination rounds, seed 1. *)
+    4 retries capped at 400, a reliable network, seed 1. *)
 
 type site_status =
   | Committed of int (** with the commit timestamp *)

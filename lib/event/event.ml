@@ -85,9 +85,11 @@ let compare e f =
     | (Invoke _ | Respond _ | Commit _ | Abort _ | Initiate _), _ ->
       assert false
 
+(* Every case renders inside an h-box: an event is one line of the
+   notation, whatever the enclosing formatter's margin. *)
 let pp ppf = function
   | Invoke (a, x, op) ->
-    Fmt.pf ppf "<%a,%a,%a>" Operation.pp op Object_id.pp x Activity.pp a
+    Fmt.pf ppf "@[<h><%a,%a,%a>@]" Operation.pp op Object_id.pp x Activity.pp a
   | Respond (a, x, v) ->
     Fmt.pf ppf "<%a,%a,%a>" Value.pp v Object_id.pp x Activity.pp a
   | Commit (a, x, None) ->

@@ -16,6 +16,10 @@ let compare a b =
 let pp ppf op =
   match op.args with
   | [] -> Fmt.string ppf op.name
-  | args -> Fmt.pf ppf "%s(%a)" op.name Fmt.(list ~sep:comma Value.pp) args
+  | args ->
+    (* The h-box keeps the break hints of [~sep:comma] from splitting
+       the rendering across lines: an operation must print on one line
+       for the notation (and the WAL built on it) to round-trip. *)
+    Fmt.pf ppf "@[<h>%s(%a)@]" op.name Fmt.(list ~sep:comma Value.pp) args
 
 let to_string op = Fmt.str "%a" pp op

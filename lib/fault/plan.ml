@@ -1,0 +1,82 @@
+module Rng = Weihl_sim.Rng
+module Msim = Weihl_dist.Msim
+
+type crash =
+  | No_crash
+  | Before_commit of int
+  | After_commit of int
+  | After_events of int
+
+type log_fault =
+  | Pristine
+  | Torn_tail of int
+  | Truncate_at of int
+  | Bit_flip of int
+
+type t = {
+  seed : int;
+  crash : crash;
+  log_fault : log_fault;
+  msg : Msim.faults;
+  clock_skew : int list;
+}
+
+let generate ~seed =
+  let rng = Rng.create seed in
+  let crash =
+    match Rng.int rng 8 with
+    | 0 -> No_crash
+    | 1 | 2 -> Before_commit (1 + Rng.int rng 8)
+    | 3 | 4 -> After_commit (1 + Rng.int rng 8)
+    | _ -> After_events (6 + Rng.int rng 48)
+  in
+  let log_fault =
+    match Rng.int rng 6 with
+    | 0 | 1 -> Pristine
+    | 2 | 3 -> Torn_tail (1 + Rng.int rng 160)
+    | 4 -> Truncate_at (Rng.int rng 100_000)
+    | _ -> Bit_flip (Rng.int rng 1_000_000)
+  in
+  let prob limit = if Rng.int rng 3 = 0 then 0. else Rng.float rng limit in
+  let msg =
+    { Msim.drop = prob 0.12; duplicate = prob 0.08; reorder = prob 0.15 }
+  in
+  let clock_skew = List.init 4 (fun _ -> Rng.int rng 40) in
+  { seed; crash; log_fault; msg; clock_skew }
+
+let corrupt t text =
+  let len = String.length text in
+  if len = 0 then text
+  else
+    match t.log_fault with
+    | Pristine -> text
+    | Torn_tail k ->
+      let cut = 1 + (k mod min len 160) in
+      String.sub text 0 (len - cut)
+    | Truncate_at k -> String.sub text 0 (k mod (len + 1))
+    | Bit_flip k ->
+      let pos = k mod len in
+      let bit = (k lsr 17) land 7 in
+      let b = Bytes.of_string text in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      Bytes.to_string b
+
+let pp_crash ppf = function
+  | No_crash -> Fmt.string ppf "no crash"
+  | Before_commit k -> Fmt.pf ppf "crash before commit %d" k
+  | After_commit k -> Fmt.pf ppf "crash after commit %d" k
+  | After_events n -> Fmt.pf ppf "crash after %d events" n
+
+let pp_log_fault ppf = function
+  | Pristine -> Fmt.string ppf "pristine log"
+  | Torn_tail k -> Fmt.pf ppf "torn tail (%d)" k
+  | Truncate_at k -> Fmt.pf ppf "truncate (%d)" k
+  | Bit_flip k -> Fmt.pf ppf "bit flip (%d)" k
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<h>seed %d: %a; %a; msg drop %.3f dup %.3f reorder %.3f; skew %a@]"
+    t.seed pp_crash t.crash pp_log_fault t.log_fault t.msg.Msim.drop
+    t.msg.Msim.duplicate t.msg.Msim.reorder
+    Fmt.(list ~sep:comma int)
+    t.clock_skew

@@ -1,0 +1,42 @@
+(** Seeded, deterministic fault plans.
+
+    A plan is a complete description of every fault one crash-recovery
+    schedule injects: where the system halts, how the durable log is
+    damaged between crash and recovery, how the network misbehaves, and
+    how far the sites' clocks disagree.  {!generate} derives all of it
+    from one seed, so a schedule that fails in a 200-plan sweep can be
+    re-run in isolation from its seed alone. *)
+
+type crash =
+  | No_crash
+  | Before_commit of int
+      (** halt immediately before the [k]-th commit record is written *)
+  | After_commit of int
+  | After_events of int  (** halt once the log holds [n] events *)
+
+type log_fault =
+  | Pristine
+  | Torn_tail of int  (** chop bytes off the end — an interrupted write *)
+  | Truncate_at of int  (** keep only a prefix of the file *)
+  | Bit_flip of int  (** flip one bit somewhere in the file *)
+
+type t = {
+  seed : int;
+  crash : crash;
+  log_fault : log_fault;
+  msg : Weihl_dist.Msim.faults;
+  clock_skew : int list;
+      (** initial logical-clock readings for distributed-commit sites *)
+}
+
+val generate : seed:int -> t
+(** The plan for a seed.  Crash points, log faults, message-fault
+    probabilities and clock skews are all drawn from a generator seeded
+    with [seed]; equal seeds give equal plans. *)
+
+val corrupt : t -> string -> string
+(** Apply the plan's [log_fault] to a durable log text.  The fault's
+    integer parameter is folded into the text's actual length, so every
+    generated fault lands inside the file. *)
+
+val pp : Format.formatter -> t -> unit

@@ -7,20 +7,28 @@ type t = {
       (* signalled whenever a transaction commits or aborts *)
   victims : (int, unit) Hashtbl.t;
       (* transactions sacrificed to deadlock resolution *)
+  metrics : Weihl_obs.Metrics.Registry.t option;
   mutable blocked_threads : int;
 }
 
 exception Refused of string
 exception Deadlock_victim
 
-let create ?policy () =
+let create ?policy ?metrics () =
   {
     system = Cc.System.create ?policy ();
     mutex = Mutex.create ();
     completed = Condition.create ();
     victims = Hashtbl.create 8;
+    metrics;
     blocked_threads = 0;
   }
+
+let count t name =
+  match t.metrics with
+  | None -> ()
+  | Some reg ->
+    Weihl_obs.Metrics.Counter.incr (Weihl_obs.Metrics.Registry.counter reg name)
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -124,13 +132,22 @@ let atomically t activity body =
   match body txn (fun x op -> invoke t txn x op) with
   | result ->
     commit t txn;
+    count t "txn.committed";
     Ok result
   | exception Refused why ->
     abort t txn;
+    count t "txn.abort.refused";
     Error why
-  | exception Deadlock_victim -> Error "deadlock victim"
+  | exception Deadlock_victim ->
+    count t "txn.abort.deadlock";
+    Error "deadlock victim"
   | exception e ->
     (* The transaction may already be dead if the exception raced a
        deadlock resolution; abort best-effort. *)
     (try abort t txn with Invalid_argument _ -> ());
     raise e
+
+let durable t = locked t (fun () -> Cc.Event_log.durable (Cc.System.log t.system))
+
+let restore_durable order t text =
+  locked t (fun () -> Cc.Recovery.restore_durable order t.system text)

@@ -25,7 +25,14 @@ exception Deadlock_victim
 (** The transaction was aborted to break a deadlock; the transaction
     is already dead — do not call {!abort}. *)
 
-val create : ?policy:Weihl_cc.System.ts_policy -> unit -> t
+val create :
+  ?policy:Weihl_cc.System.ts_policy ->
+  ?metrics:Weihl_obs.Metrics.Registry.t -> unit -> t
+(** With [metrics], {!atomically} ticks [txn.committed] and the
+    per-cause abort counters [txn.abort.refused] /
+    [txn.abort.deadlock] — retries and deadlock breaks are visible in
+    the registry instead of silent. *)
+
 val add_object : t -> Weihl_cc.Atomic_object.t -> unit
 
 val log : t -> Weihl_cc.Event_log.t
@@ -44,6 +51,18 @@ val abort : t -> Weihl_cc.Txn.t -> unit
 
 val history : t -> History.t
 (** Snapshot of the event log (takes the lock). *)
+
+val durable : t -> string
+(** The crash-safe WAL form of the event log (takes the lock); see
+    {!Weihl_cc.Wal}. *)
+
+val restore_durable :
+  Weihl_cc.Recovery.order -> t -> string ->
+  (Weihl_cc.Recovery.report, Weihl_cc.Recovery.failure) result
+(** The restart half of a crash-restart cycle: decode a durable log
+    and replay its committed transactions into this (fresh) runtime's
+    objects, after which normal traffic can resume.  Takes the lock
+    for the whole replay. *)
 
 val atomically :
   t -> Activity.t -> (Weihl_cc.Txn.t -> (Object_id.t -> Operation.t -> Value.t) -> 'a) ->

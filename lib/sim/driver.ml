@@ -2,6 +2,11 @@ open Weihl_event
 module Cc = Weihl_cc
 module Obs = Weihl_obs
 
+type crash_spec =
+  | Crash_after_events of int
+  | Crash_before_commit of int
+  | Crash_after_commit of int
+
 type config = {
   clients : int;
   duration : int;
@@ -9,6 +14,8 @@ type config = {
   think_time : int;
   restart_backoff : int;
   max_restarts : int;
+  crash : crash_spec option;
+  activity_base : int;
   seed : int;
 }
 
@@ -20,6 +27,8 @@ let default_config =
     think_time = 0;
     restart_backoff = 5;
     max_restarts = 3;
+    crash = None;
+    activity_base = 0;
     seed = 42;
   }
 
@@ -35,6 +44,7 @@ type outcome = {
   update_latencies : Obs.Metrics.Histogram.t;
   read_only_latencies : Obs.Metrics.Histogram.t;
   committed_by_label : (string * int) list;
+  crashed : bool;
   ticks : int;
 }
 
@@ -125,7 +135,7 @@ let run ?(config = default_config) ?probe system workload =
       m_labels = [];
     }
   in
-  let activity_counter = ref 0 in
+  let activity_counter = ref config.activity_base in
   let fresh_activity kind =
     incr activity_counter;
     match kind with
@@ -183,9 +193,24 @@ let run ?(config = default_config) ?probe system workload =
            driver); leave it to its owner. *)
         ())
   in
+  let halted = ref false in
+  let commits_done = ref 0 in
   let finish_commit c txn ~time =
     let script = Option.get c.script in
+    (match config.crash with
+    | Some (Crash_before_commit k) when !commits_done + 1 = k ->
+      (* The crash lands between the operations and the commit record:
+         the transaction is in flight in the durable log and recovery
+         must discard it. *)
+      halted := true;
+      raise Exit
+    | _ -> ());
     Cc.System.commit system txn;
+    incr commits_done;
+    (match config.crash with
+    | Some (Crash_after_commit k) when !commits_done = k ->
+      halted := true
+    | _ -> ());
     Hashtbl.remove txn_owner (Cc.Txn.id txn);
     m.m_committed <- m.m_committed + 1;
     bump_label m script.Workload.label;
@@ -288,14 +313,22 @@ let run ?(config = default_config) ?probe system workload =
   let max_events = 200 * config.duration * config.clients in
   let rec loop () =
     incr guard;
-    if !guard > max_events then ()
+    if !guard > max_events || !halted then ()
     else
       match Pqueue.pop pq with
       | Some (time, cid) when time <= config.duration ->
         if time > !last_time then sample_clients ();
         last_time := max !last_time time;
         sim_now := time;
-        proceed clients.(cid) ~time;
+        (* A crash is an abrupt halt: Exit unwinds out of the middle of
+           a step, leaving in-flight transactions exactly as the log
+           last saw them. *)
+        (try proceed clients.(cid) ~time with Exit -> ());
+        (match config.crash with
+        | Some (Crash_after_events n)
+          when Weihl_event.History.length (Cc.System.history system) >= n ->
+          halted := true
+        | _ -> ());
         loop ()
       | Some _ | None -> ()
   in
@@ -314,5 +347,6 @@ let run ?(config = default_config) ?probe system workload =
     update_latencies = m.m_upd_lat;
     read_only_latencies = m.m_ro_lat;
     committed_by_label = m.m_labels;
+    crashed = !halted;
     ticks = max 1 !last_time;
   }

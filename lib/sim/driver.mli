@@ -11,6 +11,17 @@
 
     The simulation is deterministic given the seed. *)
 
+type crash_spec =
+  | Crash_after_events of int
+      (** halt once the shared event log holds at least [n] events —
+          lands after an arbitrary event kind *)
+  | Crash_before_commit of int
+      (** halt immediately before the [k]-th commit (1-based): that
+          transaction's operations are in the durable log but its
+          commit record is not *)
+  | Crash_after_commit of int
+      (** halt immediately after the [k]-th commit is logged *)
+
 type config = {
   clients : int;
   duration : int; (** virtual ticks *)
@@ -18,12 +29,20 @@ type config = {
   think_time : int;
   restart_backoff : int;
   max_restarts : int;
+  crash : crash_spec option;
+      (** halt the whole system abruptly at the given point, leaving
+          in-flight transactions unfinished in the log — the crash half
+          of a crash-recovery cycle (default [None]) *)
+  activity_base : int;
+      (** first activity number; a run resuming traffic on a recovered
+          system passes a base past the replayed names so activities
+          stay unique across the crash (default 0) *)
   seed : int;
 }
 
 val default_config : config
 (** 8 clients, 2000 ticks, unit op cost, zero think time, backoff 5,
-    3 restarts, seed 42. *)
+    3 restarts, no crash, activity base 0, seed 42. *)
 
 type outcome = {
   committed : int;
@@ -38,6 +57,7 @@ type outcome = {
       (** begin-to-commit, in ticks *)
   read_only_latencies : Weihl_obs.Metrics.Histogram.t;
   committed_by_label : (string * int) list;
+  crashed : bool; (** the run was halted by the configured {!crash_spec} *)
   ticks : int; (** virtual time when the run ended *)
 }
 

@@ -37,5 +37,6 @@ let () =
       ("stats edge cases", Test_stats.suite);
       ("adt inference", Test_infer.suite);
       ("observability", Test_obs.suite);
+      ("fault injection", Test_fault.suite);
       ("properties (qcheck)", Test_props.suite);
     ]
