@@ -472,6 +472,36 @@ let faults_cmd schedules quick base_seed protocol verbose =
     1
 
 (* ------------------------------------------------------------------ *)
+(* weihl lint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd protocol depth json self_test verbose =
+  if self_test then begin
+    let outcomes = Lint_mutation.self_test ~depth in
+    List.iter (fun o -> Fmt.pr "%a@." Lint_mutation.pp_outcome o) outcomes;
+    let missed =
+      List.filter (fun o -> not o.Lint_mutation.detected) outcomes
+    in
+    Fmt.pr "mutations: %d, detected: %d, missed: %d@." (List.length outcomes)
+      (List.length outcomes - List.length missed)
+      (List.length missed);
+    if missed = [] then 0 else 1
+  end
+  else begin
+    let report = Lint.run ?protocol ~depth () in
+    Fmt.pr "%a@." (Lint.pp ~verbose) report;
+    (match json with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string (Lint.to_json report));
+      output_string oc "\n";
+      close_out oc;
+      Fmt.pr "report written to %s@." path
+    | None -> ());
+    if Lint.unsound_total report = 0 then 0 else 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Command definitions                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -615,6 +645,46 @@ let faults_term =
   in
   Term.(const faults_cmd $ schedules $ quick $ seed $ protocol $ verbose)
 
+let lint_term =
+  let protocol =
+    Arg.(
+      value & opt (some string) None
+      & info [ "protocol"; "p" ] ~docv:"NAME"
+          ~doc:
+            "Certify one catalog protocol (or one ADT table) instead of \
+             everything.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 3
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Exploration bound: table derivation explores N generator steps; \
+             protocol probes use committed setups of up to N operations.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable certificate report to FILE.")
+  in
+  let self_test =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Run the mutation self-test instead: certify deliberately \
+             corrupted tables and protocols and fail unless every corruption \
+             is flagged.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Also list loose and unknown entries, not just unsound ones.")
+  in
+  Term.(const lint_cmd $ protocol $ depth $ json $ self_test $ verbose)
+
 let cmds =
   [
     Cmd.v
@@ -631,6 +701,12 @@ let cmds =
          ~doc:"Run seeded crash-recovery fault schedules across the protocol \
                catalog; exit non-zero on any divergence.")
       faults_term;
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:"Statically certify every conflict table and protocol grant \
+               rule against the sequential specifications; exit non-zero on \
+               any unsound entry.")
+      lint_term;
     Cmd.v
       (Cmd.info "recover"
          ~doc:"Rebuild object state by replaying a history file's committed \

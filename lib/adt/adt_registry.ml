@@ -16,7 +16,24 @@ let all : (string * Seq_spec.t) list =
     ("log", Append_log.spec);
   ]
 
+let all_modules : (string * (module Adt_sig.S)) list =
+  [
+    ("intset", (module Intset));
+    ("counter", (module Counter));
+    ("account", (module Bank_account));
+    ("queue", (module Fifo_queue));
+    ("register", (module Register));
+    ("kv", (module Kv_map));
+    ("semiqueue", (module Semiqueue));
+    ("stack", (module Stack));
+    ("pqueue", (module Priority_queue));
+    ("blind_counter", (module Blind_counter));
+    ("log", (module Append_log));
+  ]
+
 let find name = List.assoc_opt name all
+
+let find_module name = List.assoc_opt name all_modules
 
 (* Guess an object's type from the operation names appearing on it.
    The order of the tests resolves ambiguous names deterministically:

@@ -7,7 +7,13 @@ val all : (string * Weihl_spec.Seq_spec.t) list
     ([intset], [counter], [account], [queue], [register], [kv],
     [semiqueue], [stack], [pqueue], [blind_counter], [log]). *)
 
+val all_modules : (string * (module Adt_sig.S)) list
+(** The same catalogue as full {!Adt_sig.S} modules, exposing each
+    ADT's hand-written [commutes] table and [classify] function to
+    static analysis.  Same names, same order as {!all}. *)
+
 val find : string -> Weihl_spec.Seq_spec.t option
+val find_module : string -> (module Adt_sig.S) option
 
 val infer_spec :
   Weihl_event.Operation.t list -> Weihl_spec.Seq_spec.t option

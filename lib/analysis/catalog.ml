@@ -1,0 +1,114 @@
+open Weihl_event
+module Cc = Weihl_cc
+module Adt = Weihl_adt
+
+type entry = {
+  name : string;
+  policy : Cc.System.ts_policy;
+  domain : Domain.t;
+  make_object : Cc.Event_log.t -> Object_id.t -> Cc.Atomic_object.t;
+}
+
+let account = Domain.find_exn "account"
+let intset = Domain.find_exn "intset"
+
+let all =
+  [
+    {
+      name = "rw";
+      policy = `None_;
+      domain = account;
+      make_object =
+        (fun log id -> Cc.Op_locking.rw log id (module Adt.Bank_account));
+    };
+    {
+      name = "commutativity";
+      policy = `None_;
+      domain = account;
+      make_object =
+        (fun log id ->
+          Cc.Op_locking.commutativity log id (module Adt.Bank_account));
+    };
+    {
+      name = "escrow";
+      policy = `None_;
+      domain = account;
+      make_object = Cc.Escrow_account.make;
+    };
+    {
+      name = "rw_undo";
+      policy = `None_;
+      domain = account;
+      make_object =
+        (fun log id -> Cc.Rw_undo.make log id (module Adt.Bank_account));
+    };
+    {
+      name = "multiversion";
+      policy = `Static;
+      domain = account;
+      make_object =
+        (fun log id -> Cc.Multiversion.make log id Adt.Bank_account.spec);
+    };
+    {
+      name = "hybrid";
+      policy = `Hybrid;
+      domain = account;
+      make_object =
+        (fun log id -> Cc.Hybrid.of_adt log id (module Adt.Bank_account));
+    };
+    {
+      name = "hybrid_account";
+      policy = `Hybrid;
+      domain = account;
+      make_object = Cc.Hybrid_account.make;
+    };
+    {
+      name = "da_set";
+      policy = `None_;
+      domain = intset;
+      make_object = Cc.Da_set.make;
+    };
+    {
+      name = "multiversion_set";
+      policy = `Static;
+      domain = intset;
+      make_object = (fun log id -> Cc.Multiversion.make log id Adt.Intset.spec);
+    };
+    {
+      name = "da_generic_set";
+      policy = `None_;
+      domain = intset;
+      make_object = (fun log id -> Cc.Da_generic.make log id Adt.Intset.spec);
+    };
+    {
+      name = "da_kv";
+      policy = `None_;
+      domain = Domain.find_exn "kv";
+      make_object = Cc.Da_kv.make;
+    };
+    {
+      name = "da_semiqueue";
+      policy = `None_;
+      domain = Domain.find_exn "semiqueue";
+      make_object = Cc.Da_semiqueue.make;
+    };
+    {
+      name = "da_queue";
+      policy = `None_;
+      domain = Domain.find_exn "queue";
+      make_object = (fun log id -> Cc.Da_queue.make log id);
+    };
+    {
+      name = "da_counter";
+      policy = `None_;
+      domain = Domain.find_exn "blind_counter";
+      make_object = Cc.Da_counter.make;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let policy_name = function
+  | `None_ -> "dynamic"
+  | `Static -> "static"
+  | `Hybrid -> "hybrid"

@@ -1,0 +1,22 @@
+(** The protocols under certification: the same fourteen-entry family
+    the fault harness sweeps ({!Weihl_fault.Harness.catalog}), paired
+    with the probe {!Domain} of the ADT each runs, minus the workloads
+    — the certifier drives its own probe schedules. *)
+
+open Weihl_event
+
+type entry = {
+  name : string;
+  policy : Weihl_cc.System.ts_policy;
+      (** which local atomicity property the protocol claims, hence
+          which checker judges its probe histories *)
+  domain : Domain.t;
+  make_object :
+    Weihl_cc.Event_log.t -> Object_id.t -> Weihl_cc.Atomic_object.t;
+}
+
+val all : entry list
+val find : string -> entry option
+
+val policy_name : Weihl_cc.System.ts_policy -> string
+(** ["dynamic"], ["static"] or ["hybrid"] — the atomicity class. *)

@@ -1,0 +1,187 @@
+module Json = Weihl_obs.Json
+module Commutativity = Weihl_theory.Commutativity
+
+type protocol_cert = {
+  protocol : string;
+  adt : string;
+  policy : string;
+  depth : int;
+  probe : Probe.t;
+  pairs_probed : int;
+  granted_sound : int;
+  blocked_justified : int;
+  unsound : string list;
+  loose : string list;
+  looseness : float;
+}
+
+type report = {
+  depth : int;
+  tables : Table_cert.t list;
+  protocols : protocol_cert list;
+}
+
+let certify_protocol ~depth (entry : Catalog.entry) =
+  let probe = Probe.run ~depth entry in
+  let count f = List.length (List.filter f probe.Probe.pairs) in
+  let granted_sound =
+    count (fun p -> p.Probe.status = Probe.Granted_sound)
+  in
+  let blocked_justified =
+    count (fun p -> p.Probe.status = Probe.Blocked_justified)
+  in
+  let describe f =
+    List.filter_map
+      (fun p -> if f p.Probe.status then Some (Fmt.str "%a" Probe.pp_pair p)
+        else None)
+      probe.Probe.pairs
+  in
+  let unsound_pairs =
+    describe (function Probe.Granted_unsound _ -> true | _ -> false)
+  in
+  let unsound_triples =
+    List.map (Fmt.str "%a" Probe.pp_triple) probe.Probe.triple_unsound
+  in
+  let loose =
+    describe (function Probe.Blocked_loose _ -> true | _ -> false)
+  in
+  let n_loose = List.length loose in
+  let looseness =
+    (* Of the pairs that could soundly have been granted, the fraction
+       the protocol blocked anyway: its lost-concurrency ratio. *)
+    if granted_sound + n_loose = 0 then 0.
+    else float_of_int n_loose /. float_of_int (granted_sound + n_loose)
+  in
+  {
+    protocol = entry.Catalog.name;
+    adt = entry.Catalog.domain.Domain.name;
+    policy = Catalog.policy_name entry.Catalog.policy;
+    depth;
+    probe;
+    pairs_probed = List.length probe.Probe.pairs;
+    granted_sound;
+    blocked_justified;
+    unsound = unsound_pairs @ unsound_triples;
+    loose;
+    looseness;
+  }
+
+let run ?protocol ~depth () =
+  match protocol with
+  | None ->
+    {
+      depth;
+      tables = List.map (Table_cert.certify ~depth) Domain.all;
+      protocols = List.map (certify_protocol ~depth) Catalog.all;
+    }
+  | Some name -> (
+    match Catalog.find name with
+    | Some entry ->
+      {
+        depth;
+        tables = [ Table_cert.certify ~depth entry.Catalog.domain ];
+        protocols = [ certify_protocol ~depth entry ];
+      }
+    | None -> (
+      match Domain.find name with
+      | Some d -> { depth; tables = [ Table_cert.certify ~depth d ]; protocols = [] }
+      | None -> invalid_arg (Fmt.str "lint: unknown protocol or ADT %s" name)))
+
+let unsound_total r =
+  List.fold_left
+    (fun acc t -> acc + List.length (Table_cert.unsound t))
+    0 r.tables
+  + List.fold_left (fun acc p -> acc + List.length p.unsound) 0 r.protocols
+
+let table_to_json (t : Table_cert.t) =
+  let entries es =
+    Json.List (List.map (fun e -> Json.Str (Fmt.str "%a" Table_cert.pp_entry e)) es)
+  in
+  Json.Obj
+    [
+      ("adt", Json.Str t.Table_cert.adt);
+      ("entries", Json.Num (float_of_int (List.length t.Table_cert.entries)));
+      ( "exploration",
+        Json.Obj
+          [
+            ( "enumerated",
+              Json.Num (float_of_int t.Table_cert.stats.Commutativity.enumerated)
+            );
+            ( "distinct",
+              Json.Num (float_of_int t.Table_cert.stats.Commutativity.distinct)
+            );
+            ("truncated", Json.Bool t.Table_cert.stats.Commutativity.truncated);
+          ] );
+      ("unsound", entries (Table_cert.unsound t));
+      ("loose", entries (Table_cert.loose t));
+      ("unknown", entries (Table_cert.unknown t));
+    ]
+
+let protocol_to_json (p : protocol_cert) =
+  let strings l = Json.List (List.map (fun s -> Json.Str s) l) in
+  Json.Obj
+    [
+      ("protocol", Json.Str p.protocol);
+      ("adt", Json.Str p.adt);
+      ("policy", Json.Str p.policy);
+      ( "setups",
+        Json.Obj
+          [
+            ( "enumerated",
+              Json.Num (float_of_int p.probe.Probe.setups_enumerated) );
+            ("distinct", Json.Num (float_of_int p.probe.Probe.setups_distinct));
+            ("skipped", Json.Num (float_of_int p.probe.Probe.setups_skipped));
+          ] );
+      ("pairs_probed", Json.Num (float_of_int p.pairs_probed));
+      ("granted_sound", Json.Num (float_of_int p.granted_sound));
+      ("blocked_justified", Json.Num (float_of_int p.blocked_justified));
+      ("triples_probed", Json.Num (float_of_int p.probe.Probe.triples_probed));
+      ("triples_granted", Json.Num (float_of_int p.probe.Probe.triples_granted));
+      ("unsound", strings p.unsound);
+      ("loose", strings p.loose);
+      ("looseness", Json.Num p.looseness);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("depth", Json.Num (float_of_int r.depth));
+      ("tables", Json.List (List.map table_to_json r.tables));
+      ("protocols", Json.List (List.map protocol_to_json r.protocols));
+      ("unsound_total", Json.Num (float_of_int (unsound_total r)));
+    ]
+
+let pp_protocol ppf p =
+  Fmt.pf ppf
+    "@[<h>%-16s %-14s %-8s %4d pairs (%d setups of %d enumerated): %d sound, \
+     %d unsound, %d justified, %d loose (looseness %.2f), %d triples (%d \
+     unsound)@]"
+    p.protocol p.adt p.policy p.pairs_probed p.probe.Probe.setups_distinct
+    p.probe.Probe.setups_enumerated p.granted_sound (List.length p.unsound)
+    p.blocked_justified (List.length p.loose) p.looseness
+    p.probe.Probe.triples_probed
+    (List.length p.probe.Probe.triple_unsound)
+
+let pp ?(verbose = false) ppf r =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun t -> Fmt.pf ppf "%a@," Table_cert.pp t) r.tables;
+  (if verbose then
+     List.iter
+       (fun t ->
+         List.iter
+           (fun e -> Fmt.pf ppf "  UNSOUND %a@," Table_cert.pp_entry e)
+           (Table_cert.unsound t);
+         List.iter
+           (fun e -> Fmt.pf ppf "  loose %a@," Table_cert.pp_entry e)
+           (Table_cert.loose t);
+         List.iter
+           (fun e -> Fmt.pf ppf "  unknown %a@," Table_cert.pp_entry e)
+           (Table_cert.unknown t))
+       r.tables);
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%a@," pp_protocol p;
+      List.iter (fun s -> Fmt.pf ppf "  UNSOUND %s@," s) p.unsound;
+      if verbose then List.iter (fun s -> Fmt.pf ppf "  loose %s@," s) p.loose)
+    r.protocols;
+  Fmt.pf ppf "unsound entries: %d@]" (unsound_total r)

@@ -1,0 +1,49 @@
+(** The lint pass itself: per-ADT table certificates plus per-protocol
+    behavioural certificates, with a machine-readable JSON rendering.
+
+    A protocol certificate aggregates the {!Probe} results:
+
+    - [unsound] — pairs granted concurrently whose completion left the
+      protocol's atomicity class, plus static triple-probe violations;
+      any entry here is a bug in the protocol's conflict rules;
+    - [loose] — pairs blocked though some permissible result would have
+      kept every completion in the class;
+    - [looseness] — [loose / (granted_sound + loose)]: of everything
+      that could soundly run concurrently, the fraction the protocol
+      blocks.  0 is optimal; the paper's data-dependent protocols
+      exist precisely to drive this toward 0. *)
+
+type protocol_cert = {
+  protocol : string;
+  adt : string;
+  policy : string;  (** atomicity class: dynamic / static / hybrid *)
+  depth : int;
+  probe : Probe.t;
+  pairs_probed : int;
+  granted_sound : int;
+  blocked_justified : int;
+  unsound : string list;
+  loose : string list;
+  looseness : float;
+}
+
+type report = {
+  depth : int;
+  tables : Table_cert.t list;
+  protocols : protocol_cert list;
+}
+
+val certify_protocol : depth:int -> Catalog.entry -> protocol_cert
+
+val run : ?protocol:string -> depth:int -> unit -> report
+(** The full catalogue, or — with [?protocol] — one catalogue protocol
+    (and its ADT's table), or one ADT table alone when the name only
+    matches a domain.
+    @raise Invalid_argument on an unknown name. *)
+
+val unsound_total : report -> int
+(** Unsound table entries plus unsound protocol findings; lint exits
+    non-zero iff positive. *)
+
+val to_json : report -> Weihl_obs.Json.t
+val pp : ?verbose:bool -> Format.formatter -> report -> unit

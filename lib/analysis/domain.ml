@@ -1,0 +1,58 @@
+open Weihl_event
+module Adt = Weihl_adt
+
+type t = {
+  name : string;
+  spec : Weihl_spec.Seq_spec.t;
+  alphabet : Operation.t list;
+  commutes : Operation.t -> Operation.t -> bool;
+  read_only : Operation.t -> bool;
+}
+
+let of_adt name (module A : Adt.Adt_sig.S) alphabet =
+  {
+    name;
+    spec = A.spec;
+    alphabet;
+    commutes = A.commutes;
+    read_only = (fun op -> A.classify op = Adt.Adt_sig.Read);
+  }
+
+let all =
+  [
+    of_adt "intset"
+      (module Adt.Intset)
+      Adt.Intset.
+        [ insert 1; insert 2; delete 1; delete 2; member 1; member 2; size ];
+    of_adt "counter" (module Adt.Counter) [ Adt.Counter.increment ];
+    of_adt "account"
+      (module Adt.Bank_account)
+      Adt.Bank_account.[ deposit 5; deposit 2; withdraw 3; withdraw 6; balance ];
+    of_adt "queue"
+      (module Adt.Fifo_queue)
+      Adt.Fifo_queue.[ enqueue 1; enqueue 2; dequeue ];
+    of_adt "register"
+      (module Adt.Register)
+      Adt.Register.[ read; write 1; write 2 ];
+    of_adt "kv"
+      (module Adt.Kv_map)
+      Adt.Kv_map.[ put 1 10; put 1 20; put 2 10; get 1; get 2; remove 1; size ];
+    of_adt "semiqueue" (module Adt.Semiqueue) Adt.Semiqueue.[ enq 1; enq 2; deq ];
+    of_adt "stack" (module Adt.Stack) Adt.Stack.[ push 1; push 2; pop ];
+    of_adt "pqueue"
+      (module Adt.Priority_queue)
+      Adt.Priority_queue.[ add 1; add 5; extract_min; find_min ];
+    of_adt "blind_counter"
+      (module Adt.Blind_counter)
+      Adt.Blind_counter.[ bump 1; bump 2; read ];
+    of_adt "log"
+      (module Adt.Append_log)
+      Adt.Append_log.[ append 1; append 2; size; read 0 ];
+  ]
+
+let find name = List.find_opt (fun d -> d.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some d -> d
+  | None -> invalid_arg (Fmt.str "Domain.find_exn: unknown domain %s" name)

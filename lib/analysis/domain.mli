@@ -1,0 +1,32 @@
+(** Bounded probe domains: one finite operation alphabet per catalogue
+    ADT, rich enough to exercise every conflict class of its
+    hand-written table on small argument values.
+
+    Everything the certifier derives is quantified over these alphabets
+    and over serial setups built from them, so the alphabets fix the
+    soundness/completeness bound of the whole analysis: a table or
+    grant-rule error only shows up if some pair of alphabet operations
+    witnesses it.  The alphabets deliberately mirror the ones
+    [test_commutativity.ml] has always used, extended to every ADT. *)
+
+open Weihl_event
+
+type t = {
+  name : string;  (** the registry name, e.g. ["intset"] *)
+  spec : Weihl_spec.Seq_spec.t;
+  alphabet : Operation.t list;
+  commutes : Operation.t -> Operation.t -> bool;
+      (** the hand-written table under certification *)
+  read_only : Operation.t -> bool;
+      (** from the ADT's read/write classification *)
+}
+
+val of_adt : string -> (module Weihl_adt.Adt_sig.S) -> Operation.t list -> t
+
+val all : t list
+(** One domain per registry ADT, same names as {!Weihl_adt.Adt_registry.all}. *)
+
+val find : string -> t option
+
+val find_exn : string -> t
+(** @raise Invalid_argument on an unknown name. *)

@@ -1,0 +1,25 @@
+(** The certifier's own acceptance test: seeded corruptions that a
+    working lint pass must flag.
+
+    Five table corruptions (a hand-table entry flipped to "commutes",
+    including the semiqueue [deq]/[deq] flip only the non-deterministic
+    engine can catch) and five protocol corruptions (locking objects
+    built over corrupted conflict relations, plus the multiversion
+    grant guard with the PR 3 committed+own validation switched off).
+    [self_test] certifies each mutant exactly the way [weihl lint]
+    certifies the real catalogue; a mutation is {e detected} when its
+    certificate contains an unsound entry.  A missed mutation means
+    the certifier has a blind spot — the lint CLI and CI treat it as a
+    failure. *)
+
+type outcome = {
+  name : string;
+  kind : string;  (** ["table"] or ["protocol"] *)
+  description : string;
+  detected : bool;
+  evidence : string;  (** the first unsound finding, when detected *)
+}
+
+val self_test : depth:int -> outcome list
+val all_detected : outcome list -> bool
+val pp_outcome : Format.formatter -> outcome -> unit

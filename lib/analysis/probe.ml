@@ -1,0 +1,471 @@
+open Weihl_event
+module Cc = Weihl_cc
+module Seq_spec = Weihl_spec.Seq_spec
+module Spec_env = Weihl_spec.Spec_env
+module Atomicity = Weihl_spec.Atomicity
+module Commutativity = Weihl_theory.Commutativity
+
+let obj = Object_id.v "x"
+
+type pair_status =
+  | Granted_sound
+  | Granted_unsound of string
+  | Blocked_justified
+  | Blocked_loose of string
+
+type pair = {
+  setup : Operation.t list;
+  variant : string;
+  p : Operation.t;
+  q : Operation.t;
+  status : pair_status;
+}
+
+type triple = {
+  t_setup : Operation.t list;
+  t_p : Operation.t;
+  t_q : Operation.t;
+  t_r : Operation.t;
+  branch : string;
+  problem : string;
+}
+
+type t = {
+  setups_enumerated : int;
+  setups_distinct : int;
+  setups_skipped : int;
+  pairs : pair list;
+  triples_probed : int;
+  triples_granted : int;
+  triple_unsound : triple list;
+}
+
+(* A variant fixes everything about a pair probe other than the two
+   operations: the timestamp script (static protocols are probed with
+   the second transaction both later and earlier in timestamp order)
+   and the kind of the second transaction (hybrid protocols are probed
+   with an update and with a read-only partner). *)
+type variant = {
+  label : string;
+  ts_script : int list option;
+  t2_read_only : bool;
+  t1_later : bool;
+}
+
+let variants policy =
+  match policy with
+  | `None_ ->
+    [
+      {
+        label = "concurrent";
+        ts_script = None;
+        t2_read_only = false;
+        t1_later = false;
+      };
+    ]
+  | `Static ->
+    [
+      {
+        label = "t1-earlier-ts";
+        ts_script = Some [ 1; 10; 20 ];
+        t2_read_only = false;
+        t1_later = false;
+      };
+      {
+        label = "t1-later-ts";
+        ts_script = Some [ 1; 20; 10 ];
+        t2_read_only = false;
+        t1_later = true;
+      };
+    ]
+  | `Hybrid ->
+    [
+      {
+        label = "update-update";
+        ts_script = None;
+        t2_read_only = false;
+        t1_later = false;
+      };
+      {
+        label = "update-readonly";
+        ts_script = None;
+        t2_read_only = true;
+        t1_later = false;
+      };
+    ]
+
+let fresh (entry : Catalog.entry) ts_script =
+  let sys = Cc.System.create ~policy:entry.Catalog.policy () in
+  (match ts_script with
+  | None -> ()
+  | Some script ->
+    let remaining = ref script in
+    Cc.System.set_ts_source sys (fun () ->
+        match !remaining with
+        | t :: rest ->
+          remaining := rest;
+          Timestamp.v t
+        | [] -> invalid_arg "probe: timestamp script exhausted"));
+  Cc.System.add_object sys
+    (entry.Catalog.make_object (Cc.System.log sys) obj);
+  sys
+
+(* Drive the committed setup; [None] when the protocol does not grant
+   some setup operation serially (the setup is then unusable for this
+   protocol and skipped). *)
+let run_setup sys ops =
+  let txn = Cc.System.begin_txn sys (Activity.update "setup") in
+  let rec go acc = function
+    | [] ->
+      Cc.System.commit sys txn;
+      Some (List.rev acc)
+    | op :: rest -> (
+      match Cc.System.invoke sys txn obj op with
+      | Cc.Atomic_object.Granted res -> go (res :: acc) rest
+      | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None)
+  in
+  go [] ops
+
+(* The frontier the committed setup leaves, computed from the results
+   the protocol actually returned; [None] when those results do not
+   replay against the specification (a serial divergence — the granted
+   pair checks will flag it). *)
+let observed_frontier spec ops results =
+  List.fold_left2
+    (fun f op res ->
+      match f with None -> None | Some f -> Seq_spec.advance f op res)
+    (Some (Seq_spec.start spec))
+    ops results
+
+(* Enumerate serial setups up to [depth] operations, following the
+   first outcome of each step, and keep one representative per
+   observationally distinct frontier.  Probing is bounded anyway, so
+   two setups the alphabet cannot tell apart in two steps would give
+   identical probe behaviour at the spec level. *)
+let enumerate_setups (d : Domain.t) ~depth =
+  let probes = d.Domain.alphabet in
+  let enumerated = ref 0 in
+  let reps : (Operation.t list * Seq_spec.frontier) list ref = ref [] in
+  let known f =
+    let size = Seq_spec.frontier_size f in
+    List.exists
+      (fun (_, g) ->
+        Seq_spec.frontier_size g = size
+        && (Seq_spec.equal_frontier g f
+           || Commutativity.observationally_equal ~probes ~depth:2 g f))
+      !reps
+  in
+  let queue = Queue.create () in
+  let add path f remaining =
+    incr enumerated;
+    if not (known f) then begin
+      reps := (path, f) :: !reps;
+      if remaining > 0 then Queue.add (path, f, remaining) queue
+    end
+  in
+  add [] (Seq_spec.start d.Domain.spec) depth;
+  while not (Queue.is_empty queue) do
+    let path, f, remaining = Queue.pop queue in
+    List.iter
+      (fun op ->
+        match Seq_spec.outcomes f op with
+        | (_, f') :: _ -> add (path @ [ op ]) f' (remaining - 1)
+        | [] -> ())
+      d.Domain.alphabet
+  done;
+  (List.rev_map fst !reps, !enumerated)
+
+let check_atomicity policy env h =
+  match policy with
+  | `None_ -> Atomicity.dynamic_atomic env h
+  | `Static -> Atomicity.static_atomic env h
+  | `Hybrid -> Atomicity.hybrid_atomic env h
+
+(* Would granting [q] some spec-permissible result have kept every
+   completion the protocol cannot prevent inside its atomicity class?
+   [f] is the committed setup frontier and [rp] the result already
+   granted to the first transaction.  The serialization orders that
+   must replay depend on the class and the variant: a dynamic or
+   hybrid update pair may be forced into either commit order by other
+   objects; a static pair is pinned to timestamp order; a hybrid
+   read-only partner serializes at its initiation timestamp, before
+   the update's commit timestamp. *)
+let grant_would_be_sound (variant : variant) policy f p rp q =
+  match Seq_spec.advance f p rp with
+  | None -> false
+  | Some f_p ->
+    List.exists
+      (fun (rq, f_q) ->
+        let pq = Option.is_some (Seq_spec.advance f_p q rq) in
+        let qp = Option.is_some (Seq_spec.advance f_q p rp) in
+        match policy with
+        | `Static -> if variant.t1_later then qp else pq
+        | `Hybrid -> if variant.t2_read_only then qp else pq && qp
+        | `None_ -> pq && qp)
+      (Seq_spec.outcomes f q)
+
+type run_outcome =
+  | Setup_blocked
+  | T1_blocked of Value.t list
+  | T2_blocked of Value.t list * Value.t * string
+  | Completed of Value.t list * Value.t * Value.t * History.t
+  | Crashed of string
+      (** the protocol itself raised while completing the granted pair —
+          e.g. recorded intentions that no longer replay at commit *)
+
+let run_pair entry (variant : variant) setup p q ~completion =
+  let sys = fresh entry variant.ts_script in
+  match run_setup sys setup with
+  | None -> Setup_blocked
+  | Some setup_results -> (
+    let t1 = Cc.System.begin_txn sys (Activity.update "t1") in
+    match Cc.System.invoke sys t1 obj p with
+    | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ ->
+      T1_blocked setup_results
+    | Cc.Atomic_object.Granted rp -> (
+      let a2 =
+        if variant.t2_read_only then Activity.read_only "t2"
+        else Activity.update "t2"
+      in
+      let t2 = Cc.System.begin_txn sys a2 in
+      match Cc.System.invoke sys t2 obj q with
+      | Cc.Atomic_object.Wait _ -> T2_blocked (setup_results, rp, "waits")
+      | Cc.Atomic_object.Refused _ -> T2_blocked (setup_results, rp, "refused")
+      | Cc.Atomic_object.Granted rq -> (
+        match
+          match completion with
+          | `CC ->
+            Cc.System.commit sys t1;
+            Cc.System.commit sys t2
+          | `CC_rev ->
+            Cc.System.commit sys t2;
+            Cc.System.commit sys t1
+          | `C1A2 ->
+            Cc.System.commit sys t1;
+            Cc.System.abort sys t2
+          | `A1C2 ->
+            Cc.System.abort sys t1;
+            Cc.System.commit sys t2
+        with
+        | () -> Completed (setup_results, rp, rq, Cc.System.history sys)
+        | exception exn -> Crashed (Printexc.to_string exn))))
+
+let completion_name = function
+  | `CC -> "both-commit"
+  | `CC_rev -> "both-commit-reversed"
+  | `C1A2 -> "t2-aborts"
+  | `A1C2 -> "t1-aborts"
+
+let probe_pair entry (variant : variant) env setup p q =
+  let spec = entry.Catalog.domain.Domain.spec in
+  match run_pair entry variant setup p q ~completion:`CC with
+  | Setup_blocked -> None
+  | T1_blocked setup_results -> (
+    (* The first transaction is blocked with no concurrency at all;
+       justified only if the specification itself permits no answer. *)
+    match observed_frontier spec setup setup_results with
+    | None -> Some Blocked_justified
+    | Some f ->
+      if Seq_spec.outcomes f p = [] then Some Blocked_justified
+      else
+        Some
+          (Blocked_loose
+             "blocked serially though the specification permits an answer"))
+  | T2_blocked (setup_results, rp, how) -> (
+    match observed_frontier spec setup setup_results with
+    | None -> Some Blocked_justified
+    | Some f ->
+      if grant_would_be_sound variant entry.Catalog.policy f p rp q then
+        Some
+          (Blocked_loose
+             (Fmt.str
+                "%s though some permissible result keeps every completion %s \
+                 atomic"
+                how
+                (Catalog.policy_name entry.Catalog.policy)))
+      else Some Blocked_justified)
+  | Crashed exn ->
+    Some
+      (Granted_unsound
+         (Fmt.str "granted concurrently but completion %s raised: %s"
+            (completion_name `CC) exn))
+  | Completed (_, _, _, first_history) ->
+    (* The pair was granted concurrently: every completion the protocol
+       cannot prevent must stay inside its atomicity class. *)
+    let completions =
+      match entry.Catalog.policy with
+      | `Hybrid -> [ `CC_rev; `C1A2; `A1C2 ]
+      | `None_ | `Static -> [ `C1A2; `A1C2 ]
+    in
+    let not_atomic branch =
+      Fmt.str "completion %s is not %s atomic" (completion_name branch)
+        (Catalog.policy_name entry.Catalog.policy)
+    in
+    let failure =
+      if not (check_atomicity entry.Catalog.policy env first_history) then
+        Some (not_atomic `CC)
+      else
+        List.find_map
+          (fun completion ->
+            match run_pair entry variant setup p q ~completion with
+            | Completed (_, _, _, h) ->
+              if check_atomicity entry.Catalog.policy env h then None
+              else Some (not_atomic completion)
+            | Crashed exn ->
+              Some
+                (Fmt.str "completion %s raised: %s"
+                   (completion_name completion) exn)
+            | Setup_blocked | T1_blocked _ | T2_blocked _ ->
+              (* Deterministic replay of an identical prefix. *)
+              assert false)
+          completions
+    in
+    Some
+      (match failure with
+      | None -> Granted_sound
+      | Some why -> Granted_unsound ("granted concurrently but " ^ why))
+
+(* Three-transaction probes for static protocols.  Timestamp-ordered
+   serialization is sensitive to a shape no pair can build: a commit
+   wedged between two grants, followed by the abort of a transaction
+   whose uncommitted execution justified the later grant.  The PR 3
+   multiversion bug is exactly this shape: T1 (ts 10) holds [p]
+   uncommitted, T2 (ts 20) commits [q], and T3's [r] at ts 5 is granted
+   on the strength of T1's pending execution; when T1 aborts, the
+   committed history no longer replays in timestamp order. *)
+let run_triple entry setup p q r ~branch =
+  let sys = fresh entry (Some [ 1; 10; 20; 5 ]) in
+  match run_setup sys setup with
+  | None -> None
+  | Some _ -> (
+    let t1 = Cc.System.begin_txn sys (Activity.update "t1") in
+    match Cc.System.invoke sys t1 obj p with
+    | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None
+    | Cc.Atomic_object.Granted _ -> (
+      let t2 = Cc.System.begin_txn sys (Activity.update "t2") in
+      match Cc.System.invoke sys t2 obj q with
+      | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None
+      | Cc.Atomic_object.Granted _ -> (
+        match
+          Cc.System.commit sys t2;
+          let t3 = Cc.System.begin_txn sys (Activity.update "t3") in
+          match Cc.System.invoke sys t3 obj r with
+          | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None
+          | Cc.Atomic_object.Granted _ ->
+            (match branch with
+            | `T1_aborts -> Cc.System.abort sys t1
+            | `T1_commits -> Cc.System.commit sys t1);
+            Cc.System.commit sys t3;
+            Some (Ok (Cc.System.history sys))
+        with
+        | outcome -> outcome
+        | exception exn -> Some (Error (Printexc.to_string exn)))))
+
+let probe_triples entry env setups =
+  let alphabet = entry.Catalog.domain.Domain.alphabet in
+  let probed = ref 0 in
+  let granted = ref 0 in
+  let unsound = ref [] in
+  List.iter
+    (fun setup ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun q ->
+              List.iter
+                (fun r ->
+                  incr probed;
+                  match run_triple entry setup p q r ~branch:`T1_aborts with
+                  | None -> ()
+                  | Some first ->
+                    incr granted;
+                    let flag branch problem =
+                      unsound :=
+                        { t_setup = setup; t_p = p; t_q = q; t_r = r;
+                          branch; problem }
+                        :: !unsound
+                    in
+                    let record branch = function
+                      | Ok h ->
+                        if not (check_atomicity `Static env h) then
+                          flag branch "committed history is not static atomic"
+                      | Error exn -> flag branch ("completion raised: " ^ exn)
+                    in
+                    record "t1-aborts" first;
+                    (match
+                       run_triple entry setup p q r ~branch:`T1_commits
+                     with
+                    | Some second -> record "t1-commits" second
+                    | None -> ()))
+                alphabet)
+            alphabet)
+        alphabet)
+    setups;
+  (!probed, !granted, List.rev !unsound)
+
+let run ~depth (entry : Catalog.entry) =
+  let d = entry.Catalog.domain in
+  let setups, enumerated = enumerate_setups d ~depth in
+  let env = Spec_env.of_list [ (obj, d.Domain.spec) ] in
+  let skipped = ref 0 in
+  let pairs = ref [] in
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun setup ->
+          let setup_usable = ref true in
+          List.iter
+            (fun p ->
+              List.iter
+                (fun q ->
+                  if !setup_usable then
+                    if variant.t2_read_only && not (d.Domain.read_only q) then
+                      ()
+                    else
+                      match probe_pair entry variant env setup p q with
+                      | None ->
+                        setup_usable := false;
+                        incr skipped
+                      | Some status ->
+                        pairs :=
+                          { setup; variant = variant.label; p; q; status }
+                          :: !pairs)
+                d.Domain.alphabet)
+            d.Domain.alphabet)
+        setups)
+    (variants entry.Catalog.policy);
+  let triples_probed, triples_granted, triple_unsound =
+    match entry.Catalog.policy with
+    | `Static -> probe_triples entry env setups
+    | `None_ | `Hybrid -> (0, 0, [])
+  in
+  {
+    setups_enumerated = enumerated;
+    setups_distinct = List.length setups;
+    setups_skipped = !skipped;
+    pairs = List.rev !pairs;
+    triples_probed;
+    triples_granted;
+    triple_unsound;
+  }
+
+let pp_ops ppf ops =
+  if ops = [] then Fmt.string ppf "(empty)"
+  else Fmt.(list ~sep:(any ";") Operation.pp) ppf ops
+
+let pp_pair ppf pr =
+  let status =
+    match pr.status with
+    | Granted_sound -> "granted, sound"
+    | Granted_unsound why -> "UNSOUND: " ^ why
+    | Blocked_justified -> "blocked, justified"
+    | Blocked_loose why -> "loose: " ^ why
+  in
+  Fmt.pf ppf "@[<h>[%a] %a || %a (%s): %s@]" pp_ops pr.setup Operation.pp pr.p
+    Operation.pp pr.q pr.variant status
+
+let pp_triple ppf t =
+  Fmt.pf ppf
+    "@[<h>[%a] t1:%a@@10 t2:%a@@20(commit) t3:%a@@5, %s: %s@]" pp_ops
+    t.t_setup Operation.pp t.t_p Operation.pp t.t_q Operation.pp t.t_r
+    t.branch t.problem

@@ -1,0 +1,79 @@
+(** The synthetic single-object probe harness: extract a protocol's
+    effective conflict predicate by driving its real object — behind a
+    real {!Weihl_cc.System} under the protocol's timestamp policy —
+    through bounded schedules, and judge every decision against the
+    protocol's atomicity class.
+
+    {2 Pair probes}
+
+    For every representative committed setup (serial alphabet
+    sequences up to the probe depth, deduplicated by observational
+    equality of the frontier they reach) and every ordered alphabet
+    pair [(p, q)]: transaction [t1] executes [p], then a concurrent
+    [t2] attempts [q].
+
+    - If both are {e granted}, the protocol has committed itself: it
+      cannot prevent any completion, so each completion branch (both
+      commit — in both orders for hybrid protocols, whose commit
+      timestamps follow commit order — and each one-aborts branch) is
+      run to the end and the resulting real history is checked with
+      the class decision procedure ({!Weihl_spec.Atomicity}).  Any
+      failing branch makes the pair {e unsound}.
+    - If [t2] is {e blocked} (waits or is refused), the spec decides
+      whether blocking was necessary: the pair is {e loose} when some
+      spec-permissible result for [q] would have kept every completion
+      inside the class — concurrency the protocol gives away.
+
+    Static protocols are probed under both timestamp orders of the
+    pair; hybrid protocols with an update and with a read-only
+    partner.
+
+    {2 Triple probes}
+
+    Static protocols additionally get three-transaction probes with
+    scripted timestamps (t1@10 uncommitted, t2@20 committed between
+    the grants, t3@5 granted last, then t1 aborts or commits): the
+    minimal shape of the PR 3 multiversion bug, where a grant was
+    justified by an uncommitted later-timestamp execution that
+    vanished on abort.  Pair probes provably cannot reach it. *)
+
+open Weihl_event
+
+type pair_status =
+  | Granted_sound
+  | Granted_unsound of string
+  | Blocked_justified
+  | Blocked_loose of string
+
+type pair = {
+  setup : Operation.t list;
+  variant : string;
+  p : Operation.t;
+  q : Operation.t;
+  status : pair_status;
+}
+
+type triple = {
+  t_setup : Operation.t list;
+  t_p : Operation.t;
+  t_q : Operation.t;
+  t_r : Operation.t;
+  branch : string;
+  problem : string;
+}
+
+type t = {
+  setups_enumerated : int;
+  setups_distinct : int;
+  setups_skipped : int;
+      (** representative setups some probe could not replay serially *)
+  pairs : pair list;
+  triples_probed : int;
+  triples_granted : int;
+  triple_unsound : triple list;
+}
+
+val run : depth:int -> Catalog.entry -> t
+
+val pp_pair : Format.formatter -> pair -> unit
+val pp_triple : Format.formatter -> triple -> unit

@@ -1,0 +1,74 @@
+open Weihl_event
+module Commutativity = Weihl_theory.Commutativity
+
+type entry = {
+  p : Operation.t;
+  q : Operation.t;
+  hand : bool;
+  derived : Commutativity.verdict;
+}
+
+type t = {
+  adt : string;
+  depth : int;
+  stats : Commutativity.stats;
+  entries : entry list;
+}
+
+let unsound t =
+  List.filter
+    (fun e ->
+      e.hand && match e.derived with Commutativity.Conflict _ -> true | _ -> false)
+    t.entries
+
+let loose t =
+  List.filter
+    (fun e ->
+      (not e.hand)
+      && match e.derived with Commutativity.Commute -> true | _ -> false)
+    t.entries
+
+let unknown t =
+  List.filter
+    (fun e ->
+      match e.derived with Commutativity.Unknown _ -> true | _ -> false)
+    t.entries
+
+let certify ?table ~depth (d : Domain.t) =
+  let hand = Option.value table ~default:d.Domain.commutes in
+  let _, stats =
+    Commutativity.reachable_frontiers d.Domain.spec ~gen_ops:d.Domain.alphabet
+      ~depth
+  in
+  let entries =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun q ->
+            {
+              p;
+              q;
+              hand = hand p q;
+              derived =
+                Commutativity.commute_on_reachable d.Domain.spec
+                  ~gen_ops:d.Domain.alphabet ~state_depth:depth p q;
+            })
+          d.Domain.alphabet)
+      d.Domain.alphabet
+  in
+  { adt = d.Domain.name; depth; stats; entries }
+
+let pp_entry ppf e =
+  Fmt.pf ppf "@[<h>%a / %a: table says %s, derived %a@]" Operation.pp e.p
+    Operation.pp e.q
+    (if e.hand then "commute" else "conflict")
+    Commutativity.pp_verdict e.derived
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>table %-14s %d entries, %a: %d unsound, %d loose, %d unknown@]"
+    t.adt
+    (List.length t.entries)
+    Commutativity.pp_stats t.stats
+    (List.length (unsound t))
+    (List.length (loose t))
+    (List.length (unknown t))

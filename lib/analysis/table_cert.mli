@@ -1,0 +1,43 @@
+(** Certificates for the hand-written commutativity tables: every
+    alphabet pair of a {!Domain} is compared against the relation
+    {!Weihl_theory.Commutativity.commute_on_reachable} derives from the
+    sequential specification.
+
+    An entry is {e unsound} when the table claims the pair commutes but
+    the derivation finds a counterexample — a locking protocol trusting
+    the table would grant an impermissible interleaving.  It is
+    {e loose} when the table conservatively blocks a pair the
+    derivation proves compatible on the bounded space — concurrency
+    lost.  {e Unknown} entries mark pairs the bound could not decide
+    and are reported, never silently dropped. *)
+
+open Weihl_event
+
+type entry = {
+  p : Operation.t;
+  q : Operation.t;
+  hand : bool;  (** what the table under certification claims *)
+  derived : Weihl_theory.Commutativity.verdict;
+}
+
+type t = {
+  adt : string;
+  depth : int;
+  stats : Weihl_theory.Commutativity.stats;
+      (** exploration size, so the bound behind the certificate is
+          visible in reports *)
+  entries : entry list;
+}
+
+val unsound : t -> entry list
+val loose : t -> entry list
+val unknown : t -> entry list
+
+val certify :
+  ?table:(Operation.t -> Operation.t -> bool) -> depth:int -> Domain.t -> t
+(** Certify [table] (default: the domain's own hand-written [commutes])
+    against the derived relation at exploration depth [depth].  The
+    [?table] override exists for the mutation self-test. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -14,7 +14,7 @@ let exec_order a b =
   let c = Timestamp.compare a.ts b.ts in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let make log id spec : Atomic_object.t =
+let make ?(validate_stable = true) log id spec : Atomic_object.t =
   let olog = Obj_log.create log id in
   let executed : exec list ref = ref [] in
   let next_seq = Hashtbl.create 8 in
@@ -94,10 +94,11 @@ let make log id spec : Atomic_object.t =
             let consistent l = Option.is_some (replay l) in
             if
               consistent (earlier @ [ e ] @ later)
-              && consistent
-                   (List.filter stable earlier
-                   @ [ e ]
-                   @ List.filter stable later)
+              && ((not validate_stable)
+                 || consistent
+                      (List.filter stable earlier
+                      @ [ e ]
+                      @ List.filter stable later))
             then begin
               executed := e :: !executed;
               Obj_log.responded olog txn res;

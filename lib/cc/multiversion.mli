@@ -22,5 +22,12 @@
 
 open Weihl_event
 
-val make : Event_log.t -> Object_id.t -> Weihl_spec.Seq_spec.t ->
-  Atomic_object.t
+val make : ?validate_stable:bool -> Event_log.t -> Object_id.t ->
+  Weihl_spec.Seq_spec.t -> Atomic_object.t
+(** [validate_stable] (default [true]) keeps the second grant check:
+    the new operation must also replay against only the execs that
+    cannot vanish (committed transactions plus the invoker's own).
+    Passing [false] reverts to the pre-fix guard that let a mutation be
+    justified by an uncommitted later-timestamp exec — a known
+    static-atomicity bug, kept reachable solely so the lint mutation
+    self-test can prove the certifier catches it. *)

@@ -30,6 +30,14 @@
     Deterministic workload simulation: {!Rng}, {!Stats}, {!Workload},
     {!Driver}.
 
+    {1 Static analysis}
+
+    The spec-derived conflict certifier lives in [Weihl_analysis]:
+    {!Lint} runs it (per-ADT {!Table_cert} certificates over
+    {!Lint_domain} alphabets, per-protocol {!Lint_probe} certificates
+    over the {!Lint_catalog} family), and {!Lint_mutation} is its
+    self-test.  The [weihl lint] subcommand is the CLI face.
+
     {1 Observability}
 
     Metrics, Chrome-trace export and contention diagnostics live in
@@ -104,6 +112,13 @@ module Tpc = Weihl_dist.Tpc
 
 module Fault_plan = Weihl_fault.Plan
 module Fault_harness = Weihl_fault.Harness
+
+module Lint_domain = Weihl_analysis.Domain
+module Lint_catalog = Weihl_analysis.Catalog
+module Table_cert = Weihl_analysis.Table_cert
+module Lint_probe = Weihl_analysis.Probe
+module Lint = Weihl_analysis.Certify
+module Lint_mutation = Weihl_analysis.Mutation
 
 module Rng = Weihl_sim.Rng
 module Stats = Weihl_sim.Stats

@@ -87,6 +87,8 @@ let advance_changes (Frontier ((module S), _, states)) op res =
 let determined f op =
   match outcomes f op with [ (res, _) ] -> Some res | _ -> None
 
+let frontier_size (Frontier (_, _, states)) = List.length states
+
 let equal_frontier (Frontier ((module S), id1, s1)) (Frontier (_, id2, s2)) =
   match Type.Id.provably_equal id1 id2 with
   | None -> false

@@ -73,6 +73,11 @@ val determined : frontier -> Operation.t -> Value.t option
     permissible for [op] from [f].  Used by online protocols that must
     return a definite answer. *)
 
+val frontier_size : frontier -> int
+(** The number of distinct states the frontier holds.  Cheap; used as a
+    pre-filter before the set comparisons of {!equal_frontier} (equal
+    frontiers necessarily have equal sizes). *)
+
 val equal_frontier : frontier -> frontier -> bool
 (** State-set equality of two frontiers descending from the {e same}
     [start] call.  Frontiers from different [start] calls compare

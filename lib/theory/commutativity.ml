@@ -1,19 +1,24 @@
 open Weihl_event
 module Seq_spec = Weihl_spec.Seq_spec
 
-let reachable_frontiers spec ~gen_ops ~depth =
-  let rec go frontier depth acc =
-    let acc = frontier :: acc in
-    if depth = 0 then acc
-    else
-      List.fold_left
-        (fun acc op ->
-          match Seq_spec.outcomes frontier op with
-          | (_, f') :: _ -> go f' (depth - 1) acc
-          | [] -> acc)
-        acc gen_ops
-  in
-  go (Seq_spec.start spec) depth []
+type stats = { enumerated : int; distinct : int; truncated : bool }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d frontiers (%d enumerated%s)" s.distinct s.enumerated
+    (if s.truncated then ", truncated" else "")
+
+type verdict = Commute | Conflict of string | Unknown of string
+
+let equal_verdict a b =
+  match (a, b) with
+  | Commute, Commute -> true
+  | Conflict x, Conflict y | Unknown x, Unknown y -> String.equal x y
+  | _ -> false
+
+let pp_verdict ppf = function
+  | Commute -> Fmt.string ppf "commute"
+  | Conflict why -> Fmt.pf ppf "conflict (%s)" why
+  | Unknown why -> Fmt.pf ppf "unknown (%s)" why
 
 let rec observationally_equal ~probes ~depth f g =
   depth = 0
@@ -34,36 +39,125 @@ let rec observationally_equal ~probes ~depth f g =
               outcomes_f)
        probes
 
+let reachable_frontiers ?probe_depth ?(max_states = 4096) spec ~gen_ops
+    ~depth =
+  let probe_depth = Option.value probe_depth ~default:depth in
+  let enumerated = ref 0 in
+  let truncated = ref false in
+  (* Distinct frontiers in reverse discovery order.  Every frontier
+     descends from the single [start] below, so [equal_frontier] is a
+     sound (exact state-set) fast path before the bisimulation. *)
+  let seen : Seq_spec.frontier list ref = ref [] in
+  let known f =
+    let size = Seq_spec.frontier_size f in
+    List.exists
+      (fun g ->
+        Seq_spec.frontier_size g = size
+        && (Seq_spec.equal_frontier g f
+           || observationally_equal ~probes:gen_ops ~depth:probe_depth g f))
+      !seen
+  in
+  let queue = Queue.create () in
+  let add f d =
+    incr enumerated;
+    if List.length !seen >= max_states then truncated := true
+    else if not (known f) then begin
+      seen := f :: !seen;
+      if d > 0 then Queue.add (f, d) queue
+    end
+  in
+  add (Seq_spec.start spec) depth;
+  while not (Queue.is_empty queue) do
+    let f, d = Queue.pop queue in
+    List.iter
+      (fun op ->
+        List.iter (fun (_, f') -> add f' (d - 1)) (Seq_spec.outcomes f op))
+      gen_ops
+  done;
+  let distinct = List.rev !seen in
+  ( distinct,
+    {
+      enumerated = !enumerated;
+      distinct = List.length distinct;
+      truncated = !truncated;
+    } )
+
 let commute_on_reachable spec ~gen_ops ?(probe_depth = 2) ?(state_depth = 3)
-    p q =
-  let frontiers = reachable_frontiers spec ~gen_ops ~depth:state_depth in
-  let deterministic = ref true in
-  let run frontier op =
-    match Seq_spec.outcomes frontier op with
-    | [ (r, f') ] -> Some (r, f')
-    | [] -> None
-    | _ :: _ :: _ ->
-      deterministic := false;
-      None
+    ?max_states p q =
+  (* Deduplicating exploration probes deeper than the final-state
+     comparison below: a conflict shows up after two [advance]s plus
+     [probe_depth] levels of probing, so merging frontiers that are
+     indistinguishable at [probe_depth + 2] cannot hide one. *)
+  let frontiers, stats =
+    reachable_frontiers spec ~gen_ops ~depth:state_depth
+      ~probe_depth:(probe_depth + 2) ?max_states
   in
-  let commutes_everywhere =
-    List.for_all
-      (fun frontier ->
-        match run frontier p with
-        | None -> !deterministic (* p impossible here: vacuous *)
-        | Some (rp1, f1) -> (
-          match run f1 q with
-          | None -> !deterministic
-          | Some (rq1, f_pq) -> (
-            match run frontier q with
-            | None -> !deterministic
-            | Some (rq2, f2) -> (
-              match run f2 p with
-              | None -> !deterministic
-              | Some (rp2, f_qp) ->
-                Value.equal rp1 rp2 && Value.equal rq1 rq2
-                && observationally_equal ~probes:gen_ops ~depth:probe_depth
-                     f_pq f_qp))))
-      frontiers
+  let describe frontier rp rq what =
+    Fmt.str "from %a with %a->%a and %a->%a: %s" Seq_spec.pp_frontier
+      frontier Operation.pp p Value.pp rp Operation.pp q Value.pp rq what
   in
-  if not !deterministic then None else Some commutes_everywhere
+  (* Result-aware forward commutativity: whenever results [rp] for [p]
+     and [rq] for [q] are each individually permissible from a reachable
+     frontier, both interleavings [p/rp; q/rq] and [q/rq; p/rp] must be
+     permissible and land on observationally equal frontiers.  Two
+     concurrent transactions may each be granted its result against the
+     same committed state, and either commit order may then be forced by
+     other objects — so an individually-permissible result pair whose
+     sequential composition is impossible is a conflict, not a vacuous
+     case.  (Semiqueue deq/deq: both may be granted item 1 from {1,2},
+     yet deq->1; deq->1 replays against no state.) *)
+  let check_frontier frontier =
+    let ps = Seq_spec.outcomes frontier p in
+    let qs = Seq_spec.outcomes frontier q in
+    List.fold_left
+      (fun acc (rp, f_p) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          List.fold_left
+            (fun acc (rq, f_q) ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                match
+                  (Seq_spec.advance f_p q rq, Seq_spec.advance f_q p rp)
+                with
+                | None, None ->
+                  Some
+                    (describe frontier rp rq
+                       "results are concurrently grantable but compose in \
+                        neither order")
+                | Some _, None ->
+                  Some
+                    (describe frontier rp rq
+                       (Fmt.str "order %a-first is impossible" Operation.pp q))
+                | None, Some _ ->
+                  Some
+                    (describe frontier rp rq
+                       (Fmt.str "order %a-first is impossible" Operation.pp p))
+                | Some f_pq, Some f_qp ->
+                  if
+                    observationally_equal ~probes:gen_ops ~depth:probe_depth
+                      f_pq f_qp
+                  then None
+                  else
+                    Some
+                      (describe frontier rp rq
+                         "final states are distinguishable")))
+            acc qs)
+      None ps
+  in
+  let counterexample =
+    List.fold_left
+      (fun acc frontier ->
+        match acc with Some _ -> acc | None -> check_frontier frontier)
+      None frontiers
+  in
+  match counterexample with
+  | Some why -> Conflict why
+  | None ->
+    if stats.truncated then
+      Unknown
+        (Fmt.str "state bound exceeded (%d frontiers enumerated)"
+           stats.enumerated)
+    else Commute

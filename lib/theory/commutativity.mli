@@ -1,29 +1,46 @@
-(** Deriving state-independent commutativity from specifications by
-    bounded exploration.
+(** Deriving conflict relations from specifications by bounded
+    exploration.
 
     The baseline locking protocols consume hand-written commutativity
     tables ([Adt_sig.S.commutes]).  Hand-written semantic tables are
     exactly the kind of artifact that silently rots; this module checks
-    them against the specification itself: two operations commute on a
-    bounded state space iff, from every reachable state, executing them
-    in either order yields the same results and
-    observationally-equivalent states (compared by probing).
+    them against the specification itself.  The relation derived is
+    {e result-aware forward commutativity} — the one that justifies
+    intentions-list recovery: two operations commute iff, from every
+    reachable frontier, whenever a result for each is individually
+    permissible, both interleavings of the (operation, result) pairs
+    are permissible and land on observationally equal frontiers.  This
+    handles non-deterministic specifications: concurrent transactions
+    may each be granted an individually-permissible answer against the
+    same committed state, so a result pair that composes in neither
+    order (semiqueue [deq]/[deq] both answering the same item) is a
+    conflict, not a vacuous case.
 
-    The derivation is sound and complete only for the explored bound,
-    which suffices to catch table errors on the small integer domains
-    the tests use.  Operations with non-deterministic outcomes are not
-    compared ({!commute_on_reachable} returns [None] for them). *)
+    The derivation is sound and complete only for the explored bound
+    (state depth, probe depth, state cap), which suffices to catch
+    table errors on the small integer domains the tests and the lint
+    pass use.  {!commute_on_reachable} reports a bound overrun as
+    {!Unknown} rather than guessing. *)
 
 open Weihl_event
 
-val reachable_frontiers :
-  Weihl_spec.Seq_spec.t ->
-  gen_ops:Operation.t list ->
-  depth:int ->
-  Weihl_spec.Seq_spec.frontier list
-(** All frontiers reachable by applying up to [depth] generator
-    operations (first outcome of each) from the initial state.
-    Duplicates are not removed. *)
+type stats = {
+  enumerated : int;  (** frontiers generated, duplicates included *)
+  distinct : int;  (** frontiers kept after deduplication *)
+  truncated : bool;  (** the [max_states] cap stopped the exploration *)
+}
+(** Exploration size, surfaced so depth/bound choices are visible in
+    lint reports. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type verdict =
+  | Commute  (** proved compatible everywhere on the explored space *)
+  | Conflict of string  (** a counterexample, described *)
+  | Unknown of string  (** the bound was too small to decide *)
+
+val equal_verdict : verdict -> verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit
 
 val observationally_equal :
   probes:Operation.t list ->
@@ -35,17 +52,38 @@ val observationally_equal :
     every probe, and the successors along each common (probe, result)
     edge are themselves observationally equal to [depth - 1]. *)
 
+val reachable_frontiers :
+  ?probe_depth:int ->
+  ?max_states:int ->
+  Weihl_spec.Seq_spec.t ->
+  gen_ops:Operation.t list ->
+  depth:int ->
+  Weihl_spec.Seq_spec.frontier list * stats
+(** All frontiers reachable by applying up to [depth] generator
+    operations — following {e every} outcome of each, so
+    non-deterministic specifications are explored in full —
+    deduplicated by observational equality at [probe_depth] (default
+    [depth]) with exact state-set equality as a fast path.  The
+    exploration stops enumerating once [max_states] (default 4096)
+    distinct frontiers are kept and reports [truncated] in the stats.
+    Frontiers are returned in discovery order, initial frontier
+    first. *)
+
 val commute_on_reachable :
   Weihl_spec.Seq_spec.t ->
   gen_ops:Operation.t list ->
   ?probe_depth:int ->
   ?state_depth:int ->
+  ?max_states:int ->
   Operation.t ->
   Operation.t ->
-  bool option
-(** [Some true] / [Some false]: the operations do / do not commute from
-    every reachable state (results compared, final states compared by
-    probing with [gen_ops]).  [None]: one of the operations is
-    non-deterministic somewhere on the explored space, so the
-    deterministic comparison does not apply.  Defaults: [probe_depth]
-    2, [state_depth] 3. *)
+  verdict
+(** Result-aware forward commutativity of two operations over the
+    reachable space: from every frontier reachable within
+    [state_depth] (default 3) generator applications, for every result
+    pair individually permissible for the two operations, both
+    execution orders must be permissible and yield frontiers that are
+    observationally equal at [probe_depth] (default 2, probing with
+    [gen_ops]).  [Conflict] carries the first counterexample found;
+    [Unknown] is returned only when the [max_states] cap truncated the
+    exploration with no counterexample found. *)

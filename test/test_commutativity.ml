@@ -9,14 +9,15 @@ let verify_table name spec hand gen_ops alphabet =
     (fun p ->
       List.iter
         (fun q ->
+          let label =
+            Fmt.str "%s: %a vs %a" name Operation.pp p Operation.pp q
+          in
           match
             Commutativity_check.commute_on_reachable spec ~gen_ops p q
           with
-          | Some derived ->
-            check_bool
-              (Fmt.str "%s: %a vs %a" name Operation.pp p Operation.pp q)
-              derived (hand p q)
-          | None -> () (* non-deterministic: not comparable *))
+          | Commute -> check_bool label true (hand p q)
+          | Conflict _ -> check_bool label false (hand p q)
+          | Unknown why -> Alcotest.failf "%s: unknown (%s)" label why)
         alphabet)
     alphabet
 
@@ -72,6 +73,67 @@ let test_priority_queue_table () =
   verify_table "priority queue" Priority_queue.spec Priority_queue.commutes
     alphabet alphabet
 
+(* The semiqueue's [deq] is non-deterministic; the generalized engine
+   must both certify its table and justify its most conservative entry:
+   two concurrent [deq]s may each be granted the same item against the
+   same committed state, so [deq]/[deq] is a conflict even though the
+   two orders are observationally symmetric. *)
+let test_semiqueue_table () =
+  let alphabet = Semiqueue.[ enq 1; enq 2; deq ] in
+  verify_table "semiqueue" Semiqueue.spec Semiqueue.commutes alphabet alphabet
+
+let test_semiqueue_deq_conflict () =
+  let gen_ops = Semiqueue.[ enq 1; enq 2; deq ] in
+  (match
+     Commutativity_check.commute_on_reachable Semiqueue.spec ~gen_ops
+       Semiqueue.deq Semiqueue.deq
+   with
+  | Conflict _ -> ()
+  | v ->
+    Alcotest.failf "deq/deq should conflict, got %a"
+      Commutativity_check.pp_verdict v);
+  match
+    Commutativity_check.commute_on_reachable Semiqueue.spec ~gen_ops
+      (Semiqueue.enq 1) (Semiqueue.enq 2)
+  with
+  | Commute -> ()
+  | v ->
+    Alcotest.failf "enq 1/enq 2 should commute, got %a"
+      Commutativity_check.pp_verdict v
+
+let test_exploration_dedup () =
+  (* insert 1 twice reaches the same state: without deduplication the
+     intset exploration at depth 3 would return 7^3-ish frontiers. *)
+  let gen_ops = Intset.[ insert 1; delete 1; member 1 ] in
+  let frontiers, stats =
+    Commutativity_check.reachable_frontiers Intset.spec ~gen_ops ~depth:3
+  in
+  check_int "distinct matches list" stats.distinct (List.length frontiers);
+  check_bool "dedup removed duplicates" true (stats.distinct < stats.enumerated);
+  (* Reachable: {} and {1}. *)
+  check_int "intset on one element has two distinct states" 2 stats.distinct;
+  check_bool "not truncated" false stats.truncated
+
+let test_exploration_truncation () =
+  (* [member] probes make the 8 subset states distinguishable, so a cap
+     of 2 genuinely cuts the exploration short. *)
+  let gen_ops =
+    Intset.[ insert 1; insert 2; insert 3; member 1; member 2; member 3 ]
+  in
+  let _, stats =
+    Commutativity_check.reachable_frontiers Intset.spec ~gen_ops ~depth:3
+      ~max_states:2
+  in
+  check_bool "cap reported" true stats.truncated;
+  match
+    Commutativity_check.commute_on_reachable Intset.spec ~gen_ops ~max_states:2
+      (Intset.insert 1) (Intset.insert 2)
+  with
+  | Unknown _ -> ()
+  | v ->
+    Alcotest.failf "truncated exploration should be unknown, got %a"
+      Commutativity_check.pp_verdict v
+
 let test_observational_equality () =
   let f = Seq_spec.start Intset.spec in
   let advance frontier op res = Option.get (Seq_spec.advance frontier op res) in
@@ -99,6 +161,12 @@ let suite =
     Alcotest.test_case "kv map table verified" `Quick test_kv_map_table;
     Alcotest.test_case "priority queue table verified" `Quick
       test_priority_queue_table;
+    Alcotest.test_case "semiqueue table verified" `Quick test_semiqueue_table;
+    Alcotest.test_case "semiqueue deq/deq conflicts" `Quick
+      test_semiqueue_deq_conflict;
+    Alcotest.test_case "exploration deduplicates" `Quick test_exploration_dedup;
+    Alcotest.test_case "exploration truncation reported" `Quick
+      test_exploration_truncation;
     Alcotest.test_case "observational equality" `Quick
       test_observational_equality;
   ]

@@ -38,5 +38,6 @@ let () =
       ("adt inference", Test_infer.suite);
       ("observability", Test_obs.suite);
       ("fault injection", Test_fault.suite);
+      ("lint certifier", Test_lint.suite);
       ("properties (qcheck)", Test_props.suite);
     ]
