@@ -1205,6 +1205,64 @@ let sim_section ~quick =
          ])
        [ 8; 32 ])
 
+(* --- the regression gate ------------------------------------------- *)
+
+let jfield name = function
+  | J.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let jnum = function Some (J.Num n) -> Some n | _ -> None
+let jstr = function Some (J.Str s) -> Some s | _ -> None
+
+(* Regressions are judged only on deterministic, seeded quantities: a
+   sim scenario's virtual-time throughput is a function of (seed,
+   config, protocol), not of the machine, so a drop below the
+   tolerance is a real behavioural change — an admission-control or
+   scheduling regression — never runner noise.  Wall-clock
+   micro-benchmark numbers stay advisory. *)
+let regression_tolerance = 0.5
+
+let compare_to_baseline ~current ~base =
+  match (jstr (jfield "mode" base), jstr (jfield "mode" current)) with
+  | Some bm, Some cm when bm <> cm ->
+    Fmt.epr
+      "warning: baseline mode %s does not match this run's %s; regression \
+       gate skipped@."
+      bm cm;
+    []
+  | _ -> (
+    match (jfield "sim" base, jfield "sim" current) with
+    | Some (J.List bs), Some (J.List cs) ->
+      List.filter_map
+        (fun b ->
+          match (jstr (jfield "name" b), jnum (jfield "clients" b)) with
+          | Some name, Some clients -> (
+            let matches c =
+              jstr (jfield "name" c) = Some name
+              && jnum (jfield "clients" c) = Some clients
+            in
+            match List.find_opt matches cs with
+            | None ->
+              Some
+                (Fmt.str "scenario %s@%g clients missing from this run" name
+                   clients)
+            | Some c -> (
+              let throughput v = jnum (jfield "throughput_per_1000_ticks" v) in
+              match (throughput b, throughput c) with
+              | Some bt, Some ct when bt > 0. && ct < bt *. regression_tolerance
+                ->
+                Some
+                  (Fmt.str
+                     "%s@%g clients: throughput %.1f fell below %.0f%% of \
+                      baseline %.1f"
+                     name clients ct
+                     (regression_tolerance *. 100.)
+                     bt)
+              | _ -> None))
+          | _ -> None)
+        bs
+    | _ -> [])
+
 let json_mode ~file ~quick ~baseline =
   let sections =
     [
@@ -1215,26 +1273,43 @@ let json_mode ~file ~quick ~baseline =
       ("sim", sim_section ~quick);
     ]
   in
-  let sections =
+  let base =
     match baseline with
-    | None -> sections
+    | None -> None
     | Some path -> (
       let ic = open_in path in
       let len = in_channel_length ic in
       let text = really_input_string ic len in
       close_in ic;
       match J.of_string text with
-      | Ok v -> sections @ [ ("seed_baseline", v) ]
+      | Ok v -> Some v
       | Error e ->
         Fmt.epr "warning: could not parse baseline %s: %s@." path e;
-        sections)
+        None)
+  in
+  let sections =
+    match base with
+    | Some v -> sections @ [ ("seed_baseline", v) ]
+    | None -> sections
   in
   let doc = J.Obj sections in
   let oc = open_out file in
   output_string oc (J.to_string doc);
   output_string oc "\n";
   close_out oc;
-  Fmt.pr "wrote %s@." file
+  Fmt.pr "wrote %s@." file;
+  match base with
+  | None -> 0
+  | Some base -> (
+    match compare_to_baseline ~current:doc ~base with
+    | [] ->
+      Fmt.pr "regression gate: ok (every scenario within %.0f%% of baseline)@."
+        (regression_tolerance *. 100.);
+      0
+    | regressions ->
+      Fmt.epr "@.regressions against baseline:@.";
+      List.iter (fun r -> Fmt.epr "  %s@." r) regressions;
+      1)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1256,7 +1331,7 @@ let () =
   in
   let json, quick, baseline, names = parse None false None [] (List.tl args) in
   match json with
-  | Some file -> json_mode ~file ~quick ~baseline
+  | Some file -> exit (json_mode ~file ~quick ~baseline)
   | None ->
     let requested =
       match names with [] -> List.map fst experiments | _ -> names

@@ -472,6 +472,147 @@ let faults_cmd schedules quick base_seed protocol verbose =
     1
 
 (* ------------------------------------------------------------------ *)
+(* weihl shard                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let find_sharded_protocol name =
+  match
+    List.find_opt
+      (fun (p : Fault_harness.protocol) -> p.Fault_harness.name = name)
+      Shard_harness.protocols
+  with
+  | Some p -> p
+  | None ->
+    Fmt.failwith "unknown sharded protocol %s (one of: %s)" name
+      (String.concat ", "
+         (List.map
+            (fun (p : Fault_harness.protocol) -> p.Fault_harness.name)
+            Shard_harness.protocols))
+
+let shard_sweep_to_json (s : Shard_harness.summary) =
+  let num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    [
+      ("schedules", num s.Shard_harness.schedules);
+      ("converged", num s.Shard_harness.converged);
+      ("corruption_detected", num s.Shard_harness.corruption_detected);
+      ("diverged", num s.Shard_harness.diverged);
+      ( "divergent",
+        Obs.Json.List
+          (List.map
+             (fun r -> Obs.Json.Str (Fmt.str "%a" Shard_harness.pp_result r))
+             (Shard_harness.divergences s)) );
+    ]
+
+let shard_outcome_to_json shards (o : Sharded_driver.outcome) =
+  let num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    [
+      ("shards", num shards);
+      ("committed", num o.Sharded_driver.committed);
+      ("committed_multi", num o.Sharded_driver.committed_multi);
+      ("committed_single", num o.Sharded_driver.committed_single);
+      ("committed_read_only", num o.Sharded_driver.committed_read_only);
+      ("aborted_deadlock", num o.Sharded_driver.aborted_deadlock);
+      ("aborted_refused", num o.Sharded_driver.aborted_refused);
+      ("aborted_tpc", num o.Sharded_driver.aborted_tpc);
+      ("aborted_starved", num o.Sharded_driver.aborted_starved);
+      ("left_in_doubt", num o.Sharded_driver.left_in_doubt);
+      ("multi_attempts", num o.Sharded_driver.multi_attempts);
+      ("waits", num o.Sharded_driver.waits);
+      ("restarts", num o.Sharded_driver.restarts);
+      ("ticks", num o.Sharded_driver.ticks);
+    ]
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "report written to %s@." path
+
+let shard_cmd shards clients duration seed protocol faults schedules quick
+    verbose metrics json =
+  if faults then begin
+    let seeds = List.init schedules (fun i -> seed + i) in
+    let summary =
+      match protocol with
+      | None -> Shard_harness.run_many ~quick ~shards ~seeds ()
+      | Some name ->
+        let proto = find_sharded_protocol name in
+        let results =
+          List.map
+            (fun seed ->
+              Shard_harness.run_schedule ~quick ~shards
+                (Shard_plan.generate ~seed) proto)
+            seeds
+        in
+        let count p = List.length (List.filter p results) in
+        {
+          Shard_harness.schedules = List.length results;
+          converged =
+            count (fun r ->
+                r.Shard_harness.verdict = Shard_harness.Converged);
+          corruption_detected =
+            count (fun r ->
+                r.Shard_harness.verdict = Shard_harness.Corruption_detected);
+          diverged =
+            count (fun r ->
+                match r.Shard_harness.verdict with
+                | Shard_harness.Diverged _ -> true
+                | _ -> false);
+          results;
+        }
+    in
+    if verbose then
+      List.iter
+        (fun r -> Fmt.pr "%a@." Shard_harness.pp_result r)
+        summary.Shard_harness.results;
+    Fmt.pr "%a@." Shard_harness.pp_summary summary;
+    (match json with
+    | Some path -> write_json path (shard_sweep_to_json summary)
+    | None -> ());
+    match Shard_harness.divergences summary with
+    | [] -> 0
+    | ds ->
+      Fmt.epr "@.divergent schedules:@.";
+      List.iter (fun r -> Fmt.epr "  %a@." Shard_harness.pp_result r) ds;
+      1
+  end
+  else begin
+    let proto =
+      find_sharded_protocol (Option.value protocol ~default:"escrow")
+    in
+    let sm =
+      if metrics then Some (Obs.Shard_metrics.create ~shards ()) else None
+    in
+    let group =
+      Shard_group.create ~policy:proto.Fault_harness.policy ?metrics:sm ~seed
+        ~shards ()
+    in
+    let w = proto.Fault_harness.workload () in
+    List.iter
+      (fun id -> Shard_group.add_object group id proto.Fault_harness.make_object)
+      w.Workload.objects;
+    let config =
+      { Sharded_driver.default_config with clients; duration; seed }
+    in
+    let o = Sharded_driver.run ~config group w in
+    Fmt.pr "%a@." Sharded_driver.pp_outcome o;
+    Fmt.pr "objects: %d over %d shards, 2pc rounds: %d@."
+      (List.length (Shard_group.objects group))
+      shards
+      (Shard_group.tpc_rounds group);
+    (match sm with
+    | Some m -> Fmt.pr "@.%s@." (Obs.Shard_metrics.render m)
+    | None -> ());
+    (match json with
+    | Some path -> write_json path (shard_outcome_to_json shards o)
+    | None -> ());
+    if o.Sharded_driver.left_in_doubt = 0 then 0 else 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* weihl lint                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -645,6 +786,66 @@ let faults_term =
   in
   Term.(const faults_cmd $ schedules $ quick $ seed $ protocol $ verbose)
 
+let shard_term =
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of shards in the group.")
+  in
+  let clients = Arg.(value & opt int 6 & info [ "clients" ]) in
+  let duration = Arg.(value & opt int 1500 & info [ "duration" ]) in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let protocol =
+    Arg.(
+      value & opt (some string) None
+      & info [ "protocol"; "p" ] ~docv:"PROTOCOL"
+          ~doc:
+            "A banking protocol (rw | commutativity | escrow | rw_undo | \
+             multiversion | hybrid).  Traffic runs default to escrow; fault \
+             sweeps round-robin all of them unless one is named.")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Run the sharded crash-recovery sweep instead of a traffic run: \
+             seeded schedules injecting coordinator/participant crashes at \
+             every 2PC phase plus message drop/duplication/reordering, each \
+             followed by WAL recovery, in-doubt resolution and global \
+             atomicity checks.  Exit non-zero on any divergence.")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 200
+      & info [ "schedules"; "n" ] ~docv:"N"
+          ~doc:"Number of seeded fault schedules (with --faults).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Shorten the traffic phases (smoke runs).")
+  in
+  let verbose =
+    Arg.(
+      value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule result.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the per-shard and 2PC metrics table after a traffic run.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable outcome or sweep summary to FILE.")
+  in
+  Term.(
+    const shard_cmd $ shards $ clients $ duration $ seed $ protocol $ faults
+    $ schedules $ quick $ verbose $ metrics $ json)
+
 let lint_term =
   let protocol =
     Arg.(
@@ -701,6 +902,13 @@ let cmds =
          ~doc:"Run seeded crash-recovery fault schedules across the protocol \
                catalog; exit non-zero on any divergence.")
       faults_term;
+    Cmd.v
+      (Cmd.info "shard"
+         ~doc:"Drive a sharded transactional runtime: N System shards behind \
+               one facade, cross-shard commits via 2PC; optionally sweep \
+               seeded crash-recovery fault schedules and exit non-zero on \
+               any global-atomicity divergence.")
+      shard_term;
     Cmd.v
       (Cmd.info "lint"
          ~doc:"Statically certify every conflict table and protocol grant \

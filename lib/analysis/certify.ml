@@ -7,6 +7,7 @@ type protocol_cert = {
   policy : string;
   depth : int;
   probe : Probe.t;
+  cross : Xprobe.t;
   pairs_probed : int;
   granted_sound : int;
   blocked_justified : int;
@@ -23,6 +24,8 @@ type report = {
 
 let certify_protocol ~depth (entry : Catalog.entry) =
   let probe = Probe.run ~depth entry in
+  let setups, _ = Probe.enumerate_setups entry.Catalog.domain ~depth in
+  let cross = Xprobe.run entry ~setups in
   let count f = List.length (List.filter f probe.Probe.pairs) in
   let granted_sound =
     count (fun p -> p.Probe.status = Probe.Granted_sound)
@@ -42,6 +45,9 @@ let certify_protocol ~depth (entry : Catalog.entry) =
   let unsound_triples =
     List.map (Fmt.str "%a" Probe.pp_triple) probe.Probe.triple_unsound
   in
+  let unsound_cross =
+    List.map (Fmt.str "%a" Xprobe.pp_xpair) cross.Xprobe.unsound
+  in
   let loose =
     describe (function Probe.Blocked_loose _ -> true | _ -> false)
   in
@@ -58,10 +64,11 @@ let certify_protocol ~depth (entry : Catalog.entry) =
     policy = Catalog.policy_name entry.Catalog.policy;
     depth;
     probe;
+    cross;
     pairs_probed = List.length probe.Probe.pairs;
     granted_sound;
     blocked_justified;
-    unsound = unsound_pairs @ unsound_triples;
+    unsound = unsound_pairs @ unsound_triples @ unsound_cross;
     loose;
     looseness;
   }
@@ -137,6 +144,15 @@ let protocol_to_json (p : protocol_cert) =
       ("blocked_justified", Json.Num (float_of_int p.blocked_justified));
       ("triples_probed", Json.Num (float_of_int p.probe.Probe.triples_probed));
       ("triples_granted", Json.Num (float_of_int p.probe.Probe.triples_granted));
+      ( "cross",
+        Json.Obj
+          [
+            ("probed", Json.Num (float_of_int p.cross.Xprobe.probed));
+            ("granted", Json.Num (float_of_int p.cross.Xprobe.granted));
+            ("blocked", Json.Num (float_of_int p.cross.Xprobe.blocked));
+            ( "unsound",
+              Json.Num (float_of_int (List.length p.cross.Xprobe.unsound)) );
+          ] );
       ("unsound", strings p.unsound);
       ("loose", strings p.loose);
       ("looseness", Json.Num p.looseness);
@@ -155,12 +171,14 @@ let pp_protocol ppf p =
   Fmt.pf ppf
     "@[<h>%-16s %-14s %-8s %4d pairs (%d setups of %d enumerated): %d sound, \
      %d unsound, %d justified, %d loose (looseness %.2f), %d triples (%d \
-     unsound)@]"
+     unsound), %d cross (%d unsound)@]"
     p.protocol p.adt p.policy p.pairs_probed p.probe.Probe.setups_distinct
     p.probe.Probe.setups_enumerated p.granted_sound (List.length p.unsound)
     p.blocked_justified (List.length p.loose) p.looseness
     p.probe.Probe.triples_probed
     (List.length p.probe.Probe.triple_unsound)
+    p.cross.Xprobe.probed
+    (List.length p.cross.Xprobe.unsound)
 
 let pp ?(verbose = false) ppf r =
   Fmt.pf ppf "@[<v>";

@@ -4,8 +4,9 @@
     A protocol certificate aggregates the {!Probe} results:
 
     - [unsound] — pairs granted concurrently whose completion left the
-      protocol's atomicity class, plus static triple-probe violations;
-      any entry here is a bug in the protocol's conflict rules;
+      protocol's atomicity class, plus static/hybrid triple-probe and
+      cross-shard probe violations; any entry here is a bug in the
+      protocol's conflict rules;
     - [loose] — pairs blocked though some permissible result would have
       kept every completion in the class;
     - [looseness] — [loose / (granted_sound + loose)]: of everything
@@ -19,6 +20,9 @@ type protocol_cert = {
   policy : string;  (** atomicity class: dynamic / static / hybrid *)
   depth : int;
   probe : Probe.t;
+  cross : Xprobe.t;
+      (** cross-shard probes: the same object on two shards, driven
+          through opposite-order patterns and committed via 2PC *)
   pairs_probed : int;
   granted_sound : int;
   blocked_justified : int;

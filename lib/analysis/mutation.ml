@@ -114,6 +114,21 @@ let protocol_mutations : (string * string * Catalog.entry) list =
               ~conflict:bad_account_conflict ~read_only_op:(fun op ->
                 Adt.Bank_account.classify op = Adt.Adt_sig.Read));
       } );
+    ( "hybrid-forgets-contended-commit",
+      "hybrid commit drops its version archive when other intentions are \
+       outstanding — only a later reader after a contended commit can tell",
+      {
+        Catalog.name = "mut-hybrid-forget";
+        policy = `Hybrid;
+        domain = account;
+        make_object =
+          (fun log id ->
+            Cc.Hybrid.make ~unsafe_forget_contended_commit:true log id
+              Adt.Bank_account.spec
+              ~conflict:(fun p q -> not (Adt.Bank_account.commutes p q))
+              ~read_only_op:(fun op ->
+                Adt.Bank_account.classify op = Adt.Adt_sig.Read));
+      } );
     ( "multiversion-unstable-grant",
       "multiversion grant guard without the committed+own validation (the \
        PR 3 static-atomicity bug)",

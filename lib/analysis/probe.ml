@@ -361,7 +361,43 @@ let run_triple entry setup p q r ~branch =
         | outcome -> outcome
         | exception exn -> Some (Error (Printexc.to_string exn)))))
 
-let probe_triples entry env setups =
+(* Three-transaction probes for hybrid protocols.  Hybrid serializes
+   committed updates by commit timestamp and read-only transactions at
+   their initiation timestamp, so its observers are {e later} readers —
+   and the shape no pair can build is a commit wedged between two
+   concurrent grants followed by one: T2 commits an update while T1's
+   intentions are still outstanding, then read-only T3 initiates and
+   must observe exactly the committed versions before its timestamp,
+   whatever T1 then does. *)
+let run_triple_hybrid entry setup p q r ~branch =
+  let sys = fresh entry None in
+  match run_setup sys setup with
+  | None -> None
+  | Some _ -> (
+    let t1 = Cc.System.begin_txn sys (Activity.update "t1") in
+    match Cc.System.invoke sys t1 obj p with
+    | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None
+    | Cc.Atomic_object.Granted _ -> (
+      let t2 = Cc.System.begin_txn sys (Activity.update "t2") in
+      match Cc.System.invoke sys t2 obj q with
+      | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None
+      | Cc.Atomic_object.Granted _ -> (
+        match
+          Cc.System.commit sys t2;
+          let t3 = Cc.System.begin_txn sys (Activity.read_only "t3") in
+          match Cc.System.invoke sys t3 obj r with
+          | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None
+          | Cc.Atomic_object.Granted _ ->
+            (match branch with
+            | `T1_aborts -> Cc.System.abort sys t1
+            | `T1_commits -> Cc.System.commit sys t1);
+            Cc.System.commit sys t3;
+            Some (Ok (Cc.System.history sys))
+        with
+        | outcome -> outcome
+        | exception exn -> Some (Error (Printexc.to_string exn)))))
+
+let probe_triples ~policy ~run ~r_ok entry env setups =
   let alphabet = entry.Catalog.domain.Domain.alphabet in
   let probed = ref 0 in
   let granted = ref 0 in
@@ -374,29 +410,31 @@ let probe_triples entry env setups =
             (fun q ->
               List.iter
                 (fun r ->
-                  incr probed;
-                  match run_triple entry setup p q r ~branch:`T1_aborts with
-                  | None -> ()
-                  | Some first ->
-                    incr granted;
-                    let flag branch problem =
-                      unsound :=
-                        { t_setup = setup; t_p = p; t_q = q; t_r = r;
-                          branch; problem }
-                        :: !unsound
-                    in
-                    let record branch = function
-                      | Ok h ->
-                        if not (check_atomicity `Static env h) then
-                          flag branch "committed history is not static atomic"
-                      | Error exn -> flag branch ("completion raised: " ^ exn)
-                    in
-                    record "t1-aborts" first;
-                    (match
-                       run_triple entry setup p q r ~branch:`T1_commits
-                     with
-                    | Some second -> record "t1-commits" second
-                    | None -> ()))
+                  if r_ok r then begin
+                    incr probed;
+                    match run setup p q r ~branch:`T1_aborts with
+                    | None -> ()
+                    | Some first ->
+                      incr granted;
+                      let flag branch problem =
+                        unsound :=
+                          { t_setup = setup; t_p = p; t_q = q; t_r = r;
+                            branch; problem }
+                          :: !unsound
+                      in
+                      let record branch = function
+                        | Ok h ->
+                          if not (check_atomicity policy env h) then
+                            flag branch
+                              (Fmt.str "committed history is not %s atomic"
+                                 (Catalog.policy_name policy))
+                        | Error exn -> flag branch ("completion raised: " ^ exn)
+                      in
+                      record "t1-aborts" first;
+                      (match run setup p q r ~branch:`T1_commits with
+                      | Some second -> record "t1-commits" second
+                      | None -> ())
+                  end)
                 alphabet)
             alphabet)
         alphabet)
@@ -436,8 +474,14 @@ let run ~depth (entry : Catalog.entry) =
     (variants entry.Catalog.policy);
   let triples_probed, triples_granted, triple_unsound =
     match entry.Catalog.policy with
-    | `Static -> probe_triples entry env setups
-    | `None_ | `Hybrid -> (0, 0, [])
+    | `Static ->
+      probe_triples ~policy:`Static ~run:(run_triple entry)
+        ~r_ok:(fun _ -> true)
+        entry env setups
+    | `Hybrid ->
+      probe_triples ~policy:`Hybrid ~run:(run_triple_hybrid entry)
+        ~r_ok:d.Domain.read_only entry env setups
+    | `None_ -> (0, 0, [])
   in
   {
     setups_enumerated = enumerated;
@@ -465,7 +509,6 @@ let pp_pair ppf pr =
     Operation.pp pr.q pr.variant status
 
 let pp_triple ppf t =
-  Fmt.pf ppf
-    "@[<h>[%a] t1:%a@@10 t2:%a@@20(commit) t3:%a@@5, %s: %s@]" pp_ops
+  Fmt.pf ppf "@[<h>[%a] t1:%a t2:%a(commit) t3:%a, %s: %s@]" pp_ops
     t.t_setup Operation.pp t.t_p Operation.pp t.t_q Operation.pp t.t_r
     t.branch t.problem

@@ -35,7 +35,15 @@
     the grants, t3@5 granted last, then t1 aborts or commits): the
     minimal shape of the PR 3 multiversion bug, where a grant was
     justified by an uncommitted later-timestamp execution that
-    vanished on abort.  Pair probes provably cannot reach it. *)
+    vanished on abort.  Pair probes provably cannot reach it.
+
+    Hybrid protocols get the later-reader variant: t2 commits an
+    update while t1's intentions are still outstanding (a {e
+    contended} commit), then a read-only t3 initiates and must observe
+    exactly the committed versions before its timestamp, whatever t1
+    then does.  No pair schedule places a reader after a contended
+    commit, so a hybrid object that mishandles its version archive
+    under contention passes every pair probe. *)
 
 open Weihl_event
 
@@ -74,6 +82,11 @@ type t = {
 }
 
 val run : depth:int -> Catalog.entry -> t
+
+val enumerate_setups : Domain.t -> depth:int -> Operation.t list list * int
+(** Representative committed setups (deduplicated by observational
+    frontier equality) with the raw enumeration count — shared with
+    the cross-shard probes ({!Xprobe}). *)
 
 val pp_pair : Format.formatter -> pair -> unit
 val pp_triple : Format.formatter -> triple -> unit

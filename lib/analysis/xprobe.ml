@@ -1,0 +1,275 @@
+open Weihl_event
+module Cc = Weihl_cc
+module Group = Weihl_shard.Group
+module Gtxn = Weihl_shard.Gtxn
+
+type status =
+  | Granted_sound
+  | Granted_unsound of string
+  | Blocked
+      (** some invoke waited or was refused mid-pattern — cross-shard
+          blocking is conservative, never flagged *)
+
+type xpair = {
+  x_setup : Operation.t list;
+  x_variant : string;
+  x_p : Operation.t;
+  x_q : Operation.t;
+  x_status : status;
+}
+
+type t = {
+  probed : int;
+  granted : int;
+  blocked : int;
+  unsound : xpair list;
+}
+
+(* The router hashes object ids to shards; walk candidate names until
+   one lands on each shard of a two-shard group. *)
+let pick_ids group =
+  let rec go i a b =
+    match (a, b) with
+    | Some a, Some b -> (a, b)
+    | _ ->
+      let id = Object_id.v (Fmt.str "x%d" i) in
+      (match Group.shard_of group id with
+      | 0 when a = None -> go (i + 1) (Some id) b
+      | 1 when b = None -> go (i + 1) a (Some id)
+      | _ -> go (i + 1) a b)
+  in
+  go 0 None None
+
+let fresh (entry : Catalog.entry) =
+  let group = Group.create ~policy:entry.Catalog.policy ~seed:0 ~shards:2 () in
+  let a, b = pick_ids group in
+  Group.add_object group a entry.Catalog.make_object;
+  Group.add_object group b entry.Catalog.make_object;
+  (group, a, b)
+
+(* Drive the committed setup against both objects (so both shards start
+   at the same frontier); [None] when the protocol does not grant some
+   setup operation serially. *)
+let run_setup group a b ops =
+  let g = Group.begin_txn group (Activity.update "setup") in
+  let rec go = function
+    | [] -> (
+      match Group.commit group g with
+      | (_ : Group.commit_outcome) -> Some ()
+      | exception _ -> None)
+    | op :: rest -> (
+      match (Group.invoke group g a op, Group.invoke group g b op) with
+      | Group.Granted _, Group.Granted _ -> go rest
+      | _ -> None)
+  in
+  go ops
+
+type completion = [ `CC | `CC_rev | `C1A2 | `A1C2 ]
+
+let completion_name = function
+  | `CC -> "both-commit"
+  | `CC_rev -> "both-commit-reversed"
+  | `C1A2 -> "t2-aborts"
+  | `A1C2 -> "t1-aborts"
+
+(* The cross-shard pattern no single shard sees whole: T1 touches
+   object [a] (shard 0) then [b] (shard 1); T2 touches them in the
+   opposite order.  Each shard observes only one interleaved half; the
+   global checks below are the paper's global-atomicity conditions. *)
+let run_pattern entry ~t2_read_only setup p q ~(completion : completion) =
+  let group, a, b = fresh entry in
+  match run_setup group a b setup with
+  | None -> `Setup_blocked
+  | Some () -> (
+    let t1 = Group.begin_txn group (Activity.update "t1") in
+    let a2 =
+      if t2_read_only then Activity.read_only "t2" else Activity.update "t2"
+    in
+    let t2 = Group.begin_txn group a2 in
+    let step g obj op k =
+      match Group.invoke group g obj op with
+      | Group.Granted _ -> k ()
+      | Group.Wait _ | Group.Refused _ -> `Blocked
+      | exception exn -> `Crashed (Printexc.to_string exn)
+    in
+    step t1 a p @@ fun () ->
+    step t2 b q @@ fun () ->
+    step t1 b p @@ fun () ->
+    step t2 a q @@ fun () ->
+    match
+      (match completion with
+      | `CC ->
+        ignore (Group.commit group t1);
+        ignore (Group.commit group t2)
+      | `CC_rev ->
+        ignore (Group.commit group t2);
+        ignore (Group.commit group t1)
+      | `C1A2 ->
+        ignore (Group.commit group t1);
+        Group.abort group t2
+      | `A1C2 ->
+        Group.abort group t1;
+        ignore (Group.commit group t2))
+    with
+    | () -> `Completed (group, a, b, t1, t2)
+    | exception exn -> `Crashed (Printexc.to_string exn))
+
+(* Global atomicity over the completed pattern:
+
+   - atomic commitment — each global transaction is committed on both
+     shards or neither (and its final status matches);
+   - timestamp agreement — a committed transaction's shards answer the
+     same (2PC-agreed) timestamp;
+   - merged replay — the committed projection, in the group's
+     serialization order, replays against one combined system holding
+     both objects. *)
+let check_global (entry : Catalog.entry) group a b gtxns =
+  let h0 = Cc.System.history (Group.system group 0) in
+  let h1 = Cc.System.history (Group.system group 1) in
+  let commitment =
+    List.find_map
+      (fun g ->
+        let act = Gtxn.activity g in
+        let c0 = Activity.Set.mem act (History.committed h0) in
+        let c1 = Activity.Set.mem act (History.committed h1) in
+        let wants = Gtxn.status g = Gtxn.Committed in
+        if c0 <> c1 then
+          Some
+            (Fmt.str "%a committed on shard %d but not shard %d" Activity.pp
+               act
+               (if c0 then 0 else 1)
+               (if c0 then 1 else 0))
+        else if c0 <> wants then
+          Some
+            (Fmt.str "%a is %s but its shards say %s" Activity.pp act
+               (if wants then "committed" else "not committed")
+               (if c0 then "committed" else "not committed"))
+        else None)
+      gtxns
+  in
+  match commitment with
+  | Some msg -> Some msg
+  | None -> (
+    let ts_disagreement =
+      List.find_map
+        (fun g ->
+          let act = Gtxn.activity g in
+          if not (Activity.Set.mem act (History.committed h0)) then None
+          else
+            match (History.timestamp_of h0 act, History.timestamp_of h1 act)
+            with
+            | Some x, Some y when Timestamp.compare x y <> 0 ->
+              Some
+                (Fmt.str "%a committed with ts %a at shard 0 but %a at shard 1"
+                   Activity.pp act Timestamp.pp x Timestamp.pp y)
+            | Some _, None | None, Some _ ->
+              Some
+                (Fmt.str "%a has a timestamp on only one shard" Activity.pp
+                   act)
+            | _ -> None)
+        gtxns
+    in
+    match ts_disagreement with
+    | Some msg -> Some msg
+    | None -> (
+      let sys = Cc.System.create ~policy:entry.Catalog.policy () in
+      List.iter
+        (fun id ->
+          Cc.System.add_object sys
+            (entry.Catalog.make_object (Cc.System.log sys) id))
+        [ a; b ];
+      match Cc.Recovery.replay_txns sys (Group.committed_projection group) with
+      | Ok _ -> None
+      | Error msg -> Some (Fmt.str "merged replay: %s" msg)))
+
+let probe_pair entry ~t2_read_only setup p q =
+  let completions : completion list =
+    if t2_read_only then [ `CC; `CC_rev; `A1C2 ]
+    else [ `CC; `CC_rev; `C1A2; `A1C2 ]
+  in
+  let rec go = function
+    | [] -> Some Granted_sound
+    | completion :: rest -> (
+      match run_pattern entry ~t2_read_only setup p q ~completion with
+      | `Setup_blocked -> None
+      | `Blocked -> Some Blocked
+      | `Crashed exn ->
+        Some
+          (Granted_unsound
+             (Fmt.str "completion %s raised: %s" (completion_name completion)
+                exn))
+      | `Completed (group, a, b, t1, t2) -> (
+        match check_global entry group a b [ t1; t2 ] with
+        | Some why ->
+          Some
+            (Granted_unsound
+               (Fmt.str "completion %s: %s" (completion_name completion) why))
+        | None -> go rest))
+  in
+  go completions
+
+let run (entry : Catalog.entry) ~setups =
+  let d = entry.Catalog.domain in
+  let probed = ref 0 in
+  let granted = ref 0 in
+  let blocked = ref 0 in
+  let unsound = ref [] in
+  let variants =
+    match entry.Catalog.policy with
+    | `Hybrid ->
+      [ ("update-update", false, fun _ -> true);
+        ("update-readonly", true, d.Domain.read_only) ]
+    | `None_ | `Static -> [ ("update-update", false, fun _ -> true) ]
+  in
+  List.iter
+    (fun (label, t2_read_only, q_ok) ->
+      List.iter
+        (fun setup ->
+          let setup_usable = ref true in
+          List.iter
+            (fun p ->
+              List.iter
+                (fun q ->
+                  if !setup_usable && q_ok q then begin
+                    match probe_pair entry ~t2_read_only setup p q with
+                    | None -> setup_usable := false
+                    | Some status ->
+                      incr probed;
+                      (match status with
+                      | Granted_sound -> incr granted
+                      | Blocked -> incr blocked
+                      | Granted_unsound _ ->
+                        unsound :=
+                          {
+                            x_setup = setup;
+                            x_variant = label;
+                            x_p = p;
+                            x_q = q;
+                            x_status = status;
+                          }
+                          :: !unsound)
+                  end)
+                d.Domain.alphabet)
+            d.Domain.alphabet)
+        setups)
+    variants;
+  {
+    probed = !probed;
+    granted = !granted;
+    blocked = !blocked;
+    unsound = List.rev !unsound;
+  }
+
+let pp_ops ppf ops =
+  if ops = [] then Fmt.string ppf "(empty)"
+  else Fmt.(list ~sep:(any ";") Operation.pp) ppf ops
+
+let pp_xpair ppf x =
+  let status =
+    match x.x_status with
+    | Granted_sound -> "granted, sound"
+    | Blocked -> "blocked"
+    | Granted_unsound why -> "UNSOUND: " ^ why
+  in
+  Fmt.pf ppf "@[<h>cross-shard [%a] t1:%a@@a,b t2:%a@@b,a (%s): %s@]" pp_ops
+    x.x_setup Operation.pp x.x_p Operation.pp x.x_q x.x_variant status

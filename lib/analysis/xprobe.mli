@@ -1,0 +1,48 @@
+(** Cross-shard behavioural probes.
+
+    Pair probes ({!Probe}) certify one object under one local system;
+    the theorem they lean on — local atomicity composes — also needs
+    the {e global} half: commit decisions and timestamps must be agreed
+    atomically across objects.  These probes exercise exactly that
+    seam.  Each probe builds a two-shard {!Weihl_shard.Group} holding
+    two instances of the catalogue object, one per shard, and drives
+    the cross-shard pattern no single shard sees whole:
+
+    - T1 invokes [p] at object [a] (shard 0), then at [b] (shard 1);
+    - T2 invokes [q] at [b], then at [a] — the opposite order;
+    - both complete (commit/commit in either order, or one aborts),
+      multi-shard commits running real 2PC.
+
+    A completed pattern is {e unsound} if any global-atomicity
+    condition fails: a transaction committed on one shard but not the
+    other, a committed transaction's shards disagree on its timestamp,
+    or the merged committed projection (in the group's serialization
+    order) fails to replay against one combined system holding both
+    objects.  Blocked patterns are conservative and never flagged —
+    the per-shard {!Probe} pass already measures looseness. *)
+
+open Weihl_event
+
+type status = Granted_sound | Granted_unsound of string | Blocked
+
+type xpair = {
+  x_setup : Operation.t list;
+  x_variant : string;
+  x_p : Operation.t;
+  x_q : Operation.t;
+  x_status : status;
+}
+
+type t = {
+  probed : int;
+  granted : int;
+  blocked : int;
+  unsound : xpair list;
+}
+
+val run : Catalog.entry -> setups:Operation.t list list -> t
+(** Probe every (setup, p, q) combination over the entry's alphabet —
+    under hybrid, additionally with a read-only T2 restricted to the
+    domain's read-only operations. *)
+
+val pp_xpair : Format.formatter -> xpair -> unit

@@ -38,7 +38,7 @@ let entry_for st txn =
     e
 
 let is_committed e = Option.is_some e.commit_time
-let is_active e = (not (is_committed e)) && Txn.is_active e.txn
+let is_active e = (not (is_committed e)) && Txn.is_live e.txn
 
 (* Object-local precedes pin: x must precede y. *)
 let pinned_before x y =

@@ -38,7 +38,7 @@ let entry_for st txn =
 
 let others st txn = List.filter (fun e -> not (Txn.equal e.txn txn)) st.entries
 let is_committed e = Option.is_some e.commit_time
-let is_active e = (not (is_committed e)) && Txn.is_active e.txn
+let is_active e = (not (is_committed e)) && Txn.is_live e.txn
 
 (* [pinned_before x y]: must x precede y in every serialization?  True
    iff x committed before some response of y. *)

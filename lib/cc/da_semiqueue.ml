@@ -44,7 +44,7 @@ let make log id : Atomic_object.t =
     match (Operation.name op, Operation.args op) with
     | "enq", [ Value.Int v ] -> (
       match
-        List.filter (fun p -> p.empty_claim && Txn.is_active p.txn)
+        List.filter (fun p -> p.empty_claim && Txn.is_live p.txn)
           (others st txn)
       with
       | _ :: _ as claimants ->
@@ -72,7 +72,7 @@ let make log id : Atomic_object.t =
           match
             List.filter
               (fun p ->
-                (p.enqueued <> [] || p.taken <> []) && Txn.is_active p.txn)
+                (p.enqueued <> [] || p.taken <> []) && Txn.is_live p.txn)
               (others st txn)
           with
           | _ :: _ as suppliers ->

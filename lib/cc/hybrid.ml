@@ -6,7 +6,8 @@ type version = {
   ops : (Operation.t * Value.t) list; (* the update's installed intentions *)
 }
 
-let make log id spec ~conflict ~read_only_op : Atomic_object.t =
+let make ?(unsafe_forget_contended_commit = false) log id spec ~conflict
+    ~read_only_op : Atomic_object.t =
   let olog = Obj_log.create log id in
   let store = Intentions.create spec in
   let versions : version list ref = ref [] (* ascending cts *) in
@@ -81,9 +82,17 @@ let make log id spec ~conflict ~read_only_op : Atomic_object.t =
   let commit txn =
     if not (Txn.is_read_only txn) then begin
       let ops = Intentions.intentions store txn in
+      let contended =
+        List.exists
+          (fun (holder, _) -> not (Txn.equal holder txn))
+          (Intentions.active store)
+      in
       (match Txn.commit_ts txn with
       | Some cts ->
-        if ops <> [] then versions := !versions @ [ { cts; ops } ]
+        if
+          ops <> []
+          && not (unsafe_forget_contended_commit && contended)
+        then versions := !versions @ [ { cts; ops } ]
       | None ->
         if ops <> [] then
           invalid_arg "Hybrid.commit: update committed without a timestamp");

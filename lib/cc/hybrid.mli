@@ -23,6 +23,7 @@
 open Weihl_event
 
 val make :
+  ?unsafe_forget_contended_commit:bool ->
   Event_log.t ->
   Object_id.t ->
   Weihl_spec.Seq_spec.t ->
@@ -31,7 +32,14 @@ val make :
   Atomic_object.t
 (** [read_only_op] tells queries from state-changing operations; a
     read-only transaction invoking a state-changing operation is
-    refused. *)
+    refused.
+
+    [unsafe_forget_contended_commit] exists for the lint self-test
+    only: it drops the version archive when an update commits while
+    another update's intentions are outstanding.  No two-transaction
+    schedule can observe the loss — it takes a {e later} reader after
+    a {e contended} commit, which is exactly the three-transaction
+    shape the certifier's hybrid triple probes build. *)
 
 val of_adt :
   Event_log.t -> Object_id.t -> (module Weihl_adt.Adt_sig.S) ->

@@ -56,7 +56,7 @@ let intentions t txn = buffer t txn
 let active t =
   Hashtbl.fold
     (fun _ (txn, ops) acc ->
-      if Txn.is_active txn then (txn, List.rev ops) :: acc else acc)
+      if Txn.is_live txn then (txn, List.rev ops) :: acc else acc)
     t.buffers []
 
 let commit t txn =

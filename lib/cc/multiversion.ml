@@ -50,7 +50,7 @@ let make ?(validate_stable = true) log id spec : Atomic_object.t =
       let blockers =
         List.filter_map
           (fun e ->
-            if e.mutates && (not (Txn.equal e.txn txn)) && Txn.is_active e.txn
+            if e.mutates && (not (Txn.equal e.txn txn)) && Txn.is_live e.txn
             then Some e.txn
             else None)
           earlier
@@ -89,7 +89,7 @@ let make ?(validate_stable = true) log id spec : Atomic_object.t =
                transaction aborts, the committed reader's answer is no
                longer serializable in timestamp order. *)
             let stable e' =
-              Txn.equal e'.txn txn || not (Txn.is_active e'.txn)
+              Txn.equal e'.txn txn || not (Txn.is_live e'.txn)
             in
             let consistent l = Option.is_some (replay l) in
             if
@@ -121,7 +121,7 @@ let make ?(validate_stable = true) log id spec : Atomic_object.t =
   let initiate txn = Obj_log.initiated olog txn in
   let depth () =
     List.filter_map
-      (fun e -> if Txn.is_active e.txn then Some e.txn else None)
+      (fun e -> if Txn.is_live e.txn then Some e.txn else None)
       !executed
     |> List.sort_uniq Txn.compare |> List.length
   in

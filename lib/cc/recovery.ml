@@ -62,8 +62,7 @@ let pp_failure ppf = function
    substitution, not a divergence: both executions are correct
    behaviours of the type.  Only a result the log rules out, or a
    logged result the specification rules out, is a divergence. *)
-let replay order sys h =
-  let txns = committed_in_order order h in
+let replay_txns_ts ~init_ts ~commit_ts sys txns =
   let frontiers = ref Object_id.Map.empty in
   let frontier_pair obj =
     match Object_id.Map.find_opt obj !frontiers with
@@ -80,10 +79,17 @@ let replay order sys h =
   let rec loop count = function
     | [] -> Ok { replayed = count; substituted = !substituted; dropped_records = 0 }
     | (activity, ops) :: rest -> (
-      let txn = System.begin_txn sys activity in
+      let txn = System.begin_txn ?ts:(init_ts activity) sys activity in
       let rec run = function
         | [] ->
-          System.commit sys txn;
+          (match commit_ts activity with
+          | Some cts ->
+            (* Reinstate the logged (2PC-agreed) commit timestamp: every
+               site must keep answering the same timestamp for a
+               committed transaction across crashes. *)
+            System.prepare sys txn;
+            System.commit_prepared ~commit_ts:cts sys txn
+          | None -> System.commit sys txn);
           Ok ()
         | (obj, op, expected) :: more -> (
           match System.invoke sys txn obj op with
@@ -125,6 +131,32 @@ let replay order sys h =
   in
   loop 0 txns
 
+let no_ts _ = None
+let replay_txns sys txns = replay_txns_ts ~init_ts:no_ts ~commit_ts:no_ts sys txns
+
+(* History-based replay reinstates the logged timestamps: the initiation
+   timestamp from the activity's [<initiate(t)>] event and the commit
+   timestamp from its [<commit(t)>] event, when present.  A recovered
+   site must answer the same timestamps it answered before the crash —
+   under hybrid atomicity those were agreed cross-site at commit, and
+   re-deriving them locally would break the agreement. *)
+let replay order sys h =
+  let init_ts a =
+    List.find_map
+      (function
+        | Event.Initiate (a', _, ts) when Activity.equal a a' -> Some ts
+        | _ -> None)
+      (History.to_list h)
+  in
+  let commit_ts a =
+    List.find_map
+      (function
+        | Event.Commit (a', _, (Some _ as ts)) when Activity.equal a a' -> ts
+        | _ -> None)
+      (History.to_list h)
+  in
+  replay_txns_ts ~init_ts ~commit_ts sys (committed_in_order order h)
+
 let restore order sys h =
   match replay order sys h with
   | Ok r -> Ok r.replayed
@@ -143,3 +175,113 @@ let restore_durable order sys text =
     match replay order sys h with
     | Ok r -> Ok { r with dropped_records = dropped }
     | Error msg -> Error (Divergent msg))
+
+(* ------------------------------------------------------------------ *)
+(* Sharded recovery: reinstate in-doubt (prepared, undecided)
+   transactions from the WAL's control records. *)
+
+type shard_report = {
+  base : report;
+  reinstated : int;
+  resolved : int;
+  in_doubt : (int * Txn.t) list;
+}
+
+(* Re-execute a prepared transaction's logged operations and park it in
+   the [Prepared] state.  Serial context: only this transaction is
+   active, so a [Wait] would mean the replayed committed state blocks an
+   operation the original execution granted — a divergence. *)
+let reinstate_prepared sys h gid activity =
+  let ops = completed_ops h activity in
+  let ts = History.timestamp_of h activity in
+  let txn = System.begin_txn ?ts sys activity in
+  let rec run = function
+    | [] -> Ok txn
+    | (obj, op, _logged) :: more -> (
+      match System.invoke sys txn obj op with
+      | Atomic_object.Granted _ -> run more
+      | Atomic_object.Wait _ ->
+        Error
+          (Fmt.str "in-doubt transaction %d: %a at %a blocked during serial \
+                    reinstatement" gid Operation.pp op Object_id.pp obj)
+      | Atomic_object.Refused why ->
+        Error (Fmt.str "in-doubt transaction %d: refused: %s" gid why))
+  in
+  match run ops with
+  | Ok txn ->
+    System.prepare sys txn;
+    Ok txn
+  | Error _ as e ->
+    if Txn.is_active txn then System.abort sys txn;
+    e
+
+let restore_shard ?(resolve = fun _ -> `Unknown) order sys text =
+  match Wal.decode_records text with
+  | Error e -> Error (Corrupt e)
+  | Ok (records, status) ->
+    let dropped = match status with Wal.Intact -> 0 | Wal.Torn n -> n in
+    let events =
+      List.filter_map
+        (function Wal.Event e -> Some e | Wal.Control _ -> None)
+        records
+    in
+    let h = History.of_list events in
+    (* Prepared records in WAL order, first occurrence per gid; decided
+       records, last occurrence per gid (a re-delivered decision must
+       agree, and the latest is as authoritative as any). *)
+    let prepared = ref [] and decided = Hashtbl.create 8 in
+    List.iter
+      (function
+        | Wal.Control (Wal.Prepared { gid; activity }) ->
+          if not (List.mem_assoc gid !prepared) then
+            prepared := (gid, activity) :: !prepared
+        | Wal.Control (Wal.Decided { gid; verdict }) ->
+          Hashtbl.replace decided gid verdict
+        | Wal.Event _ -> ())
+      records;
+    let prepared = List.rev !prepared in
+    (match replay order sys h with
+    | Error msg -> Error (Divergent msg)
+    | Ok base ->
+      let base = { base with dropped_records = dropped } in
+      let committed = History.committed h and aborted = History.aborted h in
+      let reinstated = ref 0 and resolved = ref 0 and in_doubt = ref [] in
+      let rec go = function
+        | [] ->
+          Ok
+            {
+              base;
+              reinstated = !reinstated;
+              resolved = !resolved;
+              in_doubt = List.rev !in_doubt;
+            }
+        | (gid, activity) :: rest ->
+          (* A prepared transaction whose commit/abort made it into the
+             log was already handled by the committed-projection replay
+             (or discarded with the aborts). *)
+          if
+            Activity.Set.mem activity committed
+            || Activity.Set.mem activity aborted
+          then go rest
+          else (
+            match reinstate_prepared sys h gid activity with
+            | Error m -> Error (Divergent m)
+            | Ok txn ->
+              incr reinstated;
+              let verdict =
+                match Hashtbl.find_opt decided gid with
+                | Some v ->
+                  (v :> [ `Commit of Timestamp.t option | `Abort | `Unknown ])
+                | None -> resolve gid
+              in
+              (match verdict with
+              | `Commit commit_ts ->
+                System.commit_prepared ?commit_ts sys txn;
+                incr resolved
+              | `Abort ->
+                System.abort_prepared ~reason:"recovery decision" sys txn;
+                incr resolved
+              | `Unknown -> in_doubt := (gid, txn) :: !in_doubt);
+              go rest)
+      in
+      go prepared)

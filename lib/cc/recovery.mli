@@ -46,6 +46,15 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
+val replay_txns :
+  System.t ->
+  (Activity.t * (Object_id.t * Operation.t * Value.t) list) list ->
+  (report, string) result
+(** The replay engine on an explicit transaction list (as produced by
+    {!committed_in_order}) — the sharded runtime uses it to replay a
+    {e merged} cross-shard committed projection in global commit-
+    timestamp order against one combined system. *)
+
 val replay :
   order -> System.t -> History.t -> (report, string) result
 (** Re-execute the committed transactions of the history against the
@@ -70,3 +79,41 @@ val restore_durable :
     committed prefix.  This is the invariant the fault harness checks:
     recovery lands on exactly the state of the committed projection of
     the surviving log. *)
+
+(** {1 Sharded recovery}
+
+    A shard participating in two-phase commit can crash between its
+    yes-vote (the durable {!Wal.control.Prepared} record) and the
+    coordinator's decision.  On restart such a transaction is
+    {e in-doubt}: its effects must be reinstated and held in the
+    prepared state — blocking conflicting operations — until a decision
+    resolves it.  It must neither commit (the coordinator may have
+    aborted) nor abort (the coordinator may have committed). *)
+
+type shard_report = {
+  base : report;  (** the committed-projection replay *)
+  reinstated : int;
+      (** prepared-but-undecided transactions re-executed and parked in
+          the prepared state *)
+  resolved : int;
+      (** reinstated transactions resolved immediately — by a durable
+          {!Wal.control.Decided} record or by the [resolve] callback *)
+  in_doubt : (int * Txn.t) list;
+      (** transactions still in-doubt after recovery, as [(gid, txn)];
+          resolve them later with {!System.commit_prepared} /
+          {!System.abort_prepared} once the coordinator's decision is
+          learned *)
+}
+
+val restore_shard :
+  ?resolve:(int -> [ `Commit of Timestamp.t option | `Abort | `Unknown ]) ->
+  order ->
+  System.t ->
+  string ->
+  (shard_report, failure) result
+(** {!restore_durable} for a shard WAL with control records: replay the
+    committed projection, then reinstate every transaction with a
+    durable [Prepared] record but no commit/abort in the surviving log,
+    and resolve each from its durable [Decided] record when present,
+    else via [resolve] (e.g. a query against the coordinator's decision
+    log; default [`Unknown], leaving it in-doubt). *)

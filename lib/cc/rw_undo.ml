@@ -23,7 +23,7 @@ let make log id (module A : Weihl_adt.Adt_sig.S) : Atomic_object.t =
       Hashtbl.fold
         (fun tid (holder, held) acc ->
           if tid = Txn.id txn then acc
-          else if Txn.is_active holder && conflicts wanted held then
+          else if Txn.is_live holder && conflicts wanted held then
             holder :: acc
           else acc)
         locks []

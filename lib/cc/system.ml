@@ -67,15 +67,21 @@ let find_object_exn t x =
   | None ->
     invalid_arg (Fmt.str "System: unknown object %a" Object_id.pp x)
 
-let begin_txn t activity =
+let begin_txn ?ts t activity =
   let txn = Txn.make ~id:t.next_txn_id activity in
   t.next_txn_id <- t.next_txn_id + 1;
+  (match ts with
+  | Some ts -> Lamport_clock.observe t.clock ts
+  | None -> ());
   (match t.policy with
   | `None_ -> ()
-  | `Static -> Txn.set_init_ts txn (draw_init_ts t)
+  | `Static ->
+    Txn.set_init_ts txn
+      (match ts with Some ts -> ts | None -> draw_init_ts t)
   | `Hybrid ->
     if Activity.is_read_only activity then
-      Txn.set_init_ts txn (Lamport_clock.next t.clock));
+      Txn.set_init_ts txn
+        (match ts with Some ts -> ts | None -> Lamport_clock.next t.clock));
   Hashtbl.replace t.txns (Txn.id txn) txn;
   if t.probe <> None then
     emit_probe t
@@ -135,11 +141,22 @@ let invoke t txn x op =
            { txn = txn_id; obj = obj_s; op = op_s; why });
   result
 
-let commit t txn =
-  require_active txn;
+let require_prepared txn =
+  if not (Txn.is_prepared txn) then
+    invalid_arg (Fmt.str "System: transaction %a is not prepared" Txn.pp txn)
+
+let do_commit ?commit_ts t txn =
+  (match commit_ts with
+  | Some ts -> Lamport_clock.observe t.clock ts
+  | None -> ());
   (match t.policy with
   | `Hybrid when not (Txn.is_read_only txn) ->
-    Txn.set_commit_ts txn (Lamport_clock.next t.clock)
+    let ts =
+      match commit_ts with
+      | Some ts -> ts
+      | None -> Lamport_clock.next t.clock
+    in
+    Txn.set_commit_ts txn ts
   | `None_ | `Static | `Hybrid -> ());
   List.iter
     (fun x -> (find_object_exn t x).commit txn)
@@ -150,8 +167,7 @@ let commit t txn =
   if t.probe <> None then
     emit_probe t (Weihl_obs.Probe.Txn_commit { txn = Txn.id txn })
 
-let abort ?(reason = "abort") t txn =
-  require_active txn;
+let do_abort ~reason t txn =
   List.iter
     (fun x -> (find_object_exn t x).abort txn)
     (List.rev (Txn.touched txn));
@@ -160,6 +176,27 @@ let abort ?(reason = "abort") t txn =
   Waits_for.clear t.waits txn;
   if t.probe <> None then
     emit_probe t (Weihl_obs.Probe.Txn_abort { txn = Txn.id txn; reason })
+
+let commit t txn =
+  require_active txn;
+  do_commit t txn
+
+let abort ?(reason = "abort") t txn =
+  require_active txn;
+  do_abort ~reason t txn
+
+let prepare t txn =
+  require_active txn;
+  Txn.set_status txn Txn.Prepared;
+  Waits_for.clear t.waits txn
+
+let commit_prepared ?commit_ts t txn =
+  require_prepared txn;
+  do_commit ?commit_ts t txn
+
+let abort_prepared ?(reason = "2pc abort") t txn =
+  require_prepared txn;
+  do_abort ~reason t txn
 
 let waiting t txn = Waits_for.blockers t.waits txn
 let waiters t = Waits_for.waiter_count t.waits
@@ -172,3 +209,9 @@ let active_txns t =
   Hashtbl.fold (fun _ txn acc -> if Txn.is_active txn then txn :: acc else acc)
     t.txns []
   |> List.sort (fun a b -> Int.compare (Txn.id b) (Txn.id a))
+
+let prepared_txns t =
+  Hashtbl.fold
+    (fun _ txn acc -> if Txn.is_prepared txn then txn :: acc else acc)
+    t.txns []
+  |> List.sort (fun a b -> Int.compare (Txn.id a) (Txn.id b))

@@ -44,9 +44,12 @@ val add_object : t -> Atomic_object.t -> unit
 
 val find_object : t -> Object_id.t -> Atomic_object.t option
 
-val begin_txn : t -> Activity.t -> Txn.t
+val begin_txn : ?ts:Timestamp.t -> t -> Activity.t -> Txn.t
 (** Create a transaction for the activity, drawing an initiation
-    timestamp when the policy requires one. *)
+    timestamp when the policy requires one.  [?ts] overrides the drawn
+    timestamp (and is observed into the local clock): a sharded runtime
+    uses it to give every shard-local leg of a global transaction the
+    same globally-unique initiation timestamp. *)
 
 val invoke :
   t -> Txn.t -> Object_id.t -> Operation.t -> Atomic_object.invoke_result
@@ -68,6 +71,37 @@ val abort : ?reason:string -> t -> Txn.t -> unit
     effects.  [reason] only annotates the probe event (default
     ["abort"]).  @raise Invalid_argument if the transaction is not
     active. *)
+
+(** {1 Two-phase commit hooks}
+
+    The sharded runtime drives each local leg of a distributed
+    transaction through [prepare] and then exactly one of
+    [commit_prepared] / [abort_prepared].  A prepared transaction is
+    in-doubt: it holds its locks/intentions and blocks conflicting
+    operations until the coordinator's decision arrives. *)
+
+val prepare : t -> Txn.t -> unit
+(** Move an active transaction to {!Txn.status.Prepared} (the yes-vote
+    of 2PC).  Its effects stay pending at every touched object and its
+    waits-for edges are cleared — a prepared transaction no longer
+    waits, it only blocks others.
+    @raise Invalid_argument if the transaction is not active. *)
+
+val commit_prepared : ?commit_ts:Timestamp.t -> t -> Txn.t -> unit
+(** Commit a prepared transaction.  [?commit_ts] is the coordinator's
+    agreed commit timestamp: it is observed into the local clock and —
+    under the [`Hybrid] policy, for updates — recorded as the
+    transaction's commit timestamp, implementing the max-of-sites
+    agreement rule.
+    @raise Invalid_argument if the transaction is not prepared. *)
+
+val abort_prepared : ?reason:string -> t -> Txn.t -> unit
+(** Abort a prepared transaction (the coordinator decided abort, or
+    presumed abort after recovery).
+    @raise Invalid_argument if the transaction is not prepared. *)
+
+val prepared_txns : t -> Txn.t list
+(** In-doubt transactions, oldest first. *)
 
 val waiting : t -> Txn.t -> Txn.t list
 (** Whom the transaction is currently recorded as waiting for. *)

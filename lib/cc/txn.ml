@@ -1,6 +1,6 @@
 open Weihl_event
 
-type status = Active | Committed | Aborted
+type status = Active | Prepared | Committed | Aborted
 
 type t = {
   id : int;
@@ -21,10 +21,15 @@ let activity t = t.activity
 let is_read_only t = Activity.is_read_only t.activity
 let status t = t.status
 let is_active t = t.status = Active
+let is_prepared t = t.status = Prepared
+let is_live t = t.status = Active || t.status = Prepared
 
 let set_status t s =
-  if t.status <> Active && s <> t.status then
-    invalid_arg "Txn.set_status: transaction already completed";
+  (match t.status, s with
+  | (Active | Prepared), _ -> ()
+  | (Committed | Aborted), s when s = t.status -> ()
+  | (Committed | Aborted), _ ->
+      invalid_arg "Txn.set_status: transaction already completed");
   t.status <- s
 
 let init_ts t = t.init_ts

@@ -9,7 +9,11 @@
 
 open Weihl_event
 
-type status = Active | Committed | Aborted
+type status = Active | Prepared | Committed | Aborted
+(** [Prepared] is the in-doubt state of two-phase commit: the
+    transaction has voted yes and must neither commit nor abort until
+    the coordinator's decision arrives (or is replayed from the
+    WAL). *)
 
 type t
 
@@ -20,8 +24,19 @@ val is_read_only : t -> bool
 val status : t -> status
 val is_active : t -> bool
 
+val is_prepared : t -> bool
+
+val is_live : t -> bool
+(** [Active] or [Prepared] — the transaction still holds its effects
+    pending, so its locks, intentions and claims must keep blocking
+    conflicting operations.  Protocol objects test {e this}, not
+    {!is_active}, when deciding whether a holder still stands in the
+    way. *)
+
 val set_status : t -> status -> unit
-(** @raise Invalid_argument when resurrecting a completed
+(** Transitions out of [Active] and [Prepared] are free; [Committed]
+    and [Aborted] are final.
+    @raise Invalid_argument when resurrecting a completed
     transaction. *)
 
 val init_ts : t -> Timestamp.t option

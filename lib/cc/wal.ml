@@ -24,6 +24,12 @@ let crc32 s =
 type status = Intact | Torn of int
 type error = { record : int; reason : string }
 
+type control =
+  | Prepared of { gid : int; activity : Activity.t }
+  | Decided of { gid : int; verdict : [ `Commit of Timestamp.t option | `Abort ] }
+
+type record = Event of Event.t | Control of control
+
 let pp_status ppf = function
   | Intact -> Fmt.string ppf "intact"
   | Torn n -> Fmt.pf ppf "torn tail (%d record(s) dropped)" n
@@ -32,18 +38,82 @@ let pp_error ppf { record; reason } =
   if record < 0 then Fmt.pf ppf "WAL header: %s" reason
   else Fmt.pf ppf "WAL record %d: %s" record reason
 
-let encode h =
-  let buf = Buffer.create (64 * (History.length h + 1)) in
-  Buffer.add_string buf magic;
+let control_text = function
+  | Prepared { gid; activity } ->
+    Printf.sprintf "!prepared %d %s %s" gid
+      (if Activity.is_read_only activity then "r" else "u")
+      (Activity.name activity)
+  | Decided { gid; verdict = `Commit (Some ts) } ->
+    Printf.sprintf "!decided %d commit %d" gid (Timestamp.to_int ts)
+  | Decided { gid; verdict = `Commit None } ->
+    Printf.sprintf "!decided %d commit -" gid
+  | Decided { gid; verdict = `Abort } -> Printf.sprintf "!decided %d abort" gid
+
+(* Control bodies start with '!' — no event notation does. *)
+let control_of_text text =
+  match String.split_on_char ' ' text with
+  | "!prepared" :: gid :: kind :: (_ :: _ as rest) -> (
+    match (int_of_string_opt gid, kind) with
+    | Some gid, ("u" | "r") ->
+      let name = String.concat " " rest in
+      let activity =
+        if String.equal kind "r" then Activity.read_only name
+        else Activity.update name
+      in
+      Ok (Prepared { gid; activity })
+    | _ -> Error "unparseable control: bad prepared record")
+  | [ "!decided"; gid; "commit"; ts ] -> (
+    match int_of_string_opt gid with
+    | None -> Error "unparseable control: bad decided record"
+    | Some gid ->
+      if String.equal ts "-" then Ok (Decided { gid; verdict = `Commit None })
+      else (
+        match int_of_string_opt ts with
+        | Some n when n >= 0 ->
+          Ok (Decided { gid; verdict = `Commit (Some (Timestamp.v n)) })
+        | _ -> Error "unparseable control: bad decided timestamp"))
+  | [ "!decided"; gid; "abort" ] -> (
+    match int_of_string_opt gid with
+    | Some gid -> Ok (Decided { gid; verdict = `Abort })
+    | None -> Error "unparseable control: bad decided record")
+  | _ -> Error "unparseable control record"
+
+let record_text = function
+  | Event e -> Event.to_string e
+  | Control c -> control_text c
+
+let record_of_text text =
+  if String.length text > 0 && text.[0] = '!' then (
+    match control_of_text text with
+    | Ok c -> Ok (Control c)
+    | Error m -> Error m)
+  else (
+    match Notation.event_of_string text with
+    | Ok e -> Ok (Event e)
+    | Error m -> Error ("unparseable event: " ^ m))
+
+let header_line = function
+  | None -> magic
+  | Some label ->
+    if String.contains label '\n' then
+      invalid_arg "Wal.encode_records: label contains a newline";
+    magic ^ " " ^ label
+
+let encode_records ?label records =
+  let buf = Buffer.create (64 * (List.length records + 1)) in
+  Buffer.add_string buf (header_line label);
   Buffer.add_char buf '\n';
-  let seq = ref 0 in
-  History.iter
-    (fun e ->
-      let body = Fmt.str "%d %a" !seq Event.pp e in
-      Buffer.add_string buf (Printf.sprintf "%08x %s\n" (crc32 body) body);
-      incr seq)
-    h;
+  List.iteri
+    (fun seq r ->
+      let body = Printf.sprintf "%d %s" seq (record_text r) in
+      Buffer.add_string buf (Printf.sprintf "%08x %s\n" (crc32 body) body))
+    records;
   Buffer.contents buf
+
+let encode h =
+  let records = ref [] in
+  History.iter (fun e -> records := Event e :: !records) h;
+  encode_records (List.rev !records)
 
 (* Parse one record line.  [seq] is the index the record must carry for
    the log to be gapless. *)
@@ -65,14 +135,11 @@ let parse_record ~seq line =
           | None -> Error "unreadable sequence number"
           | Some s when s <> seq ->
             Error (Printf.sprintf "sequence gap: expected %d, found %d" seq s)
-          | Some _ -> (
-            let text = String.sub body (sp + 1) (String.length body - sp - 1) in
-            match Notation.event_of_string text with
-            | Ok e -> Ok e
-            | Error m -> Error ("unparseable event: " ^ m))))
+          | Some _ ->
+            record_of_text (String.sub body (sp + 1) (String.length body - sp - 1))))
 
 (* A line that checks out structurally (checksum over its own content,
-   parseable sequence and event) regardless of where it sits.  Evidence
+   parseable sequence and record) regardless of where it sits.  Evidence
    that real data exists beyond a damaged record. *)
 let well_framed line =
   let n = String.length line in
@@ -91,17 +158,33 @@ let well_framed line =
       int_of_string_opt (String.sub body 0 sp) <> None
       &&
       match
-        Notation.event_of_string
-          (String.sub body (sp + 1) (String.length body - sp - 1))
+        record_of_text (String.sub body (sp + 1) (String.length body - sp - 1))
       with
       | Ok _ -> true
       | Error _ -> false))
 
-let decode text =
+let header_ok header =
+  String.equal header magic
+  || String.length header > String.length magic
+     && String.sub header 0 (String.length magic + 1) = magic ^ " "
+
+let label text =
+  match String.index_opt text '\n' with
+  | None -> None
+  | Some nl ->
+    let header = String.sub text 0 nl in
+    if
+      header_ok header
+      && String.length header > String.length magic + 1
+    then Some (String.sub header (String.length magic + 1)
+                 (String.length header - String.length magic - 1))
+    else None
+
+let decode_records text =
   match String.split_on_char '\n' text with
   | [] -> Error { record = -1; reason = "empty" }
   | header :: rest ->
-    if not (String.equal header magic) then
+    if not (header_ok header) then
       Error { record = -1; reason = "bad or missing header" }
     else
       (* A final trailing newline yields one empty trailing element;
@@ -110,14 +193,22 @@ let decode text =
         match List.rev rest with "" :: tl -> List.rev tl | _ -> rest
       in
       let rec go seq acc = function
-        | [] -> Ok (History.of_list (List.rev acc), Intact)
+        | [] -> Ok (List.rev acc, Intact)
         | line :: tl -> (
           match parse_record ~seq line with
-          | Ok e -> go (seq + 1) (e :: acc) tl
+          | Ok r -> go (seq + 1) (r :: acc) tl
           | Error reason ->
             if List.exists well_framed tl then
               Error { record = seq; reason = "mid-log corruption: " ^ reason }
-            else
-              Ok (History.of_list (List.rev acc), Torn (List.length tl + 1)))
+            else Ok (List.rev acc, Torn (List.length tl + 1)))
       in
       go 0 [] lines
+
+let decode text =
+  match decode_records text with
+  | Error e -> Error e
+  | Ok (records, status) ->
+    let events =
+      List.filter_map (function Event e -> Some e | Control _ -> None) records
+    in
+    Ok (History.of_list events, status)

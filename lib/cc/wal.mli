@@ -30,7 +30,10 @@
 open Weihl_event
 
 val magic : string
-(** First line of every WAL: ["weihl-wal 1"]. *)
+(** First token of every WAL header: ["weihl-wal 1"].  A header may
+    carry a label after the magic (["weihl-wal 1 shard-3"]) naming the
+    log — per-shard WALs use it; unlabeled logs keep the legacy
+    header. *)
 
 val crc32 : string -> int
 (** CRC-32 (IEEE 802.3) of a string, in [0, 0xFFFFFFFF]. *)
@@ -52,4 +55,37 @@ val encode : History.t -> string
 
 val decode : string -> (History.t * status, error) result
 (** Parse a durable text back into the history it records, truncating a
-    torn tail and rejecting mid-log corruption or a damaged header. *)
+    torn tail and rejecting mid-log corruption or a damaged header.
+    Control records (below) are skipped. *)
+
+(** {1 Control records}
+
+    Two-phase commit writes more than events into a participant's WAL:
+    a [Prepared] record marks the point of no return (after it, the
+    transaction is in-doubt across a crash until a decision is known),
+    and a [Decided] record makes the coordinator's decision durable.
+    Control records share the event framing — same checksum, same
+    sequence numbering — so torn-tail/mid-log classification treats
+    them uniformly; their bodies start with ['!'], which no event
+    notation does. *)
+
+type control =
+  | Prepared of { gid : int; activity : Activity.t }
+      (** This participant voted yes for global transaction [gid],
+          running locally as [activity]. *)
+  | Decided of { gid : int; verdict : [ `Commit of Timestamp.t option | `Abort ] }
+      (** The decision for [gid]; a commit carries the agreed commit
+          timestamp when the policy assigns one. *)
+
+type record = Event of Event.t | Control of control
+
+val encode_records : ?label:string -> record list -> string
+(** Generalized {!encode}: frame an interleaved stream of events and
+    control records, optionally labelling the header.
+    @raise Invalid_argument if the label contains a newline. *)
+
+val decode_records : string -> (record list * status, error) result
+(** Generalized {!decode}: the full record stream, controls included. *)
+
+val label : string -> string option
+(** The header label of a durable text, if it has one. *)

@@ -106,17 +106,26 @@ module Waits_for = Weihl_cc.Waits_for
 module System = Weihl_cc.System
 
 module Concurrent = Weihl_runtime.Concurrent
+module Sharded = Weihl_runtime.Sharded
 
 module Msim = Weihl_dist.Msim
 module Tpc = Weihl_dist.Tpc
 
 module Fault_plan = Weihl_fault.Plan
 module Fault_harness = Weihl_fault.Harness
+module Shard_plan = Weihl_fault.Shard_plan
+
+module Shard_router = Weihl_shard.Router
+module Gtxn = Weihl_shard.Gtxn
+module Shard_group = Weihl_shard.Group
+module Sharded_driver = Weihl_shard.Sharded_driver
+module Shard_harness = Weihl_shard.Shard_harness
 
 module Lint_domain = Weihl_analysis.Domain
 module Lint_catalog = Weihl_analysis.Catalog
 module Table_cert = Weihl_analysis.Table_cert
 module Lint_probe = Weihl_analysis.Probe
+module Lint_xprobe = Weihl_analysis.Xprobe
 module Lint = Weihl_analysis.Certify
 module Lint_mutation = Weihl_analysis.Mutation
 

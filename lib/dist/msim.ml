@@ -1,7 +1,7 @@
 module Pqueue = Weihl_sim.Pqueue
 module Rng = Weihl_sim.Rng
 
-type 'msg event = Deliver of int * 'msg | Crash of int
+type 'msg event = Deliver of int * 'msg | Crash of int | Heal_all
 
 type faults = { drop : float; duplicate : float; reorder : float }
 
@@ -18,6 +18,7 @@ type 'msg t = {
   faults : faults;
   queue : 'msg event Pqueue.t;
   crashed_nodes : (int, unit) Hashtbl.t;
+  partitions : (int * int, unit) Hashtbl.t; (* keyed (min, max) *)
   handler : 'msg t -> node:int -> 'msg -> unit;
   metrics : Weihl_obs.Metrics.Registry.t option;
   mutable time : int;
@@ -42,6 +43,7 @@ let create ?(min_delay = 1) ?(max_delay = 5) ?(faults = no_faults) ?metrics
     faults;
     queue = Pqueue.create ();
     crashed_nodes = Hashtbl.create 4;
+    partitions = Hashtbl.create 4;
     handler;
     metrics;
     time = 0;
@@ -53,6 +55,12 @@ let create ?(min_delay = 1) ?(max_delay = 5) ?(faults = no_faults) ?metrics
   }
 
 let crashed t node = Hashtbl.mem t.crashed_nodes node
+
+let pair_key a b = if a <= b then (a, b) else (b, a)
+let partition t a b = Hashtbl.replace t.partitions (pair_key a b) ()
+let heal t a b = Hashtbl.remove t.partitions (pair_key a b)
+let heal_all t = Hashtbl.reset t.partitions
+let partitioned t a b = Hashtbl.mem t.partitions (pair_key a b)
 
 let count t name =
   match t.metrics with
@@ -86,6 +94,7 @@ let enqueue t ~dst msg =
 let send t ~src ~dst msg =
   if dst < 0 || dst >= t.nodes then invalid_arg "Msim.send: bad destination";
   if crashed t src then drop t "crashed_src"
+  else if partitioned t src dst then drop t "partition"
   else if flip t t.faults.drop then drop t "fault"
   else begin
     enqueue t ~dst msg;
@@ -105,6 +114,7 @@ let set_timer t ~node ~after msg =
 
 let crash t node = Hashtbl.replace t.crashed_nodes node ()
 let crash_at t ~time node = Pqueue.push t.queue ~time (Crash node)
+let heal_all_at t ~time = Pqueue.push t.queue ~time Heal_all
 let now t = t.time
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped
@@ -120,6 +130,7 @@ let run ?(until = 100_000) t =
         t.time <- max t.time time;
         (match ev with
         | Crash node -> crash t node
+        | Heal_all -> heal_all t
         | Deliver (node, msg) ->
           if crashed t node then drop t "crashed_dst"
           else begin

@@ -48,6 +48,20 @@ val crashed : 'msg t -> int -> bool
 val crash_at : 'msg t -> time:int -> int -> unit
 (** Schedule a crash at an absolute virtual time. *)
 
+val partition : 'msg t -> int -> int -> unit
+(** Cut the (bidirectional) link between two nodes: messages sent
+    either way are dropped — and counted under
+    [msim.dropped.partition] — until the link heals.  Timers are local
+    and unaffected, so timeout-based recovery still runs. *)
+
+val heal : 'msg t -> int -> int -> unit
+val heal_all : 'msg t -> unit
+
+val heal_all_at : 'msg t -> time:int -> unit
+(** Schedule {!heal_all} at an absolute virtual time. *)
+
+val partitioned : 'msg t -> int -> int -> bool
+
 val now : 'msg t -> int
 (** Current virtual time. *)
 

@@ -87,3 +87,73 @@ val atomic_commitment : outcome -> bool
     invariant. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 The reusable commit driver}
+
+    {!run} is a one-shot experiment over scripted votes and clocks.
+    The sharded runtime instead drives one 2PC round {e per
+    transaction} against live shards, so the protocol engine is also
+    exposed with callback participants and an explicit decision
+    record. *)
+
+type decision = {
+  committed : bool;  (** the coordinator decided commit *)
+  decision_ts : int option;
+      (** the agreed commit timestamp — [1 + max] of the participants'
+          clock readings (possibly adjusted by [choose_ts]) *)
+  outcomes : site_status list;  (** per participant, in order *)
+  decision_messages : int;
+  decision_duration : int;  (** virtual time at quiescence *)
+}
+
+type participant = {
+  clock : unit -> int;
+      (** the site's logical-clock reading, sampled with its yes-vote *)
+  prepare : unit -> vote;
+      (** called when PREPARE arrives; vote [Yes] only once the site
+          can guarantee the transaction either way (effects durable) *)
+  learn : [ `Commit of int | `Abort ] -> unit;
+      (** called exactly once, when this site — having voted yes —
+          learns the decision (from the coordinator or from a peer via
+          cooperative termination).  Never called for a site that voted
+          [No], crashed, or stayed blocked. *)
+}
+
+type fault = {
+  f_coordinator_crash : crash_point;
+  f_participant_crash : (int * [ `Before_vote | `After_vote ]) option;
+  f_msg_faults : Msim.faults;
+  f_partitions : (int * int) list;
+      (** node pairs to cut from the start; node 0 is the coordinator,
+          participant [i] is node [i + 1] *)
+  f_heal_at : int option;  (** when all partitions heal, if ever *)
+}
+
+val no_fault : fault
+
+val atomic_decision : decision -> bool
+(** {!atomic_commitment} over a {!decision}. *)
+
+val pp_decision : Format.formatter -> decision -> unit
+
+module Driver : sig
+  val commit :
+    ?timeout:int ->
+    ?max_retries:int ->
+    ?retry_cap:int ->
+    ?metrics:Weihl_obs.Metrics.Registry.t ->
+    ?fault:fault ->
+    ?choose_ts:(int -> int) ->
+    ?on_decide:([ `Commit of int | `Abort ] -> unit) ->
+    seed:int ->
+    participant list ->
+    decision
+  (** Run one atomic-commitment round over the participants.
+      [choose_ts] maps the max-of-sites proposal to the final commit
+      timestamp (identity by default) — a shard group routes it through
+      its own clock to keep global timestamps unique.  [on_decide]
+      fires at the coordinator's decision point, {e before} any DECIDE
+      message is sent: it is the write-ahead hook for a durable
+      decision log (presumed abort means only commits strictly need
+      recording).  Defaults match {!default_config}. *)
+end

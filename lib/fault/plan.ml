@@ -44,11 +44,11 @@ let generate ~seed =
   let clock_skew = List.init 4 (fun _ -> Rng.int rng 40) in
   { seed; crash; log_fault; msg; clock_skew }
 
-let corrupt t text =
+let corrupt_with log_fault text =
   let len = String.length text in
   if len = 0 then text
   else
-    match t.log_fault with
+    match log_fault with
     | Pristine -> text
     | Torn_tail k ->
       let cut = 1 + (k mod min len 160) in
@@ -60,6 +60,8 @@ let corrupt t text =
       let b = Bytes.of_string text in
       Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
       Bytes.to_string b
+
+let corrupt t text = corrupt_with t.log_fault text
 
 let pp_crash ppf = function
   | No_crash -> Fmt.string ppf "no crash"

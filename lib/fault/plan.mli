@@ -39,4 +39,8 @@ val corrupt : t -> string -> string
     integer parameter is folded into the text's actual length, so every
     generated fault lands inside the file. *)
 
+val corrupt_with : log_fault -> string -> string
+(** {!corrupt} for a bare fault — sharded plans damage one shard's WAL
+    without carrying a full single-shard plan. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+module Rng = Weihl_sim.Rng
+module Msim = Weihl_dist.Msim
+module Tpc = Weihl_dist.Tpc
+
+type tpc_fault =
+  | Clean
+  | Coord_crash of Tpc.crash_point
+  | Part_crash of int * [ `Before_vote | `After_vote ]
+  | Part_refuses of int
+  | Partition of int
+
+type t = {
+  seed : int;
+  fault_at_commit : int;
+  tpc : tpc_fault;
+  msg : Msim.faults;
+  log_fault : Plan.log_fault;
+}
+
+let generate ~seed =
+  let rng = Rng.create (seed * 37 + 11) in
+  let fault_at_commit = Rng.int_range rng 1 4 in
+  (* Every 2PC phase gets steady coverage across a sweep: coordinator
+     crashes before/after PREPARE and mid-decision, participant crashes
+     before/after the vote, a no-vote, and a coordinator<->participant
+     partition that heals late enough for presumed abort to fire. *)
+  let tpc =
+    match Rng.int rng 10 with
+    | 0 | 1 -> Clean
+    | 2 -> Coord_crash Tpc.Before_prepare
+    | 3 -> Coord_crash Tpc.After_prepare
+    | 4 -> Coord_crash (Tpc.Mid_decision (Rng.int rng 3))
+    | 5 -> Part_crash (Rng.int rng 4, `Before_vote)
+    | 6 -> Part_crash (Rng.int rng 4, `After_vote)
+    | 7 -> Part_refuses (Rng.int rng 4)
+    | 8 -> Partition (Rng.int rng 4)
+    | _ -> Part_crash (Rng.int rng 4, `After_vote)
+  in
+  let msg =
+    if Rng.bool rng then Msim.no_faults
+    else
+      {
+        Msim.drop = Rng.float rng 0.15;
+        duplicate = Rng.float rng 0.2;
+        reorder = Rng.float rng 0.3;
+      }
+  in
+  let log_fault =
+    (* Corruption is rare enough that most schedules exercise the
+       recovery path proper; when present it targets the crashed
+       participant's WAL.  Only detectable damage (a CRC-caught bit
+       flip) appears here: a participant syncs every record it
+       acknowledges externally — the Prepared record before its
+       yes-vote leaves the site, commits before they are answered — so
+       a crash cannot tear acknowledged records off the tail, and
+       silently losing synced data is a media failure no atomic
+       commitment protocol survives. *)
+    match Rng.int rng 12 with
+    | 0 | 1 -> Plan.Bit_flip (Rng.int rng 10_000)
+    | _ -> Plan.Pristine
+  in
+  { seed; fault_at_commit; tpc; msg; log_fault }
+
+let corrupt t text = Plan.corrupt_with t.log_fault text
+
+let pp_tpc ppf = function
+  | Clean -> Fmt.string ppf "clean"
+  | Coord_crash Tpc.No_crash -> Fmt.string ppf "coord:none"
+  | Coord_crash Tpc.Before_prepare -> Fmt.string ppf "coord:before-prepare"
+  | Coord_crash Tpc.After_prepare -> Fmt.string ppf "coord:after-prepare"
+  | Coord_crash (Tpc.Mid_decision k) -> Fmt.pf ppf "coord:mid-decision(%d)" k
+  | Part_crash (i, `Before_vote) -> Fmt.pf ppf "part%d:crash-before-vote" i
+  | Part_crash (i, `After_vote) -> Fmt.pf ppf "part%d:crash-after-vote" i
+  | Part_refuses i -> Fmt.pf ppf "part%d:votes-no" i
+  | Partition i -> Fmt.pf ppf "part%d:partitioned" i
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>seed %d: at-commit %d, 2pc %a, msg{d=%.2f,u=%.2f,r=%.2f}@]"
+    t.seed t.fault_at_commit pp_tpc t.tpc t.msg.Msim.drop t.msg.Msim.duplicate
+    t.msg.Msim.reorder

@@ -1,0 +1,42 @@
+(** Seeded fault plans for the sharded runtime's 2PC commit path.
+
+    A sharded schedule injects its fault at the [fault_at_commit]-th
+    multi-shard commit of a deterministic run: the 2PC round for that
+    transaction executes under [tpc] and [msg], and if a participant
+    crashes, its WAL is (optionally) damaged by [log_fault] before the
+    shard recovers.  Like {!Plan}, everything derives from one seed. *)
+
+module Msim = Weihl_dist.Msim
+module Tpc = Weihl_dist.Tpc
+
+type tpc_fault =
+  | Clean
+  | Coord_crash of Tpc.crash_point
+  | Part_crash of int * [ `Before_vote | `After_vote ]
+      (** participant index (mod the transaction's fan-out) and when it
+          dies *)
+  | Part_refuses of int  (** that participant votes no *)
+  | Partition of int
+      (** cut the coordinator<->participant link for the round *)
+
+type t = {
+  seed : int;
+  fault_at_commit : int;
+      (** inject at the k-th multi-shard (2PC) commit; earlier and
+          later commits run clean *)
+  tpc : tpc_fault;
+  msg : Msim.faults;
+  log_fault : Plan.log_fault;
+      (** damage applied to a crashed participant's WAL before
+          recovery *)
+}
+
+val generate : seed:int -> t
+(** Equal seeds give equal plans; a sweep over consecutive seeds covers
+    every 2PC crash phase, no-votes, partitions, message faults and
+    occasional WAL corruption. *)
+
+val corrupt : t -> string -> string
+(** Apply the plan's [log_fault] to a durable log text. *)
+
+val pp : Format.formatter -> t -> unit

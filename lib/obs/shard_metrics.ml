@@ -1,0 +1,100 @@
+module M = Metrics
+
+type shard = {
+  committed_local : M.Counter.t;
+  committed_tpc : M.Counter.t;
+  aborted : M.Counter.t;
+  prepared : M.Counter.t;
+  conflicts : M.Counter.t;
+  in_doubt : M.Gauge.t;
+}
+
+type t = {
+  registry : M.Registry.t;
+  shards : shard array;
+  tpc_rounds : M.Counter.t;
+  tpc_commits : M.Counter.t;
+  tpc_aborts : M.Counter.t;
+  tpc_messages : M.Counter.t;
+  tpc_duration : M.Histogram.t;
+  fanout : M.Histogram.t;
+}
+
+let fanout_buckets = Array.init 16 (fun i -> float_of_int (i + 1))
+
+let create ?registry ~shards () =
+  if shards <= 0 then invalid_arg "Shard_metrics.create: shards must be positive";
+  let registry =
+    match registry with Some r -> r | None -> M.Registry.create ()
+  in
+  let shard i =
+    let c what = M.Registry.counter registry (Fmt.str "shard%d.%s" i what) in
+    {
+      committed_local = c "committed.local";
+      committed_tpc = c "committed.tpc";
+      aborted = c "aborted";
+      prepared = c "prepared";
+      conflicts = c "conflicts";
+      in_doubt = M.Registry.gauge registry (Fmt.str "shard%d.in_doubt" i);
+    }
+  in
+  {
+    registry;
+    shards = Array.init shards shard;
+    tpc_rounds = M.Registry.counter registry "tpc.rounds";
+    tpc_commits = M.Registry.counter registry "tpc.commit";
+    tpc_aborts = M.Registry.counter registry "tpc.abort";
+    tpc_messages = M.Registry.counter registry "tpc.messages";
+    tpc_duration = M.Registry.histogram registry "tpc.duration";
+    fanout =
+      M.Registry.histogram ~buckets:fanout_buckets registry "txn.shard_fanout";
+  }
+
+let registry t = t.registry
+let shard_count t = Array.length t.shards
+
+let shard t i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "Shard_metrics.shard: index out of range";
+  t.shards.(i)
+
+let local_commit t i = M.Counter.incr (shard t i).committed_local
+let tpc_commit_at t i = M.Counter.incr (shard t i).committed_tpc
+let abort_at t i = M.Counter.incr (shard t i).aborted
+let prepare_at t i = M.Counter.incr (shard t i).prepared
+let conflict_at t i = M.Counter.incr (shard t i).conflicts
+let set_in_doubt t i n = M.Gauge.set (shard t i).in_doubt (float_of_int n)
+
+let tpc_round t ~committed ~messages ~duration ~fanout =
+  M.Counter.incr t.tpc_rounds;
+  M.Counter.incr (if committed then t.tpc_commits else t.tpc_aborts);
+  M.Counter.add t.tpc_messages messages;
+  M.Histogram.observe t.tpc_duration (float_of_int duration);
+  M.Histogram.observe t.fanout (float_of_int fanout)
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "shard  commit(local)  commit(2pc)  aborted  prepared  conflicts  in-doubt\n";
+  Array.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Fmt.str "%5d  %13d  %11d  %7d  %8d  %9d  %8.0f\n" i
+           (M.Counter.value s.committed_local)
+           (M.Counter.value s.committed_tpc)
+           (M.Counter.value s.aborted)
+           (M.Counter.value s.prepared)
+           (M.Counter.value s.conflicts)
+           (M.Gauge.value s.in_doubt)))
+    t.shards;
+  Buffer.add_string buf
+    (Fmt.str
+       "2pc: %d round(s), %d commit / %d abort, %d message(s), mean duration \
+        %.1f, mean fan-out %.2f\n"
+       (M.Counter.value t.tpc_rounds)
+       (M.Counter.value t.tpc_commits)
+       (M.Counter.value t.tpc_aborts)
+       (M.Counter.value t.tpc_messages)
+       (M.Histogram.mean t.tpc_duration)
+       (M.Histogram.mean t.fanout));
+  Buffer.contents buf

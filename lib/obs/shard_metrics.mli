@@ -1,0 +1,46 @@
+(** Per-shard contention and 2PC round metrics for the sharded runtime.
+
+    A thin convention layer over {!Metrics}: one counter family per
+    shard ([shard<i>.committed.local], [.committed.tpc], [.aborted],
+    [.prepared], [.conflicts], plus an [in_doubt] gauge), and
+    group-wide 2PC instruments ([tpc.rounds], [tpc.commit],
+    [tpc.abort], [tpc.messages], [tpc.duration], [txn.shard_fanout]).
+    All instruments live in one {!Metrics.Registry}, so the usual
+    text/JSON renderers see them too. *)
+
+type shard = {
+  committed_local : Metrics.Counter.t;
+      (** single-shard fast-path commits *)
+  committed_tpc : Metrics.Counter.t;  (** commits decided by 2PC *)
+  aborted : Metrics.Counter.t;
+  prepared : Metrics.Counter.t;  (** yes-votes (prepare records) *)
+  conflicts : Metrics.Counter.t;  (** operations that blocked *)
+  in_doubt : Metrics.Gauge.t;  (** currently prepared, undecided *)
+}
+
+type t
+
+val create : ?registry:Metrics.Registry.t -> shards:int -> unit -> t
+(** Instruments for [shards] shards, registered in [registry] (a fresh
+    one by default).  @raise Invalid_argument if [shards <= 0]. *)
+
+val registry : t -> Metrics.Registry.t
+val shard_count : t -> int
+
+val shard : t -> int -> shard
+(** @raise Invalid_argument if the index is out of range. *)
+
+val local_commit : t -> int -> unit
+val tpc_commit_at : t -> int -> unit
+val abort_at : t -> int -> unit
+val prepare_at : t -> int -> unit
+val conflict_at : t -> int -> unit
+val set_in_doubt : t -> int -> int -> unit
+
+val tpc_round :
+  t -> committed:bool -> messages:int -> duration:int -> fanout:int -> unit
+(** Record one completed 2PC round: its decision, message count,
+    virtual duration, and the transaction's shard fan-out. *)
+
+val render : t -> string
+(** A per-shard table plus a 2PC summary line. *)

@@ -1,0 +1,86 @@
+(** A thread-safe, blocking facade over the sharded runtime
+    ({!Weihl_shard.Group}) for multicore OCaml.
+
+    The counterpart of {!Concurrent} when the objects are partitioned:
+    one mutex guards the whole group, a condition variable wakes
+    blocked invokers whenever any transaction completes, and
+    cross-shard deadlocks (the per-shard waits-for graphs merged over
+    the global transactions) are broken by aborting the youngest cycle
+    member.
+
+    Commit is transparent: a transaction that touched one shard
+    commits locally, one that touched several runs a two-phase commit
+    round across its shards — both behind the same {!commit} call.
+    The simulated 2PC messaging runs synchronously under the lock, so
+    a fault-free round always reaches a decision before {!commit}
+    returns. *)
+
+open Weihl_event
+
+type t
+
+exception Refused of string
+(** The protocol refused the operation; the caller must {!abort}. *)
+
+exception Deadlock_victim
+(** The transaction was aborted to break a deadlock; the transaction
+    is already dead — do not call {!abort}. *)
+
+val create :
+  ?policy:Weihl_cc.System.ts_policy ->
+  ?metrics:Weihl_obs.Shard_metrics.t ->
+  ?seed:int ->
+  shards:int ->
+  unit ->
+  t
+(** [metrics] must have been created for the same shard count. *)
+
+val shard_count : t -> int
+
+val shard_of : t -> Object_id.t -> int
+(** The shard the router homes this object on. *)
+
+val add_object :
+  t ->
+  Object_id.t ->
+  (Weihl_cc.Event_log.t -> Object_id.t -> Weihl_cc.Atomic_object.t) ->
+  unit
+(** Unlike {!Concurrent.add_object} this takes a constructor: the
+    router picks the home shard, whose event log the object must
+    share. *)
+
+val begin_txn : t -> Activity.t -> Weihl_shard.Gtxn.t
+
+val invoke :
+  t -> Weihl_shard.Gtxn.t -> Object_id.t -> Operation.t -> Value.t
+(** Blocks while the protocol at the object's home shard says wait.
+    @raise Refused when the protocol refuses the operation (or the
+    home shard is down).
+    @raise Deadlock_victim when this transaction was chosen to break a
+    cross-shard deadlock while waiting. *)
+
+val commit : t -> Weihl_shard.Gtxn.t -> unit
+(** Local commit or a full 2PC round, by fan-out.
+    @raise Refused when the round decides abort (the transaction is
+    already dead — do not call {!abort}). *)
+
+val abort : t -> Weihl_shard.Gtxn.t -> unit
+
+val history : t -> int -> History.t
+(** Snapshot of one shard's event log (takes the lock). *)
+
+val durable_shard : t -> int -> string
+(** One shard's crash-safe WAL text, prepared-state control records
+    included (takes the lock); see {!Weihl_cc.Wal}. *)
+
+val committed_count : t -> int
+
+val atomically :
+  t ->
+  Activity.t ->
+  (Weihl_shard.Gtxn.t -> (Object_id.t -> Operation.t -> Value.t) -> 'a) ->
+  ('a, string) result
+(** [atomically t activity body] runs [body txn invoke] in a fresh
+    global transaction, committing (locally or via 2PC) on normal
+    return and aborting on {!Refused} or {!Deadlock_victim} (returned
+    as [Error]); other exceptions abort and re-raise. *)

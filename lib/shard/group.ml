@@ -1,0 +1,641 @@
+open Weihl_event
+module Cc = Weihl_cc
+module Tpc = Weihl_dist.Tpc
+
+type invoke_result =
+  | Granted of Value.t
+  | Wait of Gtxn.t list
+  | Refused of string
+
+type commit_outcome =
+  | Fast
+  | Distributed of Tpc.decision * int list (* participant shards, in order *)
+
+type t = {
+  policy : Cc.System.ts_policy;
+  shards : Cc.System.t array;
+  clock : Cc.Lamport_clock.t; (* the group's timestamp authority *)
+  mutable next_gid : int;
+  gtxns : (int, Gtxn.t) Hashtbl.t; (* live or unresolved *)
+  local_index : (int, Gtxn.t) Hashtbl.t array; (* per shard: leg id -> gtxn *)
+  decisions : (int, [ `Commit of int | `Abort ]) Hashtbl.t;
+      (* the coordinator's durable decision log; absence = presumed abort *)
+  mutable commit_seq : (int * Activity.t * Timestamp.t option) list;
+      (* committed gtxns, newest first, with their replay-order timestamp *)
+  journal : (int, (Object_id.t * Operation.t * Value.t) list) Hashtbl.t;
+      (* per gtxn, granted ops newest first — global program order,
+         which per-shard logs cannot reconstruct *)
+  mutable controls : (int * Cc.Wal.control) list array;
+      (* per shard, newest first: (event-log length at append, record) *)
+  constructors :
+    (string, Object_id.t * int * (Cc.Event_log.t -> Object_id.t -> Cc.Atomic_object.t))
+    Hashtbl.t;
+  metrics : Weihl_obs.Shard_metrics.t option;
+  seed : int;
+  mutable rounds : int;
+  crashed : bool array;
+}
+
+let create ?(policy = `None_) ?metrics ?(seed = 0) ~shards () =
+  if shards <= 0 then invalid_arg "Group.create: shards must be positive";
+  (match metrics with
+  | Some m when Weihl_obs.Shard_metrics.shard_count m <> shards ->
+    invalid_arg "Group.create: metrics shard count mismatch"
+  | _ -> ());
+  {
+    policy;
+    shards = Array.init shards (fun _ -> Cc.System.create ~policy ());
+    clock = Cc.Lamport_clock.create ();
+    next_gid = 0;
+    gtxns = Hashtbl.create 64;
+    local_index = Array.init shards (fun _ -> Hashtbl.create 64);
+    decisions = Hashtbl.create 64;
+    commit_seq = [];
+    journal = Hashtbl.create 64;
+    controls = Array.make shards [];
+    constructors = Hashtbl.create 16;
+    metrics;
+    seed;
+    rounds = 0;
+    crashed = Array.make shards false;
+  }
+
+let policy t = t.policy
+let shard_count t = Array.length t.shards
+let shard_of t x = Router.shard_of ~shards:(Array.length t.shards) x
+
+let system t s =
+  if s < 0 || s >= Array.length t.shards then
+    invalid_arg "Group.system: shard out of range";
+  t.shards.(s)
+
+let shard_crashed t s = t.crashed.(s)
+let clock t = t.clock
+let decision_of t gid = Hashtbl.find_opt t.decisions gid
+
+let metrics_count f t s =
+  match t.metrics with None -> () | Some m -> f m s
+
+let add_object t x make =
+  let s = shard_of t x in
+  if Hashtbl.mem t.constructors (Object_id.name x) then
+    invalid_arg (Fmt.str "Group.add_object: duplicate object %a" Object_id.pp x);
+  Hashtbl.replace t.constructors (Object_id.name x) (x, s, make);
+  Cc.System.add_object t.shards.(s) (make (Cc.System.log t.shards.(s)) x)
+
+let objects t =
+  Hashtbl.fold (fun _ (x, s, _) acc -> (x, s) :: acc) t.constructors []
+  |> List.sort (fun (a, _) (b, _) -> Object_id.compare a b)
+
+let begin_txn t activity =
+  let init_ts =
+    match t.policy with
+    | `None_ -> None
+    | `Static -> Some (Cc.Lamport_clock.next t.clock)
+    | `Hybrid ->
+      if Activity.is_read_only activity then
+        Some (Cc.Lamport_clock.next t.clock)
+      else None
+  in
+  let g = Gtxn.make ?init_ts ~gid:t.next_gid activity in
+  t.next_gid <- t.next_gid + 1;
+  Hashtbl.replace t.gtxns (Gtxn.gid g) g;
+  g
+
+let require_active g =
+  if not (Gtxn.is_active g) then
+    invalid_arg (Fmt.str "Group: transaction %a is not active" Gtxn.pp g)
+
+let leg_for t g s =
+  match Gtxn.leg g s with
+  | Some txn -> txn
+  | None ->
+    let txn =
+      Cc.System.begin_txn ?ts:(Gtxn.init_ts g) t.shards.(s) (Gtxn.activity g)
+    in
+    Gtxn.set_leg g s txn;
+    Hashtbl.replace t.local_index.(s) (Cc.Txn.id txn) g;
+    txn
+
+let journal_append t g entry =
+  let gid = Gtxn.gid g in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.journal gid) in
+  Hashtbl.replace t.journal gid (entry :: prev)
+
+let invoke t g x op =
+  require_active g;
+  let s = shard_of t x in
+  if t.crashed.(s) then Refused "shard down"
+  else
+    let txn = leg_for t g s in
+    match Cc.System.invoke t.shards.(s) txn x op with
+    | Cc.Atomic_object.Granted v ->
+      journal_append t g (x, op, v);
+      Granted v
+    | Cc.Atomic_object.Wait blockers ->
+      metrics_count Weihl_obs.Shard_metrics.conflict_at t s;
+      Wait
+        (List.filter_map
+           (fun b -> Hashtbl.find_opt t.local_index.(s) (Cc.Txn.id b))
+           blockers)
+    | Cc.Atomic_object.Refused why -> Refused why
+
+let drop_leg t s txn = Hashtbl.remove t.local_index.(s) (Cc.Txn.id txn)
+
+let abort ?reason t g =
+  require_active g;
+  List.iter
+    (fun (s, txn) ->
+      if (not t.crashed.(s)) && Cc.Txn.is_active txn then begin
+        Cc.System.abort ?reason t.shards.(s) txn;
+        metrics_count Weihl_obs.Shard_metrics.abort_at t s
+      end;
+      drop_leg t s txn)
+    (Gtxn.legs g);
+  Gtxn.set_status g Gtxn.Aborted;
+  Hashtbl.remove t.gtxns (Gtxn.gid g);
+  Hashtbl.remove t.journal (Gtxn.gid g)
+
+(* The timestamp by which a committed transaction is ordered in the
+   merged replay: commit order needs none (dynamic), static replays in
+   initiation order, hybrid in timestamp order (init for read-only,
+   commit for updates). *)
+let order_ts t g =
+  match t.policy with
+  | `None_ -> None
+  | `Static -> Gtxn.init_ts g
+  | `Hybrid ->
+    if Gtxn.is_read_only g then Gtxn.init_ts g else Gtxn.commit_ts g
+
+let record_commit t g =
+  t.commit_seq <- (Gtxn.gid g, Gtxn.activity g, order_ts t g) :: t.commit_seq
+
+let maybe_prune t g =
+  match Gtxn.status g with
+  | Gtxn.Active | Gtxn.In_doubt -> ()
+  | Gtxn.Committed | Gtxn.Aborted ->
+    let unresolved =
+      List.exists
+        (fun (s, txn) -> t.crashed.(s) || Cc.Txn.is_prepared txn)
+        (Gtxn.legs g)
+    in
+    if not unresolved then begin
+      List.iter (fun (s, txn) -> drop_leg t s txn) (Gtxn.legs g);
+      Hashtbl.remove t.gtxns (Gtxn.gid g);
+      if Gtxn.status g = Gtxn.Aborted then
+        Hashtbl.remove t.journal (Gtxn.gid g)
+    end
+
+let append_control t s c =
+  t.controls.(s) <-
+    (Cc.Event_log.length (Cc.System.log t.shards.(s)), c) :: t.controls.(s)
+
+(* Single-shard fast path: no 2PC round, but hybrid updates still draw
+   their commit timestamp from the group clock — local clocks drift
+   independently, and hybrid atomicity needs the global timestamp order
+   of committed updates consistent with [precedes] across shards. *)
+let commit_fast t g s txn =
+  let sys = t.shards.(s) in
+  (match t.policy with
+  | `Hybrid when not (Gtxn.is_read_only g) ->
+    Cc.Lamport_clock.observe t.clock (Cc.Lamport_clock.now (Cc.System.clock sys));
+    let cts = Cc.Lamport_clock.next t.clock in
+    Gtxn.set_commit_ts g cts;
+    Cc.System.prepare sys txn;
+    Cc.System.commit_prepared ~commit_ts:cts sys txn
+  | `None_ | `Static | `Hybrid -> Cc.System.commit sys txn);
+  metrics_count Weihl_obs.Shard_metrics.local_commit t s;
+  Gtxn.set_status g Gtxn.Committed;
+  record_commit t g;
+  drop_leg t s txn;
+  Hashtbl.remove t.gtxns (Gtxn.gid g)
+
+(* A crashed shard takes its volatile state down: every active global
+   transaction with a leg there can no longer complete, so it aborts at
+   its surviving shards.  Prepared legs elsewhere are untouched — their
+   fate belongs to the decision log. *)
+let sweep_crashed t s =
+  let victims =
+    Hashtbl.fold
+      (fun _ g acc ->
+        if Gtxn.is_active g && Gtxn.leg g s <> None then g :: acc else acc)
+      t.gtxns []
+  in
+  List.iter (fun g -> abort ~reason:"shard crash" t g) victims
+
+let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
+  let gid = Gtxn.gid g in
+  let part_shards = List.map fst legs in
+  let registry =
+    match t.metrics with
+    | None -> None
+    | Some m -> Some (Weihl_obs.Shard_metrics.registry m)
+  in
+  let participants =
+    List.mapi
+      (fun i (s, txn) ->
+        {
+          Tpc.clock =
+            (fun () ->
+              Timestamp.to_int (Cc.Lamport_clock.now (Cc.System.clock t.shards.(s))));
+          prepare =
+            (fun () ->
+              if List.mem i votes_no then begin
+                Cc.System.abort ~reason:"vote no" t.shards.(s) txn;
+                metrics_count Weihl_obs.Shard_metrics.abort_at t s;
+                drop_leg t s txn;
+                Tpc.No
+              end
+              else begin
+                (* Vote durable before it leaves the site: the WAL's
+                   Prepared record is the point of no return. *)
+                Cc.System.prepare t.shards.(s) txn;
+                append_control t s
+                  (Cc.Wal.Prepared { gid; activity = Gtxn.activity g });
+                metrics_count Weihl_obs.Shard_metrics.prepare_at t s;
+                Tpc.Yes
+              end);
+          learn =
+            (function
+            | `Commit ts ->
+              let cts = Timestamp.v ts in
+              append_control t s
+                (Cc.Wal.Decided { gid; verdict = `Commit (Some cts) });
+              Cc.System.commit_prepared ~commit_ts:cts t.shards.(s) txn;
+              metrics_count Weihl_obs.Shard_metrics.tpc_commit_at t s;
+              drop_leg t s txn
+            | `Abort ->
+              append_control t s (Cc.Wal.Decided { gid; verdict = `Abort });
+              Cc.System.abort_prepared t.shards.(s) txn;
+              metrics_count Weihl_obs.Shard_metrics.abort_at t s;
+              drop_leg t s txn);
+        })
+      legs
+  in
+  (* The agreed timestamp must exceed every participant's clock reading
+     (max-of-sites) and stay globally unique — route the proposal
+     through the group clock. *)
+  let choose_ts proposal =
+    if proposal > 0 then
+      Cc.Lamport_clock.observe t.clock (Timestamp.v (proposal - 1));
+    Timestamp.to_int (Cc.Lamport_clock.next t.clock)
+  in
+  let on_decide d =
+    Hashtbl.replace t.decisions gid d;
+    match d with
+    | `Commit ts ->
+      Gtxn.set_commit_ts g (Timestamp.v ts);
+      Gtxn.set_status g Gtxn.Committed;
+      record_commit t g
+    | `Abort -> Gtxn.set_status g Gtxn.Aborted
+  in
+  t.rounds <- t.rounds + 1;
+  let seed = (t.seed * 1_000_003) + t.rounds in
+  let decision =
+    Tpc.Driver.commit ?metrics:registry ~fault ~choose_ts ~on_decide ~seed
+      participants
+  in
+  (* Post-round bookkeeping the simulated sites cannot do themselves. *)
+  List.iteri
+    (fun i (s, txn) ->
+      match List.nth decision.Tpc.outcomes i with
+      | Tpc.Crashed ->
+        (* The site died mid-protocol: its volatile state is gone until
+           the shard recovers from its WAL. *)
+        t.crashed.(s) <- true
+      | Tpc.Aborted ->
+        (* Voted no or learned abort (handled in the callbacks) — or
+           never engaged (presumed abort), leaving the leg active. *)
+        if Cc.Txn.is_active txn then begin
+          Cc.System.abort ~reason:"presumed abort" t.shards.(s) txn;
+          metrics_count Weihl_obs.Shard_metrics.abort_at t s;
+          drop_leg t s txn
+        end
+      | Tpc.Committed _ | Tpc.Blocked -> ())
+    legs;
+  (* No decision was reached (coordinator died first): the transaction
+     is in-doubt iff some leg got as far as prepared. *)
+  if not (Hashtbl.mem t.decisions gid) then
+    if List.exists (fun (_, txn) -> Cc.Txn.is_prepared txn) legs then
+      Gtxn.set_status g Gtxn.In_doubt
+    else begin
+      Gtxn.set_status g Gtxn.Aborted;
+      List.iter
+        (fun (s, txn) ->
+          if (not t.crashed.(s)) && Cc.Txn.is_active txn then begin
+            Cc.System.abort ~reason:"presumed abort" t.shards.(s) txn;
+            drop_leg t s txn
+          end)
+        legs
+    end;
+  if Gtxn.status g = Gtxn.Aborted then Hashtbl.remove t.journal gid;
+  (* Only now that [g]'s fate is settled: shards that died mid-round
+     take every other active transaction with a leg there down too. *)
+  List.iteri
+    (fun i (s, _) ->
+      if List.nth decision.Tpc.outcomes i = Tpc.Crashed then sweep_crashed t s)
+    legs;
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    Weihl_obs.Shard_metrics.tpc_round m ~committed:decision.Tpc.committed
+      ~messages:decision.Tpc.decision_messages
+      ~duration:decision.Tpc.decision_duration ~fanout:(List.length legs);
+    Array.iteri
+      (fun s sys ->
+        if not t.crashed.(s) then
+          Weihl_obs.Shard_metrics.set_in_doubt m s
+            (List.length (Cc.System.prepared_txns sys)))
+      t.shards);
+  maybe_prune t g;
+  Distributed (decision, part_shards)
+
+let commit ?fault ?votes_no t g =
+  require_active g;
+  match Gtxn.legs g with
+  | [] ->
+    Gtxn.set_status g Gtxn.Committed;
+    record_commit t g;
+    Hashtbl.remove t.gtxns (Gtxn.gid g);
+    Fast
+  | [ (s, txn) ] ->
+    commit_fast t g s txn;
+    Fast
+  | legs -> commit_2pc ?fault ?votes_no t g legs
+
+(* ------------------------------------------------------------------ *)
+(* In-doubt resolution *)
+
+let resolve_gtxn t g verdict =
+  let resolved = ref 0 in
+  List.iter
+    (fun (s, txn) ->
+      if (not t.crashed.(s)) && Cc.Txn.is_prepared txn then begin
+        incr resolved;
+        match verdict with
+        | `Commit ts ->
+          let cts = Timestamp.v ts in
+          append_control t s
+            (Cc.Wal.Decided { gid = Gtxn.gid g; verdict = `Commit (Some cts) });
+          Cc.System.commit_prepared ~commit_ts:cts t.shards.(s) txn;
+          metrics_count Weihl_obs.Shard_metrics.tpc_commit_at t s;
+          drop_leg t s txn
+        | `Abort ->
+          append_control t s
+            (Cc.Wal.Decided { gid = Gtxn.gid g; verdict = `Abort });
+          Cc.System.abort_prepared ~reason:"late decision" t.shards.(s) txn;
+          metrics_count Weihl_obs.Shard_metrics.abort_at t s;
+          drop_leg t s txn
+      end)
+    (Gtxn.legs g);
+  (match Gtxn.status g with
+  | Gtxn.In_doubt | Gtxn.Active -> (
+    match verdict with
+    | `Commit ts ->
+      Gtxn.set_commit_ts g (Timestamp.v ts);
+      Gtxn.set_status g Gtxn.Committed;
+      record_commit t g
+    | `Abort ->
+      Gtxn.set_status g Gtxn.Aborted;
+      Hashtbl.remove t.journal (Gtxn.gid g))
+  | Gtxn.Committed | Gtxn.Aborted -> ());
+  maybe_prune t g;
+  !resolved
+
+(* Resolve every reachable prepared leg from the coordinator's decision
+   log; a gtxn with no decision record is presumed aborted.  This is
+   the "participant re-contacts the coordinator" step that ends 2PC's
+   blocking window once the coordinator is back. *)
+let resolve_in_doubt t =
+  let pending =
+    Hashtbl.fold
+      (fun _ g acc ->
+        if
+          List.exists
+            (fun (s, txn) -> (not t.crashed.(s)) && Cc.Txn.is_prepared txn)
+            (Gtxn.legs g)
+        then g :: acc
+        else acc)
+      t.gtxns []
+  in
+  List.fold_left
+    (fun n g ->
+      let verdict =
+        match Hashtbl.find_opt t.decisions (Gtxn.gid g) with
+        | Some v -> v
+        | None -> `Abort
+      in
+      n + resolve_gtxn t g verdict)
+    0 pending
+
+let in_doubt t =
+  let acc = ref [] in
+  Array.iteri
+    (fun s sys ->
+      if not t.crashed.(s) then
+        List.iter
+          (fun txn ->
+            match Hashtbl.find_opt t.local_index.(s) (Cc.Txn.id txn) with
+            | Some g -> acc := (Gtxn.gid g, s) :: !acc
+            | None -> acc := (-1, s) :: !acc)
+          (Cc.System.prepared_txns sys))
+    t.shards;
+  List.rev !acc
+
+let in_doubt_count t = List.length (in_doubt t)
+
+(* ------------------------------------------------------------------ *)
+(* Durability and recovery *)
+
+let shard_label s = Fmt.str "shard-%d" s
+
+let durable_shard t s =
+  let sys = t.shards.(s) in
+  let evs = History.to_list (Cc.System.history sys) in
+  let ctrls = List.rev t.controls.(s) in
+  let rec merge idx evs ctrls acc =
+    match (evs, ctrls) with
+    | _, (p, c) :: ctl when p <= idx -> merge idx evs ctl (Cc.Wal.Control c :: acc)
+    | e :: etl, _ -> merge (idx + 1) etl ctrls (Cc.Wal.Event e :: acc)
+    | [], (_, c) :: ctl -> merge idx [] ctl (Cc.Wal.Control c :: acc)
+    | [], [] -> List.rev acc
+  in
+  Cc.Wal.encode_records ~label:(shard_label s) (merge 0 evs ctrls [])
+
+let recovery_order t =
+  match t.policy with
+  | `None_ -> Cc.Recovery.Commit_order
+  | `Static | `Hybrid -> Cc.Recovery.Timestamp_order
+
+(* Take shard [s] down: its volatile state is lost, so every active
+   global transaction with a leg there aborts at its surviving shards
+   (prepared legs elsewhere stay — their fate belongs to the decision
+   log).  Returns the WAL text as of the crash. *)
+let crash_shard t s =
+  if s < 0 || s >= Array.length t.shards then
+    invalid_arg "Group.crash_shard: shard out of range";
+  let text = durable_shard t s in
+  t.crashed.(s) <- true;
+  sweep_crashed t s;
+  text
+
+let recover_shard ?resolve t s text =
+  if not t.crashed.(s) then
+    invalid_arg "Group.recover_shard: shard is not crashed";
+  let sys = Cc.System.create ~policy:t.policy () in
+  Hashtbl.iter
+    (fun _ (x, home, make) ->
+      if home = s then Cc.System.add_object sys (make (Cc.System.log sys) x))
+    t.constructors;
+  let resolve =
+    match resolve with
+    | Some f -> f
+    | None ->
+      fun gid ->
+        (match Hashtbl.find_opt t.decisions gid with
+        | Some (`Commit ts) -> `Commit (Some (Timestamp.v ts))
+        | Some `Abort -> `Abort
+        | None -> `Abort (* presumed abort: the coordinator has no record *))
+  in
+  match Cc.Recovery.restore_shard ~resolve (recovery_order t) sys text with
+  | Error e -> Error e
+  | Ok report ->
+    t.shards.(s) <- sys;
+    Hashtbl.reset t.local_index.(s);
+    t.controls.(s) <- [];
+    (* The group clock must dominate everything the recovered shard
+       replayed, or future commit timestamps could collide. *)
+    Cc.Lamport_clock.observe t.clock (Cc.Lamport_clock.now (Cc.System.clock sys));
+    (* Re-link legs still in doubt, recreating their durable prepared
+       marker in the new incarnation's control stream. *)
+    List.iter
+      (fun (gid, txn) ->
+        append_control t s
+          (Cc.Wal.Prepared { gid; activity = Cc.Txn.activity txn });
+        let g =
+          match Hashtbl.find_opt t.gtxns gid with
+          | Some g -> g
+          | None ->
+            let g = Gtxn.make ~gid (Cc.Txn.activity txn) in
+            Gtxn.set_status g Gtxn.In_doubt;
+            Hashtbl.replace t.gtxns gid g;
+            g
+        in
+        Gtxn.set_leg g s txn;
+        if Gtxn.status g = Gtxn.Active then Gtxn.set_status g Gtxn.In_doubt;
+        Hashtbl.replace t.local_index.(s) (Cc.Txn.id txn) g)
+      report.Cc.Recovery.in_doubt;
+    t.crashed.(s) <- false;
+    (* Transactions that were only waiting on this shard may now be
+       fully resolved. *)
+    let all = Hashtbl.fold (fun _ g acc -> g :: acc) t.gtxns [] in
+    List.iter (fun g -> maybe_prune t g) all;
+    (match t.metrics with
+    | None -> ()
+    | Some m ->
+      Weihl_obs.Shard_metrics.set_in_doubt m s
+        (List.length (Cc.System.prepared_txns sys)));
+    Ok report
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard deadlock detection *)
+
+let find_deadlock t =
+  (* Merge the per-shard waits-for graphs through the leg index into a
+     graph over global transactions, then look for a cycle. *)
+  let edges = Hashtbl.create 16 in
+  let nodes = ref [] in
+  Array.iteri
+    (fun s sys ->
+      if not t.crashed.(s) then
+        List.iter
+          (fun (w, bs) ->
+            match Hashtbl.find_opt t.local_index.(s) w with
+            | None -> ()
+            | Some gw ->
+              let targets =
+                List.filter_map
+                  (fun b -> Hashtbl.find_opt t.local_index.(s) b)
+                  bs
+              in
+              let gid = Gtxn.gid gw in
+              if not (Hashtbl.mem edges gid) then nodes := gw :: !nodes;
+              let prev = Option.value ~default:[] (Hashtbl.find_opt edges gid) in
+              Hashtbl.replace edges gid (targets @ prev))
+          (Cc.System.waits_snapshot sys))
+    t.shards;
+  (* DFS with an explicit path; a back-edge into the path is a cycle. *)
+  let color = Hashtbl.create 16 in
+  let rec dfs path g =
+    let gid = Gtxn.gid g in
+    match Hashtbl.find_opt color gid with
+    | Some `Done -> None
+    | Some `Gray ->
+      (* Cut the path at the first occurrence of [g]. *)
+      let rec cut = function
+        | [] -> []
+        | x :: _ when Gtxn.equal x g -> [ x ]
+        | x :: rest -> x :: cut rest
+      in
+      Some (List.rev (cut path))
+    | None ->
+      Hashtbl.replace color gid `Gray;
+      let succs = Option.value ~default:[] (Hashtbl.find_opt edges gid) in
+      let rec try_succs = function
+        | [] ->
+          Hashtbl.replace color gid `Done;
+          None
+        | s :: rest -> (
+          match dfs (g :: path) s with
+          | Some _ as c -> c
+          | None -> try_succs rest)
+      in
+      try_succs succs
+  in
+  let rec scan = function
+    | [] -> None
+    | g :: rest -> (
+      match dfs [] g with Some _ as c -> c | None -> scan rest)
+  in
+  scan (List.rev !nodes)
+
+let victim cycle =
+  match cycle with
+  | [] -> invalid_arg "Group.victim: empty cycle"
+  | g :: rest ->
+    List.fold_left (fun acc g -> if Gtxn.gid g > Gtxn.gid acc then g else acc)
+      g rest
+
+(* ------------------------------------------------------------------ *)
+(* The merged committed projection *)
+
+let committed_projection t =
+  let seq = List.rev t.commit_seq in
+  let ordered =
+    match t.policy with
+    | `None_ -> seq
+    | `Static | `Hybrid ->
+      List.stable_sort
+        (fun (_, _, a) (_, _, b) ->
+          match (a, b) with
+          | Some a, Some b -> Timestamp.compare a b
+          | None, Some _ -> -1
+          | Some _, None -> 1
+          | None, None -> 0)
+        seq
+  in
+  List.filter_map
+    (fun (gid, activity, _) ->
+      match Hashtbl.find_opt t.journal gid with
+      | Some ops -> Some (activity, List.rev ops)
+      | None -> Some (activity, []))
+    ordered
+
+let committed_count t = List.length t.commit_seq
+
+let agreed_commit_ts t gid =
+  match Hashtbl.find_opt t.decisions gid with
+  | Some (`Commit ts) -> Some ts
+  | Some `Abort | None -> None
+
+let tpc_rounds t = t.rounds

@@ -1,0 +1,179 @@
+(** A shard group: N independent {!Weihl_cc.System} instances behind
+    one transactional facade.
+
+    Each shard owns its own event log, Lamport clock and durable WAL;
+    the {!Router} places every object on exactly one shard.  A global
+    transaction ({!Gtxn}) lazily opens a shard-local leg on first
+    contact with each shard.  Commit takes one of two paths:
+
+    - {e fast path} — a transaction that touched a single shard commits
+      locally, with no coordination round (hybrid updates still draw
+      their commit timestamp from the group clock, which keeps the
+      global timestamp order of updates consistent with [precedes]);
+    - {e 2PC} — a multi-shard transaction runs a real two-phase commit
+      round over {!Weihl_dist.Tpc.Driver}: every leg votes after
+      writing a durable [Prepared] control record, the coordinator
+      chooses the commit timestamp as one past the max of the
+      participants' clock readings routed through the group clock, and
+      each leg applies the decision under a durable [Decided] record.
+
+    All timestamps — static/hybrid-read-only initiation timestamps,
+    fast-path hybrid commit timestamps, and 2PC-agreed commit
+    timestamps — are drawn from the single group clock, so they are
+    globally unique and the merged commit order is well defined.
+
+    The group also models failure: {!crash_shard} drops a shard's
+    volatile state (returning its WAL), {!recover_shard} rebuilds it
+    via {!Weihl_cc.Recovery.restore_shard} — reinstating prepared
+    in-doubt legs — and {!resolve_in_doubt} applies the coordinator's
+    decision log (presumed abort for unrecorded transactions). *)
+
+open Weihl_event
+module Cc = Weihl_cc
+module Tpc = Weihl_dist.Tpc
+
+type t
+
+type invoke_result =
+  | Granted of Value.t
+  | Wait of Gtxn.t list
+      (** Blocked on the listed global transactions (waits-for edges
+          translated from the home shard's local graph). *)
+  | Refused of string
+
+type commit_outcome =
+  | Fast  (** single-shard local commit — no coordination round *)
+  | Distributed of Tpc.decision * int list
+      (** the 2PC decision record and the participant shards, in the
+          order the transaction first touched them *)
+
+val create :
+  ?policy:Cc.System.ts_policy ->
+  ?metrics:Weihl_obs.Shard_metrics.t ->
+  ?seed:int ->
+  shards:int ->
+  unit ->
+  t
+(** A group of [shards] systems under one timestamp policy.  [seed]
+    derives each 2PC round's message-simulation seed.
+    @raise Invalid_argument if [shards <= 0] or the metrics were built
+    for a different shard count. *)
+
+val policy : t -> Cc.System.ts_policy
+val shard_count : t -> int
+val clock : t -> Cc.Lamport_clock.t
+
+val shard_of : t -> Object_id.t -> int
+(** Where the router places this object. *)
+
+val system : t -> int -> Cc.System.t
+(** The shard's current system incarnation (recovery replaces it).
+    @raise Invalid_argument if the index is out of range. *)
+
+val shard_crashed : t -> int -> bool
+
+val add_object :
+  t -> Object_id.t -> (Cc.Event_log.t -> Object_id.t -> Cc.Atomic_object.t) -> unit
+(** Register the object on its home shard.  The constructor is retained
+    so recovery can rebuild the shard's objects against a fresh log.
+    @raise Invalid_argument on a duplicate object id. *)
+
+val objects : t -> (Object_id.t * int) list
+(** Registered objects with their home shards, sorted by id. *)
+
+(** {1 The transactional facade} *)
+
+val begin_txn : t -> Activity.t -> Gtxn.t
+(** Start a global transaction; static (and hybrid read-only)
+    initiation timestamps come from the group clock and are shared by
+    all of its legs. *)
+
+val invoke : t -> Gtxn.t -> Object_id.t -> Operation.t -> invoke_result
+(** Route the operation to the object's home shard, opening a leg there
+    on first contact.  Refuses with ["shard down"] when the home shard
+    is crashed.  @raise Invalid_argument if the transaction is not
+    active or the object is unknown to its home shard. *)
+
+val commit : ?fault:Tpc.fault -> ?votes_no:int list -> t -> Gtxn.t -> commit_outcome
+(** Commit: fast path for [<= 1] legs, 2PC otherwise.  [fault] injects
+    failures into the 2PC round (crashes, message faults, partitions);
+    [votes_no] forces the listed participant indices (positions in
+    {!Gtxn.shards} order) to vote no.  After a faulty round the
+    transaction may be left {!Gtxn.status.In_doubt} (some leg prepared,
+    no decision reached) and shards may be marked crashed.
+    @raise Invalid_argument if the transaction is not active. *)
+
+val abort : ?reason:string -> t -> Gtxn.t -> unit
+(** Abort every active leg (legs on crashed shards are already gone).
+    @raise Invalid_argument if the transaction is not active. *)
+
+(** {1 In-doubt resolution} *)
+
+val decision_of : t -> int -> [ `Commit of int | `Abort ] option
+(** The coordinator's durable decision for a gid, if recorded. *)
+
+val resolve_in_doubt : t -> int
+(** Resolve every prepared leg on a live shard from the decision log —
+    presumed abort when no decision is recorded.  This is the
+    participant-recontacts-coordinator step that ends the blocking
+    window.  Returns the number of legs resolved. *)
+
+val in_doubt : t -> (int * int) list
+(** Currently prepared legs on live shards as [(gid, shard)]; gid is
+    [-1] for a prepared local transaction the group no longer tracks. *)
+
+val in_doubt_count : t -> int
+
+(** {1 Durability, crash, recovery} *)
+
+val durable_shard : t -> int -> string
+(** The shard's WAL: its event log interleaved with the [Prepared] /
+    [Decided] control records at the positions they were written,
+    framed by {!Cc.Wal.encode_records} under the label ["shard-<i>"]. *)
+
+val crash_shard : t -> int -> string
+(** Mark the shard crashed and return its WAL as of the crash.  Active
+    global transactions with a leg there abort at their surviving
+    shards; prepared legs elsewhere are untouched (their fate belongs
+    to the decision log).  @raise Invalid_argument on a bad index. *)
+
+val recover_shard :
+  ?resolve:(int -> [ `Commit of Timestamp.t option | `Abort | `Unknown ]) ->
+  t ->
+  int ->
+  string ->
+  (Cc.Recovery.shard_report, Cc.Recovery.failure) result
+(** Rebuild a crashed shard from WAL text: fresh system, objects
+    re-created, committed projection replayed, prepared-undecided
+    transactions reinstated and resolved — by default against the
+    group's decision log with presumed abort.  Surviving in-doubt legs
+    are re-linked to their global transactions.
+    @raise Invalid_argument if the shard is not crashed. *)
+
+(** {1 Cross-shard deadlock} *)
+
+val find_deadlock : t -> Gtxn.t list option
+(** A cycle in the union of the live shards' waits-for graphs, lifted
+    to global transactions — cycles invisible to any single shard. *)
+
+val victim : Gtxn.t list -> Gtxn.t
+(** The youngest (highest-gid) transaction of a cycle.
+    @raise Invalid_argument on an empty cycle. *)
+
+(** {1 Global-atomicity checks} *)
+
+val committed_projection :
+  t -> (Activity.t * (Object_id.t * Operation.t * Value.t) list) list
+(** Every committed global transaction with its granted operations in
+    program order, sorted by the group's serialization order: commit
+    order under [`None_], timestamp order under [`Static] / [`Hybrid].
+    Feed it to {!Cc.Recovery.replay_txns} against one combined fresh
+    system: global atomicity holds iff the merged replay validates. *)
+
+val committed_count : t -> int
+
+val agreed_commit_ts : t -> int -> int option
+(** The 2PC-agreed commit timestamp for a gid, if it committed
+    distributed. *)
+
+val tpc_rounds : t -> int

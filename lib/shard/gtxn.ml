@@ -1,0 +1,37 @@
+open Weihl_event
+module Cc = Weihl_cc
+
+type status = Active | In_doubt | Committed | Aborted
+
+type t = {
+  gid : int;
+  activity : Activity.t;
+  init_ts : Timestamp.t option;
+  mutable status : status;
+  mutable legs : (int * Cc.Txn.t) list; (* shard -> local leg, oldest first *)
+  mutable commit_ts : Timestamp.t option;
+}
+
+let make ?init_ts ~gid activity =
+  { gid; activity; init_ts; status = Active; legs = []; commit_ts = None }
+
+let gid t = t.gid
+let activity t = t.activity
+let is_read_only t = Activity.is_read_only t.activity
+let init_ts t = t.init_ts
+let status t = t.status
+let is_active t = t.status = Active
+let set_status t s = t.status <- s
+let commit_ts t = t.commit_ts
+let set_commit_ts t ts = t.commit_ts <- Some ts
+let legs t = List.rev t.legs
+let shards t = List.rev_map fst t.legs
+let leg t s = List.assoc_opt s t.legs
+
+let set_leg t s txn =
+  t.legs <- (s, txn) :: List.remove_assoc s t.legs
+
+let fanout t = List.length t.legs
+let equal a b = Int.equal a.gid b.gid
+let compare a b = Int.compare a.gid b.gid
+let pp ppf t = Fmt.pf ppf "%a#g%d" Activity.pp t.activity t.gid

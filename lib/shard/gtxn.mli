@@ -1,0 +1,42 @@
+(** Global transaction records: one activity running legs on several
+    shards.
+
+    A global transaction carries the group-drawn initiation timestamp
+    shared by all of its legs (static policy, and read-only activities
+    under hybrid), the set of shard-local {!Weihl_cc.Txn} legs it has
+    touched, and its global status.  [In_doubt] is the blocked window
+    of 2PC seen from the group: some leg is prepared and no decision is
+    known. *)
+
+open Weihl_event
+module Cc = Weihl_cc
+
+type status = Active | In_doubt | Committed | Aborted
+
+type t
+
+val make : ?init_ts:Timestamp.t -> gid:int -> Activity.t -> t
+val gid : t -> int
+val activity : t -> Activity.t
+val is_read_only : t -> bool
+val init_ts : t -> Timestamp.t option
+val status : t -> status
+val is_active : t -> bool
+val set_status : t -> status -> unit
+val commit_ts : t -> Timestamp.t option
+val set_commit_ts : t -> Timestamp.t -> unit
+
+val legs : t -> (int * Cc.Txn.t) list
+(** [(shard, local leg)] pairs, oldest first. *)
+
+val shards : t -> int list
+(** Touched shards, oldest first — the 2PC participant set. *)
+
+val leg : t -> int -> Cc.Txn.t option
+val set_leg : t -> int -> Cc.Txn.t -> unit
+(** Add the leg, or replace it (recovery re-links reinstated legs). *)
+
+val fanout : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+open Weihl_event
+
+(* FNV-1a, 32-bit: stable across runs and platforms (no Hashtbl.hash
+   dependence), cheap, and well-spread on short names. *)
+let hash s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let shard_of ~shards x =
+  if shards <= 0 then invalid_arg "Router.shard_of: shards must be positive";
+  hash (Object_id.name x) mod shards

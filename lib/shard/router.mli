@@ -1,0 +1,15 @@
+(** Deterministic object-to-shard placement.
+
+    The router is a pure function of the object's name, so every
+    component — facade, recovery, analysis probes — agrees on an
+    object's home shard without coordination, across runs and across
+    processes. *)
+
+open Weihl_event
+
+val hash : string -> int
+(** FNV-1a (32-bit) of a string, in [0, 0xFFFFFFFF]. *)
+
+val shard_of : shards:int -> Object_id.t -> int
+(** The home shard of an object, in [0, shards).
+    @raise Invalid_argument if [shards <= 0]. *)

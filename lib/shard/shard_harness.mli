@@ -1,0 +1,72 @@
+(** The sharded crash-recovery schedule runner.
+
+    One schedule = one {!Weihl_fault.Shard_plan.t} applied to one
+    banking protocol over a fresh shard {!Group}:
+
+    + drive seeded multi-client traffic through the group
+      ({!Sharded_driver}), injecting the plan's fault — coordinator or
+      participant crash at any 2PC phase, a no-vote, a coordinator
+      partition, message drop/duplication/reordering — into the
+      [fault_at_commit]-th multi-shard commit round;
+    + recover every shard the fault took down from its WAL (the first
+      victim's WAL damaged per the plan), reinstating prepared
+      in-doubt legs;
+    + resolve the blocking window from the coordinator's decision log
+      (presumed abort where it has no record) and check: no
+      transaction committed at one shard and aborted at another, all
+      shards agree on every committed transaction's timestamp, zero
+      transactions stuck in-doubt, and the merged committed projection
+      replays cleanly against one combined system;
+    + resume clean traffic and re-validate everything.
+
+    {!Diverged} is the verdict that must never happen; a damaged WAL
+    being loudly rejected is {!Corruption_detected}. *)
+
+module Shard_plan = Weihl_fault.Shard_plan
+
+type verdict = Converged | Corruption_detected | Diverged of string
+
+type schedule_result = {
+  plan : Shard_plan.t;
+  protocol : string;
+  shards : int;
+  verdict : verdict;
+  committed : int;  (** across both traffic phases *)
+  tpc_commits : int;
+  fault_injected : bool;
+      (** whether traffic reached the plan's faulty commit at all *)
+  crashed_shards : int;
+  reinstated : int;  (** prepared legs rebuilt from WALs *)
+  resolved_in_doubt : int;
+  resumed_committed : int;
+}
+
+type summary = {
+  schedules : int;
+  converged : int;
+  corruption_detected : int;
+  diverged : int;
+  results : schedule_result list;  (** in run order *)
+}
+
+val protocols : Weihl_fault.Harness.protocol list
+(** The banking protocols of the fault catalog — the ones whose
+    transfers scatter transactions across shards. *)
+
+val run_schedule :
+  ?quick:bool ->
+  ?shards:int ->
+  Shard_plan.t ->
+  Weihl_fault.Harness.protocol ->
+  schedule_result
+(** [quick] shortens both traffic phases; default 3 shards. *)
+
+val run_many :
+  ?quick:bool -> ?shards:int -> seeds:int list -> unit -> summary
+(** One schedule per seed, protocols assigned round-robin. *)
+
+val divergences : summary -> schedule_result list
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_result : Format.formatter -> schedule_result -> unit
+val pp_summary : Format.formatter -> summary -> unit

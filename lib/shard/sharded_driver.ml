@@ -1,0 +1,292 @@
+open Weihl_event
+module Cc = Weihl_cc
+module Sim = Weihl_sim
+module Rng = Weihl_sim.Rng
+module Workload = Weihl_sim.Workload
+module Pqueue = Weihl_sim.Pqueue
+
+type config = {
+  clients : int;
+  duration : int;
+  op_cost : int;
+  think_time : int;
+  restart_backoff : int;
+  max_restarts : int;
+  wait_backoff : int;
+  max_waits : int;
+      (** retries while blocked before the transaction aborts as
+          starved — bounds livelock behind an in-doubt leg *)
+  activity_base : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    clients = 6;
+    duration = 1500;
+    op_cost = 1;
+    think_time = 0;
+    restart_backoff = 5;
+    max_restarts = 3;
+    wait_backoff = 4;
+    max_waits = 50;
+    activity_base = 0;
+    seed = 42;
+  }
+
+type outcome = {
+  committed : int;
+  committed_read_only : int;
+  committed_multi : int;  (** commits that ran a 2PC round (fanout >= 2) *)
+  committed_single : int;  (** fast-path commits (fanout <= 1) *)
+  aborted_deadlock : int;
+  aborted_refused : int;
+  aborted_tpc : int;  (** 2PC rounds that decided abort *)
+  aborted_starved : int;
+  left_in_doubt : int;  (** transactions whose 2PC round ended in-doubt *)
+  gave_up : int;
+  waits : int;
+  restarts : int;
+  multi_attempts : int;  (** multi-shard commit attempts, incl. faulty ones *)
+  ticks : int;
+}
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "@[<v>committed: %d (read-only %d, 2pc %d, fast %d)@,\
+     aborted: %d deadlock, %d refused, %d tpc, %d starved; in-doubt: %d@,\
+     gave up: %d; waits: %d; restarts: %d; multi attempts: %d; ticks: %d@]"
+    o.committed o.committed_read_only o.committed_multi o.committed_single
+    o.aborted_deadlock o.aborted_refused o.aborted_tpc o.aborted_starved
+    o.left_in_doubt o.gave_up o.waits o.restarts o.multi_attempts o.ticks
+
+type client = {
+  cid : int;
+  mutable script : Workload.script option;
+  mutable step_idx : int;
+  mutable txn : Gtxn.t option;
+  mutable restarts_left : int;
+  mutable waits_left : int;
+  mutable retry_scheduled : bool;
+}
+
+let run ?(config = default_config)
+    ?(on_commit = fun group g ~nth_multi:_ -> Group.commit group g) group
+    workload =
+  let rng = Rng.create config.seed in
+  let pq : int Pqueue.t = Pqueue.create () in
+  let clients =
+    Array.init config.clients (fun cid ->
+        {
+          cid;
+          script = None;
+          step_idx = 0;
+          txn = None;
+          restarts_left = config.max_restarts;
+          waits_left = config.max_waits;
+          retry_scheduled = false;
+        })
+  in
+  let owner : (int, client) Hashtbl.t = Hashtbl.create 64 in
+  let m_committed = ref 0 in
+  let m_committed_ro = ref 0 in
+  let m_multi = ref 0 in
+  let m_single = ref 0 in
+  let m_deadlock = ref 0 in
+  let m_refused = ref 0 in
+  let m_tpc_abort = ref 0 in
+  let m_starved = ref 0 in
+  let m_in_doubt = ref 0 in
+  let m_gave_up = ref 0 in
+  let m_waits = ref 0 in
+  let m_restarts = ref 0 in
+  let m_multi_attempts = ref 0 in
+  let activity_counter = ref config.activity_base in
+  let fresh_activity kind =
+    incr activity_counter;
+    match kind with
+    | `Update -> Activity.update (Fmt.str "u%d" !activity_counter)
+    | `Read_only -> Activity.read_only (Fmt.str "r%d" !activity_counter)
+  in
+  let schedule c ~time =
+    if not c.retry_scheduled then begin
+      c.retry_scheduled <- true;
+      Pqueue.push pq ~time c.cid
+    end
+  in
+  let drop_txn c =
+    (match c.txn with
+    | Some g -> Hashtbl.remove owner (Gtxn.gid g)
+    | None -> ());
+    c.txn <- None;
+    c.step_idx <- 0;
+    c.waits_left <- config.max_waits
+  in
+  let restart_after_abort c ~time =
+    drop_txn c;
+    if c.restarts_left <= 0 then begin
+      incr m_gave_up;
+      c.script <- None
+    end
+    else begin
+      c.restarts_left <- c.restarts_left - 1;
+      incr m_restarts
+    end;
+    schedule c ~time:(time + config.restart_backoff + Rng.int rng 3)
+  in
+  (* A transaction that ends a faulty 2PC round in-doubt is out of the
+     client's hands: it stays parked in the group until a decision is
+     replayed, and the client moves on. *)
+  let park_in_doubt c ~time =
+    incr m_in_doubt;
+    drop_txn c;
+    c.script <- None;
+    schedule c ~time:(time + config.think_time + 1)
+  in
+  let break_deadlock ~time =
+    match Group.find_deadlock group with
+    | None -> false
+    | Some cycle -> (
+      let victim = Group.victim cycle in
+      match Hashtbl.find_opt owner (Gtxn.gid victim) with
+      | Some vc ->
+        Group.abort ~reason:"deadlock" group victim;
+        incr m_deadlock;
+        restart_after_abort vc ~time;
+        true
+      | None -> false)
+  in
+  let finish_commit c g ~time =
+    let script = Option.get c.script in
+    let multi = Gtxn.fanout g >= 2 in
+    if multi then incr m_multi_attempts;
+    let outcome = on_commit group g ~nth_multi:!m_multi_attempts in
+    (match Gtxn.status g with
+    | Gtxn.Committed ->
+      incr m_committed;
+      (match outcome with
+      | Group.Distributed _ -> incr m_multi
+      | Group.Fast -> incr m_single);
+      if script.Workload.kind = `Read_only then incr m_committed_ro;
+      drop_txn c;
+      c.script <- None;
+      c.restarts_left <- config.max_restarts;
+      schedule c ~time:(time + config.op_cost + config.think_time)
+    | Gtxn.Aborted ->
+      incr m_tpc_abort;
+      restart_after_abort c ~time
+    | Gtxn.In_doubt -> park_in_doubt c ~time
+    | Gtxn.Active -> invalid_arg "Sharded_driver: commit left txn active")
+  in
+  let proceed c ~time =
+    c.retry_scheduled <- false;
+    if time > config.duration then ()
+    else begin
+      (* A shard crash may have aborted the transaction out from under
+         the client; restart the script against the surviving shards. *)
+      (match c.txn with
+      | Some g when not (Gtxn.is_active g) -> drop_txn c
+      | _ -> ());
+      let script =
+        match c.script with
+        | Some s -> s
+        | None ->
+          let s = workload.Workload.generate rng in
+          c.script <- Some s;
+          c.step_idx <- 0;
+          c.restarts_left <- config.max_restarts;
+          c.waits_left <- config.max_waits;
+          s
+      in
+      let g =
+        match c.txn with
+        | Some g -> g
+        | None ->
+          let g = Group.begin_txn group (fresh_activity script.Workload.kind) in
+          c.txn <- Some g;
+          Hashtbl.replace owner (Gtxn.gid g) c;
+          g
+      in
+      match List.nth_opt script.Workload.steps c.step_idx with
+      | None -> finish_commit c g ~time
+      | Some step -> (
+        match Group.invoke group g step.Workload.obj step.Workload.op with
+        | Group.Granted v ->
+          c.waits_left <- config.max_waits;
+          let continue =
+            match step.Workload.continue_if with
+            | None -> true
+            | Some pred -> pred v
+          in
+          if continue then begin
+            c.step_idx <- c.step_idx + 1;
+            if c.step_idx >= List.length script.Workload.steps then
+              finish_commit c g ~time:(time + config.op_cost)
+            else schedule c ~time:(time + config.op_cost)
+          end
+          else finish_commit c g ~time:(time + config.op_cost)
+        | Group.Wait _ ->
+          incr m_waits;
+          if break_deadlock ~time then schedule c ~time:(time + 1)
+          else if c.waits_left <= 0 then begin
+            (* Blocked with no cycle to break — typically behind an
+               in-doubt leg that only recovery can resolve. *)
+            Group.abort ~reason:"starved" group g;
+            incr m_starved;
+            restart_after_abort c ~time
+          end
+          else begin
+            c.waits_left <- c.waits_left - 1;
+            schedule c ~time:(time + config.wait_backoff)
+          end
+        | Group.Refused _ ->
+          Group.abort ~reason:"refused" group g;
+          incr m_refused;
+          restart_after_abort c ~time)
+    end
+  in
+  Array.iter
+    (fun c -> schedule c ~time:(Rng.int rng (config.think_time + 2)))
+    clients;
+  let last_time = ref 0 in
+  let guard = ref 0 in
+  let max_events = 200 * config.duration * config.clients in
+  let rec loop () =
+    incr guard;
+    if !guard > max_events then ()
+    else
+      match Pqueue.pop pq with
+      | Some (time, cid) when time <= config.duration ->
+        last_time := max !last_time time;
+        proceed clients.(cid) ~time;
+        loop ()
+      | Some _ | None -> ()
+  in
+  loop ();
+  (* Transactions still open when the clock runs out are abandoned
+     in-flight: abort the active ones so they do not linger as waiters
+     (in-doubt ones stay — only a replayed decision may resolve them). *)
+  Array.iter
+    (fun c ->
+      match c.txn with
+      | Some g when Gtxn.is_active g ->
+        Group.abort ~reason:"end of run" group g;
+        drop_txn c
+      | _ -> ())
+    clients;
+  {
+    committed = !m_committed;
+    committed_read_only = !m_committed_ro;
+    committed_multi = !m_multi;
+    committed_single = !m_single;
+    aborted_deadlock = !m_deadlock;
+    aborted_refused = !m_refused;
+    aborted_tpc = !m_tpc_abort;
+    aborted_starved = !m_starved;
+    left_in_doubt = !m_in_doubt;
+    gave_up = !m_gave_up;
+    waits = !m_waits;
+    restarts = !m_restarts;
+    multi_attempts = !m_multi_attempts;
+    ticks = max 1 !last_time;
+  }

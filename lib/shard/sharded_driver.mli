@@ -1,0 +1,65 @@
+(** A deterministic closed-loop client driver over a shard {!Group}.
+
+    The sharded twin of {!Weihl_sim.Driver}: N clients draw transaction
+    scripts from a {!Weihl_sim.Workload}, execute them against the
+    group facade — legs opening on whichever shards the router picks —
+    and commit through the group's fast path or 2PC.  Virtual time,
+    conflicts and retries are all driven from one seeded RNG, so a
+    [(seed, workload, group)] triple replays the same schedule exactly.
+
+    Cross-shard deadlocks are broken by victimizing the youngest
+    transaction of a cycle found in the merged waits-for graph.  A
+    client blocked with no cycle to break — typically behind an
+    in-doubt prepared leg that only recovery can resolve — aborts as
+    {e starved} after [max_waits] retries, so the run always
+    terminates.  The [on_commit] hook lets a fault harness swap in a
+    faulty 2PC round at a chosen multi-shard commit. *)
+
+type config = {
+  clients : int;
+  duration : int;  (** virtual ticks *)
+  op_cost : int;
+  think_time : int;
+  restart_backoff : int;
+  max_restarts : int;  (** per script, before the client gives up *)
+  wait_backoff : int;
+  max_waits : int;
+      (** blocked retries before the transaction aborts as starved *)
+  activity_base : int;
+      (** offset for generated activity names — keeps phases of a
+          crash/recovery schedule from colliding *)
+  seed : int;
+}
+
+val default_config : config
+(** 6 clients, 1500 ticks, 3 restarts, 50 blocked retries, seed 42. *)
+
+type outcome = {
+  committed : int;
+  committed_read_only : int;
+  committed_multi : int;  (** commits that ran a 2PC round (fanout >= 2) *)
+  committed_single : int;  (** fast-path commits (fanout <= 1) *)
+  aborted_deadlock : int;
+  aborted_refused : int;
+  aborted_tpc : int;  (** 2PC rounds that decided abort *)
+  aborted_starved : int;
+  left_in_doubt : int;  (** transactions whose 2PC round ended in-doubt *)
+  gave_up : int;
+  waits : int;
+  restarts : int;
+  multi_attempts : int;  (** multi-shard commit attempts, incl. faulty ones *)
+  ticks : int;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run :
+  ?config:config ->
+  ?on_commit:(Group.t -> Gtxn.t -> nth_multi:int -> Group.commit_outcome) ->
+  Group.t ->
+  Weihl_sim.Workload.t ->
+  outcome
+(** Drive the workload against the group.  [on_commit] intercepts every
+    commit; [nth_multi] counts multi-shard attempts (1-based), so a
+    harness can inject a fault into exactly the k-th 2PC round.  The
+    default commits cleanly. *)

@@ -18,7 +18,7 @@ let outcomes = lazy (Lint_mutation.self_test ~depth:2)
 
 let test_mutations_all_detected () =
   let outcomes = Lazy.force outcomes in
-  Alcotest.(check int) "ten seeded corruptions" 10 (List.length outcomes);
+  Alcotest.(check int) "eleven seeded corruptions" 11 (List.length outcomes);
   Alcotest.(check bool) "all detected" true
     (Lint_mutation.all_detected outcomes);
   List.iter
@@ -45,6 +45,24 @@ let test_pr3_bug_detected () =
     Alcotest.(check bool) "detected" true o.detected;
     Alcotest.(check bool) "triple-probe evidence" true
       (contains o.evidence "not static atomic")
+
+(* The hybrid contended-commit mutation drops a committed version from
+   the archive when other intentions are outstanding — invisible to
+   every pair probe (no pair schedule puts a reader after a contended
+   commit), caught only by the hybrid triple probe's later reader. *)
+let test_hybrid_forget_detected () =
+  match
+    List.find_opt
+      (fun (o : Lint_mutation.outcome) ->
+        o.name = "hybrid-forgets-contended-commit")
+      (Lazy.force outcomes)
+  with
+  | None -> Alcotest.fail "hybrid-forgets-contended-commit mutation missing"
+  | Some o ->
+    Alcotest.(check string) "protocol-level corruption" "protocol" o.kind;
+    Alcotest.(check bool) "detected" true o.detected;
+    Alcotest.(check bool) "triple-probe evidence" true
+      (contains o.evidence "not hybrid atomic")
 
 (* The semiqueue deq/deq flip is only visible to the non-deterministic
    engine: both transactions may be granted the same item, and the two
@@ -88,7 +106,11 @@ let test_catalogue_clean () =
       Alcotest.(check bool)
         (c.protocol ^ ": looseness within [0,1]")
         true
-        (c.looseness >= 0. && c.looseness <= 1.))
+        (c.looseness >= 0. && c.looseness <= 1.);
+      Alcotest.(check bool)
+        (c.protocol ^ ": cross-shard probes ran")
+        true
+        (c.cross.Lint_xprobe.probed > 0))
     report.Lint.protocols
 
 (* The paper's gradient: on the same account alphabet, escrow (its
@@ -167,10 +189,12 @@ let tables_agree =
 
 let suite =
   [
-    Alcotest.test_case "mutation self-test flags all ten corruptions" `Quick
+    Alcotest.test_case "mutation self-test flags all eleven corruptions" `Quick
       test_mutations_all_detected;
     Alcotest.test_case "PR 3 multiversion bug caught by triple probe" `Quick
       test_pr3_bug_detected;
+    Alcotest.test_case "hybrid contended-commit forgetter caught" `Quick
+      test_hybrid_forget_detected;
     Alcotest.test_case "semiqueue deq/deq flip caught" `Quick
       test_semiqueue_flip_detected;
     Alcotest.test_case "catalogue certifies with zero unsound entries" `Quick

@@ -39,5 +39,6 @@ let () =
       ("observability", Test_obs.suite);
       ("fault injection", Test_fault.suite);
       ("lint certifier", Test_lint.suite);
+      ("sharded runtime", Test_shard.suite);
       ("properties (qcheck)", Test_props.suite);
     ]
