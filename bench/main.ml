@@ -1205,6 +1205,70 @@ let sim_section ~quick =
          ])
        [ 8; 32 ])
 
+(* Open-loop saturation curve over the sharded runtime: seeded Poisson
+   arrivals at a ladder of offered rates against the escrow banking
+   group.  Every quantity is virtual-time and a pure function of
+   (seed, rate, shards, workload), so the per-rate throughput joins
+   the deterministic regression gate; the latency percentiles come
+   from the group-wide histogram (per-shard histograms merged). *)
+let open_loop_section ~quick =
+  let duration = if quick then 800 else 2000 in
+  let rates =
+    if quick then [ 0.05; 0.2; 0.8 ] else [ 0.05; 0.1; 0.2; 0.4; 0.8 ]
+  in
+  let shards = 4 in
+  let proto =
+    match Fault_harness.find_protocol "escrow" with
+    | Some p -> p
+    | None -> Fmt.failwith "escrow protocol missing from the fault catalog"
+  in
+  let w = proto.Fault_harness.workload () in
+  let scenario rate =
+    let group =
+      Shard_group.create ~policy:proto.Fault_harness.policy ~seed:5 ~shards ()
+    in
+    List.iter
+      (fun id -> Shard_group.add_object group id proto.Fault_harness.make_object)
+      w.Workload.objects;
+    let config =
+      {
+        Sharded_driver.default_open_config with
+        rate;
+        o_duration = duration;
+        o_seed = 5;
+      }
+    in
+    let o, run_wall = wall_ms (fun () -> Sharded_driver.run_open ~config group w) in
+    let lat p = Obs.Metrics.Histogram.percentile o.Sharded_driver.latency p in
+    J.Obj
+      [
+        ("rate_per_1000", J.Num (rate *. 1000.));
+        ("arrivals", J.Num (float_of_int o.Sharded_driver.arrivals));
+        ("committed", J.Num (float_of_int o.Sharded_driver.o_committed));
+        ( "committed_multi",
+          J.Num (float_of_int o.Sharded_driver.o_committed_multi) );
+        ("aborted", J.Num (float_of_int o.Sharded_driver.o_aborted));
+        ("in_doubt", J.Num (float_of_int o.Sharded_driver.o_in_doubt));
+        ( "throughput_per_1000_ticks",
+          J.Num
+            (1000.
+            *. float_of_int o.Sharded_driver.o_committed
+            /. float_of_int o.Sharded_driver.o_ticks) );
+        ("latency_p50", J.Num (lat 50.));
+        ("latency_p99", J.Num (lat 99.));
+        ("latency_mean", J.Num (Obs.Metrics.Histogram.mean o.Sharded_driver.latency));
+        ("windows", J.Num (float_of_int (List.length o.Sharded_driver.windows)));
+        ("run_wall_ms", J.Num run_wall);
+      ]
+  in
+  J.Obj
+    [
+      ("shards", J.Num (float_of_int shards));
+      ("duration_ticks", J.Num (float_of_int duration));
+      ("seed", J.Num 5.);
+      ("curve", J.List (List.map scenario rates));
+    ]
+
 (* --- the regression gate ------------------------------------------- *)
 
 let jfield name = function
@@ -1230,38 +1294,77 @@ let compare_to_baseline ~current ~base =
        gate skipped@."
       bm cm;
     []
-  | _ -> (
-    match (jfield "sim" base, jfield "sim" current) with
-    | Some (J.List bs), Some (J.List cs) ->
-      List.filter_map
-        (fun b ->
-          match (jstr (jfield "name" b), jnum (jfield "clients" b)) with
-          | Some name, Some clients -> (
-            let matches c =
-              jstr (jfield "name" c) = Some name
-              && jnum (jfield "clients" c) = Some clients
-            in
-            match List.find_opt matches cs with
-            | None ->
-              Some
-                (Fmt.str "scenario %s@%g clients missing from this run" name
-                   clients)
-            | Some c -> (
-              let throughput v = jnum (jfield "throughput_per_1000_ticks" v) in
-              match (throughput b, throughput c) with
-              | Some bt, Some ct when bt > 0. && ct < bt *. regression_tolerance
-                ->
+  | _ ->
+    let throughput v = jnum (jfield "throughput_per_1000_ticks" v) in
+    let sim_regressions =
+      match (jfield "sim" base, jfield "sim" current) with
+      | Some (J.List bs), Some (J.List cs) ->
+        List.filter_map
+          (fun b ->
+            match (jstr (jfield "name" b), jnum (jfield "clients" b)) with
+            | Some name, Some clients -> (
+              let matches c =
+                jstr (jfield "name" c) = Some name
+                && jnum (jfield "clients" c) = Some clients
+              in
+              match List.find_opt matches cs with
+              | None ->
                 Some
-                  (Fmt.str
-                     "%s@%g clients: throughput %.1f fell below %.0f%% of \
-                      baseline %.1f"
-                     name clients ct
-                     (regression_tolerance *. 100.)
-                     bt)
-              | _ -> None))
-          | _ -> None)
-        bs
-    | _ -> [])
+                  (Fmt.str "scenario %s@%g clients missing from this run" name
+                     clients)
+              | Some c -> (
+                match (throughput b, throughput c) with
+                | Some bt, Some ct
+                  when bt > 0. && ct < bt *. regression_tolerance ->
+                  Some
+                    (Fmt.str
+                       "%s@%g clients: throughput %.1f fell below %.0f%% of \
+                        baseline %.1f"
+                       name clients ct
+                       (regression_tolerance *. 100.)
+                       bt)
+                | _ -> None))
+            | _ -> None)
+          bs
+      | _ -> []
+    in
+    (* The open-loop knee curve gates the same way: per offered rate,
+       virtual-time throughput against the baseline.  Baselines from
+       before the section existed simply skip it. *)
+    let open_loop_regressions =
+      let curve v =
+        match Option.bind (jfield "open_loop" v) (jfield "curve") with
+        | Some (J.List c) -> Some c
+        | _ -> None
+      in
+      match (curve base, curve current) with
+      | Some bs, Some cs ->
+        List.filter_map
+          (fun b ->
+            match jnum (jfield "rate_per_1000" b) with
+            | None -> None
+            | Some rate -> (
+              let matches c = jnum (jfield "rate_per_1000" c) = Some rate in
+              match List.find_opt matches cs with
+              | None ->
+                Some
+                  (Fmt.str "open-loop rate %g/1000t missing from this run" rate)
+              | Some c -> (
+                match (throughput b, throughput c) with
+                | Some bt, Some ct
+                  when bt > 0. && ct < bt *. regression_tolerance ->
+                  Some
+                    (Fmt.str
+                       "open-loop@%g/1000t: throughput %.1f fell below %.0f%% \
+                        of baseline %.1f"
+                       rate ct
+                       (regression_tolerance *. 100.)
+                       bt)
+                | _ -> None)))
+          bs
+      | _ -> []
+    in
+    sim_regressions @ open_loop_regressions
 
 let json_mode ~file ~quick ~baseline =
   let sections =
@@ -1271,6 +1374,7 @@ let json_mode ~file ~quick ~baseline =
       ("history_ops", history_ops_section ~quick);
       ("serializability", serializability_section ~quick);
       ("sim", sim_section ~quick);
+      ("open_loop", open_loop_section ~quick);
     ]
   in
   let base =

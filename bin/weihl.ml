@@ -504,25 +504,103 @@ let shard_sweep_to_json (s : Shard_harness.summary) =
              (Shard_harness.divergences s)) );
     ]
 
-let shard_outcome_to_json shards (o : Sharded_driver.outcome) =
+(* Histogram summaries and Msim per-cause message counters for the
+   machine-readable shard payloads.  The msim.* counters tick in the
+   shard-metrics registry, which every 2PC round's message simulation
+   shares. *)
+let shard_metrics_fields sm =
+  match sm with
+  | None -> []
+  | Some m ->
+    let reg = Obs.Shard_metrics.registry m in
+    let c name =
+      Obs.Json.Num
+        (float_of_int
+           (Obs.Metrics.Counter.value (Obs.Metrics.Registry.counter reg name)))
+    in
+    [
+      ( "tpc_duration",
+        Obs.Metrics.Histogram.to_json (Obs.Shard_metrics.tpc_duration m) );
+      ( "shard_fanout",
+        Obs.Metrics.Histogram.to_json (Obs.Shard_metrics.fanout m) );
+      ( "msim",
+        Obs.Json.Obj
+          [
+            ("dropped_crashed_src", c "msim.dropped.crashed_src");
+            ("dropped_crashed_dst", c "msim.dropped.crashed_dst");
+            ("dropped_partition", c "msim.dropped.partition");
+            ("dropped_fault", c "msim.dropped.fault");
+            ("duplicated", c "msim.duplicated");
+            ("reordered", c "msim.reordered");
+          ] );
+    ]
+
+let shard_outcome_to_json ?(extra = []) shards (o : Sharded_driver.outcome) =
+  let num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    ([
+       ("shards", num shards);
+       ("committed", num o.Sharded_driver.committed);
+       ("committed_multi", num o.Sharded_driver.committed_multi);
+       ("committed_single", num o.Sharded_driver.committed_single);
+       ("committed_read_only", num o.Sharded_driver.committed_read_only);
+       ("aborted_deadlock", num o.Sharded_driver.aborted_deadlock);
+       ("aborted_refused", num o.Sharded_driver.aborted_refused);
+       ("aborted_tpc", num o.Sharded_driver.aborted_tpc);
+       ("aborted_starved", num o.Sharded_driver.aborted_starved);
+       ("left_in_doubt", num o.Sharded_driver.left_in_doubt);
+       ("multi_attempts", num o.Sharded_driver.multi_attempts);
+       ("waits", num o.Sharded_driver.waits);
+       ("restarts", num o.Sharded_driver.restarts);
+       ("ticks", num o.Sharded_driver.ticks);
+     ]
+    @ extra)
+
+let window_to_json (w : Sharded_driver.window) =
   let num n = Obs.Json.Num (float_of_int n) in
   Obs.Json.Obj
     [
-      ("shards", num shards);
-      ("committed", num o.Sharded_driver.committed);
-      ("committed_multi", num o.Sharded_driver.committed_multi);
-      ("committed_single", num o.Sharded_driver.committed_single);
-      ("committed_read_only", num o.Sharded_driver.committed_read_only);
-      ("aborted_deadlock", num o.Sharded_driver.aborted_deadlock);
-      ("aborted_refused", num o.Sharded_driver.aborted_refused);
-      ("aborted_tpc", num o.Sharded_driver.aborted_tpc);
-      ("aborted_starved", num o.Sharded_driver.aborted_starved);
-      ("left_in_doubt", num o.Sharded_driver.left_in_doubt);
-      ("multi_attempts", num o.Sharded_driver.multi_attempts);
-      ("waits", num o.Sharded_driver.waits);
-      ("restarts", num o.Sharded_driver.restarts);
-      ("ticks", num o.Sharded_driver.ticks);
+      ("start", num w.Sharded_driver.w_start);
+      ("arrivals", num w.Sharded_driver.w_arrivals);
+      ("committed", num w.Sharded_driver.w_committed);
+      ("aborted", num w.Sharded_driver.w_aborted);
+      ("p50", Obs.Json.Num w.Sharded_driver.w_p50);
+      ("p99", Obs.Json.Num w.Sharded_driver.w_p99);
     ]
+
+let open_outcome_to_json ?(extra = []) shards
+    (o : Sharded_driver.open_outcome) =
+  let num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    ([
+       ("shards", num shards);
+       ("offered_per_1000", Obs.Json.Num o.Sharded_driver.offered);
+       ("arrivals", num o.Sharded_driver.arrivals);
+       ("committed", num o.Sharded_driver.o_committed);
+       ("committed_multi", num o.Sharded_driver.o_committed_multi);
+       ("aborted", num o.Sharded_driver.o_aborted);
+       ( "abort_causes",
+         Obs.Json.Obj
+           (List.map (fun (k, v) -> (k, num v)) o.Sharded_driver.abort_causes)
+       );
+       ("in_doubt", num o.Sharded_driver.o_in_doubt);
+       ("in_flight_end", num o.Sharded_driver.in_flight_end);
+       ("ticks", num o.Sharded_driver.o_ticks);
+       ( "throughput_per_1000",
+         Obs.Json.Num
+           (1000.
+           *. float_of_int o.Sharded_driver.o_committed
+           /. float_of_int o.Sharded_driver.o_ticks) );
+       ("latency", Obs.Metrics.Histogram.to_json o.Sharded_driver.latency);
+       ( "shard_latency",
+         Obs.Json.List
+           (Array.to_list
+              (Array.map Obs.Metrics.Histogram.to_json
+                 o.Sharded_driver.shard_latency)) );
+       ( "windows",
+         Obs.Json.List (List.map window_to_json o.Sharded_driver.windows) );
+     ]
+    @ extra)
 
 let write_json path json =
   let oc = open_out path in
@@ -532,7 +610,7 @@ let write_json path json =
   Fmt.pr "report written to %s@." path
 
 let shard_cmd shards clients duration seed protocol faults schedules quick
-    verbose metrics json =
+    verbose metrics json trace open_loop rate sweep zipf hot hot_keys window =
   if faults then begin
     let seeds = List.init schedules (fun i -> seed + i) in
     let summary =
@@ -583,34 +661,181 @@ let shard_cmd shards clients duration seed protocol faults schedules quick
     let proto =
       find_sharded_protocol (Option.value protocol ~default:"escrow")
     in
-    let sm =
-      if metrics then Some (Obs.Shard_metrics.create ~shards ()) else None
+    let w0 = proto.Fault_harness.workload () in
+    let key_dist =
+      match (zipf, hot) with
+      | Some _, Some _ -> Fmt.failwith "--zipf and --hot are mutually exclusive"
+      | Some theta, None -> Some (fun n -> Workload.zipf ~theta ~n)
+      | None, Some h -> Some (fun n -> Workload.hotspot ~hot:h ~hot_keys ~n)
+      | None, None -> None
     in
-    let group =
-      Shard_group.create ~policy:proto.Fault_harness.policy ?metrics:sm ~seed
-        ~shards ()
+    let w =
+      match key_dist with
+      | None -> w0
+      | Some mk ->
+        if w0.Workload.name <> "banking" then
+          Fmt.failwith "--zipf/--hot apply to the banking workload only";
+        let n = List.length w0.Workload.objects in
+        Workload.banking ~accounts:n ~key_dist:(mk n) ()
     in
-    let w = proto.Fault_harness.workload () in
-    List.iter
-      (fun id -> Shard_group.add_object group id proto.Fault_harness.make_object)
-      w.Workload.objects;
-    let config =
-      { Sharded_driver.default_config with clients; duration; seed }
+    let mk_group ~with_metrics =
+      let sm =
+        if with_metrics then Some (Obs.Shard_metrics.create ~shards ())
+        else None
+      in
+      let group =
+        Shard_group.create ~policy:proto.Fault_harness.policy ?metrics:sm ~seed
+          ~shards ()
+      in
+      List.iter
+        (fun id ->
+          Shard_group.add_object group id proto.Fault_harness.make_object)
+        w.Workload.objects;
+      (group, sm)
     in
-    let o = Sharded_driver.run ~config group w in
-    Fmt.pr "%a@." Sharded_driver.pp_outcome o;
-    Fmt.pr "objects: %d over %d shards, 2pc rounds: %d@."
-      (List.length (Shard_group.objects group))
-      shards
-      (Shard_group.tpc_rounds group);
-    (match sm with
-    | Some m -> Fmt.pr "@.%s@." (Obs.Shard_metrics.render m)
-    | None -> ());
-    (match json with
-    | Some path -> write_json path (shard_outcome_to_json shards o)
-    | None -> ());
-    if o.Sharded_driver.left_in_doubt = 0 then 0 else 1
+    let write_trace st =
+      match trace with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Shard_trace.export st);
+        output_string oc "\n";
+        close_out oc;
+        Fmt.pr
+          "trace written to %s (weihl trace analyze %s; or load in \
+           ui.perfetto.dev)@."
+          path path
+    in
+    let report_metrics sm =
+      match sm with
+      | Some m when metrics -> Fmt.pr "@.%s@." (Obs.Shard_metrics.render m)
+      | _ -> ()
+    in
+    if open_loop then begin
+      let cfg rate =
+        {
+          Sharded_driver.default_open_config with
+          rate;
+          o_duration = duration;
+          window;
+          o_seed = seed;
+        }
+      in
+      if sweep <> [] then begin
+        (* Rate sweep: a fresh group per offered load, same seed and
+           workload, so the knee curve is deterministic per seed. *)
+        let curve =
+          List.map
+            (fun r ->
+              let group, _ = mk_group ~with_metrics:false in
+              (r, Sharded_driver.run_open ~config:(cfg r) group w))
+            sweep
+        in
+        Fmt.pr "open-loop rate sweep (%d ticks, window %d):@." duration window;
+        Fmt.pr "%10s %9s %9s %10s %8s %8s %8s@." "rate/1kt" "arrivals"
+          "commit" "thru/1kt" "p50" "p99" "abort%";
+        List.iter
+          (fun (r, (o : Sharded_driver.open_outcome)) ->
+            let thru =
+              1000.
+              *. float_of_int o.Sharded_driver.o_committed
+              /. float_of_int o.Sharded_driver.o_ticks
+            in
+            let ab =
+              if o.Sharded_driver.arrivals = 0 then 0.
+              else
+                100.
+                *. float_of_int o.Sharded_driver.o_aborted
+                /. float_of_int o.Sharded_driver.arrivals
+            in
+            Fmt.pr "%10.1f %9d %9d %10.1f %8.1f %8.1f %7.1f%%@." (r *. 1000.)
+              o.Sharded_driver.arrivals o.Sharded_driver.o_committed thru
+              (Obs.Metrics.Histogram.percentile o.Sharded_driver.latency 50.)
+              (Obs.Metrics.Histogram.percentile o.Sharded_driver.latency 99.)
+              ab)
+          curve;
+        (match json with
+        | Some path ->
+          write_json path
+            (Obs.Json.Obj
+               [
+                 ( "sweep",
+                   Obs.Json.List
+                     (List.map
+                        (fun (_, o) -> open_outcome_to_json shards o)
+                        curve) );
+               ])
+        | None -> ());
+        0
+      end
+      else begin
+        let group, sm =
+          mk_group ~with_metrics:(metrics || Option.is_some json)
+        in
+        let tracer =
+          Option.map (fun _ -> Obs.Shard_trace.create ~shards) trace
+        in
+        let o = Sharded_driver.run_open ~config:(cfg rate) ?tracer group w in
+        Fmt.pr "%a@." Sharded_driver.pp_open_outcome o;
+        report_metrics sm;
+        Option.iter write_trace tracer;
+        (match json with
+        | Some path ->
+          write_json path
+            (open_outcome_to_json ~extra:(shard_metrics_fields sm) shards o)
+        | None -> ());
+        if o.Sharded_driver.o_in_doubt = 0 then 0 else 1
+      end
+    end
+    else begin
+      let sm' = metrics || Option.is_some json in
+      let group, sm = mk_group ~with_metrics:sm' in
+      let tracer =
+        Option.map (fun _ -> Obs.Shard_trace.create ~shards) trace
+      in
+      let config =
+        { Sharded_driver.default_config with clients; duration; seed }
+      in
+      let o = Sharded_driver.run ~config ?tracer group w in
+      Fmt.pr "%a@." Sharded_driver.pp_outcome o;
+      Fmt.pr "objects: %d over %d shards, 2pc rounds: %d@."
+        (List.length (Shard_group.objects group))
+        shards
+        (Shard_group.tpc_rounds group);
+      report_metrics sm;
+      Option.iter write_trace tracer;
+      (match json with
+      | Some path ->
+        write_json path
+          (shard_outcome_to_json ~extra:(shard_metrics_fields sm) shards o)
+      | None -> ());
+      if o.Sharded_driver.left_in_doubt = 0 then 0 else 1
+    end
   end
+
+(* ------------------------------------------------------------------ *)
+(* weihl trace                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trace_analyze_cmd file top json =
+  let contents =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Obs.Trace.parse contents with
+  | Error e ->
+    Fmt.epr "trace parse error: %s@." e;
+    1
+  | Ok evs ->
+    let r = Obs.Trace_analysis.analyze evs in
+    Fmt.pr "%s@?" (Obs.Trace_analysis.render ~top r);
+    (match json with
+    | Some path -> write_json path (Obs.Trace_analysis.to_json ~top r)
+    | None -> ());
+    0
 
 (* ------------------------------------------------------------------ *)
 (* weihl lint                                                          *)
@@ -842,9 +1067,70 @@ let shard_term =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the machine-readable outcome or sweep summary to FILE.")
   in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a merged cross-shard Chrome trace of the traffic run: one \
+             timeline per shard plus a coordinator timeline with 2PC phase \
+             spans, WAL-sync markers and coordinator/participant message \
+             flow arrows.  Analyze with $(b,weihl trace analyze).")
+  in
+  let open_loop =
+    Arg.(
+      value & flag
+      & info [ "open-loop" ]
+          ~doc:
+            "Drive seeded Poisson arrivals at a fixed offered rate instead \
+             of the closed client loop, reporting a windowed time series of \
+             throughput, abort causes and latency percentiles.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.2
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Open-loop mean arrivals per tick (Poisson).")
+  in
+  let sweep =
+    Arg.(
+      value & opt (list float) []
+      & info [ "sweep" ] ~docv:"R1,R2,.."
+          ~doc:
+            "Run the open-loop driver once per offered rate and print the \
+             latency-vs-offered-load knee curve.")
+  in
+  let zipf =
+    Arg.(
+      value & opt (some float) None
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:
+            "Skew the banking key distribution zipfian with exponent THETA \
+             (0 = uniform).")
+  in
+  let hot =
+    Arg.(
+      value & opt (some float) None
+      & info [ "hot" ] ~docv:"FRAC"
+          ~doc:
+            "Hotspot key distribution: probability FRAC of hitting one of \
+             the first $(b,--hot-keys) accounts.")
+  in
+  let hot_keys =
+    Arg.(
+      value & opt int 2
+      & info [ "hot-keys" ] ~docv:"K" ~doc:"Size of the hotspot (with --hot).")
+  in
+  let window =
+    Arg.(
+      value & opt int 250
+      & info [ "window" ] ~docv:"TICKS"
+          ~doc:"Open-loop time-series window width.")
+  in
   Term.(
     const shard_cmd $ shards $ clients $ duration $ seed $ protocol $ faults
-    $ schedules $ quick $ verbose $ metrics $ json)
+    $ schedules $ quick $ verbose $ metrics $ json $ trace $ open_loop $ rate
+    $ sweep $ zipf $ hot $ hot_keys $ window)
 
 let lint_term =
   let protocol =
@@ -909,6 +1195,35 @@ let cmds =
                seeded crash-recovery fault schedules and exit non-zero on \
                any global-atomicity divergence.")
       shard_term;
+    Cmd.group
+      (Cmd.info "trace"
+         ~doc:"Inspect exported Chrome traces.")
+      [
+        Cmd.v
+          (Cmd.info "analyze"
+             ~doc:
+               "Per-committed-transaction critical-path breakdown of an \
+                exported trace: lock wait vs WAL sync vs message flight vs \
+                2PC coordination vs execution, with per-phase percentiles \
+                and the slowest transactions.")
+          (let file =
+             Arg.(
+               required & pos 0 (some file) None & info [] ~docv:"TRACE_FILE")
+           in
+           let top =
+             Arg.(
+               value & opt int 5
+               & info [ "top" ] ~docv:"K"
+                   ~doc:"Number of slowest transactions to list.")
+           in
+           let json =
+             Arg.(
+               value & opt (some string) None
+               & info [ "json" ] ~docv:"FILE"
+                   ~doc:"Write the machine-readable analysis to FILE.")
+           in
+           Term.(const trace_analyze_cmd $ file $ top $ json));
+      ];
     Cmd.v
       (Cmd.info "lint"
          ~doc:"Statically certify every conflict table and protocol grant \

@@ -80,6 +80,11 @@ let no_fault =
     f_heal_at = None;
   }
 
+type tracer = {
+  on_message :
+    src:int -> dst:int -> sent:int -> at:int -> label:string -> unit;
+}
+
 type msg =
   | Prepare
   | Vote_yes of int * int (* participant index, clock reading *)
@@ -92,6 +97,17 @@ type msg =
   | Peer_status of site_status_wire
 
 and site_status_wire = W_committed of int | W_aborted | W_prepared | W_idle
+
+let msg_label = function
+  | Prepare -> "prepare"
+  | Vote_yes _ -> "vote.yes"
+  | Vote_no _ -> "vote.no"
+  | Decide_commit _ -> "decide.commit"
+  | Decide_abort -> "decide.abort"
+  | Timeout_check -> "timer.timeout_check"
+  | Coord_timeout -> "timer.coord_timeout"
+  | Query _ -> "query"
+  | Peer_status _ -> "peer.status"
 
 (* Participant protocol state. *)
 type pstate =
@@ -109,7 +125,7 @@ type coordinator = {
 
 (* The protocol engine shared by the one-shot {!run} and the reusable
    {!Driver}.  Node 0 is the coordinator; participant i is node i+1. *)
-let run_core ?metrics ~timeout ~max_retries ~retry_cap ~(fault : fault)
+let run_core ?metrics ?tracer ~timeout ~max_retries ~retry_cap ~(fault : fault)
     ~choose_ts ~on_decide ~seed (parts : participant array) : decision =
   let n = Array.length parts in
   let node_of_participant i = i + 1 in
@@ -279,9 +295,16 @@ let run_core ?metrics ~timeout ~max_retries ~retry_cap ~(fault : fault)
         | Vote_yes _ | Vote_no _ | Coord_timeout -> ()
     end
   in
+  let on_deliver =
+    Option.map
+      (fun tr sim ~src ~dst ~sent msg ->
+        tr.on_message ~src ~dst ~sent ~at:(Msim.now sim)
+          ~label:(msg_label msg))
+      tracer
+  in
   let sim =
-    Msim.create ?metrics ~faults:fault.f_msg_faults ~seed ~nodes:(n + 1)
-      ~handler ()
+    Msim.create ?metrics ?on_deliver ~faults:fault.f_msg_faults ~seed
+      ~nodes:(n + 1) ~handler ()
   in
   List.iter (fun (a, b) -> Msim.partition sim a b) fault.f_partitions;
   (match fault.f_heal_at with
@@ -323,10 +346,10 @@ let run_core ?metrics ~timeout ~max_retries ~retry_cap ~(fault : fault)
 
 module Driver = struct
   let commit ?(timeout = 50) ?(max_retries = 4) ?(retry_cap = 400) ?metrics
-      ?(fault = no_fault) ?(choose_ts = fun ts -> ts) ?(on_decide = fun _ -> ())
-      ~seed participants =
-    run_core ?metrics ~timeout ~max_retries ~retry_cap ~fault ~choose_ts
-      ~on_decide ~seed
+      ?tracer ?(fault = no_fault) ?(choose_ts = fun ts -> ts)
+      ?(on_decide = fun _ -> ()) ~seed participants =
+    run_core ?metrics ?tracer ~timeout ~max_retries ~retry_cap ~fault
+      ~choose_ts ~on_decide ~seed
       (Array.of_list participants)
 end
 

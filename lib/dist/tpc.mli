@@ -131,6 +131,17 @@ type fault = {
 
 val no_fault : fault
 
+type tracer = {
+  on_message :
+    src:int -> dst:int -> sent:int -> at:int -> label:string -> unit;
+}
+(** Observes every delivered protocol message: [src]/[dst] are Msim
+    node ids (0 = coordinator, participant [i] = node [i + 1]), [sent]
+    and [at] bound the flight in the round's virtual time, [label]
+    names the message ([prepare], [vote.yes], [decide.commit], …;
+    timer firings carry a [timer.] prefix and [src = dst]).  The
+    sharded runtime turns these into Chrome-trace flow events. *)
+
 val atomic_decision : decision -> bool
 (** {!atomic_commitment} over a {!decision}. *)
 
@@ -142,6 +153,7 @@ module Driver : sig
     ?max_retries:int ->
     ?retry_cap:int ->
     ?metrics:Weihl_obs.Metrics.Registry.t ->
+    ?tracer:tracer ->
     ?fault:fault ->
     ?choose_ts:(int -> int) ->
     ?on_decide:([ `Commit of int | `Abort ] -> unit) ->

@@ -94,10 +94,59 @@ module Histogram = struct
         ( (if i < Array.length t.bounds then t.bounds.(i) else infinity),
           t.counts.(i) ))
 
+  (* Merging bucket counts loses nothing when the bounds agree, so a
+     group-wide percentile over per-shard histograms is exactly the
+     percentile of the union of observations. *)
+  let merge a b =
+    if
+      Array.length a.bounds <> Array.length b.bounds
+      || not (Array.for_all2 (fun x y -> x = y) a.bounds b.bounds)
+    then invalid_arg "Histogram.merge: bucket bounds differ";
+    let t = create ~buckets:a.bounds () in
+    Array.iteri (fun i c -> t.counts.(i) <- c + b.counts.(i)) a.counts;
+    t.count <- a.count + b.count;
+    t.sum <- a.sum +. b.sum;
+    t.min <- Float.min a.min b.min;
+    t.max <- Float.max a.max b.max;
+    t
+
+  let merge_all = function
+    | [] -> invalid_arg "Histogram.merge_all: empty list"
+    | h :: rest -> List.fold_left merge h rest
+
   let pp ppf t =
     Fmt.pf ppf "count %d mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f"
       t.count (mean t) (percentile t 50.) (percentile t 95.)
       (percentile t 99.) (max_value t)
+
+  let to_json t =
+    Json.Obj
+      [
+        ("count", Json.Num (float_of_int (count t)));
+        ("sum", Json.Num (sum t));
+        ("mean", Json.Num (mean t));
+        ("min", Json.Num (min_value t));
+        ("max", Json.Num (max_value t));
+        ("p50", Json.Num (percentile t 50.));
+        ("p95", Json.Num (percentile t 95.));
+        ("p99", Json.Num (percentile t 99.));
+        ( "buckets",
+          Json.List
+            (List.filter_map
+               (fun (ub, c) ->
+                 if c = 0 then None
+                 else
+                   Some
+                     (Json.Obj
+                        [
+                          ( "le",
+                            if Float.is_integer ub || ub < infinity then
+                              Json.Num ub
+                            else Json.Str "inf" );
+                          ("count", Json.Num (float_of_int c));
+                        ]))
+               (buckets t)) );
+      ]
 end
 
 module Registry = struct
@@ -175,34 +224,7 @@ module Registry = struct
                    ("value", Json.Num (Gauge.value g));
                    ("max", Json.Num (Gauge.max_value g));
                  ]
-             | I_histogram h ->
-               Json.Obj
-                 [
-                   ("count", Json.Num (float_of_int (Histogram.count h)));
-                   ("sum", Json.Num (Histogram.sum h));
-                   ("mean", Json.Num (Histogram.mean h));
-                   ("min", Json.Num (Histogram.min_value h));
-                   ("max", Json.Num (Histogram.max_value h));
-                   ("p50", Json.Num (Histogram.percentile h 50.));
-                   ("p95", Json.Num (Histogram.percentile h 95.));
-                   ("p99", Json.Num (Histogram.percentile h 99.));
-                   ( "buckets",
-                     Json.List
-                       (List.filter_map
-                          (fun (ub, c) ->
-                            if c = 0 then None
-                            else
-                              Some
-                                (Json.Obj
-                                   [
-                                     ( "le",
-                                       if Float.is_integer ub || ub < infinity
-                                       then Json.Num ub
-                                       else Json.Str "inf" );
-                                     ("count", Json.Num (float_of_int c));
-                                   ]))
-                          (Histogram.buckets h)) );
-                 ]
+             | I_histogram h -> Histogram.to_json h
            in
            (name, v))
          (instruments t))

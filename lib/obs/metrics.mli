@@ -67,6 +67,21 @@ module Histogram : sig
 
   val pp : Format.formatter -> t -> unit
   (** One-line summary: count, mean, p50/p95/p99, max. *)
+
+  val merge : t -> t -> t
+  (** A fresh histogram holding the union of both observation sets.
+      Lossless: with identical bounds, summing bucket counts preserves
+      every percentile exactly as if the union had been observed
+      directly — how per-shard latencies aggregate group-wide.
+      @raise Invalid_argument if the bucket bounds differ. *)
+
+  val merge_all : t list -> t
+  (** Fold {!merge} over a non-empty list.
+      @raise Invalid_argument on an empty list or mismatched bounds. *)
+
+  val to_json : t -> Json.t
+  (** Summary object: count/sum/mean/min/max/p50/p95/p99 plus the
+      non-empty buckets. *)
 end
 
 module Registry : sig

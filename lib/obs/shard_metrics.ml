@@ -88,13 +88,15 @@ let render t =
            (M.Gauge.value s.in_doubt)))
     t.shards;
   Buffer.add_string buf
-    (Fmt.str
-       "2pc: %d round(s), %d commit / %d abort, %d message(s), mean duration \
-        %.1f, mean fan-out %.2f\n"
+    (Fmt.str "2pc: %d round(s), %d commit / %d abort, %d message(s)\n"
        (M.Counter.value t.tpc_rounds)
        (M.Counter.value t.tpc_commits)
        (M.Counter.value t.tpc_aborts)
-       (M.Counter.value t.tpc_messages)
-       (M.Histogram.mean t.tpc_duration)
-       (M.Histogram.mean t.fanout));
+       (M.Counter.value t.tpc_messages));
+  Buffer.add_string buf
+    (Fmt.str "tpc.duration: %a\ntxn.shard_fanout: %a\n" M.Histogram.pp
+       t.tpc_duration M.Histogram.pp t.fanout);
   Buffer.contents buf
+
+let tpc_duration t = t.tpc_duration
+let fanout t = t.fanout

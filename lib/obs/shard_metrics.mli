@@ -42,5 +42,13 @@ val tpc_round :
 (** Record one completed 2PC round: its decision, message count,
     virtual duration, and the transaction's shard fan-out. *)
 
+val tpc_duration : t -> Metrics.Histogram.t
+(** Virtual duration of completed 2PC rounds. *)
+
+val fanout : t -> Metrics.Histogram.t
+(** Shard fan-out of transactions that ran a 2PC round. *)
+
 val render : t -> string
-(** A per-shard table plus a 2PC summary line. *)
+(** A per-shard table, a 2PC summary line, and full one-line histogram
+    summaries (count, mean, percentiles, max) for [tpc.duration] and
+    [txn.shard_fanout]. *)

@@ -1,0 +1,111 @@
+(* One trace per simulated process — pid 0 for the group coordinator,
+   pid s+1 for shard s — merged into a single cross-shard timeline on
+   export.  The flow/span id counter is shared so ids stay unique
+   across the whole group. *)
+
+type t = {
+  coord : Trace.t;
+  shards : Trace.t array;
+  mutable now : unit -> float;
+  mutable next_id : int;
+}
+
+let create ~shards =
+  if shards <= 0 then invalid_arg "Shard_trace.create: shards must be positive";
+  {
+    coord = Trace.create ~pid:0 ();
+    shards = Array.init shards (fun s -> Trace.create ~pid:(s + 1) ());
+    now = (fun () -> 0.);
+    next_id = 0;
+  }
+
+let shard_count t = Array.length t.shards
+let set_now t f = t.now <- f
+let now t = t.now ()
+let coord t = t.coord
+
+let shard t s =
+  if s < 0 || s >= Array.length t.shards then
+    invalid_arg "Shard_trace.shard: shard out of range";
+  t.shards.(s)
+
+let shard_sink t s = Trace.sink (shard t s)
+
+let fresh_id t =
+  let i = t.next_id in
+  t.next_id <- i + 1;
+  i
+
+let num n = Json.Num (float_of_int n)
+
+let span ?(args = []) tr ~name ~cat ~ts ~dur ~tid =
+  Trace.add tr
+    {
+      Trace.name;
+      cat;
+      ph = Trace.X;
+      ts;
+      dur = Some dur;
+      pid = Trace.pid tr;
+      tid;
+      id = None;
+      args;
+    }
+
+let mark ?(args = []) tr ~ph ~name ~cat ~ts ~tid =
+  Trace.add tr
+    {
+      Trace.name;
+      cat;
+      ph;
+      ts;
+      dur = None;
+      pid = Trace.pid tr;
+      tid;
+      id = None;
+      args;
+    }
+
+let begin_span ?args tr ~name ~cat ~ts ~tid =
+  mark ?args tr ~ph:Trace.B ~name ~cat ~ts ~tid
+
+let end_span ?args tr ~name ~cat ~ts ~tid =
+  mark ?args tr ~ph:Trace.E ~name ~cat ~ts ~tid
+
+let instant ?args tr ~name ~cat ~ts ~tid =
+  mark ?args tr ~ph:Trace.I ~name ~cat ~ts ~tid
+
+(* A flow arrow: an [s] event where the message leaves and an [f] event
+   where it lands, bound by a fresh shared id. *)
+let flow ?(args = []) t ~name ~cat ~src ~src_ts ~src_tid ~dst ~dst_ts ~dst_tid
+    =
+  let id = fresh_id t in
+  let ev tr ph ts tid =
+    Trace.add tr
+      {
+        Trace.name;
+        cat;
+        ph;
+        ts;
+        dur = None;
+        pid = Trace.pid tr;
+        tid;
+        id = Some id;
+        args;
+      }
+  in
+  ev src Trace.S src_ts src_tid;
+  ev dst Trace.F dst_ts dst_tid;
+  id
+
+let events t =
+  let all =
+    Trace.events t.coord
+    :: List.map Trace.events (Array.to_list t.shards)
+  in
+  List.stable_sort
+    (fun a b -> Float.compare a.Trace.ts b.Trace.ts)
+    (List.concat all)
+
+let to_json t = Trace.events_to_json (events t)
+let export t = Json.to_string (to_json t)

@@ -1,0 +1,78 @@
+(** A cross-shard trace: one {!Trace} per simulated process — pid 0 is
+    the group coordinator's timeline, pid [s + 1] is shard [s] — merged
+    on export into a single Chrome-trace JSON array.
+
+    The shard traces are fed from each shard's probe ({!shard_sink});
+    the coordinator timeline carries the global-transaction spans, 2PC
+    phase spans and WAL-sync markers the shard runtime emits by hand.
+    {!flow} draws an [s]/[f] arrow pair between two timelines — how a
+    2PC message's departure at the coordinator is stitched to its
+    arrival at a participant shard.  All events share one id counter,
+    so flow ids are unique group-wide, and a single [now] closure (the
+    driver's virtual clock) timestamps every timeline consistently. *)
+
+type t
+
+val create : shards:int -> t
+(** @raise Invalid_argument unless [shards] is positive. *)
+
+val shard_count : t -> int
+
+val set_now : t -> (unit -> float) -> unit
+(** Install the virtual clock (initially constant 0) — the driver
+    points this at its tick counter before running. *)
+
+val now : t -> float
+
+val coord : t -> Trace.t
+(** The coordinator timeline, pid 0. *)
+
+val shard : t -> int -> Trace.t
+(** Shard [s]'s timeline, pid [s + 1].
+    @raise Invalid_argument if out of range. *)
+
+val shard_sink : t -> int -> Probe.sink
+(** Probe sink assembling shard [s]'s transaction/op/wait spans. *)
+
+val fresh_id : t -> int
+(** Next group-unique span/flow id. *)
+
+val num : int -> Json.t
+(** Shorthand for numeric args. *)
+
+val span :
+  ?args:(string * Json.t) list ->
+  Trace.t -> name:string -> cat:string -> ts:float -> dur:float ->
+  tid:int -> unit
+(** Append a complete ([X]) slice. *)
+
+val begin_span :
+  ?args:(string * Json.t) list ->
+  Trace.t -> name:string -> cat:string -> ts:float -> tid:int -> unit
+
+val end_span :
+  ?args:(string * Json.t) list ->
+  Trace.t -> name:string -> cat:string -> ts:float -> tid:int -> unit
+
+val instant :
+  ?args:(string * Json.t) list ->
+  Trace.t -> name:string -> cat:string -> ts:float -> tid:int -> unit
+
+val flow :
+  ?args:(string * Json.t) list ->
+  t ->
+  name:string -> cat:string ->
+  src:Trace.t -> src_ts:float -> src_tid:int ->
+  dst:Trace.t -> dst_ts:float -> dst_tid:int ->
+  int
+(** Emit an [s] event on [src] and an [f] event on [dst] bound by a
+    fresh id (returned). *)
+
+val events : t -> Trace.ev list
+(** All timelines merged, stably sorted by timestamp. *)
+
+val to_json : t -> Json.t
+
+val export : t -> string
+(** The merged trace as Chrome-trace JSON; {!Trace.parse} reads it
+    back. *)

@@ -1,4 +1,4 @@
-type phase = B | E | X | I | C
+type phase = B | E | X | I | C | S | F
 
 let string_of_phase = function
   | B -> "B"
@@ -6,6 +6,8 @@ let string_of_phase = function
   | X -> "X"
   | I -> "i"
   | C -> "C"
+  | S -> "s"
+  | F -> "f"
 
 let phase_of_string = function
   | "B" -> Some B
@@ -13,6 +15,8 @@ let phase_of_string = function
   | "X" -> Some X
   | "i" | "I" -> Some I
   | "C" -> Some C
+  | "s" -> Some S
+  | "f" -> Some F
   | _ -> None
 
 let pp_phase ppf p = Fmt.string ppf (string_of_phase p)
@@ -25,6 +29,7 @@ type ev = {
   dur : float option;
   pid : int;
   tid : int;
+  id : int option; (* binds a flow's s/f endpoints together *)
   args : (string * Json.t) list;
 }
 
@@ -38,23 +43,25 @@ type open_wait = {
 }
 
 type t = {
+  pid : int;
   mutable events : ev list; (* newest first *)
   txn_names : (int, string) Hashtbl.t;
   open_ops : (int, open_op) Hashtbl.t;
   open_waits : (int, open_wait) Hashtbl.t;
 }
 
-let create () =
+let create ?(pid = 1) () =
   {
+    pid;
     events = [];
     txn_names = Hashtbl.create 64;
     open_ops = Hashtbl.create 64;
     open_waits = Hashtbl.create 64;
   }
 
-let pid = 1
-
 let push t ev = t.events <- ev :: t.events
+let add = push
+let pid t = t.pid
 
 let txn_name t txn =
   match Hashtbl.find_opt t.txn_names txn with
@@ -74,7 +81,8 @@ let close_wait t ~time ~outcome txn =
         ph = X;
         ts = w.ow_start;
         dur = Some (time -. w.ow_start);
-        pid;
+        pid = t.pid;
+        id = None;
         tid = txn;
         args =
           [
@@ -100,7 +108,8 @@ let close_op t ~time ~outcome txn =
         ph = X;
         ts = o.oo_start;
         dur = Some (time -. o.oo_start);
-        pid;
+        pid = t.pid;
+        id = None;
         tid = txn;
         args = [ ("outcome", Json.Str outcome) ];
       }
@@ -115,7 +124,8 @@ let finish_txn t ~time ~outcome txn =
       ph = E;
       ts = time;
       dur = None;
-      pid;
+      pid = t.pid;
+      id = None;
       tid = txn;
       args = [ ("outcome", Json.Str outcome) ];
     };
@@ -132,7 +142,8 @@ let on_event t ~time (ev : Probe.event) =
         ph = B;
         ts = time;
         dur = None;
-        pid;
+        pid = t.pid;
+        id = None;
         tid = txn;
         args = [ ("read_only", Json.Bool read_only) ];
       }
@@ -159,7 +170,8 @@ let on_event t ~time (ev : Probe.event) =
         ph = I;
         ts = time;
         dur = None;
-        pid;
+        pid = t.pid;
+        id = None;
         tid = txn;
         args = [ ("why", Json.Str why) ];
       }
@@ -171,7 +183,8 @@ let on_event t ~time (ev : Probe.event) =
         ph = I;
         ts = time;
         dur = None;
-        pid;
+        pid = t.pid;
+        id = None;
         tid = victim;
         args =
           [
@@ -188,7 +201,8 @@ let on_event t ~time (ev : Probe.event) =
         ph = C;
         ts = time;
         dur = None;
-        pid;
+        pid = t.pid;
+        id = None;
         tid = 0;
         args = [ ("value", Json.Num value) ];
       }
@@ -200,7 +214,8 @@ let on_event t ~time (ev : Probe.event) =
         ph = I;
         ts = time;
         dur = None;
-        pid;
+        pid = t.pid;
+        id = None;
         tid = site;
         args = [];
       }
@@ -224,6 +239,9 @@ let ev_to_json e =
          (match e.ph with
          | I -> [ ("s", Json.Str "t") ] (* instant scope: thread *)
          | _ -> []);
+         (match e.id with
+         | Some id -> [ ("id", Json.Num (float_of_int id)) ]
+         | None -> []);
          [
            ("pid", Json.Num (float_of_int e.pid));
            ("tid", Json.Num (float_of_int e.tid));
@@ -231,7 +249,9 @@ let ev_to_json e =
          (match e.args with [] -> [] | args -> [ ("args", Json.Obj args) ]);
        ])
 
-let to_json t = Json.List (List.map ev_to_json (events t))
+let events_to_json evs = Json.List (List.map ev_to_json evs)
+let export_events evs = Json.to_string (events_to_json evs)
+let to_json t = events_to_json (events t)
 let export t = Json.to_string (to_json t)
 
 let ev_of_json j =
@@ -256,12 +276,13 @@ let ev_of_json j =
       (Option.bind (Json.member "cat" j) Json.to_str)
   in
   let dur = Option.bind (Json.member "dur" j) Json.to_float in
+  let id = Option.bind (Json.member "id" j) Json.to_int in
   let args =
     match Json.member "args" j with
     | Some (Json.Obj fields) -> fields
     | _ -> []
   in
-  Ok { name; cat; ph; ts; dur; pid; tid; args }
+  Ok { name; cat; ph; ts; dur; pid; tid; id; args }
 
 let parse s =
   match Json.of_string s with

@@ -14,9 +14,15 @@
 
     The emitted JSON is the "JSON array format": every element carries
     at least [name], [ph], [ts], [pid] and [tid].  {!parse} reads that
-    format back, so traces round-trip for testing. *)
+    format back, so traces round-trip for testing.
 
-type phase = B | E | X | I | C
+    Beyond Probe assembly, a trace is also an open event buffer: {!add}
+    appends an arbitrary event, including flow events ([S]/[F], bound
+    by [id]) that stitch causally-related slices across processes —
+    how the sharded runtime draws coordinator→participant message
+    arrows. *)
+
+type phase = B | E | X | I | C | S | F
 
 type ev = {
   name : string;
@@ -26,19 +32,33 @@ type ev = {
   dur : float option; (** only for [X] events *)
   pid : int;
   tid : int;
+  id : int option; (** flow binding: an [S] and its [F] share an id *)
   args : (string * Json.t) list;
 }
 
 type t
 
-val create : unit -> t
+val create : ?pid:int -> unit -> t
+(** [pid] (default 1) stamps every event this trace assembles — one
+    trace per simulated process, merged by concatenation. *)
+
 val sink : t -> Probe.sink
+
+val pid : t -> int
+
+val add : t -> ev -> unit
+(** Append a hand-built event (flow arrows, custom spans). *)
 
 val events : t -> ev list
 (** Completed events, in emission order. *)
 
 val to_json : t -> Json.t
 val export : t -> string
+
+val events_to_json : ev list -> Json.t
+val export_events : ev list -> string
+(** Serialize an explicit event list — e.g. several traces' events
+    merged into one cross-shard timeline. *)
 
 val parse : string -> (ev list, string) result
 (** Re-read an exported trace; fails on documents that are not an

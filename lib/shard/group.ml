@@ -1,6 +1,8 @@
 open Weihl_event
 module Cc = Weihl_cc
 module Tpc = Weihl_dist.Tpc
+module St = Weihl_obs.Shard_trace
+module Json = Weihl_obs.Json
 
 type invoke_result =
   | Granted of Value.t
@@ -31,6 +33,7 @@ type t = {
     (string, Object_id.t * int * (Cc.Event_log.t -> Object_id.t -> Cc.Atomic_object.t))
     Hashtbl.t;
   metrics : Weihl_obs.Shard_metrics.t option;
+  mutable tracer : St.t option;
   seed : int;
   mutable rounds : int;
   crashed : bool array;
@@ -55,6 +58,7 @@ let create ?(policy = `None_) ?metrics ?(seed = 0) ~shards () =
     controls = Array.make shards [];
     constructors = Hashtbl.create 16;
     metrics;
+    tracer = None;
     seed;
     rounds = 0;
     crashed = Array.make shards false;
@@ -75,6 +79,51 @@ let decision_of t gid = Hashtbl.find_opt t.decisions gid
 
 let metrics_count f t s =
   match t.metrics with None -> () | Some m -> f m s
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard tracing *)
+
+let install_probe t s =
+  match t.tracer with
+  | None -> ()
+  | Some st ->
+    Cc.System.set_probe t.shards.(s)
+      ~now:(fun () -> St.now st)
+      (St.shard_sink st s)
+
+let set_tracer t st =
+  if St.shard_count st <> Array.length t.shards then
+    invalid_arg "Group.set_tracer: tracer shard count mismatch";
+  t.tracer <- Some st;
+  Array.iteri (fun s _ -> install_probe t s) t.shards
+
+let clear_tracer t =
+  (match t.tracer with
+  | Some _ -> Array.iter Cc.System.clear_probe t.shards
+  | None -> ());
+  t.tracer <- None
+
+let tracer t = t.tracer
+
+let txn_span_name g = Fmt.str "txn %s" (Activity.name (Gtxn.activity g))
+
+let ctx_args g =
+  let base = [ ("gid", St.num (Gtxn.gid g)) ] in
+  match Gtxn.trace_ctx g with
+  | None -> base
+  | Some { Gtxn.trace_id; parent_span } ->
+    base
+    @ [ ("trace_id", St.num trace_id); ("parent", St.num parent_span) ]
+
+(* Close the coordinator-side transaction span.  Every global
+   transaction gets exactly one E event on pid 0, whatever its fate. *)
+let trace_end t g ~ts ~outcome =
+  match t.tracer with
+  | None -> ()
+  | Some st ->
+    St.end_span (St.coord st) ~name:(txn_span_name g) ~cat:"txn" ~ts
+      ~tid:(Gtxn.gid g)
+      ~args:(ctx_args g @ [ ("outcome", Json.Str outcome) ])
 
 let add_object t x make =
   let s = shard_of t x in
@@ -100,6 +149,16 @@ let begin_txn t activity =
   let g = Gtxn.make ?init_ts ~gid:t.next_gid activity in
   t.next_gid <- t.next_gid + 1;
   Hashtbl.replace t.gtxns (Gtxn.gid g) g;
+  (match t.tracer with
+  | None -> ()
+  | Some st ->
+    let root = St.fresh_id st in
+    Gtxn.set_trace_ctx g { Gtxn.trace_id = Gtxn.gid g; parent_span = root };
+    St.begin_span (St.coord st) ~name:(txn_span_name g) ~cat:"txn"
+      ~ts:(St.now st) ~tid:(Gtxn.gid g)
+      ~args:
+        (ctx_args g
+        @ [ ("read_only", Json.Bool (Activity.is_read_only activity)) ]));
   g
 
 let require_active g =
@@ -153,6 +212,11 @@ let abort ?reason t g =
       drop_leg t s txn)
     (Gtxn.legs g);
   Gtxn.set_status g Gtxn.Aborted;
+  (match t.tracer with
+  | None -> ()
+  | Some st ->
+    trace_end t g ~ts:(St.now st)
+      ~outcome:(Option.value ~default:"abort" reason));
   Hashtbl.remove t.gtxns (Gtxn.gid g);
   Hashtbl.remove t.journal (Gtxn.gid g)
 
@@ -207,6 +271,12 @@ let commit_fast t g s txn =
   metrics_count Weihl_obs.Shard_metrics.local_commit t s;
   Gtxn.set_status g Gtxn.Committed;
   record_commit t g;
+  (match t.tracer with
+  | None -> ()
+  | Some st ->
+    St.instant (St.coord st) ~name:"commit.fast" ~cat:"tpc"
+      ~ts:(St.now st) ~tid:(Gtxn.gid g) ~args:(ctx_args g);
+    trace_end t g ~ts:(St.now st) ~outcome:"commit");
   drop_leg t s txn;
   Hashtbl.remove t.gtxns (Gtxn.gid g)
 
@@ -231,6 +301,59 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
     | None -> None
     | Some m -> Some (Weihl_obs.Shard_metrics.registry m)
   in
+  (* The 2PC round runs on its own Msim timeline; anchor it at the
+     driver's virtual time so its spans land inside the transaction's
+     window on the merged trace. *)
+  let t0 = match t.tracer with Some st -> St.now st | None -> 0. in
+  let round_now = ref 0 in
+  let flights = ref [] in
+  (* Durability markers: the WAL control record just became the point
+     of no return at shard [s], at the round's current virtual time. *)
+  let wal_mark s record =
+    match t.tracer with
+    | None -> ()
+    | Some st ->
+      St.span (St.shard st s) ~name:"wal.sync" ~cat:"wal"
+        ~ts:(t0 +. float_of_int !round_now)
+        ~dur:0. ~tid:gid
+        ~args:(ctx_args g @ [ ("record", Json.Str record) ])
+  in
+  let tpc_tracer =
+    Option.map
+      (fun st ->
+        let shard_arr = Array.of_list part_shards in
+        let trace_of node =
+          if node = 0 then St.coord st
+          else St.shard st shard_arr.(node - 1)
+        in
+        {
+          Tpc.on_message =
+            (fun ~src ~dst ~sent ~at ~label ->
+              round_now := at;
+              (* Timers ([src = dst]) are local alarms, not flights. *)
+              if src <> dst then begin
+                flights := (label, sent, at) :: !flights;
+                let args =
+                  ctx_args g
+                  @ [ ("src", St.num src); ("dst", St.num dst) ]
+                in
+                let src_tr = trace_of src and dst_tr = trace_of dst in
+                ignore
+                  (St.flow st ~name:label ~cat:"msg" ~args ~src:src_tr
+                     ~src_ts:(t0 +. float_of_int sent)
+                     ~src_tid:gid ~dst:dst_tr
+                     ~dst_ts:(t0 +. float_of_int at)
+                     ~dst_tid:gid);
+                St.span dst_tr
+                  ~name:(Fmt.str "flight %s" label)
+                  ~cat:"flight"
+                  ~ts:(t0 +. float_of_int sent)
+                  ~dur:(float_of_int (at - sent))
+                  ~tid:gid ~args
+              end)
+        })
+      t.tracer
+  in
   let participants =
     List.mapi
       (fun i (s, txn) ->
@@ -252,6 +375,7 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
                 Cc.System.prepare t.shards.(s) txn;
                 append_control t s
                   (Cc.Wal.Prepared { gid; activity = Gtxn.activity g });
+                wal_mark s "prepared";
                 metrics_count Weihl_obs.Shard_metrics.prepare_at t s;
                 Tpc.Yes
               end);
@@ -261,11 +385,13 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
               let cts = Timestamp.v ts in
               append_control t s
                 (Cc.Wal.Decided { gid; verdict = `Commit (Some cts) });
+              wal_mark s "decided.commit";
               Cc.System.commit_prepared ~commit_ts:cts t.shards.(s) txn;
               metrics_count Weihl_obs.Shard_metrics.tpc_commit_at t s;
               drop_leg t s txn
             | `Abort ->
               append_control t s (Cc.Wal.Decided { gid; verdict = `Abort });
+              wal_mark s "decided.abort";
               Cc.System.abort_prepared t.shards.(s) txn;
               metrics_count Weihl_obs.Shard_metrics.abort_at t s;
               drop_leg t s txn);
@@ -292,8 +418,8 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
   t.rounds <- t.rounds + 1;
   let seed = (t.seed * 1_000_003) + t.rounds in
   let decision =
-    Tpc.Driver.commit ?metrics:registry ~fault ~choose_ts ~on_decide ~seed
-      participants
+    Tpc.Driver.commit ?metrics:registry ?tracer:tpc_tracer ~fault ~choose_ts
+      ~on_decide ~seed participants
   in
   (* Post-round bookkeeping the simulated sites cannot do themselves. *)
   List.iteri
@@ -347,6 +473,61 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
           Weihl_obs.Shard_metrics.set_in_doubt m s
             (List.length (Cc.System.prepared_txns sys)))
       t.shards);
+  (* Phase spans on the coordinator timeline: prepare+voting runs until
+     the first DECIDE leaves; the round's observable extent is the last
+     real message delivery — quiescence time always includes the
+     drained timeout alarms, which would pad every span by the full
+     coordinator patience. *)
+  (match t.tracer with
+  | None -> ()
+  | Some st ->
+    let flights = !flights in
+    let round_end =
+      List.fold_left (fun acc (_, _, at) -> max acc at) 0 flights
+    in
+    let round_end =
+      if round_end = 0 then decision.Tpc.decision_duration else round_end
+    in
+    let dur = float_of_int round_end in
+    let decide_start =
+      List.fold_left
+        (fun acc (label, sent, _) ->
+          if String.length label >= 6 && String.sub label 0 6 = "decide" then
+            match acc with
+            | None -> Some sent
+            | Some m -> Some (min m sent)
+          else acc)
+        None flights
+    in
+    let coordt = St.coord st in
+    let args = ctx_args g in
+    (match decide_start with
+    | Some d when d > 0 && float_of_int d <= dur ->
+      St.span coordt ~name:"2pc.prepare" ~cat:"tpc.phase" ~ts:t0
+        ~dur:(float_of_int d) ~tid:gid ~args;
+      St.span coordt ~name:"2pc.decide" ~cat:"tpc.phase"
+        ~ts:(t0 +. float_of_int d)
+        ~dur:(dur -. float_of_int d)
+        ~tid:gid ~args
+    | _ ->
+      St.span coordt ~name:"2pc.prepare" ~cat:"tpc.phase" ~ts:t0 ~dur
+        ~tid:gid ~args);
+    St.span coordt ~name:"2pc" ~cat:"tpc" ~ts:t0 ~dur ~tid:gid
+      ~args:
+        (args
+        @ [
+            ("fanout", St.num (List.length legs));
+            ("committed", Json.Bool decision.Tpc.committed);
+            ("messages", St.num decision.Tpc.decision_messages);
+          ]);
+    let outcome =
+      match Gtxn.status g with
+      | Gtxn.Committed -> "commit"
+      | Gtxn.Aborted -> "tpc abort"
+      | Gtxn.In_doubt -> "in-doubt"
+      | Gtxn.Active -> "active"
+    in
+    trace_end t g ~ts:(t0 +. dur) ~outcome);
   maybe_prune t g;
   Distributed (decision, part_shards)
 
@@ -356,6 +537,9 @@ let commit ?fault ?votes_no t g =
   | [] ->
     Gtxn.set_status g Gtxn.Committed;
     record_commit t g;
+    (match t.tracer with
+    | None -> ()
+    | Some st -> trace_end t g ~ts:(St.now st) ~outcome:"commit");
     Hashtbl.remove t.gtxns (Gtxn.gid g);
     Fast
   | [ (s, txn) ] ->
@@ -389,15 +573,29 @@ let resolve_gtxn t g verdict =
       end)
     (Gtxn.legs g);
   (match Gtxn.status g with
-  | Gtxn.In_doubt | Gtxn.Active -> (
-    match verdict with
+  | Gtxn.In_doubt | Gtxn.Active ->
+    (match verdict with
     | `Commit ts ->
       Gtxn.set_commit_ts g (Timestamp.v ts);
       Gtxn.set_status g Gtxn.Committed;
       record_commit t g
     | `Abort ->
       Gtxn.set_status g Gtxn.Aborted;
-      Hashtbl.remove t.journal (Gtxn.gid g))
+      Hashtbl.remove t.journal (Gtxn.gid g));
+    (match t.tracer with
+    | None -> ()
+    | Some st ->
+      St.instant (St.coord st) ~name:"resolved" ~cat:"resolve"
+        ~ts:(St.now st) ~tid:(Gtxn.gid g)
+        ~args:
+          (ctx_args g
+          @ [
+              ( "verdict",
+                Json.Str
+                  (match verdict with
+                  | `Commit _ -> "commit"
+                  | `Abort -> "abort") );
+            ]))
   | Gtxn.Committed | Gtxn.Aborted -> ());
   maybe_prune t g;
   !resolved
@@ -501,6 +699,7 @@ let recover_shard ?resolve t s text =
   | Error e -> Error e
   | Ok report ->
     t.shards.(s) <- sys;
+    install_probe t s;
     Hashtbl.reset t.local_index.(s);
     t.controls.(s) <- [];
     (* The group clock must dominate everything the recovered shard

@@ -81,6 +81,23 @@ val add_object :
 val objects : t -> (Object_id.t * int) list
 (** Registered objects with their home shards, sorted by id. *)
 
+(** {1 Cross-shard tracing} *)
+
+val set_tracer : t -> Weihl_obs.Shard_trace.t -> unit
+(** Install a cross-shard trace: each shard's probe feeds its own
+    timeline (pid [s + 1]); the group emits global-transaction spans,
+    2PC phase spans, WAL-sync markers and message-flight flow events on
+    the coordinator timeline (pid 0).  Every subsequent {!begin_txn}
+    also receives a {!Gtxn.trace_ctx}.  The tracer's [now] closure
+    should already point at the driver's virtual clock.
+    @raise Invalid_argument if the tracer was built for a different
+    shard count. *)
+
+val clear_tracer : t -> unit
+(** Remove the tracer and the per-shard probes. *)
+
+val tracer : t -> Weihl_obs.Shard_trace.t option
+
 (** {1 The transactional facade} *)
 
 val begin_txn : t -> Activity.t -> Gtxn.t

@@ -3,6 +3,8 @@ module Cc = Weihl_cc
 
 type status = Active | In_doubt | Committed | Aborted
 
+type trace_ctx = { trace_id : int; parent_span : int }
+
 type t = {
   gid : int;
   activity : Activity.t;
@@ -10,10 +12,22 @@ type t = {
   mutable status : status;
   mutable legs : (int * Cc.Txn.t) list; (* shard -> local leg, oldest first *)
   mutable commit_ts : Timestamp.t option;
+  mutable trace_ctx : trace_ctx option;
 }
 
 let make ?init_ts ~gid activity =
-  { gid; activity; init_ts; status = Active; legs = []; commit_ts = None }
+  {
+    gid;
+    activity;
+    init_ts;
+    status = Active;
+    legs = [];
+    commit_ts = None;
+    trace_ctx = None;
+  }
+
+let trace_ctx t = t.trace_ctx
+let set_trace_ctx t ctx = t.trace_ctx <- Some ctx
 
 let gid t = t.gid
 let activity t = t.activity

@@ -13,9 +13,18 @@ module Cc = Weihl_cc
 
 type status = Active | In_doubt | Committed | Aborted
 
+type trace_ctx = { trace_id : int; parent_span : int }
+(** Distributed-tracing context: the trace id shared by every span of
+    this transaction and the root (coordinator) span's id.  Threaded
+    through the 2PC path so per-shard and per-flight spans can point
+    back at the transaction that caused them. *)
+
 type t
 
 val make : ?init_ts:Timestamp.t -> gid:int -> Activity.t -> t
+
+val trace_ctx : t -> trace_ctx option
+val set_trace_ctx : t -> trace_ctx -> unit
 val gid : t -> int
 val activity : t -> Activity.t
 val is_read_only : t -> bool

@@ -70,11 +70,17 @@ type client = {
   mutable retry_scheduled : bool;
 }
 
-let run ?(config = default_config)
+let run ?(config = default_config) ?tracer
     ?(on_commit = fun group g ~nth_multi:_ -> Group.commit group g) group
     workload =
   let rng = Rng.create config.seed in
   let pq : int Pqueue.t = Pqueue.create () in
+  let now = ref 0 in
+  (match tracer with
+  | None -> ()
+  | Some st ->
+    Weihl_obs.Shard_trace.set_now st (fun () -> float_of_int !now);
+    Group.set_tracer group st);
   let clients =
     Array.init config.clients (fun cid ->
         {
@@ -258,6 +264,7 @@ let run ?(config = default_config)
       match Pqueue.pop pq with
       | Some (time, cid) when time <= config.duration ->
         last_time := max !last_time time;
+        now := max !now time;
         proceed clients.(cid) ~time;
         loop ()
       | Some _ | None -> ()
@@ -290,3 +297,345 @@ let run ?(config = default_config)
     multi_attempts = !m_multi_attempts;
     ticks = max 1 !last_time;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop mode: seeded Poisson arrivals at a fixed offered rate,
+   independent of completions — the saturation view a closed loop
+   cannot give, because closed-loop clients self-throttle behind
+   contention. *)
+
+module Metrics = Weihl_obs.Metrics
+
+type open_config = {
+  rate : float;  (** mean arrivals per tick (Poisson) *)
+  o_duration : int;
+  o_op_cost : int;
+  o_wait_backoff : int;
+  o_max_waits : int;
+  o_max_restarts : int;
+  window : int;  (** ticks per time-series window *)
+  o_seed : int;
+  o_activity_base : int;
+}
+
+let default_open_config =
+  {
+    rate = 0.2;
+    o_duration = 2000;
+    o_op_cost = 1;
+    o_wait_backoff = 4;
+    o_max_waits = 50;
+    o_max_restarts = 3;
+    window = 250;
+    o_seed = 42;
+    o_activity_base = 0;
+  }
+
+type window = {
+  w_start : int;
+  w_arrivals : int;
+  w_committed : int;
+  w_aborted : int;
+  w_p50 : float;  (** exact, over latencies completing in the window *)
+  w_p99 : float;
+}
+
+type open_outcome = {
+  offered : float;  (** offered load, arrivals per 1000 ticks *)
+  arrivals : int;
+  o_committed : int;
+  o_committed_multi : int;
+  o_aborted : int;
+  abort_causes : (string * int) list;  (** cause -> count, sorted *)
+  o_in_doubt : int;
+  in_flight_end : int;  (** jobs still open when the clock ran out *)
+  windows : window list;
+  shard_latency : Metrics.Histogram.t array;
+      (** commit latency by home shard (first-touched shard) *)
+  latency : Metrics.Histogram.t;
+      (** group-wide: {!Metrics.Histogram.merge} over the shards *)
+  o_ticks : int;
+}
+
+(* Exact percentile of a sorted float array (nearest rank). *)
+let exact_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    sorted.(max 0 (min (n - 1)
+      (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)))
+
+type job = {
+  jid : int;
+  arrival : int;
+  home : int;
+  j_script : Workload.script;
+  mutable j_step : int;
+  mutable j_txn : Gtxn.t option;
+  mutable j_restarts_left : int;
+  mutable j_waits_left : int;
+}
+
+let run_open ?(config = default_open_config) ?tracer group workload =
+  if config.rate <= 0. then
+    invalid_arg "Sharded_driver.run_open: rate must be positive";
+  if config.window <= 0 then
+    invalid_arg "Sharded_driver.run_open: window must be positive";
+  let rng = Rng.create config.o_seed in
+  let pq : int Pqueue.t = Pqueue.create () in
+  let now = ref 0 in
+  (match tracer with
+  | None -> ()
+  | Some st ->
+    Weihl_obs.Shard_trace.set_now st (fun () -> float_of_int !now);
+    Group.set_tracer group st);
+  let shards = Group.shard_count group in
+  let shard_latency =
+    Array.init shards (fun _ -> Metrics.Histogram.create ())
+  in
+  let n_windows = (config.o_duration / config.window) + 1 in
+  let w_arrivals = Array.make n_windows 0 in
+  let w_committed = Array.make n_windows 0 in
+  let w_aborted = Array.make n_windows 0 in
+  let w_lats = Array.make n_windows [] in
+  let window_of time = min (n_windows - 1) (time / config.window) in
+  let jobs : (int, job) Hashtbl.t = Hashtbl.create 256 in
+  let owner : (int, job) Hashtbl.t = Hashtbl.create 256 in
+  let m_arrivals = ref 0 in
+  let m_committed = ref 0 in
+  let m_multi = ref 0 in
+  let m_aborted = ref 0 in
+  let m_in_doubt = ref 0 in
+  let causes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let cause name =
+    Hashtbl.replace causes name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt causes name))
+  in
+  let activity_counter = ref config.o_activity_base in
+  let fresh_activity kind =
+    incr activity_counter;
+    match kind with
+    | `Update -> Activity.update (Fmt.str "u%d" !activity_counter)
+    | `Read_only -> Activity.read_only (Fmt.str "r%d" !activity_counter)
+  in
+  (* Job ids double as queue payloads; the arrival process itself is
+     the reserved payload [-1]. *)
+  let next_jid = ref 0 in
+  let arrival_clock = ref 0. in
+  let push_next_arrival () =
+    let u = Rng.float rng 1.0 in
+    let dt = -.log (1. -. u) /. config.rate in
+    arrival_clock := !arrival_clock +. dt;
+    let time = int_of_float !arrival_clock in
+    if time <= config.o_duration then Pqueue.push pq ~time (-1)
+  in
+  let finish_job j ~time ~committed ~why =
+    (match j.j_txn with
+    | Some g -> Hashtbl.remove owner (Gtxn.gid g)
+    | None -> ());
+    j.j_txn <- None;
+    Hashtbl.remove jobs j.jid;
+    let w = window_of time in
+    if committed then begin
+      incr m_committed;
+      w_committed.(w) <- w_committed.(w) + 1;
+      let lat = float_of_int (max 1 (time - j.arrival)) in
+      Metrics.Histogram.observe shard_latency.(j.home) lat;
+      w_lats.(w) <- lat :: w_lats.(w)
+    end
+    else begin
+      incr m_aborted;
+      w_aborted.(w) <- w_aborted.(w) + 1;
+      cause why
+    end
+  in
+  let restart_or_abandon j ~time ~why =
+    (match j.j_txn with
+    | Some g -> Hashtbl.remove owner (Gtxn.gid g)
+    | None -> ());
+    j.j_txn <- None;
+    j.j_step <- 0;
+    j.j_waits_left <- config.o_max_waits;
+    if j.j_restarts_left <= 0 then finish_job j ~time ~committed:false ~why
+    else begin
+      j.j_restarts_left <- j.j_restarts_left - 1;
+      Pqueue.push pq ~time:(time + config.o_wait_backoff) j.jid
+    end
+  in
+  let break_deadlock ~time =
+    match Group.find_deadlock group with
+    | None -> false
+    | Some cycle -> (
+      let victim = Group.victim cycle in
+      match Hashtbl.find_opt owner (Gtxn.gid victim) with
+      | Some vj ->
+        Group.abort ~reason:"deadlock" group victim;
+        restart_or_abandon vj ~time ~why:"deadlock";
+        true
+      | None -> false)
+  in
+  let proceed j ~time =
+    (match j.j_txn with
+    | Some g when not (Gtxn.is_active g) ->
+      (* A shard crash or deadlock victimization took the transaction
+         down between our turns. *)
+      Hashtbl.remove owner (Gtxn.gid g);
+      j.j_txn <- None;
+      j.j_step <- 0
+    | _ -> ());
+    let g =
+      match j.j_txn with
+      | Some g -> g
+      | None ->
+        let g =
+          Group.begin_txn group (fresh_activity j.j_script.Workload.kind)
+        in
+        j.j_txn <- Some g;
+        Hashtbl.replace owner (Gtxn.gid g) j;
+        g
+    in
+    match List.nth_opt j.j_script.Workload.steps j.j_step with
+    | None -> (
+      let fanout = Gtxn.fanout g in
+      ignore (Group.commit group g);
+      match Gtxn.status g with
+      | Gtxn.Committed ->
+        if fanout >= 2 then incr m_multi;
+        finish_job j ~time ~committed:true ~why:""
+      | Gtxn.Aborted -> restart_or_abandon j ~time ~why:"tpc"
+      | Gtxn.In_doubt ->
+        incr m_in_doubt;
+        finish_job j ~time ~committed:false ~why:"in-doubt"
+      | Gtxn.Active ->
+        invalid_arg "Sharded_driver.run_open: commit left txn active")
+    | Some step -> (
+      match Group.invoke group g step.Workload.obj step.Workload.op with
+      | Group.Granted v ->
+        j.j_waits_left <- config.o_max_waits;
+        let continue =
+          match step.Workload.continue_if with
+          | None -> true
+          | Some pred -> pred v
+        in
+        if continue then j.j_step <- j.j_step + 1
+        else j.j_step <- List.length j.j_script.Workload.steps;
+        Pqueue.push pq ~time:(time + config.o_op_cost) j.jid
+      | Group.Wait _ ->
+        if break_deadlock ~time then Pqueue.push pq ~time:(time + 1) j.jid
+        else if j.j_waits_left <= 0 then begin
+          Group.abort ~reason:"starved" group g;
+          restart_or_abandon j ~time ~why:"starved"
+        end
+        else begin
+          j.j_waits_left <- j.j_waits_left - 1;
+          Pqueue.push pq ~time:(time + config.o_wait_backoff) j.jid
+        end
+      | Group.Refused _ ->
+        Group.abort ~reason:"refused" group g;
+        restart_or_abandon j ~time ~why:"refused")
+  in
+  let arrive ~time =
+    let script = workload.Workload.generate rng in
+    let home =
+      match script.Workload.steps with
+      | [] -> 0
+      | step :: _ -> Group.shard_of group step.Workload.obj
+    in
+    let j =
+      {
+        jid = !next_jid;
+        arrival = time;
+        home;
+        j_script = script;
+        j_step = 0;
+        j_txn = None;
+        j_restarts_left = config.o_max_restarts;
+        j_waits_left = config.o_max_waits;
+      }
+    in
+    incr next_jid;
+    incr m_arrivals;
+    w_arrivals.(window_of time) <- w_arrivals.(window_of time) + 1;
+    Hashtbl.replace jobs j.jid j;
+    Pqueue.push pq ~time j.jid;
+    push_next_arrival ()
+  in
+  push_next_arrival ();
+  let last_time = ref 0 in
+  let guard = ref 0 in
+  let max_events =
+    200 * config.o_duration
+    * (1 + int_of_float (config.rate *. float_of_int config.o_duration))
+  in
+  let rec loop () =
+    incr guard;
+    if !guard > max_events then ()
+    else
+      match Pqueue.pop pq with
+      | Some (time, payload) when time <= config.o_duration ->
+        last_time := max !last_time time;
+        now := max !now time;
+        (if payload = -1 then arrive ~time
+         else
+           match Hashtbl.find_opt jobs payload with
+           | Some j -> proceed j ~time
+           | None -> ());
+        loop ()
+      | Some _ | None -> ()
+  in
+  loop ();
+  (* Jobs still open at the end of the run: abort the active ones so
+     the group quiesces; they count as in flight, not aborted. *)
+  let open_jobs = Hashtbl.fold (fun _ j acc -> j :: acc) jobs [] in
+  List.iter
+    (fun j ->
+      match j.j_txn with
+      | Some g when Gtxn.is_active g -> Group.abort ~reason:"end of run" group g
+      | _ -> ())
+    open_jobs;
+  let windows =
+    List.init n_windows (fun w ->
+        let sorted = Array.of_list (w_lats.(w)) in
+        Array.sort Float.compare sorted;
+        {
+          w_start = w * config.window;
+          w_arrivals = w_arrivals.(w);
+          w_committed = w_committed.(w);
+          w_aborted = w_aborted.(w);
+          w_p50 = exact_percentile sorted 50.;
+          w_p99 = exact_percentile sorted 99.;
+        })
+  in
+  {
+    offered = config.rate *. 1000.;
+    arrivals = !m_arrivals;
+    o_committed = !m_committed;
+    o_committed_multi = !m_multi;
+    o_aborted = !m_aborted;
+    abort_causes =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) causes []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    o_in_doubt = !m_in_doubt;
+    in_flight_end = List.length open_jobs;
+    windows;
+    shard_latency;
+    latency = Metrics.Histogram.merge_all (Array.to_list shard_latency);
+    o_ticks = max 1 !last_time;
+  }
+
+let pp_window ppf w =
+  Fmt.pf ppf "[%5d) arr %3d commit %3d abort %3d p50 %5.1f p99 %5.1f"
+    w.w_start w.w_arrivals w.w_committed w.w_aborted w.w_p50 w.w_p99
+
+let pp_open_outcome ppf o =
+  Fmt.pf ppf
+    "@[<v>offered %.1f/1000t: %d arrivals, %d committed (%d 2pc), %d \
+     aborted, %d in-doubt, %d in flight@,\
+     latency: %a@,\
+     aborts: %a@,%a@]"
+    o.offered o.arrivals o.o_committed o.o_committed_multi o.o_aborted
+    o.o_in_doubt o.in_flight_end Metrics.Histogram.pp o.latency
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") string int))
+    o.abort_causes
+    Fmt.(list ~sep:cut pp_window)
+    o.windows

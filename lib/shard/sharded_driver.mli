@@ -55,6 +55,7 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val run :
   ?config:config ->
+  ?tracer:Weihl_obs.Shard_trace.t ->
   ?on_commit:(Group.t -> Gtxn.t -> nth_multi:int -> Group.commit_outcome) ->
   Group.t ->
   Weihl_sim.Workload.t ->
@@ -62,4 +63,73 @@ val run :
 (** Drive the workload against the group.  [on_commit] intercepts every
     commit; [nth_multi] counts multi-shard attempts (1-based), so a
     harness can inject a fault into exactly the k-th 2PC round.  The
-    default commits cleanly. *)
+    default commits cleanly.  With [tracer], the driver points its
+    virtual clock at the trace and installs it on the group
+    ({!Group.set_tracer}), so the run yields a merged cross-shard
+    Chrome trace. *)
+
+(** {1 Open-loop mode}
+
+    Arrivals are a seeded Poisson process at a fixed offered rate,
+    independent of completions — the closed loop above self-throttles
+    behind contention, so it can never show where the group saturates.
+    Each arrival runs its script to completion (with bounded blocked
+    retries and restarts), however many are already in flight. *)
+
+type open_config = {
+  rate : float;  (** mean arrivals per tick (Poisson) *)
+  o_duration : int;
+  o_op_cost : int;
+  o_wait_backoff : int;
+  o_max_waits : int;
+  o_max_restarts : int;
+  window : int;  (** ticks per time-series window *)
+  o_seed : int;
+  o_activity_base : int;
+}
+
+val default_open_config : open_config
+(** rate 0.2/tick, 2000 ticks, window 250, seed 42. *)
+
+type window = {
+  w_start : int;
+  w_arrivals : int;
+  w_committed : int;
+  w_aborted : int;
+  w_p50 : float;  (** exact, over latencies completing in the window *)
+  w_p99 : float;
+}
+
+type open_outcome = {
+  offered : float;  (** offered load, arrivals per 1000 ticks *)
+  arrivals : int;
+  o_committed : int;
+  o_committed_multi : int;
+  o_aborted : int;
+  abort_causes : (string * int) list;  (** cause -> count, sorted *)
+  o_in_doubt : int;
+  in_flight_end : int;  (** jobs still open when the clock ran out *)
+  windows : window list;
+  shard_latency : Weihl_obs.Metrics.Histogram.t array;
+      (** commit latency (commit tick - arrival tick) by home shard —
+          the shard of the script's first object *)
+  latency : Weihl_obs.Metrics.Histogram.t;
+      (** group-wide, {!Weihl_obs.Metrics.Histogram.merge} over the
+          per-shard histograms *)
+  o_ticks : int;
+}
+
+val run_open :
+  ?config:open_config ->
+  ?tracer:Weihl_obs.Shard_trace.t ->
+  Group.t ->
+  Weihl_sim.Workload.t ->
+  open_outcome
+(** Drive the open-loop workload.  Deterministic per seed: arrivals,
+    scripts and retries all draw from one generator, so a
+    [(config, group, workload)] triple replays the same windowed
+    series exactly.
+    @raise Invalid_argument unless [rate] and [window] are positive. *)
+
+val pp_window : Format.formatter -> window -> unit
+val pp_open_outcome : Format.formatter -> open_outcome -> unit

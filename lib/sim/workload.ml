@@ -20,12 +20,52 @@ type t = {
 
 let step ?continue_if obj op = { obj; op; continue_if }
 
+(* Zipfian rank sampler: key i (0-based) drawn with weight
+   1/(i+1)^theta.  theta = 0 is uniform; theta around 1 is the classic
+   skew where a few keys soak up most of the traffic. *)
+let zipf ~theta ~n =
+  if n <= 0 then invalid_arg "Workload.zipf: n must be positive";
+  if theta < 0. then invalid_arg "Workload.zipf: theta must be >= 0";
+  let cum = Array.make n 0. in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. (1. /. (float_of_int (i + 1) ** theta));
+    cum.(i) <- !total
+  done;
+  let total = !total in
+  fun rng ->
+    let u = Rng.float rng total in
+    (* First index with cum.(i) >= u. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+(* Hotspot sampler: probability [hot] of drawing uniformly from the
+   first [hot_keys] keys, otherwise uniform over all [n]. *)
+let hotspot ~hot ~hot_keys ~n =
+  if n <= 0 then invalid_arg "Workload.hotspot: n must be positive";
+  if hot < 0. || hot > 1. then
+    invalid_arg "Workload.hotspot: hot not a probability";
+  let hot_keys = max 1 (min hot_keys n) in
+  fun rng ->
+    if Rng.float rng 1.0 < hot then Rng.int rng hot_keys
+    else Rng.int rng n
+
 let account_ids n =
   List.init n (fun i -> Object_id.v (Fmt.str "acct%d" i))
 
 let banking ?(accounts = 8) ?(transfer_max = 50) ?(audit_fraction = 0.1)
-    ?(deposit_fraction = 0.2) () =
+    ?(deposit_fraction = 0.2) ?key_dist () =
   let objects = account_ids accounts in
+  let arr = Array.of_list objects in
+  let pick rng =
+    match key_dist with
+    | None -> Rng.pick rng objects
+    | Some dist -> arr.(dist rng)
+  in
   let generate rng =
     let r = Rng.float rng 1.0 in
     if r < audit_fraction then
@@ -39,8 +79,8 @@ let banking ?(accounts = 8) ?(transfer_max = 50) ?(audit_fraction = 0.1)
          steps makes deposits hold their locks across simulated time,
          so protocols that let deposits commute genuinely interleave
          them while read/write locking serializes. *)
-      let acct1 = Rng.pick rng objects in
-      let acct2 = Rng.pick rng objects in
+      let acct1 = pick rng in
+      let acct2 = pick rng in
       let amount = Rng.int_range rng 1 transfer_max in
       {
         kind = `Update;
@@ -52,9 +92,9 @@ let banking ?(accounts = 8) ?(transfer_max = 50) ?(audit_fraction = 0.1)
           ];
       }
     else begin
-      let src = Rng.pick rng objects in
+      let src = pick rng in
       let rec pick_dst () =
-        let dst = Rng.pick rng objects in
+        let dst = pick rng in
         if Object_id.equal dst src then pick_dst () else dst
       in
       let dst = pick_dst () in

@@ -31,6 +31,23 @@ type t = {
 
 val step : ?continue_if:(Value.t -> bool) -> Object_id.t -> Operation.t -> step
 
+(** {1 Key distributions}
+
+    Samplers return an index in [0 .. n-1]; feed them to {!banking}'s
+    [key_dist] to skew which accounts the scripts touch.  Both are
+    deterministic functions of the generator they are handed. *)
+
+val zipf : theta:float -> n:int -> Rng.t -> int
+(** Zipfian ranks: index [i] drawn with weight [1/(i+1)^theta].
+    [theta = 0.] is uniform; [theta] near 1 gives the classic skew
+    where a few keys absorb most of the traffic.
+    @raise Invalid_argument if [n <= 0] or [theta < 0.]. *)
+
+val hotspot : hot:float -> hot_keys:int -> n:int -> Rng.t -> int
+(** With probability [hot], uniform over the first [hot_keys] indices
+    (clamped to [1 .. n]); otherwise uniform over all [n].
+    @raise Invalid_argument if [n <= 0] or [hot] is not in [0..1]. *)
+
 (** {1 Banking (Sections 4.3.3 and 5.1)} *)
 
 val account_ids : int -> Object_id.t list
@@ -41,13 +58,17 @@ val banking :
   ?transfer_max:int ->
   ?audit_fraction:float ->
   ?deposit_fraction:float ->
+  ?key_dist:(Rng.t -> int) ->
   unit ->
   t
 (** Lamport's banking mix: transfers move a random amount between two
     random accounts (withdraw then deposit, stopping on
     [insufficient_funds]); deposits seed money; audits read every
     account's balance (read-only).  Defaults: 8 accounts, transfers up
-    to 50, 10% audits, 20% deposits. *)
+    to 50, 10% audits, 20% deposits.  [key_dist] (e.g. {!zipf} or
+    {!hotspot} over [accounts]) skews which accounts are picked;
+    omitting it keeps the historical uniform draw sequence, so
+    existing seeded runs replay unchanged. *)
 
 val hot_account : Object_id.t
 

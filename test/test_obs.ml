@@ -10,6 +10,7 @@ module Trace = Obs.Trace
 
 let check_f = Alcotest.(check (float 1e-9))
 let check_i = Alcotest.(check int)
+let to_alcotest = QCheck_alcotest.to_alcotest
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
@@ -352,6 +353,201 @@ let test_tpc_metrics () =
       (cval (Fmt.str "tpc.site%d.committed" i))
   done
 
+(* ------------------------------------------------------------------ *)
+(* Histogram merge                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_merge_unit () =
+  let h1 = Metrics.Histogram.create () and h2 = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.observe h1) [ 1.; 50.; 300. ];
+  List.iter (Metrics.Histogram.observe h2) [ 2.; 7000. ];
+  let m = Metrics.Histogram.merge h1 h2 in
+  let u = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.observe u) [ 1.; 50.; 300.; 2.; 7000. ];
+  check_i "count" (Metrics.Histogram.count u) (Metrics.Histogram.count m);
+  check_f "sum" (Metrics.Histogram.sum u) (Metrics.Histogram.sum m);
+  check_f "min" (Metrics.Histogram.min_value u) (Metrics.Histogram.min_value m);
+  check_f "max" (Metrics.Histogram.max_value u) (Metrics.Histogram.max_value m);
+  List.iter2
+    (fun (ub, uc) (mb, mc) ->
+      check_f "bucket bound" ub mb;
+      check_i "bucket count" uc mc)
+    (Metrics.Histogram.buckets u)
+    (Metrics.Histogram.buckets m);
+  (* Merging histograms over different bucket bounds is refused: the
+     counts would not be comparable. *)
+  Alcotest.check_raises "mismatched bounds"
+    (Invalid_argument "Histogram.merge: bucket bounds differ") (fun () ->
+      ignore
+        (Metrics.Histogram.merge h1
+           (Metrics.Histogram.create ~buckets:[| 1.; 2. |] ())))
+
+(* Lossless aggregation: merging any split of the observations is the
+   same histogram as observing them all in one. *)
+let prop_histogram_merge_is_union =
+  QCheck2.Test.make ~name:"histogram merge = observing the union" ~count:100
+    QCheck2.Gen.(
+      pair
+        (small_list (float_bound_inclusive 10_000.))
+        (small_list (float_bound_inclusive 10_000.)))
+    (fun (xs, ys) ->
+      let observe vs =
+        let h = Metrics.Histogram.create () in
+        List.iter (Metrics.Histogram.observe h) vs;
+        h
+      in
+      let m = Metrics.Histogram.merge (observe xs) (observe ys) in
+      let u = observe (xs @ ys) in
+      let close a b = Float.abs (a -. b) <= 1e-6 *. (1. +. Float.abs b) in
+      if Metrics.Histogram.count m <> Metrics.Histogram.count u then
+        QCheck2.Test.fail_report "counts differ"
+      else if not (close (Metrics.Histogram.sum m) (Metrics.Histogram.sum u))
+      then QCheck2.Test.fail_report "sums differ"
+      else if
+        not
+          (close (Metrics.Histogram.min_value m) (Metrics.Histogram.min_value u)
+          && close (Metrics.Histogram.max_value m)
+               (Metrics.Histogram.max_value u))
+      then QCheck2.Test.fail_report "extremes differ"
+      else if
+        not
+          (List.for_all2
+             (fun (_, a) (_, b) -> a = b)
+             (Metrics.Histogram.buckets m)
+             (Metrics.Histogram.buckets u))
+      then QCheck2.Test.fail_report "bucket counts differ"
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Merged cross-shard traces: flow events through the importer         *)
+(* ------------------------------------------------------------------ *)
+
+(* A generator for merged cross-shard event lists: spans and instants
+   scattered over several pids, plus s/f flow pairs stitching pid 0 to
+   a shard timeline — the shape [Shard_trace.export] produces. *)
+let gen_merged_trace =
+  let open QCheck2.Gen in
+  let ts = map float_of_int (int_range 0 10_000) in
+  let name = oneofl [ "u1"; "u2"; "prepare"; "decide" ] in
+  let plain =
+    let* n = name and* pid = int_range 0 4 and* tid = int_range 0 9 in
+    let* t = ts in
+    let* shape = oneofl [ `B; `E; `X; `I ] in
+    let ph, cat, dur, args =
+      match shape with
+      | `B -> (Trace.B, "txn", None, [ ("gid", Json.Num 7.) ])
+      | `E -> (Trace.E, "txn", None, [ ("outcome", Json.Str "commit") ])
+      | `X -> (Trace.X, "tpc.phase", Some 3., [ ("gid", Json.Num 7.) ])
+      | `I -> (Trace.I, "commit", None, [])
+    in
+    return
+      [ { Trace.name = n; cat; ph; ts = t; dur; pid; tid; id = None; args } ]
+  in
+  let flow =
+    let* n = name and* id = int_range 0 999 and* dst = int_range 1 4 in
+    let* t = ts in
+    return
+      [
+        {
+          Trace.name = n;
+          cat = "msg";
+          ph = Trace.S;
+          ts = t;
+          dur = None;
+          pid = 0;
+          tid = 0;
+          id = Some id;
+          args = [];
+        };
+        {
+          Trace.name = n;
+          cat = "msg";
+          ph = Trace.F;
+          ts = t +. 2.;
+          dur = None;
+          pid = dst;
+          tid = 0;
+          id = Some id;
+          args = [];
+        };
+      ]
+  in
+  map List.concat (small_list (oneof [ plain; flow ]))
+
+let prop_merged_trace_roundtrip =
+  QCheck2.Test.make ~name:"merged cross-shard trace round-trips" ~count:100
+    gen_merged_trace (fun evs ->
+      match Trace.parse (Trace.export_events evs) with
+      | Error e -> QCheck2.Test.fail_report e
+      | Ok evs' ->
+        if List.length evs <> List.length evs' then
+          QCheck2.Test.fail_report "event count changed"
+        else if
+          not
+            (List.for_all2
+               (fun a b ->
+                 a.Trace.name = b.Trace.name
+                 && a.Trace.cat = b.Trace.cat
+                 && a.Trace.ph = b.Trace.ph
+                 && a.Trace.ts = b.Trace.ts
+                 && a.Trace.dur = b.Trace.dur
+                 && a.Trace.pid = b.Trace.pid
+                 && a.Trace.tid = b.Trace.tid
+                 && a.Trace.id = b.Trace.id
+                 && Json.equal (Json.Obj a.Trace.args) (Json.Obj b.Trace.args))
+               evs evs')
+        then QCheck2.Test.fail_report "an event changed in transit"
+        else true)
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path analysis                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-scripted merged trace: one cross-shard transaction, gid 7,
+   spanning ticks 0-20 on the coordinator with a leg on shard 1.  The
+   leg waits over [2,6), a message is in flight over [4,10), and the
+   2PC round covers the whole interval.  Under the wait > wal > flight
+   > 2pc > exec priority, that attributes wait 4, flight 4 (the part
+   not already counted as wait), 2pc 12, exec 0. *)
+let test_trace_analysis_breakdown () =
+  let ev ?dur ?id ?(args = []) ~pid ~tid name cat ph ts =
+    { Trace.name; cat; ph; ts; dur; pid; tid; id; args }
+  in
+  let gid = [ ("gid", Json.Num 7.) ] in
+  let evs =
+    [
+      ev ~pid:0 ~tid:7 ~args:gid "u1" "txn" Trace.B 0.;
+      ev ~pid:1 ~tid:3 ~args:gid "u1" "txn" Trace.B 0.;
+      ev ~pid:1 ~tid:3 ~dur:4. "blocked" "wait" Trace.X 2.;
+      ev ~pid:0 ~tid:7 ~dur:6. ~args:gid "prepare->1" "flight" Trace.X 4.;
+      ev ~pid:0 ~tid:7 ~dur:20. ~args:gid "2pc" "tpc" Trace.X 0.;
+      ev ~pid:1 ~tid:3 ~args:[ ("outcome", Json.Str "commit") ] "u1" "txn"
+        Trace.E 18.;
+      ev ~pid:0 ~tid:7 ~args:[ ("outcome", Json.Str "commit") ] "u1" "txn"
+        Trace.E 20.;
+    ]
+  in
+  let r = Obs.Trace_analysis.analyze evs in
+  Alcotest.(check bool) "cross-shard" true r.Obs.Trace_analysis.cross_shard;
+  check_i "one committed txn" 1 r.Obs.Trace_analysis.committed;
+  match r.Obs.Trace_analysis.txns with
+  | [ t ] ->
+    check_f "total" 20. t.Obs.Trace_analysis.total;
+    check_i "fanout" 1 t.Obs.Trace_analysis.fanout;
+    let p = t.Obs.Trace_analysis.phases in
+    check_f "wait" 4. p.Obs.Trace_analysis.wait;
+    check_f "wal" 0. p.Obs.Trace_analysis.wal;
+    check_f "flight" 4. p.Obs.Trace_analysis.flight;
+    check_f "2pc" 12. p.Obs.Trace_analysis.tpc;
+    check_f "exec" 0. p.Obs.Trace_analysis.exec;
+    (* The phases partition the transaction's interval exactly. *)
+    check_f "phases sum to the total" t.Obs.Trace_analysis.total
+      (Obs.Trace_analysis.breakdown_total p);
+    let rendered = Obs.Trace_analysis.render r in
+    Alcotest.(check bool)
+      "render mentions the phase table" true (contains rendered "p99")
+  | l -> Alcotest.failf "expected one transaction, got %d" (List.length l)
+
 let suite =
   [
     Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
@@ -371,4 +567,10 @@ let suite =
     Alcotest.test_case "uninstrumented run deterministic" `Quick
       test_uninstrumented_run_is_deterministic;
     Alcotest.test_case "tpc metrics" `Quick test_tpc_metrics;
+    Alcotest.test_case "histogram merge: union of observations" `Quick
+      test_histogram_merge_unit;
+    to_alcotest prop_histogram_merge_is_union;
+    to_alcotest prop_merged_trace_roundtrip;
+    Alcotest.test_case "trace analysis: critical-path breakdown" `Quick
+      test_trace_analysis_breakdown;
   ]

@@ -412,6 +412,106 @@ let test_facade_across_domains () =
     && Activity.Set.is_empty
          (Activity.Set.inter (History.committed h1) (History.aborted h0)))
 
+(* --- cross-shard tracing --------------------------------------------- *)
+
+(* A traced multi-shard run: flow arrows pair up s-to-f by id, the
+   merged trace survives the importer, and the analyzer attributes
+   every committed transaction's full interval to named phases. *)
+let test_traced_run_round_trips_and_attributes () =
+  let g = rw_group ~seed:7 ~shards:2 () in
+  let tracer = Obs.Shard_trace.create ~shards:2 in
+  let config = { Sharded_driver.default_config with duration = 300; seed = 7 } in
+  let o = Sharded_driver.run ~config ~tracer g (Workload.banking ()) in
+  check_bool "made progress" true (o.Sharded_driver.committed > 0);
+  check_bool "multi-shard commits happened" true
+    (o.Sharded_driver.committed_multi > 0);
+  let evs = Obs.Shard_trace.events tracer in
+  let with_ph p = List.filter (fun e -> e.Obs.Trace.ph = p) evs in
+  let starts = with_ph Obs.Trace.S and finishes = with_ph Obs.Trace.F in
+  check_bool "messages flew" true (starts <> []);
+  let ids l = List.sort compare (List.filter_map (fun e -> e.Obs.Trace.id) l) in
+  check_bool "every flow start has a matching finish" true
+    (ids starts = ids finishes);
+  (* Requests arrive at shard timelines; votes flow back to pid 0. *)
+  check_bool "some flows land on shard timelines" true
+    (List.exists (fun e -> e.Obs.Trace.pid > 0) finishes);
+  check_bool "some flows land back on the coordinator" true
+    (List.exists (fun e -> e.Obs.Trace.pid = 0) finishes);
+  (* The merged export round-trips through the importer... *)
+  match Obs.Trace.parse (Obs.Shard_trace.export tracer) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    check_int "round-trip preserves every event" (List.length evs)
+      (List.length parsed);
+    (* ...and the analyzer accounts for each committed transaction. *)
+    let r = Obs.Trace_analysis.analyze parsed in
+    check_bool "recognized as cross-shard" true
+      r.Obs.Trace_analysis.cross_shard;
+    check_int "analyzer sees every commit" o.Sharded_driver.committed
+      r.Obs.Trace_analysis.committed;
+    List.iter
+      (fun t ->
+        let covered =
+          Obs.Trace_analysis.breakdown_total t.Obs.Trace_analysis.phases
+        in
+        check_bool "phases partition the txn interval" true
+          (Float.abs (covered -. t.Obs.Trace_analysis.total) <= 1e-6))
+      r.Obs.Trace_analysis.txns
+
+(* --- the open-loop driver -------------------------------------------- *)
+
+let open_cfg =
+  {
+    Sharded_driver.default_open_config with
+    rate = 0.3;
+    o_duration = 800;
+    window = 200;
+    o_seed = 9;
+  }
+
+let test_open_loop_deterministic () =
+  let run () =
+    let g = rw_group ~seed:2 ~shards:3 () in
+    Sharded_driver.run_open ~config:open_cfg g (Workload.banking ())
+  in
+  let a = run () and b = run () in
+  check_int "same arrivals" a.Sharded_driver.arrivals b.Sharded_driver.arrivals;
+  check_int "same commits" a.Sharded_driver.o_committed
+    b.Sharded_driver.o_committed;
+  check_int "same aborts" a.Sharded_driver.o_aborted b.Sharded_driver.o_aborted;
+  check_int "same number of windows"
+    (List.length a.Sharded_driver.windows)
+    (List.length b.Sharded_driver.windows);
+  let check_float = Alcotest.(check (float 1e-9)) in
+  List.iter2
+    (fun (wa : Sharded_driver.window) (wb : Sharded_driver.window) ->
+      check_int "window start" wa.Sharded_driver.w_start wb.Sharded_driver.w_start;
+      check_int "window arrivals" wa.Sharded_driver.w_arrivals
+        wb.Sharded_driver.w_arrivals;
+      check_int "window commits" wa.Sharded_driver.w_committed
+        wb.Sharded_driver.w_committed;
+      check_int "window aborts" wa.Sharded_driver.w_aborted
+        wb.Sharded_driver.w_aborted;
+      check_float "window p50" wa.Sharded_driver.w_p50 wb.Sharded_driver.w_p50;
+      check_float "window p99" wa.Sharded_driver.w_p99 wb.Sharded_driver.w_p99)
+    a.Sharded_driver.windows b.Sharded_driver.windows
+
+let test_open_loop_group_latency_is_shard_merge () =
+  let g = rw_group ~seed:4 ~shards:3 () in
+  let o = Sharded_driver.run_open ~config:open_cfg g (Workload.banking ()) in
+  check_bool "made progress" true (o.Sharded_driver.o_committed > 0);
+  let module H = Obs.Metrics.Histogram in
+  let merged = H.merge_all (Array.to_list o.Sharded_driver.shard_latency) in
+  let latency = o.Sharded_driver.latency in
+  check_int "group count = merged shard counts" (H.count merged)
+    (H.count latency);
+  Alcotest.(check (float 1e-9)) "group sum" (H.sum merged) (H.sum latency);
+  List.iter2
+    (fun (_, m) (_, l) -> check_int "bucket" m l)
+    (H.buckets merged) (H.buckets latency);
+  (* Every commit's latency landed in exactly one home shard. *)
+  check_int "commits all measured" o.Sharded_driver.o_committed (H.count latency)
+
 (* --- the merged-projection property --------------------------------- *)
 
 (* A sharded run's merged committed projection, replayed serially
@@ -483,5 +583,12 @@ let suite =
       test_facade_across_domains;
     Alcotest.test_case "harness: quick fault sweep has no divergence" `Slow
       test_harness_quick_sweep;
+    Alcotest.test_case "traced run: flows pair, importer round-trips, \
+                        analyzer attributes" `Quick
+      test_traced_run_round_trips_and_attributes;
+    Alcotest.test_case "open loop: same seed, same windowed series" `Quick
+      test_open_loop_deterministic;
+    Alcotest.test_case "open loop: group latency merges the shards" `Quick
+      test_open_loop_group_latency_is_shard_merge;
     to_alcotest prop_merged_projection_replays;
   ]
