@@ -523,6 +523,26 @@ let shard_metrics_fields sm =
         Obs.Metrics.Histogram.to_json (Obs.Shard_metrics.tpc_duration m) );
       ( "shard_fanout",
         Obs.Metrics.Histogram.to_json (Obs.Shard_metrics.fanout m) );
+      ( "group_commit",
+        Obs.Json.Obj
+          [
+            ( "batch_size",
+              Obs.Metrics.Histogram.to_json
+                (Obs.Shard_metrics.group_commit_batch m) );
+            ( "wal_appends",
+              Obs.Json.Num
+                (float_of_int (Obs.Shard_metrics.wal_append_count m)) );
+            ( "wal_syncs",
+              Obs.Json.Num (float_of_int (Obs.Shard_metrics.wal_sync_count m))
+            );
+            ( "syncs_per_commit",
+              Obs.Json.Num (Obs.Shard_metrics.syncs_per_commit m) );
+          ] );
+      ( "mailbox_depth_max",
+        Obs.Json.List
+          (List.init
+             (Obs.Shard_metrics.shard_count m)
+             (fun s -> Obs.Json.Num (Obs.Shard_metrics.mailbox_depth m s))) );
       ( "msim",
         Obs.Json.Obj
           [
@@ -609,8 +629,31 @@ let write_json path json =
   close_out oc;
   Fmt.pr "report written to %s@." path
 
-let shard_cmd shards clients duration seed protocol faults schedules quick
-    verbose metrics json trace open_loop rate sweep zipf hot hot_keys window =
+let mcore_outcome_to_json ?(extra = []) ~domains shards
+    (o : Mcore_driver.outcome) =
+  let num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    ([
+       ("shards", num shards);
+       ("domains", num domains);
+       ("committed", num o.Mcore_driver.committed);
+       ("committed_multi", num o.Mcore_driver.committed_multi);
+       ("aborted_deadlock", num o.Mcore_driver.aborted_deadlock);
+       ("aborted_starved", num o.Mcore_driver.aborted_starved);
+       ("aborted_refused", num o.Mcore_driver.aborted_refused);
+       ("aborted_lost", num o.Mcore_driver.aborted_lost);
+       ("gave_up", num o.Mcore_driver.gave_up);
+       ("waits", num o.Mcore_driver.waits);
+       ("restarts", num o.Mcore_driver.restarts);
+       ("rounds", num o.Mcore_driver.rounds);
+       ("elapsed_s", Obs.Json.Num o.Mcore_driver.elapsed);
+       ("throughput_txn_s", Obs.Json.Num o.Mcore_driver.throughput);
+     ]
+    @ extra)
+
+let shard_cmd shards domains clients duration seed protocol faults schedules
+    quick verbose metrics json trace open_loop rate sweep zipf hot hot_keys
+    window mcore jobs inflight sync_us =
   if faults then begin
     let seeds = List.init schedules (fun i -> seed + i) in
     let summary =
@@ -678,20 +721,23 @@ let shard_cmd shards clients duration seed protocol faults schedules quick
         let n = List.length w0.Workload.objects in
         Workload.banking ~accounts:n ~key_dist:(mk n) ()
     in
-    let mk_group ~with_metrics =
+    let mk_group ?group_commit ?sync_cost ~with_metrics () =
       let sm =
         if with_metrics then Some (Obs.Shard_metrics.create ~shards ())
         else None
       in
       let group =
         Shard_group.create ~policy:proto.Fault_harness.policy ?metrics:sm ~seed
-          ~shards ()
+          ~domains ?group_commit ?sync_cost ~shards ()
       in
       List.iter
         (fun id ->
           Shard_group.add_object group id proto.Fault_harness.make_object)
         w.Workload.objects;
       (group, sm)
+    in
+    let domains_field group =
+      ("domains", Obs.Json.Num (float_of_int (Shard_group.domain_count group)))
     in
     let write_trace st =
       match trace with
@@ -711,7 +757,37 @@ let shard_cmd shards clients duration seed protocol faults schedules quick
       | Some m when metrics -> Fmt.pr "@.%s@." (Obs.Shard_metrics.render m)
       | _ -> ()
     in
-    if open_loop then begin
+    if mcore then begin
+      (* The wall-clock batched runtime: group commit on, a simulated
+         device sync per shard, one domain per shard when --domains
+         says so.  Results are domain-count independent; only the
+         elapsed time changes. *)
+      let group, sm =
+        mk_group ~group_commit:true
+          ~sync_cost:(fun () -> Unix.sleepf (float_of_int sync_us *. 1e-6))
+          ~with_metrics:(metrics || Option.is_some json)
+          ()
+      in
+      let config = { Mcore_driver.default_config with jobs; inflight; seed } in
+      let o = Mcore_driver.run ~config ~now:Unix.gettimeofday group w in
+      Fmt.pr "%a@." Mcore_driver.pp o;
+      Fmt.pr "domains: %d over %d shards, sync cost %dus@."
+        (Shard_group.domain_count group)
+        shards sync_us;
+      report_metrics sm;
+      (match json with
+      | Some path ->
+        write_json path
+          (mcore_outcome_to_json
+             ~extra:(shard_metrics_fields sm)
+             ~domains:(Shard_group.domain_count group)
+             shards o)
+      | None -> ());
+      let rc = if Shard_group.in_doubt_count group = 0 then 0 else 1 in
+      Shard_group.shutdown group;
+      rc
+    end
+    else if open_loop then begin
       let cfg rate =
         {
           Sharded_driver.default_open_config with
@@ -727,8 +803,10 @@ let shard_cmd shards clients duration seed protocol faults schedules quick
         let curve =
           List.map
             (fun r ->
-              let group, _ = mk_group ~with_metrics:false in
-              (r, Sharded_driver.run_open ~config:(cfg r) group w))
+              let group, _ = mk_group ~with_metrics:false () in
+              let o = Sharded_driver.run_open ~config:(cfg r) group w in
+              Shard_group.shutdown group;
+              (r, o))
             sweep
         in
         Fmt.pr "open-loop rate sweep (%d ticks, window %d):@." duration window;
@@ -770,7 +848,7 @@ let shard_cmd shards clients duration seed protocol faults schedules quick
       end
       else begin
         let group, sm =
-          mk_group ~with_metrics:(metrics || Option.is_some json)
+          mk_group ~with_metrics:(metrics || Option.is_some json) ()
         in
         let tracer =
           Option.map (fun _ -> Obs.Shard_trace.create ~shards) trace
@@ -782,14 +860,18 @@ let shard_cmd shards clients duration seed protocol faults schedules quick
         (match json with
         | Some path ->
           write_json path
-            (open_outcome_to_json ~extra:(shard_metrics_fields sm) shards o)
+            (open_outcome_to_json
+               ~extra:(domains_field group :: shard_metrics_fields sm)
+               shards o)
         | None -> ());
-        if o.Sharded_driver.o_in_doubt = 0 then 0 else 1
+        let rc = if o.Sharded_driver.o_in_doubt = 0 then 0 else 1 in
+        Shard_group.shutdown group;
+        rc
       end
     end
     else begin
       let sm' = metrics || Option.is_some json in
-      let group, sm = mk_group ~with_metrics:sm' in
+      let group, sm = mk_group ~with_metrics:sm' () in
       let tracer =
         Option.map (fun _ -> Obs.Shard_trace.create ~shards) trace
       in
@@ -807,9 +889,13 @@ let shard_cmd shards clients duration seed protocol faults schedules quick
       (match json with
       | Some path ->
         write_json path
-          (shard_outcome_to_json ~extra:(shard_metrics_fields sm) shards o)
+          (shard_outcome_to_json
+             ~extra:(domains_field group :: shard_metrics_fields sm)
+             shards o)
       | None -> ());
-      if o.Sharded_driver.left_in_doubt = 0 then 0 else 1
+      let rc = if o.Sharded_driver.left_in_doubt = 0 then 0 else 1 in
+      Shard_group.shutdown group;
+      rc
     end
   end
 
@@ -1127,10 +1213,50 @@ let shard_term =
       & info [ "window" ] ~docv:"TICKS"
           ~doc:"Open-loop time-series window width.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for shard execution (capped at the shard \
+             count).  1 is the deterministic inline mode; results are \
+             identical at any value — only wall-clock time changes.")
+  in
+  let mcore =
+    Arg.(
+      value & flag
+      & info [ "mcore" ]
+          ~doc:
+            "Run the wall-clock batched multicore driver instead of the \
+             virtual-time simulation: group commit on, a simulated device \
+             sync per WAL batch ($(b,--sync-us)), $(b,--jobs) transactions \
+             through a $(b,--inflight)-deep window.  Combine with \
+             $(b,--domains) to overlap the syncs across shard domains.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 400
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Transactions to run to completion (with --mcore).")
+  in
+  let inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "inflight" ] ~docv:"N"
+          ~doc:"Open-transaction window depth (with --mcore).")
+  in
+  let sync_us =
+    Arg.(
+      value & opt int 1000
+      & info [ "sync-us" ] ~docv:"US"
+          ~doc:"Simulated WAL device sync latency in microseconds (with \
+                --mcore).")
+  in
   Term.(
-    const shard_cmd $ shards $ clients $ duration $ seed $ protocol $ faults
-    $ schedules $ quick $ verbose $ metrics $ json $ trace $ open_loop $ rate
-    $ sweep $ zipf $ hot $ hot_keys $ window)
+    const shard_cmd $ shards $ domains $ clients $ duration $ seed $ protocol
+    $ faults $ schedules $ quick $ verbose $ metrics $ json $ trace
+    $ open_loop $ rate $ sweep $ zipf $ hot $ hot_keys $ window $ mcore $ jobs
+    $ inflight $ sync_us)
 
 let lint_term =
   let protocol =

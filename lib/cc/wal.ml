@@ -3,18 +3,18 @@ open Weihl_event
 let magic = "weihl-wal 1"
 
 (* CRC-32 (IEEE 802.3), table-driven.  OCaml's 63-bit immediates hold
-   the 32-bit arithmetic comfortably. *)
+   the 32-bit arithmetic comfortably.  Built eagerly at module init:
+   a [lazy] here would be forced concurrently from shard domains. *)
 let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
 
 let crc32 s =
-  let table = Lazy.force crc_table in
+  let table = crc_table in
   let c = ref 0xFFFFFFFF in
   String.iter
     (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
@@ -212,3 +212,91 @@ let decode text =
       List.filter_map (function Event e -> Some e | Control _ -> None) records
     in
     Ok (History.of_list events, status)
+
+(* Append/sync decoupling for group commit.  [append] buffers a framed
+   record in volatile memory; [sync] moves everything buffered into the
+   durable image in one device operation.  The durable image after a
+   crash is exactly [synced_text] — appended-but-unsynced records are
+   gone, which is why a commit must not be acknowledged before the sync
+   that covers it returns. *)
+module Writer = struct
+  type t = {
+    m : Mutex.t;
+    durable : Buffer.t; (* header + synced records *)
+    mutable tail : record list; (* appended, unsynced (newest first) *)
+    mutable next_seq : int;
+    mutable synced_records : int;
+    mutable appends : int;
+    mutable syncs : int;
+    sync_cost : unit -> unit; (* paid inside every [sync] *)
+  }
+
+  let create ?label ?(sync_cost = Fun.id) () =
+    let durable = Buffer.create 256 in
+    Buffer.add_string durable (header_line label);
+    Buffer.add_char durable '\n';
+    {
+      m = Mutex.create ();
+      durable;
+      tail = [];
+      next_seq = 0;
+      synced_records = 0;
+      appends = 0;
+      syncs = 0;
+      sync_cost;
+    }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  let append t r =
+    locked t (fun () ->
+        t.tail <- r :: t.tail;
+        t.appends <- t.appends + 1)
+
+  let append_list t rs = List.iter (append t) rs
+
+  let sync t =
+    let batch =
+      locked t (fun () ->
+          let batch = List.rev t.tail in
+          List.iter
+            (fun r ->
+              let body = Printf.sprintf "%d %s" t.next_seq (record_text r) in
+              Buffer.add_string t.durable
+                (Printf.sprintf "%08x %s\n" (crc32 body) body);
+              t.next_seq <- t.next_seq + 1)
+            batch;
+          t.tail <- [];
+          let n = List.length batch in
+          t.synced_records <- t.synced_records + n;
+          t.syncs <- t.syncs + 1;
+          n)
+    in
+    (* The device latency is paid outside the lock: syncs on different
+       writers (one per shard) overlap in wall-clock time. *)
+    t.sync_cost ();
+    batch
+
+  let pending t = locked t (fun () -> List.length t.tail)
+  let synced_text t = locked t (fun () -> Buffer.contents t.durable)
+
+  let text t =
+    locked t (fun () ->
+        let buf = Buffer.create (Buffer.length t.durable + 64) in
+        Buffer.add_buffer buf t.durable;
+        let seq = ref t.next_seq in
+        List.iter
+          (fun r ->
+            let body = Printf.sprintf "%d %s" !seq (record_text r) in
+            Buffer.add_string buf
+              (Printf.sprintf "%08x %s\n" (crc32 body) body);
+            incr seq)
+          (List.rev t.tail);
+        Buffer.contents buf)
+
+  let synced_records t = locked t (fun () -> t.synced_records)
+  let appends t = locked t (fun () -> t.appends)
+  let syncs t = locked t (fun () -> t.syncs)
+end

@@ -118,7 +118,10 @@ module Shard_plan = Weihl_fault.Shard_plan
 module Shard_router = Weihl_shard.Router
 module Gtxn = Weihl_shard.Gtxn
 module Shard_group = Weihl_shard.Group
+module Shard_mailbox = Weihl_shard.Mailbox
+module Shard_exec = Weihl_shard.Exec
 module Sharded_driver = Weihl_shard.Sharded_driver
+module Mcore_driver = Weihl_shard.Mcore_driver
 module Shard_harness = Weihl_shard.Shard_harness
 
 module Lint_domain = Weihl_analysis.Domain

@@ -1,28 +1,45 @@
-module Counter = struct
-  type t = { mutable n : int }
+(* Instruments are domain-safe: counters are Atomic-backed and gauges,
+   histograms and the registry itself are guarded by per-instance
+   mutexes, so probes can tick from shard domains (lib/shard/exec.ml)
+   while the coordinator reads or renders.  The locks are leaves —
+   no instrument operation calls another locking operation while
+   holding its own lock — so there is no ordering to get wrong. *)
 
-  let create () = { n = 0 }
-  let incr t = t.n <- t.n + 1
-  let add t k = t.n <- t.n + k
-  let value t = t.n
+module Counter = struct
+  type t = { n : int Atomic.t }
+
+  let create () = { n = Atomic.make 0 }
+  let incr t = ignore (Atomic.fetch_and_add t.n 1)
+  let add t k = ignore (Atomic.fetch_and_add t.n k)
+  let value t = Atomic.get t.n
 end
 
 module Gauge = struct
-  type t = { mutable v : float; mutable max : float }
+  type t = { m : Mutex.t; mutable v : float; mutable max : float }
 
-  let create () = { v = 0.; max = 0. }
+  let create () = { m = Mutex.create (); v = 0.; max = 0. }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
   let set t x =
-    t.v <- x;
-    if x > t.max then t.max <- x
+    locked t (fun () ->
+        t.v <- x;
+        if x > t.max then t.max <- x)
 
-  let add t dx = set t (t.v +. dx)
-  let value t = t.v
-  let max_value t = t.max
+  let add t dx =
+    locked t (fun () ->
+        t.v <- t.v +. dx;
+        if t.v > t.max then t.max <- t.v)
+
+  let value t = locked t (fun () -> t.v)
+  let max_value t = locked t (fun () -> t.max)
 end
 
 module Histogram = struct
   type t = {
+    m : Mutex.t;
     bounds : float array; (* strictly increasing upper bounds *)
     counts : int array; (* length = Array.length bounds + 1 (overflow) *)
     mutable count : int;
@@ -41,6 +58,7 @@ module Histogram = struct
           invalid_arg "Histogram.create: bounds must be strictly increasing")
       buckets;
     {
+      m = Mutex.create ();
       bounds = Array.copy buckets;
       counts = Array.make (Array.length buckets + 1) 0;
       count = 0;
@@ -48,6 +66,10 @@ module Histogram = struct
       min = infinity;
       max = neg_infinity;
     }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
   (* Index of the first bound >= x, or the overflow slot. *)
   let bucket_index t x =
@@ -59,19 +81,25 @@ module Histogram = struct
     !lo
 
   let observe t x =
-    t.counts.(bucket_index t x) <- t.counts.(bucket_index t x) + 1;
-    t.count <- t.count + 1;
-    t.sum <- t.sum +. x;
-    if x < t.min then t.min <- x;
-    if x > t.max then t.max <- x
+    locked t (fun () ->
+        let i = bucket_index t x in
+        t.counts.(i) <- t.counts.(i) + 1;
+        t.count <- t.count + 1;
+        t.sum <- t.sum +. x;
+        if x < t.min then t.min <- x;
+        if x > t.max then t.max <- x)
 
-  let count t = t.count
-  let sum t = t.sum
-  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
-  let min_value t = if t.count = 0 then 0. else t.min
-  let max_value t = if t.count = 0 then 0. else t.max
+  let count t = locked t (fun () -> t.count)
+  let sum t = locked t (fun () -> t.sum)
 
-  let percentile t p =
+  let mean t =
+    locked t (fun () ->
+        if t.count = 0 then 0. else t.sum /. float_of_int t.count)
+
+  let min_value t = locked t (fun () -> if t.count = 0 then 0. else t.min)
+  let max_value t = locked t (fun () -> if t.count = 0 then 0. else t.max)
+
+  let unsafe_percentile t p =
     if t.count = 0 then 0.
     else begin
       let rank =
@@ -89,15 +117,34 @@ module Histogram = struct
       estimate |> Float.min t.max |> Float.max t.min
     end
 
-  let buckets t =
+  let percentile t p = locked t (fun () -> unsafe_percentile t p)
+
+  let unsafe_buckets t =
     List.init (Array.length t.counts) (fun i ->
         ( (if i < Array.length t.bounds then t.bounds.(i) else infinity),
           t.counts.(i) ))
+
+  let buckets t = locked t (fun () -> unsafe_buckets t)
+
+  (* A consistent copy taken under the source's lock; the copy shares no
+     mutable state with the source, so merge never holds two locks. *)
+  let snapshot t =
+    locked t (fun () ->
+        {
+          m = Mutex.create ();
+          bounds = t.bounds;
+          counts = Array.copy t.counts;
+          count = t.count;
+          sum = t.sum;
+          min = t.min;
+          max = t.max;
+        })
 
   (* Merging bucket counts loses nothing when the bounds agree, so a
      group-wide percentile over per-shard histograms is exactly the
      percentile of the union of observations. *)
   let merge a b =
+    let a = snapshot a and b = snapshot b in
     if
       Array.length a.bounds <> Array.length b.bounds
       || not (Array.for_all2 (fun x y -> x = y) a.bounds b.bounds)
@@ -115,21 +162,28 @@ module Histogram = struct
     | h :: rest -> List.fold_left merge h rest
 
   let pp ppf t =
+    let t = snapshot t in
     Fmt.pf ppf "count %d mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f"
-      t.count (mean t) (percentile t 50.) (percentile t 95.)
-      (percentile t 99.) (max_value t)
+      t.count
+      (if t.count = 0 then 0. else t.sum /. float_of_int t.count)
+      (unsafe_percentile t 50.) (unsafe_percentile t 95.)
+      (unsafe_percentile t 99.)
+      (if t.count = 0 then 0. else t.max)
 
   let to_json t =
+    let t = snapshot t in
     Json.Obj
       [
-        ("count", Json.Num (float_of_int (count t)));
-        ("sum", Json.Num (sum t));
-        ("mean", Json.Num (mean t));
-        ("min", Json.Num (min_value t));
-        ("max", Json.Num (max_value t));
-        ("p50", Json.Num (percentile t 50.));
-        ("p95", Json.Num (percentile t 95.));
-        ("p99", Json.Num (percentile t 99.));
+        ("count", Json.Num (float_of_int t.count));
+        ("sum", Json.Num t.sum);
+        ( "mean",
+          Json.Num (if t.count = 0 then 0. else t.sum /. float_of_int t.count)
+        );
+        ("min", Json.Num (if t.count = 0 then 0. else t.min));
+        ("max", Json.Num (if t.count = 0 then 0. else t.max));
+        ("p50", Json.Num (unsafe_percentile t 50.));
+        ("p95", Json.Num (unsafe_percentile t 95.));
+        ("p99", Json.Num (unsafe_percentile t 99.));
         ( "buckets",
           Json.List
             (List.filter_map
@@ -145,7 +199,7 @@ module Histogram = struct
                             else Json.Str "inf" );
                           ("count", Json.Num (float_of_int c));
                         ]))
-               (buckets t)) );
+               (unsafe_buckets t)) );
       ]
 end
 
@@ -156,20 +210,27 @@ module Registry = struct
     | I_histogram of Histogram.t
 
   type t = {
+    m : Mutex.t;
     by_name : (string, instrument) Hashtbl.t;
     mutable order : string list; (* newest first *)
   }
 
-  let create () = { by_name = Hashtbl.create 32; order = [] }
+  let create () =
+    { m = Mutex.create (); by_name = Hashtbl.create 32; order = [] }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
   let find_or_add t name make =
-    match Hashtbl.find_opt t.by_name name with
-    | Some i -> i
-    | None ->
-      let i = make () in
-      Hashtbl.replace t.by_name name i;
-      t.order <- name :: t.order;
-      i
+    locked t (fun () ->
+        match Hashtbl.find_opt t.by_name name with
+        | Some i -> i
+        | None ->
+          let i = make () in
+          Hashtbl.replace t.by_name name i;
+          t.order <- name :: t.order;
+          i)
 
   let counter t name =
     match find_or_add t name (fun () -> I_counter (Counter.create ())) with
@@ -189,9 +250,10 @@ module Registry = struct
     | _ -> invalid_arg (name ^ " is registered as a different instrument")
 
   let instruments t =
-    List.rev_map
-      (fun name -> (name, Hashtbl.find t.by_name name))
-      t.order
+    locked t (fun () ->
+        List.rev_map
+          (fun name -> (name, Hashtbl.find t.by_name name))
+          t.order)
 
   let render_text t =
     let buf = Buffer.create 256 in

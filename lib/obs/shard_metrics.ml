@@ -7,6 +7,7 @@ type shard = {
   prepared : M.Counter.t;
   conflicts : M.Counter.t;
   in_doubt : M.Gauge.t;
+  mailbox_depth : M.Gauge.t;
 }
 
 type t = {
@@ -18,9 +19,18 @@ type t = {
   tpc_messages : M.Counter.t;
   tpc_duration : M.Histogram.t;
   fanout : M.Histogram.t;
+  wal_appends : M.Counter.t;
+  wal_syncs : M.Counter.t;
+  group_commit_batch : M.Histogram.t;
 }
 
 let fanout_buckets = Array.init 16 (fun i -> float_of_int (i + 1))
+
+(* Batch sizes: 1..16 then powers of two up to 1024. *)
+let batch_buckets =
+  Array.of_list
+    (List.init 16 (fun i -> float_of_int (i + 1))
+    @ [ 32.; 64.; 128.; 256.; 512.; 1024. ])
 
 let create ?registry ~shards () =
   if shards <= 0 then invalid_arg "Shard_metrics.create: shards must be positive";
@@ -36,6 +46,8 @@ let create ?registry ~shards () =
       prepared = c "prepared";
       conflicts = c "conflicts";
       in_doubt = M.Registry.gauge registry (Fmt.str "shard%d.in_doubt" i);
+      mailbox_depth =
+        M.Registry.gauge registry (Fmt.str "shard%d.mailbox_depth" i);
     }
   in
   {
@@ -48,6 +60,11 @@ let create ?registry ~shards () =
     tpc_duration = M.Registry.histogram registry "tpc.duration";
     fanout =
       M.Registry.histogram ~buckets:fanout_buckets registry "txn.shard_fanout";
+    wal_appends = M.Registry.counter registry "wal.appends";
+    wal_syncs = M.Registry.counter registry "wal.syncs";
+    group_commit_batch =
+      M.Registry.histogram ~buckets:batch_buckets registry
+        "group_commit.batch_size";
   }
 
 let registry t = t.registry
@@ -65,12 +82,35 @@ let prepare_at t i = M.Counter.incr (shard t i).prepared
 let conflict_at t i = M.Counter.incr (shard t i).conflicts
 let set_in_doubt t i n = M.Gauge.set (shard t i).in_doubt (float_of_int n)
 
+let set_mailbox_depth t i n =
+  M.Gauge.set (shard t i).mailbox_depth (float_of_int n)
+
 let tpc_round t ~committed ~messages ~duration ~fanout =
   M.Counter.incr t.tpc_rounds;
   M.Counter.incr (if committed then t.tpc_commits else t.tpc_aborts);
   M.Counter.add t.tpc_messages messages;
   M.Histogram.observe t.tpc_duration (float_of_int duration);
   M.Histogram.observe t.fanout (float_of_int fanout)
+
+(* One WAL device sync covering [records] appended records (group
+   commit: batch size = records amortized by a single sync). *)
+let wal_sync t ~records =
+  M.Counter.add t.wal_appends records;
+  M.Counter.incr t.wal_syncs;
+  if records > 0 then
+    M.Histogram.observe t.group_commit_batch (float_of_int records)
+
+let syncs_per_commit t =
+  let commits =
+    Array.fold_left
+      (fun acc s ->
+        acc
+        + M.Counter.value s.committed_local
+        + M.Counter.value s.committed_tpc)
+      0 t.shards
+  in
+  if commits = 0 then 0.
+  else float_of_int (M.Counter.value t.wal_syncs) /. float_of_int commits
 
 let render t =
   let buf = Buffer.create 512 in
@@ -96,7 +136,19 @@ let render t =
   Buffer.add_string buf
     (Fmt.str "tpc.duration: %a\ntxn.shard_fanout: %a\n" M.Histogram.pp
        t.tpc_duration M.Histogram.pp t.fanout);
+  if M.Counter.value t.wal_syncs > 0 then
+    Buffer.add_string buf
+      (Fmt.str
+         "wal: %d append(s), %d sync(s) (%.2f sync(s)/commit)\n\
+          group_commit.batch_size: %a\n"
+         (M.Counter.value t.wal_appends)
+         (M.Counter.value t.wal_syncs)
+         (syncs_per_commit t) M.Histogram.pp t.group_commit_batch);
   Buffer.contents buf
 
 let tpc_duration t = t.tpc_duration
 let fanout t = t.fanout
+let group_commit_batch t = t.group_commit_batch
+let wal_sync_count t = M.Counter.value t.wal_syncs
+let wal_append_count t = M.Counter.value t.wal_appends
+let mailbox_depth t i = M.Gauge.max_value (shard t i).mailbox_depth

@@ -16,6 +16,9 @@ type shard = {
   prepared : Metrics.Counter.t;  (** yes-votes (prepare records) *)
   conflicts : Metrics.Counter.t;  (** operations that blocked *)
   in_doubt : Metrics.Gauge.t;  (** currently prepared, undecided *)
+  mailbox_depth : Metrics.Gauge.t;
+      (** queued requests in the shard's mailbox (multicore runtime);
+          [max] is the high-water mark *)
 }
 
 type t
@@ -36,6 +39,7 @@ val abort_at : t -> int -> unit
 val prepare_at : t -> int -> unit
 val conflict_at : t -> int -> unit
 val set_in_doubt : t -> int -> int -> unit
+val set_mailbox_depth : t -> int -> int -> unit
 
 val tpc_round :
   t -> committed:bool -> messages:int -> duration:int -> fanout:int -> unit
@@ -48,7 +52,27 @@ val tpc_duration : t -> Metrics.Histogram.t
 val fanout : t -> Metrics.Histogram.t
 (** Shard fan-out of transactions that ran a 2PC round. *)
 
+val wal_sync : t -> records:int -> unit
+(** Record one WAL device sync that made [records] previously-appended
+    records durable at once (group commit: [records] is the batch
+    size).  Ticks [wal.appends] by [records], [wal.syncs] by one, and
+    observes [records] in the [group_commit.batch_size] histogram. *)
+
+val syncs_per_commit : t -> float
+(** [wal.syncs / total commits] across all shards — group commit is
+    paying off when this is below 1.  [0.] before any commit. *)
+
+val group_commit_batch : t -> Metrics.Histogram.t
+(** Records made durable per WAL sync ([group_commit.batch_size]). *)
+
+val wal_sync_count : t -> int
+val wal_append_count : t -> int
+
+val mailbox_depth : t -> int -> float
+(** High-water mark of shard [i]'s mailbox depth. *)
+
 val render : t -> string
-(** A per-shard table, a 2PC summary line, and full one-line histogram
+(** A per-shard table, a 2PC summary line, full one-line histogram
     summaries (count, mean, percentiles, max) for [tpc.duration] and
-    [txn.shard_fanout]. *)
+    [txn.shard_fanout], and — once any sync happened — a WAL/group
+    commit summary. *)

@@ -1,6 +1,24 @@
 module Cc = Weihl_cc
 module Shard = Weihl_shard
 
+(* Lock audit (multicore): [mutex] guards the facade's own state —
+   [victims], [completed], and the group's coordinator-side metadata
+   (gtxn tables, controls, journal).  It does NOT guard shard
+   execution: with [domains > 1] the System calls inside
+   [Shard.Group.invoke]/[commit] run on the shard's worker domain
+   while the facade caller holds the mutex and blocks on the reply.
+   That is safe — the mutex still serializes coordinator entry, so at
+   most one facade call is in flight and each shard system stays
+   domain-confined — but it means the blocking facade cannot overlap
+   shard work across callers.  Parallel throughput comes from the
+   batch APIs ([Group.invoke_batch]/[commit_batch] via
+   [Mcore_driver]), not from this facade.
+
+   [victims] and [completed] are only ever touched with [mutex] held:
+   [resolve_deadlock] and the victim checks run inside [invoke]'s
+   locked section, [Condition.wait] reacquires the mutex before the
+   waiter re-reads [victims], and commit/abort broadcast while locked.
+   No shard domain ever touches either. *)
 type t = {
   group : Shard.Group.t;
   mutex : Mutex.t;
@@ -13,13 +31,19 @@ type t = {
 exception Refused of string
 exception Deadlock_victim
 
-let create ?policy ?metrics ?seed ~shards () =
+let create ?policy ?metrics ?seed ?domains ?group_commit ?sync_cost ~shards ()
+    =
   {
-    group = Shard.Group.create ?policy ?metrics ?seed ~shards ();
+    group =
+      Shard.Group.create ?policy ?metrics ?seed ?domains ?group_commit
+        ?sync_cost ~shards ();
     mutex = Mutex.create ();
     completed = Condition.create ();
     victims = Hashtbl.create 8;
   }
+
+let group t = t.group
+let shutdown t = Shard.Group.shutdown t.group
 
 let locked t f =
   Mutex.lock t.mutex;

@@ -30,10 +30,28 @@ val create :
   ?policy:Weihl_cc.System.ts_policy ->
   ?metrics:Weihl_obs.Shard_metrics.t ->
   ?seed:int ->
+  ?domains:int ->
+  ?group_commit:bool ->
+  ?sync_cost:(unit -> unit) ->
   shards:int ->
   unit ->
   t
-(** [metrics] must have been created for the same shard count. *)
+(** [metrics] must have been created for the same shard count.
+    [domains] / [group_commit] / [sync_cost] pass through to
+    {!Weihl_shard.Group.create}.  Note that the facade mutex
+    serializes callers, so [domains > 1] does not overlap shard work
+    across facade calls — it exists so one [t] can share a group with
+    the batch APIs (see {!group}).  Call {!shutdown} when done with a
+    multi-domain facade. *)
+
+val group : t -> Weihl_shard.Group.t
+(** The underlying shard group — for the batch APIs
+    ({!Weihl_shard.Group.invoke_batch} / [commit_batch]) and
+    observability.  Callers using it concurrently with facade threads
+    must do their own locking; the facade mutex is private. *)
+
+val shutdown : t -> unit
+(** Join the group's worker domains (no-op at [domains = 1]). *)
 
 val shard_count : t -> int
 

@@ -1,0 +1,118 @@
+(* The shard execution layer: where shard work actually runs.
+
+   [Inline] is the pre-multicore semantics — a submitted job runs
+   immediately on the caller's domain, in submission order.  It is the
+   default ([domains = 1]) and is byte-for-byte today's sequential
+   behavior, which is what keeps virtual-time benches, fault schedules
+   and trace tests seed-stable.
+
+   [Pool] gives each shard a home worker domain (shard s is owned by
+   worker [s mod domains]) fed by a bounded mailbox.  The coordinator
+   posts jobs and joins on replies; a shard's jobs execute in
+   submission order on its owner domain, so each non-thread-safe
+   [Cc.System.t] is only ever touched by one domain at a time (domain
+   confinement), and per-shard execution order — hence results — stays
+   deterministic at any domain count.  Only wall-clock timing varies. *)
+
+type job = unit -> unit
+
+type worker = {
+  mailbox : job Mailbox.t;
+  mutable domain : unit Domain.t option;
+}
+
+type t =
+  | Inline
+  | Pool of { workers : worker array; owner : int array (* shard -> worker *) }
+
+type 'a cell = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable state : ('a, exn) result option;
+}
+
+type 'a promise = Now of ('a, exn) result | Later of 'a cell
+
+let worker_loop w () =
+  let rec loop () =
+    match Mailbox.pop w.mailbox with
+    | None -> ()
+    | Some job ->
+      job ();
+      loop ()
+  in
+  loop ()
+
+let create ?(domains = 1) ~shards () =
+  if shards <= 0 then invalid_arg "Exec.create: shards must be positive";
+  if domains <= 1 then Inline
+  else begin
+    let n = min domains shards in
+    let workers =
+      Array.init n (fun _ -> { mailbox = Mailbox.create (); domain = None })
+    in
+    Array.iter
+      (fun w -> w.domain <- Some (Domain.spawn (worker_loop w)))
+      workers;
+    Pool { workers; owner = Array.init shards (fun s -> s mod n) }
+  end
+
+let domain_count = function
+  | Inline -> 1
+  | Pool { workers; _ } -> Array.length workers
+
+let submit t ~shard f =
+  match t with
+  | Inline -> Now (try Ok (f ()) with e -> Error e)
+  | Pool { workers; owner } ->
+    if shard < 0 || shard >= Array.length owner then
+      invalid_arg "Exec.submit: shard out of range";
+    let cell = { m = Mutex.create (); c = Condition.create (); state = None } in
+    let job () =
+      let r = try Ok (f ()) with e -> Error e in
+      Mutex.lock cell.m;
+      cell.state <- Some r;
+      Condition.broadcast cell.c;
+      Mutex.unlock cell.m
+    in
+    Mailbox.push workers.(owner.(shard)).mailbox job;
+    Later cell
+
+let await = function
+  | Now (Ok v) -> v
+  | Now (Error e) -> raise e
+  | Later cell -> (
+    Mutex.lock cell.m;
+    while cell.state = None do
+      Condition.wait cell.c cell.m
+    done;
+    let r = Option.get cell.state in
+    Mutex.unlock cell.m;
+    match r with Ok v -> v | Error e -> raise e)
+
+let call t ~shard f = await (submit t ~shard f)
+
+let mailbox_depth t ~shard =
+  match t with
+  | Inline -> 0
+  | Pool { workers; owner } -> Mailbox.depth workers.(owner.(shard)).mailbox
+
+let mailbox_max_depth t ~shard =
+  match t with
+  | Inline -> 0
+  | Pool { workers; owner } ->
+    Mailbox.max_depth workers.(owner.(shard)).mailbox
+
+let shutdown t =
+  match t with
+  | Inline -> ()
+  | Pool { workers; _ } ->
+    Array.iter (fun w -> Mailbox.close w.mailbox) workers;
+    Array.iter
+      (fun w ->
+        match w.domain with
+        | None -> ()
+        | Some d ->
+          w.domain <- None;
+          Domain.join d)
+      workers

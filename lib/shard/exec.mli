@@ -1,0 +1,46 @@
+(** Shard execution: inline (sequential, deterministic) or one worker
+    domain per shard behind bounded mailboxes.
+
+    Every touch of a shard's non-thread-safe [Cc.System.t] goes through
+    {!call}/{!submit} for that shard, so the system is only ever
+    accessed from its owner domain (domain confinement).  A shard's
+    jobs run in submission order in both modes, so results are
+    deterministic at any domain count — only wall-clock timing varies.
+
+    [domains = 1] ({!create}'s default) short-circuits to direct calls
+    on the caller's domain: exactly the pre-multicore sequential
+    runtime, with no queues, no domains, and no overhead beyond a
+    constructor match. *)
+
+type t
+
+type 'a promise
+
+val create : ?domains:int -> shards:int -> unit -> t
+(** [domains <= 1]: inline mode.  Otherwise spawns
+    [min domains shards] worker domains; shard [s] is owned by worker
+    [s mod domains].  @raise Invalid_argument if [shards <= 0]. *)
+
+val domain_count : t -> int
+(** Worker domains executing shard work (1 in inline mode). *)
+
+val submit : t -> shard:int -> (unit -> 'a) -> 'a promise
+(** Post a job to [shard]'s owner.  Inline mode runs it before
+    returning; pool mode enqueues it on the shard's mailbox (blocking
+    while the mailbox is full). *)
+
+val await : 'a promise -> 'a
+(** Join on a job's reply; re-raises the job's exception. *)
+
+val call : t -> shard:int -> (unit -> 'a) -> 'a
+(** [await (submit t ~shard f)] — a synchronous shard call. *)
+
+val mailbox_depth : t -> shard:int -> int
+(** Jobs queued on [shard]'s mailbox right now (0 in inline mode). *)
+
+val mailbox_max_depth : t -> shard:int -> int
+(** High-water mark of the shard's mailbox depth (0 in inline mode). *)
+
+val shutdown : t -> unit
+(** Close the mailboxes, drain remaining jobs and join every worker
+    domain.  Idempotent; a no-op in inline mode. *)

@@ -37,9 +37,19 @@ type t = {
   seed : int;
   mutable rounds : int;
   crashed : bool array;
+  exec : Exec.t;
+      (* where shard work runs: inline (domains = 1, the deterministic
+         sequential semantics) or one worker domain per shard *)
+  group_commit : bool;
+      (* strict durability accounting: the durable image is the synced
+         prefix, not everything appended *)
+  sync_cost : unit -> unit; (* device sync latency, paid per WAL sync *)
+  synced_events : int array; (* per shard: event-log prefix synced *)
+  synced_ctrls : int array; (* per shard: control records synced *)
 }
 
-let create ?(policy = `None_) ?metrics ?(seed = 0) ~shards () =
+let create ?(policy = `None_) ?metrics ?(seed = 0) ?(domains = 1)
+    ?(group_commit = false) ?(sync_cost = ignore) ~shards () =
   if shards <= 0 then invalid_arg "Group.create: shards must be positive";
   (match metrics with
   | Some m when Weihl_obs.Shard_metrics.shard_count m <> shards ->
@@ -62,8 +72,26 @@ let create ?(policy = `None_) ?metrics ?(seed = 0) ~shards () =
     seed;
     rounds = 0;
     crashed = Array.make shards false;
+    exec = Exec.create ~domains ~shards ();
+    group_commit;
+    sync_cost;
+    synced_events = Array.make shards 0;
+    synced_ctrls = Array.make shards 0;
   }
 
+(* Every touch of a shard's (non-thread-safe) [Cc.System.t] goes
+   through here, so the system only ever runs on its owner domain.  At
+   [domains = 1] this is a direct call — the pre-multicore sequential
+   code path.  The coordinator may still *read* shard state directly
+   (clocks, log lengths, prepared lists): a shard is quiescent between
+   the coordinator's joins, and the join's mutex gives the
+   happens-before edge. *)
+let on_shard t s f = Exec.call t.exec ~shard:s f
+
+let shutdown t = Exec.shutdown t.exec
+let domain_count t = Exec.domain_count t.exec
+let mailbox_depth t s = Exec.mailbox_depth t.exec ~shard:s
+let mailbox_max_depth t s = Exec.mailbox_max_depth t.exec ~shard:s
 let policy t = t.policy
 let shard_count t = Array.length t.shards
 let shard_of t x = Router.shard_of ~shards:(Array.length t.shards) x
@@ -130,7 +158,8 @@ let add_object t x make =
   if Hashtbl.mem t.constructors (Object_id.name x) then
     invalid_arg (Fmt.str "Group.add_object: duplicate object %a" Object_id.pp x);
   Hashtbl.replace t.constructors (Object_id.name x) (x, s, make);
-  Cc.System.add_object t.shards.(s) (make (Cc.System.log t.shards.(s)) x)
+  on_shard t s (fun () ->
+      Cc.System.add_object t.shards.(s) (make (Cc.System.log t.shards.(s)) x))
 
 let objects t =
   Hashtbl.fold (fun _ (x, s, _) acc -> (x, s) :: acc) t.constructors []
@@ -170,7 +199,8 @@ let leg_for t g s =
   | Some txn -> txn
   | None ->
     let txn =
-      Cc.System.begin_txn ?ts:(Gtxn.init_ts g) t.shards.(s) (Gtxn.activity g)
+      on_shard t s (fun () ->
+          Cc.System.begin_txn ?ts:(Gtxn.init_ts g) t.shards.(s) (Gtxn.activity g))
     in
     Gtxn.set_leg g s txn;
     Hashtbl.replace t.local_index.(s) (Cc.Txn.id txn) g;
@@ -187,7 +217,7 @@ let invoke t g x op =
   if t.crashed.(s) then Refused "shard down"
   else
     let txn = leg_for t g s in
-    match Cc.System.invoke t.shards.(s) txn x op with
+    match on_shard t s (fun () -> Cc.System.invoke t.shards.(s) txn x op) with
     | Cc.Atomic_object.Granted v ->
       journal_append t g (x, op, v);
       Granted v
@@ -206,7 +236,7 @@ let abort ?reason t g =
   List.iter
     (fun (s, txn) ->
       if (not t.crashed.(s)) && Cc.Txn.is_active txn then begin
-        Cc.System.abort ?reason t.shards.(s) txn;
+        on_shard t s (fun () -> Cc.System.abort ?reason t.shards.(s) txn);
         metrics_count Weihl_obs.Shard_metrics.abort_at t s
       end;
       drop_leg t s txn)
@@ -265,9 +295,11 @@ let commit_fast t g s txn =
     Cc.Lamport_clock.observe t.clock (Cc.Lamport_clock.now (Cc.System.clock sys));
     let cts = Cc.Lamport_clock.next t.clock in
     Gtxn.set_commit_ts g cts;
-    Cc.System.prepare sys txn;
-    Cc.System.commit_prepared ~commit_ts:cts sys txn
-  | `None_ | `Static | `Hybrid -> Cc.System.commit sys txn);
+    on_shard t s (fun () ->
+        Cc.System.prepare sys txn;
+        Cc.System.commit_prepared ~commit_ts:cts sys txn)
+  | `None_ | `Static | `Hybrid ->
+    on_shard t s (fun () -> Cc.System.commit sys txn));
   metrics_count Weihl_obs.Shard_metrics.local_commit t s;
   Gtxn.set_status g Gtxn.Committed;
   record_commit t g;
@@ -364,7 +396,8 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
           prepare =
             (fun () ->
               if List.mem i votes_no then begin
-                Cc.System.abort ~reason:"vote no" t.shards.(s) txn;
+                on_shard t s (fun () ->
+                    Cc.System.abort ~reason:"vote no" t.shards.(s) txn);
                 metrics_count Weihl_obs.Shard_metrics.abort_at t s;
                 drop_leg t s txn;
                 Tpc.No
@@ -372,7 +405,7 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
               else begin
                 (* Vote durable before it leaves the site: the WAL's
                    Prepared record is the point of no return. *)
-                Cc.System.prepare t.shards.(s) txn;
+                on_shard t s (fun () -> Cc.System.prepare t.shards.(s) txn);
                 append_control t s
                   (Cc.Wal.Prepared { gid; activity = Gtxn.activity g });
                 wal_mark s "prepared";
@@ -386,13 +419,15 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
               append_control t s
                 (Cc.Wal.Decided { gid; verdict = `Commit (Some cts) });
               wal_mark s "decided.commit";
-              Cc.System.commit_prepared ~commit_ts:cts t.shards.(s) txn;
+              on_shard t s (fun () ->
+                  Cc.System.commit_prepared ~commit_ts:cts t.shards.(s) txn);
               metrics_count Weihl_obs.Shard_metrics.tpc_commit_at t s;
               drop_leg t s txn
             | `Abort ->
               append_control t s (Cc.Wal.Decided { gid; verdict = `Abort });
               wal_mark s "decided.abort";
-              Cc.System.abort_prepared t.shards.(s) txn;
+              on_shard t s (fun () ->
+                  Cc.System.abort_prepared t.shards.(s) txn);
               metrics_count Weihl_obs.Shard_metrics.abort_at t s;
               drop_leg t s txn);
         })
@@ -433,7 +468,8 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
         (* Voted no or learned abort (handled in the callbacks) — or
            never engaged (presumed abort), leaving the leg active. *)
         if Cc.Txn.is_active txn then begin
-          Cc.System.abort ~reason:"presumed abort" t.shards.(s) txn;
+          on_shard t s (fun () ->
+              Cc.System.abort ~reason:"presumed abort" t.shards.(s) txn);
           metrics_count Weihl_obs.Shard_metrics.abort_at t s;
           drop_leg t s txn
         end
@@ -449,7 +485,8 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
       List.iter
         (fun (s, txn) ->
           if (not t.crashed.(s)) && Cc.Txn.is_active txn then begin
-            Cc.System.abort ~reason:"presumed abort" t.shards.(s) txn;
+            on_shard t s (fun () ->
+                Cc.System.abort ~reason:"presumed abort" t.shards.(s) txn);
             drop_leg t s txn
           end)
         legs
@@ -561,13 +598,15 @@ let resolve_gtxn t g verdict =
           let cts = Timestamp.v ts in
           append_control t s
             (Cc.Wal.Decided { gid = Gtxn.gid g; verdict = `Commit (Some cts) });
-          Cc.System.commit_prepared ~commit_ts:cts t.shards.(s) txn;
+          on_shard t s (fun () ->
+              Cc.System.commit_prepared ~commit_ts:cts t.shards.(s) txn);
           metrics_count Weihl_obs.Shard_metrics.tpc_commit_at t s;
           drop_leg t s txn
         | `Abort ->
           append_control t s
             (Cc.Wal.Decided { gid = Gtxn.gid g; verdict = `Abort });
-          Cc.System.abort_prepared ~reason:"late decision" t.shards.(s) txn;
+          on_shard t s (fun () ->
+              Cc.System.abort_prepared ~reason:"late decision" t.shards.(s) txn);
           metrics_count Weihl_obs.Shard_metrics.abort_at t s;
           drop_leg t s txn
       end)
@@ -647,10 +686,25 @@ let in_doubt_count t = List.length (in_doubt t)
 
 let shard_label s = Fmt.str "shard-%d" s
 
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
 let durable_shard t s =
   let sys = t.shards.(s) in
-  let evs = History.to_list (Cc.System.history sys) in
+  let evs = on_shard t s (fun () -> History.to_list (Cc.System.history sys)) in
   let ctrls = List.rev t.controls.(s) in
+  (* Under group commit the durable image is the synced prefix: records
+     appended since the last sync are still in the volatile buffer and
+     a crash loses them.  The marks are taken at sync time, so "first
+     n events + first m controls" is exactly a prefix of the merged
+     record stream.  Without group commit every append is durable
+     (the classic synchronous-WAL model). *)
+  let evs, ctrls =
+    if t.group_commit then
+      (take t.synced_events.(s) evs, take t.synced_ctrls.(s) ctrls)
+    else (evs, ctrls)
+  in
   let rec merge idx evs ctrls acc =
     match (evs, ctrls) with
     | _, (p, c) :: ctl when p <= idx -> merge idx evs ctl (Cc.Wal.Control c :: acc)
@@ -724,6 +778,10 @@ let recover_shard ?resolve t s text =
         if Gtxn.status g = Gtxn.Active then Gtxn.set_status g Gtxn.In_doubt;
         Hashtbl.replace t.local_index.(s) (Cc.Txn.id txn) g)
       report.Cc.Recovery.in_doubt;
+    (* Recovery rewrites the WAL (replayed log + re-created Prepared
+       markers) durably before the shard returns to service. *)
+    t.synced_events.(s) <- Cc.Event_log.length (Cc.System.log sys);
+    t.synced_ctrls.(s) <- List.length t.controls.(s);
     t.crashed.(s) <- false;
     (* Transactions that were only waiting on this shard may now be
        fully resolved. *)
@@ -761,7 +819,7 @@ let find_deadlock t =
               if not (Hashtbl.mem edges gid) then nodes := gw :: !nodes;
               let prev = Option.value ~default:[] (Hashtbl.find_opt edges gid) in
               Hashtbl.replace edges gid (targets @ prev))
-          (Cc.System.waits_snapshot sys))
+          (on_shard t s (fun () -> Cc.System.waits_snapshot sys)))
     t.shards;
   (* DFS with an explicit path; a back-edge into the path is a cycle. *)
   let color = Hashtbl.create 16 in
@@ -838,3 +896,369 @@ let agreed_commit_ts t gid =
   | Some `Abort | None -> None
 
 let tpc_rounds t = t.rounds
+
+(* ------------------------------------------------------------------ *)
+(* Batched execution and group commit *)
+
+(* One WAL device sync per involved shard, all in flight at once: each
+   sync's latency is paid on its shard's own domain, so the syncs
+   overlap in wall-clock time.  [records] is the number of transactions
+   whose records the shard's sync covers — the group commit batch size.
+   Marks advance to the current end of the shard's record stream:
+   everything appended so far becomes durable in one device operation. *)
+let sync_shards t involved =
+  let promises =
+    List.map (fun (s, _) -> Exec.submit t.exec ~shard:s t.sync_cost) involved
+  in
+  List.iter Exec.await promises;
+  List.iter
+    (fun (s, records) ->
+      t.synced_events.(s) <-
+        Cc.Event_log.length (Cc.System.log t.shards.(s));
+      t.synced_ctrls.(s) <- List.length t.controls.(s);
+      (match t.metrics with
+      | None -> ()
+      | Some m -> Weihl_obs.Shard_metrics.wal_sync m ~records);
+      match t.tracer with
+      | None -> ()
+      | Some st ->
+        St.span (St.shard st s) ~name:"wal.sync" ~cat:"wal" ~ts:(St.now st)
+          ~dur:0. ~tid:0
+          ~args:[ ("batch", St.num records) ])
+    involved
+
+(* Execute one operation per entry, batched: entries are grouped by
+   home shard, one job per shard runs its sub-list in entry order, and
+   the coordinator joins on all replies before folding them back into
+   group state.  Per-shard execution order is deterministic (entry
+   order), so results are identical at any domain count — only
+   wall-clock timing varies. *)
+let invoke_batch t entries =
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  let results = Array.make n (Refused "unprocessed") in
+  let shards_n = Array.length t.shards in
+  let per_shard = Array.make shards_n [] in
+  Array.iteri
+    (fun i (g, x, _op) ->
+      require_active g;
+      let s = shard_of t x in
+      if t.crashed.(s) then results.(i) <- Refused "shard down"
+      else per_shard.(s) <- i :: per_shard.(s))
+    entries;
+  let jobs =
+    List.filter_map
+      (fun s ->
+        match List.rev per_shard.(s) with [] -> None | idxs -> Some (s, idxs))
+      (List.init shards_n Fun.id)
+  in
+  (* One job per shard.  Leg lookups happen coordinator-side; the job
+     creates missing legs (first contact) and returns them with the raw
+     shard results. *)
+  let promises =
+    List.map
+      (fun (s, idxs) ->
+        let sys = t.shards.(s) in
+        let prep =
+          List.map
+            (fun i ->
+              let g, x, op = entries.(i) in
+              (i, Gtxn.gid g, Gtxn.leg g s, Gtxn.init_ts g, Gtxn.activity g, x, op))
+            idxs
+        in
+        ( s,
+          Exec.submit t.exec ~shard:s (fun () ->
+              let fresh = Hashtbl.create 8 in
+              List.map
+                (fun (i, gid, leg, init_ts, activity, x, op) ->
+                  let txn =
+                    match leg with
+                    | Some txn -> txn
+                    | None -> (
+                      match Hashtbl.find_opt fresh gid with
+                      | Some txn -> txn
+                      | None ->
+                        let txn = Cc.System.begin_txn ?ts:init_ts sys activity in
+                        Hashtbl.replace fresh gid txn;
+                        txn)
+                  in
+                  (i, txn, Cc.System.invoke sys txn x op))
+                prep) ))
+      jobs
+  in
+  (* Sample the mailbox depth gauges while the jobs are in flight. *)
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    List.iter
+      (fun (s, _) ->
+        Weihl_obs.Shard_metrics.set_mailbox_depth m s (mailbox_depth t s))
+      jobs);
+  List.iter
+    (fun (s, p) ->
+      List.iter
+        (fun (i, txn, raw) ->
+          let g, x, op = entries.(i) in
+          (match Gtxn.leg g s with
+          | Some _ -> ()
+          | None ->
+            Gtxn.set_leg g s txn;
+            Hashtbl.replace t.local_index.(s) (Cc.Txn.id txn) g);
+          match raw with
+          | Cc.Atomic_object.Granted v ->
+            journal_append t g (x, op, v);
+            results.(i) <- Granted v
+          | Cc.Atomic_object.Wait blockers ->
+            metrics_count Weihl_obs.Shard_metrics.conflict_at t s;
+            results.(i) <-
+              Wait
+                (List.filter_map
+                   (fun b -> Hashtbl.find_opt t.local_index.(s) (Cc.Txn.id b))
+                   blockers)
+          | Cc.Atomic_object.Refused why -> results.(i) <- Refused why)
+        (Exec.await p))
+    promises;
+  Array.to_list results
+
+(* Commit a batch of transactions with group commit and a batched,
+   synchronous 2PC:
+
+   - leg-free transactions commit trivially;
+   - single-shard commits execute in one job per shard, then ONE sync
+     per shard covers the whole batch's commit records;
+   - multi-shard transactions prepare in the same per-shard jobs (vote
+     markers appended), the wave-1 sync makes every vote durable before
+     the coordinator decides, and a second per-shard job wave applies
+     the decisions under Decided records followed by the wave-2 sync.
+
+   Nothing is acknowledged — no status flips to Committed, nothing
+   enters the committed projection — until the sync covering its
+   records has returned.  [crash_before_sync] injects the classic
+   group-commit fault: the listed shards die after appending their
+   wave-1 records but before syncing them, so those records are lost
+   and the transactions they belonged to are never acknowledged. *)
+let commit_batch ?(crash_before_sync = []) t gs =
+  List.iter require_active gs;
+  let shards_n = Array.length t.shards in
+  let crash_set s = List.mem s crash_before_sync in
+  let trivial, singles, multis =
+    List.fold_left
+      (fun (tr, si, mu) g ->
+        match Gtxn.legs g with
+        | [] -> (g :: tr, si, mu)
+        | [ (s, txn) ] -> (tr, (g, s, txn) :: si, mu)
+        | legs -> (tr, si, (g, legs) :: mu))
+      ([], [], []) gs
+  in
+  let trivial = List.rev trivial
+  and singles = List.rev singles
+  and multis = List.rev multis in
+  (* Leg-free transactions have nothing to make durable. *)
+  List.iter
+    (fun g ->
+      Gtxn.set_status g Gtxn.Committed;
+      record_commit t g;
+      Hashtbl.remove t.gtxns (Gtxn.gid g))
+    trivial;
+  (* Hybrid single-shard updates draw their commit timestamp from the
+     group clock coordinator-side — the fast path's discipline — and
+     the shard job runs prepare + commit_prepared at that timestamp. *)
+  let singles =
+    List.map
+      (fun ((g, s, _txn) as item) ->
+        let mode =
+          match t.policy with
+          | `Hybrid when not (Gtxn.is_read_only g) ->
+            Cc.Lamport_clock.observe t.clock
+              (Cc.Lamport_clock.now (Cc.System.clock t.shards.(s)));
+            let cts = Cc.Lamport_clock.next t.clock in
+            Gtxn.set_commit_ts g cts;
+            `Commit_prepared cts
+          | `None_ | `Static | `Hybrid -> `Commit
+        in
+        (item, mode))
+      singles
+  in
+  (* Phase 1, one job per shard: single-shard commits execute and every
+     multi-shard leg prepares, appending records to the volatile log
+     tail in batch order. *)
+  let phase1 = Array.make shards_n [] in
+  let batch1 = Array.make shards_n 0 in
+  List.iter
+    (fun ((_g, s, txn), mode) ->
+      let sys = t.shards.(s) in
+      let thunk =
+        match mode with
+        | `Commit -> fun () -> Cc.System.commit sys txn
+        | `Commit_prepared cts ->
+          fun () ->
+            Cc.System.prepare sys txn;
+            Cc.System.commit_prepared ~commit_ts:cts sys txn
+      in
+      phase1.(s) <- thunk :: phase1.(s);
+      batch1.(s) <- batch1.(s) + 1)
+    singles;
+  List.iter
+    (fun (_g, legs) ->
+      List.iter
+        (fun (s, txn) ->
+          let sys = t.shards.(s) in
+          phase1.(s) <- (fun () -> Cc.System.prepare sys txn) :: phase1.(s);
+          batch1.(s) <- batch1.(s) + 1)
+        legs)
+    multis;
+  let run_phase work =
+    let jobs =
+      List.filter_map
+        (fun s ->
+          match List.rev work.(s) with
+          | [] -> None
+          | thunks ->
+            Some
+              (Exec.submit t.exec ~shard:s (fun () ->
+                   List.iter (fun f -> f ()) thunks)))
+        (List.init shards_n Fun.id)
+    in
+    List.iter Exec.await jobs
+  in
+  run_phase phase1;
+  (* Durable vote markers for every prepared leg. *)
+  List.iter
+    (fun (g, legs) ->
+      List.iter
+        (fun (s, _txn) ->
+          append_control t s
+            (Cc.Wal.Prepared { gid = Gtxn.gid g; activity = Gtxn.activity g });
+          metrics_count Weihl_obs.Shard_metrics.prepare_at t s)
+        legs)
+    multis;
+  (* Group commit, wave 1: one sync per involved shard covers every
+     commit record and vote appended above.  A fault-injected shard
+     dies here instead — after append, before sync — losing its
+     unsynced tail. *)
+  let involved1 =
+    List.filter_map
+      (fun s ->
+        if batch1.(s) > 0 && not (crash_set s) then Some (s, batch1.(s))
+        else None)
+      (List.init shards_n Fun.id)
+  in
+  sync_shards t involved1;
+  let crashed_now =
+    List.filter
+      (fun s -> batch1.(s) > 0 && crash_set s)
+      (List.init shards_n Fun.id)
+  in
+  List.iter (fun s -> t.crashed.(s) <- true) crashed_now;
+  (* Acknowledge single-shard commits — only now that the covering sync
+     returned.  A commit whose shard died before the sync was never
+     durable: it is not acknowledged, full stop. *)
+  List.iter
+    (fun ((g, s, txn), _mode) ->
+      if t.crashed.(s) then begin
+        Gtxn.set_status g Gtxn.Aborted;
+        Hashtbl.remove t.journal (Gtxn.gid g)
+      end
+      else begin
+        metrics_count Weihl_obs.Shard_metrics.local_commit t s;
+        Gtxn.set_status g Gtxn.Committed;
+        record_commit t g
+      end;
+      drop_leg t s txn;
+      Hashtbl.remove t.gtxns (Gtxn.gid g))
+    singles;
+  (* Decide the multis: a leg whose shard died before its vote was
+     durable means abort (the coordinator never got a durable yes);
+     otherwise commit at a timestamp past every participant's clock,
+     drawn through the group clock. *)
+  let decided =
+    List.map
+      (fun (g, legs) ->
+        let gid = Gtxn.gid g in
+        let doomed = List.exists (fun (s, _) -> t.crashed.(s)) legs in
+        let verdict =
+          if doomed then `Abort
+          else begin
+            List.iter
+              (fun (s, _) ->
+                Cc.Lamport_clock.observe t.clock
+                  (Cc.Lamport_clock.now (Cc.System.clock t.shards.(s))))
+              legs;
+            `Commit (Timestamp.to_int (Cc.Lamport_clock.next t.clock))
+          end
+        in
+        Hashtbl.replace t.decisions gid verdict;
+        (match verdict with
+        | `Commit ts ->
+          Gtxn.set_commit_ts g (Timestamp.v ts);
+          Gtxn.set_status g Gtxn.Committed;
+          record_commit t g
+        | `Abort ->
+          Gtxn.set_status g Gtxn.Aborted;
+          Hashtbl.remove t.journal gid);
+        (g, legs, verdict))
+      multis
+  in
+  (* Phase 2, one job per shard: apply the decisions under durable
+     Decided records, then the wave-2 sync. *)
+  let phase2 = Array.make shards_n [] in
+  let batch2 = Array.make shards_n 0 in
+  List.iter
+    (fun (g, legs, verdict) ->
+      let gid = Gtxn.gid g in
+      List.iter
+        (fun (s, txn) ->
+          if not t.crashed.(s) then begin
+            let sys = t.shards.(s) in
+            (match verdict with
+            | `Commit ts ->
+              let cts = Timestamp.v ts in
+              append_control t s
+                (Cc.Wal.Decided { gid; verdict = `Commit (Some cts) });
+              phase2.(s) <-
+                (fun () -> Cc.System.commit_prepared ~commit_ts:cts sys txn)
+                :: phase2.(s);
+              metrics_count Weihl_obs.Shard_metrics.tpc_commit_at t s
+            | `Abort ->
+              append_control t s (Cc.Wal.Decided { gid; verdict = `Abort });
+              phase2.(s) <-
+                (fun () ->
+                  Cc.System.abort_prepared ~reason:"batch abort" sys txn)
+                :: phase2.(s);
+              metrics_count Weihl_obs.Shard_metrics.abort_at t s);
+            batch2.(s) <- batch2.(s) + 1
+          end)
+        legs)
+    decided;
+  run_phase phase2;
+  let involved2 =
+    List.filter_map
+      (fun s -> if batch2.(s) > 0 then Some (s, batch2.(s)) else None)
+      (List.init shards_n Fun.id)
+  in
+  sync_shards t involved2;
+  List.iter
+    (fun (g, legs, _verdict) ->
+      List.iter
+        (fun (s, txn) -> if not t.crashed.(s) then drop_leg t s txn)
+        legs;
+      (match t.metrics with
+      | None -> ()
+      | Some m ->
+        Weihl_obs.Metrics.Histogram.observe
+          (Weihl_obs.Shard_metrics.fanout m)
+          (float_of_int (List.length legs)));
+      maybe_prune t g)
+    decided;
+  (* A shard that died in this batch takes every other active
+     transaction with a leg there down with it. *)
+  List.iter (fun s -> sweep_crashed t s) crashed_now;
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    Array.iteri
+      (fun s sys ->
+        if not t.crashed.(s) then
+          Weihl_obs.Shard_metrics.set_in_doubt m s
+            (List.length (Cc.System.prepared_txns sys)))
+      t.shards

@@ -51,13 +51,47 @@ val create :
   ?policy:Cc.System.ts_policy ->
   ?metrics:Weihl_obs.Shard_metrics.t ->
   ?seed:int ->
+  ?domains:int ->
+  ?group_commit:bool ->
+  ?sync_cost:(unit -> unit) ->
   shards:int ->
   unit ->
   t
 (** A group of [shards] systems under one timestamp policy.  [seed]
     derives each 2PC round's message-simulation seed.
+
+    [domains] (default 1) picks the execution mode: 1 runs every shard
+    call inline on the caller's domain — the deterministic sequential
+    semantics — while [domains > 1] spawns [min domains shards] worker
+    domains, each owning its shards' systems behind a bounded mailbox
+    ({!Exec}).  Per-shard execution order is identical in both modes,
+    so results do not depend on the domain count — only wall-clock
+    timing does.  Call {!shutdown} when done with a multi-domain group.
+
+    [group_commit] (default false) switches the WAL durability model
+    from everything-appended-is-durable to the synced-prefix model
+    used by {!commit_batch}: {!durable_shard} then returns only
+    records covered by a sync, and a crash loses the unsynced tail.
+    [sync_cost] is the simulated device sync latency, paid once per
+    per-shard sync on that shard's domain (so syncs overlap across
+    domains).
+
     @raise Invalid_argument if [shards <= 0] or the metrics were built
     for a different shard count. *)
+
+val shutdown : t -> unit
+(** Join the worker domains (no-op at [domains = 1]).  Required before
+    process exit for a multi-domain group — idle workers block on their
+    mailboxes and the runtime waits for every domain. *)
+
+val domain_count : t -> int
+(** Worker domains executing shard work (1 in inline mode). *)
+
+val mailbox_depth : t -> int -> int
+(** Requests queued on the shard's mailbox right now (0 inline). *)
+
+val mailbox_max_depth : t -> int -> int
+(** High-water mark of the shard's mailbox depth (0 inline). *)
 
 val policy : t -> Cc.System.ts_policy
 val shard_count : t -> int
@@ -123,6 +157,40 @@ val commit : ?fault:Tpc.fault -> ?votes_no:int list -> t -> Gtxn.t -> commit_out
 val abort : ?reason:string -> t -> Gtxn.t -> unit
 (** Abort every active leg (legs on crashed shards are already gone).
     @raise Invalid_argument if the transaction is not active. *)
+
+(** {1 Batched execution and group commit}
+
+    The multicore hot path.  The coordinator groups work by home
+    shard, posts one job per shard to its mailbox, and joins on all
+    replies — shards execute their sub-lists in parallel on their own
+    domains.  Per-shard order is the batch order, so the outcome is
+    deterministic at any domain count. *)
+
+val invoke_batch :
+  t -> (Gtxn.t * Object_id.t * Operation.t) list -> invoke_result list
+(** Execute one operation per entry, batched per home shard; results
+    come back in entry order.  Equivalent to calling {!invoke} on each
+    entry in order, except that different shards' entries run
+    concurrently.  @raise Invalid_argument as {!invoke}. *)
+
+val commit_batch : ?crash_before_sync:int list -> t -> Gtxn.t list -> unit
+(** Commit a batch with group commit and batched synchronous 2PC:
+    single-shard commits and multi-shard prepares execute in one job
+    wave (one WAL sync per shard covers the whole batch — the
+    [group_commit.batch_size] histogram observes it), the coordinator
+    decides every multi-shard transaction after the vote sync, and a
+    second wave applies decisions under [Decided] records and a final
+    sync.  No transaction is acknowledged (status [Committed], entry
+    in the committed projection) before the sync covering its records
+    has returned.
+
+    [crash_before_sync] injects the group-commit fault: the listed
+    shards die after appending their wave-1 records but before the
+    sync, losing the unsynced tail — their single-shard commits are
+    never acknowledged, and multi-shard transactions with a leg there
+    abort (no durable yes-vote).  Outcomes are read back via
+    {!Gtxn.status}.  @raise Invalid_argument if a transaction is not
+    active. *)
 
 (** {1 In-doubt resolution} *)
 

@@ -1,0 +1,59 @@
+type 'a t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  q : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable max_depth : int;
+}
+
+exception Closed
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  {
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    q = Queue.create ();
+    capacity;
+    closed = false;
+    max_depth = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let push t x =
+  locked t (fun () ->
+      while (not t.closed) && Queue.length t.q >= t.capacity do
+        Condition.wait t.nonfull t.m
+      done;
+      if t.closed then raise Closed;
+      Queue.push x t.q;
+      let d = Queue.length t.q in
+      if d > t.max_depth then t.max_depth <- d;
+      Condition.signal t.nonempty)
+
+let pop t =
+  locked t (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.nonempty t.m
+      done;
+      if Queue.is_empty t.q then None
+      else begin
+        let x = Queue.pop t.q in
+        Condition.signal t.nonfull;
+        Some x
+      end)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty;
+      Condition.broadcast t.nonfull)
+
+let depth t = locked t (fun () -> Queue.length t.q)
+let max_depth t = locked t (fun () -> t.max_depth)

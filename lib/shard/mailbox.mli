@@ -1,0 +1,29 @@
+(** A bounded multi-producer/multi-consumer queue (Mutex/Condition),
+    the per-shard request channel of the multicore runtime.
+
+    {!push} blocks while the mailbox is at capacity (back-pressure on
+    the coordinator), {!pop} blocks while it is empty.  {!close} wakes
+    every waiter: blocked pushes raise {!Closed}, and pops drain what
+    remains then return [None] — the worker's signal to exit. *)
+
+type 'a t
+
+exception Closed
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 1024.  @raise Invalid_argument if [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue, blocking while full.  @raise Closed if closed. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue, blocking while empty; [None] once closed and drained. *)
+
+val close : 'a t -> unit
+(** Idempotent; wakes all blocked producers and consumers. *)
+
+val depth : 'a t -> int
+(** Requests currently queued. *)
+
+val max_depth : 'a t -> int
+(** High-water mark of {!depth} since creation. *)

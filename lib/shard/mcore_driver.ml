@@ -1,0 +1,276 @@
+(* The multicore saturation driver: rounds of batched work against a
+   shard group, built entirely from [Group.invoke_batch] and
+   [Group.commit_batch].
+
+   Unlike [Sharded_driver] — which schedules clients on a virtual
+   clock and measures simulated time — this driver measures wall
+   clock.  Each round it gathers one pending operation from every
+   in-flight transaction, executes them as a single [invoke_batch]
+   (one mailbox job per shard), resolves any cross-shard deadlocks,
+   then commits every finished transaction as one [commit_batch] (one
+   WAL sync per shard per wave).  The saturation comes from the
+   in-flight window: with more open transactions than shards, every
+   round keeps every shard domain busy and every sync covers a batch.
+
+   Determinism: jobs are drawn from the workload generator in refill
+   order and iterated in start order, so the per-shard batch order —
+   and therefore every grant/wait/commit decision — is a function of
+   the seed alone.  Running the same config at different domain counts
+   produces the identical outcome record; only [elapsed] differs.
+   This is the property the multicore tests pin down.
+
+   The driver does not own the group: callers create it (choosing
+   domains / group_commit / sync_cost) and must [Group.shutdown] it.
+   Wall-clock timing comes from the [now] parameter (this library does
+   not link unix); pass [Unix.gettimeofday] for real measurements. *)
+
+open Weihl_event
+module Rng = Weihl_sim.Rng
+module Workload = Weihl_sim.Workload
+
+type config = {
+  jobs : int;  (** transactions to run to completion *)
+  inflight : int;  (** open-transaction window *)
+  commit_every : int;
+      (** rounds between commit waves: > 1 trades commit latency for
+          wider waves (more transactions per WAL sync) *)
+  max_restarts : int;
+  max_waits : int;
+      (** blocked rounds before a transaction aborts as starved *)
+  seed : int;
+}
+
+let default_config =
+  {
+    jobs = 400;
+    inflight = 32;
+    commit_every = 1;
+    max_restarts = 8;
+    max_waits = 64;
+    seed = 42;
+  }
+
+type outcome = {
+  committed : int;
+  committed_multi : int;
+  aborted_deadlock : int;
+  aborted_starved : int;
+  aborted_refused : int;
+  aborted_lost : int;
+  gave_up : int;
+  waits : int;
+  restarts : int;
+  rounds : int;
+  elapsed : float;
+  throughput : float;
+}
+
+type job_state = Running | Ready | Finished
+
+type job = {
+  script : Workload.script;
+  mutable steps : Workload.step list;  (* remaining program *)
+  mutable txn : Gtxn.t;
+  mutable state : job_state;
+  mutable restarts_left : int;
+  mutable waits_left : int;
+}
+
+let run ?(config = default_config) ?(now = fun () -> 0.) group workload =
+  if config.jobs < 0 then invalid_arg "Mcore_driver.run: jobs must be >= 0";
+  if config.inflight <= 0 then
+    invalid_arg "Mcore_driver.run: inflight must be positive";
+  if config.commit_every <= 0 then
+    invalid_arg "Mcore_driver.run: commit_every must be positive";
+  let rng = Rng.create config.seed in
+  let committed = ref 0
+  and committed_multi = ref 0
+  and deadlocks = ref 0
+  and starved = ref 0
+  and refused = ref 0
+  and lost = ref 0
+  and gave_up = ref 0
+  and waits = ref 0
+  and restarts = ref 0
+  and rounds = ref 0
+  and started = ref 0
+  and finished = ref 0 in
+  let names = ref 0 in
+  let fresh_activity = function
+    | `Update ->
+      incr names;
+      Activity.update (Fmt.str "m%d" !names)
+    | `Read_only ->
+      incr names;
+      Activity.read_only (Fmt.str "q%d" !names)
+  in
+  (* gid -> job, so a deadlock victim maps back to its driver state *)
+  let by_gid : (int, job) Hashtbl.t = Hashtbl.create 64 in
+  let new_job () =
+    let script = workload.Workload.generate rng in
+    let txn = Group.begin_txn group (fresh_activity script.Workload.kind) in
+    let j =
+      {
+        script;
+        steps = script.Workload.steps;
+        txn;
+        state = Running;
+        restarts_left = config.max_restarts;
+        waits_left = config.max_waits;
+      }
+    in
+    Hashtbl.replace by_gid (Gtxn.gid txn) j;
+    j
+  in
+  let finish j = j.state <- Finished; incr finished in
+  (* the aborted transaction is already gone; rerun the same script
+     under a fresh gtxn, or give the job up when the budget is spent *)
+  let restart j =
+    Hashtbl.remove by_gid (Gtxn.gid j.txn);
+    if j.restarts_left > 0 then begin
+      j.restarts_left <- j.restarts_left - 1;
+      incr restarts;
+      j.steps <- j.script.Workload.steps;
+      j.waits_left <- config.max_waits;
+      j.txn <- Group.begin_txn group (fresh_activity j.script.Workload.kind);
+      j.state <- Running;
+      Hashtbl.replace by_gid (Gtxn.gid j.txn) j
+    end
+    else begin
+      incr gave_up;
+      finish j
+    end
+  in
+  let t0 = now () in
+  let live = ref [] in
+  while !finished < config.jobs do
+    incr rounds;
+    (* refill the window, in generator order *)
+    let room = ref (config.inflight - List.length !live) in
+    let fresh = ref [] in
+    while !room > 0 && !started < config.jobs do
+      decr room;
+      incr started;
+      fresh := new_job () :: !fresh
+    done;
+    live := !live @ List.rev !fresh;
+    (* one pending operation per running job, batched across shards *)
+    let entries =
+      List.filter_map
+        (fun j ->
+          if j.state <> Running then None
+          else
+            match j.steps with
+            | st :: _ -> Some (j, st)
+            | [] ->
+              j.state <- Ready;
+              None)
+        !live
+    in
+    let results =
+      Group.invoke_batch group
+        (List.map (fun (j, st) -> (j.txn, st.Workload.obj, st.Workload.op)) entries)
+    in
+    let blocked = ref false in
+    List.iter2
+      (fun (j, st) r ->
+        match r with
+        | Group.Granted v ->
+          j.steps <- List.tl j.steps;
+          let stop =
+            match st.Workload.continue_if with
+            | Some keep -> not (keep v)
+            | None -> false
+          in
+          if stop || j.steps = [] then j.state <- Ready
+        | Group.Wait _ ->
+          blocked := true;
+          incr waits;
+          j.waits_left <- j.waits_left - 1;
+          if j.waits_left <= 0 then begin
+            incr starved;
+            Group.abort ~reason:"starved" group j.txn;
+            restart j
+          end
+        | Group.Refused _ ->
+          incr refused;
+          if Gtxn.is_active j.txn then Group.abort ~reason:"refused" group j.txn;
+          restart j)
+      entries results;
+    (* cross-shard cycles can only involve waiters, and every waiter
+       just surfaced in this round's results *)
+    if !blocked then begin
+      let rec break () =
+        match Group.find_deadlock group with
+        | None -> ()
+        | Some cycle ->
+          let v = Group.victim cycle in
+          incr deadlocks;
+          Group.abort ~reason:"deadlock" group v;
+          (match Hashtbl.find_opt by_gid (Gtxn.gid v) with
+          | Some j -> restart j
+          | None -> ());
+          break ()
+      in
+      break ()
+    end;
+    (* commit every finished program as one batch — one sync per shard
+       covers all of them.  [commit_every > 1] lets finished programs
+       pile up for a few rounds so each wave spans more shards; a
+       round where nothing could run flushes immediately (everything
+       left may be blocked behind the held locks). *)
+    let ready = List.filter (fun j -> j.state = Ready) !live in
+    let flush = !rounds mod config.commit_every = 0 || entries = [] in
+    if ready <> [] && flush then begin
+      let fanouts = List.map (fun j -> (j, Gtxn.fanout j.txn)) ready in
+      Group.commit_batch group (List.map (fun j -> j.txn) ready);
+      List.iter
+        (fun (j, fanout) ->
+          match Gtxn.status j.txn with
+          | Gtxn.Committed ->
+            incr committed;
+            if fanout >= 2 then incr committed_multi;
+            Hashtbl.remove by_gid (Gtxn.gid j.txn);
+            finish j
+          | Gtxn.Aborted ->
+            (* group-commit fault: appended but never synced, so never
+               acknowledged *)
+            incr lost;
+            restart j
+          | Gtxn.Active | Gtxn.In_doubt ->
+            (* batched 2PC always reaches a decision; only an injected
+               fault could leave doubt, and then the job is spent *)
+            incr lost;
+            finish j)
+        fanouts
+    end;
+    live := List.filter (fun j -> j.state <> Finished) !live
+  done;
+  let elapsed = now () -. t0 in
+  {
+    committed = !committed;
+    committed_multi = !committed_multi;
+    aborted_deadlock = !deadlocks;
+    aborted_starved = !starved;
+    aborted_refused = !refused;
+    aborted_lost = !lost;
+    gave_up = !gave_up;
+    waits = !waits;
+    restarts = !restarts;
+    rounds = !rounds;
+    elapsed;
+    throughput = (if elapsed > 0. then float_of_int !committed /. elapsed else 0.);
+  }
+
+let pp ppf o =
+  Fmt.pf ppf
+    "@[<v>committed        %d (multi %d)@,\
+     aborted          deadlock %d  starved %d  refused %d  lost %d@,\
+     gave up          %d@,\
+     waits/restarts   %d/%d@,\
+     rounds           %d@,\
+     elapsed          %.3fs@,\
+     throughput       %.0f txn/s@]"
+    o.committed o.committed_multi o.aborted_deadlock o.aborted_starved
+    o.aborted_refused o.aborted_lost o.gave_up o.waits o.restarts o.rounds
+    o.elapsed o.throughput

@@ -1,0 +1,71 @@
+(** Wall-clock saturation driver for the multicore runtime.
+
+    Where {!Sharded_driver} schedules clients on a virtual clock, this
+    driver runs {e rounds} of batched work and measures real time: an
+    in-flight window of transactions drawn from a {!Weihl_sim.Workload}
+    advances one operation per round via {!Group.invoke_batch} (one
+    mailbox job per shard, executed in parallel on the shard domains),
+    cross-shard deadlocks are broken between rounds, and every
+    transaction whose program completed commits in the round's single
+    {!Group.commit_batch} — so one WAL sync per shard covers the whole
+    commit wave.
+
+    The committed history is a function of the config seed alone:
+    batch order is start order, and per-shard execution order equals
+    batch order at any domain count, so running the same config with
+    [~domains:1] and [~domains:8] yields identical outcomes — only
+    [elapsed] (and hence [throughput]) changes.  That determinism is
+    what lets the scaling curve claim "same work, less wall clock". *)
+
+type config = {
+  jobs : int;  (** transactions to run to completion *)
+  inflight : int;  (** open-transaction window (saturation depth) *)
+  commit_every : int;
+      (** rounds between commit waves: [1] commits finished programs
+          immediately; [> 1] lets them pile up so each wave spans more
+          shards (wider syncs, more overlap), at the cost of holding
+          their locks a little longer *)
+  max_restarts : int;  (** per-job abort/retry budget *)
+  max_waits : int;
+      (** blocked rounds before a transaction aborts as starved *)
+  seed : int;
+}
+
+val default_config : config
+(** 400 jobs, window 32, commit every round, 8 restarts, 64 waits,
+    seed 42. *)
+
+type outcome = {
+  committed : int;
+  committed_multi : int;  (** committed with fanout >= 2 (2PC path) *)
+  aborted_deadlock : int;
+  aborted_starved : int;
+  aborted_refused : int;
+  aborted_lost : int;
+      (** lost to an injected crash-before-sync — appended but never
+          acknowledged *)
+  gave_up : int;  (** jobs that exhausted their restart budget *)
+  waits : int;
+  restarts : int;
+  rounds : int;
+  elapsed : float;  (** wall-clock seconds, as measured by [now] *)
+  throughput : float;  (** committed / elapsed (0 when untimed) *)
+}
+
+val run :
+  ?config:config ->
+  ?now:(unit -> float) ->
+  Group.t ->
+  Weihl_sim.Workload.t ->
+  outcome
+(** Drive [workload] against the group until [config.jobs] transactions
+    have finished (committed or given up).  The caller owns the group:
+    create it with the desired [domains] / [group_commit] / [sync_cost]
+    and {!Group.shutdown} it afterwards; the workload's objects must
+    already be registered ({!Group.add_object}).
+
+    [now] supplies wall-clock seconds — pass [Unix.gettimeofday] for
+    real measurements (this library does not link unix; the default
+    clock always reads 0, leaving [elapsed] and [throughput] at 0). *)
+
+val pp : Format.formatter -> outcome -> unit

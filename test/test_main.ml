@@ -40,5 +40,6 @@ let () =
       ("fault injection", Test_fault.suite);
       ("lint certifier", Test_lint.suite);
       ("sharded runtime", Test_shard.suite);
+      ("multicore shards", Test_mcore.suite);
       ("properties (qcheck)", Test_props.suite);
     ]
