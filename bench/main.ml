@@ -1372,6 +1372,113 @@ let multicore_section ~quick =
       ("curve", J.List curve);
     ]
 
+(* Restart replay work with and without fuzzy checkpoints, at the same
+   log.  One checkpointing group (archiving its truncated WAL prefixes
+   so the full log survives) takes seeded traffic; one shard then
+   crashes, and recovery runs twice into fresh systems: once
+   checkpoint-aware (replays the checkpoint plus the log tail) and once
+   against the reconstructed full log.  Replayed-record counts are
+   deterministic, seeded quantities, so the improvement ratio
+   full/tail is gated with an absolute floor like the multicore
+   speedup; the wall-clock durations ride along as advisory. *)
+let recovery_improvement_floor = 2.0
+
+let recovery_section ~quick =
+  let duration = if quick then 600 else 1500 in
+  let shards = 3 in
+  let every = 40 in
+  let proto =
+    match Fault_harness.find_protocol "escrow" with
+    | Some p -> p
+    | None -> Fmt.failwith "escrow protocol missing from the fault catalog"
+  in
+  let w = proto.Fault_harness.workload () in
+  let group =
+    Shard_group.create ~policy:proto.Fault_harness.policy ~seed:9 ~shards
+      ~checkpoint:{ Shard_group.default_checkpoint with every; archive = true }
+      ()
+  in
+  List.iter
+    (fun id -> Shard_group.add_object group id proto.Fault_harness.make_object)
+    w.Workload.objects;
+  let config = { Sharded_driver.default_config with clients = 4; duration; seed = 9 } in
+  ignore (Sharded_driver.run ~config group w);
+  let victim = 1 in
+  let segments = Shard_group.archived_segments group victim in
+  let files = Shard_group.checkpoint_files group victim in
+  let text = Shard_group.crash_shard group victim in
+  let records_of t =
+    match Wal.decode_records t with
+    | Ok (rs, _) -> rs
+    | Error e -> Fmt.failwith "recovery bench: WAL decode: %a" Wal.pp_error e
+  in
+  let full = List.concat_map records_of segments @ records_of text in
+  let full_text = Wal.encode_records ~label:(Fmt.str "shard-%d" victim) full in
+  let fresh () =
+    let sys = System.create ~policy:proto.Fault_harness.policy () in
+    List.iter
+      (fun id ->
+        System.add_object sys
+          (proto.Fault_harness.make_object (System.log sys) id))
+      w.Workload.objects;
+    sys
+  in
+  let order =
+    match proto.Fault_harness.policy with
+    | `None_ -> Recovery.Commit_order
+    | _ -> Recovery.Timestamp_order
+  in
+  let ckpt_report, ckpt_wall =
+    wall_ms (fun () ->
+        match
+          Recovery.restore_checkpointed ~checkpoints:files order (fresh ())
+            text
+        with
+        | Ok r -> r
+        | Error f ->
+          Fmt.failwith "recovery bench: checkpointed restore: %a"
+            Recovery.pp_failure f)
+  in
+  let full_report, full_wall =
+    wall_ms (fun () ->
+        match Recovery.restore_shard order (fresh ()) full_text with
+        | Ok r -> r
+        | Error f ->
+          Fmt.failwith "recovery bench: full restore: %a" Recovery.pp_failure f)
+  in
+  let replayed_full = List.length full in
+  let replayed_ckpt = ckpt_report.Recovery.replayed_records in
+  let improvement =
+    if replayed_ckpt > 0 then
+      float_of_int replayed_full /. float_of_int replayed_ckpt
+    else 0.
+  in
+  let covered =
+    match ckpt_report.Recovery.source with
+    | Recovery.From_checkpoint { covered } -> covered
+    | Recovery.Full_replay ->
+      Fmt.failwith
+        "recovery bench: recovery fell back to a full replay — no usable \
+         checkpoint at crash time"
+  in
+  J.Obj
+    [
+      ("shards", J.Num (float_of_int shards));
+      ("duration_ticks", J.Num (float_of_int duration));
+      ("checkpoint_every", J.Num (float_of_int every));
+      ("seed", J.Num 9.);
+      ("log_records", J.Num (float_of_int replayed_full));
+      ("covered", J.Num (float_of_int covered));
+      ("tail_records", J.Num (float_of_int replayed_ckpt));
+      ( "txns_replayed",
+        J.Num
+          (float_of_int full_report.Recovery.base.Recovery.replayed) );
+      ("replay_improvement", J.Num improvement);
+      ("improvement_floor", J.Num recovery_improvement_floor);
+      ("checkpointed_wall_ms", J.Num ckpt_wall);
+      ("full_wall_ms", J.Num full_wall);
+    ]
+
 (* --- the regression gate ------------------------------------------- *)
 
 let jfield name = function
@@ -1497,7 +1604,29 @@ let compare_to_baseline ~current ~base =
         | _ -> [ "multicore: curve is missing its 4-domain rung" ])
       | _ -> []
     in
+    (* The recovery gate is absolute like the multicore one: the
+       current run's full-log/tail replay-work ratio must clear the
+       floor recorded in the section.  Pre-checkpointing baselines
+       have no recovery section and skip it. *)
+    let recovery_regressions =
+      match (jfield "recovery" base, jfield "recovery" current) with
+      | Some _, Some rc -> (
+        match
+          (jnum (jfield "improvement_floor" rc),
+           jnum (jfield "replay_improvement" rc))
+        with
+        | Some floor_, Some ratio when ratio < floor_ ->
+          [
+            Fmt.str
+              "recovery: replay improvement %.2fx fell below the %.1fx floor"
+              ratio floor_;
+          ]
+        | Some _, Some _ -> []
+        | _ -> [ "recovery: section is missing its improvement ratio" ])
+      | _ -> []
+    in
     sim_regressions @ open_loop_regressions @ multicore_regressions
+    @ recovery_regressions
 
 let json_mode ~file ~quick ~baseline =
   let sections =
@@ -1509,6 +1638,7 @@ let json_mode ~file ~quick ~baseline =
       ("sim", sim_section ~quick);
       ("open_loop", open_loop_section ~quick);
       ("multicore", multicore_section ~quick);
+      ("recovery", recovery_section ~quick);
     ]
   in
   let base =

@@ -422,7 +422,82 @@ let tpc_cmd participants crash no_voter seed metrics =
 (* weihl faults                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let faults_cmd schedules quick base_seed protocol verbose =
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "report written to %s@." path
+
+(* The long-soak mode: one checkpointing shard group lives through
+   [cycles] crash→recover cycles with seeded checkpoint damage.  The
+   per-cycle recovery report goes to [--report] for CI artifacts. *)
+let soak_to_json (r : Shard_harness.soak_report) =
+  let num n = Obs.Json.Num (float_of_int n) in
+  let cycle (c : Shard_harness.cycle_report) =
+    Obs.Json.Obj
+      [
+        ("cycle", num c.Shard_harness.cycle);
+        ("victim", num c.Shard_harness.victim);
+        ( "ckpt_fault",
+          Obs.Json.Str
+            (Fmt.str "%a" Shard_plan.pp_ckpt c.Shard_harness.ckpt_fault) );
+        ("committed", num c.Shard_harness.cycle_committed);
+        ( "source",
+          Obs.Json.Str (Fmt.str "%a" Recovery.pp_source c.Shard_harness.source)
+        );
+        ( "fallbacks",
+          Obs.Json.List
+            (List.map
+               (fun f -> Obs.Json.Str f)
+               c.Shard_harness.fallbacks) );
+        ("wal_records", num c.Shard_harness.wal_records);
+        ("replayed", num c.Shard_harness.replayed);
+        ("replay_bound", num c.Shard_harness.replay_bound);
+        ( "verdict",
+          Obs.Json.Str
+            (Fmt.str "%a" Shard_harness.pp_verdict c.Shard_harness.cycle_verdict)
+        );
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("protocol", Obs.Json.Str r.Shard_harness.soak_protocol);
+      ("cycles", num r.Shard_harness.cycles_run);
+      ("committed", num r.Shard_harness.soak_committed);
+      ("diverged", num r.Shard_harness.soak_diverged);
+      ("bound_violations", num r.Shard_harness.bound_violations);
+      ("checkpoint_recoveries", num r.Shard_harness.checkpoint_recoveries);
+      ("full_replays", num r.Shard_harness.full_replays);
+      ("loud_fallbacks", num r.Shard_harness.loud_fallbacks);
+      ( "cycle_reports",
+        Obs.Json.List (List.map cycle r.Shard_harness.cycle_reports) );
+    ]
+
+let soak_cmd cycles seed report verbose =
+  let config =
+    { Shard_harness.default_soak with soak_seed = seed; cycles }
+  in
+  let r = Shard_harness.run_soak ~config () in
+  if verbose then
+    List.iter
+      (fun c -> Fmt.pr "%a@." Shard_harness.pp_cycle c)
+      r.Shard_harness.cycle_reports;
+  Fmt.pr "%a@." Shard_harness.pp_soak r;
+  (match report with
+  | Some path -> write_json path (soak_to_json r)
+  | None -> ());
+  match Shard_harness.soak_divergences r with
+  | [] -> 0
+  | ds ->
+    Fmt.epr "@.divergent cycles:@.";
+    List.iter (fun c -> Fmt.epr "  %a@." Shard_harness.pp_cycle c) ds;
+    1
+
+let faults_cmd schedules quick base_seed protocol verbose soak report =
+  match soak with
+  | Some cycles -> soak_cmd cycles base_seed report verbose
+  | None ->
   let seeds = List.init schedules (fun i -> base_seed + i) in
   let summary =
     match protocol with
@@ -543,6 +618,30 @@ let shard_metrics_fields sm =
           (List.init
              (Obs.Shard_metrics.shard_count m)
              (fun s -> Obs.Json.Num (Obs.Shard_metrics.mailbox_depth m s))) );
+      ( "checkpoint",
+        Obs.Json.Obj
+          [
+            ( "writes",
+              Obs.Json.Num
+                (float_of_int (Obs.Shard_metrics.checkpoint_count m)) );
+            ( "write_duration",
+              Obs.Metrics.Histogram.to_json (Obs.Shard_metrics.checkpoint_write m)
+            );
+            ("age_records", Obs.Json.Num (Obs.Shard_metrics.checkpoint_age m));
+          ] );
+      ( "recovery",
+        Obs.Json.Obj
+          [
+            ( "count",
+              Obs.Json.Num (float_of_int (Obs.Shard_metrics.recovery_count m))
+            );
+            ( "duration",
+              Obs.Metrics.Histogram.to_json
+                (Obs.Shard_metrics.recovery_duration m) );
+            ( "records_replayed",
+              Obs.Metrics.Histogram.to_json
+                (Obs.Shard_metrics.recovery_records m) );
+          ] );
       ( "msim",
         Obs.Json.Obj
           [
@@ -622,13 +721,6 @@ let open_outcome_to_json ?(extra = []) shards
      ]
     @ extra)
 
-let write_json path json =
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string json);
-  output_string oc "\n";
-  close_out oc;
-  Fmt.pr "report written to %s@." path
-
 let mcore_outcome_to_json ?(extra = []) ~domains shards
     (o : Mcore_driver.outcome) =
   let num n = Obs.Json.Num (float_of_int n) in
@@ -653,7 +745,7 @@ let mcore_outcome_to_json ?(extra = []) ~domains shards
 
 let shard_cmd shards domains clients duration seed protocol faults schedules
     quick verbose metrics json trace open_loop rate sweep zipf hot hot_keys
-    window mcore jobs inflight sync_us =
+    window mcore jobs inflight sync_us checkpoint_every archive =
   if faults then begin
     let seeds = List.init schedules (fun i -> seed + i) in
     let summary =
@@ -721,6 +813,13 @@ let shard_cmd shards domains clients duration seed protocol faults schedules
         let n = List.length w0.Workload.objects in
         Workload.banking ~accounts:n ~key_dist:(mk n) ()
     in
+    let checkpoint =
+      Option.map
+        (fun every -> { Shard_group.default_checkpoint with every; archive })
+        checkpoint_every
+    in
+    if archive && checkpoint = None then
+      Fmt.failwith "--archive needs --checkpoint-every";
     let mk_group ?group_commit ?sync_cost ~with_metrics () =
       let sm =
         if with_metrics then Some (Obs.Shard_metrics.create ~shards ())
@@ -728,7 +827,7 @@ let shard_cmd shards domains clients duration seed protocol faults schedules
       in
       let group =
         Shard_group.create ~policy:proto.Fault_harness.policy ?metrics:sm ~seed
-          ~domains ?group_commit ?sync_cost ~shards ()
+          ~domains ?group_commit ?sync_cost ?checkpoint ~shards ()
       in
       List.iter
         (fun id ->
@@ -884,6 +983,16 @@ let shard_cmd shards domains clients duration seed protocol faults schedules
         (List.length (Shard_group.objects group))
         shards
         (Shard_group.tpc_rounds group);
+      (match checkpoint with
+      | Some _ ->
+        List.init shards (fun s ->
+            ( List.length (Shard_group.checkpoint_files group s),
+              Shard_group.wal_base group s ))
+        |> List.iteri (fun s (files, base) ->
+               Fmt.pr "shard %d: %d checkpoint(s) retained, wal truncated at \
+                       record %d@."
+                 s files base)
+      | None -> ());
       report_metrics sm;
       Option.iter write_trace tracer;
       (match json with
@@ -1095,7 +1204,29 @@ let faults_term =
     Arg.(
       value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule result.")
   in
-  Term.(const faults_cmd $ schedules $ quick $ seed $ protocol $ verbose)
+  let soak =
+    Arg.(
+      value & opt (some int) None
+      & info [ "soak" ] ~docv:"CYCLES"
+          ~doc:
+            "Run the long-soak crash→recover harness instead of the fault \
+             sweep: one checkpointing shard group lives through CYCLES \
+             rounds of traffic, each ended by a shard crash with seeded \
+             checkpoint damage (bit flips, torn files, marker races) and a \
+             checkpoint-aware recovery.  Exit non-zero if any cycle \
+             diverges, replays past its tail bound, or consumes a damaged \
+             checkpoint silently.  $(b,--seed) picks the protocol and the \
+             damage sequence.")
+  in
+  let report =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the per-cycle soak recovery report to FILE as JSON.")
+  in
+  Term.(
+    const faults_cmd $ schedules $ quick $ seed $ protocol $ verbose $ soak
+    $ report)
 
 let shard_term =
   let shards =
@@ -1252,11 +1383,29 @@ let shard_term =
           ~doc:"Simulated WAL device sync latency in microseconds (with \
                 --mcore).")
   in
+  let checkpoint_every =
+    Arg.(
+      value & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"COMMITS"
+          ~doc:
+            "Write a fuzzy checkpoint on each shard every COMMITS commits \
+             (jittered per shard so the group never pauses in lockstep), \
+             retain the last two, and truncate the WAL behind the older \
+             retained one.  Off by default.")
+  in
+  let archive =
+    Arg.(
+      value & flag
+      & info [ "archive" ]
+          ~doc:
+            "Keep the truncated WAL prefixes as archived segments instead of \
+             discarding them (with --checkpoint-every).")
+  in
   Term.(
     const shard_cmd $ shards $ domains $ clients $ duration $ seed $ protocol
     $ faults $ schedules $ quick $ verbose $ metrics $ json $ trace
     $ open_loop $ rate $ sweep $ zipf $ hot $ hot_keys $ window $ mcore $ jobs
-    $ inflight $ sync_us)
+    $ inflight $ sync_us $ checkpoint_every $ archive)
 
 let lint_term =
   let protocol =

@@ -180,7 +180,7 @@ let check_global (entry : Catalog.entry) group a b gtxns =
         [ a; b ];
       match Cc.Recovery.replay_txns sys (Group.committed_projection group) with
       | Ok _ -> None
-      | Error msg -> Some (Fmt.str "merged replay: %s" msg)))
+      | Error f -> Some (Fmt.str "merged replay: %a" Cc.Recovery.pp_failure f)))
 
 let probe_pair entry ~t2_read_only setup p q =
   let completions : completion list =

@@ -1,0 +1,184 @@
+open Weihl_event
+
+let magic = "weihl-ckpt 1"
+
+type t = {
+  covered : int;
+  label : string option;
+  records : Wal.record list;
+      (* captured transactions' events in serialization order, then one
+         Prepared control per in-doubt transaction at the snapshot *)
+}
+
+let covered t = t.covered
+let label t = t.label
+let records t = t.records
+
+let history t =
+  History.of_list
+    (List.filter_map
+       (function Wal.Event e -> Some e | Wal.Control _ -> None)
+       t.records)
+
+let in_doubt t =
+  List.filter_map
+    (function
+      | Wal.Control (Wal.Prepared { gid; activity }) -> Some (gid, activity)
+      | _ -> None)
+    t.records
+
+let txn_count t = Activity.Set.cardinal (History.committed (history t))
+
+let activity_names t =
+  Activity.Set.elements (History.committed (history t))
+  |> List.map Activity.name
+
+(* ------------------------------------------------------------------ *)
+(* Capture *)
+
+let capture ~ts_ordered ?label records =
+  let events =
+    List.filter_map
+      (function Wal.Event e -> Some e | Wal.Control _ -> None)
+      records
+  in
+  let h = History.of_list events in
+  let committed = History.committed h and aborted = History.aborted h in
+  (* The timestamp frontier: the smallest timestamp a live (active or
+     prepared) transaction has already drawn.  Committed transactions
+     below it precede every live and every future transaction in
+     timestamp order — all timestamps come from one monotone clock, so
+     anything stamped later exceeds every timestamp drawn so far. *)
+  let frontier =
+    if not ts_ordered then None
+    else
+      Activity.Set.fold
+        (fun a acc ->
+          match History.timestamp_of h a with
+          | None -> acc
+          | Some ts -> (
+            match acc with
+            | None -> Some ts
+            | Some m -> if Timestamp.compare ts m < 0 then Some ts else Some m))
+        (History.active h) None
+  in
+  let eligible a =
+    Activity.Set.mem a committed
+    && ((not ts_ordered)
+       ||
+       match History.timestamp_of h a with
+       | None -> false (* unstamped: committed_in_order would drop it *)
+       | Some ts -> (
+         match frontier with
+         | None -> true
+         | Some f -> Timestamp.compare ts f < 0))
+  in
+  (* Attribute control records to transactions: Prepared carries the
+     activity, Decided only the gid. *)
+  let prep_act = Hashtbl.create 8 and decided = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Wal.Control (Wal.Prepared { gid; activity }) ->
+        if not (Hashtbl.mem prep_act gid) then Hashtbl.add prep_act gid activity
+      | Wal.Control (Wal.Decided { gid; _ }) -> Hashtbl.replace decided gid ()
+      | Wal.Event _ | Wal.Control (Wal.Checkpointed _) -> ())
+    records;
+  (* The redo point: everything recovery still needs lives at
+     [>= covered].  Aborted transactions are discarded by replay, so
+     their records do not hold the point back; old Checkpointed markers
+     belong to no transaction. *)
+  let covered = ref (List.length records) in
+  List.iteri
+    (fun seq r ->
+      let owner =
+        match r with
+        | Wal.Event e -> Some (Event.activity e)
+        | Wal.Control (Wal.Prepared { activity; _ }) -> Some activity
+        | Wal.Control (Wal.Decided { gid; _ }) -> Hashtbl.find_opt prep_act gid
+        | Wal.Control (Wal.Checkpointed _) -> None
+      in
+      match owner with
+      | Some a when (not (eligible a)) && not (Activity.Set.mem a aborted) ->
+        if seq < !covered then covered := seq
+      | _ -> ())
+    records;
+  (* Captured transactions in serialization order.  Commit position
+     orders them correctly for both recovery orders: it is the
+     serialization order under commit-order recovery, and replay
+     re-sorts by the embedded timestamps under timestamp order. *)
+  let commit_pos = Hashtbl.create 16 in
+  List.iteri
+    (fun i e ->
+      match e with
+      | Event.Commit (a, _, _) when not (Hashtbl.mem commit_pos (Activity.name a))
+        ->
+        Hashtbl.add commit_pos (Activity.name a) i
+      | _ -> ())
+    events;
+  let blocks =
+    Activity.Set.elements committed
+    |> List.filter eligible
+    |> List.filter_map (fun a ->
+           Option.map
+             (fun i -> (i, a))
+             (Hashtbl.find_opt commit_pos (Activity.name a)))
+    |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
+    |> List.concat_map (fun (_, a) ->
+           History.to_list (History.project_activity a h)
+           |> List.map (fun e -> Wal.Event e))
+  in
+  let in_doubt =
+    Hashtbl.fold
+      (fun gid a acc ->
+        if
+          Hashtbl.mem decided gid
+          || Activity.Set.mem a committed
+          || Activity.Set.mem a aborted
+        then acc
+        else (gid, a) :: acc)
+      prep_act []
+    |> List.sort (fun (g, _) (g', _) -> Int.compare g g')
+    |> List.map (fun (gid, activity) ->
+           Wal.Control (Wal.Prepared { gid; activity }))
+  in
+  { covered = !covered; label; records = blocks @ in_doubt }
+
+(* ------------------------------------------------------------------ *)
+(* The durable file *)
+
+let digest = Wal.crc32
+
+let encode t =
+  let header =
+    match t.label with
+    | None -> Printf.sprintf "%s @%d" magic t.covered
+    | Some l ->
+      if String.contains l '\n' then
+        invalid_arg "Checkpoint.encode: label contains a newline";
+      Printf.sprintf "%s @%d %s" magic t.covered l
+  in
+  header ^ "\n" ^ Wal.encode_records t.records
+
+let decode text =
+  match String.index_opt text '\n' with
+  | None -> Error "cut short: no header line"
+  | Some nl -> (
+    let header = String.sub text 0 nl in
+    let body = String.sub text (nl + 1) (String.length text - nl - 1) in
+    match String.split_on_char ' ' header with
+    | "weihl-ckpt" :: "1" :: at :: label_toks
+      when String.length at > 1 && at.[0] = '@' -> (
+      match int_of_string_opt (String.sub at 1 (String.length at - 1)) with
+      | Some covered when covered >= 0 -> (
+        let label =
+          match label_toks with
+          | [] -> None
+          | ts -> Some (String.concat " " ts)
+        in
+        match Wal.decode_records body with
+        | Error e -> Error (Fmt.str "damaged payload: %a" Wal.pp_error e)
+        | Ok (_, Wal.Torn n) ->
+          Error (Fmt.str "torn payload: %d record(s) missing" n)
+        | Ok (records, Wal.Intact) -> Ok { covered; label; records })
+      | _ -> Error "bad covered sequence number")
+    | _ -> Error "bad or missing header")

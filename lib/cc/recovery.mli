@@ -43,20 +43,26 @@ type failure =
   | Divergent of string
       (** replay produced, or the log claims, a result the
           specification rules out *)
+  | Checkpoint_invalid of string
+      (** checkpoint-aware recovery could not proceed: the log was
+          truncated behind a checkpoint but no usable checkpoint covers
+          the missing prefix, or a checkpoint's recorded in-doubt set
+          is unreachable from the log tail *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
 val replay_txns :
   System.t ->
   (Activity.t * (Object_id.t * Operation.t * Value.t) list) list ->
-  (report, string) result
+  (report, failure) result
 (** The replay engine on an explicit transaction list (as produced by
     {!committed_in_order}) — the sharded runtime uses it to replay a
     {e merged} cross-shard committed projection in global commit-
-    timestamp order against one combined system. *)
+    timestamp order against one combined system.  Failures are always
+    {!failure.Divergent} here. *)
 
 val replay :
-  order -> System.t -> History.t -> (report, string) result
+  order -> System.t -> History.t -> (report, failure) result
 (** Re-execute the committed transactions of the history against the
     (fresh) system's objects, validating both the logged results and
     the replayed results against each object's sequential
@@ -117,3 +123,48 @@ val restore_shard :
     and resolve each from its durable [Decided] record when present,
     else via [resolve] (e.g. a query against the coordinator's decision
     log; default [`Unknown], leaving it in-doubt). *)
+
+(** {1 Checkpoint-aware recovery}
+
+    With fuzzy checkpoints ({!Checkpoint}) recovery no longer replays
+    the whole log: it loads the newest checkpoint whose durable
+    [Checkpointed] marker matches its file digest, replays the
+    checkpoint's captured transactions, and then only the log tail at
+    sequence numbers [>= covered].  Restart work is bounded by the tail
+    length, not the log length.  A damaged, missing, or stale
+    checkpoint falls back {e loudly} (a note per fallback) to the next
+    older checkpoint, and finally to a full-log replay — unless the log
+    was already truncated behind a checkpoint, in which case recovery
+    fails with {!failure.Checkpoint_invalid} rather than silently
+    recovering partial state. *)
+
+type source = Full_replay | From_checkpoint of { covered : int }
+
+type checkpointed_report = {
+  shard : shard_report;
+  source : source;  (** which path recovery actually took *)
+  fallbacks : string list;
+      (** one loud note per checkpoint that was skipped and why; empty
+          when the newest checkpoint was used (or none existed) *)
+  wal_records : int;  (** records surviving in the durable log *)
+  replayed_records : int;
+      (** log records recovery consumed: the tail length under
+          [From_checkpoint] — the recovery-work bound the soak harness
+          asserts — or [wal_records] under [Full_replay] *)
+}
+
+val pp_source : Format.formatter -> source -> unit
+
+val restore_checkpointed :
+  ?resolve:(int -> [ `Commit of Timestamp.t option | `Abort | `Unknown ]) ->
+  ?checkpoints:string list ->
+  order ->
+  System.t ->
+  string ->
+  (checkpointed_report, failure) result
+(** {!restore_shard} with checkpoint files: [checkpoints] holds the
+    retained checkpoint file texts (any order; matched to durable
+    [Checkpointed] markers by digest).  Markers are tried newest first;
+    each unusable one adds a [fallbacks] note.  With no usable
+    checkpoint and an untruncated log this degrades to exactly
+    {!restore_shard}. *)

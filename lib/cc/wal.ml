@@ -27,6 +27,7 @@ type error = { record : int; reason : string }
 type control =
   | Prepared of { gid : int; activity : Activity.t }
   | Decided of { gid : int; verdict : [ `Commit of Timestamp.t option | `Abort ] }
+  | Checkpointed of { seq : int; digest : int }
 
 type record = Event of Event.t | Control of control
 
@@ -48,6 +49,8 @@ let control_text = function
   | Decided { gid; verdict = `Commit None } ->
     Printf.sprintf "!decided %d commit -" gid
   | Decided { gid; verdict = `Abort } -> Printf.sprintf "!decided %d abort" gid
+  | Checkpointed { seq; digest } ->
+    Printf.sprintf "!checkpointed %d %08x" seq digest
 
 (* Control bodies start with '!' — no event notation does. *)
 let control_of_text text =
@@ -76,6 +79,10 @@ let control_of_text text =
     match int_of_string_opt gid with
     | Some gid -> Ok (Decided { gid; verdict = `Abort })
     | None -> Error "unparseable control: bad decided record")
+  | [ "!checkpointed"; seq; digest ] -> (
+    match (int_of_string_opt seq, int_of_string_opt ("0x" ^ digest)) with
+    | Some seq, Some digest when seq >= 0 -> Ok (Checkpointed { seq; digest })
+    | _ -> Error "unparseable control: bad checkpointed record")
   | _ -> Error "unparseable control record"
 
 let record_text = function
@@ -92,20 +99,31 @@ let record_of_text text =
     | Ok e -> Ok (Event e)
     | Error m -> Error ("unparseable event: " ^ m))
 
-let header_line = function
-  | None -> magic
-  | Some label ->
-    if String.contains label '\n' then
-      invalid_arg "Wal.encode_records: label contains a newline";
-    magic ^ " " ^ label
+(* A truncated log keeps the absolute sequence numbers of its surviving
+   records; the header records where they start ("weihl-wal 1 shard-3
+   @512").  The ['@'] prefix keeps the base token distinguishable from a
+   label, which may not contain one as its last space-separated token. *)
+let header_line ?(base = 0) label =
+  (match label with
+  | Some l when String.contains l '\n' ->
+    invalid_arg "Wal.encode_records: label contains a newline"
+  | _ -> ());
+  if base < 0 then invalid_arg "Wal.encode_records: negative base";
+  String.concat " "
+    (List.concat
+       [
+         [ magic ];
+         (match label with None -> [] | Some l -> [ l ]);
+         (if base = 0 then [] else [ Printf.sprintf "@%d" base ]);
+       ])
 
-let encode_records ?label records =
+let encode_records ?label ?(base = 0) records =
   let buf = Buffer.create (64 * (List.length records + 1)) in
-  Buffer.add_string buf (header_line label);
+  Buffer.add_string buf (header_line ~base label);
   Buffer.add_char buf '\n';
   List.iteri
-    (fun seq r ->
-      let body = Printf.sprintf "%d %s" seq (record_text r) in
+    (fun i r ->
+      let body = Printf.sprintf "%d %s" (base + i) (record_text r) in
       Buffer.add_string buf (Printf.sprintf "%08x %s\n" (crc32 body) body))
     records;
   Buffer.contents buf
@@ -114,6 +132,37 @@ let encode h =
   let records = ref [] in
   History.iter (fun e -> records := Event e :: !records) h;
   encode_records (List.rev !records)
+
+(* Header tokens after the magic: an optional label (any tokens) and an
+   optional trailing ["@<base>"].  Malformed trailing '@' tokens are
+   treated as label text — the seq check will catch a truncated log
+   whose base token was damaged. *)
+let header_fields header =
+  if String.equal header magic then (None, 0)
+  else
+    let extra =
+      String.sub header
+        (String.length magic + 1)
+        (String.length header - String.length magic - 1)
+    in
+    let toks = String.split_on_char ' ' extra in
+    let base, label_toks =
+      match List.rev toks with
+      | last :: rev_front
+        when String.length last > 1
+             && last.[0] = '@'
+             && int_of_string_opt (String.sub last 1 (String.length last - 1))
+                |> Option.fold ~none:false ~some:(fun n -> n >= 0) ->
+        ( int_of_string (String.sub last 1 (String.length last - 1)),
+          List.rev rev_front )
+      | _ -> (0, toks)
+    in
+    let label =
+      match label_toks with
+      | [] | [ "" ] -> None
+      | ts -> Some (String.concat " " ts)
+    in
+    (label, base)
 
 (* Parse one record line.  [seq] is the index the record must carry for
    the log to be gapless. *)
@@ -173,12 +222,14 @@ let label text =
   | None -> None
   | Some nl ->
     let header = String.sub text 0 nl in
-    if
-      header_ok header
-      && String.length header > String.length magic + 1
-    then Some (String.sub header (String.length magic + 1)
-                 (String.length header - String.length magic - 1))
-    else None
+    if header_ok header then fst (header_fields header) else None
+
+let base text =
+  match String.index_opt text '\n' with
+  | None -> 0
+  | Some nl ->
+    let header = String.sub text 0 nl in
+    if header_ok header then snd (header_fields header) else 0
 
 let decode_records text =
   match String.split_on_char '\n' text with
@@ -187,6 +238,7 @@ let decode_records text =
     if not (header_ok header) then
       Error { record = -1; reason = "bad or missing header" }
     else
+      let _, base = header_fields header in
       (* A final trailing newline yields one empty trailing element;
          drop exactly that one (an empty line elsewhere is damage). *)
       let lines =
@@ -202,7 +254,7 @@ let decode_records text =
               Error { record = seq; reason = "mid-log corruption: " ^ reason }
             else Ok (List.rev acc, Torn (List.length tl + 1)))
       in
-      go 0 [] lines
+      go base [] lines
 
 let decode text =
   match decode_records text with

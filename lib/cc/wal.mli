@@ -76,19 +76,36 @@ type control =
   | Decided of { gid : int; verdict : [ `Commit of Timestamp.t option | `Abort ] }
       (** The decision for [gid]; a commit carries the agreed commit
           timestamp when the policy assigns one. *)
+  | Checkpointed of { seq : int; digest : int }
+      (** A checkpoint covering every committed transaction whose
+          records lie at sequence numbers [< seq] is durable; [digest]
+          is the CRC-32 of its file ({!Checkpoint.digest}).  A
+          checkpoint file without a synced marker does not count —
+          recovery trusts only marked checkpoints. *)
 
 type record = Event of Event.t | Control of control
 
-val encode_records : ?label:string -> record list -> string
+val encode_records : ?label:string -> ?base:int -> record list -> string
 (** Generalized {!encode}: frame an interleaved stream of events and
-    control records, optionally labelling the header.
-    @raise Invalid_argument if the label contains a newline. *)
+    control records, optionally labelling the header.  [base] (default
+    0) is the absolute sequence number of the first record — a log
+    truncated behind a checkpoint keeps its surviving records'
+    original numbering and advertises the offset in the header
+    (["weihl-wal 1 shard-3 @512"]).
+    @raise Invalid_argument if the label contains a newline or [base]
+    is negative. *)
 
 val decode_records : string -> (record list * status, error) result
-(** Generalized {!decode}: the full record stream, controls included. *)
+(** Generalized {!decode}: the full record stream, controls included.
+    Sequence validation starts at the header's base offset, so damage
+    to the base token itself surfaces as a loud sequence mismatch. *)
 
 val label : string -> string option
 (** The header label of a durable text, if it has one. *)
+
+val base : string -> int
+(** The first sequence number of a durable text (0 unless the log was
+    truncated behind a checkpoint). *)
 
 (** {1 Group commit}
 

@@ -283,6 +283,8 @@ let run_schedule ?(quick = false) (plan : Plan.t) proto =
         ()
     else result Corruption_detected ()
   | Error (Cc.Recovery.Divergent msg) -> result (Diverged msg) ()
+  | Error (Cc.Recovery.Checkpoint_invalid msg) ->
+    result (Diverged (Fmt.str "checkpoint invalid: %s" msg)) ()
   | Ok report -> (
     let replayed = report.Cc.Recovery.replayed
     and substituted = report.Cc.Recovery.substituted

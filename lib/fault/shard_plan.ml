@@ -9,12 +9,19 @@ type tpc_fault =
   | Part_refuses of int
   | Partition of int
 
+type ckpt_fault =
+  | Ckpt_pristine
+  | Ckpt_bit_flip of int
+  | Ckpt_torn of int
+  | Ckpt_race
+
 type t = {
   seed : int;
   fault_at_commit : int;
   tpc : tpc_fault;
   msg : Msim.faults;
   log_fault : Plan.log_fault;
+  ckpt : ckpt_fault;
 }
 
 let generate ~seed =
@@ -59,9 +66,27 @@ let generate ~seed =
     | 0 | 1 -> Plan.Bit_flip (Rng.int rng 10_000)
     | _ -> Plan.Pristine
   in
-  { seed; fault_at_commit; tpc; msg; log_fault }
+  (* Drawn last so every pre-checkpointing field keeps its value for a
+     given seed.  Damage lands on the victim's newest checkpoint file —
+     recovery must fall back to the older retained checkpoint (or a
+     full replay) and say so.  [Ckpt_race] is the distinct crash
+     window: the file reached disk but its WAL marker never synced. *)
+  let ckpt =
+    match Rng.int rng 10 with
+    | 0 | 1 -> Ckpt_bit_flip (Rng.int rng 100_000)
+    | 2 -> Ckpt_torn (1 + Rng.int rng 200)
+    | 3 | 4 -> Ckpt_race
+    | _ -> Ckpt_pristine
+  in
+  { seed; fault_at_commit; tpc; msg; log_fault; ckpt }
 
 let corrupt t text = Plan.corrupt_with t.log_fault text
+
+let corrupt_ckpt t text =
+  match t.ckpt with
+  | Ckpt_pristine | Ckpt_race -> text
+  | Ckpt_bit_flip k -> Plan.corrupt_with (Plan.Bit_flip k) text
+  | Ckpt_torn k -> Plan.corrupt_with (Plan.Torn_tail k) text
 
 let pp_tpc ppf = function
   | Clean -> Fmt.string ppf "clean"
@@ -73,6 +98,12 @@ let pp_tpc ppf = function
   | Part_crash (i, `After_vote) -> Fmt.pf ppf "part%d:crash-after-vote" i
   | Part_refuses i -> Fmt.pf ppf "part%d:votes-no" i
   | Partition i -> Fmt.pf ppf "part%d:partitioned" i
+
+let pp_ckpt ppf = function
+  | Ckpt_pristine -> Fmt.string ppf "ckpt:pristine"
+  | Ckpt_bit_flip k -> Fmt.pf ppf "ckpt:bit-flip(%d)" k
+  | Ckpt_torn k -> Fmt.pf ppf "ckpt:torn(%d)" k
+  | Ckpt_race -> Fmt.string ppf "ckpt:marker-race"
 
 let pp ppf t =
   Fmt.pf ppf "@[<h>seed %d: at-commit %d, 2pc %a, msg{d=%.2f,u=%.2f,r=%.2f}@]"

@@ -19,6 +19,15 @@ type tpc_fault =
   | Partition of int
       (** cut the coordinator<->participant link for the round *)
 
+type ckpt_fault =
+  | Ckpt_pristine
+  | Ckpt_bit_flip of int  (** flip one bit in the checkpoint file *)
+  | Ckpt_torn of int  (** chop bytes off its end — an interrupted write *)
+  | Ckpt_race
+      (** the checkpoint raced the crash: the file reached disk but its
+          WAL [Checkpointed] marker never became durable, so recovery
+          must treat the checkpoint as never having happened *)
+
 type t = {
   seed : int;
   fault_at_commit : int;
@@ -29,6 +38,9 @@ type t = {
   log_fault : Plan.log_fault;
       (** damage applied to a crashed participant's WAL before
           recovery *)
+  ckpt : ckpt_fault;
+      (** damage applied to the crashed shard's newest checkpoint file
+          (the soak harness's crash→recover cycles) *)
 }
 
 val generate : seed:int -> t
@@ -39,4 +51,10 @@ val generate : seed:int -> t
 val corrupt : t -> string -> string
 (** Apply the plan's [log_fault] to a durable log text. *)
 
+val corrupt_ckpt : t -> string -> string
+(** Apply the plan's [ckpt] damage to a checkpoint file.  Identity for
+    [Ckpt_pristine] and [Ckpt_race] — the race damages the WAL marker,
+    not the file (see {!ckpt_fault}). *)
+
 val pp : Format.formatter -> t -> unit
+val pp_ckpt : Format.formatter -> ckpt_fault -> unit

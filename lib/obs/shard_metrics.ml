@@ -22,6 +22,12 @@ type t = {
   wal_appends : M.Counter.t;
   wal_syncs : M.Counter.t;
   group_commit_batch : M.Histogram.t;
+  checkpoints : M.Counter.t;
+  checkpoint_write : M.Histogram.t;
+  checkpoint_age : M.Gauge.t;
+  recoveries : M.Counter.t;
+  recovery_duration : M.Histogram.t;
+  recovery_records : M.Histogram.t;
 }
 
 let fanout_buckets = Array.init 16 (fun i -> float_of_int (i + 1))
@@ -65,6 +71,15 @@ let create ?registry ~shards () =
     group_commit_batch =
       M.Registry.histogram ~buckets:batch_buckets registry
         "group_commit.batch_size";
+    checkpoints = M.Registry.counter registry "checkpoint.writes";
+    checkpoint_write =
+      M.Registry.histogram registry "checkpoint.write_duration";
+    checkpoint_age = M.Registry.gauge registry "checkpoint.age_records";
+    recoveries = M.Registry.counter registry "recovery.count";
+    recovery_duration = M.Registry.histogram registry "recovery.duration";
+    recovery_records =
+      M.Registry.histogram ~buckets:batch_buckets registry
+        "recovery.records_replayed";
   }
 
 let registry t = t.registry
@@ -99,6 +114,22 @@ let wal_sync t ~records =
   M.Counter.incr t.wal_syncs;
   if records > 0 then
     M.Histogram.observe t.group_commit_batch (float_of_int records)
+
+(* One checkpoint file made durable: [duration] is the wall-clock cost
+   of capture+encode+marker sync (µs); [age] is how far behind the log
+   head the redo point landed — records the fuzzy snapshot could not
+   cover and recovery must still replay. *)
+let checkpoint_written t ~duration ~age =
+  M.Counter.incr t.checkpoints;
+  M.Histogram.observe t.checkpoint_write duration;
+  M.Gauge.set t.checkpoint_age (float_of_int age)
+
+(* One shard recovery completed: [records] is the WAL work actually
+   replayed — the tail behind a checkpoint, or the whole log. *)
+let recovery_done t ~duration ~records =
+  M.Counter.incr t.recoveries;
+  M.Histogram.observe t.recovery_duration duration;
+  M.Histogram.observe t.recovery_records (float_of_int records)
 
 let syncs_per_commit t =
   let commits =
@@ -144,6 +175,20 @@ let render t =
          (M.Counter.value t.wal_appends)
          (M.Counter.value t.wal_syncs)
          (syncs_per_commit t) M.Histogram.pp t.group_commit_batch);
+  if M.Counter.value t.checkpoints > 0 then
+    Buffer.add_string buf
+      (Fmt.str
+         "checkpoints: %d written (age %.0f record(s))\n\
+          checkpoint.write_duration: %a\n"
+         (M.Counter.value t.checkpoints)
+         (M.Gauge.value t.checkpoint_age)
+         M.Histogram.pp t.checkpoint_write);
+  if M.Counter.value t.recoveries > 0 then
+    Buffer.add_string buf
+      (Fmt.str
+         "recoveries: %d\nrecovery.duration: %a\nrecovery.records_replayed: %a\n"
+         (M.Counter.value t.recoveries)
+         M.Histogram.pp t.recovery_duration M.Histogram.pp t.recovery_records);
   Buffer.contents buf
 
 let tpc_duration t = t.tpc_duration
@@ -152,3 +197,9 @@ let group_commit_batch t = t.group_commit_batch
 let wal_sync_count t = M.Counter.value t.wal_syncs
 let wal_append_count t = M.Counter.value t.wal_appends
 let mailbox_depth t i = M.Gauge.max_value (shard t i).mailbox_depth
+let checkpoint_count t = M.Counter.value t.checkpoints
+let checkpoint_write t = t.checkpoint_write
+let checkpoint_age t = M.Gauge.value t.checkpoint_age
+let recovery_count t = M.Counter.value t.recoveries
+let recovery_duration t = t.recovery_duration
+let recovery_records t = t.recovery_records

@@ -71,8 +71,29 @@ val wal_append_count : t -> int
 val mailbox_depth : t -> int -> float
 (** High-water mark of shard [i]'s mailbox depth. *)
 
+val checkpoint_written : t -> duration:float -> age:int -> unit
+(** Record one checkpoint file made durable.  [duration] is the
+    wall-clock cost of capture+encode+marker sync in microseconds
+    ([checkpoint.write_duration]); [age] is how many records the log
+    head is past the checkpoint's redo point — the tail a crash right
+    now would replay ([checkpoint.age_records] gauge). *)
+
+val recovery_done : t -> duration:float -> records:int -> unit
+(** Record one completed shard recovery: wall-clock [duration] in
+    microseconds ([recovery.duration]) and the number of WAL [records]
+    actually replayed ([recovery.records_replayed]) — the tail behind a
+    checkpoint, or the whole log when none was usable. *)
+
+val checkpoint_count : t -> int
+val checkpoint_write : t -> Metrics.Histogram.t
+val checkpoint_age : t -> float
+val recovery_count : t -> int
+val recovery_duration : t -> Metrics.Histogram.t
+val recovery_records : t -> Metrics.Histogram.t
+
 val render : t -> string
 (** A per-shard table, a 2PC summary line, full one-line histogram
     summaries (count, mean, percentiles, max) for [tpc.duration] and
     [txn.shard_fanout], and — once any sync happened — a WAL/group
-    commit summary. *)
+    commit summary.  Checkpoint and recovery summaries appear once any
+    checkpoint was written or any recovery ran. *)

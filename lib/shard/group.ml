@@ -13,6 +13,14 @@ type commit_outcome =
   | Fast
   | Distributed of Tpc.decision * int list (* participant shards, in order *)
 
+type checkpoint_config = {
+  every : int;  (* auto-checkpoint a shard every [every] commits *)
+  retain : int;  (* checkpoint files kept per shard *)
+  archive : bool;  (* keep truncated WAL prefixes instead of dropping them *)
+}
+
+let default_checkpoint = { every = 100; retain = 2; archive = false }
+
 type t = {
   policy : Cc.System.ts_policy;
   shards : Cc.System.t array;
@@ -46,11 +54,32 @@ type t = {
   sync_cost : unit -> unit; (* device sync latency, paid per WAL sync *)
   synced_events : int array; (* per shard: event-log prefix synced *)
   synced_ctrls : int array; (* per shard: control records synced *)
+  checkpoint : checkpoint_config option; (* None: never auto-checkpoint *)
+  ckpts : (int * string) list array;
+      (* per shard, newest first: (covered, checkpoint file) — the
+         shard's checkpoint directory, bounded by [retain] *)
+  wal_base : int array;
+      (* per shard: records truncated off the head of the durable WAL
+         (behind the oldest retained checkpoint's redo point) *)
+  archived : string list array;
+      (* per shard, newest first: encoded WAL segments the truncation
+         step archived instead of dropping (checkpoint.archive) *)
+  ckpt_countdown : int array; (* commits until the next auto checkpoint *)
 }
 
+(* Stagger the first checkpoint across shards — a fleet that
+   checkpoints in lock-step stalls every shard's commit path in the
+   same window.  Periods after the first stay [every] apart, so the
+   offsets persist as long as the shards commit at similar rates. *)
+let jittered_countdown ~every ~shards s = every + (s * every / max 1 shards)
+
 let create ?(policy = `None_) ?metrics ?(seed = 0) ?(domains = 1)
-    ?(group_commit = false) ?(sync_cost = ignore) ~shards () =
+    ?(group_commit = false) ?(sync_cost = ignore) ?checkpoint ~shards () =
   if shards <= 0 then invalid_arg "Group.create: shards must be positive";
+  (match checkpoint with
+  | Some c when c.every <= 0 || c.retain <= 0 ->
+    invalid_arg "Group.create: checkpoint every/retain must be positive"
+  | _ -> ());
   (match metrics with
   | Some m when Weihl_obs.Shard_metrics.shard_count m <> shards ->
     invalid_arg "Group.create: metrics shard count mismatch"
@@ -77,6 +106,15 @@ let create ?(policy = `None_) ?metrics ?(seed = 0) ?(domains = 1)
     sync_cost;
     synced_events = Array.make shards 0;
     synced_ctrls = Array.make shards 0;
+    checkpoint;
+    ckpts = Array.make shards [];
+    wal_base = Array.make shards 0;
+    archived = Array.make shards [];
+    ckpt_countdown =
+      (match checkpoint with
+      | None -> Array.make shards 0
+      | Some { every; _ } ->
+        Array.init shards (jittered_countdown ~every ~shards));
   }
 
 (* Every touch of a shard's (non-thread-safe) [Cc.System.t] goes
@@ -284,6 +322,190 @@ let append_control t s c =
   t.controls.(s) <-
     (Cc.Event_log.length (Cc.System.log t.shards.(s)), c) :: t.controls.(s)
 
+(* ------------------------------------------------------------------ *)
+(* Durability: WAL sync, fuzzy checkpoints, truncation *)
+
+let shard_label s = Fmt.str "shard-%d" s
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+let rec drop_n n = function
+  | _ :: tl when n > 0 -> drop_n (n - 1) tl
+  | l -> l
+
+let recovery_order t =
+  match t.policy with
+  | `None_ -> Cc.Recovery.Commit_order
+  | `Static | `Hybrid -> Cc.Recovery.Timestamp_order
+
+(* Shard [s]'s full durable record stream, positions absolute from the
+   first record the shard ever appended — truncation never renumbers,
+   it only drops a prefix at encode time.  Under group commit the
+   durable image is the synced prefix: records appended since the last
+   sync are still in the volatile buffer and a crash loses them.  The
+   marks are taken at sync time, so "first n events + first m controls"
+   is exactly a prefix of the merged record stream.  Without group
+   commit every append is durable (the classic synchronous-WAL
+   model). *)
+let shard_records t s =
+  let sys = t.shards.(s) in
+  let evs = on_shard t s (fun () -> History.to_list (Cc.System.history sys)) in
+  let ctrls = List.rev t.controls.(s) in
+  let evs, ctrls =
+    if t.group_commit then
+      (take t.synced_events.(s) evs, take t.synced_ctrls.(s) ctrls)
+    else (evs, ctrls)
+  in
+  let rec merge idx evs ctrls acc =
+    match (evs, ctrls) with
+    | _, (p, c) :: ctl when p <= idx -> merge idx evs ctl (Cc.Wal.Control c :: acc)
+    | e :: etl, _ -> merge (idx + 1) etl ctrls (Cc.Wal.Event e :: acc)
+    | [], (_, c) :: ctl -> merge idx [] ctl (Cc.Wal.Control c :: acc)
+    | [], [] -> List.rev acc
+  in
+  merge 0 evs ctrls []
+
+let durable_shard t s =
+  let base = t.wal_base.(s) in
+  Cc.Wal.encode_records ~label:(shard_label s) ~base
+    (drop_n base (shard_records t s))
+
+(* One WAL device sync per involved shard, all in flight at once: each
+   sync's latency is paid on its shard's own domain, so the syncs
+   overlap in wall-clock time.  [records] is the number of transactions
+   whose records the shard's sync covers — the group commit batch size.
+   Marks advance to the current end of the shard's record stream:
+   everything appended so far becomes durable in one device operation. *)
+let sync_shards t involved =
+  let promises =
+    List.map (fun (s, _) -> Exec.submit t.exec ~shard:s t.sync_cost) involved
+  in
+  List.iter Exec.await promises;
+  List.iter
+    (fun (s, records) ->
+      t.synced_events.(s) <-
+        Cc.Event_log.length (Cc.System.log t.shards.(s));
+      t.synced_ctrls.(s) <- List.length t.controls.(s);
+      (match t.metrics with
+      | None -> ()
+      | Some m -> Weihl_obs.Shard_metrics.wal_sync m ~records);
+      match t.tracer with
+      | None -> ()
+      | Some st ->
+        St.span (St.shard st s) ~name:"wal.sync" ~cat:"wal" ~ts:(St.now st)
+          ~dur:0. ~tid:0
+          ~args:[ ("batch", St.num records) ])
+    involved
+
+let checkpoint_retain t =
+  match t.checkpoint with Some c -> c.retain | None -> default_checkpoint.retain
+
+(* Write one fuzzy checkpoint of shard [s] without stopping traffic:
+   capture the durable record stream mid-flight, encode it to a file,
+   and append the [Checkpointed] marker that makes the file official
+   once synced.  Truncation then drops the WAL prefix behind the
+   *oldest retained* checkpoint's redo point — never the newest, so a
+   damaged newest file still leaves an older checkpoint with its marker
+   and a sufficient tail in the log.  [lose_marker] simulates the crash
+   window where the file reached disk but the marker never did: the
+   file exists, yet recovery must treat it as if the checkpoint never
+   happened (no truncation either).  Returns the checkpoint's redo
+   point. *)
+let checkpoint_shard ?(lose_marker = false) t s =
+  if s < 0 || s >= Array.length t.shards then
+    invalid_arg "Group.checkpoint_shard: shard out of range";
+  if t.crashed.(s) then invalid_arg "Group.checkpoint_shard: shard is down";
+  let t0 = Sys.time () in
+  let records = shard_records t s in
+  let ts_ordered = recovery_order t = Cc.Recovery.Timestamp_order in
+  let ckpt =
+    Cc.Checkpoint.capture ~ts_ordered ~label:(shard_label s) records
+  in
+  let file = Cc.Checkpoint.encode ckpt in
+  let covered = Cc.Checkpoint.covered ckpt in
+  t.ckpts.(s) <- take (checkpoint_retain t) ((covered, file) :: t.ckpts.(s));
+  if not lose_marker then begin
+    let digest = Cc.Checkpoint.digest file in
+    append_control t s (Cc.Wal.Checkpointed { seq = covered; digest });
+    sync_shards t [ (s, 1) ];
+    (* Truncate (or archive) the prefix every retained checkpoint
+       covers — but only once the retention window is full.  Truncating
+       behind a lone checkpoint would make that one file a single point
+       of failure: damage it and the log can no longer reach the
+       truncation point from record zero. *)
+    if List.length t.ckpts.(s) = checkpoint_retain t then begin
+    let oldest =
+      List.fold_left (fun _ (c, _) -> c) covered t.ckpts.(s)
+    in
+    if oldest > t.wal_base.(s) then begin
+      (match t.checkpoint with
+      | Some { archive = true; _ } ->
+        let base = t.wal_base.(s) in
+        let segment =
+          Cc.Wal.encode_records ~label:(shard_label s) ~base
+            (take (oldest - base) (drop_n base records))
+        in
+        t.archived.(s) <- segment :: t.archived.(s)
+      | _ -> ());
+      t.wal_base.(s) <- oldest
+    end
+    end
+  end;
+  let age = List.length records - covered in
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    Weihl_obs.Shard_metrics.checkpoint_written m
+      ~duration:((Sys.time () -. t0) *. 1e6)
+      ~age);
+  (match t.tracer with
+  | None -> ()
+  | Some st ->
+    St.span (St.shard st s) ~name:"checkpoint" ~cat:"ckpt" ~ts:(St.now st)
+      ~dur:0. ~tid:0
+      ~args:[ ("covered", St.num covered); ("age", St.num age) ]);
+  covered
+
+(* The commit paths call this once per commit landing on shard [s];
+   every [every]-th commit triggers an automatic fuzzy checkpoint. *)
+let bump_checkpoint t s =
+  match t.checkpoint with
+  | None -> ()
+  | Some { every; _ } ->
+    if not t.crashed.(s) then begin
+      t.ckpt_countdown.(s) <- t.ckpt_countdown.(s) - 1;
+      if t.ckpt_countdown.(s) <= 0 then begin
+        t.ckpt_countdown.(s) <- every;
+        ignore (checkpoint_shard t s)
+      end
+    end
+
+let checkpoint_files t s =
+  if s < 0 || s >= Array.length t.shards then
+    invalid_arg "Group.checkpoint_files: shard out of range";
+  List.map snd t.ckpts.(s)
+
+let corrupt_checkpoint t s ~f =
+  if s < 0 || s >= Array.length t.shards then
+    invalid_arg "Group.corrupt_checkpoint: shard out of range";
+  match t.ckpts.(s) with
+  | [] -> false
+  | (covered, file) :: tl ->
+    t.ckpts.(s) <- (covered, f file) :: tl;
+    true
+
+let wal_base t s =
+  if s < 0 || s >= Array.length t.shards then
+    invalid_arg "Group.wal_base: shard out of range";
+  t.wal_base.(s)
+
+let archived_segments t s =
+  if s < 0 || s >= Array.length t.shards then
+    invalid_arg "Group.archived_segments: shard out of range";
+  List.rev t.archived.(s)
+
 (* Single-shard fast path: no 2PC round, but hybrid updates still draw
    their commit timestamp from the group clock — local clocks drift
    independently, and hybrid atomicity needs the global timestamp order
@@ -310,7 +532,8 @@ let commit_fast t g s txn =
       ~ts:(St.now st) ~tid:(Gtxn.gid g) ~args:(ctx_args g);
     trace_end t g ~ts:(St.now st) ~outcome:"commit");
   drop_leg t s txn;
-  Hashtbl.remove t.gtxns (Gtxn.gid g)
+  Hashtbl.remove t.gtxns (Gtxn.gid g);
+  bump_checkpoint t s
 
 (* A crashed shard takes its volatile state down: every active global
    transaction with a leg there can no longer complete, so it aborts at
@@ -566,6 +789,8 @@ let commit_2pc ?(fault = Tpc.no_fault) ?(votes_no = []) t g legs =
     in
     trace_end t g ~ts:(t0 +. dur) ~outcome);
   maybe_prune t g;
+  if decision.Tpc.committed then
+    List.iter (fun s -> bump_checkpoint t s) part_shards;
   Distributed (decision, part_shards)
 
 let commit ?fault ?votes_no t g =
@@ -682,42 +907,7 @@ let in_doubt t =
 let in_doubt_count t = List.length (in_doubt t)
 
 (* ------------------------------------------------------------------ *)
-(* Durability and recovery *)
-
-let shard_label s = Fmt.str "shard-%d" s
-
-let rec take n = function
-  | x :: tl when n > 0 -> x :: take (n - 1) tl
-  | _ -> []
-
-let durable_shard t s =
-  let sys = t.shards.(s) in
-  let evs = on_shard t s (fun () -> History.to_list (Cc.System.history sys)) in
-  let ctrls = List.rev t.controls.(s) in
-  (* Under group commit the durable image is the synced prefix: records
-     appended since the last sync are still in the volatile buffer and
-     a crash loses them.  The marks are taken at sync time, so "first
-     n events + first m controls" is exactly a prefix of the merged
-     record stream.  Without group commit every append is durable
-     (the classic synchronous-WAL model). *)
-  let evs, ctrls =
-    if t.group_commit then
-      (take t.synced_events.(s) evs, take t.synced_ctrls.(s) ctrls)
-    else (evs, ctrls)
-  in
-  let rec merge idx evs ctrls acc =
-    match (evs, ctrls) with
-    | _, (p, c) :: ctl when p <= idx -> merge idx evs ctl (Cc.Wal.Control c :: acc)
-    | e :: etl, _ -> merge (idx + 1) etl ctrls (Cc.Wal.Event e :: acc)
-    | [], (_, c) :: ctl -> merge idx [] ctl (Cc.Wal.Control c :: acc)
-    | [], [] -> List.rev acc
-  in
-  Cc.Wal.encode_records ~label:(shard_label s) (merge 0 evs ctrls [])
-
-let recovery_order t =
-  match t.policy with
-  | `None_ -> Cc.Recovery.Commit_order
-  | `Static | `Hybrid -> Cc.Recovery.Timestamp_order
+(* Crash and recovery *)
 
 (* Take shard [s] down: its volatile state is lost, so every active
    global transaction with a leg there aborts at its surviving shards
@@ -734,6 +924,7 @@ let crash_shard t s =
 let recover_shard ?resolve t s text =
   if not t.crashed.(s) then
     invalid_arg "Group.recover_shard: shard is not crashed";
+  let t0 = Sys.time () in
   let sys = Cc.System.create ~policy:t.policy () in
   Hashtbl.iter
     (fun _ (x, home, make) ->
@@ -749,9 +940,14 @@ let recover_shard ?resolve t s text =
         | Some `Abort -> `Abort
         | None -> `Abort (* presumed abort: the coordinator has no record *))
   in
-  match Cc.Recovery.restore_shard ~resolve (recovery_order t) sys text with
+  match
+    Cc.Recovery.restore_checkpointed ~resolve
+      ~checkpoints:(List.map snd t.ckpts.(s))
+      (recovery_order t) sys text
+  with
   | Error e -> Error e
   | Ok report ->
+    let shard_report = report.Cc.Recovery.shard in
     t.shards.(s) <- sys;
     install_probe t s;
     Hashtbl.reset t.local_index.(s);
@@ -777,11 +973,22 @@ let recover_shard ?resolve t s text =
         Gtxn.set_leg g s txn;
         if Gtxn.status g = Gtxn.Active then Gtxn.set_status g Gtxn.In_doubt;
         Hashtbl.replace t.local_index.(s) (Cc.Txn.id txn) g)
-      report.Cc.Recovery.in_doubt;
+      shard_report.Cc.Recovery.in_doubt;
     (* Recovery rewrites the WAL (replayed log + re-created Prepared
-       markers) durably before the shard returns to service. *)
+       markers) durably before the shard returns to service.  The new
+       incarnation starts from record zero with no checkpoints: the old
+       files' positions refer to the pre-crash stream and must not leak
+       into the next crash's recovery. *)
     t.synced_events.(s) <- Cc.Event_log.length (Cc.System.log sys);
     t.synced_ctrls.(s) <- List.length t.controls.(s);
+    t.ckpts.(s) <- [];
+    t.wal_base.(s) <- 0;
+    t.archived.(s) <- [];
+    (match t.checkpoint with
+    | None -> ()
+    | Some { every; _ } ->
+      t.ckpt_countdown.(s) <-
+        jittered_countdown ~every ~shards:(Array.length t.shards) s);
     t.crashed.(s) <- false;
     (* Transactions that were only waiting on this shard may now be
        fully resolved. *)
@@ -791,7 +998,10 @@ let recover_shard ?resolve t s text =
     | None -> ()
     | Some m ->
       Weihl_obs.Shard_metrics.set_in_doubt m s
-        (List.length (Cc.System.prepared_txns sys)));
+        (List.length (Cc.System.prepared_txns sys));
+      Weihl_obs.Shard_metrics.recovery_done m
+        ~duration:((Sys.time () -. t0) *. 1e6)
+        ~records:report.Cc.Recovery.replayed_records);
     Ok report
 
 (* ------------------------------------------------------------------ *)
@@ -899,33 +1109,6 @@ let tpc_rounds t = t.rounds
 
 (* ------------------------------------------------------------------ *)
 (* Batched execution and group commit *)
-
-(* One WAL device sync per involved shard, all in flight at once: each
-   sync's latency is paid on its shard's own domain, so the syncs
-   overlap in wall-clock time.  [records] is the number of transactions
-   whose records the shard's sync covers — the group commit batch size.
-   Marks advance to the current end of the shard's record stream:
-   everything appended so far becomes durable in one device operation. *)
-let sync_shards t involved =
-  let promises =
-    List.map (fun (s, _) -> Exec.submit t.exec ~shard:s t.sync_cost) involved
-  in
-  List.iter Exec.await promises;
-  List.iter
-    (fun (s, records) ->
-      t.synced_events.(s) <-
-        Cc.Event_log.length (Cc.System.log t.shards.(s));
-      t.synced_ctrls.(s) <- List.length t.controls.(s);
-      (match t.metrics with
-      | None -> ()
-      | Some m -> Weihl_obs.Shard_metrics.wal_sync m ~records);
-      match t.tracer with
-      | None -> ()
-      | Some st ->
-        St.span (St.shard st s) ~name:"wal.sync" ~cat:"wal" ~ts:(St.now st)
-          ~dur:0. ~tid:0
-          ~args:[ ("batch", St.num records) ])
-    involved
 
 (* Execute one operation per entry, batched: entries are grouped by
    home shard, one job per shard runs its sub-list in entry order, and
@@ -1253,6 +1436,17 @@ let commit_batch ?(crash_before_sync = []) t gs =
   (* A shard that died in this batch takes every other active
      transaction with a leg there down with it. *)
   List.iter (fun s -> sweep_crashed t s) crashed_now;
+  (* Commit-count checkpoint scheduling, once the batch has settled. *)
+  List.iter
+    (fun ((g, s, _txn), _mode) ->
+      if Gtxn.status g = Gtxn.Committed then bump_checkpoint t s)
+    singles;
+  List.iter
+    (fun (_g, legs, verdict) ->
+      match verdict with
+      | `Commit _ -> List.iter (fun (s, _) -> bump_checkpoint t s) legs
+      | `Abort -> ())
+    decided;
   match t.metrics with
   | None -> ()
   | Some m ->

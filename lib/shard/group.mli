@@ -47,6 +47,19 @@ type commit_outcome =
       (** the 2PC decision record and the participant shards, in the
           order the transaction first touched them *)
 
+type checkpoint_config = {
+  every : int;
+      (** auto-checkpoint a shard after every [every] commits that land
+          on it *)
+  retain : int;  (** checkpoint files kept per shard (the newest N) *)
+  archive : bool;
+      (** archive truncated WAL prefixes (see {!archived_segments})
+          instead of dropping them *)
+}
+
+val default_checkpoint : checkpoint_config
+(** [{ every = 100; retain = 2; archive = false }]. *)
+
 val create :
   ?policy:Cc.System.ts_policy ->
   ?metrics:Weihl_obs.Shard_metrics.t ->
@@ -54,6 +67,7 @@ val create :
   ?domains:int ->
   ?group_commit:bool ->
   ?sync_cost:(unit -> unit) ->
+  ?checkpoint:checkpoint_config ->
   shards:int ->
   unit ->
   t
@@ -76,8 +90,17 @@ val create :
     per-shard sync on that shard's domain (so syncs overlap across
     domains).
 
-    @raise Invalid_argument if [shards <= 0] or the metrics were built
-    for a different shard count. *)
+    [checkpoint] turns on fuzzy checkpointing: each shard writes a
+    checkpoint file after every [every] commits that land on it
+    (staggered across shards so the group never checkpoints in
+    lock-step), keeps the newest [retain] files, and truncates its WAL
+    behind the oldest retained checkpoint's redo point.  Without it the
+    group never checkpoints on its own — {!checkpoint_shard} still
+    works on demand.
+
+    @raise Invalid_argument if [shards <= 0], the metrics were built
+    for a different shard count, or the checkpoint config is not
+    positive. *)
 
 val shutdown : t -> unit
 (** Join the worker domains (no-op at [domains = 1]).  Required before
@@ -209,12 +232,51 @@ val in_doubt : t -> (int * int) list
 
 val in_doubt_count : t -> int
 
-(** {1 Durability, crash, recovery} *)
+(** {1 Durability, checkpoints, crash, recovery} *)
 
 val durable_shard : t -> int -> string
 (** The shard's WAL: its event log interleaved with the [Prepared] /
-    [Decided] control records at the positions they were written,
-    framed by {!Cc.Wal.encode_records} under the label ["shard-<i>"]. *)
+    [Decided] / [Checkpointed] control records at the positions they
+    were written, framed by {!Cc.Wal.encode_records} under the label
+    ["shard-<i>"].  Once checkpoint truncation has run, the text keeps
+    absolute record numbering but starts at the truncation point
+    (header [@<base>]). *)
+
+val checkpoint_shard : ?lose_marker:bool -> t -> int -> int
+(** Write one fuzzy checkpoint of the shard now, without stopping
+    traffic: capture the durable record stream
+    ({!Cc.Checkpoint.capture}), store the encoded file, append and sync
+    the WAL [Checkpointed] marker that makes it official, then — once
+    [retain] files exist — truncate the WAL behind the oldest retained
+    checkpoint's redo point (archiving the prefix under
+    [checkpoint.archive]).  Returns the new checkpoint's redo point.
+
+    [lose_marker] (default false) simulates the crash window where the
+    file reached disk but its marker never became durable: the file is
+    stored, no marker is written, and no truncation happens — recovery
+    must ignore the file.
+
+    @raise Invalid_argument if the shard is out of range or crashed. *)
+
+val checkpoint_files : t -> int -> string list
+(** The shard's retained checkpoint files, newest first — what recovery
+    will be offered.  @raise Invalid_argument on a bad index. *)
+
+val corrupt_checkpoint : t -> int -> f:(string -> string) -> bool
+(** Damage the shard's newest checkpoint file in place (fault
+    injection).  [false] when the shard has no checkpoint.
+    @raise Invalid_argument on a bad index. *)
+
+val wal_base : t -> int -> int
+(** Records truncated off the head of the shard's durable WAL — 0 until
+    checkpoint truncation first runs.
+    @raise Invalid_argument on a bad index. *)
+
+val archived_segments : t -> int -> string list
+(** Truncated WAL prefixes the [archive] option preserved, oldest
+    first; each is a {!Cc.Wal.encode_records} text with the base of the
+    range it covers.  Empty unless [checkpoint.archive] is set.
+    @raise Invalid_argument on a bad index. *)
 
 val crash_shard : t -> int -> string
 (** Mark the shard crashed and return its WAL as of the crash.  Active
@@ -227,12 +289,18 @@ val recover_shard :
   t ->
   int ->
   string ->
-  (Cc.Recovery.shard_report, Cc.Recovery.failure) result
-(** Rebuild a crashed shard from WAL text: fresh system, objects
-    re-created, committed projection replayed, prepared-undecided
-    transactions reinstated and resolved — by default against the
-    group's decision log with presumed abort.  Surviving in-doubt legs
-    are re-linked to their global transactions.
+  (Cc.Recovery.checkpointed_report, Cc.Recovery.failure) result
+(** Rebuild a crashed shard from WAL text via
+    {!Cc.Recovery.restore_checkpointed}, offering the shard's retained
+    checkpoint files: the newest durable, digest-valid checkpoint is
+    loaded and only the WAL tail behind its redo point is replayed;
+    damaged or unmarked files fall back loudly (see the report's
+    [fallbacks]) to an older checkpoint or to full replay.  Fresh
+    system, objects re-created, prepared-undecided transactions
+    reinstated and resolved — by default against the group's decision
+    log with presumed abort.  Surviving in-doubt legs are re-linked to
+    their global transactions.  The recovered incarnation starts with
+    an empty checkpoint directory and an untruncated WAL.
     @raise Invalid_argument if the shard is not crashed. *)
 
 (** {1 Cross-shard deadlock} *)

@@ -153,7 +153,7 @@ let check_merged_replay (proto : Fh.protocol) group =
     w.Workload.objects;
   match Cc.Recovery.replay_txns sys (Group.committed_projection group) with
   | Ok _ -> None
-  | Error msg -> Some (Fmt.str "merged replay: %s" msg)
+  | Error f -> Some (Fmt.str "merged replay: %a" Cc.Recovery.pp_failure f)
 
 let run_checks proto group =
   match check_atomic_commitment group with
@@ -209,7 +209,9 @@ let run_schedule ?(quick = false) ?(shards = 3) (plan : Shard_plan.t)
           let text = if first then Shard_plan.corrupt plan text else text in
           (match Group.recover_shard group s text with
           | Ok report ->
-            Ok (false, reinstated + report.Cc.Recovery.reinstated)
+            Ok
+              ( false,
+                reinstated + report.Cc.Recovery.shard.Cc.Recovery.reinstated )
           | Error e -> Error e))
       (Ok (true, 0))
       crashed
@@ -238,6 +240,10 @@ let run_schedule ?(quick = false) ?(shards = 3) (plan : Shard_plan.t)
     else result Corruption_detected ~reinstated:0 ~resolved:0 ~resumed:0
   | Error (Cc.Recovery.Divergent msg) ->
     result (Diverged msg) ~reinstated:0 ~resolved:0 ~resumed:0
+  | Error (Cc.Recovery.Checkpoint_invalid msg) ->
+    result
+      (Diverged (Fmt.str "checkpoint invalid: %s" msg))
+      ~reinstated:0 ~resolved:0 ~resumed:0
   | Ok (_, reinstated) -> (
     (* Phase 3: end the blocking window — replay the coordinator's
        decisions (presumed abort where it has none) into every
@@ -290,6 +296,201 @@ let divergences s =
     (fun r -> match r.verdict with Diverged _ -> true | _ -> false)
     s.results
 
+(* ------------------------------------------------------------------ *)
+(* Long-soak crash→recover cycles *)
+
+type soak_config = {
+  soak_seed : int;
+  cycles : int;
+  cycle_duration : int;  (** driver ticks of traffic per cycle *)
+  soak_shards : int;
+  checkpoint_every : int;
+  check_merged_every : int;
+      (** merged-replay cadence — the full-projection replay is
+          quadratic over a long soak, the other checks run every
+          cycle *)
+}
+
+let default_soak =
+  {
+    soak_seed = 1;
+    cycles = 20;
+    cycle_duration = 400;
+    soak_shards = 3;
+    checkpoint_every = 25;
+    check_merged_every = 5;
+  }
+
+type cycle_report = {
+  cycle : int;
+  victim : int;
+  ckpt_fault : Shard_plan.ckpt_fault;
+  cycle_committed : int;  (** commits this cycle's traffic added *)
+  source : Cc.Recovery.source;
+  fallbacks : string list;
+  wal_records : int;  (** records in the victim's (truncated) WAL *)
+  replayed : int;  (** records recovery actually replayed *)
+  replay_bound : int;  (** the tail length it was allowed *)
+  cycle_verdict : verdict;
+}
+
+type soak_report = {
+  soak_protocol : string;
+  cycles_run : int;
+  soak_committed : int;
+  soak_diverged : int;
+  bound_violations : int;
+  checkpoint_recoveries : int;  (** cycles restored from a checkpoint *)
+  full_replays : int;
+  loud_fallbacks : int;  (** cycles whose recovery reported fallbacks *)
+  cycle_reports : cycle_report list;
+}
+
+(* Compressed hours of one group's life: seeded traffic, a crash of a
+   random shard at the end of every cycle — its newest checkpoint
+   damaged per the cycle's plan — then checkpoint-aware recovery and
+   the global-atomicity checks, on the same group, for [cycles] rounds.
+   Recovery must stay bounded by the WAL tail behind the checkpoint it
+   used, and damaged checkpoints must fall back *loudly* (a damaged
+   file with a silent, note-free recovery counts as a divergence). *)
+let run_soak ?(config = default_soak) () =
+  let rng = Weihl_sim.Rng.create ((config.soak_seed * 101) + 3) in
+  let n = List.length protocols in
+  let proto = List.nth protocols (config.soak_seed mod n) in
+  let group =
+    Group.create ~policy:proto.Fh.policy ~seed:config.soak_seed
+      ~shards:config.soak_shards
+      ~checkpoint:
+        { Group.default_checkpoint with every = config.checkpoint_every }
+      ()
+  in
+  let w = proto.Fh.workload () in
+  List.iter
+    (fun id -> Group.add_object group id proto.Fh.make_object)
+    w.Workload.objects;
+  let reports = ref [] in
+  let committed = ref 0 in
+  (* A failed recovery leaves its victim down — the group cannot take
+     another cycle of traffic, so the soak stops at the divergence
+     instead of cascading unrelated failures after it. *)
+  let halted = ref false in
+  for c = 1 to config.cycles do
+    if not !halted then begin
+    let plan = Shard_plan.generate ~seed:((config.soak_seed * 1000) + c) in
+    let dconfig =
+      {
+        Sharded_driver.default_config with
+        clients = 4;
+        duration = config.cycle_duration;
+        seed = plan.Shard_plan.seed;
+        activity_base = c * 10_000;
+      }
+    in
+    let o = Sharded_driver.run ~config:dconfig group w in
+    committed := !committed + o.Sharded_driver.committed;
+    let victim = Weihl_sim.Rng.int rng config.soak_shards in
+    let damaged =
+      match plan.Shard_plan.ckpt with
+      | Shard_plan.Ckpt_race ->
+        ignore (Group.checkpoint_shard ~lose_marker:true group victim);
+        false
+      | Shard_plan.Ckpt_pristine -> false
+      | Shard_plan.Ckpt_bit_flip _ | Shard_plan.Ckpt_torn _ ->
+        Group.corrupt_checkpoint group victim
+          ~f:(Shard_plan.corrupt_ckpt plan)
+    in
+    let text = Group.crash_shard group victim in
+    let cycle_result source fallbacks wal_records replayed replay_bound
+        cycle_verdict =
+      reports :=
+        {
+          cycle = c;
+          victim;
+          ckpt_fault = plan.Shard_plan.ckpt;
+          cycle_committed = o.Sharded_driver.committed;
+          source;
+          fallbacks;
+          wal_records;
+          replayed;
+          replay_bound;
+          cycle_verdict;
+        }
+        :: !reports
+    in
+    match Group.recover_shard group victim text with
+    | Error f ->
+      halted := true;
+      cycle_result Cc.Recovery.Full_replay [] 0 0 0
+        (Diverged (Fmt.str "recovery failed: %a" Cc.Recovery.pp_failure f))
+    | Ok r ->
+      let source = r.Cc.Recovery.source in
+      let fallbacks = r.Cc.Recovery.fallbacks in
+      let wal_records = r.Cc.Recovery.wal_records in
+      let replayed = r.Cc.Recovery.replayed_records in
+      let base = Cc.Wal.base text in
+      let bound =
+        match source with
+        | Cc.Recovery.Full_replay -> wal_records
+        | Cc.Recovery.From_checkpoint { covered } ->
+          wal_records - (covered - base)
+      in
+      ignore (Group.resolve_in_doubt group);
+      let structural =
+        match check_atomic_commitment group with
+        | Some msg -> Some msg
+        | None -> (
+          match check_ts_agreement group with
+          | Some msg -> Some msg
+          | None ->
+            let stuck = Group.in_doubt_count group in
+            if stuck > 0 then
+              Some (Fmt.str "%d transactions stuck in-doubt" stuck)
+            else if
+              c mod config.check_merged_every = 0 || c = config.cycles
+            then check_merged_replay proto group
+            else None)
+      in
+      let verdict =
+        match structural with
+        | Some msg -> Diverged msg
+        | None ->
+          if replayed > bound then
+            Diverged
+              (Fmt.str "recovery replayed %d records, tail bound is %d"
+                 replayed bound)
+          else if damaged && fallbacks = [] then
+            Diverged "damaged checkpoint consumed without a fallback note"
+          else Converged
+      in
+      cycle_result source fallbacks wal_records replayed bound verdict
+    end
+  done;
+  let reports = List.rev !reports in
+  let count p = List.length (List.filter p reports) in
+  {
+    soak_protocol = proto.Fh.name;
+    cycles_run = List.length reports;
+    soak_committed = !committed;
+    soak_diverged =
+      count (fun r ->
+          match r.cycle_verdict with Diverged _ -> true | _ -> false);
+    bound_violations = count (fun r -> r.replayed > r.replay_bound);
+    checkpoint_recoveries =
+      count (fun r ->
+          match r.source with
+          | Cc.Recovery.From_checkpoint _ -> true
+          | Cc.Recovery.Full_replay -> false);
+    full_replays =
+      count (fun r -> r.source = Cc.Recovery.Full_replay);
+    loud_fallbacks = count (fun r -> r.fallbacks <> []);
+    cycle_reports = reports;
+  }
+
+let soak_divergences s =
+  List.filter
+    (fun r -> match r.cycle_verdict with Diverged _ -> true | _ -> false)
+    s.cycle_reports
+
 let pp_verdict ppf = function
   | Converged -> Fmt.string ppf "converged"
   | Corruption_detected -> Fmt.string ppf "corruption detected"
@@ -307,3 +508,21 @@ let pp_summary ppf s =
   Fmt.pf ppf
     "@[<v>schedules: %d@,converged: %d@,corruption detected: %d@,diverged: %d@]"
     s.schedules s.converged s.corruption_detected s.diverged
+
+let pp_cycle ppf r =
+  Fmt.pf ppf
+    "@[<h>cycle %d: shard %d down (%a) → %a, wal %d, replayed %d/%d, %a%a@]"
+    r.cycle r.victim Shard_plan.pp_ckpt r.ckpt_fault Cc.Recovery.pp_source
+    r.source r.wal_records r.replayed r.replay_bound pp_verdict r.cycle_verdict
+    Fmt.(
+      if r.fallbacks = [] then nop
+      else any " [" ++ list ~sep:(any "; ") string ++ any "]")
+    r.fallbacks
+
+let pp_soak ppf s =
+  Fmt.pf ppf
+    "@[<v>protocol: %s@,cycles: %d@,committed: %d@,diverged: %d@,\
+     bound violations: %d@,checkpoint recoveries: %d@,full replays: %d@,\
+     loud fallbacks: %d@]"
+    s.soak_protocol s.cycles_run s.soak_committed s.soak_diverged
+    s.bound_violations s.checkpoint_recoveries s.full_replays s.loud_fallbacks

@@ -20,9 +20,14 @@
     + resume clean traffic and re-validate everything.
 
     {!Diverged} is the verdict that must never happen; a damaged WAL
-    being loudly rejected is {!Corruption_detected}. *)
+    being loudly rejected is {!Corruption_detected}.
+
+    {!run_soak} is the long-soak variant: compressed hours of one
+    group's life under fuzzy checkpointing, with a crash→recover cycle
+    (and seeded checkpoint damage) at the end of every traffic round. *)
 
 module Shard_plan = Weihl_fault.Shard_plan
+module Cc = Weihl_cc
 
 type verdict = Converged | Corruption_detected | Diverged of string
 
@@ -70,3 +75,62 @@ val divergences : summary -> schedule_result list
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_result : Format.formatter -> schedule_result -> unit
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Long-soak crash→recover cycles} *)
+
+type soak_config = {
+  soak_seed : int;  (** picks the protocol and derives every cycle's plan *)
+  cycles : int;
+  cycle_duration : int;  (** driver ticks of traffic per cycle *)
+  soak_shards : int;
+  checkpoint_every : int;  (** the group's auto-checkpoint period *)
+  check_merged_every : int;
+      (** merged-replay cadence — the full-projection replay is
+          quadratic over a long soak; the atomicity, timestamp and
+          in-doubt checks still run every cycle, and the merged replay
+          always runs on the final cycle *)
+}
+
+val default_soak : soak_config
+(** Seed 1, 20 cycles of 400 ticks over 3 shards, checkpoint every 25
+    commits, merged replay every 5 cycles. *)
+
+type cycle_report = {
+  cycle : int;
+  victim : int;  (** the shard this cycle crashed *)
+  ckpt_fault : Shard_plan.ckpt_fault;
+  cycle_committed : int;  (** commits this cycle's traffic added *)
+  source : Cc.Recovery.source;
+  fallbacks : string list;
+  wal_records : int;  (** records in the victim's (truncated) WAL *)
+  replayed : int;  (** records recovery actually replayed *)
+  replay_bound : int;  (** the tail length it was allowed *)
+  cycle_verdict : verdict;
+}
+
+type soak_report = {
+  soak_protocol : string;
+  cycles_run : int;
+  soak_committed : int;
+  soak_diverged : int;
+  bound_violations : int;  (** cycles where [replayed > replay_bound] *)
+  checkpoint_recoveries : int;  (** cycles restored from a checkpoint *)
+  full_replays : int;
+  loud_fallbacks : int;  (** cycles whose recovery reported fallbacks *)
+  cycle_reports : cycle_report list;  (** in cycle order *)
+}
+
+val run_soak : ?config:soak_config -> unit -> soak_report
+(** Run one long soak: per cycle, seeded traffic over the same group
+    (activities offset so cycles never collide), then a crash of a
+    seeded victim shard with its newest checkpoint damaged per the
+    cycle's {!Shard_plan.ckpt_fault} ([Ckpt_race] instead loses the
+    marker of a checkpoint taken just before the crash), then
+    checkpoint-aware recovery and the global-atomicity checks.  A cycle
+    diverges if recovery fails, a structural check fails, recovery
+    replays more than the tail behind its checkpoint, or a damaged
+    checkpoint was consumed without a fallback note. *)
+
+val soak_divergences : soak_report -> cycle_report list
+val pp_cycle : Format.formatter -> cycle_report -> unit
+val pp_soak : Format.formatter -> soak_report -> unit

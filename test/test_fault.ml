@@ -83,8 +83,7 @@ let test_restore_rejects_illegal_log () =
       (Wal.encode sec3_not_atomic)
   with
   | Error (Recovery.Divergent _) -> ()
-  | Error (Recovery.Corrupt e) ->
-    Alcotest.fail (Fmt.str "wrong failure: %a" Wal.pp_error e)
+  | Error f -> Alcotest.fail (Fmt.str "wrong failure: %a" Recovery.pp_failure f)
   | Ok _ -> Alcotest.fail "an impossible log must not replay"
 
 (* --- Random histories for the corruption property ------------------- *)

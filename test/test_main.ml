@@ -34,6 +34,7 @@ let () =
       ("two-phase commit", Test_tpc.suite);
       ("multicore runtime", Test_concurrent.suite);
       ("recovery", Test_recovery.suite);
+      ("checkpointing", Test_checkpoint.suite);
       ("stats edge cases", Test_stats.suite);
       ("adt inference", Test_infer.suite);
       ("observability", Test_obs.suite);

@@ -162,7 +162,8 @@ let test_crash_before_sync_never_acknowledged () =
     (List.length (records_of (Shard_group.durable_shard g s)));
   (match Shard_group.recover_shard g s (Shard_group.durable_shard g s) with
   | Ok report ->
-    check_int "nothing to replay" 0 report.Recovery.base.Recovery.replayed
+    check_int "nothing to replay" 0
+      report.Recovery.shard.Recovery.base.Recovery.replayed
   | Error e -> Alcotest.fail (Fmt.str "%a" Recovery.pp_failure e));
   (* the recovered shard serves synced commits again *)
   let t2 = Shard_group.begin_txn g (Activity.update "after") in

@@ -203,7 +203,7 @@ let test_coordinator_crash_leaves_in_doubt () =
 let crash_and_recover ~resolve g s =
   let wal = Shard_group.crash_shard g s in
   match Shard_group.recover_shard ?resolve g s wal with
-  | Ok report -> report
+  | Ok report -> report.Recovery.shard
   | Error e -> Alcotest.fail (Fmt.str "recovery failed: %a" Recovery.pp_failure e)
 
 let test_participant_crash_recovers_to_commit () =
@@ -544,7 +544,9 @@ let prop_merged_projection_replays =
         (fun x -> System.add_object sys (make (System.log sys) x))
         accounts;
       match Recovery.replay_txns sys (Shard_group.committed_projection g) with
-      | Error msg -> QCheck2.Test.fail_reportf "merged replay diverged: %s" msg
+      | Error f ->
+        QCheck2.Test.fail_reportf "merged replay diverged: %a"
+          Recovery.pp_failure f
       | Ok report ->
         if report.Recovery.replayed <> o.Sharded_driver.committed then
           QCheck2.Test.fail_reportf "replayed %d of %d committed"
