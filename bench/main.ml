@@ -1205,6 +1205,119 @@ let sim_section ~quick =
          ])
        [ 8; 32 ])
 
+(* The tentpole's quantitative claim: on the contended single-account
+   workload drawn from the certifier's own alphabet, the synthesized
+   data-dependent table (derived_account) beats the generic
+   commutativity protocol on aborts/blocking and closes toward the
+   hand-tuned escrow protocol.  Every quantity is virtual-time and a
+   pure function of (seed, config), so the per-protocol throughput
+   joins the deterministic regression gate. *)
+let synth_section ~quick =
+  let duration = if quick then 600 else 2000 in
+  let headroom = 200 in
+  let account_domain = Lint_domain.find_exn "account" in
+  let alphabet_workload ~balance_fraction =
+    (* Scripts drawn from the synthesis alphabet itself
+       ({deposit 5; deposit 2; withdraw 3; withdraw 6; balance}), so
+       every invocation hits a compiled (op, result) cell rather than
+       the conservative off-alphabet fallback. *)
+    let ops =
+      Bank_account.[| deposit 5; deposit 2; withdraw 3; withdraw 6 |]
+    in
+    let acct = Workload.hot_account in
+    {
+      Workload.name = "synth-alphabet";
+      objects = [ acct ];
+      generate =
+        (fun rng ->
+          if Rng.float rng 1.0 < balance_fraction then
+            {
+              Workload.kind = `Read_only;
+              label = "balance";
+              steps = [ Workload.step acct Bank_account.balance ];
+            }
+          else
+            let n = 1 + Rng.int rng 3 in
+            let steps =
+              List.init n (fun _ ->
+                  Workload.step acct ops.(Rng.int rng (Array.length ops)))
+            in
+            { Workload.kind = `Update; label = "synth-mix"; steps });
+    }
+  in
+  let build_derived () =
+    let sys = System.create ~policy:`None_ () in
+    let log = System.log sys in
+    let synthesis = Synthesize.of_domain ~depth:3 account_domain in
+    System.add_object sys
+      (Synthesize.make_object synthesis log Workload.hot_account);
+    sys
+  in
+  let scenario build pname =
+    let sys = build () in
+    seed_account sys Workload.hot_account headroom;
+    let config =
+      {
+        Driver.default_config with
+        clients = 16;
+        duration;
+        seed = 23;
+        max_restarts = 6;
+      }
+    in
+    let o = Driver.run ~config sys (alphabet_workload ~balance_fraction:0.2) in
+    let aborted = o.Driver.aborted_deadlock + o.Driver.aborted_refused in
+    let attempts = o.Driver.committed + aborted + o.Driver.gave_up in
+    let rate num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+    ( pname,
+      o,
+      J.Obj
+        [
+          ("name", J.Str pname);
+          ("clients", J.Num (float_of_int config.Driver.clients));
+          ("duration_ticks", J.Num (float_of_int duration));
+          ("committed", J.Num (float_of_int o.Driver.committed));
+          ("aborted", J.Num (float_of_int aborted));
+          ("gave_up", J.Num (float_of_int o.Driver.gave_up));
+          ("waits", J.Num (float_of_int o.Driver.waits));
+          ("abort_rate", J.Num (rate aborted attempts));
+          ("waits_per_commit", J.Num (rate o.Driver.waits o.Driver.committed));
+          ("throughput_per_1000_ticks", J.Num (Driver.throughput o));
+        ] )
+  in
+  let runs =
+    [
+      scenario (fun () -> build_accounts `Rw [ Workload.hot_account ]) "rw-2pl";
+      scenario
+        (fun () -> build_accounts `Commutativity [ Workload.hot_account ])
+        "commutativity";
+      scenario build_derived "derived_account";
+      scenario
+        (fun () -> build_accounts `Escrow [ Workload.hot_account ])
+        "escrow";
+    ]
+  in
+  let find name =
+    let _, o, _ = List.find (fun (n, _, _) -> n = name) runs in
+    o
+  in
+  let commut = find "commutativity" and derived = find "derived_account" in
+  let ratio a b = if b = 0 then float_of_int a else float_of_int a /. float_of_int b in
+  J.Obj
+    [
+      ("scenarios", J.List (List.map (fun (_, _, j) -> j) runs));
+      (* The headline: synthesized vs generic commutativity on the same
+         alphabet — blocking and throughput, same seed and scripts. *)
+      ( "derived_vs_commutativity",
+        J.Obj
+          [
+            ( "waits_ratio",
+              J.Num (ratio derived.Driver.waits commut.Driver.waits) );
+            ( "throughput_ratio",
+              J.Num (Driver.throughput derived /. Driver.throughput commut) );
+          ] );
+    ]
+
 (* Open-loop saturation curve over the sharded runtime: seeded Poisson
    arrivals at a ladder of offered rates against the escrow banking
    group.  Every quantity is virtual-time and a pure function of
@@ -1538,6 +1651,41 @@ let compare_to_baseline ~current ~base =
           bs
       | _ -> []
     in
+    (* The synth scenarios gate per protocol, the same relative
+       throughput check as sim.  Baselines from before the section
+       existed simply skip it. *)
+    let synth_regressions =
+      let scenarios v =
+        match Option.bind (jfield "synth" v) (jfield "scenarios") with
+        | Some (J.List s) -> Some s
+        | _ -> None
+      in
+      match (scenarios base, scenarios current) with
+      | Some bs, Some cs ->
+        List.filter_map
+          (fun b ->
+            match jstr (jfield "name" b) with
+            | None -> None
+            | Some name -> (
+              let matches c = jstr (jfield "name" c) = Some name in
+              match List.find_opt matches cs with
+              | None ->
+                Some (Fmt.str "synth scenario %s missing from this run" name)
+              | Some c -> (
+                match (throughput b, throughput c) with
+                | Some bt, Some ct
+                  when bt > 0. && ct < bt *. regression_tolerance ->
+                  Some
+                    (Fmt.str
+                       "synth %s: throughput %.1f fell below %.0f%% of \
+                        baseline %.1f"
+                       name ct
+                       (regression_tolerance *. 100.)
+                       bt)
+                | _ -> None)))
+          bs
+      | _ -> []
+    in
     (* The open-loop knee curve gates the same way: per offered rate,
        virtual-time throughput against the baseline.  Baselines from
        before the section existed simply skip it. *)
@@ -1625,8 +1773,8 @@ let compare_to_baseline ~current ~base =
         | _ -> [ "recovery: section is missing its improvement ratio" ])
       | _ -> []
     in
-    sim_regressions @ open_loop_regressions @ multicore_regressions
-    @ recovery_regressions
+    sim_regressions @ synth_regressions @ open_loop_regressions
+    @ multicore_regressions @ recovery_regressions
 
 let json_mode ~file ~quick ~baseline =
   let sections =
@@ -1636,6 +1784,7 @@ let json_mode ~file ~quick ~baseline =
       ("history_ops", history_ops_section ~quick);
       ("serializability", serializability_section ~quick);
       ("sim", sim_section ~quick);
+      ("synth", synth_section ~quick);
       ("open_loop", open_loop_section ~quick);
       ("multicore", multicore_section ~quick);
       ("recovery", recovery_section ~quick);

@@ -1036,7 +1036,59 @@ let trace_analyze_cmd file top json =
 (* weihl lint                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let lint_cmd protocol depth json self_test verbose =
+(* Baseline gating: a committed LINT_0.json is the floor.  A protocol
+   regresses when it reports more unsound findings than the snapshot
+   (normally: any) or a strictly higher looseness — new protocols
+   absent from the snapshot only have to be sound. *)
+let baseline_regressions baseline (report : Lint.report) =
+  let to_str_opt j = Obs.Json.to_str j in
+  let protos =
+    Option.value ~default:[]
+      (Option.bind (Obs.Json.member "protocols" baseline) Obs.Json.to_list)
+  in
+  let find name =
+    List.find_opt
+      (fun p ->
+        Option.bind (Obs.Json.member "protocol" p) to_str_opt = Some name)
+      protos
+  in
+  List.concat_map
+    (fun (p : Lint.protocol_cert) ->
+      match find p.Lint.protocol with
+      | None -> []
+      | Some bj ->
+        let b_unsound =
+          match
+            Option.bind (Obs.Json.member "unsound" bj) Obs.Json.to_list
+          with
+          | Some l -> List.length l
+          | None -> 0
+        in
+        let b_loose =
+          Option.value ~default:0.
+            (Option.bind (Obs.Json.member "looseness" bj) Obs.Json.to_float)
+        in
+        let unsound_reg =
+          if List.length p.Lint.unsound > b_unsound then
+            [
+              Fmt.str "%s: %d unsound findings (baseline %d)" p.Lint.protocol
+                (List.length p.Lint.unsound)
+                b_unsound;
+            ]
+          else []
+        in
+        let loose_reg =
+          if p.Lint.looseness > b_loose +. 1e-9 then
+            [
+              Fmt.str "%s: looseness %.4f regressed past baseline %.4f"
+                p.Lint.protocol p.Lint.looseness b_loose;
+            ]
+          else []
+        in
+        unsound_reg @ loose_reg)
+    report.Lint.protocols
+
+let lint_cmd protocol depth budget json baseline self_test verbose =
   if self_test then begin
     let outcomes = Lint_mutation.self_test ~depth in
     List.iter (fun o -> Fmt.pr "%a@." Lint_mutation.pp_outcome o) outcomes;
@@ -1049,8 +1101,11 @@ let lint_cmd protocol depth json self_test verbose =
     if missed = [] then 0 else 1
   end
   else begin
-    let report = Lint.run ?protocol ~depth () in
+    let report = Lint.run ?protocol ?budget ~depth () in
     Fmt.pr "%a@." (Lint.pp ~verbose) report;
+    (* Warnings also go to stderr: a truncated or non-stabilized
+       exploration must not scroll away inside the report body. *)
+    List.iter (fun w -> Fmt.epr "lint: WARNING %s@." w) report.Lint.warnings;
     (match json with
     | Some path ->
       let oc = open_out path in
@@ -1059,8 +1114,54 @@ let lint_cmd protocol depth json self_test verbose =
       close_out oc;
       Fmt.pr "report written to %s@." path
     | None -> ());
-    if Lint.unsound_total report = 0 then 0 else 1
+    let regressions =
+      match baseline with
+      | None -> []
+      | Some path -> (
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        match Obs.Json.of_string s with
+        | Error e -> Fmt.failwith "cannot parse baseline %s: %s" path e
+        | Ok b ->
+          let rs = baseline_regressions b report in
+          List.iter (fun r -> Fmt.epr "lint: REGRESSION vs %s: %s@." path r) rs;
+          if rs = [] then
+            Fmt.pr "baseline %s: no unsoundness or looseness regression@." path;
+          rs)
+    in
+    if Lint.unsound_total report = 0 && regressions = [] then 0 else 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* weihl synth                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let synth_cmd adt depth json verbose =
+  let syntheses =
+    match adt with
+    | None -> Synthesize.all ~depth ()
+    | Some name -> (
+      match Lint_domain.find name with
+      | Some d -> [ Synthesize.of_domain ~depth d ]
+      | None -> Fmt.failwith "unknown ADT %s (one of: %s)" name
+          (String.concat ", "
+             (List.map
+                (fun (d : Lint_domain.t) -> d.Lint_domain.name)
+                Lint_domain.all)))
+  in
+  List.iter
+    (fun s ->
+      Fmt.pr "%a@." Synthesize.pp s;
+      if verbose then Fmt.pr "%a@." Synthesize.pp_matrix s)
+    syntheses;
+  (match json with
+  | Some path ->
+    write_json path
+      (Obs.Json.List (List.map Synthesize.to_json syntheses))
+  | None -> ());
+  0
 
 (* ------------------------------------------------------------------ *)
 (* Command definitions                                                 *)
@@ -1439,13 +1540,69 @@ let lint_term =
              corrupted tables and protocols and fail unless every corruption \
              is flagged.")
   in
+  let budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Grow each table-derivation exploration past $(b,--depth), up to \
+             N generator levels, until the frontier count stabilizes (a \
+             level adds no new distinct frontier).  The JSON report's \
+             exploration records carry $(b,enumerated), $(b,distinct), \
+             $(b,truncated), $(b,depth_used) and $(b,stabilized); a loud \
+             warning is printed for every exploration that still had not \
+             stabilized.")
+  in
+  let baseline =
+    Arg.(
+      value & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare against a committed lint JSON report: exit non-zero if \
+             any protocol reports more unsound findings than the snapshot \
+             or a strictly higher looseness.")
+  in
   let verbose =
     Arg.(
       value & flag
       & info [ "verbose"; "v" ]
           ~doc:"Also list loose and unknown entries, not just unsound ones.")
   in
-  Term.(const lint_cmd $ protocol $ depth $ json $ self_test $ verbose)
+  Term.(
+    const lint_cmd $ protocol $ depth $ budget $ json $ baseline $ self_test
+    $ verbose)
+
+let synth_term =
+  let adt =
+    Arg.(
+      value & opt (some string) None
+      & info [ "adt" ] ~docv:"NAME"
+          ~doc:"Synthesize one registry ADT instead of all of them.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 3
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Exploration depth the table is compiled at (budgeted past N \
+             until the frontier count stabilizes).  The catalog's \
+             $(b,derived_*) protocols ship the depth-3 compilation.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the synthesized tables — exploration stats, result \
+             classes, cells, refinements and the full matrix — to FILE.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Also print every (op, result)-pair cell of each matrix.")
+  in
+  Term.(const synth_cmd $ adt $ depth $ json $ verbose)
 
 let cmds =
   [
@@ -1505,6 +1662,13 @@ let cmds =
                rule against the sequential specifications; exit non-zero on \
                any unsound entry.")
       lint_term;
+    Cmd.v
+      (Cmd.info "synth"
+         ~doc:"Compile data-dependent lock tables from the sequential \
+               specifications: one (operation, result-class) conflict matrix \
+               per registry ADT, the tables behind the catalog's derived_* \
+               protocols.")
+      synth_term;
     Cmd.v
       (Cmd.info "recover"
          ~doc:"Rebuild object state by replaying a history file's committed \

@@ -1,7 +1,9 @@
-(** The protocols under certification: the same fourteen-entry family
-    the fault harness sweeps ({!Weihl_fault.Harness.catalog}), paired
-    with the probe {!Domain} of the ADT each runs, minus the workloads
-    — the certifier drives its own probe schedules. *)
+(** The protocols under certification: the fourteen hand-written
+    protocols the fault harness sweeps ({!Weihl_fault.Harness.catalog})
+    plus one synthesized [derived_<adt>] protocol per registry domain
+    ({!Synthesize}), paired with the probe {!Domain} of the ADT each
+    runs, minus the workloads — the certifier drives its own probe
+    schedules. *)
 
 open Weihl_event
 

@@ -4,15 +4,23 @@
     A protocol certificate aggregates the {!Probe} results:
 
     - [unsound] — pairs granted concurrently whose completion left the
-      protocol's atomicity class, plus static/hybrid triple-probe and
-      cross-shard probe violations; any entry here is a bug in the
-      protocol's conflict rules;
+      protocol's atomicity class, plus static/hybrid triple-probe,
+      multi-op probe, cross-shard and wide (three-shard, crash-injected)
+      probe violations; any entry here is a bug in the protocol's
+      conflict rules;
     - [loose] — pairs blocked though some permissible result would have
       kept every completion in the class;
     - [looseness] — [loose / (granted_sound + loose)]: of everything
       that could soundly run concurrently, the fraction the protocol
       blocks.  0 is optimal; the paper's data-dependent protocols
-      exist precisely to drive this toward 0. *)
+      exist precisely to drive this toward 0.
+
+    Synthesized [derived_*] protocols additionally carry the
+    {!Synthesize} record behind the probed object, and the report
+    collects loud [warnings] whenever an exploration backing a table
+    certificate or a synthesis was truncated or did not stabilize —
+    the silent-truncation failure mode the budget mode exists to
+    expose. *)
 
 type protocol_cert = {
   protocol : string;
@@ -22,27 +30,39 @@ type protocol_cert = {
   probe : Probe.t;
   cross : Xprobe.t;
       (** cross-shard probes: the same object on two shards, driven
-          through opposite-order patterns and committed via 2PC *)
+          through opposite-order patterns and committed via 2PC, plus
+          the three-shard wide pattern with a mid-2PC participant
+          crash *)
   pairs_probed : int;
   granted_sound : int;
   blocked_justified : int;
   unsound : string list;
   loose : string list;
   looseness : float;
+  synthesis : Synthesize.t option;
+      (** for [derived_*] protocols: the synthesis that compiled the
+          probed lock table *)
 }
 
 type report = {
   depth : int;
+  budget : int option;  (** the [--budget] the run was given, if any *)
   tables : Table_cert.t list;
   protocols : protocol_cert list;
+  warnings : string list;
+      (** explorations that were truncated or did not stabilize — each
+          certificate above such a warning holds only to its explored
+          bound *)
 }
 
 val certify_protocol : depth:int -> Catalog.entry -> protocol_cert
 
-val run : ?protocol:string -> depth:int -> unit -> report
+val run : ?protocol:string -> ?budget:int -> depth:int -> unit -> report
 (** The full catalogue, or — with [?protocol] — one catalogue protocol
     (and its ADT's table), or one ADT table alone when the name only
-    matches a domain.
+    matches a domain.  [budget] grows every table-certificate
+    exploration past [depth] until the frontier count stabilizes (or
+    the budget runs out — reported in the stats and [warnings]).
     @raise Invalid_argument on an unknown name. *)
 
 val unsound_total : report -> int

@@ -140,6 +140,24 @@ let protocol_mutations : (string * string * Catalog.entry) list =
           (fun log id ->
             Cc.Multiversion.make ~validate_stable:false log id Adt.Intset.spec);
       } );
+    ( "derived-account-withdraws-commute",
+      "synthesized account table with the derived \
+       withdraw(3)ok/withdraw(6)ok conflict cell flipped to commute",
+      (let synthesis = Synthesize.of_domain ~depth:3 account in
+       let corrupted =
+         Weihl_theory.Synthesize.force_commute
+           (Synthesize.table synthesis)
+           (Adt.Bank_account.withdraw 3, Value.ok)
+           (Adt.Bank_account.withdraw 6, Value.ok)
+       in
+       {
+         Catalog.name = "mut-derived-account";
+         policy = `None_;
+         domain = account;
+         make_object =
+           (fun log id ->
+             Synthesize.make_object ~table:corrupted synthesis log id);
+       }) );
   ]
 
 let self_test ~depth =

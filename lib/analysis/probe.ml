@@ -30,6 +30,15 @@ type triple = {
   problem : string;
 }
 
+type multi = {
+  m_setup : Operation.t list;
+  m_variant : string;
+  m_p1 : Operation.t;
+  m_p2 : Operation.t;
+  m_q : Operation.t;
+  m_problem : string;
+}
+
 type t = {
   setups_enumerated : int;
   setups_distinct : int;
@@ -38,6 +47,9 @@ type t = {
   triples_probed : int;
   triples_granted : int;
   triple_unsound : triple list;
+  multis_probed : int;
+  multis_granted : int;
+  multi_unsound : multi list;
 }
 
 (* A variant fixes everything about a pair probe other than the two
@@ -397,6 +409,184 @@ let run_triple_hybrid entry setup p q r ~branch =
         | outcome -> outcome
         | exception exn -> Some (Error (Printexc.to_string exn)))))
 
+(* Three-transaction probes for dynamic protocols — the shape that
+   matters to data-dependent tables: T2 {e commits between} two grants,
+   moving the committed frontier under T1's outstanding intentions,
+   then T3 is granted against the new frontier while T1's fate is still
+   open.  A synthesized table whose cell verdicts were quantified from
+   single frontiers meets composition of three views here; pair probes
+   never move the committed state under an open grant. *)
+let run_triple_dynamic entry setup p q r ~branch =
+  let sys = fresh entry None in
+  match run_setup sys setup with
+  | None -> None
+  | Some _ -> (
+    let t1 = Cc.System.begin_txn sys (Activity.update "t1") in
+    match Cc.System.invoke sys t1 obj p with
+    | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None
+    | Cc.Atomic_object.Granted _ -> (
+      let t2 = Cc.System.begin_txn sys (Activity.update "t2") in
+      match Cc.System.invoke sys t2 obj q with
+      | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None
+      | Cc.Atomic_object.Granted _ -> (
+        match
+          Cc.System.commit sys t2;
+          let t3 = Cc.System.begin_txn sys (Activity.update "t3") in
+          match Cc.System.invoke sys t3 obj r with
+          | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> None
+          | Cc.Atomic_object.Granted _ ->
+            (match branch with
+            | `T1_aborts -> Cc.System.abort sys t1
+            | `T1_commits -> Cc.System.commit sys t1);
+            Cc.System.commit sys t3;
+            Some (Ok (Cc.System.history sys))
+        with
+        | outcome -> outcome
+        | exception exn -> Some (Error (Printexc.to_string exn)))))
+
+(* Multi-op probe transactions: T1 executes {e two} operations before
+   T2 tries one.  T1's second grant is validated against T1's own view
+   (committed plus its first intention), not the committed frontier —
+   the situation every intentions-based protocol reasons about and no
+   single-op pair exercises.  Only grants are judged: a blocked multi
+   is conservative, never loose. *)
+let run_multi entry (variant : variant) setup p1 p2 q ~completion =
+  let sys = fresh entry variant.ts_script in
+  match run_setup sys setup with
+  | None -> `Setup_blocked
+  | Some _ -> (
+    let t1 = Cc.System.begin_txn sys (Activity.update "t1") in
+    let step1 op k =
+      match Cc.System.invoke sys t1 obj op with
+      | Cc.Atomic_object.Granted _ -> k ()
+      | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> `T1_blocked
+      | exception exn -> `Crashed (Printexc.to_string exn)
+    in
+    step1 p1 @@ fun () ->
+    step1 p2 @@ fun () ->
+    let a2 =
+      if variant.t2_read_only then Activity.read_only "t2"
+      else Activity.update "t2"
+    in
+    let t2 = Cc.System.begin_txn sys a2 in
+    match Cc.System.invoke sys t2 obj q with
+    | Cc.Atomic_object.Wait _ | Cc.Atomic_object.Refused _ -> `T2_blocked
+    | exception exn -> `Crashed (Printexc.to_string exn)
+    | Cc.Atomic_object.Granted _ -> (
+      match
+        match completion with
+        | `CC ->
+          Cc.System.commit sys t1;
+          Cc.System.commit sys t2
+        | `CC_rev ->
+          Cc.System.commit sys t2;
+          Cc.System.commit sys t1
+        | `C1A2 ->
+          Cc.System.commit sys t1;
+          Cc.System.abort sys t2
+        | `A1C2 ->
+          Cc.System.abort sys t1;
+          Cc.System.commit sys t2
+      with
+      | () -> `Completed (Cc.System.history sys)
+      | exception exn -> `Crashed (Printexc.to_string exn)))
+
+let probe_multis entry env setups =
+  let d = entry.Catalog.domain in
+  let probed = ref 0 in
+  let granted = ref 0 in
+  let unsound = ref [] in
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun setup ->
+          let setup_usable = ref true in
+          List.iter
+            (fun p1 ->
+              List.iter
+                (fun p2 ->
+                  List.iter
+                    (fun q ->
+                      if
+                        !setup_usable
+                        && not
+                             (variant.t2_read_only
+                             && not (d.Domain.read_only q))
+                      then begin
+                        incr probed;
+                        let flag problem =
+                          unsound :=
+                            {
+                              m_setup = setup;
+                              m_variant = variant.label;
+                              m_p1 = p1;
+                              m_p2 = p2;
+                              m_q = q;
+                              m_problem = problem;
+                            }
+                            :: !unsound
+                        in
+                        match run_multi entry variant setup p1 p2 q
+                                ~completion:`CC
+                        with
+                        | `Setup_blocked -> setup_usable := false
+                        | `T1_blocked | `T2_blocked -> ()
+                        | `Crashed exn ->
+                          incr granted;
+                          flag
+                            (Fmt.str "completion %s raised: %s"
+                               (completion_name `CC) exn)
+                        | `Completed first_history ->
+                          incr granted;
+                          let completions =
+                            match entry.Catalog.policy with
+                            | `Hybrid -> [ `CC_rev; `C1A2; `A1C2 ]
+                            | `None_ | `Static -> [ `C1A2; `A1C2 ]
+                          in
+                          let not_atomic branch =
+                            Fmt.str "completion %s is not %s atomic"
+                              (completion_name branch)
+                              (Catalog.policy_name entry.Catalog.policy)
+                          in
+                          let failure =
+                            if
+                              not
+                                (check_atomicity entry.Catalog.policy env
+                                   first_history)
+                            then Some (not_atomic `CC)
+                            else
+                              List.find_map
+                                (fun completion ->
+                                  match
+                                    run_multi entry variant setup p1 p2 q
+                                      ~completion
+                                  with
+                                  | `Completed h ->
+                                    if
+                                      check_atomicity entry.Catalog.policy
+                                        env h
+                                    then None
+                                    else Some (not_atomic completion)
+                                  | `Crashed exn ->
+                                    Some
+                                      (Fmt.str "completion %s raised: %s"
+                                         (completion_name completion) exn)
+                                  | `Setup_blocked | `T1_blocked
+                                  | `T2_blocked ->
+                                    (* Deterministic replay of an
+                                       identical prefix. *)
+                                    assert false)
+                                completions
+                          in
+                          Option.iter flag failure
+                      end)
+                    d.Domain.alphabet)
+                d.Domain.alphabet)
+            d.Domain.alphabet)
+        setups)
+    (variants entry.Catalog.policy);
+  (!probed, !granted, List.rev !unsound)
+
 let probe_triples ~policy ~run ~r_ok entry env setups =
   let alphabet = entry.Catalog.domain.Domain.alphabet in
   let probed = ref 0 in
@@ -481,7 +671,13 @@ let run ~depth (entry : Catalog.entry) =
     | `Hybrid ->
       probe_triples ~policy:`Hybrid ~run:(run_triple_hybrid entry)
         ~r_ok:d.Domain.read_only entry env setups
-    | `None_ -> (0, 0, [])
+    | `None_ ->
+      probe_triples ~policy:`None_ ~run:(run_triple_dynamic entry)
+        ~r_ok:(fun _ -> true)
+        entry env setups
+  in
+  let multis_probed, multis_granted, multi_unsound =
+    probe_multis entry env setups
   in
   {
     setups_enumerated = enumerated;
@@ -491,6 +687,9 @@ let run ~depth (entry : Catalog.entry) =
     triples_probed;
     triples_granted;
     triple_unsound;
+    multis_probed;
+    multis_granted;
+    multi_unsound;
   }
 
 let pp_ops ppf ops =
@@ -512,3 +711,8 @@ let pp_triple ppf t =
   Fmt.pf ppf "@[<h>[%a] t1:%a t2:%a(commit) t3:%a, %s: %s@]" pp_ops
     t.t_setup Operation.pp t.t_p Operation.pp t.t_q Operation.pp t.t_r
     t.branch t.problem
+
+let pp_multi ppf m =
+  Fmt.pf ppf "@[<h>[%a] t1:%a;%a || t2:%a (%s): %s@]" pp_ops m.m_setup
+    Operation.pp m.m_p1 Operation.pp m.m_p2 Operation.pp m.m_q m.m_variant
+    m.m_problem

@@ -43,7 +43,25 @@
     exactly the committed versions before its timestamp, whatever t1
     then does.  No pair schedule places a reader after a contended
     commit, so a hybrid object that mishandles its version archive
-    under contention passes every pair probe. *)
+    under contention passes every pair probe.
+
+    Dynamic protocols get the dynamic-class triple: t2 commits between
+    two concurrent grants — moving the committed frontier under t1's
+    outstanding intentions — then an update t3 is granted against the
+    new frontier before t1 aborts or commits.  This is the shape that
+    stresses {e data-dependent} grants (a synthesized table's cell
+    verdicts were quantified from single frontiers; here three views
+    compose), and no pair probe moves the committed state under an
+    open grant.
+
+    {2 Multi-op probes}
+
+    Every protocol additionally gets multi-op transactions: t1
+    executes two operations before t2 tries one, so t1's second grant
+    was validated against its own view (committed plus its first
+    intention) rather than the committed frontier.  Granted multis run
+    every completion branch exactly like pairs; blocked multis are
+    conservative and never counted loose. *)
 
 open Weihl_event
 
@@ -70,6 +88,15 @@ type triple = {
   problem : string;
 }
 
+type multi = {
+  m_setup : Operation.t list;
+  m_variant : string;
+  m_p1 : Operation.t;
+  m_p2 : Operation.t;
+  m_q : Operation.t;
+  m_problem : string;
+}
+
 type t = {
   setups_enumerated : int;
   setups_distinct : int;
@@ -79,6 +106,9 @@ type t = {
   triples_probed : int;
   triples_granted : int;
   triple_unsound : triple list;
+  multis_probed : int;
+  multis_granted : int;
+  multi_unsound : multi list;
 }
 
 val run : depth:int -> Catalog.entry -> t
@@ -90,3 +120,4 @@ val enumerate_setups : Domain.t -> depth:int -> Operation.t list list * int
 
 val pp_pair : Format.formatter -> pair -> unit
 val pp_triple : Format.formatter -> triple -> unit
+val pp_multi : Format.formatter -> multi -> unit

@@ -1,0 +1,118 @@
+open Weihl_event
+module Cc = Weihl_cc
+module Json = Weihl_obs.Json
+module T = Weihl_theory.Synthesize
+module Commutativity = Weihl_theory.Commutativity
+
+type t = { domain : Domain.t; depth : int; table : T.t }
+
+let domain t = t.domain
+let depth t = t.depth
+let table t = t.table
+
+(* The budget headroom over the lint depth: enough for the bounded
+   alphabets that do stabilize (intset, register, kv, counter close
+   within a handful of levels) without letting the unbounded ones
+   (account balances, queue contents) blow the exploration up. *)
+let budget_for depth = depth + 3
+
+let synthesize_domain ~depth (d : Domain.t) =
+  T.synthesize d.Domain.spec ~alphabet:d.Domain.alphabet ~depth
+    ~budget:(budget_for depth)
+
+let cache : (string * int, t) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
+
+let of_domain ?(depth = 3) (d : Domain.t) =
+  let key = (d.Domain.name, depth) in
+  match
+    Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key)
+  with
+  | Some t -> t
+  | None ->
+    let t = { domain = d; depth; table = synthesize_domain ~depth d } in
+    Mutex.protect cache_lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some t -> t
+        | None ->
+          Hashtbl.add cache key t;
+          t)
+
+let all ?depth () = List.map (of_domain ?depth) Domain.all
+
+let conflict_of (d : Domain.t) (table : T.t) kp kq =
+  match T.conflict table kp kq with
+  | Some b -> b
+  | None ->
+    (* Off-alphabet operation: no cell and no op-level projection to
+       consult.  Fall back to read/write classification — exactly the
+       conservative relation [Op_locking.rw] uses, so the synthesized
+       protocol degrades to rw locking off its alphabet instead of
+       guessing. *)
+    not (d.Domain.read_only (fst kp) && d.Domain.read_only (fst kq))
+
+let make_object ?table t log id =
+  let tbl = Option.value table ~default:t.table in
+  Cc.Derived_locking.make log id t.domain.Domain.spec
+    ~conflict:(conflict_of t.domain tbl)
+
+let protocol_name t = "derived_" ^ t.domain.Domain.name
+
+let stats_to_json (s : Commutativity.stats) =
+  Json.Obj
+    [
+      ("enumerated", Json.Num (float_of_int s.Commutativity.enumerated));
+      ("distinct", Json.Num (float_of_int s.Commutativity.distinct));
+      ("truncated", Json.Bool s.Commutativity.truncated);
+      ("depth_used", Json.Num (float_of_int s.Commutativity.depth_used));
+      ("stabilized", Json.Bool s.Commutativity.stabilized);
+    ]
+
+let to_json t =
+  let commute, conflicts, unknown = T.counts t.table in
+  Json.Obj
+    [
+      ("adt", Json.Str t.domain.Domain.name);
+      ("protocol", Json.Str (protocol_name t));
+      ("depth", Json.Num (float_of_int t.depth));
+      ("budget", Json.Num (float_of_int (budget_for t.depth)));
+      ("exploration", stats_to_json (T.stats t.table));
+      ( "classes",
+        Json.List
+          (List.map
+             (fun (op, results) ->
+               Json.Obj
+                 [
+                   ("op", Json.Str (Fmt.str "%a" Operation.pp op));
+                   ( "results",
+                     Json.List
+                       (List.map
+                          (fun r -> Json.Str (Fmt.str "%a" Value.pp r))
+                          results) );
+                 ])
+             (T.classes t.table)) );
+      ( "cells",
+        Json.Obj
+          [
+            ("commute", Json.Num (float_of_int commute));
+            ("conflict", Json.Num (float_of_int conflicts));
+            ("unknown", Json.Num (float_of_int unknown));
+          ] );
+      ( "refinements",
+        Json.List
+          (List.map
+             (fun (p, q) ->
+               Json.Str (Fmt.str "%a/%a" Operation.pp p Operation.pp q))
+             (T.refinements t.table)) );
+      ( "matrix",
+        Json.List
+          (List.map
+             (fun (kp, kq, v) ->
+               Json.Str
+                 (Fmt.str "%a | %a : %a" T.pp_key kp T.pp_key kq
+                    Commutativity.pp_verdict v))
+             (T.cells t.table)) );
+    ]
+
+let pp ppf t = T.pp ppf t.table
+let pp_matrix ppf t = T.pp_matrix ppf t.table

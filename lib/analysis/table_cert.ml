@@ -34,11 +34,14 @@ let unknown t =
       match e.derived with Commutativity.Unknown _ -> true | _ -> false)
     t.entries
 
-let certify ?table ~depth (d : Domain.t) =
+let certify ?table ?budget ~depth (d : Domain.t) =
   let hand = Option.value table ~default:d.Domain.commutes in
+  (* The stats come from the same (memoized) exploration the pair
+     verdicts quantify over: dedup at probe_depth + 2 = 4, grown under
+     the budget when one is given. *)
   let _, stats =
     Commutativity.reachable_frontiers d.Domain.spec ~gen_ops:d.Domain.alphabet
-      ~depth
+      ~depth ~probe_depth:4 ?grow_until:budget
   in
   let entries =
     List.concat_map
@@ -51,7 +54,8 @@ let certify ?table ~depth (d : Domain.t) =
               hand = hand p q;
               derived =
                 Commutativity.commute_on_reachable d.Domain.spec
-                  ~gen_ops:d.Domain.alphabet ~state_depth:depth p q;
+                  ~gen_ops:d.Domain.alphabet ~state_depth:depth
+                  ?grow_until:budget p q;
             })
           d.Domain.alphabet)
       d.Domain.alphabet

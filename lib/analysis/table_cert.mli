@@ -34,10 +34,17 @@ val loose : t -> entry list
 val unknown : t -> entry list
 
 val certify :
-  ?table:(Operation.t -> Operation.t -> bool) -> depth:int -> Domain.t -> t
+  ?table:(Operation.t -> Operation.t -> bool) ->
+  ?budget:int ->
+  depth:int ->
+  Domain.t ->
+  t
 (** Certify [table] (default: the domain's own hand-written [commutes])
     against the derived relation at exploration depth [depth].  The
-    [?table] override exists for the mutation self-test. *)
+    [?table] override exists for the mutation self-test.  [budget]
+    turns the exploration into the stabilized-depth search: levels grow
+    past [depth] up to [budget] until the frontier count stabilizes
+    ([stats.depth_used] / [stats.stabilized] report the outcome). *)
 
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit

@@ -14,12 +14,25 @@
       multi-shard commits running real 2PC.
 
     A completed pattern is {e unsound} if any global-atomicity
-    condition fails: a transaction committed on one shard but not the
-    other, a committed transaction's shards disagree on its timestamp,
-    or the merged committed projection (in the group's serialization
-    order) fails to replay against one combined system holding both
-    objects.  Blocked patterns are conservative and never flagged —
-    the per-shard {!Probe} pass already measures looseness. *)
+    condition fails: a transaction committed on one shard but not
+    another, a committed transaction's shards disagree on its
+    timestamp, legs are left stuck in-doubt after resolution, or the
+    merged committed projection (in the group's serialization order)
+    fails to replay against one combined system holding every object.
+    Blocked patterns are conservative and never flagged — the
+    per-shard {!Probe} pass already measures looseness.
+
+    {2 Wide probes}
+
+    The same opposite-order pattern is additionally walked across a
+    {e three}-shard group (T1 forward over objects [a, b, c], T2
+    backward), completed both cleanly and with a participant crash
+    injected mid-2PC: the middle shard dies after its yes-vote, T1's
+    decision is reached without it, the dead shard recovers from its
+    WAL and resolves its in-doubt leg from the decision log.  Two
+    shards cannot build the shape where a decided commit must reach a
+    shard that was down at decision time while a third already applied
+    it. *)
 
 open Weihl_event
 
@@ -33,16 +46,30 @@ type xpair = {
   x_status : status;
 }
 
+type wide = {
+  w_setup : Operation.t list;
+  w_p : Operation.t;
+  w_q : Operation.t;
+  w_mode : string;  (** ["clean"] or ["participant-crash"] *)
+  w_problem : string;
+}
+
 type t = {
   probed : int;
   granted : int;
   blocked : int;
   unsound : xpair list;
+  wide_probed : int;
+  wide_granted : int;
+  wide_blocked : int;
+  wide_unsound : wide list;
 }
 
 val run : Catalog.entry -> setups:Operation.t list list -> t
 (** Probe every (setup, p, q) combination over the entry's alphabet —
     under hybrid, additionally with a read-only T2 restricted to the
-    domain's read-only operations. *)
+    domain's read-only operations — then the three-shard wide pattern
+    with and without the mid-2PC participant crash. *)
 
 val pp_xpair : Format.formatter -> xpair -> unit
+val pp_wide : Format.formatter -> wide -> unit

@@ -12,6 +12,10 @@ type entry = {
   mutable last_resp : int; (* local time of latest response *)
   mutable commit_time : int option;
   mutable empty_claim : bool;
+  mutable deq_fragile : bool;
+      (* some granted dequeue answer drew on a tentative (uncommitted)
+         enqueue — a later enqueuer could serialize ahead of it and
+         change the front, so enqueues must wait for us to resolve *)
 }
 
 type state = {
@@ -31,7 +35,7 @@ let entry_for st txn =
   | None ->
     let e =
       { txn; enq = []; deq = 0; last_resp = 0; commit_time = None;
-        empty_claim = false }
+        empty_claim = false; deq_fragile = false }
     in
     st.entries <- e :: st.entries;
     e
@@ -119,8 +123,16 @@ let make ?(max_extensions = 500) log id : Atomic_object.t =
     Obj_log.invoked olog txn op;
     match (Operation.name op, Operation.args op) with
     | "enqueue", [ Value.Int v ] -> (
+      (* A new enqueue is pinned after every already-committed item, so
+         it can never disturb a dequeue answer backed entirely by the
+         committed prefix — but it CAN serialize ahead of another active
+         transaction's tentative items, invalidating a dequeue that
+         consumed them ([deq_fragile]), and it invalidates any claimed
+         emptiness. *)
       match
-        List.filter (fun e -> is_active e && e.empty_claim) (others st txn)
+        List.filter
+          (fun e -> is_active e && (e.empty_claim || e.deq_fragile))
+          (others st txn)
       with
       | _ :: _ as claimants ->
         Atomic_object.Wait (List.map (fun e -> e.txn) claimants)
@@ -173,7 +185,28 @@ let make ?(max_extensions = 500) log id : Atomic_object.t =
         | Some seqs -> (
           match nth_opt_all seqs idx with
           | Some (Some v) ->
-            grant txn (Value.Int v) (fun e -> e.deq <- e.deq + 1)
+            (* Is the answer immune to future enqueuers?  A later
+               enqueue is pinned after every currently-committed item
+               (its response postdates their commits), so if position
+               [idx] is already determined by the committed items alone
+               — at least [idx + 1] committed items, agreeing on the
+               prefix — no future item can reach a position <= [idx].
+               Otherwise the answer leans on tentative enqueues and a
+               later enqueuer could serialize ahead of them: mark the
+               entry fragile so enqueues wait until we resolve. *)
+            let committed_backed =
+              match
+                flatten_extensions st.max_extensions committed_items
+              with
+              | Some cseqs -> (
+                match nth_opt_all cseqs idx with
+                | Some (Some v') -> v' = v
+                | Some None | None -> false)
+              | None -> false
+            in
+            grant txn (Value.Int v) (fun e ->
+                e.deq <- e.deq + 1;
+                if not committed_backed then e.deq_fragile <- true)
           | Some None ->
             (* Empty in every serialization; claim emptiness so later
                enqueuers cannot invalidate the answer. *)
@@ -196,6 +229,9 @@ let make ?(max_extensions = 500) log id : Atomic_object.t =
     | Some e ->
       e.commit_time <- Some (tick st);
       e.empty_claim <- false;
+      (* Committed: later enqueuers are pinned after us, so our dequeue
+         answers can no longer be disturbed. *)
+      e.deq_fragile <- false;
       st.consumed <- st.consumed + e.deq;
       e.deq <- 0
     | None -> ());

@@ -1,0 +1,73 @@
+open Weihl_event
+module Seq_spec = Weihl_spec.Seq_spec
+
+let make log id spec ~conflict : Atomic_object.t =
+  let olog = Obj_log.create log id in
+  let store = Intentions.create spec in
+  let try_invoke txn op =
+    Obj_log.invoked olog txn op;
+    (* Candidate results, validated against the committed frontier plus
+       this transaction's own intentions.  The scheduler may steer a
+       non-deterministic specification: the first candidate whose
+       (op, result) pair conflicts with nothing held is granted, so two
+       semiqueue dequeuers can be handed distinct items instead of
+       colliding on the first permissible one. *)
+    let candidates =
+      List.map fst (Seq_spec.outcomes (Intentions.view store txn) op)
+    in
+    let others =
+      List.filter
+        (fun (holder, _) -> not (Txn.equal holder txn))
+        (Intentions.active store)
+    in
+    let blockers res =
+      List.filter_map
+        (fun (holder, held) ->
+          if List.exists (fun (q, rq) -> conflict (op, res) (q, rq)) held
+          then Some holder
+          else None)
+        others
+    in
+    let rec grant blocked = function
+      | [] -> (
+        match blocked with
+        | [] ->
+          Obj_log.dropped olog txn;
+          Atomic_object.Refused
+            (Fmt.str "operation %a has no permissible outcome" Operation.pp
+               op)
+        | _ :: _ ->
+          let unique =
+            List.fold_left
+              (fun acc t ->
+                if List.exists (Txn.equal t) acc then acc else t :: acc)
+              [] blocked
+          in
+          Atomic_object.Wait (List.rev unique))
+      | res :: rest -> (
+        match blockers res with
+        | [] ->
+          Intentions.record store txn op res;
+          Obj_log.responded olog txn res;
+          Atomic_object.Granted res
+        | bs -> grant (blocked @ bs) rest)
+    in
+    grant [] candidates
+  in
+  let commit txn =
+    Intentions.commit store txn;
+    Obj_log.committed olog txn
+  in
+  let abort txn =
+    Intentions.abort store txn;
+    Obj_log.aborted olog txn
+  in
+  {
+    id;
+    spec;
+    try_invoke;
+    commit;
+    abort;
+    initiate = (fun _ -> ());
+    depth = (fun () -> List.length (Intentions.active store));
+  }

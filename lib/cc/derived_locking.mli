@@ -1,0 +1,31 @@
+(** Data-dependent locking driven by a synthesized conflict table.
+
+    The protocol family the synthesis pass plugs into the runtime: one
+    instance per ADT, parameterized by the compiled (operation, result
+    class) conflict relation ([Weihl_theory.Synthesize] builds it; this
+    module only consumes a closure, keeping the dependency direction
+    cc <- theory).
+
+    Locking discipline: an invocation is granted a {e specific} result
+    — the first candidate permissible from the transaction's view
+    (committed frontier plus own intentions) whose (op, result) pair
+    conflicts with no (op, result) pair held by another active
+    transaction.  All candidates blocked means [Wait] on the union of
+    blockers; no candidate at all means [Refused].  Commit installs the
+    intentions; abort discards them — the same intentions-list recovery
+    as [Op_locking], so recoverability is inherited and the conflict
+    relation (result-aware forward commutativity) is exactly the one
+    that makes every commit-order replay of granted pairs
+    permissible. *)
+
+open Weihl_event
+
+val make :
+  Event_log.t ->
+  Object_id.t ->
+  Weihl_spec.Seq_spec.t ->
+  conflict:(Operation.t * Value.t -> Operation.t * Value.t -> bool) ->
+  Atomic_object.t
+(** [make log id spec ~conflict] builds the object.  [conflict] must be
+    symmetric and conservative: [true] whenever the two granted pairs
+    cannot be reordered freely (unknown cells included). *)

@@ -51,6 +51,20 @@ let execute t txn op =
     Hashtbl.replace t.buffers (Txn.id txn) (txn, (op, res) :: prev);
     Some res
 
+let record t txn op res =
+  match Seq_spec.advance (view t txn) op res with
+  | None ->
+    invalid_arg
+      (Fmt.str "Intentions.record: %a->%a is not permissible from the view"
+         Operation.pp op Value.pp res)
+  | Some _ ->
+    let prev =
+      match Hashtbl.find_opt t.buffers (Txn.id txn) with
+      | Some (_, ops) -> ops
+      | None -> []
+    in
+    Hashtbl.replace t.buffers (Txn.id txn) (txn, (op, res) :: prev)
+
 let intentions t txn = buffer t txn
 
 let active t =

@@ -29,6 +29,15 @@ val execute : t -> Txn.t -> Operation.t -> Value.t option
 (** Like {!peek}, but records the (operation, result) pair as an
     intention of the transaction. *)
 
+val record : t -> Txn.t -> Operation.t -> Value.t -> unit
+(** Record a {e chosen} (operation, result) intention — unlike
+    {!execute}, the caller picks which permissible outcome to grant.
+    Data-dependent protocols use this to steer a non-deterministic
+    specification toward a result class that does not conflict with
+    other holders.
+    @raise Invalid_argument if the result is not permissible from the
+    transaction's view. *)
+
 val intentions : t -> Txn.t -> (Operation.t * Value.t) list
 (** The transaction's recorded intentions, oldest first. *)
 

@@ -36,7 +36,10 @@
     {!Lint} runs it (per-ADT {!Table_cert} certificates over
     {!Lint_domain} alphabets, per-protocol {!Lint_probe} certificates
     over the {!Lint_catalog} family), and {!Lint_mutation} is its
-    self-test.  The [weihl lint] subcommand is the CLI face.
+    self-test.  {!Synthesize} compiles the derived relation into
+    runnable [derived_*] lock tables ({!Synthesize_table},
+    {!Derived_locking}).  The [weihl lint] / [weihl synth] subcommands
+    are the CLI face.
 
     {1 Observability}
 
@@ -67,6 +70,7 @@ module Validator = Weihl_spec.Validator
 module Optimality = Weihl_theory.Optimality
 module Commutativity_check = Weihl_theory.Commutativity
 module Explore = Weihl_theory.Explore
+module Synthesize_table = Weihl_theory.Synthesize
 
 module Adt_sig = Weihl_adt.Adt_sig
 module Intset = Weihl_adt.Intset
@@ -97,6 +101,7 @@ module Da_counter = Weihl_cc.Da_counter
 module Rw_undo = Weihl_cc.Rw_undo
 module Da_generic = Weihl_cc.Da_generic
 module Da_semiqueue = Weihl_cc.Da_semiqueue
+module Derived_locking = Weihl_cc.Derived_locking
 module Multiversion = Weihl_cc.Multiversion
 module Hybrid = Weihl_cc.Hybrid
 module Hybrid_account = Weihl_cc.Hybrid_account
@@ -132,6 +137,7 @@ module Lint_probe = Weihl_analysis.Probe
 module Lint_xprobe = Weihl_analysis.Xprobe
 module Lint = Weihl_analysis.Certify
 module Lint_mutation = Weihl_analysis.Mutation
+module Synthesize = Weihl_analysis.Synthesize
 
 module Rng = Weihl_sim.Rng
 module Stats = Weihl_sim.Stats

@@ -41,6 +41,49 @@ let blind_counter_workload () =
 let banking () = Workload.banking ~accounts:4 ~transfer_max:10 ()
 let hot () = Workload.hot_withdrawals ()
 
+(* The synthesized account protocol, compiled here from the theory
+   layer directly (the analysis layer's memoized synthesis sits above
+   lib/shard, which depends on this library).  The workload draws from
+   the synthesis alphabet so crash/recovery cycles exercise the
+   compiled (op, result) cells, not just the conservative off-alphabet
+   fallback. *)
+let derived_account_alphabet =
+  Adt.Bank_account.[ deposit 5; deposit 2; withdraw 3; withdraw 6; balance ]
+
+let derived_account_table =
+  lazy
+    (Weihl_theory.Synthesize.synthesize Adt.Bank_account.spec
+       ~alphabet:derived_account_alphabet ~depth:3 ~budget:6)
+
+let derived_account_conflict a b =
+  match Weihl_theory.Synthesize.conflict (Lazy.force derived_account_table) a b with
+  | Some c -> c
+  | None ->
+    let read (op, _) = Adt.Bank_account.classify op = Adt.Adt_sig.Read in
+    not (read a && read b)
+
+let derived_account_workload () =
+  let obj = Object_id.v "acct" in
+  let ops = Adt.Bank_account.[| deposit 5; deposit 2; withdraw 3; withdraw 6 |] in
+  let generate rng =
+    if Rng.int rng 5 = 0 then
+      {
+        Workload.kind = `Read_only;
+        label = "balance";
+        steps = [ Workload.step obj Adt.Bank_account.balance ];
+      }
+    else
+      {
+        Workload.kind = `Update;
+        label = "mix";
+        steps =
+          List.init
+            (1 + Rng.int rng 2)
+            (fun _ -> Workload.step obj ops.(Rng.int rng (Array.length ops)));
+      }
+  in
+  { Workload.name = "derived_account"; objects = [ obj ]; generate }
+
 let catalog =
   [
     {
@@ -141,6 +184,16 @@ let catalog =
       spec = Adt.Blind_counter.spec;
       workload = blind_counter_workload;
       make_object = Cc.Da_counter.make;
+    };
+    {
+      name = "derived_account";
+      policy = `None_;
+      spec = Adt.Bank_account.spec;
+      workload = derived_account_workload;
+      make_object =
+        (fun log id ->
+          Cc.Derived_locking.make log id Adt.Bank_account.spec
+            ~conflict:derived_account_conflict);
     };
   ]
 

@@ -1,11 +1,20 @@
 open Weihl_event
 module Seq_spec = Weihl_spec.Seq_spec
 
-type stats = { enumerated : int; distinct : int; truncated : bool }
+type stats = {
+  enumerated : int;
+  distinct : int;
+  truncated : bool;
+  depth_used : int;
+  stabilized : bool;
+}
 
 let pp_stats ppf s =
-  Fmt.pf ppf "%d frontiers (%d enumerated%s)" s.distinct s.enumerated
+  Fmt.pf ppf "%d frontiers (%d enumerated%s, depth %d%s)" s.distinct
+    s.enumerated
     (if s.truncated then ", truncated" else "")
+    s.depth_used
+    (if s.stabilized then ", stabilized" else ", NOT stabilized")
 
 type verdict = Commute | Conflict of string | Unknown of string
 
@@ -39,15 +48,59 @@ let rec observationally_equal ~probes ~depth f g =
               outcomes_f)
        probes
 
-let reachable_frontiers ?probe_depth ?(max_states = 4096) spec ~gen_ops
-    ~depth =
-  let probe_depth = Option.value probe_depth ~default:depth in
+(* Frontier exploration is the hot inner loop of both the table
+   certifier (one call per alphabet pair) and protocol synthesis (one
+   call per result pair), always over the same handful of specs.  The
+   cache keys on the spec's physical identity — domain specs are
+   allocated once per [Domain.t] — so repeated probe/lint runs replay
+   each exploration exactly once.  Guarded for multi-domain lint
+   runs. *)
+type memo_entry = {
+  key_spec : Seq_spec.t;
+  key_ops : Operation.t list;
+  key_depth : int;
+  key_probe : int;
+  key_max : int;
+  key_grow : int option;
+  value : Seq_spec.frontier list * stats;
+}
+
+let memo : memo_entry list ref = ref []
+let memo_lock = Mutex.create ()
+
+let memo_find spec ops depth probe max grow =
+  Mutex.protect memo_lock (fun () ->
+      List.find_opt
+        (fun e ->
+          e.key_spec == spec
+          && e.key_depth = depth && e.key_probe = probe && e.key_max = max
+          && e.key_grow = grow
+          && List.length e.key_ops = List.length ops
+          && List.for_all2 Operation.equal e.key_ops ops)
+        !memo)
+
+let memo_add spec ops depth probe max grow value =
+  Mutex.protect memo_lock (fun () ->
+      memo :=
+        {
+          key_spec = spec;
+          key_ops = ops;
+          key_depth = depth;
+          key_probe = probe;
+          key_max = max;
+          key_grow = grow;
+          value;
+        }
+        :: !memo)
+
+let explore ~probe_depth ~max_states ~grow_until spec ~gen_ops ~depth =
   let enumerated = ref 0 in
   let truncated = ref false in
   (* Distinct frontiers in reverse discovery order.  Every frontier
      descends from the single [start] below, so [equal_frontier] is a
      sound (exact state-set) fast path before the bisimulation. *)
   let seen : Seq_spec.frontier list ref = ref [] in
+  let kept = ref 0 in
   let known f =
     let size = Seq_spec.frontier_size f in
     List.exists
@@ -57,22 +110,44 @@ let reachable_frontiers ?probe_depth ?(max_states = 4096) spec ~gen_ops
            || observationally_equal ~probes:gen_ops ~depth:probe_depth g f))
       !seen
   in
-  let queue = Queue.create () in
-  let add f d =
+  let add f =
     incr enumerated;
-    if List.length !seen >= max_states then truncated := true
-    else if not (known f) then begin
+    if !kept >= max_states then begin
+      truncated := true;
+      None
+    end
+    else if known f then None
+    else begin
       seen := f :: !seen;
-      if d > 0 then Queue.add (f, d) queue
+      incr kept;
+      Some f
     end
   in
-  add (Seq_spec.start spec) depth;
-  while not (Queue.is_empty queue) do
-    let f, d = Queue.pop queue in
-    List.iter
-      (fun op ->
-        List.iter (fun (_, f') -> add f' (d - 1)) (Seq_spec.outcomes f op))
-      gen_ops
+  let start = Seq_spec.start spec in
+  ignore (add start);
+  (* Level-by-level: expanding only the frontiers first seen at the
+     previous level is exact BFS, and a level that contributes nothing
+     new proves the reachable set is closed — deeper search cannot add
+     states, so the exploration has stabilized and may stop early even
+     under a growth budget. *)
+  let limit = match grow_until with Some b -> max depth b | None -> depth in
+  let level = ref [ start ] in
+  let depth_used = ref 0 in
+  let stabilized = ref false in
+  let d = ref 0 in
+  while (not !stabilized) && (not !truncated) && !d < limit do
+    incr d;
+    let next =
+      List.concat_map
+        (fun f ->
+          List.concat_map
+            (fun op ->
+              List.filter_map (fun (_, f') -> add f') (Seq_spec.outcomes f op))
+            gen_ops)
+        !level
+    in
+    depth_used := !d;
+    if next = [] && not !truncated then stabilized := true else level := next
   done;
   let distinct = List.rev !seen in
   ( distinct,
@@ -80,17 +155,31 @@ let reachable_frontiers ?probe_depth ?(max_states = 4096) spec ~gen_ops
       enumerated = !enumerated;
       distinct = List.length distinct;
       truncated = !truncated;
+      depth_used = !depth_used;
+      stabilized = !stabilized;
     } )
 
+let reachable_frontiers ?probe_depth ?(max_states = 4096) ?grow_until spec
+    ~gen_ops ~depth =
+  let probe_depth = Option.value probe_depth ~default:depth in
+  match memo_find spec gen_ops depth probe_depth max_states grow_until with
+  | Some e -> e.value
+  | None ->
+    let value =
+      explore ~probe_depth ~max_states ~grow_until spec ~gen_ops ~depth
+    in
+    memo_add spec gen_ops depth probe_depth max_states grow_until value;
+    value
+
 let commute_on_reachable spec ~gen_ops ?(probe_depth = 2) ?(state_depth = 3)
-    ?max_states p q =
+    ?max_states ?grow_until p q =
   (* Deduplicating exploration probes deeper than the final-state
      comparison below: a conflict shows up after two [advance]s plus
      [probe_depth] levels of probing, so merging frontiers that are
      indistinguishable at [probe_depth + 2] cannot hide one. *)
   let frontiers, stats =
     reachable_frontiers spec ~gen_ops ~depth:state_depth
-      ~probe_depth:(probe_depth + 2) ?max_states
+      ~probe_depth:(probe_depth + 2) ?max_states ?grow_until
   in
   let describe frontier rp rq what =
     Fmt.str "from %a with %a->%a and %a->%a: %s" Seq_spec.pp_frontier
@@ -161,3 +250,50 @@ let commute_on_reachable spec ~gen_ops ?(probe_depth = 2) ?(state_depth = 3)
         (Fmt.str "state bound exceeded (%d frontiers enumerated)"
            stats.enumerated)
     else Commute
+
+let commute_results ~gen_ops ~probe_depth ~frontiers (p, rp) (q, rq) =
+  (* Fixed-result forward commutativity for synthesized tables: quantify
+     over every explored frontier where {e these specific} results are
+     each individually permissible.  If no frontier co-permits them the
+     pair is vacuously compatible — the runtime validates each granted
+     result against its transaction's own intentions view, so two
+     results that can never be granted from a common state never meet.
+     Non-composing or distinguishable interleavings are conflicts
+     exactly as in {!commute_on_reachable}. *)
+  let witness frontier =
+    let find outs r =
+      List.find_opt (fun (r', _) -> Value.equal r r') outs
+    in
+    match
+      ( find (Seq_spec.outcomes frontier p) rp,
+        find (Seq_spec.outcomes frontier q) rq )
+    with
+    | Some (_, f_p), Some (_, f_q) -> (
+      match (Seq_spec.advance f_p q rq, Seq_spec.advance f_q p rp) with
+      | None, None -> Some "composes in neither order"
+      | Some _, None ->
+        Some (Fmt.str "order %a-first is impossible" Operation.pp q)
+      | None, Some _ ->
+        Some (Fmt.str "order %a-first is impossible" Operation.pp p)
+      | Some f_pq, Some f_qp ->
+        if observationally_equal ~probes:gen_ops ~depth:probe_depth f_pq f_qp
+        then None
+        else Some "final states are distinguishable")
+    | _ -> None
+  in
+  let counterexample =
+    List.fold_left
+      (fun acc frontier ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match witness frontier with
+          | Some what ->
+            Some
+              (Fmt.str "from %a with %a->%a and %a->%a: %s"
+                 Seq_spec.pp_frontier frontier Operation.pp p Value.pp rp
+                 Operation.pp q Value.pp rq what)
+          | None -> None))
+      None frontiers
+  in
+  match counterexample with Some why -> Conflict why | None -> Commute

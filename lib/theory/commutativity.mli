@@ -20,7 +20,10 @@
     (state depth, probe depth, state cap), which suffices to catch
     table errors on the small integer domains the tests and the lint
     pass use.  {!commute_on_reachable} reports a bound overrun as
-    {!Unknown} rather than guessing. *)
+    {!Unknown} rather than guessing, and {!stats} now reports whether
+    the frontier count {e stabilized} — reached a closed set — within
+    the explored depth, so a bound that silently under-explores is
+    visible to the lint layer instead of being truncated quietly. *)
 
 open Weihl_event
 
@@ -28,6 +31,10 @@ type stats = {
   enumerated : int;  (** frontiers generated, duplicates included *)
   distinct : int;  (** frontiers kept after deduplication *)
   truncated : bool;  (** the [max_states] cap stopped the exploration *)
+  depth_used : int;  (** generator levels actually expanded *)
+  stabilized : bool;
+      (** the reachable set closed within [depth_used]: some level added
+          no new distinct frontier, so deeper search cannot either *)
 }
 (** Exploration size, surfaced so depth/bound choices are visible in
     lint reports. *)
@@ -55,6 +62,7 @@ val observationally_equal :
 val reachable_frontiers :
   ?probe_depth:int ->
   ?max_states:int ->
+  ?grow_until:int ->
   Weihl_spec.Seq_spec.t ->
   gen_ops:Operation.t list ->
   depth:int ->
@@ -66,8 +74,18 @@ val reachable_frontiers :
     [depth]) with exact state-set equality as a fast path.  The
     exploration stops enumerating once [max_states] (default 4096)
     distinct frontiers are kept and reports [truncated] in the stats.
-    Frontiers are returned in discovery order, initial frontier
-    first. *)
+
+    [grow_until] turns the fixed depth into a budgeted search: levels
+    keep expanding past [depth], up to [grow_until], until one level
+    adds no new distinct frontier (the set stabilized).  Either way a
+    level that adds nothing stops the search early — closure is closure
+    — and [stats.depth_used]/[stats.stabilized] report what happened.
+
+    Results are memoized on the spec's physical identity plus all
+    bounds, so repeated probe/lint passes over the same domain replay
+    each exploration once; the cache is safe under parallel lint
+    domains.  Frontiers are returned in discovery order, initial
+    frontier first. *)
 
 val commute_on_reachable :
   Weihl_spec.Seq_spec.t ->
@@ -75,15 +93,35 @@ val commute_on_reachable :
   ?probe_depth:int ->
   ?state_depth:int ->
   ?max_states:int ->
+  ?grow_until:int ->
   Operation.t ->
   Operation.t ->
   verdict
 (** Result-aware forward commutativity of two operations over the
     reachable space: from every frontier reachable within
-    [state_depth] (default 3) generator applications, for every result
+    [state_depth] (default 3) generator applications — budgeted up to
+    [grow_until] until stabilization, when given — for every result
     pair individually permissible for the two operations, both
     execution orders must be permissible and yield frontiers that are
     observationally equal at [probe_depth] (default 2, probing with
     [gen_ops]).  [Conflict] carries the first counterexample found;
     [Unknown] is returned only when the [max_states] cap truncated the
     exploration with no counterexample found. *)
+
+val commute_results :
+  gen_ops:Operation.t list ->
+  probe_depth:int ->
+  frontiers:Weihl_spec.Seq_spec.frontier list ->
+  Operation.t * Value.t ->
+  Operation.t * Value.t ->
+  verdict
+(** Fixed-result forward commutativity, the cell relation of a
+    synthesized lock table: [(p, rp)] and [(q, rq)] commute iff from
+    every frontier in [frontiers] where {e both} specific results are
+    individually permissible, the two interleavings compose and land
+    observationally equal (at [probe_depth], probing with [gen_ops]).
+    A pair with no co-permitting frontier is vacuously [Commute]: the
+    runtime grants a result only after validating it against the
+    committed frontier plus the transaction's own intentions, so such
+    pairs never meet.  Symmetric in its two arguments by
+    construction. *)

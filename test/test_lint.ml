@@ -18,7 +18,7 @@ let outcomes = lazy (Lint_mutation.self_test ~depth:2)
 
 let test_mutations_all_detected () =
   let outcomes = Lazy.force outcomes in
-  Alcotest.(check int) "eleven seeded corruptions" 11 (List.length outcomes);
+  Alcotest.(check int) "twelve seeded corruptions" 12 (List.length outcomes);
   Alcotest.(check bool) "all detected" true
     (Lint_mutation.all_detected outcomes);
   List.iter
@@ -82,12 +82,17 @@ let test_semiqueue_flip_detected () =
 
 (* --- the real catalogue certifies clean --------------------------- *)
 
+let report2 = lazy (Lint.run ~depth:2 ())
+
 let test_catalogue_clean () =
-  let report = Lint.run ~depth:2 () in
+  let report = Lazy.force report2 in
   Alcotest.(check int) "no unsound findings" 0 (Lint.unsound_total report);
   Alcotest.(check int) "eleven table certificates" 11
     (List.length report.Lint.tables);
-  Alcotest.(check int) "fourteen protocol certificates" 14
+  Alcotest.(check int)
+    "twenty-five protocol certificates (fourteen hand-written + eleven \
+     synthesized)"
+    25
     (List.length report.Lint.protocols);
   List.iter
     (fun (t : Table_cert.t) ->
@@ -118,7 +123,7 @@ let test_catalogue_clean () =
    commutativity locking, which loses strictly less than read/write
    locking. *)
 let test_looseness_gradient () =
-  let report = Lint.run ~depth:2 () in
+  let report = Lazy.force report2 in
   let looseness name =
     match
       List.find_opt
@@ -189,7 +194,7 @@ let tables_agree =
 
 let suite =
   [
-    Alcotest.test_case "mutation self-test flags all eleven corruptions" `Quick
+    Alcotest.test_case "mutation self-test flags all twelve corruptions" `Quick
       test_mutations_all_detected;
     Alcotest.test_case "PR 3 multiversion bug caught by triple probe" `Quick
       test_pr3_bug_detected;

@@ -40,6 +40,7 @@ let () =
       ("observability", Test_obs.suite);
       ("fault injection", Test_fault.suite);
       ("lint certifier", Test_lint.suite);
+      ("protocol synthesis", Test_synth.suite);
       ("sharded runtime", Test_shard.suite);
       ("multicore shards", Test_mcore.suite);
       ("properties (qcheck)", Test_props.suite);
