@@ -1592,6 +1592,125 @@ let recovery_section ~quick =
       ("full_wall_ms", J.Num full_wall);
     ]
 
+(* Replication: the read-scaling claim and the failover sweep.
+
+   Read scaling is a virtual-cost measure: every snapshot read costs
+   one unit on the node that serves it, so a tier that spreads R reads
+   over three replicas has a read capacity of R / busiest-node — 3.0x
+   a primary that serves everything, degraded by every read that
+   bounces back to the primary.  The quantity is a function of (seed,
+   config): deterministic, so the floor below is a real gate, not a
+   wall-clock guess.
+
+   The failover sweep is the drill of `weihl replica`: seeded
+   schedules of traffic with 2PC faults, lossy shipping, staged
+   replica faults and forced promotions.  The committed counts must
+   survive every promotion, no replica may ever serve a stale read,
+   and every final replica projection must match its primary. *)
+let replication_read_floor = 2.0
+
+let replication_section ~quick =
+  let duration = if quick then 400 else 800 in
+  let shards = 3 and replicas = 3 in
+  let nreads = if quick then 60 else 150 in
+  let proto =
+    match Fault_harness.find_protocol "hybrid" with
+    | Some p -> p
+    | None -> Fmt.failwith "hybrid protocol missing from the fault catalog"
+  in
+  let w = proto.Fault_harness.workload () in
+  let group =
+    Shard_group.create ~policy:proto.Fault_harness.policy ~seed:11 ~shards ()
+  in
+  List.iter
+    (fun id -> Shard_group.add_object group id proto.Fault_harness.make_object)
+    w.Workload.objects;
+  let tier =
+    Replica_tier.create ~seed:11 ~replicas
+      ~make_object:proto.Fault_harness.make_object group
+  in
+  let on_commit g gt ~nth_multi:_ =
+    let r = Shard_group.commit g gt in
+    Replica_tier.pump tier;
+    r
+  in
+  let config =
+    { Sharded_driver.default_config with clients = 4; duration; seed = 11 }
+  in
+  ignore (Sharded_driver.run ~config ~on_commit group w);
+  Replica_tier.sync tier;
+  let rng = Rng.create 1107 in
+  let read_steps () =
+    let rec go n =
+      if n = 0 then None
+      else
+        let s = w.Workload.generate rng in
+        if s.Workload.kind = `Read_only then
+          Some
+            (List.map
+               (fun st -> (st.Workload.obj, st.Workload.op))
+               s.Workload.steps)
+        else go (n - 1)
+    in
+    go 100
+  in
+  let issued = ref 0 in
+  let (), read_wall =
+    wall_ms (fun () ->
+        for _ = 1 to nreads do
+          match read_steps () with
+          | None -> ()
+          | Some steps -> (
+            incr issued;
+            match Replica_tier.read tier steps with
+            | Ok _ -> ()
+            | Error e -> Fmt.failwith "replication bench: read failed: %s" e)
+        done)
+  in
+  let served = List.init replicas (fun i -> Replica_tier.reads_at tier ~replica:i) in
+  let primary_served = Replica_tier.reads_primary tier in
+  let busiest = List.fold_left max primary_served served in
+  let scaling =
+    if busiest > 0 then float_of_int !issued /. float_of_int busiest else 0.
+  in
+  Shard_group.shutdown group;
+  (* The failover sweep. *)
+  let schedules = if quick then 20 else 100 in
+  let seeds = List.init schedules (fun i -> i + 1) in
+  let r = Replica_drill.run_many ~quick ~shards ~replicas ~seeds () in
+  J.Obj
+    [
+      ("shards", J.Num (float_of_int shards));
+      ("replicas", J.Num (float_of_int replicas));
+      ("duration_ticks", J.Num (float_of_int duration));
+      ("seed", J.Num 11.);
+      ("reads", J.Num (float_of_int !issued));
+      ( "replica_served",
+        J.List (List.map (fun n -> J.Num (float_of_int n)) served) );
+      ("primary_served", J.Num (float_of_int primary_served));
+      ("busiest_reads", J.Num (float_of_int busiest));
+      ("read_scaling", J.Num scaling);
+      ("read_scaling_floor", J.Num replication_read_floor);
+      ("read_wall_ms", J.Num read_wall);
+      ( "failover",
+        J.Obj
+          [
+            ("schedules", J.Num (float_of_int r.Replica_drill.schedules));
+            ("committed", J.Num (float_of_int r.Replica_drill.r_committed));
+            ("reads", J.Num (float_of_int r.Replica_drill.r_reads));
+            ( "replica_served",
+              J.Num (float_of_int r.Replica_drill.r_replica_served) );
+            ("bounced", J.Num (float_of_int r.Replica_drill.r_bounced));
+            ("lost_commits", J.Num (float_of_int r.Replica_drill.r_lost));
+            ("stale_served", J.Num (float_of_int r.Replica_drill.r_stale));
+            ("diverged", J.Num (float_of_int r.Replica_drill.r_diverged));
+            ("promotions", J.Num (float_of_int r.Replica_drill.r_promotions));
+            ("resyncs", J.Num (float_of_int r.Replica_drill.r_resyncs));
+            ( "damaged_segments",
+              J.Num (float_of_int r.Replica_drill.r_damaged) );
+          ] );
+    ]
+
 (* --- the regression gate ------------------------------------------- *)
 
 let jfield name = function
@@ -1773,8 +1892,54 @@ let compare_to_baseline ~current ~base =
         | _ -> [ "recovery: section is missing its improvement ratio" ])
       | _ -> []
     in
+    (* The replication gate is absolute like the multicore and
+       recovery ones: the 3-replica read-scaling ratio must clear the
+       floor recorded in the section, and the failover sweep must be
+       spotless — zero lost commits, zero stale reads served, zero
+       divergences.  Pre-replication baselines skip it. *)
+    let replication_regressions =
+      match (jfield "replication" base, jfield "replication" current) with
+      | Some _, Some rp ->
+        let scaling =
+          match
+            (jnum (jfield "read_scaling_floor" rp),
+             jnum (jfield "read_scaling" rp))
+          with
+          | Some floor_, Some s when s < floor_ ->
+            [
+              Fmt.str
+                "replication: 3-replica read scaling %.2fx fell below the \
+                 %.1fx floor"
+                s floor_;
+            ]
+          | Some _, Some _ -> []
+          | _ -> [ "replication: section is missing its read-scaling ratio" ]
+        in
+        let sweep =
+          match jfield "failover" rp with
+          | None -> [ "replication: section is missing its failover sweep" ]
+          | Some fo ->
+            List.filter_map
+              (fun name ->
+                match jnum (jfield name fo) with
+                | Some 0. -> None
+                | Some n ->
+                  Some
+                    (Fmt.str "replication: failover sweep reported %g %s"
+                       n
+                       (String.map
+                          (fun c -> if c = '_' then ' ' else c)
+                          name))
+                | None ->
+                  Some
+                    (Fmt.str "replication: failover sweep is missing %s" name))
+              [ "lost_commits"; "stale_served"; "diverged" ]
+        in
+        scaling @ sweep
+      | _ -> []
+    in
     sim_regressions @ synth_regressions @ open_loop_regressions
-    @ multicore_regressions @ recovery_regressions
+    @ multicore_regressions @ recovery_regressions @ replication_regressions
 
 let json_mode ~file ~quick ~baseline =
   let sections =
@@ -1788,6 +1953,7 @@ let json_mode ~file ~quick ~baseline =
       ("open_loop", open_loop_section ~quick);
       ("multicore", multicore_section ~quick);
       ("recovery", recovery_section ~quick);
+      ("replication", replication_section ~quick);
     ]
   in
   let base =

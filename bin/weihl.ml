@@ -579,6 +579,75 @@ let shard_sweep_to_json (s : Shard_harness.summary) =
              (Shard_harness.divergences s)) );
     ]
 
+(* The replication face of the shard payload: per-replica apply lag
+   (records and virtual time) and the group-wide promotion / resync /
+   stale-bounce counters, read back out of Obs.Shard_metrics, plus the
+   tier's own channel counters. *)
+let replication_fields sm tier =
+  match (sm, tier) with
+  | Some m, Some t when Obs.Shard_metrics.replica_count m > 0 ->
+    let num n = Obs.Json.Num (float_of_int n) in
+    [
+      ( "replication",
+        Obs.Json.Obj
+          [
+            ("replicas", num (Obs.Shard_metrics.replica_count m));
+            ( "per_replica",
+              Obs.Json.List
+                (List.init
+                   (Obs.Shard_metrics.replica_count m)
+                   (fun i ->
+                     Obs.Json.Obj
+                       [
+                         ( "lag_records",
+                           num (Obs.Shard_metrics.replica_lag m i) );
+                         ( "lag_vtime",
+                           num (Obs.Shard_metrics.replica_lag_vtime m i) );
+                         ( "applied",
+                           num (Obs.Shard_metrics.replica_applied_count m i) );
+                         ("reads", num (Obs.Shard_metrics.replica_reads m i));
+                       ])) );
+            ("promotions", num (Obs.Shard_metrics.promotion_count m));
+            ("resyncs", num (Obs.Shard_metrics.resync_count m));
+            ("stale_bounces", num (Obs.Shard_metrics.stale_bounce_count m));
+            ("segments_shipped", num (Replica_tier.segments_shipped t));
+            ("damaged_segments", num (Replica_tier.damaged_segments t));
+            ("fenced_segments", num (Replica_tier.fenced_segments t));
+            ("reads_primary", num (Replica_tier.reads_primary t));
+            ( "channel",
+              Obs.Json.Obj
+                [
+                  ("dropped", num (Replica_tier.channel_dropped t));
+                  ("duplicated", num (Replica_tier.channel_duplicated t));
+                  ("reordered", num (Replica_tier.channel_reordered t));
+                ] );
+          ] );
+    ]
+  | _ -> []
+
+let drill_report_to_json (r : Replica_drill.report) =
+  let num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    [
+      ("schedules", num r.Replica_drill.schedules);
+      ("committed", num r.Replica_drill.r_committed);
+      ("reads", num r.Replica_drill.r_reads);
+      ("replica_served", num r.Replica_drill.r_replica_served);
+      ("bounced", num r.Replica_drill.r_bounced);
+      ("unavailable", num r.Replica_drill.r_unavailable);
+      ("lost_commits", num r.Replica_drill.r_lost);
+      ("stale_served", num r.Replica_drill.r_stale);
+      ("promotions", num r.Replica_drill.r_promotions);
+      ("resyncs", num r.Replica_drill.r_resyncs);
+      ("damaged_segments", num r.Replica_drill.r_damaged);
+      ("diverged", num r.Replica_drill.r_diverged);
+      ( "divergent",
+        Obs.Json.List
+          (List.map
+             (fun d -> Obs.Json.Str (Fmt.str "%a" Replica_drill.pp_schedule d))
+             (Replica_drill.divergences r)) );
+    ]
+
 (* Histogram summaries and Msim per-cause message counters for the
    machine-readable shard payloads.  The msim.* counters tick in the
    shard-metrics registry, which every 2PC round's message simulation
@@ -743,9 +812,9 @@ let mcore_outcome_to_json ?(extra = []) ~domains shards
      ]
     @ extra)
 
-let shard_cmd shards domains clients duration seed protocol faults schedules
-    quick verbose metrics json trace open_loop rate sweep zipf hot hot_keys
-    window mcore jobs inflight sync_us checkpoint_every archive =
+let shard_cmd shards domains replicas clients duration seed protocol faults
+    schedules quick verbose metrics json trace open_loop rate sweep zipf hot
+    hot_keys window mcore jobs inflight sync_us checkpoint_every archive =
   if faults then begin
     let seeds = List.init schedules (fun i -> seed + i) in
     let summary =
@@ -822,7 +891,8 @@ let shard_cmd shards domains clients duration seed protocol faults schedules
       Fmt.failwith "--archive needs --checkpoint-every";
     let mk_group ?group_commit ?sync_cost ~with_metrics () =
       let sm =
-        if with_metrics then Some (Obs.Shard_metrics.create ~shards ())
+        if with_metrics then
+          Some (Obs.Shard_metrics.create ~replicas ~shards ())
         else None
       in
       let group =
@@ -969,15 +1039,38 @@ let shard_cmd shards domains clients duration seed protocol faults schedules
       end
     end
     else begin
-      let sm' = metrics || Option.is_some json in
+      let sm' = metrics || Option.is_some json || replicas > 0 in
       let group, sm = mk_group ~with_metrics:sm' () in
+      let tier =
+        if replicas = 0 then None
+        else begin
+          if domains > 1 then
+            Fmt.failwith
+              "--replicas needs --domains 1 (the tier's watermark cut relies \
+               on the sequential mode)";
+          Some
+            (Replica_tier.create ?metrics:sm ~seed ~replicas
+               ~make_object:proto.Fault_harness.make_object group)
+        end
+      in
+      (* Ship on every commit: the tier cuts and delivers a segment per
+         live shard and replica, so replicas trail the primary by at
+         most one commit's worth of records during the run. *)
+      let on_commit =
+        Option.map
+          (fun t g gt ~nth_multi:_ ->
+            let r = Shard_group.commit g gt in
+            Replica_tier.pump t;
+            r)
+          tier
+      in
       let tracer =
         Option.map (fun _ -> Obs.Shard_trace.create ~shards) trace
       in
       let config =
         { Sharded_driver.default_config with clients; duration; seed }
       in
-      let o = Sharded_driver.run ~config ?tracer group w in
+      let o = Sharded_driver.run ~config ?tracer ?on_commit group w in
       Fmt.pr "%a@." Sharded_driver.pp_outcome o;
       Fmt.pr "objects: %d over %d shards, 2pc rounds: %d@."
         (List.length (Shard_group.objects group))
@@ -993,13 +1086,60 @@ let shard_cmd shards domains clients duration seed protocol faults schedules
                        record %d@."
                  s files base)
       | None -> ());
+      (match tier with
+      | None -> ()
+      | Some t ->
+        Replica_tier.sync t;
+        (* A read batch through the tier, so the run demonstrates the
+           snapshot path — timestamp-policy protocols only; under
+           `None_ there are no initiation timestamps to read at. *)
+        (if proto.Fault_harness.policy <> `None_ then begin
+           let rng = Rng.create ((seed * 131) + 7) in
+           let read_steps () =
+             let rec go n =
+               if n = 0 then None
+               else
+                 let s = w.Workload.generate rng in
+                 if s.Workload.kind = `Read_only then
+                   Some
+                     (List.map
+                        (fun st -> (st.Workload.obj, st.Workload.op))
+                        s.Workload.steps)
+                 else go (n - 1)
+             in
+             go 100
+           in
+           let served = ref 0 and bounced = ref 0 in
+           for _ = 1 to 8 * replicas do
+             match read_steps () with
+             | None -> ()
+             | Some steps -> (
+               match Replica_tier.read t steps with
+               | Ok ro ->
+                 (match ro.Replica_tier.serve with
+                 | Replica_tier.Served_replica _ -> incr served
+                 | Replica_tier.Served_primary -> ());
+                 if ro.Replica_tier.bounced then incr bounced
+               | Error e -> Fmt.epr "replica read failed: %s@." e)
+           done;
+           Fmt.pr "snapshot reads: %d replica-served, %d bounced to primary@."
+             !served !bounced
+         end
+         else
+           Fmt.pr
+             "snapshot reads skipped: protocol %s has no initiation \
+              timestamps (try --protocol hybrid)@."
+             proto.Fault_harness.name);
+        Fmt.pr "@.%s@." (Replica_tier.render t));
       report_metrics sm;
       Option.iter write_trace tracer;
       (match json with
       | Some path ->
         write_json path
           (shard_outcome_to_json
-             ~extra:(domains_field group :: shard_metrics_fields sm)
+             ~extra:
+               ((domains_field group :: shard_metrics_fields sm)
+               @ replication_fields sm tier)
              shards o)
       | None -> ());
       let rc = if o.Sharded_driver.left_in_doubt = 0 then 0 else 1 in
@@ -1007,6 +1147,118 @@ let shard_cmd shards domains clients duration seed protocol faults schedules
       rc
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* weihl replica                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic shipping demo for the lag report: a hybrid group
+   under traffic with staggered per-replica apply lag, sampled before
+   the final sync so the report shows replicas actually trailing, then
+   a read batch through the tier. *)
+let replica_lag_demo ~shards ~replicas ~seed =
+  let proto = find_sharded_protocol "hybrid" in
+  let w = proto.Fault_harness.workload () in
+  let sm = Obs.Shard_metrics.create ~replicas ~shards () in
+  let group =
+    Shard_group.create ~policy:proto.Fault_harness.policy ~metrics:sm ~seed
+      ~shards ()
+  in
+  List.iter
+    (fun id -> Shard_group.add_object group id proto.Fault_harness.make_object)
+    w.Workload.objects;
+  let tier =
+    Replica_tier.create ~metrics:sm ~seed ~replicas
+      ~make_object:proto.Fault_harness.make_object group
+  in
+  let config =
+    { Sharded_driver.default_config with clients = 4; duration = 400; seed }
+  in
+  ignore (Sharded_driver.run ~config group w);
+  (* Ship the accumulated feed under staggered apply lag, sampling
+     after a bounded pump budget so the report shows each replica at a
+     different depth behind the primary. *)
+  for i = 0 to replicas - 1 do
+    Replica_tier.set_lag tier ~replica:i (4 * i)
+  done;
+  for _ = 1 to 12 do
+    Replica_tier.pump tier
+  done;
+  let sampled =
+    List.init replicas (fun i ->
+        ( Replica_tier.lag_records tier ~replica:i,
+          Obs.Shard_metrics.replica_lag_vtime sm i ))
+  in
+  Replica_tier.sync tier;
+  let rng = Rng.create ((seed * 131) + 7) in
+  for _ = 1 to 4 * replicas do
+    let rec draw n =
+      if n = 0 then None
+      else
+        let s = w.Workload.generate rng in
+        if s.Workload.kind = `Read_only then
+          Some
+            (List.map
+               (fun st -> (st.Workload.obj, st.Workload.op))
+               s.Workload.steps)
+        else draw (n - 1)
+    in
+    match draw 100 with
+    | None -> ()
+    | Some steps -> ignore (Replica_tier.read tier steps)
+  done;
+  let num n = Obs.Json.Num (float_of_int n) in
+  let payload =
+    Obs.Json.Obj
+      [
+        ("shards", num shards);
+        ("replicas", num replicas);
+        ( "per_replica",
+          Obs.Json.List
+            (List.mapi
+               (fun i (lag, vtime) ->
+                 Obs.Json.Obj
+                   [
+                     ("sampled_lag_records", num lag);
+                     ("sampled_lag_vtime", num vtime);
+                     ( "final_lag_records",
+                       num (Replica_tier.lag_records tier ~replica:i) );
+                     ("applied", num (Obs.Shard_metrics.replica_applied_count sm i));
+                     ("reads", num (Obs.Shard_metrics.replica_reads sm i));
+                   ])
+               sampled) );
+        ("segments_shipped", num (Replica_tier.segments_shipped tier));
+        ("resyncs", num (Replica_tier.resyncs tier));
+        ("stale_bounces", num (Obs.Shard_metrics.stale_bounce_count sm));
+        ("reads_primary", num (Replica_tier.reads_primary tier));
+      ]
+  in
+  let rendered = Replica_tier.render tier in
+  Shard_group.shutdown group;
+  (payload, rendered)
+
+let replica_cmd shards replicas schedules seed quick verbose json =
+  let seeds = List.init schedules (fun i -> seed + i) in
+  let r = Replica_drill.run_many ~quick ~shards ~replicas ~seeds () in
+  if verbose then
+    List.iter
+      (fun d -> Fmt.pr "%a@." Replica_drill.pp_schedule d)
+      r.Replica_drill.results;
+  Fmt.pr "%a@." Replica_drill.pp_report r;
+  let demo, rendered = replica_lag_demo ~shards ~replicas ~seed in
+  Fmt.pr "@.lag report (hybrid demo tier, staggered apply lag):@.%s@." rendered;
+  (match json with
+  | Some path ->
+    write_json path
+      (Obs.Json.Obj
+         [ ("drill", drill_report_to_json r); ("lag_demo", demo) ])
+  | None -> ());
+  match Replica_drill.divergences r with
+  | [] -> if Replica_drill.clean r then 0 else 1
+  | ds ->
+    Fmt.epr "@.divergent schedules:@.";
+    List.iter (fun d -> Fmt.epr "  %a@." Replica_drill.pp_schedule d) ds;
+    1
 
 (* ------------------------------------------------------------------ *)
 (* weihl trace                                                         *)
@@ -1454,6 +1706,19 @@ let shard_term =
              count).  1 is the deterministic inline mode; results are \
              identical at any value — only wall-clock time changes.")
   in
+  let replicas =
+    Arg.(
+      value & opt int 0
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:
+            "Run a read-replica tier of N replicas over the group: WAL \
+             segments ship to each replica on every commit, and after the \
+             traffic run a batch of read-only transactions is served from \
+             replica snapshots at their initiation timestamps \
+             (timestamp-policy protocols; needs $(b,--domains) 1).  The \
+             per-replica lag and read counters land in $(b,--json) under \
+             $(i,replication).")
+  in
   let mcore =
     Arg.(
       value & flag
@@ -1503,10 +1768,50 @@ let shard_term =
              discarding them (with --checkpoint-every).")
   in
   Term.(
-    const shard_cmd $ shards $ domains $ clients $ duration $ seed $ protocol
-    $ faults $ schedules $ quick $ verbose $ metrics $ json $ trace
+    const shard_cmd $ shards $ domains $ replicas $ clients $ duration $ seed
+    $ protocol $ faults $ schedules $ quick $ verbose $ metrics $ json $ trace
     $ open_loop $ rate $ sweep $ zipf $ hot $ hot_keys $ window $ mcore $ jobs
     $ inflight $ sync_us $ checkpoint_every $ archive)
+
+let replica_term =
+  let shards =
+    Arg.(
+      value & opt int 3
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of shards in the group.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas" ] ~docv:"N" ~doc:"Replicas per tier.")
+  in
+  let schedules =
+    Arg.(
+      value & opt int 100
+      & info [ "schedules"; "n" ] ~docv:"N"
+          ~doc:"Number of seeded failover schedules.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Shorten the traffic slices and read batches (smoke runs).")
+  in
+  let verbose =
+    Arg.(
+      value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule result.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable drill summary and per-replica lag \
+             report to FILE.")
+  in
+  Term.(
+    const replica_cmd $ shards $ replicas $ schedules $ seed $ quick $ verbose
+    $ json)
 
 let lint_term =
   let protocol =
@@ -1627,6 +1932,17 @@ let cmds =
                seeded crash-recovery fault schedules and exit non-zero on \
                any global-atomicity divergence.")
       shard_term;
+    Cmd.v
+      (Cmd.info "replica"
+         ~doc:
+           "Run the read-replica failover drill: seeded schedules of traffic \
+            with 2PC faults, lossy WAL shipping, staged replica faults \
+            (lag, crash, partition, segment damage) and forced promotions, \
+            judged for lost commits, stale replica reads and projection \
+            divergence; exit non-zero unless every schedule is clean.  Also \
+            emits a per-replica apply-lag report from a deterministic \
+            shipping demo.")
+      replica_term;
     Cmd.group
       (Cmd.info "trace"
          ~doc:"Inspect exported Chrome traces.")

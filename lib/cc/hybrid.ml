@@ -39,6 +39,20 @@ let make ?(unsafe_forget_contended_commit = false) log id spec ~conflict
         Obj_log.dropped olog txn;
         Atomic_object.Refused "hybrid: read-only transaction has no timestamp"
       | Some ts -> (
+        (* A prepared 2PC leg is dangerous: its commit timestamp was
+           fixed by the coordinator when the decision was logged, which
+           may be *below* [ts] even though the leg has not resolved
+           yet.  Serving now would miss a version that later appears
+           beneath us.  Active updates are safe to skip — their
+           timestamp is drawn at commit time, after ours. *)
+        match
+          List.filter_map
+            (fun (holder, _) ->
+              if Txn.is_prepared holder then Some holder else None)
+            (Intentions.active store)
+        with
+        | _ :: _ as bs -> Atomic_object.Wait bs
+        | [] -> (
         match frontier_before ts with
         | None -> invalid_arg "Hybrid: version log no longer replays"
         | Some f -> (
@@ -50,7 +64,7 @@ let make ?(unsafe_forget_contended_commit = false) log id spec ~conflict
                  Operation.pp op)
           | (res, _) :: _ ->
             Obj_log.responded olog txn res;
-            Atomic_object.Granted res))
+            Atomic_object.Granted res)))
   in
   let invoke_update txn op =
     let blockers =

@@ -89,10 +89,23 @@ let make log id : Atomic_object.t =
         Obj_log.dropped olog txn;
         Atomic_object.Refused
           "hybrid account: read-only transaction has no timestamp"
-      | Some ts ->
-        let v = balance_before st ts in
-        Obj_log.responded olog txn (Value.Int v);
-        Atomic_object.Granted (Value.Int v))
+      | Some ts -> (
+        (* A prepared 2PC leg may already carry a decision timestamp
+           below [ts]; serving past it would miss the version it will
+           install.  Active updates commit with a later timestamp than
+           ours, so only prepared pendings block us. *)
+        match
+          List.filter_map
+            (fun p ->
+              if has_updates p && Txn.is_prepared p.txn then Some p.txn
+              else None)
+            st.pendings
+        with
+        | _ :: _ as bs -> Atomic_object.Wait bs
+        | [] ->
+          let v = balance_before st ts in
+          Obj_log.responded olog txn (Value.Int v);
+          Atomic_object.Granted (Value.Int v)))
     | _ ->
       Obj_log.dropped olog txn;
       Atomic_object.Refused

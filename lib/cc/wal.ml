@@ -256,6 +256,51 @@ let decode_records text =
       in
       go base [] lines
 
+(* Streaming segments: a shipped slice of the record stream is just a
+   WAL text whose header base is the slice's absolute start position.
+   Unlike a log read back from disk, a segment that arrives damaged is
+   refused whole — applying the intact prefix of a torn segment would
+   silently diverge the replica from the stream. *)
+let segment ?label ~base records = encode_records ?label ~base records
+
+let decode_segment ~expected_base text =
+  match decode_records text with
+  | Error _ as e -> e
+  | Ok (records, Torn n) ->
+    Error
+      {
+        record = base text + List.length records;
+        reason = Printf.sprintf "segment torn in flight (%d record(s))" n;
+      }
+  | Ok (records, Intact) ->
+    let b = base text in
+    if b <> expected_base then
+      Error
+        {
+          record = -1;
+          reason =
+            Printf.sprintf "segment base mismatch: expected %d, found %d"
+              expected_base b;
+        }
+    else Ok records
+
+let rec drop_n n = function _ :: tl when n > 0 -> drop_n (n - 1) tl | l -> l
+
+let records_from ~pos text =
+  match decode_records text with
+  | Error _ as e -> e
+  | Ok (records, _) ->
+    let b = base text in
+    if pos < b then
+      Error
+        {
+          record = -1;
+          reason =
+            Printf.sprintf
+              "position %d is behind the log's base %d (truncated away)" pos b;
+        }
+    else Ok (drop_n (pos - b) records)
+
 let decode text =
   match decode_records text with
   | Error e -> Error e

@@ -100,6 +100,37 @@ val decode_records : string -> (record list * status, error) result
     Sequence validation starts at the header's base offset, so damage
     to the base token itself surfaces as a loud sequence mismatch. *)
 
+(** {1 Streaming segments}
+
+    Log shipping cuts the record stream into {e segments}: each is a
+    complete WAL text (header with an absolute [@base], CRC-framed
+    records) covering a contiguous slice of the stream, so a replica
+    can validate and splice it with the same machinery recovery uses on
+    a whole log.  The difference from a durable log on disk: a segment
+    travels over a network, so a torn tail is not a crash artifact to
+    truncate — it is damage in flight, and the receiver must refuse the
+    segment and resync rather than apply a prefix. *)
+
+val segment : ?label:string -> base:int -> record list -> string
+(** Frame a slice of a record stream for shipping; [base] is the
+    absolute position of the slice's first record.  Same text format as
+    {!encode_records}. *)
+
+val decode_segment :
+  expected_base:int -> string -> (record list, error) result
+(** Decode a shipped segment, requiring that it decodes {!Intact} and
+    starts exactly at [expected_base].  Any damage — checksum mismatch,
+    torn tail, bad header, wrong base — is an error: a receiver never
+    applies part of a damaged segment. *)
+
+val records_from : pos:int -> string -> (record list, error) result
+(** The records of a durable text at absolute positions [>= pos] — the
+    tail a resuming replica needs.  Errors if [pos] is below the text's
+    base (those records were truncated away behind a checkpoint and
+    can only come from a snapshot) or the text is damaged; a torn tail
+    is truncated as in {!decode_records}.  Returns [[]] when [pos] is
+    at or past the end. *)
+
 val label : string -> string option
 (** The header label of a durable text, if it has one. *)
 

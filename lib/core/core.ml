@@ -130,6 +130,10 @@ module Sharded_driver = Weihl_shard.Sharded_driver
 module Mcore_driver = Weihl_shard.Mcore_driver
 module Shard_harness = Weihl_shard.Shard_harness
 
+module Replica_projection = Weihl_replica.Projection
+module Replica_tier = Weihl_replica.Tier
+module Replica_drill = Weihl_replica.Drill
+
 module Lint_domain = Weihl_analysis.Domain
 module Lint_catalog = Weihl_analysis.Catalog
 module Table_cert = Weihl_analysis.Table_cert

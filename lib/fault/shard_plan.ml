@@ -15,6 +15,13 @@ type ckpt_fault =
   | Ckpt_torn of int
   | Ckpt_race
 
+type replica_fault =
+  | Replica_healthy
+  | Replica_lag of int * int
+  | Replica_crash of int
+  | Replica_partition of int
+  | Replica_damage of int * int
+
 type t = {
   seed : int;
   fault_at_commit : int;
@@ -22,6 +29,8 @@ type t = {
   msg : Msim.faults;
   log_fault : Plan.log_fault;
   ckpt : ckpt_fault;
+  ship : Msim.faults;
+  replica : replica_fault;
 }
 
 let generate ~seed =
@@ -78,7 +87,29 @@ let generate ~seed =
     | 3 | 4 -> Ckpt_race
     | _ -> Ckpt_pristine
   in
-  { seed; fault_at_commit; tpc; msg; log_fault; ckpt }
+  (* The replication fields are drawn after everything else, so every
+     pre-replication field keeps its value for a given seed.  [ship]
+     faults the WAL-shipping channel itself (the resend-from-acked
+     protocol must absorb drop/duplicate/reorder); [replica] picks one
+     replica-side fault for the drill to stage mid-run. *)
+  let ship =
+    if Rng.bool rng then Msim.no_faults
+    else
+      {
+        Msim.drop = Rng.float rng 0.2;
+        duplicate = Rng.float rng 0.25;
+        reorder = Rng.float rng 0.3;
+      }
+  in
+  let replica =
+    match Rng.int rng 10 with
+    | 0 | 1 -> Replica_lag (Rng.int rng 4, 2 + Rng.int rng 6)
+    | 2 | 3 -> Replica_crash (Rng.int rng 4)
+    | 4 | 5 -> Replica_partition (Rng.int rng 4)
+    | 6 -> Replica_damage (Rng.int rng 4, 1 + Rng.int rng 3)
+    | _ -> Replica_healthy
+  in
+  { seed; fault_at_commit; tpc; msg; log_fault; ckpt; ship; replica }
 
 let corrupt t text = Plan.corrupt_with t.log_fault text
 
@@ -105,7 +136,15 @@ let pp_ckpt ppf = function
   | Ckpt_torn k -> Fmt.pf ppf "ckpt:torn(%d)" k
   | Ckpt_race -> Fmt.string ppf "ckpt:marker-race"
 
+let pp_replica ppf = function
+  | Replica_healthy -> Fmt.string ppf "replica:healthy"
+  | Replica_lag (i, n) -> Fmt.pf ppf "replica%d:lag(%d)" i n
+  | Replica_crash i -> Fmt.pf ppf "replica%d:crash" i
+  | Replica_partition i -> Fmt.pf ppf "replica%d:partitioned" i
+  | Replica_damage (i, n) -> Fmt.pf ppf "replica%d:damage(%d)" i n
+
 let pp ppf t =
-  Fmt.pf ppf "@[<h>seed %d: at-commit %d, 2pc %a, msg{d=%.2f,u=%.2f,r=%.2f}@]"
+  Fmt.pf ppf
+    "@[<h>seed %d: at-commit %d, 2pc %a, msg{d=%.2f,u=%.2f,r=%.2f}, %a@]"
     t.seed t.fault_at_commit pp_tpc t.tpc t.msg.Msim.drop t.msg.Msim.duplicate
-    t.msg.Msim.reorder
+    t.msg.Msim.reorder pp_replica t.replica

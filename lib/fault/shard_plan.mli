@@ -28,6 +28,21 @@ type ckpt_fault =
           WAL [Checkpointed] marker never became durable, so recovery
           must treat the checkpoint as never having happened *)
 
+type replica_fault =
+  | Replica_healthy
+  | Replica_lag of int * int
+      (** replica index (mod the tier's size) skips that many shipping
+          rounds — an apply-lag schedule *)
+  | Replica_crash of int
+      (** that replica crashes mid-run and restarts later; its durable
+          applied log survives, its high-water mark does not *)
+  | Replica_partition of int
+      (** cut the feed<->replica channel link for a window *)
+  | Replica_damage of int * int
+      (** after the given traffic slice, corrupt that many shipped
+          segments in flight — each must be detected and resynced,
+          never applied *)
+
 type t = {
   seed : int;
   fault_at_commit : int;
@@ -41,6 +56,12 @@ type t = {
   ckpt : ckpt_fault;
       (** damage applied to the crashed shard's newest checkpoint file
           (the soak harness's crash→recover cycles) *)
+  ship : Msim.faults;
+      (** drop/duplicate/reorder on the WAL-shipping channel of a
+          replica tier — the resend-from-acked protocol must absorb
+          them *)
+  replica : replica_fault;
+      (** the replica-side fault a failover drill stages mid-run *)
 }
 
 val generate : seed:int -> t
@@ -58,3 +79,4 @@ val corrupt_ckpt : t -> string -> string
 
 val pp : Format.formatter -> t -> unit
 val pp_ckpt : Format.formatter -> ckpt_fault -> unit
+val pp_replica : Format.formatter -> replica_fault -> unit

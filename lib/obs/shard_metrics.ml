@@ -10,9 +10,20 @@ type shard = {
   mailbox_depth : M.Gauge.t;
 }
 
+type replica = {
+  lag_records : M.Gauge.t;
+  lag_vtime : M.Gauge.t;
+  applied : M.Counter.t;
+  replica_reads : M.Counter.t;
+}
+
 type t = {
   registry : M.Registry.t;
   shards : shard array;
+  replicas : replica array;
+  promotions : M.Counter.t;
+  resyncs : M.Counter.t;
+  stale_bounces : M.Counter.t;
   tpc_rounds : M.Counter.t;
   tpc_commits : M.Counter.t;
   tpc_aborts : M.Counter.t;
@@ -38,10 +49,21 @@ let batch_buckets =
     (List.init 16 (fun i -> float_of_int (i + 1))
     @ [ 32.; 64.; 128.; 256.; 512.; 1024. ])
 
-let create ?registry ~shards () =
+let create ?registry ?(replicas = 0) ~shards () =
   if shards <= 0 then invalid_arg "Shard_metrics.create: shards must be positive";
+  if replicas < 0 then
+    invalid_arg "Shard_metrics.create: replicas must be non-negative";
   let registry =
     match registry with Some r -> r | None -> M.Registry.create ()
+  in
+  let replica i =
+    let name what = Fmt.str "replica%d.%s" i what in
+    {
+      lag_records = M.Registry.gauge registry (name "lag.records");
+      lag_vtime = M.Registry.gauge registry (name "lag.vtime");
+      applied = M.Registry.counter registry (name "applied");
+      replica_reads = M.Registry.counter registry (name "reads");
+    }
   in
   let shard i =
     let c what = M.Registry.counter registry (Fmt.str "shard%d.%s" i what) in
@@ -59,6 +81,10 @@ let create ?registry ~shards () =
   {
     registry;
     shards = Array.init shards shard;
+    replicas = Array.init replicas replica;
+    promotions = M.Registry.counter registry "replication.promotions";
+    resyncs = M.Registry.counter registry "replication.resyncs";
+    stale_bounces = M.Registry.counter registry "replication.stale_bounces";
     tpc_rounds = M.Registry.counter registry "tpc.rounds";
     tpc_commits = M.Registry.counter registry "tpc.commit";
     tpc_aborts = M.Registry.counter registry "tpc.abort";
@@ -99,6 +125,33 @@ let set_in_doubt t i n = M.Gauge.set (shard t i).in_doubt (float_of_int n)
 
 let set_mailbox_depth t i n =
   M.Gauge.set (shard t i).mailbox_depth (float_of_int n)
+
+let replica_count t = Array.length t.replicas
+
+let replica t i =
+  if i < 0 || i >= Array.length t.replicas then
+    invalid_arg "Shard_metrics.replica: index out of range";
+  t.replicas.(i)
+
+let set_replica_lag t ~replica:i ~records ~vtime =
+  let r = replica t i in
+  M.Gauge.set r.lag_records (float_of_int records);
+  M.Gauge.set r.lag_vtime (float_of_int vtime)
+
+let replica_applied t ~replica:i ~records =
+  M.Counter.add (replica t i).applied records
+
+let replica_read t ~replica:i = M.Counter.incr (replica t i).replica_reads
+let replica_resync t = M.Counter.incr t.resyncs
+let stale_bounce t = M.Counter.incr t.stale_bounces
+let promotion t = M.Counter.incr t.promotions
+let replica_lag t i = int_of_float (M.Gauge.value (replica t i).lag_records)
+let replica_lag_vtime t i = int_of_float (M.Gauge.value (replica t i).lag_vtime)
+let replica_applied_count t i = M.Counter.value (replica t i).applied
+let replica_reads t i = M.Counter.value (replica t i).replica_reads
+let promotion_count t = M.Counter.value t.promotions
+let resync_count t = M.Counter.value t.resyncs
+let stale_bounce_count t = M.Counter.value t.stale_bounces
 
 let tpc_round t ~committed ~messages ~duration ~fanout =
   M.Counter.incr t.tpc_rounds;
@@ -189,6 +242,24 @@ let render t =
          "recoveries: %d\nrecovery.duration: %a\nrecovery.records_replayed: %a\n"
          (M.Counter.value t.recoveries)
          M.Histogram.pp t.recovery_duration M.Histogram.pp t.recovery_records);
+  if Array.length t.replicas > 0 then begin
+    Buffer.add_string buf "replica  applied  lag(rec)  lag(vt)  reads\n";
+    Array.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Fmt.str "%7d  %7d  %8.0f  %7.0f  %5d\n" i
+             (M.Counter.value r.applied)
+             (M.Gauge.value r.lag_records)
+             (M.Gauge.value r.lag_vtime)
+             (M.Counter.value r.replica_reads)))
+      t.replicas;
+    Buffer.add_string buf
+      (Fmt.str
+         "replication: %d promotion(s), %d resync(s), %d stale bounce(s)\n"
+         (M.Counter.value t.promotions)
+         (M.Counter.value t.resyncs)
+         (M.Counter.value t.stale_bounces))
+  end;
   Buffer.contents buf
 
 let tpc_duration t = t.tpc_duration

@@ -23,9 +23,14 @@ type shard = {
 
 type t
 
-val create : ?registry:Metrics.Registry.t -> shards:int -> unit -> t
+val create :
+  ?registry:Metrics.Registry.t -> ?replicas:int -> shards:int -> unit -> t
 (** Instruments for [shards] shards, registered in [registry] (a fresh
-    one by default).  @raise Invalid_argument if [shards <= 0]. *)
+    one by default).  [replicas] (default 0) additionally creates the
+    read-replica instruments ([replica<i>.lag.records], [.lag.vtime],
+    [.applied], [.reads], plus group-wide [replication.promotions],
+    [.resyncs] and [.stale_bounces]).
+    @raise Invalid_argument if [shards <= 0] or [replicas < 0]. *)
 
 val registry : t -> Metrics.Registry.t
 val shard_count : t -> int
@@ -40,6 +45,38 @@ val prepare_at : t -> int -> unit
 val conflict_at : t -> int -> unit
 val set_in_doubt : t -> int -> int -> unit
 val set_mailbox_depth : t -> int -> int -> unit
+
+(** {1 Read-replica instruments}
+
+    Populated by the replica tier ({!Weihl_replica.Tier} feeds them
+    when constructed with [?metrics]); all no-arg-safe only when the
+    instruments exist — the per-replica calls raise on an index outside
+    the [replicas] the metrics were created with. *)
+
+val replica_count : t -> int
+
+val set_replica_lag : t -> replica:int -> records:int -> vtime:int -> unit
+(** The replica's apply lag right now: feed records not yet applied,
+    and the timestamp-domain staleness (group clock minus the
+    replica's oldest live-shard high-water mark). *)
+
+val replica_applied : t -> replica:int -> records:int -> unit
+(** Tick the replica's applied-records counter by one segment's worth. *)
+
+val replica_read : t -> replica:int -> unit
+(** One snapshot read served by the replica. *)
+
+val replica_resync : t -> unit
+val stale_bounce : t -> unit
+val promotion : t -> unit
+
+val replica_lag : t -> int -> int
+val replica_lag_vtime : t -> int -> int
+val replica_applied_count : t -> int -> int
+val replica_reads : t -> int -> int
+val promotion_count : t -> int
+val resync_count : t -> int
+val stale_bounce_count : t -> int
 
 val tpc_round :
   t -> committed:bool -> messages:int -> duration:int -> fanout:int -> unit

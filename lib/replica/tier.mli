@@ -1,0 +1,215 @@
+(** A read-replica tier over a shard {!Weihl_shard.Group}.
+
+    Hybrid atomicity (§4.3) hands every read-only activity a timestamp
+    at initiation and promises the committed state {e as of} that
+    timestamp — a contract a log-shipping replica can serve without
+    ever touching the primary's lock tables.  The tier ships each
+    shard's WAL record stream to [replicas] replicas over a seeded
+    {!Weihl_dist.Msim} channel and routes read-only transactions to
+    them at their initiation timestamp.
+
+    {2 The shipping protocol}
+
+    Node 0 of the channel is the primary feed; nodes [1..replicas] are
+    the replicas.  Each {!pump} round cuts, per live shard and replica,
+    one CRC-framed segment ({!Weihl_cc.Wal.segment}) starting at the
+    replica's last {e acked} position — unacknowledged data is simply
+    re-sent, so a dropped segment or ack heals on the next round.  The
+    segment carries the shard's {e watermark}: the group clock reading
+    taken before the cut, so every commit with timestamp [<= watermark]
+    is inside the shipped prefix.  A replica applies a segment only
+    when it splices exactly at its applied position (overlaps are
+    trimmed, pure duplicates acked away); a damaged segment — torn,
+    checksum-caught, or mis-based — is refused whole and answered with
+    a resync request from the last applied position, never applied in
+    part.  Each applied segment advances the replica's {e high-water
+    mark} to the watermark.
+
+    {2 The high-water-mark rule}
+
+    A read at initiation timestamp [T] may be served by a replica only
+    if [T <= hwm] on every shard the read touches: below the mark the
+    shipped prefix provably contains every commit the read must
+    observe; above it the read blocks (pumping, under [`Wait]) or
+    bounces to the primary.  Staleness is detected, never silent.
+
+    {2 Failover}
+
+    {!fail_over} promotes the most-advanced replica by applied log
+    position: the old primary is fenced by bumping the shard's epoch
+    (in-flight old-epoch segments are refused), the promoted replica
+    catches up from the durable WAL tail, the primary incarnation is
+    rebuilt from the same durable log ({!Weihl_shard.Group.recover_shard},
+    in-doubt legs resolved against the decision log), and the promoted
+    replica's committed projection is verified against the recovered
+    state — zero lost committed transactions, by check rather than by
+    assumption.  Replicas then resync from position zero on the new
+    epoch; until their marks recover, reads bounce to the primary. *)
+
+open Weihl_event
+module Cc = Weihl_cc
+module Msim = Weihl_dist.Msim
+module Group = Weihl_shard.Group
+
+type t
+
+type stale_policy =
+  [ `Bounce  (** stale reads go straight to the primary *)
+  | `Wait of int
+    (** pump up to this many rounds for the mark to catch up, then
+        bounce *) ]
+
+val create :
+  ?faults:Msim.faults ->
+  ?stale:stale_policy ->
+  ?segment_records:int ->
+  ?seed:int ->
+  ?metrics:Weihl_obs.Shard_metrics.t ->
+  replicas:int ->
+  make_object:(Cc.Event_log.t -> Object_id.t -> Cc.Atomic_object.t) ->
+  Group.t ->
+  t
+(** A tier of [replicas] replicas over the group.  [faults] (default
+    none) injects drop/duplicate/reorder on the shipping channel;
+    [stale] (default [`Wait 4]) picks the stale-read policy;
+    [segment_records] (default 64) caps records per shipped segment;
+    [seed] (default the group's seed is not visible, so 1) drives the
+    channel's delays and faults.  [make_object] rebuilds objects for
+    snapshot systems — the same constructor registered with the group.
+    @raise Invalid_argument if [replicas <= 0] or the group runs more
+    than one domain (the tier's watermark cut relies on the
+    deterministic sequential mode). *)
+
+val group : t -> Group.t
+val replica_count : t -> int
+
+(** {1 Shipping} *)
+
+val pump : t -> unit
+(** One shipping round: per live shard and live replica, cut one
+    segment from the replica's acked position and deliver the channel
+    to quiescence (acks, resyncs and retransmit responses included). *)
+
+val sync : t -> unit
+(** Pump until every live, unpartitioned replica has applied the full
+    feed of every live shard, or no round makes progress. *)
+
+val feed_pos : t -> shard:int -> int
+(** Records in the shard's feed (0 for a crashed shard). *)
+
+val applied_pos : t -> replica:int -> shard:int -> int
+val hwm : t -> replica:int -> shard:int -> int
+(** The replica's high-water mark for the shard; [-1] before the first
+    applied segment of the current epoch. *)
+
+val lag_records : t -> replica:int -> int
+(** Feed records not yet applied by the replica, summed over live
+    shards. *)
+
+val replica_events : t -> replica:int -> shard:int -> Event.t list
+(** The replica's applied event stream for the shard, in apply order —
+    what its snapshots are built from.  For checks and drills. *)
+
+val epoch : t -> shard:int -> int
+
+(** {1 Replica faults} *)
+
+val set_lag : t -> replica:int -> int -> unit
+(** Skip the replica for the next [n] pump rounds — an apply-lag
+    schedule. *)
+
+val crash_replica : t -> int -> unit
+(** The replica stops receiving and serving.  Its applied records are
+    its durable local log and survive; its high-water mark does not
+    (it is segment metadata), so after {!restart_replica} the replica
+    acks its old position, resumes from it, and serves no read until a
+    fresh segment re-establishes the mark. *)
+
+val restart_replica : t -> int -> unit
+val replica_down : t -> int -> bool
+
+val partition_replica : t -> int -> unit
+(** Cut the channel link between the feed and the replica. *)
+
+val heal_replica : t -> int -> unit
+
+val damage_next_segments : t -> int -> unit
+(** Corrupt the text of the next [n] segments cut — the receiver must
+    detect each (CRC or framing) and resync rather than apply. *)
+
+(** {1 Snapshot reads} *)
+
+type serve = Served_replica of int | Served_primary
+
+type read_outcome = {
+  read_ts : int;  (** the initiation timestamp, from the group clock *)
+  values : (Object_id.t * Operation.t * Value.t) list;
+  serve : serve;
+  bounced : bool;
+      (** the chosen replica was below the mark (or down) and the read
+          fell back to the primary *)
+  waited : int;  (** pump rounds spent waiting for the mark *)
+}
+
+val read :
+  ?replica:int ->
+  t ->
+  (Object_id.t * Operation.t) list ->
+  (read_outcome, string) result
+(** Run a read-only transaction against the tier at a fresh initiation
+    timestamp.  [replica] pins the serving replica (default:
+    round-robin).  Every operation must be granted — a snapshot has no
+    concurrency to wait on — and a replay divergence is an error, not
+    a wrong answer.  Errors also cover total unavailability (replica
+    cannot serve and the primary shard is down).
+    @raise Invalid_argument under the [`None_] timestamp policy —
+    snapshot reads need initiation timestamps. *)
+
+(** {1 Failover} *)
+
+type promotion = {
+  shard : int;
+  promoted : int;  (** the most-advanced replica by applied position *)
+  promoted_pos : int;  (** its position before catch-up *)
+  caught_up : int;  (** records applied from the durable WAL tail *)
+  new_epoch : int;
+  verified : string option;
+      (** [None] when the promoted replica's committed projection
+          matches the recovered primary's — the zero-lost-commits
+          check; [Some msg] describes the divergence *)
+}
+
+val crash_primary : t -> int -> unit
+(** Crash the shard's primary, retaining its durable WAL for
+    {!fail_over}.  Idempotent per incarnation. *)
+
+val fail_over : t -> int -> (promotion, string) result
+(** Promote over the shard: fence the old incarnation (epoch bump),
+    catch the most-advanced replica up from the durable tail, rebuild
+    the primary from the durable WAL, verify the promoted projection
+    against it, and re-point the shipping feed at the new epoch (all
+    replicas resync from zero).  Crashes the primary first if it is
+    still up.  [Error] reports an unrecoverable WAL or a verification
+    failure. *)
+
+(** {1 Introspection} *)
+
+val promotions : t -> int
+val resyncs : t -> int
+val fenced_segments : t -> int
+val damaged_segments : t -> int
+val segments_shipped : t -> int
+val stale_bounced : t -> int
+val reads_at : t -> replica:int -> int
+val reads_primary : t -> int
+val reads_waited : t -> int
+val channel_now : t -> int
+(** Virtual time of the shipping channel. *)
+
+val channel_dropped : t -> int
+val channel_duplicated : t -> int
+val channel_reordered : t -> int
+
+val render : t -> string
+(** A per-replica table (position, lag, mark, resyncs, reads) plus a
+    channel summary — the body of [weihl replica]. *)

@@ -1098,6 +1098,28 @@ let committed_projection t =
       | None -> Some (activity, []))
     ordered
 
+let committed_projection_ts t =
+  let seq = List.rev t.commit_seq in
+  let ordered =
+    match t.policy with
+    | `None_ -> seq
+    | `Static | `Hybrid ->
+      List.stable_sort
+        (fun (_, _, a) (_, _, b) ->
+          match (a, b) with
+          | Some a, Some b -> Timestamp.compare a b
+          | None, Some _ -> -1
+          | Some _, None -> 1
+          | None, None -> 0)
+        seq
+  in
+  List.map
+    (fun (gid, activity, ts) ->
+      match Hashtbl.find_opt t.journal gid with
+      | Some ops -> (activity, ts, List.rev ops)
+      | None -> (activity, ts, []))
+    ordered
+
 let committed_count t = List.length t.commit_seq
 
 let agreed_commit_ts t gid =

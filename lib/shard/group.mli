@@ -234,6 +234,15 @@ val in_doubt_count : t -> int
 
 (** {1 Durability, checkpoints, crash, recovery} *)
 
+val shard_records : t -> int -> Cc.Wal.record list
+(** The shard's durable record stream as a list — events interleaved
+    with control records, positions absolute from the first record the
+    shard ever appended.  Under group commit only the synced prefix
+    appears.  This is the feed a log-shipping channel cuts segments
+    from: checkpoint truncation drops a prefix of {!durable_shard}'s
+    {e text} but never renumbers this stream.
+    @raise Invalid_argument on a bad index. *)
+
 val durable_shard : t -> int -> string
 (** The shard's WAL: its event log interleaved with the [Prepared] /
     [Decided] / [Checkpointed] control records at the positions they
@@ -322,6 +331,16 @@ val committed_projection :
     order under [`None_], timestamp order under [`Static] / [`Hybrid].
     Feed it to {!Cc.Recovery.replay_txns} against one combined fresh
     system: global atomicity holds iff the merged replay validates. *)
+
+val committed_projection_ts :
+  t ->
+  (Activity.t * Timestamp.t option * (Object_id.t * Operation.t * Value.t) list)
+  list
+(** {!committed_projection} with each transaction's serialization
+    timestamp exposed (its commit timestamp for updates, initiation
+    timestamp for hybrid read-only transactions; [None] under
+    [`None_]).  A replica tier filters this by timestamp to obtain the
+    committed state {e as of} a snapshot read's initiation time. *)
 
 val committed_count : t -> int
 

@@ -58,6 +58,30 @@ val protocols : Weihl_fault.Harness.protocol list
 (** The banking protocols of the fault catalog — the ones whose
     transfers scatter transactions across shards. *)
 
+(** {1 Global-atomicity checks}
+
+    Shared with the replica tier's failover drill, which adds its own
+    replication checks on top. *)
+
+val check_atomic_commitment : Group.t -> string option
+(** No activity committed at one shard and aborted at another. *)
+
+val check_ts_agreement : Group.t -> string option
+(** Every shard answers the same timestamp for a committed activity. *)
+
+val check_merged_replay :
+  Weihl_fault.Harness.protocol -> Group.t -> string option
+(** The merged committed projection replays cleanly against one
+    combined fresh system. *)
+
+val run_checks : Weihl_fault.Harness.protocol -> Group.t -> string option
+(** All of the above plus zero-stuck-in-doubt, first failure wins. *)
+
+val tpc_fault_of :
+  Shard_plan.t -> fanout:int -> Weihl_dist.Tpc.fault * int list
+(** Translate a plan's abstract 2PC fault into a concrete {!Weihl_dist.Tpc.fault}
+    and forced no-votes for a transaction of the given fan-out. *)
+
 val run_schedule :
   ?quick:bool ->
   ?shards:int ->

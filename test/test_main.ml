@@ -43,5 +43,6 @@ let () =
       ("protocol synthesis", Test_synth.suite);
       ("sharded runtime", Test_shard.suite);
       ("multicore shards", Test_mcore.suite);
+    ("replica tier", Test_replica.suite);
       ("properties (qcheck)", Test_props.suite);
     ]
